@@ -1,0 +1,56 @@
+// Experiment E5 — design challenge 3: "Different quantum algorithms'
+// behaviors affect the access pattern on the state vector."
+//
+// For each workload, reports the stage structure the partitioner extracts
+// (local runs vs. chunk-pair stages vs. free chunk permutations), the
+// locality metric (gates per codec pass), and the resulting device traffic.
+#include <iostream>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "circuit/transpile.hpp"
+#include "core/partitioner.hpp"
+
+int main() {
+  using namespace memq;
+  std::cout << "MEMQSim experiment E5 — algorithm-dependent access patterns\n"
+               "(n = 16, chunk = 2^11 amplitudes)\n\n";
+
+  constexpr qubit_t kN = 16;
+  constexpr qubit_t kChunk = 11;
+
+  TextTable table({"workload", "gates", "local", "pair", "permute",
+                   "gates/codec-pass", "H2D traffic", "zero-chunk skips",
+                   "modeled time"});
+  for (const auto& name : circuit::workload_names()) {
+    const circuit::Circuit c = circuit::make_workload(name, kN, 11);
+    const core::StagePlan plan = core::partition(c, kChunk);
+
+    core::EngineConfig cfg;
+    cfg.chunk_qubits = kChunk;
+    cfg.codec.bound = 1e-5;
+    auto engine =
+        core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+    engine->run(c);
+    const auto& t = engine->telemetry();
+
+    table.add_row({name, std::to_string(circuit::executable_gate_count(c)),
+                   std::to_string(plan.stats.local_stages),
+                   std::to_string(plan.stats.pair_stages),
+                   std::to_string(plan.stats.permute_stages),
+                   format_fixed(plan.stats.gates_per_codec_pass(), 2),
+                   human_bytes(t.h2d_bytes),
+                   std::to_string(t.zero_chunks_skipped),
+                   human_seconds(t.modeled_total_seconds)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: QFT's controlled-phase cascade is diagonal-heavy "
+               "(long local\nruns); GHZ's CX ladder crosses the chunk "
+               "boundary once per high qubit\n(permutes, zero codec work); "
+               "random circuits hit every high qubit every\nlayer (pair-stage "
+               "dominated -> the streaming-bound case).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro-benchmark M1: compressor throughput and ratio on state-vector-like
+// data — the CPU-side costs that the pipeline must overlap (paper complaint
+// (1) about prior work: codec time dominating). google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "compress/compressor.hpp"
+
+namespace {
+
+using namespace memq;
+using namespace memq::compress;
+
+enum class Data { kSmooth, kHaar, kSparse };
+
+std::vector<double> make_plane(Data kind, std::size_t n) {
+  Prng rng(7);
+  std::vector<double> v(n);
+  switch (kind) {
+    case Data::kSmooth:
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = 1e-3 * std::sin(2e-4 * static_cast<double>(i));
+      break;
+    case Data::kHaar: {
+      // Normalized random state plane: N(0, 1/sqrt(2*2^n)).
+      const double sigma = 1.0 / std::sqrt(2.0 * static_cast<double>(n));
+      for (auto& x : v) x = rng.normal() * sigma;
+      break;
+    }
+    case Data::kSparse:
+      for (auto& x : v) x = rng.uniform() < 0.02 ? rng.normal() * 0.1 : 0.0;
+      break;
+  }
+  return v;
+}
+
+const char* data_name(Data d) {
+  switch (d) {
+    case Data::kSmooth: return "smooth";
+    case Data::kHaar: return "haar";
+    case Data::kSparse: return "sparse";
+  }
+  return "?";
+}
+
+void BM_Compress(benchmark::State& state, const std::string& codec_name,
+                 Data data_kind) {
+  const auto codec = make_compressor(codec_name);
+  const auto data = make_plane(data_kind, 1 << 16);
+  ByteBuffer out;
+  for (auto _ : state) {
+    out.clear();
+    codec->compress(data, 1e-4 * 1e-3, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size() * 8));
+  state.counters["ratio"] =
+      static_cast<double>(data.size() * 8) / static_cast<double>(out.size());
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& codec_name,
+                   Data data_kind) {
+  const auto codec = make_compressor(codec_name);
+  const auto data = make_plane(data_kind, 1 << 16);
+  ByteBuffer compressed;
+  codec->compress(data, 1e-4 * 1e-3, compressed);
+  std::vector<double> back(data.size());
+  for (auto _ : state) {
+    codec->decompress(compressed, back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size() * 8));
+}
+
+void register_all() {
+  for (const auto& name : compressor_names()) {
+    for (const Data d : {Data::kSmooth, Data::kHaar, Data::kSparse}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Compress/" + name + "/" + data_name(d)).c_str(),
+          [name, d](benchmark::State& st) { BM_Compress(st, name, d); });
+      benchmark::RegisterBenchmark(
+          ("BM_Decompress/" + name + "/" + data_name(d)).c_str(),
+          [name, d](benchmark::State& st) { BM_Decompress(st, name, d); });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment E7 — lossy-error accumulation over circuit depth.
+//
+// Every recompression injects a bounded pointwise error; over a deep
+// circuit those errors random-walk. This bench quantifies the end-state
+// infidelity vs. depth for several bounds — the quantitative backing for
+// choosing the default bound, and the honest cost side of the paper's
+// memory savings.
+#include <cmath>
+#include <iostream>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+int main() {
+  using namespace memq;
+  std::cout << "MEMQSim experiment E7 — lossy error accumulation vs depth\n"
+               "(random circuits, n = 12, chunk = 2^7, szq codec)\n\n";
+
+  constexpr qubit_t kN = 12;
+  TextTable table({"depth", "bound", "max |err|", "infidelity", "ratio"});
+  for (const std::size_t depth : {4ul, 8ul, 16ul, 32ul}) {
+    const circuit::Circuit c = circuit::make_random_circuit(kN, depth, 7);
+    core::EngineConfig dense_cfg;
+    auto dense = core::make_engine(core::EngineKind::kDense, kN, dense_cfg);
+    dense->run(c);
+    const sv::StateVector reference = dense->to_dense();
+
+    for (const double bound : {1e-3, 1e-5, 1e-7}) {
+      core::EngineConfig cfg;
+      cfg.chunk_qubits = 7;
+      cfg.codec.bound = bound;
+      auto engine = core::make_engine(core::EngineKind::kMemQSim, kN, cfg);
+      engine->run(c);
+      const sv::StateVector state = engine->to_dense();
+      const double err = state.max_abs_diff(reference);
+      const double infidelity =
+          std::max(0.0, 1.0 - state.fidelity(reference) /
+                                  (state.norm() * reference.norm()));
+      table.add_row({std::to_string(depth), format_sci(bound, 0),
+                     format_sci(err, 1), format_sci(infidelity, 1),
+                     format_fixed(
+                         engine->telemetry().final_compression_ratio, 1) +
+                         "x"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: error grows roughly with sqrt(recompression "
+               "count) x bound;\nat 1e-5 even 32 layers stay below 1e-3 "
+               "infidelity while the ratio holds.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmark M2: gate-application kernel throughput (amplitudes/s) —
+// the compute side the simulated device's gate_kernel_throughput constant
+// abstracts. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/prng.hpp"
+#include "sv/kernels.hpp"
+
+namespace {
+
+using namespace memq;
+using circuit::Gate;
+
+std::vector<amp_t> make_state(qubit_t n) {
+  Prng rng(1);
+  std::vector<amp_t> v(dim_of(n));
+  for (auto& a : v) a = rng.normal_amp();
+  return v;
+}
+
+void BM_ApplyH(benchmark::State& state) {
+  const auto n = static_cast<qubit_t>(state.range(0));
+  auto amps = make_state(n);
+  const auto m = Gate::h(0).matrix1q();
+  qubit_t t = 0;
+  for (auto _ : state) {
+    sv::apply_matrix1(amps, t, m);
+    t = (t + 1) % n;
+    benchmark::DoNotOptimize(amps.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim_of(n)));
+}
+BENCHMARK(BM_ApplyH)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_ApplyX(benchmark::State& state) {
+  const auto n = static_cast<qubit_t>(state.range(0));
+  auto amps = make_state(n);
+  qubit_t t = 0;
+  for (auto _ : state) {
+    sv::apply_x(amps, t);
+    t = (t + 1) % n;
+    benchmark::DoNotOptimize(amps.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim_of(n)));
+}
+BENCHMARK(BM_ApplyX)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_ApplyRZ_Diagonal(benchmark::State& state) {
+  const auto n = static_cast<qubit_t>(state.range(0));
+  auto amps = make_state(n);
+  const auto m = Gate::rz(0, 0.42).matrix1q();
+  for (auto _ : state) {
+    sv::apply_diagonal1(amps, 3, m[0], m[3]);
+    benchmark::DoNotOptimize(amps.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim_of(n)));
+}
+BENCHMARK(BM_ApplyRZ_Diagonal)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_ApplyCX(benchmark::State& state) {
+  const auto n = static_cast<qubit_t>(state.range(0));
+  auto amps = make_state(n);
+  for (auto _ : state) {
+    sv::apply_gate(amps, Gate::cx(1, n - 1));
+    benchmark::DoNotOptimize(amps.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim_of(n)));
+}
+BENCHMARK(BM_ApplyCX)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_ApplySwap(benchmark::State& state) {
+  const auto n = static_cast<qubit_t>(state.range(0));
+  auto amps = make_state(n);
+  for (auto _ : state) {
+    sv::apply_swap(amps, 0, n - 1);
+    benchmark::DoNotOptimize(amps.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim_of(n)));
+}
+BENCHMARK(BM_ApplySwap)->Arg(14)->Arg(18);
+
+void BM_GenericU3_TargetSweep(benchmark::State& state) {
+  // Cache behaviour across target qubits: low targets are stride-1, high
+  // targets touch two distant halves.
+  constexpr qubit_t n = 18;
+  auto amps = make_state(n);
+  const auto m = Gate::u3(0, 1.0, 2.0, 3.0).matrix1q();
+  const auto t = static_cast<qubit_t>(state.range(0));
+  for (auto _ : state) {
+    sv::apply_matrix1(amps, t, m);
+    benchmark::DoNotOptimize(amps.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim_of(n)));
+}
+BENCHMARK(BM_GenericU3_TargetSweep)->DenseRange(0, 17, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

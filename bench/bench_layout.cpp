@@ -1,0 +1,74 @@
+// Ablation A3 — qubit-layout optimization (challenge 3, remapping form):
+// placing each workload's hottest non-diagonal targets in the chunk-local
+// range cuts pair stages and the device traffic they cost.
+#include <iostream>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "core/partitioner.hpp"
+#include "core/qubit_layout.hpp"
+
+namespace {
+
+using namespace memq;
+
+circuit::Circuit hot_high_qubits(qubit_t n, int reps) {
+  // Ansatz-style workload whose rotations concentrate on the top qubits —
+  // the adversarial case for naive low-is-local chunking.
+  circuit::Circuit c(n);
+  for (int i = 0; i < reps; ++i) {
+    c.ry(n - 1, 0.1 * (i + 1));
+    c.rx(n - 2, 0.2 * (i + 1));
+    c.cx(n - 1, n - 2);
+    c.rz(0, 0.3);  // cold, diagonal
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "MEMQSim ablation A3 — qubit-layout optimization\n"
+               "(n = 16, chunk = 2^11 amplitudes)\n\n";
+
+  constexpr qubit_t kN = 16;
+  constexpr qubit_t kChunk = 11;
+
+  struct Workload {
+    std::string name;
+    circuit::Circuit circuit;
+  };
+  const Workload workloads[] = {
+      {"hot-high-qubit ansatz", hot_high_qubits(kN, 30)},
+      {"bv", circuit::make_workload("bv", kN, 3)},
+      {"qft", circuit::make_qft(kN)},
+      {"random", circuit::make_random_circuit(kN, 8, 5)},
+  };
+
+  TextTable table({"workload", "layout", "pair stages", "H2D traffic",
+                   "chunk loads", "modeled time"});
+  for (const Workload& w : workloads) {
+    for (const bool opt : {false, true}) {
+      core::EngineConfig cfg;
+      cfg.chunk_qubits = kChunk;
+      cfg.codec.bound = 1e-6;
+      cfg.optimize_layout = opt;
+      auto engine = core::make_engine(core::EngineKind::kMemQSim,
+                                      w.circuit.n_qubits(), cfg);
+      engine->run(w.circuit);
+      const auto& t = engine->telemetry();
+      table.add_row({w.name, opt ? "optimized" : "natural",
+                     std::to_string(t.stages_pair),
+                     human_bytes(t.h2d_bytes), std::to_string(t.chunk_loads),
+                     human_seconds(t.modeled_total_seconds)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nConcentrated workloads (top-qubit ansatz, BV's ancilla) "
+               "collapse to local\nstages under remapping; uniformly-hot "
+               "circuits (QFT, random) cannot be\nfixed by any static layout "
+               "— the honest boundary of this optimization.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Experiment E3 — the online-stage pipeline of paper Figure 1/2
+// (design challenge 1: overlapping decompression, CPU-GPU transfer, GPU
+// kernels and recompression).
+//
+// Two device profiles:
+//   * paper-class (fast PCIe + GPU): the CPU codec is the bottleneck, so
+//     the pipeline hides the *device* entirely — host wait ~ 0 either way
+//     and the interesting lever is CPU co-execution (paper step 5);
+//   * weak device (slow link + modest accelerator): device time per chunk
+//     exceeds codec time, so serialized execution stalls the host and
+//     pipelining + the staged strategy recover the difference.
+//
+// Host wait = modeled total - charged CPU time (CPU phase seconds are
+// measured raw and charged / cpu_codec_workers; see core/config.hpp).
+#include <iostream>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+using namespace memq;
+
+struct Arm {
+  const char* label;
+  bool pipelined;
+  device::TransferStrategy strategy;
+  double offload;
+};
+
+const Arm kArms[] = {
+    {"serialized + sync copy", false, device::TransferStrategy::kSync, 0.0},
+    {"serialized + staged", false, device::TransferStrategy::kStagedBuffer,
+     0.0},
+    {"pipelined + sync copy", true, device::TransferStrategy::kSync, 0.0},
+    {"pipelined + staged", true, device::TransferStrategy::kStagedBuffer, 0.0},
+    {"pipelined + staged + 25% CPU", true,
+     device::TransferStrategy::kStagedBuffer, 0.25},
+    {"pipelined + staged + 50% CPU", true,
+     device::TransferStrategy::kStagedBuffer, 0.5},
+};
+
+void run_profile(const char* profile_name, const device::DeviceConfig& dev,
+                 const char* workload, qubit_t n, qubit_t chunk_q) {
+  const circuit::Circuit c = circuit::make_workload(workload, n, 7);
+  std::cout << profile_name << " — workload: " << workload << "(" << n
+            << "), " << c.size() << " gates, chunk = 2^" << chunk_q
+            << " amps\n";
+  TextTable table({"configuration", "modeled total", "device busy",
+                   "host wait", "decompress", "recompress", "cpu apply"});
+  for (const Arm& arm : kArms) {
+    core::EngineConfig cfg;
+    cfg.chunk_qubits = chunk_q;
+    cfg.codec.bound = 1e-6;
+    cfg.device = dev;
+    cfg.pipelined = arm.pipelined;
+    cfg.strategy = arm.strategy;
+    cfg.cpu_offload_fraction = arm.offload;
+    auto engine =
+        core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+    engine->run(c);
+    const auto& t = engine->telemetry();
+    const double charged_cpu = t.cpu_phases.total() / cfg.cpu_codec_workers;
+    const double wait = std::max(0.0, t.modeled_total_seconds - charged_cpu);
+    table.add_row({arm.label, human_seconds(t.modeled_total_seconds),
+                   human_seconds(t.device_busy_seconds), human_seconds(wait),
+                   human_seconds(t.cpu_phases.get("decompress")),
+                   human_seconds(t.cpu_phases.get("recompress")),
+                   human_seconds(t.cpu_phases.get("cpu_apply"))});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "MEMQSim experiment E3 — online-stage pipelining ablation\n\n";
+
+  constexpr qubit_t kN = 16;
+  constexpr qubit_t kChunk = 11;
+
+  const device::DeviceConfig paper_class{};  // calibrated defaults
+
+  device::DeviceConfig weak;
+  weak.h2d_bandwidth = 8.0e8;           // ~PCIe-1-class link
+  weak.d2h_bandwidth = 8.0e8;
+  weak.gate_kernel_throughput = 1.5e8;  // modest accelerator
+  weak.scatter_kernel_throughput = 1.0e9;
+
+  for (const char* workload : {"qft", "random"}) {
+    run_profile("paper-class device", paper_class, workload, kN, kChunk);
+    run_profile("weak device", weak, workload, kN, kChunk);
+  }
+
+  std::cout
+      << "Expected shape: on the paper-class device the codec binds and CPU\n"
+         "co-execution is the lever; on the weak device serialized phases\n"
+         "stall the host and pipelining + the staged strategy remove most\n"
+         "of the wait (the overlap of paper Figure 1).\n";
+  return 0;
+}

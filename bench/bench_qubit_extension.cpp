@@ -1,0 +1,86 @@
+// Experiment E2 — the paper's headline claim:
+//
+//   "By employing the state-of-the-art data compressor, we extrapolate that
+//    on average 5 more qubits to simulate can be achieved without slowing
+//    down the original quantum circuit simulation."
+//
+// For each workload and error bound we run MEMQSim, record the peak
+// compressed state footprint, and report extra_qubits = log2(dense bytes /
+// peak compressed bytes): how many more qubits the same host memory holds.
+// The slowdown column compares the modeled end-to-end time against the
+// uncompressed-codec ("null") configuration of the same engine.
+#include <cmath>
+#include <iostream>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+using namespace memq;
+
+struct Result {
+  double ratio;
+  double extra_qubits;
+  double modeled_seconds;
+};
+
+Result run_once(const std::string& workload, qubit_t n, double bound,
+                const std::string& compressor) {
+  const circuit::Circuit c = circuit::make_workload(workload, n, 42);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = n > 8 ? n - 8 : 1;  // 256 chunks: working buffers small
+  cfg.codec.compressor = compressor;
+  cfg.codec.bound = bound;
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+  engine->run(c);
+  const auto& t = engine->telemetry();
+  Result r;
+  r.ratio = t.final_compression_ratio;
+  r.extra_qubits =
+      std::log2(static_cast<double>(state_bytes(c.n_qubits())) /
+                static_cast<double>(t.peak_host_state_bytes));
+  r.modeled_seconds = t.modeled_total_seconds;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "MEMQSim experiment E2 — qubit extension under a fixed memory "
+               "budget\n(paper claim: ~5 extra qubits on average without "
+               "slowdown)\n\n";
+
+  constexpr qubit_t kN = 18;
+  const char* workloads[] = {"ghz", "qft", "grover", "bv", "qaoa", "w", "qpe",
+                             "random"};
+
+  TextTable table({"workload", "bound", "final ratio", "extra qubits",
+                   "slowdown vs null"});
+  RunningStats extra_at_1e4;
+  for (const char* w : workloads) {
+    const Result base = run_once(w, kN, 1e-4, "null");
+    for (const double bound : {1e-2, 1e-4, 1e-6}) {
+      const Result r = run_once(w, kN, bound, "szq");
+      table.add_row({w, format_sci(bound, 0), format_fixed(r.ratio, 1) + "x",
+                     format_fixed(r.extra_qubits, 1),
+                     format_fixed(r.modeled_seconds / base.modeled_seconds, 2) +
+                         "x"});
+      if (bound == 1e-4) extra_at_1e4.add(r.extra_qubits);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nmean extra qubits at bound 1e-4 across workloads: "
+            << format_fixed(extra_at_1e4.mean(), 1) << " (paper: ~5)\n";
+  std::cout << "min/max: " << format_fixed(extra_at_1e4.min(), 1) << " / "
+            << format_fixed(extra_at_1e4.max(), 1) << "\n";
+  std::cout << "\nStructured states (GHZ/BV/W/Grover) compress far beyond 5 "
+               "qubits;\ndense unstructured states (random RQC) are the hard "
+               "floor — the paper's\naverage sits between those regimes.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment T1 — reproduces Table 1 of the paper:
+//
+//   "Data transfer time H2D/D2H in seconds" for three strategies of moving
+//   state-vector amplitudes between CPU and GPU at 20 and 25 qubits:
+//     sync   = one bulk cudaMemcpy (lower bound),
+//     async  = one cudaMemcpyAsync per amplitude,
+//     buffer = bulk copy into a GPU staging buffer + device-side placement.
+//
+// Paper values (their testbed):
+//   20 qubits: sync 0.003/0.008, async 2.7/9.2,   buffer 0.003/0.004
+//   25 qubits: sync 0.080/0.233, async 77.9/294.4, buffer 0.110/0.273
+// Headline ratios: async/sync ~ 870x (H2D); buffer/sync ~ 1.03x.
+//
+// Our device is the simulated accelerator (see DESIGN.md): the per-call
+// overheads and bandwidths are calibrated constants, but the RATIOS emerge
+// from the strategy structure (number of API calls x per-call cost), which
+// is the mechanism the paper identifies.
+#include <iostream>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "device/copy_engine.hpp"
+
+namespace {
+
+using namespace memq;
+using device::CopyEngine;
+using device::DeviceConfig;
+using device::SimDevice;
+using device::Stream;
+using device::TransferStrategy;
+
+struct Measurement {
+  double h2d = 0.0;
+  double d2h = 0.0;
+};
+
+Measurement measure(TransferStrategy strategy, qubit_t qubits) {
+  const index_t n = dim_of(qubits);
+  DeviceConfig cfg;
+  cfg.memory_bytes = 2 * n * kAmpBytes + (1 << 20);
+  SimDevice device(cfg);
+  Stream stream(device, "xfer");
+  CopyEngine engine(device, strategy);
+
+  auto state = device.alloc(n * kAmpBytes, "state");
+  auto staging = device.alloc(n * kAmpBytes, "staging");
+  std::vector<amp_t> host(n, amp_t{0.5, -0.5});
+
+  Measurement m;
+  m.h2d = engine.upload(stream, state, host, {}, &staging).modeled_seconds;
+  stream.synchronize();
+  m.d2h = engine.download(stream, host, state, {}, &staging).modeled_seconds;
+  stream.synchronize();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "MEMQSim experiment T1 — Table 1: data transfer time H2D/D2H "
+               "in seconds\n"
+               "(simulated accelerator; paper testbed values in brackets)\n\n";
+
+  struct PaperRow {
+    qubit_t qubits;
+    double sync_h2d, sync_d2h, async_h2d, async_d2h, buf_h2d, buf_d2h;
+  };
+  const PaperRow paper[] = {
+      {20, 0.003, 0.008, 2.7, 9.2, 0.003, 0.004},
+      {25, 0.080, 0.233, 77.9, 294.4, 0.110, 0.273},
+  };
+
+  TextTable table({"qubits", "sync H2D/D2H", "async H2D/D2H",
+                   "buffer H2D/D2H", "async/sync", "buffer/sync"});
+  for (const PaperRow& row : paper) {
+    const Measurement sync = measure(TransferStrategy::kSync, row.qubits);
+    const Measurement async_m =
+        measure(TransferStrategy::kAsyncPerElement, row.qubits);
+    const Measurement buf = measure(TransferStrategy::kStagedBuffer, row.qubits);
+
+    table.add_row({std::to_string(row.qubits),
+                   format_fixed(sync.h2d, 3) + "/" + format_fixed(sync.d2h, 3),
+                   format_fixed(async_m.h2d, 1) + "/" +
+                       format_fixed(async_m.d2h, 1),
+                   format_fixed(buf.h2d, 3) + "/" + format_fixed(buf.d2h, 3),
+                   format_fixed(async_m.h2d / sync.h2d, 0) + "x",
+                   format_fixed(buf.h2d / sync.h2d, 2) + "x"});
+    table.add_row({"  (paper)",
+                   format_fixed(row.sync_h2d, 3) + "/" +
+                       format_fixed(row.sync_d2h, 3),
+                   format_fixed(row.async_h2d, 1) + "/" +
+                       format_fixed(row.async_d2h, 1),
+                   format_fixed(row.buf_h2d, 3) + "/" +
+                       format_fixed(row.buf_d2h, 3),
+                   format_fixed(row.async_h2d / row.sync_h2d, 0) + "x",
+                   format_fixed(row.buf_h2d / row.sync_h2d, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: per-element async pays the per-call overhead "
+               "2^n times, so it\nsits orders of magnitude above one bulk "
+               "copy; the staged buffer restores\nbulk bandwidth at the cost "
+               "of one extra device buffer (~1.0x sync).\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Experiment E6 — positioning against the two baselines the paper's
+// introduction names:
+//   * dense state-vector backends (no compression: memory wall),
+//   * Wu et al. [6]-style full-state compression (compress/decompress
+//     "with high frequency ... a significant portion of the total
+//     simulation time", CPU only).
+//
+// Reports per engine: modeled end-to-end time, real codec time, peak state
+// memory, and codec pass counts, across qubit counts.
+#include <iostream>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+int main() {
+  using namespace memq;
+  std::cout << "MEMQSim experiment E6 — dense vs. Wu-style [6] vs. MEMQSim\n"
+               "(workload: QFT; chunk = 2^(n-5) amps; bound 1e-5)\n\n";
+
+  for (const qubit_t n : {qubit_t{12}, qubit_t{14}, qubit_t{16}}) {
+    const circuit::Circuit c = circuit::make_qft(n);
+    std::cout << "QFT(" << static_cast<int>(n) << "), " << c.size()
+              << " gates, dense state " << human_bytes(state_bytes(n)) << "\n";
+    TextTable table({"engine", "modeled time", "codec cpu time",
+                     "chunk loads", "chunk stores", "peak state",
+                     "ratio"});
+    for (const auto kind : {core::EngineKind::kDense, core::EngineKind::kWu,
+                            core::EngineKind::kMemQSim}) {
+      core::EngineConfig cfg;
+      cfg.chunk_qubits = n - 5;
+      cfg.codec.bound = 1e-5;
+      auto engine = core::make_engine(kind, n, cfg);
+      engine->run(c);
+      const auto& t = engine->telemetry();
+      const double codec_time =
+          t.cpu_phases.get("decompress") + t.cpu_phases.get("recompress");
+      table.add_row({engine->name(),
+                     human_seconds(t.modeled_total_seconds),
+                     human_seconds(codec_time), std::to_string(t.chunk_loads),
+                     std::to_string(t.chunk_stores),
+                     human_bytes(t.peak_host_state_bytes),
+                     format_fixed(t.final_compression_ratio, 1) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Expected shape: the Wu-style baseline pays a decompress + "
+               "recompress sweep\nper GATE; MEMQSim's stage partitioning "
+               "amortizes one sweep over a whole\nlocal run and offloads the "
+               "arithmetic to the accelerator, so its codec\ntime and chunk "
+               "loads sit far below [6] at the same compression ratio.\n";
+  return 0;
+}

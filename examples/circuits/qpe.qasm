@@ -1,0 +1,30 @@
+// Phase estimation of p(2*pi*5/16) with a 4-bit counting register,
+// written with a user-defined IQFT gate to exercise the gate-definition
+// parser.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate iqft4 a, b, c, d {
+  swap b, c;
+  swap a, d;
+  h a;
+  cu1(-pi/2) a, b;
+  h b;
+  cu1(-pi/4) a, c;
+  cu1(-pi/2) b, c;
+  h c;
+  cu1(-pi/8) a, d;
+  cu1(-pi/4) b, d;
+  cu1(-pi/2) c, d;
+  h d;
+}
+qreg q[4];
+qreg eig[1];
+creg c[4];
+x eig[0];
+h q;
+cu1(2*pi*5/16) q[0], eig[0];
+cu1(2*pi*10/16) q[1], eig[0];
+cu1(2*pi*20/16) q[2], eig[0];
+cu1(2*pi*40/16) q[3], eig[0];
+iqft4 q[0], q[1], q[2], q[3];
+measure q -> c;

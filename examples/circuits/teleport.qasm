@@ -1,0 +1,13 @@
+// Teleportation with deferred (coherent) corrections.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+u3(1.1, 0.4, 2.2) q[0];
+h q[1];
+cx q[1], q[2];
+cx q[0], q[1];
+h q[0];
+cx q[1], q[2];
+cz q[0], q[2];
+measure q[2] -> c[2];

@@ -1,0 +1,56 @@
+// Grover search through the full engine stack: builds the oracle + diffusion
+// circuit, runs it on both the dense backend and MEMQSim, and verifies that
+// the compressed engine finds the marked item with the same success
+// probability at a fraction of the state memory.
+//
+//   ./examples/grover_search [n_qubits] [marked_item]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "core/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memq;
+
+  const qubit_t n = argc > 1 ? static_cast<qubit_t>(std::atoi(argv[1])) : 12;
+  const index_t marked =
+      argc > 2 ? static_cast<index_t>(std::atoll(argv[2]))
+               : (dim_of(n) * 2) / 3;
+
+  std::cout << "Searching " << dim_of(n) << " items for |" << marked
+            << "> with Grover's algorithm\n";
+  const circuit::Circuit grover = circuit::make_grover(n, marked);
+  std::cout << "circuit: " << grover.size() << " gates\n\n";
+
+  core::EngineConfig config;
+  config.chunk_qubits = n > 6 ? n - 6 : 1;
+  config.codec.bound = 1e-7;
+
+  for (const auto kind : {core::EngineKind::kDense, core::EngineKind::kMemQSim}) {
+    auto engine = core::make_engine(kind, n, config);
+    engine->run(grover);
+    const double p_success = std::norm(engine->amplitude(marked));
+    const auto counts = engine->sample_counts(100);
+    std::uint64_t hits = 0;
+    const auto it = counts.find(marked);
+    if (it != counts.end()) hits = it->second;
+
+    const auto& t = engine->telemetry();
+    std::cout << engine->name() << ":\n";
+    std::cout << "  P(marked)        = " << format_fixed(p_success, 4) << "\n";
+    std::cout << "  hits in 100 shots: " << hits << "\n";
+    std::cout << "  peak state memory: " << human_bytes(t.peak_host_state_bytes)
+              << "\n";
+    if (kind == core::EngineKind::kMemQSim) {
+      std::cout << "  compression ratio: "
+                << format_fixed(t.final_compression_ratio, 1) << "x\n";
+      std::cout << "  modeled time     : "
+                << human_seconds(t.modeled_total_seconds) << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Noise study via quantum trajectories: how depolarizing noise degrades a
+// GHZ state's coherence, estimated by averaging the X^n parity observable
+// over stochastic-Pauli trajectories — the many-cheap-runs workload where a
+// memory-frugal engine lets one machine sweep larger registers.
+//
+//   ./examples/noisy_trajectories [n_qubits] [n_trajectories]
+#include <cstdlib>
+#include <iostream>
+
+#include "circuit/noise.hpp"
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memq;
+
+  const qubit_t n = argc > 1 ? static_cast<qubit_t>(std::atoi(argv[1])) : 10;
+  const std::uint64_t trajectories =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 60;
+
+  std::cout << "GHZ(" << n << ") coherence <X^n> under depolarizing noise, "
+            << trajectories << " trajectories per point\n\n";
+
+  const circuit::Circuit ghz = circuit::make_ghz(n);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = n > 6 ? n - 6 : 1;
+  cfg.codec.bound = 1e-6;
+
+  TextTable table({"p(depolarizing)", "<X^n> mean", "std err", "survival"});
+  for (const double p : {0.0, 0.01, 0.03, 0.1, 0.3}) {
+    circuit::NoiseModel model;
+    model.depolarizing_1q = p;
+    model.depolarizing_2q = p;
+    RunningStats st;
+    for (std::uint64_t t = 0; t < trajectories; ++t) {
+      auto engine = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+      engine->run(circuit::sample_noisy_trajectory(ghz, model, 1000 + t));
+      st.add(engine->expectation({std::string(n, 'X')}));
+    }
+    const double stderr_mean =
+        st.stddev() / std::sqrt(static_cast<double>(st.count()));
+    table.add_row({format_fixed(p, 2), format_fixed(st.mean(), 3),
+                   format_fixed(stderr_mean, 3),
+                   format_fixed(100.0 * st.mean(), 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nClean GHZ has <X^n> = 1; each inserted Pauli error breaks "
+               "the parity with\nhigh probability, so coherence decays "
+               "roughly as (1-p)^(gates).\n";
+  return 0;
+}

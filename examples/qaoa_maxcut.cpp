@@ -1,0 +1,85 @@
+// QAOA MaxCut on a random 3-regular-ish graph, with a small grid search over
+// (gamma, beta) executed entirely on the MEMQSim engine — a realistic
+// variational workload where the same ansatz runs many times, exactly the
+// use case where a memory-frugal simulator lets a laptop explore more qubits.
+//
+//   ./examples/qaoa_maxcut [n_qubits]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "sv/simulator.hpp"
+
+namespace {
+
+using namespace memq;
+
+double expected_cut(core::Engine& engine, qubit_t n,
+                    const std::vector<std::pair<qubit_t, qubit_t>>& edges) {
+  // <C> = sum_edges (1 - <Z_a Z_b>)/2, evaluated chunk-wise on the engine —
+  // the dense state is never materialized, so this scales with the
+  // compressed footprint, not 2^n.
+  double cut = 0.0;
+  for (const auto& [a, b] : edges) {
+    std::string ops(n, 'I');
+    ops[a] = 'Z';
+    ops[b] = 'Z';
+    cut += 0.5 * (1.0 - engine.expectation({ops}));
+  }
+  return cut;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qubit_t n = argc > 1 ? static_cast<qubit_t>(std::atoi(argv[1])) : 12;
+
+  // Ring + random chords graph.
+  Prng rng(2023);
+  std::vector<std::pair<qubit_t, qubit_t>> edges;
+  for (qubit_t q = 0; q < n; ++q) edges.emplace_back(q, (q + 1) % n);
+  for (qubit_t q = 0; q < n; ++q) {
+    const auto r = static_cast<qubit_t>(rng.uniform_index(n));
+    if (r != q && r != (q + 1) % n && q != (r + 1) % n)
+      edges.emplace_back(std::min(q, r), std::max(q, r));
+  }
+  std::cout << "MaxCut on " << n << " vertices, " << edges.size()
+            << " edges; p = 1 QAOA grid search on memqsim\n\n";
+
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = n > 6 ? n - 6 : 1;
+  cfg.codec.bound = 1e-6;
+
+  TextTable table({"gamma", "beta", "<cut>", "modeled time"});
+  double best_cut = 0.0, best_gamma = 0.0, best_beta = 0.0;
+  for (const double gamma : {0.3, 0.6, 0.9}) {
+    for (const double beta : {0.2, 0.4, 0.6}) {
+      circuit::QaoaParams params;
+      params.edges = edges;
+      params.gammas = {gamma};
+      params.betas = {beta};
+      auto engine = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+      engine->run(circuit::make_qaoa_maxcut(n, params));
+      const double cut = expected_cut(*engine, n, edges);
+      table.add_row(
+          {format_fixed(gamma, 1), format_fixed(beta, 1),
+           format_fixed(cut, 3),
+           human_seconds(engine->telemetry().modeled_total_seconds)});
+      if (cut > best_cut) {
+        best_cut = cut;
+        best_gamma = gamma;
+        best_beta = beta;
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nbest: <cut> = " << format_fixed(best_cut, 3) << " at gamma="
+            << best_gamma << ", beta=" << best_beta << " (random cut would "
+            << "average " << format_fixed(edges.size() * 0.5, 1) << ")\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// OpenQASM 2.0 runner: loads a .qasm file, simulates it on a chosen engine
+// and prints the measurement distribution.
+//
+//   ./examples/qasm_runner <file.qasm> [--engine dense|wu|memqsim]
+//                          [--shots N] [--chunk-qubits C] [--bound B]
+//                          [--compressor szq|bpc|gorilla|null]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "circuit/qasm.hpp"
+#include "common/format.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: qasm_runner <file.qasm> [--engine dense|wu|memqsim]\n"
+               "                   [--shots N] [--chunk-qubits C]\n"
+               "                   [--bound B] [--compressor NAME]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace memq;
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string path = argv[1];
+  std::string engine_name = "memqsim";
+  std::size_t shots = 1024;
+  core::EngineConfig config;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--engine") engine_name = next();
+    else if (arg == "--shots") shots = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--chunk-qubits")
+      config.chunk_qubits = static_cast<qubit_t>(std::atoi(next()));
+    else if (arg == "--bound") config.codec.bound = std::atof(next());
+    else if (arg == "--compressor") config.codec.compressor = next();
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    const circuit::QasmProgram prog = circuit::parse_qasm_file(path);
+    const qubit_t n = prog.circuit.n_qubits();
+    config.chunk_qubits = std::min<qubit_t>(config.chunk_qubits, n);
+    std::cout << "parsed " << path << ": " << n << " qubits, "
+              << prog.circuit.size() << " gates\n";
+
+    core::EngineKind kind = core::EngineKind::kMemQSim;
+    if (engine_name == "dense") kind = core::EngineKind::kDense;
+    else if (engine_name == "wu") kind = core::EngineKind::kWu;
+    else if (engine_name != "memqsim") {
+      usage();
+      return 2;
+    }
+
+    auto engine = core::make_engine(kind, n, config);
+    engine->run(prog.circuit);
+
+    std::cout << "\n" << shots << " shots on " << engine->name() << ":\n";
+    const auto counts = engine->sample_counts(shots);
+    for (const auto& [basis, count] : counts) {
+      std::string bits(n, '0');
+      for (qubit_t q = 0; q < n; ++q)
+        if ((basis >> q) & 1) bits[n - 1 - q] = '1';
+      std::cout << "  " << bits << "  " << count << "\n";
+      if (counts.size() > 32 && count < shots / 100) continue;
+    }
+    const auto& t = engine->telemetry();
+    std::cout << "\npeak state memory: " << human_bytes(t.peak_host_state_bytes)
+              << "  modeled time: " << human_seconds(t.modeled_total_seconds)
+              << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// VQE for the transverse-field Ising chain on the MEMQSim engine:
+// a hardware-efficient RY + CX-ring ansatz optimized with parameter-shift
+// gradients. Every energy evaluation is a fresh chunked-compressed run —
+// the many-cheap-runs loop where memory efficiency sets the reachable size.
+//
+//   ./examples/vqe_tfim [n_qubits] [iterations]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/format.hpp"
+#include "core/engine.hpp"
+#include "core/observables.hpp"
+
+namespace {
+
+using namespace memq;
+
+circuit::Circuit ansatz(qubit_t n, const std::vector<double>& theta) {
+  // Two layers: RY rotations + CX entangler ring, then RY again.
+  circuit::Circuit c(n);
+  std::size_t p = 0;
+  for (qubit_t q = 0; q < n; ++q) c.ry(q, theta.at(p++));
+  for (qubit_t q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  for (qubit_t q = 0; q < n; ++q) c.ry(q, theta.at(p++));
+  return c;
+}
+
+double energy(qubit_t n, const std::vector<double>& theta,
+              const core::PauliSum& h, const core::EngineConfig& cfg) {
+  auto engine = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+  engine->run(ansatz(n, theta));
+  return core::expectation(*engine, h);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qubit_t n = argc > 1 ? static_cast<qubit_t>(std::atoi(argv[1])) : 8;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 25;
+
+  const auto h = core::PauliSum::tfim_chain(n, 1.0, 1.0);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = n > 6 ? n - 6 : 1;
+  cfg.codec.bound = 1e-7;
+
+  std::vector<double> theta(2 * static_cast<std::size_t>(n), 0.1);
+  const double lr = 0.1;
+
+  std::cout << "VQE on TFIM chain, n = " << n << " (J = h = 1), "
+            << theta.size() << " parameters, parameter-shift gradients\n\n";
+  double e = energy(n, theta, h, cfg);
+  std::cout << "iter  0: E = " << format_fixed(e, 5) << "\n";
+  for (int it = 1; it <= iters; ++it) {
+    // Parameter-shift rule: dE/dt_k = (E(t_k + pi/2) - E(t_k - pi/2)) / 2.
+    std::vector<double> grad(theta.size());
+    for (std::size_t k = 0; k < theta.size(); ++k) {
+      std::vector<double> plus = theta, minus = theta;
+      plus[k] += kPi / 2;
+      minus[k] -= kPi / 2;
+      grad[k] = 0.5 * (energy(n, plus, h, cfg) - energy(n, minus, h, cfg));
+    }
+    for (std::size_t k = 0; k < theta.size(); ++k) theta[k] -= lr * grad[k];
+    e = energy(n, theta, h, cfg);
+    if (it % 5 == 0 || it == iters)
+      std::cout << "iter " << it << ": E = " << format_fixed(e, 5) << "\n";
+  }
+
+  // Reference points for the critical TFIM chain (open boundary).
+  std::cout << "\nproduct-state bounds: E(|0..0>) = " << format_fixed(-(n - 1.0), 2)
+            << ", E(|+..+>) = " << format_fixed(-static_cast<double>(n), 2)
+            << "\n";
+  std::cout << "VQE should land below both (exact ground state is lower "
+               "still).\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace memq::circuit {
+
+Circuit::Circuit(qubit_t n_qubits) : n_qubits_(n_qubits) {
+  MEMQ_CHECK(n_qubits >= 1 && n_qubits <= 62,
+             "qubit count " << n_qubits << " out of supported range [1, 62]");
+}
+
+Circuit& Circuit::append(Gate gate) {
+  const auto qs = gate.qubits();
+  MEMQ_CHECK(!gate.targets.empty() || gate.is_barrier(),
+             "gate '" << gate.base_name() << "' has no targets");
+  for (const qubit_t q : qs)
+    MEMQ_CHECK(q < n_qubits_, "gate " << gate.to_string() << " touches qubit "
+                                      << q << " of a " << n_qubits_
+                                      << "-qubit register");
+  std::vector<qubit_t> sorted = qs;
+  std::sort(sorted.begin(), sorted.end());
+  MEMQ_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+             "gate " << gate.to_string() << " repeats a qubit");
+  switch (gate.kind) {
+    case GateKind::kSwap:
+      MEMQ_CHECK(gate.targets.size() == 2, "swap needs two targets");
+      break;
+    case GateKind::kBarrier:
+      break;
+    default:
+      MEMQ_CHECK(gate.targets.size() == 1,
+                 "gate '" << gate.base_name() << "' needs one target");
+  }
+  gates_.push_back(std::move(gate));
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  MEMQ_CHECK(other.n_qubits_ == n_qubits_,
+             "appending a " << other.n_qubits_ << "-qubit circuit to a "
+                            << n_qubits_ << "-qubit circuit");
+  for (const Gate& g : other.gates_) append(g);
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  Circuit inv(n_qubits_);
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+    inv.append(it->inverse());
+  return inv;
+}
+
+bool Circuit::has_nonunitary() const {
+  return std::any_of(gates_.begin(), gates_.end(),
+                     [](const Gate& g) { return g.is_nonunitary(); });
+}
+
+CircuitStats Circuit::stats() const {
+  CircuitStats st;
+  std::vector<std::size_t> layer_of(n_qubits_, 0);
+  for (const Gate& g : gates_) {
+    if (g.is_barrier()) {
+      // A barrier synchronizes the qubits it spans (all if none listed).
+      std::size_t level = 0;
+      const auto qs = g.targets.empty() ? std::vector<qubit_t>{} : g.targets;
+      if (qs.empty()) {
+        for (const auto l : layer_of) level = std::max(level, l);
+        for (auto& l : layer_of) l = level;
+      } else {
+        for (const qubit_t q : qs) level = std::max(level, layer_of[q]);
+        for (const qubit_t q : qs) layer_of[q] = level;
+      }
+      continue;
+    }
+    ++st.n_gates;
+    ++st.by_name[std::string(g.controls.size(), 'c') + g.base_name()];
+    const auto qs = g.qubits();
+    if (qs.size() == 1)
+      ++st.n_1q;
+    else if (qs.size() == 2)
+      ++st.n_2q;
+    else
+      ++st.n_multi;
+    if (g.is_diagonal()) ++st.n_diagonal;
+    if (g.kind == GateKind::kMeasure) ++st.n_measure;
+
+    std::size_t level = 0;
+    for (const qubit_t q : qs) level = std::max(level, layer_of[q]);
+    ++level;
+    for (const qubit_t q : qs) layer_of[q] = level;
+    st.depth = std::max(st.depth, level);
+  }
+  return st;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "circuit(" << n_qubits_ << " qubits, " << gates_.size() << " gates)\n";
+  for (const Gate& g : gates_) os << "  " << g.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace memq::circuit

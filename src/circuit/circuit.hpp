@@ -1,0 +1,89 @@
+// Circuit IR: an ordered gate list over a fixed-width qubit register, with
+// validation, statistics and structural transforms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/types.hpp"
+
+namespace memq::circuit {
+
+struct CircuitStats {
+  std::size_t n_gates = 0;       ///< excluding barriers
+  std::size_t n_1q = 0;
+  std::size_t n_2q = 0;          ///< exactly two distinct qubits involved
+  std::size_t n_multi = 0;       ///< three or more qubits involved
+  std::size_t n_diagonal = 0;
+  std::size_t n_measure = 0;
+  std::size_t depth = 0;         ///< greedy ASAP layering, barriers honored
+  std::map<std::string, std::size_t> by_name;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(qubit_t n_qubits);
+
+  qubit_t n_qubits() const noexcept { return n_qubits_; }
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  std::size_t size() const noexcept { return gates_.size(); }
+  bool empty() const noexcept { return gates_.empty(); }
+  const Gate& operator[](std::size_t i) const { return gates_[i]; }
+
+  /// Appends after validating qubit ranges and target/control disjointness.
+  Circuit& append(Gate gate);
+
+  /// Appends every gate of `other` (same register width required).
+  Circuit& append(const Circuit& other);
+
+  // Fluent sugar for the common gates, e.g. circ.h(0).cx(0, 1).
+  Circuit& i(qubit_t q) { return append(Gate::i(q)); }
+  Circuit& x(qubit_t q) { return append(Gate::x(q)); }
+  Circuit& y(qubit_t q) { return append(Gate::y(q)); }
+  Circuit& z(qubit_t q) { return append(Gate::z(q)); }
+  Circuit& h(qubit_t q) { return append(Gate::h(q)); }
+  Circuit& s(qubit_t q) { return append(Gate::s(q)); }
+  Circuit& sdg(qubit_t q) { return append(Gate::sdg(q)); }
+  Circuit& t(qubit_t q) { return append(Gate::t(q)); }
+  Circuit& tdg(qubit_t q) { return append(Gate::tdg(q)); }
+  Circuit& sx(qubit_t q) { return append(Gate::sx(q)); }
+  Circuit& rx(qubit_t q, double a) { return append(Gate::rx(q, a)); }
+  Circuit& ry(qubit_t q, double a) { return append(Gate::ry(q, a)); }
+  Circuit& rz(qubit_t q, double a) { return append(Gate::rz(q, a)); }
+  Circuit& p(qubit_t q, double a) { return append(Gate::phase(q, a)); }
+  Circuit& u3(qubit_t q, double th, double ph, double lam) {
+    return append(Gate::u3(q, th, ph, lam));
+  }
+  Circuit& cx(qubit_t c, qubit_t t) { return append(Gate::cx(c, t)); }
+  Circuit& cy(qubit_t c, qubit_t t) { return append(Gate::cy(c, t)); }
+  Circuit& cz(qubit_t c, qubit_t t) { return append(Gate::cz(c, t)); }
+  Circuit& cp(qubit_t c, qubit_t t, double a) {
+    return append(Gate::cp(c, t, a));
+  }
+  Circuit& swap(qubit_t a, qubit_t b) { return append(Gate::swap(a, b)); }
+  Circuit& ccx(qubit_t c1, qubit_t c2, qubit_t t) {
+    return append(Gate::ccx(c1, c2, t));
+  }
+  Circuit& measure(qubit_t q) { return append(Gate::measure(q)); }
+
+  /// Adjoint circuit: gates reversed and inverted. Throws if any gate is
+  /// non-unitary.
+  Circuit inverse() const;
+
+  /// Gate/depth statistics.
+  CircuitStats stats() const;
+
+  /// True if any gate measures or resets.
+  bool has_nonunitary() const;
+
+  /// Multi-line listing, one gate per line.
+  std::string to_string() const;
+
+ private:
+  qubit_t n_qubits_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace memq::circuit

@@ -1,0 +1,259 @@
+#include "circuit/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace memq::circuit {
+
+namespace {
+
+constexpr amp_t kI1{0.0, 1.0};
+
+Mat2 rotation_x(double th) {
+  const double c = std::cos(th / 2), s = std::sin(th / 2);
+  return {amp_t{c, 0}, amp_t{0, -s}, amp_t{0, -s}, amp_t{c, 0}};
+}
+
+Mat2 rotation_y(double th) {
+  const double c = std::cos(th / 2), s = std::sin(th / 2);
+  return {amp_t{c, 0}, amp_t{-s, 0}, amp_t{s, 0}, amp_t{c, 0}};
+}
+
+Mat2 rotation_z(double th) {
+  return {std::exp(-kI1 * (th / 2)), amp_t{0, 0}, amp_t{0, 0},
+          std::exp(kI1 * (th / 2))};
+}
+
+Mat2 u3_matrix(double th, double ph, double lam) {
+  const double c = std::cos(th / 2), s = std::sin(th / 2);
+  return {amp_t{c, 0}, -std::exp(kI1 * lam) * s, std::exp(kI1 * ph) * s,
+          std::exp(kI1 * (ph + lam)) * c};
+}
+
+}  // namespace
+
+Gate Gate::unitary1q(qubit_t q, const Mat2& m) {
+  MEMQ_CHECK(mat2_is_unitary(m, 1e-9), "unitary1q matrix is not unitary");
+  Gate g{GateKind::kUnitary1q, {q}, {}, {}};
+  g.params.reserve(8);
+  for (const amp_t& e : m) {
+    g.params.push_back(e.real());
+    g.params.push_back(e.imag());
+  }
+  return g;
+}
+
+Mat2 Gate::matrix1q() const {
+  static constexpr double kInvSqrt2 = 0.70710678118654752440;
+  switch (kind) {
+    case GateKind::kI:
+      return {amp_t{1, 0}, amp_t{}, amp_t{}, amp_t{1, 0}};
+    case GateKind::kX:
+      return {amp_t{}, amp_t{1, 0}, amp_t{1, 0}, amp_t{}};
+    case GateKind::kY:
+      return {amp_t{}, amp_t{0, -1}, amp_t{0, 1}, amp_t{}};
+    case GateKind::kZ:
+      return {amp_t{1, 0}, amp_t{}, amp_t{}, amp_t{-1, 0}};
+    case GateKind::kH:
+      return {amp_t{kInvSqrt2, 0}, amp_t{kInvSqrt2, 0}, amp_t{kInvSqrt2, 0},
+              amp_t{-kInvSqrt2, 0}};
+    case GateKind::kS:
+      return {amp_t{1, 0}, amp_t{}, amp_t{}, amp_t{0, 1}};
+    case GateKind::kSdg:
+      return {amp_t{1, 0}, amp_t{}, amp_t{}, amp_t{0, -1}};
+    case GateKind::kT:
+      return {amp_t{1, 0}, amp_t{}, amp_t{}, std::exp(kI1 * (kPi / 4))};
+    case GateKind::kTdg:
+      return {amp_t{1, 0}, amp_t{}, amp_t{}, std::exp(-kI1 * (kPi / 4))};
+    case GateKind::kSX:
+      return {amp_t{0.5, 0.5}, amp_t{0.5, -0.5}, amp_t{0.5, -0.5},
+              amp_t{0.5, 0.5}};
+    case GateKind::kRX:
+      return rotation_x(params.at(0));
+    case GateKind::kRY:
+      return rotation_y(params.at(0));
+    case GateKind::kRZ:
+      return rotation_z(params.at(0));
+    case GateKind::kPhase:
+      return {amp_t{1, 0}, amp_t{}, amp_t{}, std::exp(kI1 * params.at(0))};
+    case GateKind::kU3:
+      return u3_matrix(params.at(0), params.at(1), params.at(2));
+    case GateKind::kUnitary1q: {
+      MEMQ_CHECK(params.size() == 8, "unitary1q needs 8 params");
+      return {amp_t{params[0], params[1]}, amp_t{params[2], params[3]},
+              amp_t{params[4], params[5]}, amp_t{params[6], params[7]}};
+    }
+    default:
+      MEMQ_THROW(InvalidArgument,
+                 "gate '" << base_name() << "' has no 1-qubit matrix");
+  }
+}
+
+Mat4 Gate::matrix2q() const {
+  if (kind == GateKind::kSwap) {
+    Mat4 m{};
+    m[0 * 4 + 0] = 1;
+    m[1 * 4 + 2] = 1;
+    m[2 * 4 + 1] = 1;
+    m[3 * 4 + 3] = 1;
+    return m;
+  }
+  MEMQ_THROW(InvalidArgument,
+             "gate '" << base_name() << "' has no 2-qubit matrix");
+}
+
+bool Gate::is_diagonal() const noexcept {
+  switch (kind) {
+    case GateKind::kI:
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+    case GateKind::kBarrier:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<qubit_t> Gate::qubits() const {
+  std::vector<qubit_t> qs = targets;
+  qs.insert(qs.end(), controls.begin(), controls.end());
+  return qs;
+}
+
+qubit_t Gate::max_qubit() const {
+  qubit_t m = 0;
+  for (const qubit_t q : targets) m = std::max(m, q);
+  for (const qubit_t q : controls) m = std::max(m, q);
+  return m;
+}
+
+Gate Gate::inverse() const {
+  MEMQ_CHECK(!is_nonunitary(), "measure/reset have no inverse");
+  Gate g = *this;
+  switch (kind) {
+    case GateKind::kI:
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kSwap:
+    case GateKind::kBarrier:
+      return g;  // self-inverse
+    case GateKind::kS:
+      g.kind = GateKind::kSdg;
+      return g;
+    case GateKind::kSdg:
+      g.kind = GateKind::kS;
+      return g;
+    case GateKind::kT:
+      g.kind = GateKind::kTdg;
+      return g;
+    case GateKind::kTdg:
+      g.kind = GateKind::kT;
+      return g;
+    case GateKind::kSX: {
+      // SX^-1 = SX^dagger, expressed as an explicit unitary.
+      return unitary1q(targets.at(0), mat2_dagger(matrix1q()))
+          .with_controls(controls);
+    }
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kPhase:
+      g.params[0] = -g.params[0];
+      return g;
+    case GateKind::kU3:
+      // U3(th, ph, lam)^-1 = U3(-th, -lam, -ph).
+      g.params = {-params[0], -params[2], -params[1]};
+      return g;
+    case GateKind::kUnitary1q:
+      return unitary1q(targets.at(0), mat2_dagger(matrix1q()))
+          .with_controls(controls);
+    default:
+      MEMQ_THROW(InvalidArgument, "cannot invert gate " << base_name());
+  }
+}
+
+std::string Gate::base_name() const {
+  switch (kind) {
+    case GateKind::kI: return "id";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kSX: return "sx";
+    case GateKind::kRX: return "rx";
+    case GateKind::kRY: return "ry";
+    case GateKind::kRZ: return "rz";
+    case GateKind::kPhase: return "p";
+    case GateKind::kU3: return "u3";
+    case GateKind::kUnitary1q: return "unitary";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kMeasure: return "measure";
+    case GateKind::kReset: return "reset";
+    case GateKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < controls.size(); ++i) os << 'c';
+  os << base_name();
+  if (!params.empty() && kind != GateKind::kUnitary1q) {
+    os << '(';
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i) os << ", ";
+      os << params[i];
+    }
+    os << ')';
+  }
+  os << ' ';
+  bool first = true;
+  for (const qubit_t c : controls) {
+    if (!first) os << ", ";
+    os << 'q' << c;
+    first = false;
+  }
+  for (const qubit_t t : targets) {
+    if (!first) os << ", ";
+    os << 'q' << t;
+    first = false;
+  }
+  return os.str();
+}
+
+Mat2 mat2_mul(const Mat2& a, const Mat2& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Mat2 mat2_dagger(const Mat2& m) {
+  return {std::conj(m[0]), std::conj(m[2]), std::conj(m[1]), std::conj(m[3])};
+}
+
+bool mat2_approx_equal(const Mat2& a, const Mat2& b, double tol) {
+  for (std::size_t i = 0; i < 4; ++i)
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  return true;
+}
+
+bool mat2_is_unitary(const Mat2& m, double tol) {
+  const Mat2 prod = mat2_mul(m, mat2_dagger(m));
+  const Mat2 id{amp_t{1, 0}, {}, {}, amp_t{1, 0}};
+  return mat2_approx_equal(prod, id, tol);
+}
+
+}  // namespace memq::circuit

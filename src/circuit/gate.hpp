@@ -1,0 +1,153 @@
+// Gate representation: kind + targets + controls + parameters.
+//
+// Controls are first-class and unbounded (CX is X with one control, CCX is X
+// with two, ...). Both simulators apply controlled gates natively by masking
+// the enumeration, so no ancilla decompositions are needed for correctness;
+// transpile.hpp offers lowering passes for backends with restricted bases.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace memq::circuit {
+
+/// Row-major 2x2 complex matrix.
+using Mat2 = std::array<amp_t, 4>;
+/// Row-major 4x4 complex matrix (basis order |t2 t1> = 00,01,10,11 with t1
+/// the first target = least significant).
+using Mat4 = std::array<amp_t, 16>;
+
+enum class GateKind : std::uint8_t {
+  kI = 0,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSX,        ///< sqrt(X)
+  kRX,        ///< params: theta
+  kRY,        ///< params: theta
+  kRZ,        ///< params: theta
+  kPhase,     ///< diag(1, e^{i lambda}); params: lambda
+  kU3,        ///< params: theta, phi, lambda (OpenQASM U)
+  kUnitary1q, ///< params: 8 doubles = row-major 2x2 (re, im interleaved)
+  kSwap,      ///< two targets
+  kMeasure,   ///< computational-basis measurement, collapses
+  kReset,     ///< measure + conditional X to |0>
+  kBarrier,   ///< scheduling fence, no-op for the state
+};
+
+struct Gate {
+  GateKind kind = GateKind::kI;
+  std::vector<qubit_t> targets;
+  std::vector<qubit_t> controls;
+  std::vector<double> params;
+
+  // -- factories ------------------------------------------------------------
+  static Gate i(qubit_t q) { return {GateKind::kI, {q}, {}, {}}; }
+  static Gate x(qubit_t q) { return {GateKind::kX, {q}, {}, {}}; }
+  static Gate y(qubit_t q) { return {GateKind::kY, {q}, {}, {}}; }
+  static Gate z(qubit_t q) { return {GateKind::kZ, {q}, {}, {}}; }
+  static Gate h(qubit_t q) { return {GateKind::kH, {q}, {}, {}}; }
+  static Gate s(qubit_t q) { return {GateKind::kS, {q}, {}, {}}; }
+  static Gate sdg(qubit_t q) { return {GateKind::kSdg, {q}, {}, {}}; }
+  static Gate t(qubit_t q) { return {GateKind::kT, {q}, {}, {}}; }
+  static Gate tdg(qubit_t q) { return {GateKind::kTdg, {q}, {}, {}}; }
+  static Gate sx(qubit_t q) { return {GateKind::kSX, {q}, {}, {}}; }
+  static Gate rx(qubit_t q, double th) { return {GateKind::kRX, {q}, {}, {th}}; }
+  static Gate ry(qubit_t q, double th) { return {GateKind::kRY, {q}, {}, {th}}; }
+  static Gate rz(qubit_t q, double th) { return {GateKind::kRZ, {q}, {}, {th}}; }
+  static Gate phase(qubit_t q, double lam) {
+    return {GateKind::kPhase, {q}, {}, {lam}};
+  }
+  static Gate u3(qubit_t q, double th, double ph, double lam) {
+    return {GateKind::kU3, {q}, {}, {th, ph, lam}};
+  }
+  static Gate unitary1q(qubit_t q, const Mat2& m);
+  static Gate swap(qubit_t a, qubit_t b) {
+    return {GateKind::kSwap, {a, b}, {}, {}};
+  }
+  static Gate cx(qubit_t c, qubit_t t) { return {GateKind::kX, {t}, {c}, {}}; }
+  static Gate cy(qubit_t c, qubit_t t) { return {GateKind::kY, {t}, {c}, {}}; }
+  static Gate cz(qubit_t c, qubit_t t) { return {GateKind::kZ, {t}, {c}, {}}; }
+  static Gate ch(qubit_t c, qubit_t t) { return {GateKind::kH, {t}, {c}, {}}; }
+  static Gate cp(qubit_t c, qubit_t t, double lam) {
+    return {GateKind::kPhase, {t}, {c}, {lam}};
+  }
+  static Gate crz(qubit_t c, qubit_t t, double th) {
+    return {GateKind::kRZ, {t}, {c}, {th}};
+  }
+  static Gate ccx(qubit_t c1, qubit_t c2, qubit_t t) {
+    return {GateKind::kX, {t}, {c1, c2}, {}};
+  }
+  static Gate cswap(qubit_t c, qubit_t a, qubit_t b) {
+    return {GateKind::kSwap, {a, b}, {c}, {}};
+  }
+  static Gate mcx(std::vector<qubit_t> ctrls, qubit_t t) {
+    return {GateKind::kX, {t}, std::move(ctrls), {}};
+  }
+  static Gate mcz(std::vector<qubit_t> ctrls, qubit_t t) {
+    return {GateKind::kZ, {t}, std::move(ctrls), {}};
+  }
+  static Gate measure(qubit_t q) { return {GateKind::kMeasure, {q}, {}, {}}; }
+  static Gate reset(qubit_t q) { return {GateKind::kReset, {q}, {}, {}}; }
+  static Gate barrier(std::vector<qubit_t> qs) {
+    return {GateKind::kBarrier, std::move(qs), {}, {}};
+  }
+
+  // -- queries --------------------------------------------------------------
+
+  /// 2x2 unitary of a single-target gate kind. Throws for swap/measure/...
+  Mat2 matrix1q() const;
+
+  /// 4x4 unitary of the (uncontrolled) two-target action; valid for kSwap.
+  Mat4 matrix2q() const;
+
+  /// Diagonal gates commute with chunk addressing and need no pair loads.
+  bool is_diagonal() const noexcept;
+
+  /// True for measure/reset (state update is not a fixed unitary).
+  bool is_nonunitary() const noexcept {
+    return kind == GateKind::kMeasure || kind == GateKind::kReset;
+  }
+
+  bool is_barrier() const noexcept { return kind == GateKind::kBarrier; }
+
+  /// All qubits the gate touches (targets then controls).
+  std::vector<qubit_t> qubits() const;
+
+  /// Highest qubit index touched.
+  qubit_t max_qubit() const;
+
+  /// Inverse gate (dagger). Throws for measure/reset.
+  Gate inverse() const;
+
+  /// Copy of this gate with the given control set.
+  Gate with_controls(std::vector<qubit_t> ctrls) const {
+    Gate g = *this;
+    g.controls = std::move(ctrls);
+    return g;
+  }
+
+  /// "cx q1, q0"-style rendering.
+  std::string to_string() const;
+
+  /// Lower-case mnemonic without controls ("x", "rz", ...).
+  std::string base_name() const;
+
+  bool operator==(const Gate& other) const = default;
+};
+
+/// Helpers for building matrices (shared with the fusion pass and tests).
+Mat2 mat2_mul(const Mat2& a, const Mat2& b);
+Mat2 mat2_dagger(const Mat2& m);
+bool mat2_approx_equal(const Mat2& a, const Mat2& b, double tol);
+bool mat2_is_unitary(const Mat2& m, double tol);
+
+}  // namespace memq::circuit

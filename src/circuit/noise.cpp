@@ -1,0 +1,38 @@
+#include "circuit/noise.hpp"
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace memq::circuit {
+
+Circuit sample_noisy_trajectory(const Circuit& circuit,
+                                const NoiseModel& model, std::uint64_t seed) {
+  for (const double p : {model.depolarizing_1q, model.depolarizing_2q,
+                         model.bit_flip, model.phase_flip})
+    MEMQ_CHECK(p >= 0.0 && p <= 1.0, "noise probability out of [0,1]: " << p);
+
+  Prng rng(seed);
+  Circuit noisy(circuit.n_qubits());
+  for (const Gate& g : circuit.gates()) {
+    noisy.append(g);
+    if (g.is_barrier() || g.is_nonunitary()) continue;
+    const auto qs = g.qubits();
+    const double p_depol =
+        qs.size() == 1 ? model.depolarizing_1q : model.depolarizing_2q;
+    for (const qubit_t q : qs) {
+      if (p_depol > 0.0 && rng.uniform() < p_depol) {
+        switch (rng.uniform_index(3)) {
+          case 0: noisy.x(q); break;
+          case 1: noisy.y(q); break;
+          default: noisy.z(q); break;
+        }
+      }
+      if (model.bit_flip > 0.0 && rng.uniform() < model.bit_flip) noisy.x(q);
+      if (model.phase_flip > 0.0 && rng.uniform() < model.phase_flip)
+        noisy.z(q);
+    }
+  }
+  return noisy;
+}
+
+}  // namespace memq::circuit

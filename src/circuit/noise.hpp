@@ -1,0 +1,41 @@
+// Stochastic Pauli noise via the quantum-trajectory method.
+//
+// The engines are pure state-vector backends, so mixed-state channels are
+// simulated by sampling unitary trajectories: after every gate, each touched
+// qubit suffers a random Pauli error with the configured probabilities.
+// Averaging observables over trajectories converges to the channel's action
+// (exact for Pauli channels). This is how NISQ-era noise studies run on
+// state-vector simulators, and MEMQSim's many-cheap-runs profile is exactly
+// the trajectory workload.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+
+namespace memq::circuit {
+
+struct NoiseModel {
+  /// Depolarizing probability per touched qubit after each 1-qubit gate:
+  /// with probability p a uniformly random Pauli (X, Y or Z) is applied.
+  double depolarizing_1q = 0.0;
+  /// Same, after each multi-qubit (controlled / swap) gate.
+  double depolarizing_2q = 0.0;
+  /// Independent bit-flip (X) probability per touched qubit per gate.
+  double bit_flip = 0.0;
+  /// Independent phase-flip (Z) probability per touched qubit per gate.
+  double phase_flip = 0.0;
+
+  bool enabled() const noexcept {
+    return depolarizing_1q > 0 || depolarizing_2q > 0 || bit_flip > 0 ||
+           phase_flip > 0;
+  }
+};
+
+/// Samples one noisy trajectory: a copy of `circuit` with Pauli errors
+/// inserted after gates according to `model`. Deterministic in `seed`;
+/// measure/reset/barrier gates pass through without attached noise.
+Circuit sample_noisy_trajectory(const Circuit& circuit,
+                                const NoiseModel& model, std::uint64_t seed);
+
+}  // namespace memq::circuit

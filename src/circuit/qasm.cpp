@@ -1,0 +1,946 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <memory>
+#include <sstream>
+
+#include "circuit/transpile.hpp"
+#include "common/error.hpp"
+
+namespace memq::circuit {
+namespace {
+
+// --------------------------------------------------------------------------
+// Lexer
+// --------------------------------------------------------------------------
+
+enum class Tok : std::uint8_t { kId, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  double number = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, current_.line, current_.col);
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_.line = line_;
+    current_.col = col_;
+    if (pos_ >= src_.size()) {
+      current_.kind = Tok::kEnd;
+      current_.text.clear();
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        bump();
+      current_.kind = Tok::kId;
+      current_.text = src_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+               (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E'))))
+        bump();
+      current_.kind = Tok::kNumber;
+      current_.text = src_.substr(start, pos_ - start);
+      try {
+        current_.number = std::stod(current_.text);
+      } catch (const std::exception&) {
+        throw ParseError("malformed number '" + current_.text + "'", line_,
+                         col_);
+      }
+      return;
+    }
+    if (c == '"') {
+      bump();
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"') bump();
+      if (pos_ >= src_.size())
+        throw ParseError("unterminated string", line_, col_);
+      current_.kind = Tok::kString;
+      current_.text = src_.substr(start, pos_ - start);
+      bump();  // closing quote
+      return;
+    }
+    // Multi-char symbols: -> and ==
+    if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
+      current_.kind = Tok::kSymbol;
+      current_.text = "->";
+      bump();
+      bump();
+      return;
+    }
+    if (c == '=' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '=') {
+      current_.kind = Tok::kSymbol;
+      current_.text = "==";
+      bump();
+      bump();
+      return;
+    }
+    static const std::string kSingles = ";,(){}[]+-*/^";
+    if (kSingles.find(c) != std::string::npos) {
+      current_.kind = Tok::kSymbol;
+      current_.text = std::string(1, c);
+      bump();
+      return;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line_,
+                     col_);
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])))
+        bump();
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') bump();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void bump() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  Token current_;
+};
+
+// --------------------------------------------------------------------------
+// Gate-definition AST (bodies are stored unexpanded and instantiated on use)
+// --------------------------------------------------------------------------
+
+struct ExprNode;
+using ExprPtr = std::shared_ptr<ExprNode>;
+
+struct ExprNode {
+  enum class Op {
+    kConst, kParam, kAdd, kSub, kMul, kDiv, kPow, kNeg,
+    kSin, kCos, kTan, kExp, kLn, kSqrt
+  };
+  Op op;
+  double value = 0.0;       // kConst
+  std::size_t param = 0;    // kParam: index into the formal parameter list
+  ExprPtr a, b;
+
+  double eval(const std::vector<double>& params) const {
+    switch (op) {
+      case Op::kConst: return value;
+      case Op::kParam: return params.at(param);
+      case Op::kAdd: return a->eval(params) + b->eval(params);
+      case Op::kSub: return a->eval(params) - b->eval(params);
+      case Op::kMul: return a->eval(params) * b->eval(params);
+      case Op::kDiv: return a->eval(params) / b->eval(params);
+      case Op::kPow: return std::pow(a->eval(params), b->eval(params));
+      case Op::kNeg: return -a->eval(params);
+      case Op::kSin: return std::sin(a->eval(params));
+      case Op::kCos: return std::cos(a->eval(params));
+      case Op::kTan: return std::tan(a->eval(params));
+      case Op::kExp: return std::exp(a->eval(params));
+      case Op::kLn: return std::log(a->eval(params));
+      case Op::kSqrt: return std::sqrt(a->eval(params));
+    }
+    return 0.0;
+  }
+};
+
+/// One operation inside a gate body: a call on formal arguments.
+struct BodyOp {
+  std::string name;
+  std::vector<ExprPtr> params;         // in terms of the formal parameters
+  std::vector<std::size_t> args;       // indices into the formal arg list
+  bool is_barrier = false;
+};
+
+struct GateDef {
+  std::vector<std::string> param_names;
+  std::vector<std::string> arg_names;
+  std::vector<BodyOp> body;
+};
+
+// The standard library, parsed through the same `gate` machinery the user's
+// definitions use. Text follows the canonical qelib1.inc.
+constexpr const char* kQelib1 = R"(
+gate u3(theta,phi,lambda) q { U(theta,phi,lambda) q; }
+gate u2(phi,lambda) q { U(pi/2,phi,lambda) q; }
+gate u1(lambda) q { U(0,0,lambda) q; }
+gate cx c,t { CX c,t; }
+gate id a { U(0,0,0) a; }
+gate u0(gamma) q { U(0,0,0) q; }
+gate x a { u3(pi,0,pi) a; }
+gate y a { u3(pi,pi/2,pi/2) a; }
+gate z a { u1(pi) a; }
+gate h a { u2(0,pi) a; }
+gate s a { u1(pi/2) a; }
+gate sdg a { u1(-pi/2) a; }
+gate t a { u1(pi/4) a; }
+gate tdg a { u1(-pi/4) a; }
+gate rx(theta) a { u3(theta,-pi/2,pi/2) a; }
+gate ry(theta) a { u3(theta,0,0) a; }
+gate rz(phi) a { u1(phi) a; }
+gate cz a,b { h b; cx a,b; h b; }
+gate cy a,b { sdg b; cx a,b; s b; }
+gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b; t b; h b; s b; x b; s a; }
+gate ccx a,b,c { h c; cx b,c; tdg c; cx a,c; t c; cx b,c; tdg c; cx a,c; t b; t c; h c; cx a,b; t a; tdg b; cx a,b; }
+gate crz(lambda) a,b { u1(lambda/2) b; cx a,b; u1(-lambda/2) b; cx a,b; }
+gate cu1(lambda) a,b { u1(lambda/2) a; cx a,b; u1(-lambda/2) b; cx a,b; u1(lambda/2) b; }
+gate cu3(theta,phi,lambda) c,t { u1((lambda+phi)/2) c; u1((lambda-phi)/2) t; cx c,t; u3(-theta/2,0,-(phi+lambda)/2) t; cx c,t; u3(theta/2,phi,0) t; }
+gate swap a,b { cx a,b; cx b,a; cx a,b; }
+gate cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+gate crx(theta) a,b { u1(pi/2) b; cx a,b; u3(-theta/2,0,0) b; cx a,b; u3(theta/2,-pi/2,0) b; }
+gate cry(theta) a,b { ry(theta/2) b; cx a,b; ry(-theta/2) b; cx a,b; }
+gate sx a { sdg a; h a; sdg a; }
+gate rzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }
+)";
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+class Parser {
+ public:
+  QasmProgram parse(const std::string& source) {
+    parse_source(kQelib1, /*is_stdlib=*/true);
+    parse_source(source, /*is_stdlib=*/false);
+    ensure_circuit();  // programs with declarations but no gates are valid
+    QasmProgram out{std::move(*circuit_), std::move(qregs_), std::move(cregs_),
+                    std::move(measurements_)};
+    return out;
+  }
+
+ private:
+  void parse_source(const std::string& text, bool is_stdlib) {
+    Lexer lex(text);
+    if (!is_stdlib) {
+      expect_id(lex, "OPENQASM");
+      const Token ver = lex.take();
+      if (ver.kind != Tok::kNumber)
+        throw ParseError("expected version number after OPENQASM", ver.line,
+                         ver.col);
+      expect_symbol(lex, ";");
+    }
+    while (lex.peek().kind != Tok::kEnd) statement(lex);
+  }
+
+  void statement(Lexer& lex) {
+    const Token& t = lex.peek();
+    if (t.kind == Tok::kId) {
+      if (t.text == "include") return include_stmt(lex);
+      if (t.text == "qreg") return reg_stmt(lex, /*quantum=*/true);
+      if (t.text == "creg") return reg_stmt(lex, /*quantum=*/false);
+      if (t.text == "gate") return gate_def(lex);
+      if (t.text == "opaque") return opaque_stmt(lex);
+      if (t.text == "measure") return measure_stmt(lex);
+      if (t.text == "reset") return reset_stmt(lex);
+      if (t.text == "barrier") return barrier_stmt(lex);
+      if (t.text == "if")
+        throw ParseError(
+            "classical conditionals are not supported by the state-vector "
+            "backends",
+            t.line, t.col);
+      return application_stmt(lex);
+    }
+    throw ParseError("unexpected token '" + t.text + "'", t.line, t.col);
+  }
+
+  void include_stmt(Lexer& lex) {
+    lex.take();  // include
+    const Token file = lex.take();
+    if (file.kind != Tok::kString)
+      throw ParseError("expected filename string after include", file.line,
+                       file.col);
+    expect_symbol(lex, ";");
+    if (file.text == "qelib1.inc") return;  // already built in
+    std::ifstream in(file.text);
+    if (!in)
+      throw ParseError("cannot open include file '" + file.text + "'",
+                       file.line, file.col);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    parse_source(text, /*is_stdlib=*/true);
+  }
+
+  void reg_stmt(Lexer& lex, bool quantum) {
+    lex.take();  // qreg/creg
+    const Token name = expect_kind(lex, Tok::kId, "register name");
+    expect_symbol(lex, "[");
+    const Token size = expect_kind(lex, Tok::kNumber, "register size");
+    expect_symbol(lex, "]");
+    expect_symbol(lex, ";");
+    const auto n = static_cast<qubit_t>(size.number);
+    if (n == 0 || static_cast<double>(n) != size.number)
+      throw ParseError("register size must be a positive integer", size.line,
+                       size.col);
+    auto& regs = quantum ? qregs_ : cregs_;
+    if (regs.count(name.text) || (quantum ? cregs_ : qregs_).count(name.text))
+      throw ParseError("register '" + name.text + "' redeclared", name.line,
+                       name.col);
+    auto& next = quantum ? next_qubit_ : next_clbit_;
+    regs[name.text] = {next, n};
+    next += n;
+  }
+
+  void opaque_stmt(Lexer& lex) {
+    while (lex.peek().kind != Tok::kEnd &&
+           !(lex.peek().kind == Tok::kSymbol && lex.peek().text == ";"))
+      lex.take();
+    expect_symbol(lex, ";");
+  }
+
+  void gate_def(Lexer& lex) {
+    lex.take();  // gate
+    const Token name = expect_kind(lex, Tok::kId, "gate name");
+    GateDef def;
+    if (lex.peek().kind == Tok::kSymbol && lex.peek().text == "(") {
+      lex.take();
+      if (!(lex.peek().kind == Tok::kSymbol && lex.peek().text == ")")) {
+        for (;;) {
+          def.param_names.push_back(
+              expect_kind(lex, Tok::kId, "parameter name").text);
+          if (lex.peek().kind == Tok::kSymbol && lex.peek().text == ",") {
+            lex.take();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_symbol(lex, ")");
+    }
+    for (;;) {
+      def.arg_names.push_back(expect_kind(lex, Tok::kId, "argument name").text);
+      if (lex.peek().kind == Tok::kSymbol && lex.peek().text == ",") {
+        lex.take();
+        continue;
+      }
+      break;
+    }
+    expect_symbol(lex, "{");
+    while (!(lex.peek().kind == Tok::kSymbol && lex.peek().text == "}")) {
+      def.body.push_back(body_op(lex, def));
+    }
+    lex.take();  // }
+    // First definition wins; qelib1 re-included or user shadowing keeps the
+    // earliest (native-equivalent) meaning, matching common tooling.
+    gate_defs_.emplace(name.text, std::move(def));
+  }
+
+  BodyOp body_op(Lexer& lex, const GateDef& def) {
+    const Token name = expect_kind(lex, Tok::kId, "gate-body operation");
+    BodyOp op;
+    op.name = name.text;
+    if (op.name == "barrier") {
+      op.is_barrier = true;
+      // Consume argument list without recording (no-op for the state).
+      while (!(lex.peek().kind == Tok::kSymbol && lex.peek().text == ";"))
+        lex.take();
+      expect_symbol(lex, ";");
+      return op;
+    }
+    if (lex.peek().kind == Tok::kSymbol && lex.peek().text == "(") {
+      lex.take();
+      if (!(lex.peek().kind == Tok::kSymbol && lex.peek().text == ")")) {
+        for (;;) {
+          op.params.push_back(parse_expr(lex, &def.param_names));
+          if (lex.peek().kind == Tok::kSymbol && lex.peek().text == ",") {
+            lex.take();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_symbol(lex, ")");
+    }
+    for (;;) {
+      const Token arg = expect_kind(lex, Tok::kId, "gate-body argument");
+      const auto it = std::find(def.arg_names.begin(), def.arg_names.end(),
+                                arg.text);
+      if (it == def.arg_names.end())
+        throw ParseError("unknown argument '" + arg.text + "' in gate body",
+                         arg.line, arg.col);
+      op.args.push_back(
+          static_cast<std::size_t>(it - def.arg_names.begin()));
+      if (lex.peek().kind == Tok::kSymbol && lex.peek().text == ",") {
+        lex.take();
+        continue;
+      }
+      break;
+    }
+    expect_symbol(lex, ";");
+    return op;
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  ExprPtr parse_expr(Lexer& lex, const std::vector<std::string>* params) {
+    ExprPtr lhs = parse_term(lex, params);
+    while (lex.peek().kind == Tok::kSymbol &&
+           (lex.peek().text == "+" || lex.peek().text == "-")) {
+      const bool add = lex.take().text == "+";
+      ExprPtr rhs = parse_term(lex, params);
+      auto node = std::make_shared<ExprNode>();
+      node->op = add ? ExprNode::Op::kAdd : ExprNode::Op::kSub;
+      node->a = lhs;
+      node->b = rhs;
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term(Lexer& lex, const std::vector<std::string>* params) {
+    ExprPtr lhs = parse_unary(lex, params);
+    while (lex.peek().kind == Tok::kSymbol &&
+           (lex.peek().text == "*" || lex.peek().text == "/")) {
+      const bool mul = lex.take().text == "*";
+      ExprPtr rhs = parse_unary(lex, params);
+      auto node = std::make_shared<ExprNode>();
+      node->op = mul ? ExprNode::Op::kMul : ExprNode::Op::kDiv;
+      node->a = lhs;
+      node->b = rhs;
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  // Unary minus binds looser than '^' (-x^2 == -(x^2)), as in common math.
+  ExprPtr parse_unary(Lexer& lex, const std::vector<std::string>* params) {
+    if (lex.peek().kind == Tok::kSymbol && lex.peek().text == "-") {
+      lex.take();
+      auto node = std::make_shared<ExprNode>();
+      node->op = ExprNode::Op::kNeg;
+      node->a = parse_unary(lex, params);
+      return node;
+    }
+    return parse_pow(lex, params);
+  }
+
+  ExprPtr parse_pow(Lexer& lex, const std::vector<std::string>* params) {
+    ExprPtr base = parse_factor(lex, params);
+    if (lex.peek().kind == Tok::kSymbol && lex.peek().text == "^") {
+      lex.take();
+      ExprPtr exp = parse_unary(lex, params);  // right associative
+      auto node = std::make_shared<ExprNode>();
+      node->op = ExprNode::Op::kPow;
+      node->a = base;
+      node->b = exp;
+      return node;
+    }
+    return base;
+  }
+
+  ExprPtr parse_factor(Lexer& lex, const std::vector<std::string>* params) {
+    const Token t = lex.take();
+    auto node = std::make_shared<ExprNode>();
+    if (t.kind == Tok::kNumber) {
+      node->op = ExprNode::Op::kConst;
+      node->value = t.number;
+      return node;
+    }
+    if (t.kind == Tok::kSymbol && t.text == "-") {
+      node->op = ExprNode::Op::kNeg;
+      node->a = parse_unary(lex, params);
+      return node;
+    }
+    if (t.kind == Tok::kSymbol && t.text == "(") {
+      ExprPtr inner = parse_expr(lex, params);
+      expect_symbol(lex, ")");
+      return inner;
+    }
+    if (t.kind == Tok::kId) {
+      if (t.text == "pi") {
+        node->op = ExprNode::Op::kConst;
+        node->value = kPi;
+        return node;
+      }
+      static const std::map<std::string, ExprNode::Op> kFuncs = {
+          {"sin", ExprNode::Op::kSin}, {"cos", ExprNode::Op::kCos},
+          {"tan", ExprNode::Op::kTan}, {"exp", ExprNode::Op::kExp},
+          {"ln", ExprNode::Op::kLn},   {"sqrt", ExprNode::Op::kSqrt}};
+      const auto fit = kFuncs.find(t.text);
+      if (fit != kFuncs.end()) {
+        expect_symbol(lex, "(");
+        node->op = fit->second;
+        node->a = parse_expr(lex, params);
+        expect_symbol(lex, ")");
+        return node;
+      }
+      if (params != nullptr) {
+        const auto it = std::find(params->begin(), params->end(), t.text);
+        if (it != params->end()) {
+          node->op = ExprNode::Op::kParam;
+          node->param = static_cast<std::size_t>(it - params->begin());
+          return node;
+        }
+      }
+      throw ParseError("unknown identifier '" + t.text + "' in expression",
+                       t.line, t.col);
+    }
+    throw ParseError("unexpected token '" + t.text + "' in expression", t.line,
+                     t.col);
+  }
+
+  // -- statements touching the circuit ---------------------------------------
+
+  /// A qubit operand: either one flat index or a whole register.
+  struct Operand {
+    qubit_t offset;
+    qubit_t size;   // 1 for q[i]; register size for whole-register operands
+    bool broadcast; // true for whole-register
+  };
+
+  Operand qubit_operand(Lexer& lex) {
+    const Token name = expect_kind(lex, Tok::kId, "qubit operand");
+    const auto it = qregs_.find(name.text);
+    if (it == qregs_.end())
+      throw ParseError("unknown quantum register '" + name.text + "'",
+                       name.line, name.col);
+    if (lex.peek().kind == Tok::kSymbol && lex.peek().text == "[") {
+      lex.take();
+      const Token idx = expect_kind(lex, Tok::kNumber, "qubit index");
+      expect_symbol(lex, "]");
+      const auto i = static_cast<qubit_t>(idx.number);
+      if (static_cast<double>(i) != idx.number || i >= it->second.size)
+        throw ParseError("index out of range for register '" + name.text + "'",
+                         idx.line, idx.col);
+      return {static_cast<qubit_t>(it->second.offset + i), 1, false};
+    }
+    return {it->second.offset, it->second.size, true};
+  }
+
+  Operand clbit_operand(Lexer& lex) {
+    const Token name = expect_kind(lex, Tok::kId, "classical operand");
+    const auto it = cregs_.find(name.text);
+    if (it == cregs_.end())
+      throw ParseError("unknown classical register '" + name.text + "'",
+                       name.line, name.col);
+    if (lex.peek().kind == Tok::kSymbol && lex.peek().text == "[") {
+      lex.take();
+      const Token idx = expect_kind(lex, Tok::kNumber, "clbit index");
+      expect_symbol(lex, "]");
+      const auto i = static_cast<qubit_t>(idx.number);
+      if (static_cast<double>(i) != idx.number || i >= it->second.size)
+        throw ParseError("index out of range for register '" + name.text + "'",
+                         idx.line, idx.col);
+      return {static_cast<qubit_t>(it->second.offset + i), 1, false};
+    }
+    return {it->second.offset, it->second.size, true};
+  }
+
+  void ensure_circuit() {
+    if (!circuit_) {
+      if (next_qubit_ == 0)
+        throw ParseError("no quantum registers declared before first gate", 0,
+                         0);
+      circuit_.emplace(next_qubit_);
+    }
+  }
+
+  /// Expands broadcasts and forwards each single-qubit assignment.
+  void apply_broadcast(
+      const std::vector<Operand>& ops, const Token& at,
+      const std::function<void(const std::vector<qubit_t>&)>& emit) {
+    qubit_t span = 1;
+    for (const Operand& op : ops) {
+      if (!op.broadcast) continue;
+      if (span == 1)
+        span = op.size;
+      else if (span != op.size)
+        throw ParseError("mismatched register sizes in broadcast", at.line,
+                         at.col);
+    }
+    for (qubit_t rep = 0; rep < span; ++rep) {
+      std::vector<qubit_t> qs;
+      qs.reserve(ops.size());
+      for (const Operand& op : ops)
+        qs.push_back(op.broadcast ? op.offset + rep : op.offset);
+      emit(qs);
+    }
+  }
+
+  void measure_stmt(Lexer& lex) {
+    const Token at = lex.take();  // measure
+    const Operand src = qubit_operand(lex);
+    expect_symbol(lex, "->");
+    const Operand dst = clbit_operand(lex);
+    expect_symbol(lex, ";");
+    ensure_circuit();
+    if (src.broadcast != dst.broadcast ||
+        (src.broadcast && src.size != dst.size))
+      throw ParseError("measure operand shapes differ", at.line, at.col);
+    const qubit_t span = src.broadcast ? src.size : 1;
+    for (qubit_t i = 0; i < span; ++i) {
+      circuit_->append(Gate::measure(src.offset + i));
+      measurements_.emplace_back(src.offset + i, dst.offset + i);
+    }
+  }
+
+  void reset_stmt(Lexer& lex) {
+    lex.take();  // reset
+    const Operand op = qubit_operand(lex);
+    expect_symbol(lex, ";");
+    ensure_circuit();
+    const qubit_t span = op.broadcast ? op.size : 1;
+    for (qubit_t i = 0; i < span; ++i)
+      circuit_->append(Gate::reset(op.offset + i));
+  }
+
+  void barrier_stmt(Lexer& lex) {
+    lex.take();  // barrier
+    std::vector<qubit_t> qs;
+    for (;;) {
+      const Operand op = qubit_operand(lex);
+      for (qubit_t i = 0; i < (op.broadcast ? op.size : 1); ++i)
+        qs.push_back(op.offset + i);
+      if (lex.peek().kind == Tok::kSymbol && lex.peek().text == ",") {
+        lex.take();
+        continue;
+      }
+      break;
+    }
+    expect_symbol(lex, ";");
+    ensure_circuit();
+    circuit_->append(Gate::barrier(std::move(qs)));
+  }
+
+  void application_stmt(Lexer& lex) {
+    const Token name = lex.take();
+    std::vector<double> params;
+    if (lex.peek().kind == Tok::kSymbol && lex.peek().text == "(") {
+      lex.take();
+      if (!(lex.peek().kind == Tok::kSymbol && lex.peek().text == ")")) {
+        for (;;) {
+          params.push_back(parse_expr(lex, nullptr)->eval({}));
+          if (lex.peek().kind == Tok::kSymbol && lex.peek().text == ",") {
+            lex.take();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_symbol(lex, ")");
+    }
+    std::vector<Operand> ops;
+    for (;;) {
+      ops.push_back(qubit_operand(lex));
+      if (lex.peek().kind == Tok::kSymbol && lex.peek().text == ",") {
+        lex.take();
+        continue;
+      }
+      break;
+    }
+    expect_symbol(lex, ";");
+    ensure_circuit();
+    apply_broadcast(ops, name, [&](const std::vector<qubit_t>& qs) {
+      emit_gate(name, params, qs);
+    });
+  }
+
+  /// Emits a named gate on concrete qubits: native kinds first, then user /
+  /// qelib1 definitions expanded recursively. Bounded depth so degenerate
+  /// (self- or mutually-recursive) definitions fail instead of overflowing.
+  void emit_gate(const Token& name, const std::vector<double>& params,
+                 const std::vector<qubit_t>& qs) {
+    if (emit_native(name.text, params, qs)) return;
+    if (expansion_depth_ >= 64)
+      throw ParseError("gate '" + name.text +
+                           "' expands recursively past depth 64",
+                       name.line, name.col);
+    const auto it = gate_defs_.find(name.text);
+    if (it == gate_defs_.end())
+      throw ParseError("unknown gate '" + name.text + "'", name.line,
+                       name.col);
+    const GateDef& def = it->second;
+    if (params.size() != def.param_names.size())
+      throw ParseError("gate '" + name.text + "' expects " +
+                           std::to_string(def.param_names.size()) +
+                           " parameter(s), got " + std::to_string(params.size()),
+                       name.line, name.col);
+    if (qs.size() != def.arg_names.size())
+      throw ParseError("gate '" + name.text + "' expects " +
+                           std::to_string(def.arg_names.size()) +
+                           " qubit(s), got " + std::to_string(qs.size()),
+                       name.line, name.col);
+    ++expansion_depth_;
+    for (const BodyOp& op : def.body) {
+      if (op.is_barrier) continue;
+      std::vector<double> sub_params;
+      sub_params.reserve(op.params.size());
+      for (const ExprPtr& e : op.params) sub_params.push_back(e->eval(params));
+      std::vector<qubit_t> sub_qs;
+      sub_qs.reserve(op.args.size());
+      for (const std::size_t a : op.args) sub_qs.push_back(qs[a]);
+      Token sub = name;
+      sub.text = op.name;
+      emit_gate(sub, sub_params, sub_qs);
+    }
+    --expansion_depth_;
+  }
+
+  bool emit_native(const std::string& name, const std::vector<double>& p,
+                   const std::vector<qubit_t>& q) {
+    const auto need = [&](std::size_t np, std::size_t nq) {
+      return p.size() == np && q.size() == nq;
+    };
+    // One-qubit, no parameters.
+    static const std::map<std::string, GateKind> k1q0p = {
+        {"id", GateKind::kI},   {"x", GateKind::kX},   {"y", GateKind::kY},
+        {"z", GateKind::kZ},    {"h", GateKind::kH},   {"s", GateKind::kS},
+        {"sdg", GateKind::kSdg}, {"t", GateKind::kT},  {"tdg", GateKind::kTdg},
+        {"sx", GateKind::kSX}};
+    if (const auto it = k1q0p.find(name); it != k1q0p.end() && need(0, 1)) {
+      circuit_->append(Gate{it->second, {q[0]}, {}, {}});
+      return true;
+    }
+    if ((name == "rx") && need(1, 1)) {
+      circuit_->append(Gate::rx(q[0], p[0]));
+      return true;
+    }
+    if ((name == "ry") && need(1, 1)) {
+      circuit_->append(Gate::ry(q[0], p[0]));
+      return true;
+    }
+    if ((name == "rz") && need(1, 1)) {
+      circuit_->append(Gate::rz(q[0], p[0]));
+      return true;
+    }
+    if ((name == "p" || name == "u1") && need(1, 1)) {
+      circuit_->append(Gate::phase(q[0], p[0]));
+      return true;
+    }
+    if (name == "u2" && need(2, 1)) {
+      circuit_->append(Gate::u3(q[0], kPi / 2, p[0], p[1]));
+      return true;
+    }
+    if ((name == "u3" || name == "U" || name == "u") && need(3, 1)) {
+      circuit_->append(Gate::u3(q[0], p[0], p[1], p[2]));
+      return true;
+    }
+    if ((name == "cx" || name == "CX") && need(0, 2)) {
+      circuit_->append(Gate::cx(q[0], q[1]));
+      return true;
+    }
+    if (name == "cy" && need(0, 2)) {
+      circuit_->append(Gate::cy(q[0], q[1]));
+      return true;
+    }
+    if (name == "cz" && need(0, 2)) {
+      circuit_->append(Gate::cz(q[0], q[1]));
+      return true;
+    }
+    if (name == "ch" && need(0, 2)) {
+      circuit_->append(Gate::ch(q[0], q[1]));
+      return true;
+    }
+    if ((name == "cp" || name == "cu1") && need(1, 2)) {
+      circuit_->append(Gate::cp(q[0], q[1], p[0]));
+      return true;
+    }
+    if (name == "crz" && need(1, 2)) {
+      circuit_->append(Gate::crz(q[0], q[1], p[0]));
+      return true;
+    }
+    if (name == "swap" && need(0, 2)) {
+      circuit_->append(Gate::swap(q[0], q[1]));
+      return true;
+    }
+    if (name == "ccx" && need(0, 3)) {
+      circuit_->append(Gate::ccx(q[0], q[1], q[2]));
+      return true;
+    }
+    if (name == "cswap" && need(0, 3)) {
+      circuit_->append(Gate::cswap(q[0], q[1], q[2]));
+      return true;
+    }
+    return false;
+  }
+
+  // -- small helpers ----------------------------------------------------------
+
+  static Token expect_kind(Lexer& lex, Tok kind, const std::string& what) {
+    const Token t = lex.take();
+    if (t.kind != kind)
+      throw ParseError("expected " + what + ", got '" + t.text + "'", t.line,
+                       t.col);
+    return t;
+  }
+
+  static void expect_symbol(Lexer& lex, const std::string& sym) {
+    const Token t = lex.take();
+    if (t.kind != Tok::kSymbol || t.text != sym)
+      throw ParseError("expected '" + sym + "', got '" + t.text + "'", t.line,
+                       t.col);
+  }
+
+  static void expect_id(Lexer& lex, const std::string& id) {
+    const Token t = lex.take();
+    if (t.kind != Tok::kId || t.text != id)
+      throw ParseError("expected '" + id + "', got '" + t.text + "'", t.line,
+                       t.col);
+  }
+
+  std::map<std::string, RegisterInfo> qregs_;
+  std::map<std::string, RegisterInfo> cregs_;
+  std::map<std::string, GateDef> gate_defs_;
+  std::vector<std::pair<qubit_t, qubit_t>> measurements_;
+  std::optional<Circuit> circuit_;
+  qubit_t next_qubit_ = 0;
+  qubit_t next_clbit_ = 0;
+  int expansion_depth_ = 0;
+};
+
+}  // namespace
+
+QasmProgram parse_qasm(const std::string& source) {
+  Parser parser;
+  return parser.parse(source);
+}
+
+QasmProgram parse_qasm_file(const std::string& path) {
+  std::ifstream in(path);
+  MEMQ_CHECK(static_cast<bool>(in), "cannot open QASM file '" << path << "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_qasm(ss.str());
+}
+
+std::string to_qasm(const Circuit& circuit_in) {
+  // qelib1 has no gate beyond two controls (ccx) or one control (the rest):
+  // lower whatever exceeds that to the {1q, CX} basis first.
+  const auto needs_lowering = [](const Gate& g) {
+    if (g.is_barrier() || g.is_nonunitary() || g.controls.empty())
+      return false;
+    if (g.controls.size() >= 2) return !(g.kind == GateKind::kX &&
+                                         g.controls.size() == 2);
+    // One control: only the kinds qelib1 spells (cx/cy/cz/ch/crx/cry/crz/
+    // cu1/cu3/cswap) survive; cs/ct/csx/... must be lowered.
+    switch (g.kind) {
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kRZ:
+      case GateKind::kPhase:
+      case GateKind::kSwap:
+      case GateKind::kU3:
+      case GateKind::kUnitary1q:  // emitted as cu3
+        return false;
+      default:
+        return true;
+    }
+  };
+  Circuit circuit(circuit_in.n_qubits());
+  for (const Gate& g : circuit_in.gates()) {
+    if (needs_lowering(g)) {
+      Circuit one(circuit_in.n_qubits());
+      one.append(g);
+      circuit.append(decompose_to_cx_basis(one));
+    } else {
+      circuit.append(g);
+    }
+  }
+
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.n_qubits() << "];\n";
+  os << "creg c[" << circuit.n_qubits() << "];\n";
+  std::size_t next_meas = 0;
+  for (const Gate& g : circuit.gates()) {
+    if (g.is_barrier()) {
+      os << "barrier";
+      for (std::size_t i = 0; i < g.targets.size(); ++i)
+        os << (i ? ", " : " ") << "q[" << g.targets[i] << "]";
+      os << ";\n";
+      continue;
+    }
+    if (g.kind == GateKind::kMeasure) {
+      os << "measure q[" << g.targets[0] << "] -> c[" << next_meas++ << "];\n";
+      continue;
+    }
+    if (g.kind == GateKind::kReset) {
+      os << "reset q[" << g.targets[0] << "];\n";
+      continue;
+    }
+    Gate emit = g;
+    if (g.kind == GateKind::kUnitary1q) {
+      const auto [theta, phi, lambda, phase] = zyz_decompose(g.matrix1q());
+      (void)phase;  // global phase is unobservable
+      emit = Gate::u3(g.targets[0], theta, phi, lambda)
+                 .with_controls(g.controls);
+    }
+    std::string name = emit.base_name();
+    if (name == "p") name = "u1";
+    MEMQ_CHECK(emit.controls.size() <= (name == "x" ? 2u : 1u),
+               "to_qasm: gate " << emit.to_string()
+                                << " has too many controls for qelib1");
+    os << std::string(emit.controls.size(), 'c') << name;
+    if (!emit.params.empty()) {
+      os << '(';
+      for (std::size_t i = 0; i < emit.params.size(); ++i) {
+        if (i) os << ',';
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", emit.params[i]);
+        os << buf;
+      }
+      os << ')';
+    }
+    bool first = true;
+    for (const qubit_t c : emit.controls) {
+      os << (first ? " " : ", ") << "q[" << c << "]";
+      first = false;
+    }
+    for (const qubit_t t : emit.targets) {
+      os << (first ? " " : ", ") << "q[" << t << "]";
+      first = false;
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace memq::circuit

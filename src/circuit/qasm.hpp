@@ -1,0 +1,45 @@
+// OpenQASM 2.0 front end.
+//
+// Supports the full OpenQASM 2.0 gate model: qreg/creg declarations,
+// `include "qelib1.inc"` (built in), user `gate` definitions with parameter
+// expressions, whole-register broadcast, measure/reset/barrier, and the
+// standard expression grammar (+ - * / ^, pi, sin/cos/tan/exp/ln/sqrt).
+// Classical conditionals (`if (c==n)`) are rejected with a ParseError: the
+// simulation engines are pure state-vector backends.
+//
+// Registers are flattened into one qubit index space in declaration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace memq::circuit {
+
+struct RegisterInfo {
+  qubit_t offset = 0;  ///< first flat index
+  qubit_t size = 0;
+};
+
+struct QasmProgram {
+  Circuit circuit;
+  std::map<std::string, RegisterInfo> qregs;
+  std::map<std::string, RegisterInfo> cregs;
+  /// (flat qubit, flat clbit) pairs in program order.
+  std::vector<std::pair<qubit_t, qubit_t>> measurements;
+};
+
+/// Parses OpenQASM 2.0 source text. Throws ParseError with line/column info.
+QasmProgram parse_qasm(const std::string& source);
+
+/// Parses a .qasm file from disk.
+QasmProgram parse_qasm_file(const std::string& path);
+
+/// Serializes a circuit back to OpenQASM 2.0 (single register "q").
+/// Unitary1q gates are emitted as u3 via ZYZ decomposition.
+std::string to_qasm(const Circuit& circuit);
+
+}  // namespace memq::circuit

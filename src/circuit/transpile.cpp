@@ -1,0 +1,230 @@
+#include "circuit/transpile.hpp"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace memq::circuit {
+namespace {
+
+constexpr amp_t kI1{0.0, 1.0};
+
+Mat2 rz_mat(double a) {
+  return {std::exp(-kI1 * (a / 2)), amp_t{}, amp_t{}, std::exp(kI1 * (a / 2))};
+}
+
+Mat2 ry_mat(double a) {
+  const double c = std::cos(a / 2), s = std::sin(a / 2);
+  return {amp_t{c, 0}, amp_t{-s, 0}, amp_t{s, 0}, amp_t{c, 0}};
+}
+
+const Mat2 kIdentity{amp_t{1, 0}, amp_t{}, amp_t{}, amp_t{1, 0}};
+
+/// Principal square root of a 2x2 unitary (normal matrix), via eigen-
+/// decomposition. sqrt(U) is itself unitary.
+Mat2 mat2_sqrt(const Mat2& u) {
+  const amp_t a = u[0], b = u[1], c = u[2], d = u[3];
+  if (std::abs(b) < 1e-14 && std::abs(c) < 1e-14) {
+    return {std::sqrt(a), amp_t{}, amp_t{}, std::sqrt(d)};
+  }
+  const amp_t tr = a + d;
+  const amp_t det = a * d - b * c;
+  const amp_t disc = std::sqrt(tr * tr - 4.0 * det);
+  const amp_t l1 = (tr + disc) * 0.5;
+  const amp_t l2 = (tr - disc) * 0.5;
+  // Eigenvectors: for a normal matrix these are orthogonal.
+  amp_t v1x, v1y, v2x, v2y;
+  if (std::abs(b) >= std::abs(c)) {
+    v1x = b;
+    v1y = l1 - a;
+    v2x = b;
+    v2y = l2 - a;
+  } else {
+    v1x = l1 - d;
+    v1y = c;
+    v2x = l2 - d;
+    v2y = c;
+  }
+  const double n1 = std::sqrt(std::norm(v1x) + std::norm(v1y));
+  const double n2 = std::sqrt(std::norm(v2x) + std::norm(v2y));
+  v1x /= n1;
+  v1y /= n1;
+  v2x /= n2;
+  v2y /= n2;
+  const amp_t s1 = std::sqrt(l1), s2 = std::sqrt(l2);
+  // U^1/2 = s1 * v1 v1^dag + s2 * v2 v2^dag.
+  return {s1 * v1x * std::conj(v1x) + s2 * v2x * std::conj(v2x),
+          s1 * v1x * std::conj(v1y) + s2 * v2x * std::conj(v2y),
+          s1 * v1y * std::conj(v1x) + s2 * v2y * std::conj(v2x),
+          s1 * v1y * std::conj(v1y) + s2 * v2y * std::conj(v2y)};
+}
+
+void emit_toffoli(Circuit& out, qubit_t a, qubit_t b, qubit_t c) {
+  out.h(c);
+  out.cx(b, c);
+  out.tdg(c);
+  out.cx(a, c);
+  out.t(c);
+  out.cx(b, c);
+  out.tdg(c);
+  out.cx(a, c);
+  out.t(b);
+  out.t(c);
+  out.h(c);
+  out.cx(a, b);
+  out.t(a);
+  out.tdg(b);
+  out.cx(a, b);
+}
+
+void emit_lowered(Circuit& out, const Gate& g);
+
+/// Controlled-U with exactly one control, ABC decomposition.
+void emit_controlled_1q(Circuit& out, qubit_t ctrl, qubit_t tgt,
+                        const Mat2& u) {
+  const auto [theta, phi, lambda, alpha] = zyz_decompose(u);
+  const Mat2 a_mat = mat2_mul(rz_mat(phi), ry_mat(theta / 2));
+  const Mat2 b_mat =
+      mat2_mul(ry_mat(-theta / 2), rz_mat(-(phi + lambda) / 2));
+  const Mat2 c_mat = rz_mat((lambda - phi) / 2);
+  if (!mat2_approx_equal(c_mat, kIdentity, 1e-14))
+    out.append(Gate::unitary1q(tgt, c_mat));
+  out.cx(ctrl, tgt);
+  if (!mat2_approx_equal(b_mat, kIdentity, 1e-14))
+    out.append(Gate::unitary1q(tgt, b_mat));
+  out.cx(ctrl, tgt);
+  if (!mat2_approx_equal(a_mat, kIdentity, 1e-14))
+    out.append(Gate::unitary1q(tgt, a_mat));
+  // U = e^{i delta} Rz(phi) Ry(theta) Rz(lambda) with
+  // delta = alpha + (phi + lambda)/2 (u3 carries that half-angle phase).
+  const double delta = alpha + (phi + lambda) / 2;
+  if (std::fabs(delta) > 1e-14) out.p(ctrl, delta);
+}
+
+/// k>=2 controls on a single-target unitary: Barenco recursion.
+void emit_multi_controlled_1q(Circuit& out, const std::vector<qubit_t>& ctrls,
+                              qubit_t tgt, const Mat2& u) {
+  if (ctrls.size() == 1) {
+    emit_controlled_1q(out, ctrls[0], tgt, u);
+    return;
+  }
+  const Mat2 v = mat2_sqrt(u);
+  const qubit_t last = ctrls.back();
+  const std::vector<qubit_t> rest(ctrls.begin(), ctrls.end() - 1);
+  emit_controlled_1q(out, last, tgt, v);
+  emit_lowered(out, Gate::mcx(rest, last));
+  emit_controlled_1q(out, last, tgt, mat2_dagger(v));
+  emit_lowered(out, Gate::mcx(rest, last));
+  emit_multi_controlled_1q(out, rest, tgt, v);
+}
+
+void emit_lowered(Circuit& out, const Gate& g) {
+  if (g.is_barrier() || g.is_nonunitary()) {
+    out.append(g);
+    return;
+  }
+  if (g.kind == GateKind::kSwap) {
+    const qubit_t a = g.targets[0], b = g.targets[1];
+    if (g.controls.empty()) {
+      out.cx(a, b);
+      out.cx(b, a);
+      out.cx(a, b);
+    } else {
+      // cswap = cx(b,a) . c-ccx . cx(b,a), lowered recursively.
+      out.cx(b, a);
+      std::vector<qubit_t> ctrls = g.controls;
+      ctrls.push_back(a);
+      emit_lowered(out, Gate{GateKind::kX, {b}, std::move(ctrls), {}});
+      out.cx(b, a);
+    }
+    return;
+  }
+  // Single-target kinds from here on.
+  const qubit_t tgt = g.targets.at(0);
+  if (g.controls.empty()) {
+    out.append(g);
+    return;
+  }
+  if (g.kind == GateKind::kX && g.controls.size() == 1) {
+    out.cx(g.controls[0], tgt);
+    return;
+  }
+  if (g.kind == GateKind::kX && g.controls.size() == 2) {
+    emit_toffoli(out, g.controls[0], g.controls[1], tgt);
+    return;
+  }
+  emit_multi_controlled_1q(out, g.controls, tgt, g.matrix1q());
+}
+
+}  // namespace
+
+std::array<double, 4> zyz_decompose(const Mat2& m) {
+  MEMQ_CHECK(mat2_is_unitary(m, 1e-9), "zyz_decompose: matrix not unitary");
+  const double cos_half = std::abs(m[0]);
+  const double sin_half = std::abs(m[2]);
+  const double theta = 2.0 * std::atan2(sin_half, cos_half);
+  double alpha, phi, lambda;
+  constexpr double kEps = 1e-12;
+  if (cos_half > kEps && sin_half > kEps) {
+    alpha = std::arg(m[0]);
+    phi = std::arg(m[2]) - alpha;
+    lambda = std::arg(-m[1]) - alpha;
+  } else if (cos_half > kEps) {
+    // theta ~ 0: only phi + lambda observable.
+    alpha = std::arg(m[0]);
+    phi = 0.0;
+    lambda = std::arg(m[3]) - alpha;
+  } else {
+    // theta ~ pi: only phi - lambda observable.
+    alpha = std::arg(m[2]);
+    phi = 0.0;
+    lambda = std::arg(-m[1]) - alpha;
+  }
+  return {theta, phi, lambda, alpha};
+}
+
+Circuit decompose_to_cx_basis(const Circuit& circuit) {
+  Circuit out(circuit.n_qubits());
+  for (const Gate& g : circuit.gates()) emit_lowered(out, g);
+  return out;
+}
+
+Circuit fuse_1q_runs(const Circuit& circuit) {
+  Circuit out(circuit.n_qubits());
+  std::vector<std::optional<Mat2>> pending(circuit.n_qubits());
+
+  const auto flush = [&](qubit_t q) {
+    if (!pending[q]) return;
+    if (!mat2_approx_equal(*pending[q], kIdentity, 1e-13))
+      out.append(Gate::unitary1q(q, *pending[q]));
+    pending[q].reset();
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    const bool fusable = g.controls.empty() && g.targets.size() == 1 &&
+                         !g.is_nonunitary() && !g.is_barrier();
+    if (fusable) {
+      const qubit_t q = g.targets[0];
+      const Mat2 m = g.matrix1q();
+      pending[q] = pending[q] ? mat2_mul(m, *pending[q]) : m;
+      continue;
+    }
+    for (const qubit_t q : g.qubits()) flush(q);
+    if (g.is_barrier() && g.targets.empty())
+      for (qubit_t q = 0; q < circuit.n_qubits(); ++q) flush(q);
+    out.append(g);
+  }
+  for (qubit_t q = 0; q < circuit.n_qubits(); ++q) flush(q);
+  return out;
+}
+
+std::size_t executable_gate_count(const Circuit& circuit) {
+  std::size_t n = 0;
+  for (const Gate& g : circuit.gates())
+    if (!g.is_barrier()) ++n;
+  return n;
+}
+
+}  // namespace memq::circuit

@@ -1,0 +1,38 @@
+// Circuit transformation passes.
+//
+// The engines apply controlled/multi-qubit gates natively, so these passes
+// exist for (a) interoperability with restricted-basis backends, (b) the
+// 1q-fusion optimization the pipeline uses to shrink local stages, and
+// (c) QASM emission (ZYZ angles for fused unitaries).
+#pragma once
+
+#include <array>
+
+#include "circuit/circuit.hpp"
+
+namespace memq::circuit {
+
+/// ZYZ Euler angles of a 2x2 unitary: returns {theta, phi, lambda, alpha}
+/// such that U = e^{i alpha} * u3(theta, phi, lambda).
+std::array<double, 4> zyz_decompose(const Mat2& m);
+
+/// Lowers every gate to the {1-qubit unitary, CX} basis:
+///   swap -> 3 CX; ccx -> the standard 6-CX Toffoli network;
+///   cswap -> cx + ccx + cx, then the ccx lowered;
+///   controlled-1q (one control) -> ABC decomposition (2 CX + 1q gates);
+///   gates with >= 2 controls on non-X targets are lowered recursively via
+///   a controlled-sqrt(U) construction (no ancillas, gate count O(3^k)).
+/// Barriers are preserved; measure/reset pass through.
+Circuit decompose_to_cx_basis(const Circuit& circuit);
+
+/// Merges maximal runs of adjacent uncontrolled 1-qubit gates on the same
+/// qubit into single kUnitary1q gates (matrix product), dropping the runs
+/// that multiply out to identity. Order of non-commuting neighbours is
+/// preserved: a run is broken by any gate touching the qubit.
+Circuit fuse_1q_runs(const Circuit& circuit);
+
+/// Total gates whose application the engines must execute (excludes
+/// barriers); convenience for before/after comparisons in benches.
+std::size_t executable_gate_count(const Circuit& circuit);
+
+}  // namespace memq::circuit

@@ -1,0 +1,373 @@
+#include "circuit/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace memq::circuit {
+
+Circuit make_ghz(qubit_t n) {
+  Circuit c(n);
+  c.h(0);
+  for (qubit_t q = 1; q < n; ++q) c.cx(q - 1, q);
+  return c;
+}
+
+Circuit make_qft(qubit_t n) {
+  Circuit c(n);
+  for (qubit_t i = n; i-- > 0;) {
+    c.h(i);
+    for (qubit_t j = i; j-- > 0;)
+      c.cp(j, i, kPi / static_cast<double>(index_t{1} << (i - j)));
+  }
+  for (qubit_t i = 0; i < n / 2; ++i) c.swap(i, n - 1 - i);
+  return c;
+}
+
+Circuit make_iqft(qubit_t n) { return make_qft(n).inverse(); }
+
+Circuit make_bernstein_vazirani(qubit_t n, std::uint64_t secret) {
+  MEMQ_CHECK(n < 62, "BV size too large");
+  MEMQ_CHECK(secret < (std::uint64_t{1} << n),
+             "secret does not fit in " << n << " bits");
+  Circuit c(n + 1);
+  // Ancilla in |->.
+  c.x(n);
+  for (qubit_t q = 0; q <= n; ++q) c.h(q);
+  for (qubit_t q = 0; q < n; ++q)
+    if (bits::test(secret, q)) c.cx(q, n);
+  for (qubit_t q = 0; q < n; ++q) c.h(q);
+  return c;
+}
+
+namespace {
+
+/// Phase-flips exactly the `marked` basis state: X-conjugated MCZ.
+void append_oracle(Circuit& c, qubit_t n, std::uint64_t marked) {
+  for (qubit_t q = 0; q < n; ++q)
+    if (!bits::test(marked, q)) c.x(q);
+  if (n == 1) {
+    c.z(0);
+  } else {
+    std::vector<qubit_t> ctrls;
+    for (qubit_t q = 0; q + 1 < n; ++q) ctrls.push_back(q);
+    c.append(Gate::mcz(std::move(ctrls), n - 1));
+  }
+  for (qubit_t q = 0; q < n; ++q)
+    if (!bits::test(marked, q)) c.x(q);
+}
+
+}  // namespace
+
+Circuit make_grover(qubit_t n, std::uint64_t marked, int iterations) {
+  MEMQ_CHECK(marked < (std::uint64_t{1} << n),
+             "marked state does not fit in " << n << " qubits");
+  if (iterations <= 0) {
+    iterations = std::max(
+        1, static_cast<int>(std::floor(
+               kPi / 4.0 * std::sqrt(static_cast<double>(index_t{1} << n)))));
+  }
+  Circuit c(n);
+  for (qubit_t q = 0; q < n; ++q) c.h(q);
+  for (int it = 0; it < iterations; ++it) {
+    append_oracle(c, n, marked);
+    // Diffusion: H X (MCZ) X H.
+    for (qubit_t q = 0; q < n; ++q) c.h(q);
+    append_oracle(c, n, 0);  // phase-flip |0..0>
+    for (qubit_t q = 0; q < n; ++q) c.h(q);
+  }
+  return c;
+}
+
+Circuit make_qaoa_maxcut(qubit_t n, const QaoaParams& params) {
+  MEMQ_CHECK(params.gammas.size() == params.betas.size(),
+             "QAOA gamma/beta length mismatch");
+  Circuit c(n);
+  for (qubit_t q = 0; q < n; ++q) c.h(q);
+  for (std::size_t round = 0; round < params.gammas.size(); ++round) {
+    const double gamma = params.gammas[round];
+    for (const auto& [a, b] : params.edges) {
+      // exp(-i gamma/2 Z_a Z_b) up to phase: CX, RZ, CX.
+      c.cx(a, b);
+      c.rz(b, gamma);
+      c.cx(a, b);
+    }
+    const double beta = params.betas[round];
+    for (qubit_t q = 0; q < n; ++q) c.rx(q, 2.0 * beta);
+  }
+  return c;
+}
+
+Circuit make_random_circuit(qubit_t n, std::size_t depth, std::uint64_t seed,
+                            bool haar_1q) {
+  Circuit c(n);
+  Prng rng(seed);
+  for (std::size_t layer = 0; layer < depth; ++layer) {
+    for (qubit_t q = 0; q < n; ++q) {
+      if (haar_1q) {
+        c.u3(q, rng.uniform(0, kPi), rng.uniform(0, 2 * kPi),
+             rng.uniform(0, 2 * kPi));
+      } else {
+        switch (rng.uniform_index(4)) {
+          case 0: c.sx(q); break;
+          case 1: c.ry(q, kPi / 2); break;
+          case 2: c.t(q); break;
+          default: c.h(q); break;
+        }
+      }
+    }
+    // Random matching for the entangling layer.
+    std::vector<qubit_t> order(n);
+    for (qubit_t q = 0; q < n; ++q) order[q] = q;
+    std::shuffle(order.begin(), order.end(), rng);
+    for (qubit_t i = 0; i + 1 < n; i += 2) {
+      if (rng.uniform() < 0.5)
+        c.cx(order[i], order[i + 1]);
+      else
+        c.cz(order[i], order[i + 1]);
+    }
+  }
+  return c;
+}
+
+Circuit make_phase_estimation(qubit_t counting, double phase) {
+  Circuit c(counting + 1);
+  const qubit_t eig = counting;
+  c.x(eig);  // |1> is the e^{2 pi i phase} eigenstate of the phase gate
+  for (qubit_t q = 0; q < counting; ++q) c.h(q);
+  for (qubit_t q = 0; q < counting; ++q) {
+    // Controlled-U^{2^q}: phase gate angles add.
+    const double angle = 2.0 * kPi * phase * static_cast<double>(index_t{1} << q);
+    c.cp(q, eig, angle);
+  }
+  // IQFT on the counting register (its gates only touch qubits < counting).
+  const Circuit iqft = make_iqft(counting);
+  for (const Gate& g : iqft.gates()) c.append(g);
+  return c;
+}
+
+Circuit make_w_state(qubit_t n) {
+  MEMQ_CHECK(n >= 1, "W state needs at least one qubit");
+  Circuit c(n);
+  // Cascade construction: |10..0>, then at each step split the remaining
+  // excitation amplitude one qubit to the right and re-point the one-hot bit.
+  c.x(0);
+  for (qubit_t i = 0; i + 1 < n; ++i) {
+    const double theta =
+        2.0 * std::acos(std::sqrt(1.0 / static_cast<double>(n - i)));
+    c.append(Gate::ry(i + 1, theta).with_controls({i}));
+    c.cx(i + 1, i);
+  }
+  return c;
+}
+
+Circuit make_adder(qubit_t n_bits) {
+  MEMQ_CHECK(n_bits >= 1, "adder needs at least 1 bit");
+  const qubit_t a0 = 0, b0 = n_bits;
+  const qubit_t carry_in = 2 * n_bits;     // ancilla, starts |0>
+  const qubit_t carry_out = 2 * n_bits + 1;
+  Circuit c(2 * n_bits + 2);
+  // Cuccaro MAJ / UMA ripple-carry adder (quant-ph/0410184).
+  const auto maj = [&](qubit_t x, qubit_t y, qubit_t z) {
+    c.cx(z, y);
+    c.cx(z, x);
+    c.ccx(x, y, z);
+  };
+  const auto uma = [&](qubit_t x, qubit_t y, qubit_t z) {
+    c.ccx(x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+  };
+  maj(carry_in, b0, a0);
+  for (qubit_t i = 1; i < n_bits; ++i) maj(a0 + i - 1, b0 + i, a0 + i);
+  c.cx(a0 + n_bits - 1, carry_out);
+  for (qubit_t i = n_bits; i-- > 1;) uma(a0 + i - 1, b0 + i, a0 + i);
+  uma(carry_in, b0, a0);
+  return c;
+}
+
+Circuit make_draper_constant_adder(qubit_t n, std::uint64_t k) {
+  MEMQ_CHECK(n >= 1, "adder needs at least one bit");
+  Circuit c(n);
+  c.append(make_qft(n));
+  // In Fourier space the amplitude at |j> must gain e^{2 pi i k j / 2^n}
+  // = prod_q e^{2 pi i k 2^q / 2^n} per set bit j_q: a phase gate per qubit.
+  for (qubit_t q = 0; q < n; ++q) {
+    const std::uint64_t wheel = std::uint64_t{1} << (n - q);
+    const double angle =
+        2.0 * kPi * static_cast<double>(k % wheel) / static_cast<double>(wheel);
+    if (angle != 0.0) c.p(q, angle);
+  }
+  c.append(make_iqft(n));
+  return c;
+}
+
+namespace {
+
+/// Appends controlled multiplication-by-m (mod 15) on the 4-qubit target
+/// register at `base`, controlled by `ctrl`. Every unit mod 15 decomposes
+/// into a left bit-rotation (x 2^r) and an optional complement (x -1 == ~x
+/// in 4 bits, since 15 - y = y XOR 0b1111).
+void append_c_mult15(Circuit& c, qubit_t ctrl, qubit_t base, std::uint64_t m) {
+  struct Decomp {
+    int rot;
+    bool complement;
+  };
+  Decomp d{};
+  switch (m % 15) {
+    case 1: d = {0, false}; break;
+    case 2: d = {1, false}; break;
+    case 4: d = {2, false}; break;
+    case 8: d = {3, false}; break;
+    case 14: d = {0, true}; break;   // -1
+    case 13: d = {1, true}; break;   // -2
+    case 11: d = {2, true}; break;   // -4
+    case 7: d = {3, true}; break;    // -8
+    default:
+      MEMQ_THROW(InvalidArgument, "multiplier " << m
+                                                << " is not a unit mod 15");
+  }
+  // Left rotation by r: bit i -> bit (i + r) mod 4, as controlled swaps.
+  for (int step = 0; step < d.rot; ++step) {
+    c.append(Gate::cswap(ctrl, base + 2, base + 3));
+    c.append(Gate::cswap(ctrl, base + 1, base + 2));
+    c.append(Gate::cswap(ctrl, base + 0, base + 1));
+  }
+  if (d.complement)
+    for (qubit_t b = 0; b < 4; ++b) c.append(Gate::cx(ctrl, base + b));
+}
+
+}  // namespace
+
+int order_mod15(std::uint64_t a) {
+  MEMQ_CHECK(a % 15 != 0 && std::gcd(a, std::uint64_t{15}) == 1,
+             "a must be coprime to 15");
+  std::uint64_t x = a % 15;
+  int r = 1;
+  while (x != 1) {
+    x = (x * a) % 15;
+    ++r;
+  }
+  return r;
+}
+
+Circuit make_shor15_order_finding(std::uint64_t a, qubit_t n_count) {
+  MEMQ_CHECK(a % 15 > 1 && std::gcd(a, std::uint64_t{15}) == 1,
+             "a must be a unit mod 15, a != 1 (got " << a << ")");
+  MEMQ_CHECK(n_count >= 2, "need at least two counting qubits");
+  const qubit_t target = n_count;
+  Circuit c(n_count + 4);
+  c.x(target);  // |1> in the target register
+  for (qubit_t q = 0; q < n_count; ++q) c.h(q);
+  // Controlled-U^(2^q): multiply by a^(2^q) mod 15.
+  std::uint64_t m = a % 15;
+  for (qubit_t q = 0; q < n_count; ++q) {
+    append_c_mult15(c, q, target, m);
+    m = (m * m) % 15;
+  }
+  const Circuit iqft = make_iqft(n_count);
+  for (const Gate& g : iqft.gates()) c.append(g);
+  return c;
+}
+
+Circuit make_trotter_heisenberg(qubit_t n, std::size_t steps, double dt,
+                                double j_coupling) {
+  MEMQ_CHECK(n >= 2, "Heisenberg chain needs at least two sites");
+  Circuit c(n);
+  const double theta = 2.0 * j_coupling * dt;  // rotation angle per term
+  const auto append_xx = [&](qubit_t a, qubit_t b) {
+    // exp(-i theta/2 XX) = (H ox H) CX RZ CX (H ox H).
+    c.h(a).h(b);
+    c.cx(a, b);
+    c.rz(b, theta);
+    c.cx(a, b);
+    c.h(a).h(b);
+  };
+  const auto append_yy = [&](qubit_t a, qubit_t b) {
+    // Basis change Y -> Z via S^dagger then H.
+    c.sdg(a).h(a).sdg(b).h(b);
+    c.cx(a, b);
+    c.rz(b, theta);
+    c.cx(a, b);
+    c.h(a).s(a).h(b).s(b);
+  };
+  const auto append_zz = [&](qubit_t a, qubit_t b) {
+    c.cx(a, b);
+    c.rz(b, theta);
+    c.cx(a, b);
+  };
+  for (std::size_t step = 0; step < steps; ++step) {
+    // Even bonds then odd bonds (checkerboard Trotter ordering).
+    for (int parity = 0; parity < 2; ++parity) {
+      for (qubit_t q = static_cast<qubit_t>(parity); q + 1 < n; q += 2) {
+        append_xx(q, q + 1);
+        append_yy(q, q + 1);
+        append_zz(q, q + 1);
+      }
+    }
+  }
+  return c;
+}
+
+Circuit make_teleport(double theta, double phi, double lambda) {
+  Circuit c(3);
+  c.u3(0, theta, phi, lambda);  // state to teleport
+  // Bell pair on qubits 1, 2.
+  c.h(1);
+  c.cx(1, 2);
+  // Bell measurement basis change on 0, 1.
+  c.cx(0, 1);
+  c.h(0);
+  // Deferred corrections (coherent instead of classically controlled).
+  c.cx(1, 2);
+  c.cz(0, 2);
+  return c;
+}
+
+std::vector<std::string> workload_names() {
+  return {"ghz", "qft", "grover", "bv", "qaoa", "random", "w", "qpe",
+          "heisenberg"};
+}
+
+Circuit make_workload(const std::string& name, qubit_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  if (name == "ghz") return make_ghz(n);
+  if (name == "qft") return make_qft(n);
+  if (name == "grover") {
+    // Cap iterations so large-n bench circuits stay tractable.
+    const int iters = std::min<int>(
+        4, static_cast<int>(kPi / 4 *
+                            std::sqrt(static_cast<double>(index_t{1} << n))));
+    return make_grover(n, rng.uniform_index(index_t{1} << n), iters);
+  }
+  if (name == "bv") {
+    MEMQ_CHECK(n >= 2, "bv workload needs n >= 2");
+    return make_bernstein_vazirani(n - 1,
+                                   rng.uniform_index(index_t{1} << (n - 1)));
+  }
+  if (name == "qaoa") {
+    QaoaParams p;
+    // Ring graph plus a few chords.
+    for (qubit_t q = 0; q < n; ++q)
+      p.edges.emplace_back(q, (q + 1) % n);
+    for (qubit_t q = 0; q + n / 2 < n; ++q)
+      if (rng.uniform() < 0.3) p.edges.emplace_back(q, q + n / 2);
+    p.gammas = {0.7, 0.4};
+    p.betas = {0.3, 0.6};
+    return make_qaoa_maxcut(n, p);
+  }
+  if (name == "random") return make_random_circuit(n, 8, seed);
+  if (name == "w") return make_w_state(n);
+  if (name == "qpe") {
+    MEMQ_CHECK(n >= 2, "qpe workload needs n >= 2");
+    return make_phase_estimation(n - 1, 0.15625);
+  }
+  if (name == "heisenberg") return make_trotter_heisenberg(n, 4, 0.1);
+  MEMQ_THROW(InvalidArgument, "unknown workload '" << name << "'");
+}
+
+}  // namespace memq::circuit

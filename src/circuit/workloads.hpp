@@ -1,0 +1,90 @@
+// Standard circuit families used by the examples, tests and the benchmark
+// harness — the "different quantum algorithms" whose access patterns the
+// paper's challenge (3) is about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace memq::circuit {
+
+/// |0..0> + |1..1> (unnormalized notation): H then a CX ladder.
+Circuit make_ghz(qubit_t n);
+
+/// Quantum Fourier transform (with the final qubit-reversal swaps).
+Circuit make_qft(qubit_t n);
+
+/// Inverse QFT.
+Circuit make_iqft(qubit_t n);
+
+/// Bernstein–Vazirani for the given secret bitstring (bit i = qubit i).
+/// Uses n data qubits + 1 ancilla (qubit n).
+Circuit make_bernstein_vazirani(qubit_t n, std::uint64_t secret);
+
+/// Grover search for the marked computational basis state; `iterations` = 0
+/// picks the optimal floor(pi/4 * sqrt(2^n)).
+Circuit make_grover(qubit_t n, std::uint64_t marked, int iterations = 0);
+
+/// QAOA MaxCut ansatz on the given edge list, p rounds with angles
+/// (gamma_k, beta_k).
+struct QaoaParams {
+  std::vector<std::pair<qubit_t, qubit_t>> edges;
+  std::vector<double> gammas;
+  std::vector<double> betas;
+};
+Circuit make_qaoa_maxcut(qubit_t n, const QaoaParams& params);
+
+/// Random circuit (RQC-flavoured): `depth` layers, each a layer of random
+/// single-qubit gates from {sx, sy=ry(pi/2), t, h} or Haar-ish u3 followed
+/// by a layer of CX/CZ on a random matching. Deterministic in `seed`.
+Circuit make_random_circuit(qubit_t n, std::size_t depth, std::uint64_t seed,
+                            bool haar_1q = false);
+
+/// Quantum phase estimation of the phase gate diag(1, e^{2*pi*i*phase})
+/// using `counting` counting qubits; the eigenstate qubit is qubit
+/// `counting` and is prepared in |1>.
+Circuit make_phase_estimation(qubit_t counting, double phase);
+
+/// n-qubit W state via cascaded controlled rotations.
+Circuit make_w_state(qubit_t n);
+
+/// Cuccaro ripple-carry adder: computes b += a on two n-bit registers.
+/// Layout: a = qubits [0, n), b = qubits [n, 2n), carry ancilla = 2n
+/// (and the final carry-out lands on qubit 2n+1). Total 2n+2 qubits.
+Circuit make_adder(qubit_t n_bits);
+
+/// Draper adder: |x> -> |x + k mod 2^n> via QFT + phase rotations + IQFT.
+/// No ancillas; the in-Fourier-space addition is all diagonal gates, which
+/// makes it the chunk-friendliest arithmetic primitive in the library.
+Circuit make_draper_constant_adder(qubit_t n, std::uint64_t k);
+
+/// Compiled Shor order finding for N = 15: phase estimation over the
+/// modular-multiplication unitary U_a|x> = |a x mod 15>. For N = 15 every
+/// valid multiplier is a bit rotation and/or complement, so the controlled
+/// powers compile to cswap/cx networks (the classic "compiled Shor").
+/// Layout: counting register = qubits [0, n_count), target register =
+/// qubits [n_count, n_count+4) initialized to |1>.
+/// `a` must be coprime to 15 and != 1.
+Circuit make_shor15_order_finding(std::uint64_t a, qubit_t n_count = 8);
+
+/// Multiplicative order of a modulo 15 (classical reference for tests).
+int order_mod15(std::uint64_t a);
+
+/// First-order Trotterized time evolution of the isotropic Heisenberg chain
+/// H = J sum_i (XX + YY + ZZ)_{i,i+1} (open boundary): `steps` steps of
+/// size `dt`. Each two-site term is the standard 3x(CX - rotation - CX)
+/// network. A physics workload with nearest-neighbour access pattern.
+Circuit make_trotter_heisenberg(qubit_t n, std::size_t steps, double dt,
+                                double j_coupling = 1.0);
+
+/// Quantum teleportation of an arbitrary u3 state with deferred
+/// (coherent) corrections; 3 qubits, qubit 2 receives the state.
+Circuit make_teleport(double theta, double phi, double lambda);
+
+/// Registry access for benches: name -> builder over {n, seed}.
+std::vector<std::string> workload_names();
+Circuit make_workload(const std::string& name, qubit_t n, std::uint64_t seed);
+
+}  // namespace memq::circuit

@@ -1,0 +1,83 @@
+// Cache-line/SIMD-aligned heap buffer with RAII ownership.
+//
+// The dense state vector and the staging buffers use 64-byte alignment so the
+// OpenMP gate kernels vectorize and so the simulated device's "pinned" host
+// buffers resemble cudaHostAlloc allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace memq {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        count_(std::exchange(other.count_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocates to hold `count` elements; contents are NOT preserved and
+  /// NOT initialized (callers overwrite in full).
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    const std::size_t bytes =
+        ((count * sizeof(T) + kAlignment - 1) / kAlignment) * kAlignment;
+    void* p = std::aligned_alloc(kAlignment, bytes);
+    if (p == nullptr)
+      MEMQ_THROW(OutOfMemory, "aligned_alloc of " << bytes << " bytes failed");
+    data_ = static_cast<T*>(p);
+    count_ = count;
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return count_; }
+  std::size_t bytes() const noexcept { return count_ * sizeof(T); }
+  bool empty() const noexcept { return count_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + count_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + count_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+}  // namespace memq

@@ -1,0 +1,72 @@
+// Bit-manipulation helpers used by the gate kernels and the chunk addressing
+// scheme. All operate on 64-bit amplitude indices.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace memq::bits {
+
+/// True iff bit `b` of `x` is set.
+constexpr bool test(index_t x, qubit_t b) noexcept {
+  return (x >> b) & index_t{1};
+}
+
+/// `x` with bit `b` set.
+constexpr index_t set(index_t x, qubit_t b) noexcept {
+  return x | (index_t{1} << b);
+}
+
+/// `x` with bit `b` cleared.
+constexpr index_t clear(index_t x, qubit_t b) noexcept {
+  return x & ~(index_t{1} << b);
+}
+
+/// `x` with bit `b` flipped.
+constexpr index_t flip(index_t x, qubit_t b) noexcept {
+  return x ^ (index_t{1} << b);
+}
+
+/// Inserts a zero bit at position `b`, shifting bits >= b up by one.
+/// Maps a (n-1)-bit loop counter to the index of the amplitude whose bit `b`
+/// is 0 — the standard state-vector kernel enumeration trick.
+constexpr index_t insert_zero(index_t x, qubit_t b) noexcept {
+  const index_t low_mask = (index_t{1} << b) - 1;
+  return ((x & ~low_mask) << 1) | (x & low_mask);
+}
+
+/// Inserts two zero bits at positions b_lo < b_hi (post-insertion positions).
+constexpr index_t insert_two_zeros(index_t x, qubit_t b_lo,
+                                   qubit_t b_hi) noexcept {
+  return insert_zero(insert_zero(x, b_lo), b_hi);
+}
+
+/// Number of set bits.
+constexpr int popcount(index_t x) noexcept { return std::popcount(x); }
+
+/// True iff x is a power of two (and nonzero).
+constexpr bool is_pow2(index_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr qubit_t log2_floor(index_t x) noexcept {
+  return static_cast<qubit_t>(63 - std::countl_zero(x));
+}
+
+/// Ceil division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Reverses the lowest `n` bits of x (used by the QFT workload builder).
+constexpr index_t reverse_low_bits(index_t x, qubit_t n) noexcept {
+  index_t r = 0;
+  for (qubit_t i = 0; i < n; ++i)
+    if (test(x, i)) r = set(r, n - 1 - i);
+  return r;
+}
+
+}  // namespace memq::bits

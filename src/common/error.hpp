@@ -1,0 +1,89 @@
+// Error types and checking macros.
+//
+// Library code throws subclasses of memq::Error; MEMQ_CHECK is for conditions
+// that can be triggered by user input (always on), MEMQ_ASSERT for internal
+// invariants (compiled out in NDEBUG builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace memq {
+
+/// Base class of all MEMQSim exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user input: bad qubit index, malformed QASM, bad config value...
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A memory budget or device capacity would be exceeded.
+class OutOfMemory : public Error {
+ public:
+  explicit OutOfMemory(const std::string& what) : Error(what) {}
+};
+
+/// Corrupted compressed data (failed checksum, truncated stream...).
+class CorruptData : public Error {
+ public:
+  explicit CorruptData(const std::string& what) : Error(what) {}
+};
+
+/// QASM syntax or semantic error; carries source location.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int col)
+      : Error(what + " (line " + std::to_string(line) + ", col " +
+              std::to_string(col) + ")"),
+        line_(line),
+        col_(col) {}
+  int line() const noexcept { return line_; }
+  int col() const noexcept { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// Misuse of the simulated device API (use-after-free, wrong stream...).
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MEMQ_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace memq
+
+#define MEMQ_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::memq::detail::throw_check_failure(#cond, __FILE__, __LINE__,      \
+                                          (std::ostringstream{} << msg)  \
+                                              .str());                    \
+  } while (0)
+
+#define MEMQ_THROW(ExcType, msg)                                \
+  do {                                                          \
+    throw ExcType((std::ostringstream{} << msg).str());         \
+  } while (0)
+
+#ifdef NDEBUG
+#define MEMQ_ASSERT(cond) ((void)0)
+#else
+#define MEMQ_ASSERT(cond) MEMQ_CHECK(cond, "internal invariant")
+#endif

@@ -1,0 +1,51 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace memq {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0)
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  else
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string human_seconds(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0)
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  else if (abs >= 1e-3)
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  else if (abs >= 1e-6)
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_sci(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, value);
+  return buf;
+}
+
+}  // namespace memq

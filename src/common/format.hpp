@@ -1,0 +1,22 @@
+// Human-readable formatting of byte counts, durations and ratios for the
+// bench reporters and telemetry dumps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace memq {
+
+/// "1.50 GiB", "512 B", ...
+std::string human_bytes(std::uint64_t bytes);
+
+/// "1.23 s", "45.6 ms", "789 us", ...
+std::string human_seconds(double seconds);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(1.0345, 2) == "1.03".
+std::string format_fixed(double value, int digits);
+
+/// Scientific with `digits` significant decimals, e.g. "1.0e-04".
+std::string format_sci(double value, int digits);
+
+}  // namespace memq

@@ -1,0 +1,52 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace memq::log {
+namespace {
+
+Level initial_level() {
+  const char* env = std::getenv("MEMQ_LOG");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "off") == 0) return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(initial_level())};
+std::mutex g_mutex;
+
+const char* name_of(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info ";
+    case Level::kWarn: return "warn ";
+    case Level::kError: return "error";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level level() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void write(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[memq %s] %s\n", name_of(lvl), message.c_str());
+}
+
+}  // namespace memq::log

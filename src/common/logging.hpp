@@ -1,0 +1,37 @@
+// Minimal leveled logger. Global level, thread-safe, writes to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace memq::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold (default: kWarn; MEMQ_LOG env overrides).
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits one line "[level] message" to stderr if `lvl` >= threshold.
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+struct LineStream {
+  Level lvl;
+  std::ostringstream os;
+  explicit LineStream(Level l) : lvl(l) {}
+  ~LineStream() { write(lvl, os.str()); }
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace memq::log
+
+#define MEMQ_LOG_DEBUG ::memq::log::detail::LineStream(::memq::log::Level::kDebug)
+#define MEMQ_LOG_INFO ::memq::log::detail::LineStream(::memq::log::Level::kInfo)
+#define MEMQ_LOG_WARN ::memq::log::detail::LineStream(::memq::log::Level::kWarn)
+#define MEMQ_LOG_ERROR ::memq::log::detail::LineStream(::memq::log::Level::kError)

@@ -1,0 +1,54 @@
+// Deterministic, fast pseudo-random generation (xoshiro256++), plus helpers
+// for the distributions the tests and workload generators need.
+//
+// We avoid std::mt19937/std::uniform_real_distribution in library code so
+// results are reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace memq {
+
+/// xoshiro256++ 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64() noexcept;
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles accept it.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double normal() noexcept;
+
+  /// Random amplitude with normally distributed re/im parts.
+  amp_t normal_amp() noexcept;
+
+  /// Jump to a statistically independent substream (xoshiro jump function);
+  /// used to give each pipeline worker its own generator.
+  void jump() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace memq

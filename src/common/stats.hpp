@@ -1,0 +1,45 @@
+// Streaming statistics and simple histogram utilities used by the test suite
+// (measurement-distribution chi-squared checks) and the bench reporters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace memq {
+
+/// Welford's online mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation). `p` in [0,100].
+/// Sorts a copy; fine for bench-sized samples.
+double percentile(std::vector<double> sample, double p);
+
+/// Pearson chi-squared statistic of observed counts vs expected probabilities.
+/// `expected_p` must sum to ~1 and have the same length as `observed`.
+double chi_squared(const std::vector<std::uint64_t>& observed,
+                   const std::vector<double>& expected_p);
+
+/// Upper critical value of the chi-squared distribution via the
+/// Wilson–Hilferty normal approximation — good enough for test thresholds.
+double chi_squared_critical(std::size_t dof, double alpha);
+
+}  // namespace memq

@@ -1,0 +1,31 @@
+// ASCII table rendering for the benchmark harness — every bench binary prints
+// paper-shaped tables through this.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memq {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column alignment (left for the first
+  /// column, right for the rest — the usual numeric-table convention).
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memq

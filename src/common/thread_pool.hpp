@@ -1,0 +1,64 @@
+// Fixed-size thread pool with futures.
+//
+// Backs (a) the simulated device's stream workers and (b) the pipeline's
+// CPU-side co-execution ("the CPU leverages idle cores to decompress the data
+// chunks and perform updates", paper §2 step 5).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memq {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (>=1; 0 means hardware_concurrency).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs f(i) for i in [0, n) across the pool and waits for completion.
+  /// The calling thread participates, so this works even with 1 worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  /// Blocks until the queue is empty and all workers idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace memq

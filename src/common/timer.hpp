@@ -1,0 +1,77 @@
+// Wall-clock timing plus named phase accumulators.
+//
+// The pipeline engine accounts every second of the online stage to one of
+// {decompress, h2d, kernel, d2h, cpu_update, recompress, ...}; PhaseTimers is
+// that ledger.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace memq {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates seconds per named phase. Not thread-safe; each worker keeps
+/// its own and merges at the end.
+class PhaseTimers {
+ public:
+  void add(const std::string& phase, double seconds) {
+    totals_[phase] += seconds;
+  }
+
+  void merge(const PhaseTimers& other) {
+    for (const auto& [k, v] : other.totals_) totals_[k] += v;
+  }
+
+  double get(const std::string& phase) const {
+    const auto it = totals_.find(phase);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  double total() const {
+    double s = 0.0;
+    for (const auto& [k, v] : totals_) s += v;
+    return s;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII: adds the scope's duration to a PhaseTimers entry on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, std::string phase)
+      : timers_(timers), phase_(std::move(phase)) {}
+  ~ScopedPhase() { timers_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+}  // namespace memq

@@ -1,0 +1,37 @@
+// Core scalar and index types shared across all MEMQSim modules.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace memq {
+
+/// Real scalar used for amplitudes. The paper's state vectors are double
+/// precision (as in SV-Sim and QuEST's default build).
+using real_t = double;
+
+/// A single state-vector amplitude.
+using amp_t = std::complex<real_t>;
+
+/// Index into a state vector; 2^n amplitudes for n qubits, so 64-bit.
+using index_t = std::uint64_t;
+
+/// Qubit label, 0-based; qubit 0 is the least-significant bit of the index.
+using qubit_t = std::uint32_t;
+
+inline constexpr std::size_t kAmpBytes = sizeof(amp_t);
+
+/// Number of amplitudes of an n-qubit register.
+constexpr index_t dim_of(qubit_t n_qubits) noexcept {
+  return index_t{1} << n_qubits;
+}
+
+/// Bytes occupied by a dense n-qubit state vector.
+constexpr std::uint64_t state_bytes(qubit_t n_qubits) noexcept {
+  return dim_of(n_qubits) * kAmpBytes;
+}
+
+inline constexpr real_t kPi = 3.14159265358979323846264338327950288;
+
+}  // namespace memq

@@ -1,0 +1,111 @@
+// Bit-granular writer/reader on top of ByteBuffer, LSB-first within bytes.
+// Used by the Huffman coder, the Gorilla codec and the bit-plane codec.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+#include "compress/byte_buffer.hpp"
+
+namespace memq::compress {
+
+namespace detail {
+constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+}  // namespace detail
+
+class BitWriter {
+ public:
+  explicit BitWriter(ByteBuffer& out) : out_(out) {}
+
+  /// Appends the low `n` bits of `bits` (n in [0, 64]), LSB first.
+  void write(std::uint64_t bits, unsigned n) {
+    MEMQ_ASSERT(n <= 64);
+    bits &= detail::low_mask(n);
+    // Invariant between calls: fill_ < 8, so a <=56-bit chunk always fits
+    // in the 64-bit accumulator.
+    while (n > 0) {
+      const unsigned take = std::min(n, 56u);
+      acc_ |= (bits & detail::low_mask(take)) << fill_;
+      fill_ += take;
+      while (fill_ >= 8) {
+        out_.push_back(static_cast<std::uint8_t>(acc_));
+        acc_ >>= 8;
+        fill_ -= 8;
+      }
+      bits >>= take;
+      n -= take;
+    }
+  }
+
+  void write_bit(bool b) { write(b ? 1 : 0, 1); }
+
+  /// Pads to a byte boundary with zero bits.
+  void flush() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  std::size_t bits_written() const noexcept { return out_.size() * 8 + fill_; }
+
+ private:
+  ByteBuffer& out_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads `n` bits (n in [0, 64]), LSB first. Throws CorruptData past the end.
+  std::uint64_t read(unsigned n) {
+    MEMQ_ASSERT(n <= 64);
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    while (got < n) {
+      if (fill_ == 0) refill();
+      const unsigned take = std::min(n - got, fill_);
+      out |= (acc_ & detail::low_mask(take)) << got;
+      acc_ = take >= 64 ? 0 : acc_ >> take;  // >>64 would be UB
+      fill_ -= take;
+      got += take;
+    }
+    return out;
+  }
+
+  bool read_bit() { return read(1) != 0; }
+
+  /// Discards buffered bits up to the next byte boundary.
+  void align() {
+    const unsigned drop = fill_ % 8;
+    acc_ >>= drop;
+    fill_ -= drop;
+  }
+
+  std::size_t bits_consumed() const noexcept { return pos_ * 8 - fill_; }
+
+ private:
+  void refill() {
+    while (fill_ <= 56 && pos_ < data_.size()) {
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    if (fill_ == 0)
+      throw CorruptData("bit stream truncated at bit " +
+                        std::to_string(bits_consumed()));
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+}  // namespace memq::compress

@@ -1,0 +1,194 @@
+// BPC: error-bounded embedded bit-plane codec (ZFP-family alternative to the
+// predictive SZQ codec — the second lossy arm of the compressor ablation).
+//
+// Values are processed in blocks of 64. Each block is converted to sign +
+// fixed-point magnitude relative to the block's maximum exponent, then
+// magnitude bit-planes are coded MSB-first with significance flags (flat
+// EZW-style): per plane, already-significant values emit a refinement bit;
+// insignificant values emit a significance bit and, on becoming significant,
+// a sign bit. Planes below the error bound are simply not coded, which is
+// where the compression comes from.
+//
+// Pointwise guarantee: |x̂ - x| <= eb, provided eb is not below half an ulp
+// of the block maximum (2^(emax-53)); below that the codec stores every
+// plane and the residual is the fixed-point rounding error (~exact).
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/bitstream.hpp"
+#include "compress/compressor.hpp"
+
+namespace memq::compress {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+constexpr int kPrecision = 54;  // magnitude bits kept per value
+
+class BpcCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "bpc"; }
+  bool lossless() const override { return false; }
+
+  void compress(std::span<const double> in, double eb,
+                ByteBuffer& out) const override {
+    MEMQ_CHECK(eb > 0.0, "bpc requires a positive error bound, got " << eb);
+    ByteWriter w(out);
+    w.varint(in.size());
+    w.f64(eb);
+    if (in.empty()) return;
+
+    ByteBuffer bits;
+    BitWriter bw(bits);
+    ByteBuffer side;  // per-block emax values, byte-aligned
+    ByteWriter sw(side);
+
+    for (std::size_t base = 0; base < in.size(); base += kBlock) {
+      const auto block =
+          in.subspan(base, std::min(kBlock, in.size() - base));
+      encode_block(block, eb, bw, sw);
+    }
+    bw.flush();
+    w.varint(side.size());
+    w.bytes(side);
+    w.varint(bits.size());
+    w.bytes(bits);
+  }
+
+  void decompress(std::span<const std::uint8_t> in,
+                  std::span<double> out) const override {
+    ByteReader r(in);
+    const std::uint64_t n = r.varint();
+    if (n != out.size())
+      throw CorruptData("bpc count mismatch: stored " + std::to_string(n));
+    const double eb = r.f64();
+    if (n == 0) return;
+    if (!(eb > 0.0)) throw CorruptData("bpc: non-positive error bound");
+
+    const std::uint64_t side_len = r.varint();
+    ByteReader side(r.bytes(side_len));
+    const std::uint64_t bit_len = r.varint();
+    BitReader br(r.bytes(bit_len));
+
+    for (std::size_t base = 0; base < n; base += kBlock) {
+      const auto block = out.subspan(base, std::min(kBlock, n - base));
+      decode_block(block, eb, br, side);
+    }
+  }
+
+ private:
+  /// Lowest plane index (inclusive) that must be coded for bound `eb` given
+  /// block scale 2^(emax - kPrecision + 1) per plane-0 bit.
+  static int min_plane(int emax, double eb) {
+    // A bit in plane b is worth 2^(emax - kPrecision + 1 + b). All uncoded
+    // planes below b_min contribute < 2^(emax - kPrecision + 1 + b_min),
+    // so choose the largest b_min with that value <= eb.
+    const double log2eb = std::log2(eb);
+    const int b = static_cast<int>(
+        std::floor(log2eb - (emax - kPrecision + 1)));
+    if (b < 0) return 0;
+    if (b > kPrecision - 1) return kPrecision;  // nothing to code
+    return b;
+  }
+
+  static void encode_block(std::span<const double> block, double eb,
+                           BitWriter& bw, ByteWriter& sw) {
+    double max_abs = 0.0;
+    for (const double x : block) max_abs = std::max(max_abs, std::fabs(x));
+    if (max_abs == 0.0 || max_abs <= eb) {
+      sw.u8(0);  // zero block (or entirely below the bound)
+      return;
+    }
+    sw.u8(1);
+    int emax;
+    std::frexp(max_abs, &emax);  // max_abs = f * 2^emax, f in [0.5, 1)
+    sw.svarint(emax);
+
+    // Fixed point: q = round(x * 2^(kPrecision - emax)), |q| < 2^kPrecision.
+    const double scale = std::ldexp(1.0, kPrecision - emax);
+    std::uint64_t mag[kBlock];
+    bool neg[kBlock];
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const double s = block[i] * scale;
+      const auto q = static_cast<std::int64_t>(std::llround(s));
+      neg[i] = q < 0;
+      mag[i] = static_cast<std::uint64_t>(neg[i] ? -q : q);
+      // |s| can round up to exactly 2^kPrecision; clamp so the top set bit
+      // stays inside the coded planes (costs at most one fixed-point unit).
+      constexpr std::uint64_t kMaxMag = (std::uint64_t{1} << kPrecision) - 1;
+      if (mag[i] > kMaxMag) mag[i] = kMaxMag;
+    }
+
+    const int b_min = min_plane(emax, eb);
+    std::uint64_t significant = 0;  // bitmap over block positions
+    for (int b = kPrecision - 1; b >= b_min; --b) {
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        const bool bit = (mag[i] >> b) & 1;
+        if ((significant >> i) & 1) {
+          bw.write_bit(bit);  // refinement
+        } else {
+          bw.write_bit(bit);  // significance
+          if (bit) {
+            significant |= std::uint64_t{1} << i;
+            bw.write_bit(neg[i]);
+          }
+        }
+      }
+    }
+  }
+
+  static void decode_block(std::span<double> block, double eb, BitReader& br,
+                           ByteReader& side) {
+    const std::uint8_t flag = side.u8();
+    if (flag == 0) {
+      for (auto& x : block) x = 0.0;
+      return;
+    }
+    if (flag != 1) throw CorruptData("bpc: bad block flag");
+    const auto emax = static_cast<int>(side.svarint());
+    if (emax < -2000 || emax > 2000)
+      throw CorruptData("bpc: implausible block exponent");
+
+    const int b_min = min_plane(emax, eb);
+    std::uint64_t mag[kBlock] = {};
+    bool neg[kBlock] = {};
+    std::uint64_t significant = 0;
+    for (int b = kPrecision - 1; b >= b_min; --b) {
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        const bool bit = br.read_bit();
+        if (bit) {
+          mag[i] |= std::uint64_t{1} << b;
+          if (!((significant >> i) & 1)) {
+            significant |= std::uint64_t{1} << i;
+            neg[i] = br.read_bit();
+          }
+        }
+      }
+    }
+
+    const double inv_scale = std::ldexp(1.0, emax - kPrecision);
+    // Mid-tread reconstruction: add half of the uncoded tail to significant
+    // values so truncation error is centered.
+    const double round_up =
+        b_min > 0 ? std::ldexp(1.0, b_min - 1) : 0.0;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (mag[i] == 0) {
+        block[i] = 0.0;
+        continue;
+      }
+      const double m = static_cast<double>(mag[i]) + round_up;
+      block[i] = (neg[i] ? -m : m) * inv_scale;
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Compressor> make_bpc() {
+  return std::make_unique<BpcCompressor>();
+}
+}  // namespace detail
+
+}  // namespace memq::compress

@@ -1,0 +1,147 @@
+// Growable byte buffer plus bounds-checked little-endian reader/writer.
+//
+// All compressed-chunk payloads are built and parsed through these; the
+// reader throws CorruptData instead of reading past the end, which is what
+// turns a truncated chunk into a detected failure rather than UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace memq::compress {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(ByteBuffer& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  /// LEB128 unsigned varint.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+
+  /// ZigZag-encoded signed varint.
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  ByteBuffer& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data)
+      : data_(data), pos_(0) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    const auto lo = u8();
+    const auto hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t byte = u8();
+      if (shift == 63 && (byte & 0x7E) != 0)
+        throw CorruptData("varint overflows 64 bits");
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+      if (shift > 63) throw CorruptData("varint too long");
+    }
+  }
+
+  std::int64_t svarint() {
+    const std::uint64_t z = varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::size_t pos() const noexcept { return pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n)
+      throw CorruptData("byte stream truncated: need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(data_.size() - pos_));
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_;
+};
+
+}  // namespace memq::compress

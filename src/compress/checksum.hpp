@@ -1,0 +1,23 @@
+// FNV-1a 64-bit checksum, used by the chunk codec to detect corrupted
+// compressed chunks before feeding them to a decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace memq::compress {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                                std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace memq::compress

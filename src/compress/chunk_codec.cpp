@@ -1,0 +1,138 @@
+#include "compress/chunk_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "compress/checksum.hpp"
+
+namespace memq::compress {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D51434Bu;  // "MQCK"
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::uint8_t kFlagZeroChunk = 1u << 0;
+constexpr std::uint8_t kFlagChecksum = 1u << 1;
+
+}  // namespace
+
+ChunkCodec::ChunkCodec(const ChunkCodecConfig& config)
+    : config_(config), compressor_(make_compressor(config.compressor)) {
+  if (!compressor_->lossless())
+    MEMQ_CHECK(config_.bound > 0.0,
+               "lossy compressor '" << config_.compressor
+                                    << "' needs a positive bound");
+}
+
+void ChunkCodec::encode(std::span<const amp_t> amps, ByteBuffer& out) {
+  out.clear();
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.varint(amps.size());
+
+  double max_abs = 0.0;
+  for (const amp_t& a : amps) {
+    max_abs = std::max(max_abs, std::fabs(a.real()));
+    max_abs = std::max(max_abs, std::fabs(a.imag()));
+  }
+
+  std::uint8_t flags = config_.checksum ? kFlagChecksum : 0;
+  if (max_abs == 0.0) {
+    flags |= kFlagZeroChunk;
+    w.u8(flags);
+    if (config_.checksum) w.u64(fnv1a64({out.data(), out.size()}));
+    return;
+  }
+  w.u8(flags);
+
+  double eb_abs = config_.bound;
+  if (config_.mode == ErrorMode::kValueRangeRelative) eb_abs *= max_abs;
+  w.f64(eb_abs);
+
+  re_.resize(amps.size());
+  im_.resize(amps.size());
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    re_[i] = amps[i].real();
+    im_[i] = amps[i].imag();
+  }
+
+  ByteBuffer plane;
+  for (const auto* src : {&re_, &im_}) {
+    plane.clear();
+    compressor_->compress(*src, eb_abs, plane);
+    w.varint(plane.size());
+    w.bytes(plane);
+  }
+
+  if (config_.checksum) w.u64(fnv1a64({out.data(), out.size()}));
+}
+
+void ChunkCodec::decode(std::span<const std::uint8_t> data,
+                        std::span<amp_t> amps) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw CorruptData("chunk: bad magic");
+  if (r.u8() != kVersion) throw CorruptData("chunk: unsupported version");
+  const std::uint64_t n = r.varint();
+  if (n != amps.size())
+    throw CorruptData("chunk: count mismatch: stored " + std::to_string(n) +
+                      ", expected " + std::to_string(amps.size()));
+  const std::uint8_t flags = r.u8();
+
+  if (flags & kFlagChecksum) {
+    if (data.size() < 8) throw CorruptData("chunk: too short for checksum");
+    const std::uint64_t stored =
+        ByteReader(data.subspan(data.size() - 8)).u64();
+    const std::uint64_t computed = fnv1a64(data.first(data.size() - 8));
+    if (stored != computed) throw CorruptData("chunk: checksum mismatch");
+  }
+
+  if (flags & kFlagZeroChunk) {
+    std::fill(amps.begin(), amps.end(), amp_t{0.0, 0.0});
+    return;
+  }
+
+  (void)r.f64();  // eb_abs: informational; each codec re-reads its own copy
+
+  re_.resize(amps.size());
+  im_.resize(amps.size());
+  for (auto* dst : {&re_, &im_}) {
+    const std::uint64_t len = r.varint();
+    const auto payload = r.bytes(len);
+    compressor_->decompress(payload, *dst);
+  }
+  for (std::size_t i = 0; i < amps.size(); ++i)
+    amps[i] = amp_t{re_[i], im_[i]};
+}
+
+std::uint64_t ChunkCodec::stored_count(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw CorruptData("chunk: bad magic");
+  if (r.u8() != kVersion) throw CorruptData("chunk: unsupported version");
+  return r.varint();
+}
+
+bool ChunkCodec::is_zero_chunk(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw CorruptData("chunk: bad magic");
+  if (r.u8() != kVersion) throw CorruptData("chunk: unsupported version");
+  (void)r.varint();
+  return (r.u8() & kFlagZeroChunk) != 0;
+}
+
+void ChunkCodec::verify(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw CorruptData("chunk: bad magic");
+  if (r.u8() != kVersion) throw CorruptData("chunk: unsupported version");
+  (void)r.varint();
+  const std::uint8_t flags = r.u8();
+  if ((flags & kFlagChecksum) == 0) return;
+  if (data.size() < 8) throw CorruptData("chunk: too short for checksum");
+  const std::uint64_t stored = ByteReader(data.subspan(data.size() - 8)).u64();
+  if (stored != fnv1a64(data.first(data.size() - 8)))
+    throw CorruptData("chunk: checksum mismatch");
+}
+
+}  // namespace memq::compress

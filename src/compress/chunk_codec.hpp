@@ -1,0 +1,72 @@
+// Codec for one state-vector chunk: complex amplitudes <-> compressed bytes.
+//
+// This is the unit of the paper's offline stage ("each data chunk of the
+// state vector is compressed independently and stored in CPU memory with
+// such compressed format"). Responsibilities beyond the raw compressor:
+//   * split amplitudes into re/im planes (each is smooth on its own),
+//   * resolve a value-range-relative bound to the absolute bound the
+//     compressor needs, per chunk,
+//   * fast-path all-zero chunks (ubiquitous early in GHZ/Grover circuits),
+//   * frame the payload with a header + FNV checksum so corruption is
+//     detected, not silently decoded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compress/byte_buffer.hpp"
+#include "compress/compressor.hpp"
+
+namespace memq::compress {
+
+/// How the configured bound is interpreted.
+enum class ErrorMode : std::uint8_t {
+  kAbsolute = 0,           ///< bound is the absolute per-value error
+  kValueRangeRelative = 1, ///< bound is relative to the chunk's max |value|
+};
+
+struct ChunkCodecConfig {
+  std::string compressor = "szq";
+  ErrorMode mode = ErrorMode::kValueRangeRelative;
+  double bound = 1e-5;
+  bool checksum = true;
+};
+
+/// Encodes/decodes chunks. Holds scratch planes, so NOT thread-safe: the
+/// pipeline gives each worker its own ChunkCodec.
+class ChunkCodec {
+ public:
+  explicit ChunkCodec(const ChunkCodecConfig& config);
+
+  /// Compresses `amps`, replacing the contents of `out`.
+  void encode(std::span<const amp_t> amps, ByteBuffer& out);
+
+  /// Decompresses into `amps` (must be sized to the original count).
+  /// Throws CorruptData on framing/checksum/codec errors.
+  void decode(std::span<const std::uint8_t> data, std::span<amp_t> amps);
+
+  /// Number of amplitudes stored in an encoded chunk (header peek).
+  static std::uint64_t stored_count(std::span<const std::uint8_t> data);
+
+  /// True if the chunk was encoded through the all-zero fast path
+  /// (header peek; no decompression).
+  static bool is_zero_chunk(std::span<const std::uint8_t> data);
+
+  /// Validates framing and (when present) the checksum without decoding
+  /// the payload; throws CorruptData on any mismatch. Used by checkpoint
+  /// restore to reject rotten blobs early.
+  static void verify(std::span<const std::uint8_t> data);
+
+  const ChunkCodecConfig& config() const noexcept { return config_; }
+  const Compressor& compressor() const noexcept { return *compressor_; }
+
+ private:
+  ChunkCodecConfig config_;
+  std::unique_ptr<Compressor> compressor_;
+  std::vector<double> re_, im_;  // scratch planes
+};
+
+}  // namespace memq::compress

@@ -1,0 +1,50 @@
+// Abstract compressor interface + registry.
+//
+// The paper stresses that MEMQSim is "adaptable to accommodate various
+// compression algorithms"; this is that seam. Compressors operate on flat
+// double arrays (the chunk codec splits complex amplitudes into re/im
+// planes). All implementations are stateless and thread-safe: the pipeline
+// calls them concurrently from CPU workers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/byte_buffer.hpp"
+
+namespace memq::compress {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Registry name ("szq", "gorilla", "bpc", "null").
+  virtual std::string name() const = 0;
+
+  /// True if decompression is bit-exact regardless of the error bound.
+  virtual bool lossless() const = 0;
+
+  /// Compresses `in` with pointwise absolute error bound `eb_abs` and
+  /// appends the encoded form to `out`. Lossless codecs ignore `eb_abs`.
+  /// Lossy codecs require eb_abs > 0.
+  virtual void compress(std::span<const double> in, double eb_abs,
+                        ByteBuffer& out) const = 0;
+
+  /// Inverse of compress(); `out.size()` must equal the original count
+  /// (callers know it from their own headers). Throws CorruptData on
+  /// malformed input.
+  virtual void decompress(std::span<const std::uint8_t> in,
+                          std::span<double> out) const = 0;
+};
+
+/// Creates a compressor by registry name; throws InvalidArgument for
+/// unknown names.
+std::unique_ptr<Compressor> make_compressor(const std::string& name);
+
+/// All registered names, in registration order.
+std::vector<std::string> compressor_names();
+
+}  // namespace memq::compress

@@ -1,0 +1,121 @@
+// Lossless XOR compressor for doubles in the style of Facebook's Gorilla
+// (Pelkonen et al., VLDB 2015).
+//
+// State-vector amplitudes evolve smoothly under many circuits, so consecutive
+// values share exponent and high mantissa bits; XOR-with-previous then has
+// long leading/trailing zero runs. This is the lossless arm of the qubit-
+// extension experiment (E2): it shows how much of the paper's claim needs
+// *lossy* compression.
+#include <bit>
+
+#include "compress/bitstream.hpp"
+#include "compress/compressor.hpp"
+
+namespace memq::compress {
+
+namespace {
+
+std::uint64_t to_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double from_bits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+class GorillaCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "gorilla"; }
+  bool lossless() const override { return true; }
+
+  void compress(std::span<const double> in, double /*eb_abs*/,
+                ByteBuffer& out) const override {
+    ByteWriter w(out);
+    w.varint(in.size());
+    if (in.empty()) return;
+
+    ByteBuffer bits;
+    BitWriter bw(bits);
+    std::uint64_t prev = to_bits(in[0]);
+    bw.write(prev, 64);
+    unsigned win_lz = 65, win_len = 0;  // invalid window sentinel
+
+    for (std::size_t i = 1; i < in.size(); ++i) {
+      const std::uint64_t cur = to_bits(in[i]);
+      const std::uint64_t x = cur ^ prev;
+      prev = cur;
+      if (x == 0) {
+        bw.write_bit(false);
+        continue;
+      }
+      bw.write_bit(true);
+      unsigned lz = static_cast<unsigned>(std::countl_zero(x));
+      const unsigned tz = static_cast<unsigned>(std::countr_zero(x));
+      if (lz > 31) lz = 31;  // lz field is 5 bits
+      const unsigned len = 64 - lz - tz;
+      if (win_lz <= 31 && lz >= win_lz && 64 - win_lz - win_len <= tz) {
+        // Fits the previous window: reuse it (control bit 0).
+        bw.write_bit(false);
+        bw.write(x >> (64 - win_lz - win_len), win_len);
+      } else {
+        bw.write_bit(true);
+        bw.write(lz, 5);
+        bw.write(len - 1, 6);  // len in [1,64]
+        bw.write(x >> tz, len);
+        win_lz = lz;
+        win_len = len;
+      }
+    }
+    bw.flush();
+    w.varint(bits.size());
+    w.bytes(bits);
+  }
+
+  void decompress(std::span<const std::uint8_t> in,
+                  std::span<double> out) const override {
+    ByteReader r(in);
+    const std::uint64_t n = r.varint();
+    if (n != out.size())
+      throw CorruptData("gorilla count mismatch: stored " + std::to_string(n));
+    if (n == 0) return;
+    const std::uint64_t payload_len = r.varint();
+    BitReader br(r.bytes(payload_len));
+
+    std::uint64_t prev = br.read(64);
+    out[0] = from_bits(prev);
+    unsigned win_lz = 0, win_len = 0;
+    bool win_valid = false;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (!br.read_bit()) {
+        out[i] = from_bits(prev);
+        continue;
+      }
+      if (br.read_bit()) {
+        win_lz = static_cast<unsigned>(br.read(5));
+        win_len = static_cast<unsigned>(br.read(6)) + 1;
+        win_valid = true;
+      } else if (!win_valid) {
+        throw CorruptData("gorilla: window reuse before any window");
+      }
+      if (win_lz + win_len > 64)
+        throw CorruptData("gorilla: invalid window geometry");
+      const std::uint64_t meaningful = br.read(win_len);
+      prev ^= meaningful << (64 - win_lz - win_len);
+      out[i] = from_bits(prev);
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Compressor> make_gorilla() {
+  return std::make_unique<GorillaCompressor>();
+}
+}  // namespace detail
+
+}  // namespace memq::compress

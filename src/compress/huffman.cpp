@@ -1,0 +1,196 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace memq::compress {
+namespace {
+
+/// Computes optimal code lengths for the nonzero-count symbols using the
+/// standard heap construction. Returns lengths parallel to `counts`.
+std::vector<std::uint8_t> code_lengths(std::span<const std::uint64_t> counts) {
+  struct Node {
+    std::uint64_t weight;
+    std::int32_t left;   // node index or ~symbol for leaves
+    std::int32_t right;
+  };
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<std::uint64_t, std::int32_t>;  // (weight, node)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (std::uint32_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    nodes.push_back({counts[s], ~static_cast<std::int32_t>(s), 0});
+    heap.emplace(counts[s], static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  MEMQ_CHECK(!heap.empty(), "Huffman build with all-zero counts");
+
+  std::vector<std::uint8_t> lengths(counts.size(), 0);
+  if (heap.size() == 1) {
+    // Single distinct symbol: give it a 1-bit code.
+    const auto leaf = nodes[static_cast<std::size_t>(heap.top().second)];
+    lengths[static_cast<std::uint32_t>(~leaf.left)] = 1;
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b});
+    heap.emplace(wa + wb, static_cast<std::int32_t>(nodes.size() - 1));
+  }
+
+  // Iterative depth assignment from the root.
+  std::vector<std::pair<std::int32_t, std::uint8_t>> stack;
+  stack.emplace_back(heap.top().second, 0);
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    // Leaves carry ~symbol in `left`; internal nodes have left >= 0.
+    if (n.left < 0) {
+      lengths[static_cast<std::uint32_t>(~n.left)] = depth == 0 ? 1 : depth;
+      continue;
+    }
+    stack.emplace_back(n.left, static_cast<std::uint8_t>(depth + 1));
+    stack.emplace_back(n.right, static_cast<std::uint8_t>(depth + 1));
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCode HuffmanCode::from_counts(std::span<const std::uint64_t> counts) {
+  MEMQ_CHECK(!counts.empty(), "empty alphabet");
+  std::vector<std::uint64_t> scaled(counts.begin(), counts.end());
+  HuffmanCode hc;
+  for (;;) {
+    hc.lengths_ = code_lengths(scaled);
+    const unsigned max_len =
+        *std::max_element(hc.lengths_.begin(), hc.lengths_.end());
+    if (max_len <= kMaxCodeLen) break;
+    // Flatten the distribution and retry; terminates because counts converge
+    // to all-equal (=> balanced tree, depth ceil(log2(alphabet)) < kMaxCodeLen
+    // for any alphabet that fits in memory).
+    for (auto& c : scaled)
+      if (c > 0) c = (c + 1) / 2;
+  }
+  hc.build_tables();
+  return hc;
+}
+
+void HuffmanCode::build_tables() {
+  max_len_ = 0;
+  for (const auto len : lengths_) max_len_ = std::max<unsigned>(max_len_, len);
+  MEMQ_CHECK(max_len_ > 0 && max_len_ <= kMaxCodeLen,
+             "invalid max code length " << max_len_);
+
+  count_by_len_.assign(max_len_ + 1, 0);
+  for (const auto len : lengths_)
+    if (len > 0) ++count_by_len_[len];
+
+  // Kraft check so corrupted tables can't send the decoder out of bounds.
+  std::uint64_t kraft = 0;
+  for (unsigned l = 1; l <= max_len_; ++l)
+    kraft += static_cast<std::uint64_t>(count_by_len_[l])
+             << (max_len_ - l);
+  MEMQ_CHECK(kraft <= (std::uint64_t{1} << max_len_),
+             "code lengths violate the Kraft inequality");
+
+  // Canonical first codes per length.
+  first_code_.assign(max_len_ + 2, 0);
+  std::uint64_t code = 0;
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    code = (code + count_by_len_[l - 1]) << 1;
+    first_code_[l] = code;
+  }
+
+  // Symbols sorted by (length, symbol); first_index_[l] points at the block
+  // of symbols with code length l.
+  first_index_.assign(max_len_ + 2, 0);
+  for (unsigned l = 1; l <= max_len_; ++l)
+    first_index_[l + 1] = first_index_[l] + count_by_len_[l];
+  sorted_symbols_.assign(first_index_[max_len_ + 1], 0);
+  std::vector<std::uint32_t> cursor(first_index_.begin(), first_index_.end());
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s)
+    if (lengths_[s] > 0) sorted_symbols_[cursor[lengths_[s]]++] = s;
+
+  // Per-symbol canonical codes for the encoder.
+  codes_.assign(lengths_.size(), 0);
+  std::vector<std::uint64_t> next(first_code_.begin(), first_code_.end());
+  for (unsigned l = 1; l <= max_len_; ++l) {
+    for (std::uint32_t i = first_index_[l]; i < first_index_[l + 1]; ++i)
+      codes_[sorted_symbols_[i]] = next[l]++;
+  }
+}
+
+void HuffmanCode::serialize(ByteWriter& w) const {
+  w.varint(lengths_.size());
+  // RLE: (length byte, run varint) pairs; long zero runs are the common case.
+  std::size_t i = 0;
+  while (i < lengths_.size()) {
+    std::size_t j = i;
+    while (j < lengths_.size() && lengths_[j] == lengths_[i]) ++j;
+    w.u8(lengths_[i]);
+    w.varint(j - i);
+    i = j;
+  }
+}
+
+HuffmanCode HuffmanCode::deserialize(ByteReader& r) {
+  const std::uint64_t n = r.varint();
+  MEMQ_CHECK(n > 0 && n <= (std::uint64_t{1} << 24),
+             "implausible Huffman alphabet size " << n);
+  HuffmanCode hc;
+  hc.lengths_.reserve(n);
+  while (hc.lengths_.size() < n) {
+    const std::uint8_t len = r.u8();
+    if (len > kMaxCodeLen) throw CorruptData("Huffman code length too large");
+    const std::uint64_t run = r.varint();
+    if (hc.lengths_.size() + run > n)
+      throw CorruptData("Huffman length RLE overruns alphabet");
+    hc.lengths_.insert(hc.lengths_.end(), run, len);
+  }
+  hc.build_tables();
+  return hc;
+}
+
+void HuffmanCode::encode(BitWriter& bw, std::uint32_t symbol) const {
+  MEMQ_CHECK(symbol < lengths_.size() && lengths_[symbol] > 0,
+             "encoding symbol " << symbol << " with no Huffman code");
+  const unsigned len = lengths_[symbol];
+  const std::uint64_t code = codes_[symbol];
+  // MSB-first emission enables incremental canonical decoding.
+  for (unsigned i = len; i-- > 0;) bw.write_bit((code >> i) & 1);
+}
+
+std::uint32_t HuffmanCode::decode(BitReader& br) const {
+  std::uint64_t code = 0;
+  for (unsigned len = 1; len <= max_len_; ++len) {
+    code = (code << 1) | (br.read_bit() ? 1 : 0);
+    if (count_by_len_[len] == 0) continue;
+    const std::uint64_t first = first_code_[len];
+    if (code >= first && code - first < count_by_len_[len])
+      return sorted_symbols_[first_index_[len] +
+                             static_cast<std::uint32_t>(code - first)];
+  }
+  throw CorruptData("invalid Huffman code word");
+}
+
+double HuffmanCode::mean_code_length(
+    std::span<const std::uint64_t> counts) const {
+  std::uint64_t total = 0, bits = 0;
+  for (std::uint32_t s = 0; s < counts.size() && s < lengths_.size(); ++s) {
+    total += counts[s];
+    bits += counts[s] * lengths_[s];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(bits) / static_cast<double>(total);
+}
+
+}  // namespace memq::compress

@@ -1,0 +1,64 @@
+// Canonical Huffman coding over a dense u32 symbol alphabet.
+//
+// This is the entropy stage of the SZQ lossy compressor (quantization codes
+// are extremely skewed — near-predicted values dominate — which is where the
+// compression ratio comes from, exactly as in SZ).
+//
+// Codes are canonical: assigned by (length, symbol) order, so only the code
+// lengths are serialized. Code bits are written MSB-first so the decoder can
+// do incremental canonical decoding (first_code/offset per length).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+#include "compress/byte_buffer.hpp"
+
+namespace memq::compress {
+
+class HuffmanCode {
+ public:
+  /// Longest admissible code. Counts are rescaled until respected.
+  static constexpr unsigned kMaxCodeLen = 48;
+
+  /// Builds an optimal (length-limited) code from symbol frequencies.
+  /// Symbols with zero count get no code. At least one nonzero count required.
+  static HuffmanCode from_counts(std::span<const std::uint64_t> counts);
+
+  /// Writes the code-length table (RLE over lengths, varint runs).
+  void serialize(ByteWriter& w) const;
+
+  /// Reads a table written by serialize().
+  static HuffmanCode deserialize(ByteReader& r);
+
+  /// Emits the code of `symbol`; throws if the symbol had zero count.
+  void encode(BitWriter& bw, std::uint32_t symbol) const;
+
+  /// Decodes one symbol.
+  std::uint32_t decode(BitReader& br) const;
+
+  std::size_t alphabet_size() const noexcept { return lengths_.size(); }
+  unsigned length_of(std::uint32_t symbol) const {
+    return symbol < lengths_.size() ? lengths_[symbol] : 0;
+  }
+
+  /// Expected bits/symbol under `counts` — used by tests and by the SZQ
+  /// encoder to predict output size.
+  double mean_code_length(std::span<const std::uint64_t> counts) const;
+
+ private:
+  void build_tables();
+
+  std::vector<std::uint8_t> lengths_;        // per symbol, 0 = unused
+  std::vector<std::uint64_t> codes_;         // canonical, MSB-first semantics
+  // Decoder tables indexed by code length.
+  std::vector<std::uint64_t> first_code_;    // first canonical code of length L
+  std::vector<std::uint32_t> first_index_;   // index into sorted_symbols_
+  std::vector<std::uint32_t> count_by_len_;  // #codes of length L
+  std::vector<std::uint32_t> sorted_symbols_;
+  unsigned max_len_ = 0;
+};
+
+}  // namespace memq::compress

@@ -1,0 +1,247 @@
+// LZH: general-purpose lossless byte compressor (LZ77 hash-chain matcher +
+// canonical Huffman over a deflate-style literal/length alphabet).
+//
+// Role in MEMQSim: the "bring your own compressor" demonstration — unlike
+// SZQ/BPC it knows nothing about doubles, so it shows the chunk codec's
+// modularity and serves as the dictionary-coding arm of the compressor
+// ablation (state planes with repeating byte patterns, e.g. sparse states,
+// compress well; high-entropy mantissas do not).
+//
+// Format per block (single block per buffer):
+//   varint n_values | varint n_bytes | huffman table (lit/len alphabet) |
+//   huffman table (distance alphabet) | varint bitstream length | tokens
+// Token stream: symbols 0..255 = literal bytes; 256 = end-of-block;
+// 257+k = match of base length with extra bits, deflate-style, followed by
+// a distance symbol + extra bits.
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/bitstream.hpp"
+#include "compress/compressor.hpp"
+#include "compress/huffman.hpp"
+
+namespace memq::compress {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+// Largest distance the code table can express: 24577 + (2^13 - 1) = 32768.
+constexpr std::size_t kWindow = 1 << 15;
+constexpr std::size_t kHashBits = 15;
+constexpr std::uint32_t kEndOfBlock = 256;
+
+// Length codes: 29 deflate-style buckets starting at symbol 257.
+struct LenCode {
+  std::uint32_t base;
+  unsigned extra;
+};
+constexpr LenCode kLenCodes[] = {
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},
+    {9, 0},   {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1},
+    {19, 2},  {23, 2},  {27, 2},  {31, 2},  {35, 3},  {43, 3},
+    {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0}};
+constexpr std::size_t kNumLenCodes = std::size(kLenCodes);
+constexpr std::size_t kLitLenAlphabet = 257 + kNumLenCodes;
+
+// Distance codes: 30 deflate buckets.
+constexpr LenCode kDistCodes[] = {
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},     {5, 1},    {7, 1},
+    {9, 2},     {13, 2},    {17, 3},    {25, 3},    {33, 4},   {49, 4},
+    {65, 5},    {97, 5},    {129, 6},   {193, 6},   {257, 7},  {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},  {1537, 9},  {2049, 10},
+    {3073, 10}, {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12},
+    {16385, 13}, {24577, 13}};
+constexpr std::size_t kDistAlphabet = std::size(kDistCodes);
+
+std::uint32_t length_symbol(std::size_t len) {
+  for (std::size_t i = kNumLenCodes; i-- > 0;)
+    if (len >= kLenCodes[i].base) return static_cast<std::uint32_t>(i);
+  return 0;
+}
+
+std::uint32_t distance_symbol(std::size_t dist) {
+  for (std::size_t i = kDistAlphabet; i-- > 0;)
+    if (dist >= kDistCodes[i].base) return static_cast<std::uint32_t>(i);
+  return 0;
+}
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+struct Token {
+  bool is_match;
+  std::uint8_t literal;
+  std::uint32_t length;    // match only
+  std::uint32_t distance;  // match only
+};
+
+std::vector<Token> tokenize(std::span<const std::uint8_t> in) {
+  std::vector<Token> tokens;
+  tokens.reserve(in.size() / 2);
+  std::vector<std::int64_t> head(std::size_t{1} << kHashBits, -1);
+  std::vector<std::int64_t> prev(in.size(), -1);
+
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t best_len = 0, best_dist = 0;
+    if (i + kMinMatch <= in.size()) {
+      const std::uint32_t h = hash4(&in[i]);
+      const std::int64_t first = head[h];
+      std::int64_t cand = first;
+      int chain = 32;  // bounded effort
+      while (cand >= 0 && chain-- > 0 &&
+             i - static_cast<std::size_t>(cand) <= kWindow) {
+        const auto c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        const std::size_t cap = std::min(kMaxMatch, in.size() - i);
+        while (len < cap && in[c + len] == in[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len >= 64) break;  // good enough
+        }
+        cand = prev[c];
+      }
+      prev[i] = first;
+      head[h] = static_cast<std::int64_t>(i);
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back({true, 0, static_cast<std::uint32_t>(best_len),
+                        static_cast<std::uint32_t>(best_dist)});
+      // Insert hash entries for the skipped positions (cheap variant: only
+      // every other position to bound the cost).
+      for (std::size_t k = 1; k < best_len && i + k + 4 <= in.size();
+           k += 2) {
+        const std::uint32_t h = hash4(&in[i + k]);
+        prev[i + k] = head[h];
+        head[h] = static_cast<std::int64_t>(i + k);
+      }
+      i += best_len;
+    } else {
+      tokens.push_back({false, in[i], 0, 0});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+class LzhCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "lzh"; }
+  bool lossless() const override { return true; }
+
+  void compress(std::span<const double> in, double /*eb*/,
+                ByteBuffer& out) const override {
+    ByteWriter w(out);
+    w.varint(in.size());
+    if (in.empty()) return;
+    const auto bytes = std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(in.data()),
+        in.size() * sizeof(double));
+
+    const std::vector<Token> tokens = tokenize(bytes);
+
+    std::vector<std::uint64_t> lit_counts(kLitLenAlphabet, 0);
+    std::vector<std::uint64_t> dist_counts(kDistAlphabet, 0);
+    for (const Token& t : tokens) {
+      if (t.is_match) {
+        ++lit_counts[257 + length_symbol(t.length)];
+        ++dist_counts[distance_symbol(t.distance)];
+      } else {
+        ++lit_counts[t.literal];
+      }
+    }
+    ++lit_counts[kEndOfBlock];
+    // The distance table must be constructible even with no matches.
+    if (tokens.empty() ||
+        std::none_of(tokens.begin(), tokens.end(),
+                     [](const Token& t) { return t.is_match; }))
+      ++dist_counts[0];
+
+    const HuffmanCode lit_code = HuffmanCode::from_counts(lit_counts);
+    const HuffmanCode dist_code = HuffmanCode::from_counts(dist_counts);
+    lit_code.serialize(w);
+    dist_code.serialize(w);
+
+    ByteBuffer bits;
+    BitWriter bw(bits);
+    for (const Token& t : tokens) {
+      if (t.is_match) {
+        const std::uint32_t ls = length_symbol(t.length);
+        lit_code.encode(bw, 257 + ls);
+        bw.write(t.length - kLenCodes[ls].base, kLenCodes[ls].extra);
+        const std::uint32_t ds = distance_symbol(t.distance);
+        dist_code.encode(bw, ds);
+        bw.write(t.distance - kDistCodes[ds].base, kDistCodes[ds].extra);
+      } else {
+        lit_code.encode(bw, t.literal);
+      }
+    }
+    lit_code.encode(bw, kEndOfBlock);
+    bw.flush();
+    w.varint(bits.size());
+    w.bytes(bits);
+  }
+
+  void decompress(std::span<const std::uint8_t> in,
+                  std::span<double> out) const override {
+    ByteReader r(in);
+    const std::uint64_t n = r.varint();
+    if (n != out.size())
+      throw CorruptData("lzh count mismatch: stored " + std::to_string(n));
+    if (n == 0) return;
+    const std::size_t total_bytes = out.size() * sizeof(double);
+
+    const HuffmanCode lit_code = HuffmanCode::deserialize(r);
+    const HuffmanCode dist_code = HuffmanCode::deserialize(r);
+    const std::uint64_t bit_len = r.varint();
+    BitReader br(r.bytes(bit_len));
+
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(total_bytes);
+    for (;;) {
+      const std::uint32_t sym = lit_code.decode(br);
+      if (sym == kEndOfBlock) break;
+      if (sym < 256) {
+        bytes.push_back(static_cast<std::uint8_t>(sym));
+      } else {
+        const std::uint32_t ls = sym - 257;
+        if (ls >= kNumLenCodes) throw CorruptData("lzh: bad length symbol");
+        const std::size_t len =
+            kLenCodes[ls].base + br.read(kLenCodes[ls].extra);
+        const std::uint32_t ds = dist_code.decode(br);
+        if (ds >= kDistAlphabet) throw CorruptData("lzh: bad dist symbol");
+        const std::size_t dist =
+            kDistCodes[ds].base + br.read(kDistCodes[ds].extra);
+        if (dist == 0 || dist > bytes.size())
+          throw CorruptData("lzh: distance before start of stream");
+        const std::size_t start = bytes.size() - dist;
+        for (std::size_t k = 0; k < len; ++k)
+          bytes.push_back(bytes[start + k]);  // overlapping copies OK
+      }
+      if (bytes.size() > total_bytes)
+        throw CorruptData("lzh: decoded stream too long");
+    }
+    if (bytes.size() != total_bytes)
+      throw CorruptData("lzh: decoded stream too short");
+    std::memcpy(out.data(), bytes.data(), total_bytes);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Compressor> make_lzh() {
+  return std::make_unique<LzhCompressor>();
+}
+}  // namespace detail
+
+}  // namespace memq::compress

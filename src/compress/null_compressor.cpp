@@ -1,0 +1,47 @@
+// Passthrough "compressor": raw little-endian doubles. The control arm of
+// every compression experiment, and the storage codec when compression is
+// disabled in the engine config.
+#include <cstring>
+
+#include "compress/compressor.hpp"
+
+namespace memq::compress {
+
+namespace {
+
+class NullCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "null"; }
+  bool lossless() const override { return true; }
+
+  void compress(std::span<const double> in, double /*eb_abs*/,
+                ByteBuffer& out) const override {
+    ByteWriter w(out);
+    w.varint(in.size());
+    const std::size_t offset = out.size();
+    out.resize(offset + in.size() * sizeof(double));
+    std::memcpy(out.data() + offset, in.data(), in.size() * sizeof(double));
+  }
+
+  void decompress(std::span<const std::uint8_t> in,
+                  std::span<double> out) const override {
+    ByteReader r(in);
+    const std::uint64_t n = r.varint();
+    if (n != out.size())
+      throw CorruptData("null codec count mismatch: stored " +
+                        std::to_string(n) + ", expected " +
+                        std::to_string(out.size()));
+    const auto payload = r.bytes(n * sizeof(double));
+    std::memcpy(out.data(), payload.data(), payload.size());
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Compressor> make_null() {
+  return std::make_unique<NullCompressor>();
+}
+}  // namespace detail
+
+}  // namespace memq::compress

@@ -1,0 +1,65 @@
+// Error-bounded linear-scaling quantizer + the two 1-D predictors, the core
+// of the SZQ lossy compressor (same scheme as SZ 2.x's 1D pipeline:
+// prediction, quantization with radius-limited codes, exceptions for
+// unpredictable values).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace memq::compress {
+
+/// Quantization codes live in [0, 2*kRadius); code kRadius means
+/// "prediction was exact (within eb)". Two extra symbols follow the code
+/// range in the entropy alphabet.
+inline constexpr std::int64_t kQuantRadius = 1 << 15;
+inline constexpr std::uint32_t kSymZero =
+    static_cast<std::uint32_t>(kQuantRadius);
+inline constexpr std::uint32_t kSymException = 2 * kQuantRadius;      // 65536
+inline constexpr std::uint32_t kSymZeroRun = 2 * kQuantRadius + 1;    // 65537
+inline constexpr std::size_t kSzqAlphabet = 2 * kQuantRadius + 2;
+
+struct QuantResult {
+  std::uint32_t symbol;  ///< kSymException, or code in [0, 2*kQuantRadius)
+  double reconstructed;  ///< decoder-side value (== input for exceptions)
+};
+
+/// Quantizes `x` against prediction `pred` with absolute bound `eb`.
+/// Guarantees |reconstructed - x| <= eb, falling back to an exception
+/// (exact storage) when the code would not fit the radius or when rounding
+/// would break the bound.
+inline QuantResult quantize(double x, double pred, double eb) noexcept {
+  const double diff = x - pred;
+  const double scaled = diff / (2.0 * eb);
+  if (std::fabs(scaled) < static_cast<double>(kQuantRadius) - 1.0) {
+    const auto q = static_cast<std::int64_t>(std::llround(scaled));
+    const double recon = pred + 2.0 * eb * static_cast<double>(q);
+    if (std::fabs(recon - x) <= eb) {
+      return {static_cast<std::uint32_t>(q + kQuantRadius), recon};
+    }
+  }
+  return {kSymException, x};
+}
+
+/// Inverse mapping for a non-exception symbol.
+inline double dequantize(std::uint32_t symbol, double pred,
+                         double eb) noexcept {
+  const auto q = static_cast<std::int64_t>(symbol) - kQuantRadius;
+  return pred + 2.0 * eb * static_cast<double>(q);
+}
+
+enum class PredictorKind : std::uint8_t {
+  kLorenzo = 0,  ///< pred = previous reconstructed value
+  kLinear = 1,   ///< pred = 2*r[i-1] - r[i-2]
+};
+
+/// Predicts the next value from up to two reconstructed predecessors.
+/// `have` is how many predecessors exist (0, 1, or >= 2).
+inline double predict(PredictorKind kind, double r1, double r2,
+                      int have) noexcept {
+  if (have == 0) return 0.0;
+  if (kind == PredictorKind::kLorenzo || have == 1) return r1;
+  return 2.0 * r1 - r2;
+}
+
+}  // namespace memq::compress

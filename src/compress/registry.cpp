@@ -1,0 +1,46 @@
+// Compressor factory registry — the "various compression algorithms" seam.
+#include <functional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "compress/compressor.hpp"
+
+namespace memq::compress {
+
+namespace detail {
+std::unique_ptr<Compressor> make_null();
+std::unique_ptr<Compressor> make_gorilla();
+std::unique_ptr<Compressor> make_szq();
+std::unique_ptr<Compressor> make_bpc();
+std::unique_ptr<Compressor> make_lzh();
+}  // namespace detail
+
+namespace {
+
+using Factory = std::unique_ptr<Compressor> (*)();
+
+constexpr std::pair<const char*, Factory> kRegistry[] = {
+    {"szq", detail::make_szq},
+    {"bpc", detail::make_bpc},
+    {"gorilla", detail::make_gorilla},
+    {"lzh", detail::make_lzh},
+    {"null", detail::make_null},
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_compressor(const std::string& name) {
+  for (const auto& [reg_name, factory] : kRegistry)
+    if (name == reg_name) return factory();
+  MEMQ_THROW(InvalidArgument, "unknown compressor '" << name
+                                                     << "'; known: szq, bpc, "
+                                                        "gorilla, lzh, null");
+}
+
+std::vector<std::string> compressor_names() {
+  std::vector<std::string> names;
+  for (const auto& [reg_name, factory] : kRegistry) names.emplace_back(reg_name);
+  return names;
+}
+
+}  // namespace memq::compress

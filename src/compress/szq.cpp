@@ -1,0 +1,228 @@
+// SZQ: SZ-style error-bounded lossy compressor for double arrays.
+//
+// Pipeline (matching SZ 2.x's 1D mode, the compressor family the paper's
+// "state-of-the-art data compressor" refers to):
+//   1. per-block predictor selection (Lorenzo vs. linear, on reconstructed
+//      history so encoder and decoder agree),
+//   2. error-bounded linear-scaling quantization with exception values,
+//   3. zero-run collapsing of long "prediction exact" runs (dominant in the
+//      sparse state vectors of GHZ/Grover-style circuits),
+//   4. canonical Huffman entropy coding of the symbol stream.
+//
+// Stream layout (all byte-aligned sections, length-prefixed):
+//   varint n | f64 eb | predictor bytes (ceil(n/kBlock)) | huffman table |
+//   varint bitlen | symbol bitstream | varint nruns | run varints |
+//   varint nexc | exception f64s
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/bitstream.hpp"
+#include "compress/compressor.hpp"
+#include "compress/huffman.hpp"
+#include "compress/quantizer.hpp"
+
+namespace memq::compress {
+
+namespace {
+
+constexpr std::size_t kBlock = 4096;
+constexpr std::uint64_t kMinZeroRun = 8;
+
+/// Quantizes one block with a fixed predictor, appending symbols/exceptions.
+/// Returns a cost proxy (total |q| + heavy penalty per exception) and leaves
+/// the reconstructed history for the *next* block in (r1, r2).
+double quantize_block(std::span<const double> block, double eb,
+                      PredictorKind kind, double& r1, double& r2, int& have,
+                      std::vector<std::uint32_t>& symbols,
+                      std::vector<double>& exceptions) {
+  double cost = 0.0;
+  for (const double x : block) {
+    const double pred = predict(kind, r1, r2, have);
+    const QuantResult qr = quantize(x, pred, eb);
+    symbols.push_back(qr.symbol);
+    if (qr.symbol == kSymException) {
+      exceptions.push_back(x);
+      cost += 64.0;
+    } else {
+      const auto q = static_cast<double>(
+          static_cast<std::int64_t>(qr.symbol) - kQuantRadius);
+      cost += std::fabs(q) + 1.0;
+    }
+    r2 = r1;
+    r1 = qr.reconstructed;
+    have = have < 2 ? have + 1 : 2;
+  }
+  return cost;
+}
+
+class SzqCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "szq"; }
+  bool lossless() const override { return false; }
+
+  void compress(std::span<const double> in, double eb,
+                ByteBuffer& out) const override {
+    MEMQ_CHECK(eb > 0.0, "szq requires a positive error bound, got " << eb);
+    ByteWriter w(out);
+    w.varint(in.size());
+    w.f64(eb);
+    if (in.empty()) return;
+
+    const std::size_t n_blocks = (in.size() + kBlock - 1) / kBlock;
+    std::vector<std::uint8_t> predictor_of(n_blocks);
+    std::vector<std::uint32_t> symbols;
+    symbols.reserve(in.size());
+    std::vector<double> exceptions;
+
+    // Per-block predictor selection on reconstructed history. Candidates
+    // are scored on a prefix of the block (cheap), then the winner encodes
+    // the full block once — both sides resume from the same history, so
+    // encoder and decoder stay in lockstep.
+    constexpr std::size_t kTrialPrefix = 512;
+    double r1 = 0.0, r2 = 0.0;
+    int have = 0;
+    std::vector<std::uint32_t> trial;
+    std::vector<double> trial_exc;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      const auto block = in.subspan(
+          b * kBlock, std::min(kBlock, in.size() - b * kBlock));
+      const auto prefix = block.first(std::min(kTrialPrefix, block.size()));
+
+      PredictorKind winner = PredictorKind::kLorenzo;
+      {
+        trial.clear();
+        trial_exc.clear();
+        double t1 = r1, t2 = r2;
+        int th = have;
+        const double cost_lo = quantize_block(
+            prefix, eb, PredictorKind::kLorenzo, t1, t2, th, trial, trial_exc);
+        trial.clear();
+        trial_exc.clear();
+        t1 = r1;
+        t2 = r2;
+        th = have;
+        const double cost_li = quantize_block(
+            prefix, eb, PredictorKind::kLinear, t1, t2, th, trial, trial_exc);
+        if (cost_li < cost_lo) winner = PredictorKind::kLinear;
+      }
+
+      predictor_of[b] = static_cast<std::uint8_t>(winner);
+      quantize_block(block, eb, winner, r1, r2, have, symbols, exceptions);
+    }
+
+    // Collapse long runs of the "prediction exact" symbol.
+    std::vector<std::uint32_t> tokens;
+    tokens.reserve(symbols.size());
+    std::vector<std::uint64_t> runs;
+    for (std::size_t i = 0; i < symbols.size();) {
+      if (symbols[i] == kSymZero) {
+        std::size_t j = i;
+        while (j < symbols.size() && symbols[j] == kSymZero) ++j;
+        const std::uint64_t run = j - i;
+        if (run >= kMinZeroRun) {
+          tokens.push_back(kSymZeroRun);
+          runs.push_back(run);
+        } else {
+          tokens.insert(tokens.end(), run, kSymZero);
+        }
+        i = j;
+      } else {
+        tokens.push_back(symbols[i++]);
+      }
+    }
+
+    std::vector<std::uint64_t> counts(kSzqAlphabet, 0);
+    for (const auto t : tokens) ++counts[t];
+    const HuffmanCode code = HuffmanCode::from_counts(counts);
+
+    w.bytes({predictor_of.data(), predictor_of.size()});
+    code.serialize(w);
+
+    ByteBuffer bits;
+    BitWriter bw(bits);
+    for (const auto t : tokens) code.encode(bw, t);
+    bw.flush();
+    w.varint(bits.size());
+    w.bytes(bits);
+
+    w.varint(runs.size());
+    for (const auto r : runs) w.varint(r);
+    w.varint(exceptions.size());
+    for (const auto e : exceptions) w.f64(e);
+  }
+
+  void decompress(std::span<const std::uint8_t> in,
+                  std::span<double> out) const override {
+    ByteReader r(in);
+    const std::uint64_t n = r.varint();
+    if (n != out.size())
+      throw CorruptData("szq count mismatch: stored " + std::to_string(n) +
+                        ", expected " + std::to_string(out.size()));
+    const double eb = r.f64();
+    if (n == 0) return;
+    if (!(eb > 0.0)) throw CorruptData("szq: non-positive error bound");
+
+    const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+    const auto predictor_bytes = r.bytes(n_blocks);
+    const HuffmanCode code = HuffmanCode::deserialize(r);
+
+    const std::uint64_t bit_len = r.varint();
+    const auto bit_payload = r.bytes(bit_len);
+
+    const std::uint64_t n_runs = r.varint();
+    std::vector<std::uint64_t> runs(n_runs);
+    for (auto& run : runs) run = r.varint();
+
+    const std::uint64_t n_exc = r.varint();
+    std::vector<double> exceptions(n_exc);
+    for (auto& e : exceptions) e = r.f64();
+
+    BitReader br(bit_payload);
+    std::size_t run_cursor = 0, exc_cursor = 0;
+    double r1 = 0.0, r2 = 0.0;
+    int have = 0;
+    std::size_t i = 0;
+    std::uint64_t pending_zero = 0;
+    while (i < n) {
+      const auto kind = static_cast<PredictorKind>(
+          predictor_bytes[i / kBlock] & 1);
+      double value;
+      if (pending_zero > 0) {
+        --pending_zero;
+        value = predict(kind, r1, r2, have);
+      } else {
+        const std::uint32_t sym = code.decode(br);
+        if (sym == kSymZeroRun) {
+          if (run_cursor >= runs.size())
+            throw CorruptData("szq: run channel exhausted");
+          pending_zero = runs[run_cursor++];
+          if (pending_zero == 0) throw CorruptData("szq: zero-length run");
+          continue;
+        }
+        if (sym == kSymException) {
+          if (exc_cursor >= exceptions.size())
+            throw CorruptData("szq: exception channel exhausted");
+          value = exceptions[exc_cursor++];
+        } else if (sym < 2 * kQuantRadius) {
+          value = dequantize(sym, predict(kind, r1, r2, have), eb);
+        } else {
+          throw CorruptData("szq: invalid symbol");
+        }
+      }
+      out[i++] = value;
+      r2 = r1;
+      r1 = value;
+      have = have < 2 ? have + 1 : 2;
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+std::unique_ptr<Compressor> make_szq() {
+  return std::make_unique<SzqCompressor>();
+}
+}  // namespace detail
+
+}  // namespace memq::compress

@@ -1,0 +1,193 @@
+#include "core/chunk_exec.hpp"
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "core/chunk_store.hpp"
+#include "sv/kernels.hpp"
+
+namespace memq::core {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+bool is_chunk_local(const Gate& gate, qubit_t chunk_qubits) {
+  if (gate.is_barrier()) return true;
+  if (gate.is_nonunitary()) return false;  // measurement is a global flow
+  if (gate.is_diagonal()) return true;     // any target: per-chunk scalar
+  for (const qubit_t t : gate.targets)
+    if (t >= chunk_qubits) return false;
+  return true;
+}
+
+namespace {
+
+/// Splits controls into a local bit mask and a chunk-index condition.
+/// Returns false if impossible (never: masks always constructible).
+struct SplitControls {
+  index_t local_mask = 0;   // over chunk-local bits
+  index_t chunk_mask = 0;   // over chunk-index bits (control q -> bit q - c)
+};
+
+SplitControls split_controls(const Gate& gate, qubit_t c) {
+  SplitControls out;
+  for (const qubit_t q : gate.controls) {
+    if (q < c)
+      out.local_mask |= index_t{1} << q;
+    else
+      out.chunk_mask |= index_t{1} << (q - c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool apply_gate_to_chunk(std::span<amp_t> chunk, index_t chunk_index,
+                         qubit_t chunk_qubits, const Gate& gate) {
+  if (gate.is_barrier() || gate.kind == GateKind::kI) return false;
+  MEMQ_CHECK(is_chunk_local(gate, chunk_qubits),
+             "gate " << gate.to_string() << " is not chunk-local at c="
+                     << chunk_qubits);
+  MEMQ_CHECK(chunk.size() == (index_t{1} << chunk_qubits),
+             "chunk buffer size mismatch");
+
+  const auto [local_mask, chunk_mask] = split_controls(gate, chunk_qubits);
+  if ((chunk_index & chunk_mask) != chunk_mask) return false;
+
+  // Diagonal gate with a high target: the target bit is fixed per chunk, so
+  // the whole (control-satisfying part of the) chunk scales by d0 or d1.
+  const qubit_t t0 = gate.targets.at(0);
+  if (gate.is_diagonal() && t0 >= chunk_qubits) {
+    const circuit::Mat2 m = gate.matrix1q();
+    const amp_t d =
+        bits::test(chunk_index, t0 - chunk_qubits) ? m[3] : m[0];
+    if (d == amp_t{1.0, 0.0}) return false;
+    if (local_mask == 0) {
+      for (amp_t& a : chunk) a *= d;
+    } else {
+      for (index_t i = 0; i < chunk.size(); ++i)
+        if ((i & local_mask) == local_mask) chunk[i] *= d;
+    }
+    return true;
+  }
+
+  if (gate.kind == GateKind::kSwap) {
+    sv::apply_swap(chunk, gate.targets[0], gate.targets[1], local_mask);
+    return true;
+  }
+  if (gate.kind == GateKind::kX) {
+    sv::apply_x(chunk, t0, local_mask);
+    return true;
+  }
+  if (gate.is_diagonal()) {
+    const circuit::Mat2 m = gate.matrix1q();
+    sv::apply_diagonal1(chunk, t0, m[0], m[3], local_mask);
+    return true;
+  }
+  sv::apply_matrix1(chunk, t0, gate.matrix1q(), local_mask);
+  return true;
+}
+
+bool apply_gate_to_pair(std::span<amp_t> pair, index_t chunk_lo,
+                        qubit_t chunk_qubits, qubit_t pair_qubit,
+                        const Gate& gate) {
+  if (gate.is_barrier() || gate.kind == GateKind::kI) return false;
+  MEMQ_CHECK(pair.size() == (index_t{1} << (chunk_qubits + 1)),
+             "pair buffer size mismatch");
+  MEMQ_CHECK(pair_qubit >= chunk_qubits, "pair qubit must be non-local");
+  MEMQ_CHECK(!bits::test(chunk_lo, pair_qubit - chunk_qubits),
+             "chunk_lo must have the pair bit clear");
+
+  // Resolve controls: local ones keep their bit; the pair qubit maps to bit
+  // c; other high controls test against the chunk index.
+  index_t local_mask = 0;
+  index_t chunk_mask = 0;
+  for (const qubit_t q : gate.controls) {
+    if (q < chunk_qubits)
+      local_mask |= index_t{1} << q;
+    else if (q == pair_qubit)
+      local_mask |= index_t{1} << chunk_qubits;
+    else
+      chunk_mask |= index_t{1} << (q - chunk_qubits);
+  }
+  if ((chunk_lo & chunk_mask) != chunk_mask) return false;
+
+  // Diagonal gate on a high qubit other than the pair qubit: that bit is
+  // constant across both chunks of the pair, so the gate is a scalar here.
+  const qubit_t raw_target = gate.targets.at(0);
+  if (gate.is_diagonal() && raw_target >= chunk_qubits &&
+      raw_target != pair_qubit) {
+    const circuit::Mat2 m = gate.matrix1q();
+    const amp_t d =
+        bits::test(chunk_lo, raw_target - chunk_qubits) ? m[3] : m[0];
+    if (d == amp_t{1.0, 0.0}) return false;
+    if (local_mask == 0) {
+      for (amp_t& a : pair) a *= d;
+    } else {
+      for (index_t i = 0; i < pair.size(); ++i)
+        if ((i & local_mask) == local_mask) pair[i] *= d;
+    }
+    return true;
+  }
+
+  // Remap targets: local stay, pair qubit -> bit c.
+  const auto local_of = [&](qubit_t q) -> qubit_t {
+    if (q < chunk_qubits) return q;
+    MEMQ_CHECK(q == pair_qubit, "gate " << gate.to_string()
+                                        << " touches a second high qubit "
+                                        << q);
+    return chunk_qubits;
+  };
+
+  if (gate.kind == GateKind::kSwap) {
+    sv::apply_swap(pair, local_of(gate.targets[0]), local_of(gate.targets[1]),
+                   local_mask);
+    return true;
+  }
+  const qubit_t t = local_of(gate.targets.at(0));
+  if (gate.kind == GateKind::kX) {
+    sv::apply_x(pair, t, local_mask);
+    return true;
+  }
+  if (gate.is_diagonal()) {
+    const circuit::Mat2 m = gate.matrix1q();
+    sv::apply_diagonal1(pair, t, m[0], m[3], local_mask);
+    return true;
+  }
+  sv::apply_matrix1(pair, t, gate.matrix1q(), local_mask);
+  return true;
+}
+
+void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate) {
+  const qubit_t c = store.chunk_qubits();
+  index_t cmask = 0;
+  for (const qubit_t ctrl : gate.controls) {
+    MEMQ_CHECK(ctrl >= c, "permutation gate has a local control");
+    cmask |= index_t{1} << (ctrl - c);
+  }
+  if (gate.kind == GateKind::kX) {
+    const qubit_t q = gate.targets.at(0);
+    MEMQ_CHECK(q >= c, "permutation X must target a high qubit");
+    const qubit_t bit = q - c;
+    for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
+      if (bits::test(ci, bit)) continue;
+      if ((ci & cmask) != cmask) continue;
+      store.swap_chunks(ci, bits::set(ci, bit));
+    }
+    return;
+  }
+  if (gate.kind == GateKind::kSwap) {
+    const qubit_t a = gate.targets.at(0), b = gate.targets.at(1);
+    MEMQ_CHECK(a >= c && b >= c, "permutation swap must be on high qubits");
+    const qubit_t ba = a - c, bb = b - c;
+    for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
+      if (!bits::test(ci, ba) || bits::test(ci, bb)) continue;
+      if ((ci & cmask) != cmask) continue;
+      store.swap_chunks(ci, bits::set(bits::clear(ci, ba), bb));
+    }
+    return;
+  }
+  MEMQ_THROW(InvalidArgument,
+             "gate " << gate.to_string() << " is not a chunk permutation");
+}
+
+}  // namespace memq::core

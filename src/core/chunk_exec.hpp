@@ -1,0 +1,41 @@
+// Applying circuit gates to chunk buffers — the code that runs inside the
+// simulated device's kernels AND on CPU co-execution workers.
+//
+// Chunk addressing: with chunk size 2^c, amplitude index = (chunk << c) |
+// local. A gate is *chunk-local* when all its targets are < c (controls may
+// be anywhere: control bits >= c are constant within a chunk and resolve to
+// a go/no-go per chunk). Diagonal gates are local for ANY target since a
+// high target only selects a per-chunk scalar.
+#pragma once
+
+#include <span>
+
+#include "circuit/gate.hpp"
+#include "common/types.hpp"
+
+namespace memq::core {
+
+/// True if the gate can be applied one chunk at a time.
+bool is_chunk_local(const circuit::Gate& gate, qubit_t chunk_qubits);
+
+/// Applies a chunk-local gate to the amplitudes of chunk `chunk_index`.
+/// Returns false when the gate was skipped because a control bit >= c is
+/// not satisfied by this chunk (the buffer is untouched).
+bool apply_gate_to_chunk(std::span<amp_t> chunk, index_t chunk_index,
+                         qubit_t chunk_qubits, const circuit::Gate& gate);
+
+/// Applies a gate with exactly one target qubit >= c to a *pair buffer*
+/// [chunk_lo | chunk_hi] of 2^(c+1) amplitudes, where chunk_hi = chunk_lo
+/// with chunk-bit (pair_qubit - c) set. Local targets stay at their bit,
+/// the pair qubit maps to bit c. Returns false if skipped by high controls.
+bool apply_gate_to_pair(std::span<amp_t> pair, index_t chunk_lo,
+                        qubit_t chunk_qubits, qubit_t pair_qubit,
+                        const circuit::Gate& gate);
+
+class ChunkStore;
+
+/// Executes a pure chunk-permutation gate (X or SWAP on high qubits with no
+/// local controls) directly on the compressed store — zero codec work.
+void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate);
+
+}  // namespace memq::core

@@ -1,0 +1,152 @@
+#include "core/chunk_store.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace memq::core {
+
+ChunkStore::ChunkStore(qubit_t n_qubits, qubit_t chunk_qubits,
+                       const compress::ChunkCodecConfig& codec_config)
+    : n_qubits_(n_qubits), chunk_qubits_(chunk_qubits), codec_(codec_config) {
+  MEMQ_CHECK(chunk_qubits >= 1 && chunk_qubits <= n_qubits,
+             "chunk_qubits " << chunk_qubits << " must be in [1, " << n_qubits
+                             << "]");
+  MEMQ_CHECK(n_qubits - chunk_qubits <= 30,
+             "too many chunks: lower n_qubits or raise chunk_qubits");
+  blobs_.resize(n_chunks());
+  init_basis(0);
+}
+
+void ChunkStore::init_basis(index_t basis) {
+  MEMQ_CHECK(basis < dim_of(n_qubits_), "basis state out of range");
+  total_bytes_ = 0;
+  std::vector<amp_t> scratch(chunk_amps(), amp_t{0, 0});
+
+  // All chunks are zero except the one containing `basis`; encode the zero
+  // chunk once and share the encoding cost (each blob stores its own copy).
+  compress::ByteBuffer zero_blob;
+  codec_.encode(scratch, zero_blob);
+
+  const index_t hot_chunk = basis >> chunk_qubits_;
+  for (index_t i = 0; i < n_chunks(); ++i) {
+    if (i == hot_chunk) continue;
+    blobs_[i] = zero_blob;
+    total_bytes_ += blobs_[i].size();
+  }
+  scratch[basis & (chunk_amps() - 1)] = amp_t{1, 0};
+  codec_.encode(scratch, blobs_[hot_chunk]);
+  total_bytes_ += blobs_[hot_chunk].size();
+  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+}
+
+void ChunkStore::load(index_t i, std::span<amp_t> out) {
+  MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
+  MEMQ_CHECK(out.size() == chunk_amps(), "load span size mismatch");
+  codec_.decode(blobs_[i], out);
+  ++loads_;
+}
+
+void ChunkStore::store(index_t i, std::span<const amp_t> in) {
+  MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
+  MEMQ_CHECK(in.size() == chunk_amps(), "store span size mismatch");
+  total_bytes_ -= blobs_[i].size();
+  codec_.encode(in, blobs_[i]);
+  total_bytes_ += blobs_[i].size();
+  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+  ++stores_;
+}
+
+void ChunkStore::swap_chunks(index_t i, index_t j) {
+  MEMQ_CHECK(i < n_chunks() && j < n_chunks(), "chunk index out of range");
+  std::swap(blobs_[i], blobs_[j]);
+}
+
+bool ChunkStore::is_zero_chunk(index_t i) const {
+  MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
+  return compress::ChunkCodec::is_zero_chunk(blobs_[i]);
+}
+
+namespace {
+constexpr char kCheckpointMagic[8] = {'M', 'Q', 'C', 'K', 'P', 'T', '0', '1'};
+}  // namespace
+
+void ChunkStore::save(std::ostream& out) const {
+  out.write(kCheckpointMagic, sizeof kCheckpointMagic);
+  compress::ByteBuffer header;
+  compress::ByteWriter w(header);
+  w.u32(n_qubits_);
+  w.u32(chunk_qubits_);
+  const std::string& codec_name = codec_.config().compressor;
+  w.varint(codec_name.size());
+  w.bytes({reinterpret_cast<const std::uint8_t*>(codec_name.data()),
+           codec_name.size()});
+  w.varint(n_chunks());
+  for (const auto& blob : blobs_) w.varint(blob.size());
+  const std::uint64_t header_len = header.size();
+  out.write(reinterpret_cast<const char*>(&header_len), sizeof header_len);
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  for (const auto& blob : blobs_)
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+  MEMQ_CHECK(out.good(), "checkpoint write failed");
+}
+
+void ChunkStore::restore(std::istream& in) {
+  char magic[sizeof kCheckpointMagic];
+  in.read(magic, sizeof magic);
+  if (!in.good() || !std::equal(std::begin(magic), std::end(magic),
+                                std::begin(kCheckpointMagic)))
+    throw CorruptData("checkpoint: bad magic");
+
+  std::uint64_t header_len = 0;
+  in.read(reinterpret_cast<char*>(&header_len), sizeof header_len);
+  if (!in.good() || header_len > (1ull << 32))
+    throw CorruptData("checkpoint: bad header length");
+  std::vector<std::uint8_t> header(header_len);
+  in.read(reinterpret_cast<char*>(header.data()),
+          static_cast<std::streamsize>(header_len));
+  if (!in.good()) throw CorruptData("checkpoint: truncated header");
+
+  compress::ByteReader r(header);
+  const std::uint32_t n_q = r.u32();
+  const std::uint32_t c_q = r.u32();
+  MEMQ_CHECK(n_q == n_qubits_ && c_q == chunk_qubits_,
+             "checkpoint geometry (" << n_q << "/" << c_q
+                                     << ") does not match store ("
+                                     << n_qubits_ << "/" << chunk_qubits_
+                                     << ")");
+  const std::uint64_t name_len = r.varint();
+  const auto name_bytes = r.bytes(name_len);
+  const std::string codec_name(
+      reinterpret_cast<const char*>(name_bytes.data()), name_bytes.size());
+  MEMQ_CHECK(codec_name == codec_.config().compressor,
+             "checkpoint codec '" << codec_name << "' does not match store '"
+                                  << codec_.config().compressor << "'");
+  const std::uint64_t count = r.varint();
+  if (count != n_chunks()) throw CorruptData("checkpoint: chunk count");
+  std::vector<std::uint64_t> lengths(count);
+  for (auto& len : lengths) len = r.varint();
+
+  std::vector<compress::ByteBuffer> blobs(count);
+  std::uint64_t total = 0;
+  for (index_t i = 0; i < count; ++i) {
+    blobs[i].resize(lengths[i]);
+    in.read(reinterpret_cast<char*>(blobs[i].data()),
+            static_cast<std::streamsize>(lengths[i]));
+    if (!in.good()) throw CorruptData("checkpoint: truncated blob");
+    // Validate framing + checksum before committing.
+    if (compress::ChunkCodec::stored_count(blobs[i]) != chunk_amps())
+      throw CorruptData("checkpoint: blob has wrong amplitude count");
+    compress::ChunkCodec::verify(blobs[i]);
+    total += blobs[i].size();
+  }
+  blobs_ = std::move(blobs);
+  total_bytes_ = total;
+  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+}
+
+}  // namespace memq::core

@@ -1,0 +1,84 @@
+// Compressed chunk container — the paper's offline-stage data structure:
+// "each data chunk of the state vector is compressed independently and
+// stored in CPU memory with such compressed format."
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compress/chunk_codec.hpp"
+
+namespace memq::core {
+
+class ChunkStore {
+ public:
+  ChunkStore(qubit_t n_qubits, qubit_t chunk_qubits,
+             const compress::ChunkCodecConfig& codec_config);
+
+  qubit_t n_qubits() const noexcept { return n_qubits_; }
+  qubit_t chunk_qubits() const noexcept { return chunk_qubits_; }
+  index_t n_chunks() const noexcept { return index_t{1} << (n_qubits_ - chunk_qubits_); }
+  index_t chunk_amps() const noexcept { return index_t{1} << chunk_qubits_; }
+  std::uint64_t chunk_raw_bytes() const noexcept {
+    return chunk_amps() * kAmpBytes;
+  }
+
+  /// Re-initializes every chunk to the |basis> computational state.
+  void init_basis(index_t basis);
+
+  /// Decompresses chunk `i` into `out` (must be chunk_amps() long).
+  void load(index_t i, std::span<amp_t> out);
+
+  /// Compresses `in` as the new contents of chunk `i`.
+  void store(index_t i, std::span<const amp_t> in);
+
+  /// Swaps two chunks without decompressing (chunk-permutation stages).
+  void swap_chunks(index_t i, index_t j);
+
+  /// True if chunk `i` was stored as the all-zero fast path.
+  bool is_zero_chunk(index_t i) const;
+
+  /// Current total compressed footprint.
+  std::uint64_t compressed_bytes() const noexcept { return total_bytes_; }
+  /// Largest footprint ever held.
+  std::uint64_t peak_compressed_bytes() const noexcept { return peak_bytes_; }
+  /// Raw (uncompressed) state size, for ratio reporting.
+  std::uint64_t raw_bytes() const noexcept {
+    return n_chunks() * chunk_raw_bytes();
+  }
+  double compression_ratio() const noexcept {
+    return total_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(raw_bytes()) /
+                     static_cast<double>(total_bytes_);
+  }
+
+  std::uint64_t loads() const noexcept { return loads_; }
+  std::uint64_t stores() const noexcept { return stores_; }
+
+  const compress::ChunkCodecConfig& codec_config() const noexcept {
+    return codec_.config();
+  }
+
+  /// Writes the compressed state (geometry header + every blob) to a
+  /// checkpoint stream.
+  void save(std::ostream& out) const;
+
+  /// Restores a checkpoint written by save(); geometry and codec must match
+  /// this store's configuration (throws CorruptData / InvalidArgument).
+  void restore(std::istream& in);
+
+ private:
+  qubit_t n_qubits_;
+  qubit_t chunk_qubits_;
+  compress::ChunkCodec codec_;
+  std::vector<compress::ByteBuffer> blobs_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace memq::core

@@ -1,0 +1,355 @@
+#include "core/compressed_base.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "sv/kernels.hpp"
+
+namespace memq::core {
+
+CompressedEngineBase::CompressedEngineBase(qubit_t n_qubits,
+                                           const EngineConfig& config)
+    : config_(config),
+      store_(n_qubits, std::min<qubit_t>(config.chunk_qubits, n_qubits),
+             config.codec),
+      rng_(config.seed),
+      scratch_(store_.chunk_amps()),
+      layout_(n_qubits) {
+  refresh_footprint_telemetry();
+}
+
+void CompressedEngineBase::reset() {
+  store_.init_basis(0);
+  telemetry_ = {};
+  rng_ = Prng(config_.seed);
+  layout_ = QubitLayout(n_qubits());
+  state_is_fresh_ = true;
+  refresh_footprint_telemetry();
+}
+
+void CompressedEngineBase::refresh_footprint_telemetry() {
+  const std::uint64_t working =
+      (store_.chunk_amps() * kAmpBytes) * 4;  // scratch + pair + staging
+  telemetry_.peak_host_state_bytes =
+      std::max(telemetry_.peak_host_state_bytes,
+               store_.peak_compressed_bytes() + working);
+  telemetry_.final_compression_ratio = store_.compression_ratio();
+  telemetry_.chunk_loads = store_.loads();
+  telemetry_.chunk_stores = store_.stores();
+}
+
+std::span<amp_t> CompressedEngineBase::load_chunk_timed(
+    index_t i, std::vector<amp_t>& buf) {
+  buf.resize(store_.chunk_amps());
+  WallTimer t;
+  store_.load(i, buf);
+  const double dt = t.seconds();
+  telemetry_.cpu_phases.add("decompress", dt);
+  charge_cpu(dt / config_.cpu_codec_workers);
+  return buf;
+}
+
+void CompressedEngineBase::store_chunk_timed(index_t i,
+                                             std::span<const amp_t> buf) {
+  WallTimer t;
+  store_.store(i, buf);
+  const double dt = t.seconds();
+  telemetry_.cpu_phases.add("recompress", dt);
+  charge_cpu(dt / config_.cpu_codec_workers);
+}
+
+amp_t CompressedEngineBase::amplitude(index_t i) {
+  MEMQ_CHECK(i < dim_of(n_qubits()), "amplitude index out of range");
+  const index_t phys = layout_.to_physical(i);
+  const index_t chunk = phys >> store_.chunk_qubits();
+  if (store_.is_zero_chunk(chunk)) return amp_t{0, 0};
+  store_.load(chunk, scratch_);
+  return scratch_[phys & (store_.chunk_amps() - 1)];
+}
+
+double CompressedEngineBase::norm() {
+  double s = 0.0;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (store_.is_zero_chunk(ci)) continue;
+    store_.load(ci, scratch_);
+    for (const amp_t& a : scratch_) s += std::norm(a);
+  }
+  return s;
+}
+
+std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
+    std::size_t shots) {
+  std::vector<double> u(shots);
+  for (auto& x : u) x = rng_.uniform();
+  std::sort(u.begin(), u.end());
+
+  // One pass over chunks in index order = one pass over the CDF. Compressed
+  // amplitudes do not sum to exactly 1, so rescale by the true norm.
+  const double total = norm();
+  MEMQ_CHECK(total > 0.0, "sampling from the zero state");
+  std::map<index_t, std::uint64_t> counts;
+  double cumulative = 0.0;
+  std::size_t next = 0;
+  index_t last_nonzero = 0;
+  for (index_t ci = 0; ci < store_.n_chunks() && next < shots; ++ci) {
+    if (store_.is_zero_chunk(ci)) continue;
+    store_.load(ci, scratch_);
+    const index_t base = ci << store_.chunk_qubits();
+    for (index_t j = 0; j < scratch_.size() && next < shots; ++j) {
+      const double p = std::norm(scratch_[j]) / total;
+      if (p > 0) last_nonzero = base + j;
+      cumulative += p;
+      while (next < shots && u[next] < cumulative) {
+        ++counts[layout_.to_logical(base + j)];
+        ++next;
+      }
+    }
+  }
+  if (next < shots) counts[layout_.to_logical(last_nonzero)] += shots - next;
+  return counts;
+}
+
+sv::StateVector CompressedEngineBase::to_dense() {
+  MEMQ_CHECK(n_qubits() <= 28, "to_dense beyond 28 qubits");
+  sv::StateVector out(n_qubits());
+  auto amps = out.amplitudes();
+  if (layout_.is_identity()) {
+    for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+      const auto slice =
+          amps.subspan(ci << store_.chunk_qubits(), store_.chunk_amps());
+      store_.load(ci, slice);
+    }
+    return out;
+  }
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    store_.load(ci, scratch_);
+    const index_t base = ci << store_.chunk_qubits();
+    for (index_t j = 0; j < scratch_.size(); ++j)
+      amps[layout_.to_logical(base + j)] = scratch_[j];
+  }
+  return out;
+}
+
+double CompressedEngineBase::expectation(const sv::PauliString& pauli_in) {
+  MEMQ_CHECK(pauli_in.ops.size() == n_qubits(),
+             "Pauli string length " << pauli_in.ops.size()
+                                    << " != qubit count " << n_qubits());
+  // Translate the logical string into physical positions.
+  sv::PauliString pauli = pauli_in;
+  if (!layout_.is_identity()) {
+    for (qubit_t q = 0; q < n_qubits(); ++q)
+      pauli.ops[layout_.physical(q)] = pauli_in.ops[q];
+  }
+  // P|b> = i^{nY} (-1)^{popcount(b & (Y|Z))} |b ^ (X|Y)>, so
+  // <P> = sum_i conj(psi_i) * phase(i ^ xmask) * psi_{i ^ xmask},
+  // evaluated chunk against partner chunk (the X/Y pattern on high qubits
+  // selects the partner; low bits permute within the chunk).
+  index_t xmask = 0, yzmask = 0;
+  int n_y = 0;
+  for (qubit_t q = 0; q < n_qubits(); ++q) {
+    switch (pauli.ops[q]) {
+      case 'I':
+        break;
+      case 'X':
+        xmask |= index_t{1} << q;
+        break;
+      case 'Y':
+        xmask |= index_t{1} << q;
+        yzmask |= index_t{1} << q;
+        ++n_y;
+        break;
+      case 'Z':
+        yzmask |= index_t{1} << q;
+        break;
+      default:
+        MEMQ_THROW(InvalidArgument,
+                   "bad Pauli character '" << pauli.ops[q] << "'");
+    }
+  }
+  static constexpr amp_t kIPowers[4] = {
+      {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  const amp_t y_phase = kIPowers[n_y % 4];
+
+  const qubit_t c = store_.chunk_qubits();
+  const index_t x_high = xmask >> c;
+  const index_t x_low = xmask & (store_.chunk_amps() - 1);
+
+  std::vector<amp_t> partner(store_.chunk_amps());
+  amp_t total{0, 0};
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    const index_t cj = ci ^ x_high;
+    if (store_.is_zero_chunk(ci) || store_.is_zero_chunk(cj)) continue;
+    store_.load(ci, scratch_);
+    const std::vector<amp_t>* other = &scratch_;
+    if (cj != ci) {
+      store_.load(cj, partner);
+      other = &partner;
+    }
+    const index_t base = ci << c;
+    amp_t chunk_sum{0, 0};
+    for (index_t l = 0; l < scratch_.size(); ++l) {
+      const index_t j = (base | l) ^ xmask;
+      const amp_t value = (*other)[l ^ x_low];
+      const double sign = bits::popcount(j & yzmask) & 1 ? -1.0 : 1.0;
+      chunk_sum += std::conj(scratch_[l]) * (sign * value);
+    }
+    total += chunk_sum;
+  }
+  total *= y_phase;
+  // Hermitian observable: the imaginary part is numerical noise.
+  return total.real();
+}
+
+void CompressedEngineBase::load_dense(std::span<const amp_t> amplitudes) {
+  MEMQ_CHECK(amplitudes.size() == dim_of(n_qubits()),
+             "load_dense needs " << dim_of(n_qubits()) << " amplitudes, got "
+                                 << amplitudes.size());
+  layout_ = QubitLayout(n_qubits());  // caller data is in logical order
+  state_is_fresh_ = false;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    WallTimer t;
+    store_.store(ci, amplitudes.subspan(ci << store_.chunk_qubits(),
+                                        store_.chunk_amps()));
+    const double dt = t.seconds();
+    telemetry_.cpu_phases.add("recompress", dt);
+    charge_cpu(dt / config_.cpu_codec_workers);
+  }
+  refresh_footprint_telemetry();
+}
+
+std::vector<double> CompressedEngineBase::marginal_probabilities(
+    const std::vector<qubit_t>& qubits) {
+  MEMQ_CHECK(!qubits.empty() && qubits.size() <= 20,
+             "marginal over 1..20 qubits, got " << qubits.size());
+  for (const qubit_t q : qubits)
+    MEMQ_CHECK(q < n_qubits(), "qubit " << q << " out of range");
+  // Map requested logical qubits to physical bit positions once.
+  std::vector<qubit_t> phys(qubits.size());
+  for (std::size_t k = 0; k < qubits.size(); ++k)
+    phys[k] = layout_.physical(qubits[k]);
+
+  const qubit_t c = store_.chunk_qubits();
+  std::vector<double> marginal(std::size_t{1} << qubits.size(), 0.0);
+  double total = 0.0;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (store_.is_zero_chunk(ci)) continue;
+    store_.load(ci, scratch_);
+    const index_t base = ci << c;
+    for (index_t l = 0; l < scratch_.size(); ++l) {
+      const double p = std::norm(scratch_[l]);
+      if (p == 0.0) continue;
+      const index_t global = base | l;
+      index_t key = 0;
+      for (std::size_t k = 0; k < phys.size(); ++k)
+        if (bits::test(global, phys[k])) key |= index_t{1} << k;
+      marginal[key] += p;
+      total += p;
+    }
+  }
+  MEMQ_CHECK(total > 0.0, "marginal of the zero state");
+  for (double& p : marginal) p /= total;  // fold out lossy norm drift
+  return marginal;
+}
+
+void CompressedEngineBase::save_state(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MEMQ_CHECK(static_cast<bool>(out), "cannot open checkpoint '" << path
+                                                                << "'");
+  // Layout section precedes the store so restored states keep their qubit
+  // mapping (chunks are stored in physical order).
+  const std::uint32_t n = n_qubits();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  for (qubit_t q = 0; q < n; ++q) {
+    const std::uint32_t p = layout_.physical(q);
+    out.write(reinterpret_cast<const char*>(&p), sizeof p);
+  }
+  store_.save(out);
+}
+
+void CompressedEngineBase::load_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MEMQ_CHECK(static_cast<bool>(in), "cannot open checkpoint '" << path
+                                                               << "'");
+  std::uint32_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  if (!in.good() || n != n_qubits())
+    throw CorruptData("checkpoint: qubit-count header mismatch");
+  std::vector<qubit_t> physical_of(n);
+  for (auto& p : physical_of) {
+    in.read(reinterpret_cast<char*>(&p), sizeof p);
+    if (!in.good() || p >= n) throw CorruptData("checkpoint: bad layout");
+  }
+  store_.restore(in);
+  QubitLayout restored(n);
+  bool identity = true;
+  for (qubit_t q = 0; q < n; ++q)
+    if (physical_of[q] != q) identity = false;
+  if (!identity) {
+    // Rebuild through the optimize-style constructor path: install mapping.
+    restored = QubitLayout::from_mapping(physical_of);
+  }
+  layout_ = restored;
+  state_is_fresh_ = false;
+  refresh_footprint_telemetry();
+}
+
+bool CompressedEngineBase::measure_qubit(qubit_t q) {
+  MEMQ_CHECK(q < n_qubits(), "measured qubit out of range");
+  const qubit_t c = store_.chunk_qubits();
+
+  // Pass 1: P(q = 1).
+  double p1 = 0.0, total = 0.0;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (store_.is_zero_chunk(ci)) continue;
+    (void)load_chunk_timed(ci, scratch_);
+    double chunk_norm = 0.0, chunk_one = 0.0;
+    if (q >= c) {
+      for (const amp_t& a : scratch_) chunk_norm += std::norm(a);
+      if (bits::test(ci, q - c)) chunk_one = chunk_norm;
+    } else {
+      const index_t bit = index_t{1} << q;
+      for (index_t j = 0; j < scratch_.size(); ++j) {
+        const double p = std::norm(scratch_[j]);
+        chunk_norm += p;
+        if (j & bit) chunk_one += p;
+      }
+    }
+    total += chunk_norm;
+    p1 += chunk_one;
+  }
+  MEMQ_CHECK(total > 0.0, "measuring the zero state");
+  p1 /= total;
+
+  const bool outcome = rng_.uniform() < p1;
+  const double p = outcome ? p1 : 1.0 - p1;
+  MEMQ_CHECK(p > 1e-300, "measurement hit a zero-probability branch");
+  const double scale = 1.0 / std::sqrt(p * total);
+
+  // Pass 2: collapse + renormalize (the true norm folds into the scale so
+  // lossy drift does not accumulate across measurements).
+  std::vector<amp_t> zeros;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (q >= c && bits::test(ci, q - c) != outcome) {
+      if (!store_.is_zero_chunk(ci)) {
+        zeros.assign(store_.chunk_amps(), amp_t{0, 0});
+        store_chunk_timed(ci, zeros);
+      }
+      continue;
+    }
+    if (store_.is_zero_chunk(ci)) continue;
+    (void)load_chunk_timed(ci, scratch_);
+    if (q >= c) {
+      for (amp_t& a : scratch_) a *= scale;
+    } else {
+      sv::collapse(scratch_, q, outcome, scale);
+    }
+    store_chunk_timed(ci, scratch_);
+  }
+  refresh_footprint_telemetry();
+  return outcome;
+}
+
+}  // namespace memq::core

@@ -1,0 +1,68 @@
+// Shared machinery of the two compressed-state engines (MemQSim and the
+// Wu-style prior-work baseline): chunked compressed storage, state queries,
+// and the global measurement flow.
+#pragma once
+
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/chunk_store.hpp"
+#include "core/engine.hpp"
+#include "core/qubit_layout.hpp"
+
+namespace memq::core {
+
+class CompressedEngineBase : public Engine {
+ public:
+  CompressedEngineBase(qubit_t n_qubits, const EngineConfig& config);
+
+  qubit_t n_qubits() const override { return store_.n_qubits(); }
+  void reset() override;
+  void load_dense(std::span<const amp_t> amplitudes) override;
+  amp_t amplitude(index_t i) override;
+  double norm() override;
+  std::map<index_t, std::uint64_t> sample_counts(std::size_t shots) override;
+  sv::StateVector to_dense() override;
+  double expectation(const sv::PauliString& pauli) override;
+  std::vector<double> marginal_probabilities(
+      const std::vector<qubit_t>& qubits) override;
+  void save_state(const std::string& path) override;
+  void load_state(const std::string& path) override;
+  const EngineTelemetry& telemetry() const override { return telemetry_; }
+
+  /// Compressed footprint right now (benches poll this mid-run).
+  std::uint64_t compressed_bytes() const { return store_.compressed_bytes(); }
+  const ChunkStore& store() const { return store_; }
+
+ protected:
+  /// Loads chunk i into the scratch buffer with decompress timing.
+  std::span<amp_t> load_chunk_timed(index_t i, std::vector<amp_t>& buf);
+  /// Stores the buffer back with recompress timing.
+  void store_chunk_timed(index_t i, std::span<const amp_t> buf);
+
+  /// Measures qubit q across the chunked state: returns the outcome and
+  /// collapses + renormalizes. Used for measure and reset gates.
+  bool measure_qubit(qubit_t q);
+
+  /// Hook: charge `seconds` of CPU time to the engine's modeled timeline
+  /// (MemQSim forwards to the device host clock; Wu accumulates directly).
+  virtual void charge_cpu(double seconds) = 0;
+
+  void refresh_footprint_telemetry();
+
+  EngineConfig config_;
+  ChunkStore store_;
+  Prng rng_;
+  EngineTelemetry telemetry_;
+  std::vector<amp_t> scratch_;  // one chunk
+
+  /// Logical-to-physical qubit mapping (identity unless the derived engine
+  /// installs an optimized layout). All public queries translate through it;
+  /// circuits must be pre-mapped by the engine before execution.
+  QubitLayout layout_;
+  /// True until the first run()/load_state(); layout changes are only legal
+  /// while the state is still |0...0> (which is layout-invariant).
+  bool state_is_fresh_ = true;
+};
+
+}  // namespace memq::core

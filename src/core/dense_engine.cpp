@@ -1,0 +1,100 @@
+#include "core/dense_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace memq::core {
+
+DenseEngine::DenseEngine(qubit_t n_qubits, const EngineConfig& config)
+    : sim_(n_qubits, config.seed) {
+  telemetry_.peak_host_state_bytes = state_bytes(n_qubits);
+  telemetry_.final_compression_ratio = 1.0;
+}
+
+void DenseEngine::reset() {
+  sim_.reset();
+  const auto peak = telemetry_.peak_host_state_bytes;
+  telemetry_ = {};
+  telemetry_.peak_host_state_bytes = peak;
+  telemetry_.final_compression_ratio = 1.0;
+}
+
+void DenseEngine::load_dense(std::span<const amp_t> amplitudes) {
+  MEMQ_CHECK(amplitudes.size() == sim_.state().dim(),
+             "load_dense needs " << sim_.state().dim() << " amplitudes");
+  std::copy(amplitudes.begin(), amplitudes.end(),
+            sim_.state().amplitudes().begin());
+}
+
+void DenseEngine::run(const circuit::Circuit& circuit) {
+  WallTimer timer;
+  sim_.run(circuit);
+  const double dt = timer.seconds();
+  telemetry_.wall_seconds += dt;
+  telemetry_.modeled_total_seconds += dt;  // dense runs on the real CPU
+  telemetry_.cpu_phases.add("cpu_apply", dt);
+}
+
+std::vector<double> DenseEngine::marginal_probabilities(
+    const std::vector<qubit_t>& qubits) {
+  MEMQ_CHECK(!qubits.empty() && qubits.size() <= 20,
+             "marginal over 1..20 qubits, got " << qubits.size());
+  for (const qubit_t q : qubits)
+    MEMQ_CHECK(q < sim_.n_qubits(), "qubit " << q << " out of range");
+  std::vector<double> marginal(std::size_t{1} << qubits.size(), 0.0);
+  const auto amps = sim_.state().amplitudes();
+  for (index_t i = 0; i < amps.size(); ++i) {
+    const double p = std::norm(amps[i]);
+    if (p == 0.0) continue;
+    index_t key = 0;
+    for (std::size_t k = 0; k < qubits.size(); ++k)
+      if ((i >> qubits[k]) & 1) key |= index_t{1} << k;
+    marginal[key] += p;
+  }
+  return marginal;
+}
+
+void DenseEngine::save_state(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MEMQ_CHECK(static_cast<bool>(out), "cannot open checkpoint '" << path
+                                                                << "'");
+  static constexpr char kMagic[8] = {'M', 'Q', 'D', 'N', 'S', 'E', '0', '1'};
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t n = sim_.n_qubits();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  const auto amps = sim_.state().amplitudes();
+  out.write(reinterpret_cast<const char*>(amps.data()),
+            static_cast<std::streamsize>(amps.size() * sizeof(amp_t)));
+  MEMQ_CHECK(out.good(), "checkpoint write failed");
+}
+
+void DenseEngine::load_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MEMQ_CHECK(static_cast<bool>(in), "cannot open checkpoint '" << path
+                                                               << "'");
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in.good() || std::memcmp(magic, "MQDNSE01", 8) != 0)
+    throw CorruptData("dense checkpoint: bad magic");
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  MEMQ_CHECK(n == sim_.n_qubits(), "checkpoint width " << n
+                                                       << " != engine width "
+                                                       << sim_.n_qubits());
+  auto amps = sim_.state().amplitudes();
+  in.read(reinterpret_cast<char*>(amps.data()),
+          static_cast<std::streamsize>(amps.size() * sizeof(amp_t)));
+  if (!in.good()) throw CorruptData("dense checkpoint: truncated");
+}
+
+sv::StateVector DenseEngine::to_dense() {
+  sv::StateVector copy(sim_.n_qubits());
+  std::copy(sim_.state().amplitudes().begin(), sim_.state().amplitudes().end(),
+            copy.amplitudes().begin());
+  return copy;
+}
+
+}  // namespace memq::core

@@ -1,0 +1,39 @@
+// Uncompressed dense backend behind the Engine interface — the memory
+// baseline every compression claim is measured against.
+#pragma once
+
+#include "core/engine.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::core {
+
+class DenseEngine final : public Engine {
+ public:
+  DenseEngine(qubit_t n_qubits, const EngineConfig& config);
+
+  std::string name() const override { return "dense"; }
+  qubit_t n_qubits() const override { return sim_.n_qubits(); }
+  void reset() override;
+  void load_dense(std::span<const amp_t> amplitudes) override;
+  void run(const circuit::Circuit& circuit) override;
+  amp_t amplitude(index_t i) override { return sim_.state().amplitude(i); }
+  double norm() override { return sim_.state().norm(); }
+  std::map<index_t, std::uint64_t> sample_counts(std::size_t shots) override {
+    return sim_.sample_counts(shots);
+  }
+  sv::StateVector to_dense() override;
+  double expectation(const sv::PauliString& pauli) override {
+    return sim_.expectation(pauli);
+  }
+  std::vector<double> marginal_probabilities(
+      const std::vector<qubit_t>& qubits) override;
+  void save_state(const std::string& path) override;
+  void load_state(const std::string& path) override;
+  const EngineTelemetry& telemetry() const override { return telemetry_; }
+
+ private:
+  sv::Simulator sim_;
+  EngineTelemetry telemetry_;
+};
+
+}  // namespace memq::core

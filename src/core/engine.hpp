@@ -1,0 +1,120 @@
+// Common simulation-engine interface.
+//
+// Three implementations share it (the paper's comparison set):
+//   DenseEngine  — uncompressed SV-Sim/QuEST-style backend (memory baseline)
+//   WuEngine     — prior work [6]: full-state compression, compress/
+//                  decompress around every gate, CPU only
+//   MemQSimEngine — the paper's contribution: chunked compression + staged
+//                  streaming through the (simulated) GPU with pipelining
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "sv/simulator.hpp"
+#include "sv/state_vector.hpp"
+
+namespace memq::core {
+
+struct EngineTelemetry {
+  /// Real (wall-clock) CPU seconds by phase: "decompress", "recompress",
+  /// "cpu_apply", "offline_init", ...
+  PhaseTimers cpu_phases;
+
+  /// Modeled accelerator time (virtual; see DESIGN.md hardware substitution).
+  double device_busy_seconds = 0.0;
+  /// Modeled end-to-end time: host clock including CPU work and sync waits.
+  double modeled_total_seconds = 0.0;
+  /// Real wall-clock of run() including all modeling bookkeeping.
+  double wall_seconds = 0.0;
+
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t h2d_calls = 0;
+  std::uint64_t d2h_calls = 0;
+  std::uint64_t kernel_launches = 0;
+
+  /// Peak bytes of state storage on the host (compressed store + working
+  /// buffers for MemQSim/Wu; the dense vector for DenseEngine).
+  std::uint64_t peak_host_state_bytes = 0;
+  std::uint64_t peak_device_bytes = 0;
+
+  std::uint64_t chunk_loads = 0;
+  std::uint64_t chunk_stores = 0;
+  std::uint64_t zero_chunks_skipped = 0;
+
+  std::size_t stages_local = 0;
+  std::size_t stages_pair = 0;
+  std::size_t stages_permute = 0;
+  std::size_t stages_measure = 0;
+
+  /// Compressed-store compression ratio at the end of the run.
+  double final_compression_ratio = 0.0;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+  virtual qubit_t n_qubits() const = 0;
+
+  /// Resets to |0..0> and clears telemetry.
+  virtual void reset() = 0;
+
+  /// Replaces the state with an arbitrary amplitude vector (2^n entries;
+  /// callers are responsible for normalization). The compressed engines
+  /// chunk + compress it on ingest — the offline stage of paper Figure 2
+  /// for a caller-supplied initial state.
+  virtual void load_dense(std::span<const amp_t> amplitudes) = 0;
+
+  /// Executes the circuit (appending to the current state).
+  virtual void run(const circuit::Circuit& circuit) = 0;
+
+  /// One amplitude of the current state.
+  virtual amp_t amplitude(index_t i) = 0;
+
+  /// Sum |a_i|^2.
+  virtual double norm() = 0;
+
+  /// Full-register measurement samples (state is not collapsed).
+  virtual std::map<index_t, std::uint64_t> sample_counts(std::size_t shots) = 0;
+
+  /// Materializes the dense state (tests / small n only).
+  virtual sv::StateVector to_dense() = 0;
+
+  /// <psi| P |psi> for a Pauli string ("IXYZ", index 0 = qubit 0).
+  /// Computed chunk-wise on the compressed engines — the full dense state
+  /// is never materialized.
+  virtual double expectation(const sv::PauliString& pauli) = 0;
+
+  /// Measurement distribution of a qubit subset (marginal over the rest):
+  /// entry b = P(qubits read out as bit pattern b, qubits[0] = LSB).
+  /// Chunk-wise; at most 20 qubits may be requested.
+  virtual std::vector<double> marginal_probabilities(
+      const std::vector<qubit_t>& qubits) = 0;
+
+  /// Writes the current state (compressed form where applicable) to a
+  /// checkpoint file; restore with load_state on an engine of the same
+  /// width. Long simulations resume without replaying the circuit.
+  virtual void save_state(const std::string& path) = 0;
+  virtual void load_state(const std::string& path) = 0;
+
+  virtual const EngineTelemetry& telemetry() const = 0;
+};
+
+enum class EngineKind : std::uint8_t { kDense, kWu, kMemQSim };
+
+/// Factory over the three engines (config is ignored where not applicable).
+std::unique_ptr<Engine> make_engine(EngineKind kind, qubit_t n_qubits,
+                                    const EngineConfig& config = {});
+
+const char* engine_kind_name(EngineKind kind) noexcept;
+
+}  // namespace memq::core

@@ -1,0 +1,29 @@
+#include "core/dense_engine.hpp"
+#include "core/memq_engine.hpp"
+#include "core/wu_engine.hpp"
+
+namespace memq::core {
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, qubit_t n_qubits,
+                                    const EngineConfig& config) {
+  switch (kind) {
+    case EngineKind::kDense:
+      return std::make_unique<DenseEngine>(n_qubits, config);
+    case EngineKind::kWu:
+      return std::make_unique<WuEngine>(n_qubits, config);
+    case EngineKind::kMemQSim:
+      return std::make_unique<MemQSimEngine>(n_qubits, config);
+  }
+  MEMQ_THROW(InvalidArgument, "unknown engine kind");
+}
+
+const char* engine_kind_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kDense: return "dense";
+    case EngineKind::kWu: return "wu-baseline";
+    case EngineKind::kMemQSim: return "memqsim";
+  }
+  return "?";
+}
+
+}  // namespace memq::core

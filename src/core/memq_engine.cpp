@@ -1,0 +1,358 @@
+#include "core/memq_engine.hpp"
+
+#include <deque>
+
+#include "circuit/transpile.hpp"
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "core/chunk_exec.hpp"
+
+namespace memq::core {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+MemQSimEngine::MemQSimEngine(qubit_t n_qubits, const EngineConfig& config)
+    : CompressedEngineBase(n_qubits, config),
+      clock_(std::make_shared<device::HostClock>()) {
+  MEMQ_CHECK(config.device_slots >= 1, "need at least one device slot");
+  MEMQ_CHECK(config.device_count >= 1, "need at least one device");
+  const std::uint64_t pair_bytes = store_.chunk_amps() * 2 * kAmpBytes;
+  const bool staged =
+      config.strategy == device::TransferStrategy::kStagedBuffer;
+  const std::uint64_t per_slot = pair_bytes * (staged ? 2 : 1);
+  MEMQ_CHECK(per_slot * config.device_slots <= config.device.memory_bytes,
+             "device memory too small: "
+                 << config.device_slots << " slots x " << per_slot
+                 << " B needed, have " << config.device.memory_bytes
+                 << " B — lower chunk_qubits or device_slots");
+
+  devices_.resize(config.device_count);
+  for (std::uint32_t d = 0; d < config.device_count; ++d) {
+    DeviceContext& ctx = devices_[d];
+    const std::string tag = "dev" + std::to_string(d);
+    ctx.device = std::make_unique<device::SimDevice>(config.device, clock_);
+    ctx.h2d = std::make_unique<device::Stream>(*ctx.device, tag + ":h2d");
+    ctx.compute =
+        std::make_unique<device::Stream>(*ctx.device, tag + ":compute");
+    ctx.d2h = std::make_unique<device::Stream>(*ctx.device, tag + ":d2h");
+    ctx.copy =
+        std::make_unique<device::CopyEngine>(*ctx.device, config.strategy);
+    ctx.slots.resize(config.device_slots);
+    for (std::uint32_t s = 0; s < config.device_slots; ++s) {
+      ctx.slots[s].state =
+          ctx.device->alloc(pair_bytes, tag + ":slot" + std::to_string(s));
+      if (staged)
+        ctx.slots[s].staging =
+            ctx.device->alloc(pair_bytes, tag + ":staging" + std::to_string(s));
+    }
+  }
+  collect_device_telemetry();
+}
+
+void MemQSimEngine::reset() {
+  CompressedEngineBase::reset();
+  clock_->reset();
+  for (DeviceContext& ctx : devices_) {
+    ctx.device->reset_stats();
+    ctx.h2d->reset_clock();
+    ctx.compute->reset_clock();
+    ctx.d2h->reset_clock();
+    for (auto& slot : ctx.slots) slot.free_at = {0.0};
+    ctx.next_slot = 0;
+  }
+  next_device_ = 0;
+  work_items_ = 0;
+  plan_.reset();
+}
+
+void MemQSimEngine::charge_cpu(double seconds) { clock_->advance(seconds); }
+
+void MemQSimEngine::run(const circuit::Circuit& circuit) {
+  MEMQ_CHECK(circuit.n_qubits() == n_qubits(), "circuit width mismatch");
+  WallTimer wall;
+  {
+    ScopedPhase offline(telemetry_.cpu_phases, "offline_partition");
+    // Layout is chosen once, from the first circuit on the fresh |0..0>
+    // state (which is invariant under qubit relabeling).
+    if (config_.optimize_layout && state_is_fresh_ && layout_.is_identity())
+      layout_ = QubitLayout::optimize(circuit, store_.chunk_qubits());
+    const circuit::Circuit mapped = layout_.map_circuit(circuit);
+    if (config_.fuse_single_qubit_runs) {
+      plan_ = partition(circuit::fuse_1q_runs(mapped), store_.chunk_qubits());
+    } else {
+      plan_ = partition(mapped, store_.chunk_qubits());
+    }
+  }
+  charge_cpu(telemetry_.cpu_phases.get("offline_partition"));
+  state_is_fresh_ = false;
+
+  for (const Stage& stage : plan_->stages) {
+    switch (stage.kind) {
+      case StageKind::kLocal:
+        ++telemetry_.stages_local;
+        run_local_stage(stage);
+        break;
+      case StageKind::kPair:
+        ++telemetry_.stages_pair;
+        run_pair_stage(stage);
+        break;
+      case StageKind::kPermute:
+        ++telemetry_.stages_permute;
+        run_permute_stage(stage);
+        break;
+      case StageKind::kMeasure: {
+        ++telemetry_.stages_measure;
+        const Gate& g = stage.gates.at(0);
+        const bool outcome = measure_qubit(g.targets.at(0));
+        if (g.kind == GateKind::kReset && outcome) {
+          const Gate fix = Gate::x(g.targets[0]);
+          if (g.targets[0] >= store_.chunk_qubits()) {
+            run_permute_stage({StageKind::kPermute, {fix}, 0});
+          } else {
+            run_local_stage({StageKind::kLocal, {fix}, 0});
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Drain every device before reporting.
+  for (DeviceContext& ctx : devices_) {
+    ctx.device->sync_host(*ctx.d2h);
+    ctx.device->sync_host(*ctx.compute);
+  }
+  telemetry_.wall_seconds += wall.seconds();
+  collect_device_telemetry();
+  refresh_footprint_telemetry();
+}
+
+void MemQSimEngine::run_permute_stage(const Stage& stage) {
+  // Compressed-form permutation: only blob pointers move.
+  WallTimer t;
+  apply_chunk_permutation(store_, stage.gates.at(0));
+  const double dt = t.seconds();
+  telemetry_.cpu_phases.add("permute", dt);
+  charge_cpu(dt / config_.cpu_codec_workers);
+}
+
+bool MemQSimEngine::cpu_apply(std::span<amp_t> buf, const Stage& stage,
+                              index_t chunk_lo) {
+  WallTimer t;
+  bool modified = false;
+  for (const Gate& g : stage.gates) {
+    if (stage.kind == StageKind::kPair)
+      modified |= apply_gate_to_pair(buf, chunk_lo, store_.chunk_qubits(),
+                                     stage.pair_qubit, g);
+    else
+      modified |=
+          apply_gate_to_chunk(buf, chunk_lo, store_.chunk_qubits(), g);
+  }
+  const double dt = t.seconds();
+  telemetry_.cpu_phases.add("cpu_apply", dt);
+  charge_cpu(dt / config_.cpu_codec_workers);
+  return modified;
+}
+
+std::pair<bool, device::Event> MemQSimEngine::device_round_trip(
+    std::span<amp_t> host_buf, const Stage& stage, index_t chunk_lo) {
+  DeviceContext& ctx = devices_[next_device_];
+  next_device_ = (next_device_ + 1) % devices_.size();
+  Slot& slot = ctx.slots[ctx.next_slot];
+  ctx.next_slot = (ctx.next_slot + 1) % ctx.slots.size();
+
+  // The slot must be free: its previous occupant's download must have
+  // completed before we overwrite the device buffer.
+  ctx.h2d->wait(slot.free_at);
+
+  ctx.copy->upload(*ctx.h2d, slot.state, {host_buf.data(), host_buf.size()},
+                   {}, slot.staging.valid() ? &slot.staging : nullptr);
+  ctx.compute->wait(ctx.h2d->record());
+
+  // Launch one kernel per gate (paper step 3), operating in device memory.
+  bool modified = false;
+  auto dev_amps = slot.state.view<amp_t>().first(host_buf.size());
+  const qubit_t c = store_.chunk_qubits();
+  for (const Gate& g : stage.gates) {
+    bool* modified_ptr = &modified;
+    ctx.compute->launch(
+        g.base_name(), host_buf.size(),
+        [&, modified_ptr] {
+          if (stage.kind == StageKind::kPair)
+            *modified_ptr |=
+                apply_gate_to_pair(dev_amps, chunk_lo, c, stage.pair_qubit, g);
+          else
+            *modified_ptr |= apply_gate_to_chunk(dev_amps, chunk_lo, c, g);
+        });
+  }
+  ctx.d2h->wait(ctx.compute->record());
+
+  ctx.copy->download(*ctx.d2h, host_buf, slot.state, {},
+                     slot.staging.valid() ? &slot.staging : nullptr);
+  const device::Event done = ctx.d2h->record();
+  slot.free_at = done;
+  return {modified, done};
+}
+
+namespace {
+
+/// Round-robin CPU-offload selector (paper step 5).
+struct OffloadPicker {
+  double fraction;
+  double accum = 0.0;
+  bool pick() {
+    if (fraction <= 0.0) return false;
+    accum += fraction;
+    if (accum >= 1.0) {
+      accum -= 1.0;
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void MemQSimEngine::run_local_stage(const Stage& stage) {
+  struct InFlight {
+    index_t chunk;
+    std::vector<amp_t> buf;
+    device::Event done;
+    bool modified;
+  };
+  std::deque<InFlight> in_flight;
+  OffloadPicker offload{config_.cpu_offload_fraction};
+
+  const auto complete_front = [&] {
+    InFlight item = std::move(in_flight.front());
+    in_flight.pop_front();
+    clock_->sync_until(item.done.time);
+    if (item.modified) store_chunk_timed(item.chunk, item.buf);
+  };
+
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (store_.is_zero_chunk(ci)) {
+      ++telemetry_.zero_chunks_skipped;
+      continue;  // unitary gates keep the zero subspace zero
+    }
+    InFlight item;
+    item.chunk = ci;
+    (void)load_chunk_timed(ci, item.buf);
+    ++work_items_;
+
+    if (offload.pick()) {
+      // Step (5): this chunk is updated by idle CPU cores.
+      item.modified = cpu_apply(item.buf, stage, ci);
+      if (item.modified) store_chunk_timed(ci, item.buf);
+      continue;
+    }
+
+    const auto [modified, done] = device_round_trip(item.buf, stage, ci);
+    item.modified = modified;
+    item.done = done;
+    in_flight.push_back(std::move(item));
+
+    if (!config_.pipelined) {
+      complete_front();  // serialize every phase
+    } else if (in_flight.size() >= pipeline_depth()) {
+      complete_front();  // bounded pipeline depth
+    }
+  }
+  while (!in_flight.empty()) complete_front();
+  refresh_footprint_telemetry();
+}
+
+void MemQSimEngine::run_pair_stage(const Stage& stage) {
+  struct InFlight {
+    index_t chunk_lo;
+    std::vector<amp_t> buf;  // 2 chunks
+    device::Event done;
+    bool modified;
+  };
+  std::deque<InFlight> in_flight;
+  OffloadPicker offload{config_.cpu_offload_fraction};
+  const qubit_t c = store_.chunk_qubits();
+  const qubit_t pair_bit = stage.pair_qubit - c;
+  const index_t amps = store_.chunk_amps();
+
+  const auto complete_front = [&] {
+    InFlight item = std::move(in_flight.front());
+    in_flight.pop_front();
+    clock_->sync_until(item.done.time);
+    if (item.modified) {
+      store_chunk_timed(item.chunk_lo,
+                        std::span<const amp_t>(item.buf).first(amps));
+      store_chunk_timed(bits::set(item.chunk_lo, pair_bit),
+                        std::span<const amp_t>(item.buf).last(amps));
+    }
+  };
+
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (bits::test(ci, pair_bit)) continue;
+    const index_t cj = bits::set(ci, pair_bit);
+    if (store_.is_zero_chunk(ci) && store_.is_zero_chunk(cj)) {
+      ++telemetry_.zero_chunks_skipped;
+      continue;
+    }
+    InFlight item;
+    item.chunk_lo = ci;
+    item.buf.resize(2 * amps);
+    {
+      WallTimer t;
+      store_.load(ci, std::span<amp_t>(item.buf).first(amps));
+      store_.load(cj, std::span<amp_t>(item.buf).last(amps));
+      const double dt = t.seconds();
+      telemetry_.cpu_phases.add("decompress", dt);
+      charge_cpu(dt / config_.cpu_codec_workers);
+    }
+    ++work_items_;
+
+    if (offload.pick()) {
+      item.modified = cpu_apply(item.buf, stage, ci);
+      if (item.modified) {
+        store_chunk_timed(ci, std::span<const amp_t>(item.buf).first(amps));
+        store_chunk_timed(cj, std::span<const amp_t>(item.buf).last(amps));
+      }
+      continue;
+    }
+
+    const auto [modified, done] = device_round_trip(item.buf, stage, ci);
+    item.modified = modified;
+    item.done = done;
+    in_flight.push_back(std::move(item));
+
+    if (!config_.pipelined) {
+      complete_front();
+    } else if (in_flight.size() >= pipeline_depth()) {
+      complete_front();
+    }
+  }
+  while (!in_flight.empty()) complete_front();
+  refresh_footprint_telemetry();
+}
+
+void MemQSimEngine::collect_device_telemetry() {
+  telemetry_.h2d_bytes = 0;
+  telemetry_.d2h_bytes = 0;
+  telemetry_.h2d_calls = 0;
+  telemetry_.d2h_calls = 0;
+  telemetry_.kernel_launches = 0;
+  telemetry_.peak_device_bytes = 0;
+  telemetry_.device_busy_seconds = 0.0;
+  for (const DeviceContext& ctx : devices_) {
+    const auto& st = ctx.device->stats();
+    telemetry_.h2d_bytes += st.h2d_bytes;
+    telemetry_.d2h_bytes += st.d2h_bytes;
+    telemetry_.h2d_calls += st.h2d_calls;
+    telemetry_.d2h_calls += st.d2h_calls;
+    telemetry_.kernel_launches += st.kernel_launches;
+    telemetry_.peak_device_bytes += st.peak_bytes;
+    telemetry_.device_busy_seconds += ctx.h2d->busy_seconds() +
+                                      ctx.compute->busy_seconds() +
+                                      ctx.d2h->busy_seconds();
+  }
+  telemetry_.modeled_total_seconds = clock_->now();
+}
+
+}  // namespace memq::core

@@ -1,0 +1,90 @@
+// MEMQSIM: the paper's engine.
+//
+// Offline stage — the circuit is partitioned into locality stages
+// (partitioner.hpp) and the state vector lives chunked + compressed in CPU
+// memory (chunk_store.hpp).
+//
+// Online stage — per stage, chunks stream through the (simulated) GPU(s):
+//   (1) decompress chunk(s) into a CPU buffer            [CPU, real time]
+//   (2) transfer amplitudes to device memory             [copy stream]
+//   (3) launch the gate kernels asynchronously           [compute stream]
+//   (4) return updated amplitudes to the CPU buffer      [copy stream]
+//   (5) optionally update a fraction of chunks with idle CPU cores
+//   (6) re-compress and store back                       [CPU, real time]
+// with double-buffered device slots so step (2) of chunk k+1 overlaps step
+// (3) of chunk k, and CPU codec work overlaps device work when
+// config.pipelined is set (paper Figure 1/2). With device_count > 1, work
+// items fan out round-robin across accelerators whose virtual timelines
+// advance in parallel against one shared host clock.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/compressed_base.hpp"
+#include "core/partitioner.hpp"
+#include "device/copy_engine.hpp"
+#include "device/stream.hpp"
+
+namespace memq::core {
+
+class MemQSimEngine final : public CompressedEngineBase {
+ public:
+  MemQSimEngine(qubit_t n_qubits, const EngineConfig& config);
+
+  std::string name() const override { return "memqsim"; }
+  void run(const circuit::Circuit& circuit) override;
+  void reset() override;
+
+  /// Stage plan of the last run() (benches inspect locality stats).
+  const std::optional<StagePlan>& last_plan() const { return plan_; }
+
+ private:
+  struct Slot {
+    device::DeviceBuffer state;
+    device::DeviceBuffer staging;
+    device::Event free_at;  // previous occupant fully downloaded
+  };
+
+  /// One accelerator: its memory space, streams and buffer slots.
+  struct DeviceContext {
+    std::unique_ptr<device::SimDevice> device;
+    std::unique_ptr<device::Stream> h2d;
+    std::unique_ptr<device::Stream> compute;
+    std::unique_ptr<device::Stream> d2h;
+    std::unique_ptr<device::CopyEngine> copy;
+    std::vector<Slot> slots;
+    std::size_t next_slot = 0;
+  };
+
+  void charge_cpu(double seconds) override;
+
+  void run_local_stage(const Stage& stage);
+  void run_pair_stage(const Stage& stage);
+  void run_permute_stage(const Stage& stage);
+
+  /// Streams one work item (a chunk or a chunk pair, already decompressed
+  /// into `host_buf`) through upload -> kernels -> download on the next
+  /// device (round-robin). Returns {modified, completion event}.
+  std::pair<bool, device::Event> device_round_trip(std::span<amp_t> host_buf,
+                                                   const Stage& stage,
+                                                   index_t chunk_lo);
+
+  /// CPU path for step (5).
+  bool cpu_apply(std::span<amp_t> buf, const Stage& stage, index_t chunk_lo);
+
+  void collect_device_telemetry();
+  std::size_t pipeline_depth() const {
+    return devices_.size() * devices_.front().slots.size() + 1;
+  }
+
+  std::shared_ptr<device::HostClock> clock_;
+  std::vector<DeviceContext> devices_;
+  std::size_t next_device_ = 0;
+
+  std::vector<amp_t> pair_buf_;
+  std::optional<StagePlan> plan_;
+  std::uint64_t work_items_ = 0;  // for cpu-offload round-robin
+};
+
+}  // namespace memq::core

@@ -1,0 +1,49 @@
+#include "core/observables.hpp"
+
+#include "common/error.hpp"
+
+namespace memq::core {
+
+PauliSum PauliSum::tfim_chain(qubit_t n, double j_coupling, double field) {
+  MEMQ_CHECK(n >= 2, "TFIM chain needs at least two sites");
+  PauliSum h;
+  for (qubit_t q = 0; q + 1 < n; ++q) {
+    std::string ops(n, 'I');
+    ops[q] = 'Z';
+    ops[q + 1] = 'Z';
+    h.terms.push_back({-j_coupling, std::move(ops)});
+  }
+  for (qubit_t q = 0; q < n; ++q) {
+    std::string ops(n, 'I');
+    ops[q] = 'X';
+    h.terms.push_back({-field, std::move(ops)});
+  }
+  return h;
+}
+
+PauliSum PauliSum::maxcut(
+    qubit_t n, const std::vector<std::pair<qubit_t, qubit_t>>& edges) {
+  PauliSum h;
+  // sum (1 - ZZ)/2 = |E|/2 * I - 1/2 sum ZZ.
+  h.terms.push_back(
+      {0.5 * static_cast<double>(edges.size()), std::string(n, 'I')});
+  for (const auto& [a, b] : edges) {
+    MEMQ_CHECK(a < n && b < n && a != b, "bad edge (" << a << "," << b << ")");
+    std::string ops(n, 'I');
+    ops[a] = 'Z';
+    ops[b] = 'Z';
+    h.terms.push_back({-0.5, std::move(ops)});
+  }
+  return h;
+}
+
+double expectation(Engine& engine, const PauliSum& hamiltonian) {
+  double total = 0.0;
+  for (const PauliTerm& term : hamiltonian.terms) {
+    if (term.coefficient == 0.0) continue;
+    total += term.coefficient * engine.expectation({term.ops});
+  }
+  return total;
+}
+
+}  // namespace memq::core

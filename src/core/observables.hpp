@@ -1,0 +1,34 @@
+// Weighted Pauli-sum observables (Hamiltonians) evaluated on any Engine —
+// the quantity variational workloads (VQE/QAOA) loop over.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace memq::core {
+
+struct PauliTerm {
+  double coefficient = 0.0;
+  std::string ops;  ///< "IXYZ" string, index 0 = qubit 0
+};
+
+/// H = sum_k c_k P_k.
+struct PauliSum {
+  std::vector<PauliTerm> terms;
+
+  /// Transverse-field Ising model on a chain (open boundary):
+  /// H = -J sum ZZ - h sum X.
+  static PauliSum tfim_chain(qubit_t n, double j_coupling, double field);
+
+  /// MaxCut cost observable sum_edges (1 - Z_a Z_b)/2 (constant folded in).
+  static PauliSum maxcut(
+      qubit_t n, const std::vector<std::pair<qubit_t, qubit_t>>& edges);
+};
+
+/// <psi| H |psi> on the engine's current state (chunk-wise; the dense state
+/// is never materialized).
+double expectation(Engine& engine, const PauliSum& hamiltonian);
+
+}  // namespace memq::core

@@ -1,0 +1,161 @@
+#include "core/partitioner.hpp"
+
+
+
+#include "common/error.hpp"
+#include "core/chunk_exec.hpp"
+
+namespace memq::core {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+/// The unique target >= c of a non-local unitary gate (post swap-lowering).
+qubit_t high_target(const Gate& g, qubit_t c) {
+  qubit_t q = 0;
+  int count = 0;
+  for (const qubit_t t : g.targets)
+    if (t >= c) {
+      q = t;
+      ++count;
+    }
+  MEMQ_CHECK(count == 1, "gate " << g.to_string() << " has " << count
+                                 << " high targets after lowering");
+  return q;
+}
+
+bool is_pure_permute(const Gate& g, qubit_t c) {
+  if (g.kind == GateKind::kX) {
+    if (g.targets[0] < c) return false;
+    for (const qubit_t ctrl : g.controls)
+      if (ctrl < c) return false;
+    return true;
+  }
+  if (g.kind == GateKind::kSwap) {
+    if (g.targets[0] < c || g.targets[1] < c) return false;
+    for (const qubit_t ctrl : g.controls)
+      if (ctrl < c) return false;
+    return true;
+  }
+  return false;
+}
+
+class Builder {
+ public:
+  explicit Builder(qubit_t c) : c_(c) {}
+
+  void add(const Gate& g) {
+    if (g.is_barrier()) return;
+    if (g.is_nonunitary()) {
+      flush();
+      plan_.stages.push_back({StageKind::kMeasure, {g}, 0});
+      ++plan_.stats.measure_stages;
+      return;
+    }
+    if (is_pure_permute(g, c_)) {
+      flush();
+      plan_.stages.push_back({StageKind::kPermute, {g}, 0});
+      ++plan_.stats.permute_stages;
+      return;
+    }
+    if (g.kind == GateKind::kSwap &&
+        (g.targets[0] >= c_ || g.targets[1] >= c_)) {
+      // Mixed-locality (or locally-controlled) swap: lower to three CXs,
+      // each of which the cases below can place.
+      const qubit_t a = g.targets[0], b = g.targets[1];
+      Gate cx_ab{GateKind::kX, {b}, g.controls, {}};
+      cx_ab.controls.push_back(a);
+      Gate cx_ba{GateKind::kX, {a}, g.controls, {}};
+      cx_ba.controls.push_back(b);
+      add(cx_ab);
+      add(cx_ba);
+      add(cx_ab);
+      return;
+    }
+    if (is_chunk_local(g, c_)) {
+      if (!has_current_) open(StageKind::kLocal, 0);
+      current_.gates.push_back(g);
+      return;
+    }
+    // Pair gate.
+    const qubit_t q = high_target(g, c_);
+    if (has_current_ && current_.kind == StageKind::kPair &&
+        current_.pair_qubit == q) {
+      current_.gates.push_back(g);
+    } else if (has_current_ && current_.kind == StageKind::kLocal) {
+      // Absorb the pending local run into this pair stage: those gates run
+      // on the pair buffers, saving one decompress cycle.
+      current_.kind = StageKind::kPair;
+      current_.pair_qubit = q;
+      current_.gates.push_back(g);
+    } else {
+      flush();
+      open(StageKind::kPair, q);
+      current_.gates.push_back(g);
+    }
+  }
+
+  StagePlan finish() {
+    flush();
+    return std::move(plan_);
+  }
+
+ private:
+  void open(StageKind kind, qubit_t pair_qubit) {
+    current_.kind = kind;
+    current_.pair_qubit = pair_qubit;
+    current_.gates.clear();
+    has_current_ = true;
+  }
+
+  void flush() {
+    if (!has_current_) return;
+    if (current_.kind == StageKind::kLocal) {
+      ++plan_.stats.local_stages;
+      plan_.stats.gates_in_local += current_.gates.size();
+    } else {
+      ++plan_.stats.pair_stages;
+      plan_.stats.gates_in_pair += current_.gates.size();
+    }
+    plan_.stages.push_back(std::move(current_));
+    current_ = Stage{};
+    has_current_ = false;
+  }
+
+  qubit_t c_;
+  StagePlan plan_;
+  Stage current_;
+  bool has_current_ = false;
+};
+
+}  // namespace
+
+double PartitionStats::gates_per_codec_pass() const {
+  const double passes =
+      static_cast<double>(local_stages) + 2.0 * static_cast<double>(pair_stages);
+  if (passes == 0.0) return 0.0;
+  return static_cast<double>(gates_in_local + gates_in_pair) / passes;
+}
+
+StagePlan partition(const Circuit& circuit, qubit_t chunk_qubits) {
+  MEMQ_CHECK(chunk_qubits >= 1 && chunk_qubits <= circuit.n_qubits(),
+             "chunk_qubits out of range");
+  Builder builder(chunk_qubits);
+  for (const Gate& g : circuit.gates()) builder.add(g);
+  return builder.finish();
+}
+
+const char* stage_kind_name(StageKind kind) noexcept {
+  switch (kind) {
+    case StageKind::kLocal: return "local";
+    case StageKind::kPair: return "pair";
+    case StageKind::kPermute: return "permute";
+    case StageKind::kMeasure: return "measure";
+  }
+  return "?";
+}
+
+}  // namespace memq::core

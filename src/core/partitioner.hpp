@@ -1,0 +1,58 @@
+// Offline stage: partitions the input circuit into chunk-compatible stages
+// (paper Figure 2, "Offline stage ... partitions the input circuit").
+//
+// Stage kinds, in decreasing order of data-locality luck:
+//   kLocal   — a maximal run of chunk-local gates (all targets < c, or
+//              diagonal). One decompress/recompress cycle per chunk serves
+//              the WHOLE run: this is the fix for prior work's per-gate
+//              compression churn (the paper's complaint (1) about [6]).
+//   kPair    — a run of gates sharing one high target qubit q (plus any
+//              interleaved local gates, which are absorbed): processed on
+//              chunk pairs (i, i | 2^(q-c)).
+//   kPermute — X/SWAP purely on high qubits: executed as a permutation of
+//              *compressed* chunks; no codec work at all.
+//   kMeasure — measure/reset: a global two-pass flow owned by the engine.
+//
+// SWAPs touching one high qubit (or with local controls) are pre-lowered to
+// three CXs so every pair stage has a single well-defined pair qubit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/types.hpp"
+
+namespace memq::core {
+
+enum class StageKind : std::uint8_t { kLocal, kPair, kPermute, kMeasure };
+
+struct Stage {
+  StageKind kind = StageKind::kLocal;
+  std::vector<circuit::Gate> gates;
+  qubit_t pair_qubit = 0;  ///< kPair only
+};
+
+struct PartitionStats {
+  std::size_t local_stages = 0;
+  std::size_t pair_stages = 0;
+  std::size_t permute_stages = 0;
+  std::size_t measure_stages = 0;
+  std::size_t gates_in_local = 0;
+  std::size_t gates_in_pair = 0;
+  /// Mean gates executed per decompress/recompress cycle — the locality
+  /// metric of experiment E5 (higher = fewer codec passes per gate).
+  double gates_per_codec_pass() const;
+};
+
+struct StagePlan {
+  std::vector<Stage> stages;
+  PartitionStats stats;
+};
+
+/// Builds the stage plan for `circuit` at chunk granularity 2^chunk_qubits.
+StagePlan partition(const circuit::Circuit& circuit, qubit_t chunk_qubits);
+
+const char* stage_kind_name(StageKind kind) noexcept;
+
+}  // namespace memq::core

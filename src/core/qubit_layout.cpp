@@ -1,0 +1,93 @@
+#include "core/qubit_layout.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+
+namespace memq::core {
+
+QubitLayout::QubitLayout(qubit_t n) : physical_of_(n), logical_of_(n) {
+  std::iota(physical_of_.begin(), physical_of_.end(), 0);
+  std::iota(logical_of_.begin(), logical_of_.end(), 0);
+}
+
+QubitLayout QubitLayout::optimize(const circuit::Circuit& circuit,
+                                  qubit_t chunk_qubits) {
+  const qubit_t n = circuit.n_qubits();
+  QubitLayout layout(n);
+  if (chunk_qubits >= n) return layout;  // everything is local anyway
+
+  // Heat = how often a qubit appears as a non-diagonal target (the only
+  // role that forces pair processing at chunk granularity).
+  std::vector<std::uint64_t> heat(n, 0);
+  for (const circuit::Gate& g : circuit.gates()) {
+    if (g.is_barrier() || g.is_diagonal()) continue;
+    for (const qubit_t t : g.targets) ++heat[t];
+  }
+
+  // Hottest logical qubits take the lowest physical positions; ties keep
+  // the natural order (stable sort) for determinism.
+  std::vector<qubit_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](qubit_t a, qubit_t b) { return heat[a] > heat[b]; });
+
+  for (qubit_t pos = 0; pos < n; ++pos) {
+    layout.physical_of_[order[pos]] = pos;
+    layout.logical_of_[pos] = order[pos];
+  }
+  layout.identity_ = true;
+  for (qubit_t q = 0; q < n; ++q)
+    if (layout.physical_of_[q] != q) layout.identity_ = false;
+  return layout;
+}
+
+QubitLayout QubitLayout::from_mapping(
+    const std::vector<qubit_t>& physical_of) {
+  const auto n = static_cast<qubit_t>(physical_of.size());
+  MEMQ_CHECK(n >= 1, "empty layout mapping");
+  QubitLayout layout(n);
+  std::vector<bool> seen(n, false);
+  for (qubit_t q = 0; q < n; ++q) {
+    const qubit_t p = physical_of[q];
+    MEMQ_CHECK(p < n && !seen[p], "layout mapping is not a permutation");
+    seen[p] = true;
+    layout.physical_of_[q] = p;
+    layout.logical_of_[p] = q;
+    if (p != q) layout.identity_ = false;
+  }
+  return layout;
+}
+
+circuit::Circuit QubitLayout::map_circuit(
+    const circuit::Circuit& circuit) const {
+  MEMQ_CHECK(circuit.n_qubits() == n_qubits(), "layout width mismatch");
+  if (identity_) return circuit;
+  circuit::Circuit mapped(n_qubits());
+  for (circuit::Gate g : circuit.gates()) {
+    for (qubit_t& t : g.targets) t = physical_of_[t];
+    for (qubit_t& c : g.controls) c = physical_of_[c];
+    mapped.append(std::move(g));
+  }
+  return mapped;
+}
+
+index_t QubitLayout::to_physical(index_t logical_index) const {
+  if (identity_) return logical_index;
+  index_t out = 0;
+  for (qubit_t q = 0; q < n_qubits(); ++q)
+    if (bits::test(logical_index, q)) out = bits::set(out, physical_of_[q]);
+  return out;
+}
+
+index_t QubitLayout::to_logical(index_t physical_index) const {
+  if (identity_) return physical_index;
+  index_t out = 0;
+  for (qubit_t q = 0; q < n_qubits(); ++q)
+    if (bits::test(physical_index, q)) out = bits::set(out, logical_of_[q]);
+  return out;
+}
+
+}  // namespace memq::core

@@ -1,0 +1,56 @@
+// Qubit layout optimization (challenge 3, the remapping answer).
+//
+// Chunk-local qubits are cheap (no pair loads, no extra traffic); high
+// qubits are not. But which circuit qubits are "hot" is workload-dependent
+// (e.g. Bernstein–Vazirani hammers its ancilla — the HIGHEST qubit). A
+// layout maps logical circuit qubits to physical state-vector positions so
+// the hottest non-diagonal targets sit in the low, chunk-local range —
+// the same trick SV-Sim/HyQuas-class simulators use to cut communication.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/types.hpp"
+
+namespace memq::core {
+
+/// A bijection logical qubit -> physical position.
+class QubitLayout {
+ public:
+  /// Identity layout on n qubits.
+  explicit QubitLayout(qubit_t n);
+
+  /// Heuristic layout for `circuit` with chunk size 2^chunk_qubits: qubits
+  /// ranked by non-diagonal target activity; the hottest fill the local
+  /// positions first. Diagonal-only and control-only qubits are cold (they
+  /// never force pair stages).
+  static QubitLayout optimize(const circuit::Circuit& circuit,
+                              qubit_t chunk_qubits);
+
+  /// Layout from an explicit logical->physical mapping (must be a
+  /// permutation); used by checkpoint restore.
+  static QubitLayout from_mapping(const std::vector<qubit_t>& physical_of);
+
+  qubit_t n_qubits() const noexcept {
+    return static_cast<qubit_t>(physical_of_.size());
+  }
+  bool is_identity() const noexcept { return identity_; }
+
+  qubit_t physical(qubit_t logical) const { return physical_of_.at(logical); }
+  qubit_t logical(qubit_t physical) const { return logical_of_.at(physical); }
+
+  /// Rewrites every gate's qubits into physical positions.
+  circuit::Circuit map_circuit(const circuit::Circuit& circuit) const;
+
+  /// Basis-state index translation: logical amplitude index -> physical.
+  index_t to_physical(index_t logical_index) const;
+  index_t to_logical(index_t physical_index) const;
+
+ private:
+  std::vector<qubit_t> physical_of_;  // logical -> physical
+  std::vector<qubit_t> logical_of_;   // physical -> logical
+  bool identity_ = true;
+};
+
+}  // namespace memq::core

@@ -1,0 +1,132 @@
+#include "core/wu_engine.hpp"
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "core/chunk_exec.hpp"
+
+namespace memq::core {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+WuEngine::WuEngine(qubit_t n_qubits, const EngineConfig& config)
+    : CompressedEngineBase(n_qubits, config) {}
+
+void WuEngine::charge_cpu(double seconds) {
+  telemetry_.modeled_total_seconds += seconds;
+}
+
+void WuEngine::run(const circuit::Circuit& circuit) {
+  MEMQ_CHECK(circuit.n_qubits() == n_qubits(), "circuit width mismatch");
+  WallTimer wall;
+  state_is_fresh_ = false;  // layout stays identity: [6] has no remapping
+  for (const Gate& g : circuit.gates()) {
+    if (g.is_barrier()) continue;
+    if (g.is_nonunitary()) {
+      const bool outcome = measure_qubit(g.targets.at(0));
+      ++telemetry_.stages_measure;
+      if (g.kind == GateKind::kReset && outcome)
+        apply_unitary_gate(Gate::x(g.targets[0]));
+      continue;
+    }
+    if (g.kind == GateKind::kSwap &&
+        (g.targets[0] >= store_.chunk_qubits() ||
+         g.targets[1] >= store_.chunk_qubits()) &&
+        !(g.targets[0] >= store_.chunk_qubits() &&
+          g.targets[1] >= store_.chunk_qubits() &&
+          [&] {
+            for (const qubit_t ctrl : g.controls)
+              if (ctrl < store_.chunk_qubits()) return false;
+            return true;
+          }())) {
+      // Mixed-locality swap: three CXs, as in the MemQSim partitioner.
+      const qubit_t a = g.targets[0], b = g.targets[1];
+      Gate cx_ab{GateKind::kX, {b}, g.controls, {}};
+      cx_ab.controls.push_back(a);
+      Gate cx_ba{GateKind::kX, {a}, g.controls, {}};
+      cx_ba.controls.push_back(b);
+      apply_unitary_gate(cx_ab);
+      apply_unitary_gate(cx_ba);
+      apply_unitary_gate(cx_ab);
+      continue;
+    }
+    apply_unitary_gate(g);
+  }
+  telemetry_.wall_seconds += wall.seconds();
+  refresh_footprint_telemetry();
+}
+
+void WuEngine::apply_unitary_gate(const Gate& g) {
+  const qubit_t c = store_.chunk_qubits();
+
+  if (is_chunk_local(g, c)) {
+    // Wu-style: every gate pays a full decompress + recompress sweep.
+    ++telemetry_.stages_local;
+    for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+      // The all-zero fast path: a zero chunk stays zero under any masked
+      // single-target unitary.
+      if (store_.is_zero_chunk(ci)) {
+        ++telemetry_.zero_chunks_skipped;
+        continue;
+      }
+      (void)load_chunk_timed(ci, scratch_);
+      WallTimer t;
+      const bool touched = apply_gate_to_chunk(scratch_, ci, c, g);
+      const double dt = t.seconds();
+      telemetry_.cpu_phases.add("cpu_apply", dt);
+      charge_cpu(dt / config_.cpu_codec_workers);
+      if (touched) store_chunk_timed(ci, scratch_);
+    }
+    refresh_footprint_telemetry();
+    return;
+  }
+
+  // Pure chunk permutation?
+  const auto all_high_controls = [&] {
+    for (const qubit_t ctrl : g.controls)
+      if (ctrl < c) return false;
+    return true;
+  };
+  if (((g.kind == GateKind::kX && g.targets[0] >= c) ||
+       (g.kind == GateKind::kSwap && g.targets[0] >= c &&
+        g.targets[1] >= c)) &&
+      all_high_controls()) {
+    ++telemetry_.stages_permute;
+    apply_chunk_permutation(store_, g);
+    return;
+  }
+
+  // Pair gate on the single high target.
+  ++telemetry_.stages_pair;
+  qubit_t q = 0;
+  for (const qubit_t t : g.targets)
+    if (t >= c) q = t;
+  const qubit_t pair_bit = q - c;
+  pair_buf_.resize(store_.chunk_amps() * 2);
+  const auto lo_half = std::span<amp_t>(pair_buf_).first(store_.chunk_amps());
+  const auto hi_half = std::span<amp_t>(pair_buf_).last(store_.chunk_amps());
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (bits::test(ci, pair_bit)) continue;
+    const index_t cj = bits::set(ci, pair_bit);
+    if (store_.is_zero_chunk(ci) && store_.is_zero_chunk(cj)) {
+      ++telemetry_.zero_chunks_skipped;
+      continue;
+    }
+    (void)load_chunk_timed(ci, scratch_);
+    std::copy(scratch_.begin(), scratch_.end(), lo_half.begin());
+    (void)load_chunk_timed(cj, scratch_);
+    std::copy(scratch_.begin(), scratch_.end(), hi_half.begin());
+    WallTimer t;
+    const bool touched = apply_gate_to_pair(pair_buf_, ci, c, q, g);
+    const double dt = t.seconds();
+    telemetry_.cpu_phases.add("cpu_apply", dt);
+    charge_cpu(dt / config_.cpu_codec_workers);
+    if (touched) {
+      store_chunk_timed(ci, lo_half);
+      store_chunk_timed(cj, hi_half);
+    }
+  }
+  refresh_footprint_telemetry();
+}
+
+}  // namespace memq::core

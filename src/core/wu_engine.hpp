@@ -1,0 +1,27 @@
+// Prior-work baseline in the style of Wu et al. [6] ("Full-state quantum
+// circuit simulation by using data compression", SC'19), as characterized by
+// the paper's introduction: the whole compressed state is decompressed and
+// recompressed around EVERY gate, on the CPU, with no locality grouping and
+// no accelerator. MEMQSim's stage partitioning and pipelining are exactly
+// the fixes for this engine's overheads, so it is the E6 comparison arm.
+#pragma once
+
+#include "core/compressed_base.hpp"
+
+namespace memq::core {
+
+class WuEngine final : public CompressedEngineBase {
+ public:
+  WuEngine(qubit_t n_qubits, const EngineConfig& config);
+
+  std::string name() const override { return "wu-baseline"; }
+  void run(const circuit::Circuit& circuit) override;
+
+ private:
+  void charge_cpu(double seconds) override;
+  void apply_unitary_gate(const circuit::Gate& gate);
+
+  std::vector<amp_t> pair_buf_;
+};
+
+}  // namespace memq::core

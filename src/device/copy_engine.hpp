@@ -1,0 +1,68 @@
+// The three CPU->GPU transfer strategies of the paper's step (2) — the
+// subject of Table 1.
+//
+//   kSync            one bulk cudaMemcpy per transfer (the lower bound the
+//                    paper normalizes against),
+//   kAsyncPerElement "transfer of corresponding state vector elements to the
+//                    GPU memory one at a time, utilizing CUDA asynchronous
+//                    copies" — one API call per amplitude,
+//   kStagedBuffer    "allocating a buffer on the GPU side and shifting the
+//                    data chunk from the CPU buffer to the GPU buffer.
+//                    Following this, GPU threads are employed to map all
+//                    these amplitudes to their appropriate positions" — one
+//                    bulk copy into a staging area + a device-side scatter
+//                    kernel (costs extra memory, nearly free in time).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "device/stream.hpp"
+
+namespace memq::device {
+
+enum class TransferStrategy : std::uint8_t {
+  kSync = 0,
+  kAsyncPerElement = 1,
+  kStagedBuffer = 2,
+};
+
+const char* strategy_name(TransferStrategy s) noexcept;
+
+struct TransferReport {
+  double modeled_seconds = 0.0;  ///< stream time consumed by this transfer
+  std::uint64_t api_calls = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Executes amplitude uploads/downloads under a chosen strategy.
+/// `positions` maps element i of the host span to an amplitude slot in the
+/// device buffer; an empty span means the identity layout.
+class CopyEngine {
+ public:
+  CopyEngine(SimDevice& device, TransferStrategy strategy);
+
+  TransferStrategy strategy() const noexcept { return strategy_; }
+
+  /// Uploads `src` into `dst` (viewed as amp_t[]) at `positions`.
+  /// The staged strategy requires `staging` (same element count as src) and
+  /// consumes it as the GPU-side bounce buffer.
+  TransferReport upload(Stream& stream, DeviceBuffer& dst,
+                        std::span<const amp_t> src,
+                        std::span<const index_t> positions = {},
+                        DeviceBuffer* staging = nullptr);
+
+  /// Downloads from `src` at `positions` into `dst`.
+  TransferReport download(Stream& stream, std::span<amp_t> dst,
+                          const DeviceBuffer& src,
+                          std::span<const index_t> positions = {},
+                          DeviceBuffer* staging = nullptr);
+
+ private:
+  SimDevice& device_;
+  TransferStrategy strategy_;
+};
+
+}  // namespace memq::device

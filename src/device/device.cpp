@@ -1,0 +1,85 @@
+#include "device/device.hpp"
+
+#include "device/stream.hpp"
+
+namespace memq::device {
+
+SimDevice::SimDevice(const DeviceConfig& config,
+                     std::shared_ptr<HostClock> clock)
+    : config_(config),
+      clock_(clock ? std::move(clock) : std::make_shared<HostClock>()) {
+  MEMQ_CHECK(config.memory_bytes > 0, "device needs nonzero memory");
+  MEMQ_CHECK(config.h2d_bandwidth > 0 && config.d2h_bandwidth > 0,
+             "bandwidths must be positive");
+}
+
+SimDevice::~SimDevice() = default;
+
+DeviceBuffer SimDevice::alloc(std::uint64_t bytes, const std::string& label) {
+  MEMQ_CHECK(bytes > 0, "zero-byte device allocation");
+  if (in_use_ + bytes > config_.memory_bytes)
+    MEMQ_THROW(OutOfMemory, "device OOM: requested "
+                                << bytes << " B with " << bytes_free()
+                                << " B free of " << config_.memory_bytes
+                                << " B (buffer '" << label << "')");
+  in_use_ += bytes;
+  ++live_buffers_;
+  ++stats_.allocations;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, in_use_);
+  return DeviceBuffer(this, bytes, label);
+}
+
+void SimDevice::release(std::uint64_t bytes) noexcept {
+  in_use_ -= bytes;
+  --live_buffers_;
+}
+
+void SimDevice::advance_host(double seconds) {
+  MEMQ_CHECK(seconds >= 0.0, "cannot rewind the host clock");
+  clock_->advance(seconds);
+}
+
+void SimDevice::sync_host(const Stream& stream) {
+  clock_->sync_until(stream.tail());
+}
+
+DeviceBuffer::DeviceBuffer(SimDevice* device, std::uint64_t bytes,
+                           std::string label)
+    : device_(device),
+      data_(new std::byte[bytes]()),
+      bytes_(bytes),
+      label_(std::move(label)) {}
+
+DeviceBuffer::~DeviceBuffer() { free(); }
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : device_(other.device_),
+      data_(std::move(other.data_)),
+      bytes_(other.bytes_),
+      label_(std::move(other.label_)) {
+  other.device_ = nullptr;
+  other.bytes_ = 0;
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    free();
+    device_ = other.device_;
+    data_ = std::move(other.data_);
+    bytes_ = other.bytes_;
+    label_ = std::move(other.label_);
+    other.device_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void DeviceBuffer::free() {
+  if (data_ != nullptr && device_ != nullptr) {
+    device_->release(bytes_);
+    data_.reset();
+    bytes_ = 0;
+  }
+}
+
+}  // namespace memq::device

@@ -1,0 +1,189 @@
+// Simulated accelerator ("the GPU").
+//
+// This environment has no CUDA device, so MEMQSim's device side is a
+// software model that reproduces the *scheduling semantics and cost
+// structure* of the CUDA runtime subset the paper uses:
+//
+//   * device memory is a capacity-enforced allocator (real host memory, so
+//     kernels compute real results);
+//   * streams are in-order command queues with events for cross-stream
+//     dependencies;
+//   * every operation executes its real work immediately (deterministic,
+//     testable) and charges *modeled time* to the stream's virtual timeline:
+//       copy      = per-call overhead + bytes / bandwidth
+//       kernel    = launch overhead + work / throughput
+//   * a host clock advances with the CPU-side work the engine reports, so
+//     "the copy cannot start before the host enqueued it" holds.
+//
+// The Table-1 phenomenon (per-element async copies ~870x slower than one
+// bulk copy) then emerges from call-count x per-call overhead, which is the
+// mechanism the paper identifies. Constants below are calibrated to the
+// paper's testbed (see EXPERIMENTS.md); change them freely — the *ratios*
+// the benches report are structural.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace memq::device {
+
+struct DeviceConfig {
+  /// Device memory capacity (default 2 GiB: a small user-level GPU).
+  std::uint64_t memory_bytes = 2ull << 30;
+
+  /// Bulk copy bandwidths, bytes/second. Asymmetric, as measured on PCIe
+  /// testbeds (and consistent with the paper's Table 1 sync times).
+  double h2d_bandwidth = 6.0e9;
+  double d2h_bandwidth = 2.2e9;
+
+  /// Per-API-call overheads, seconds.
+  double sync_copy_overhead = 4.0e-6;
+  double async_copy_overhead_h2d = 2.5e-6;
+  double async_copy_overhead_d2h = 8.5e-6;
+  double kernel_launch_overhead = 5.0e-6;
+
+  /// Kernel throughputs, amplitudes/second.
+  double gate_kernel_throughput = 4.0e9;
+  double scatter_kernel_throughput = 1.2e10;
+};
+
+/// The host's virtual clock. One per single-device setup; SHARED between
+/// SimDevices when the engine drives several accelerators from one CPU
+/// (multi-device sharding): CPU work advances one timeline, while each
+/// device's streams keep their own.
+class HostClock {
+ public:
+  double now() const noexcept { return t_; }
+  void advance(double seconds) noexcept { t_ += seconds; }
+  void sync_until(double t) noexcept {
+    if (t > t_) t_ = t;
+  }
+  void reset() noexcept { t_ = 0.0; }
+
+ private:
+  double t_ = 0.0;
+};
+
+struct DeviceStats {
+  std::uint64_t h2d_calls = 0;
+  std::uint64_t d2h_calls = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t peak_bytes = 0;
+};
+
+class DeviceBuffer;
+class Stream;
+
+class SimDevice {
+ public:
+  /// `clock` may be shared across devices (multi-device setups); a private
+  /// clock is created when omitted.
+  explicit SimDevice(const DeviceConfig& config = {},
+                     std::shared_ptr<HostClock> clock = nullptr);
+  ~SimDevice();
+
+  SimDevice(const SimDevice&) = delete;
+  SimDevice& operator=(const SimDevice&) = delete;
+
+  const DeviceConfig& config() const noexcept { return config_; }
+
+  /// Allocates device memory; throws OutOfMemory beyond capacity.
+  DeviceBuffer alloc(std::uint64_t bytes, const std::string& label = "");
+
+  std::uint64_t bytes_in_use() const noexcept { return in_use_; }
+  std::uint64_t bytes_free() const noexcept {
+    return config_.memory_bytes - in_use_;
+  }
+
+  const DeviceStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Host virtual clock. The engine advances it with measured CPU work so
+  /// enqueue ordering constraints hold on the modeled timeline.
+  double host_time() const noexcept { return clock_->now(); }
+  void advance_host(double seconds);
+
+  /// Blocks the host clock until the stream's queued work completes
+  /// (host_time = max(host_time, stream tail)).
+  void sync_host(const Stream& stream);
+
+  /// Blocks the host clock until virtual time `t` (event waits).
+  void sync_host_until(double t) noexcept { clock_->sync_until(t); }
+
+  /// Rewinds the virtual clock to zero (engine reset). Does not touch
+  /// allocations or stats.
+  void reset_clock() noexcept { clock_->reset(); }
+
+  const std::shared_ptr<HostClock>& clock() const noexcept { return clock_; }
+
+ private:
+  friend class DeviceBuffer;
+  friend class Stream;
+
+  void release(std::uint64_t bytes) noexcept;
+
+  DeviceConfig config_;
+  std::uint64_t in_use_ = 0;
+  std::shared_ptr<HostClock> clock_;
+  DeviceStats stats_;
+  std::uint64_t live_buffers_ = 0;
+};
+
+/// RAII device allocation. Backed by real host memory so kernels produce
+/// real results; capacity is enforced by SimDevice.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  ~DeviceBuffer();
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept;
+
+  bool valid() const noexcept { return data_ != nullptr; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  const std::string& label() const noexcept { return label_; }
+
+  /// Raw device pointer — only the Stream copy/kernel APIs should touch it;
+  /// exposed for kernels (which run "on the device").
+  std::byte* data() noexcept { return data_.get(); }
+  const std::byte* data() const noexcept { return data_.get(); }
+
+  /// Typed view of the buffer contents.
+  template <typename T>
+  std::span<T> view() {
+    check_live();
+    return {reinterpret_cast<T*>(data_.get()), bytes_ / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> view() const {
+    check_live();
+    return {reinterpret_cast<const T*>(data_.get()), bytes_ / sizeof(T)};
+  }
+
+  void free();  ///< early release; further access throws DeviceError
+
+ private:
+  friend class SimDevice;
+  DeviceBuffer(SimDevice* device, std::uint64_t bytes, std::string label);
+
+  void check_live() const {
+    if (data_ == nullptr) throw DeviceError("use of freed device buffer");
+  }
+
+  SimDevice* device_ = nullptr;
+  std::unique_ptr<std::byte[]> data_;
+  std::uint64_t bytes_ = 0;
+  std::string label_;
+};
+
+}  // namespace memq::device

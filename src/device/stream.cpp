@@ -1,0 +1,93 @@
+#include "device/stream.hpp"
+
+namespace memq::device {
+
+Stream::Stream(SimDevice& device, std::string name)
+    : device_(device), name_(std::move(name)) {}
+
+void Stream::bump_host_overhead(double seconds) {
+  device_.advance_host(seconds);
+}
+
+double Stream::begin_op(double host_overhead) {
+  // The host spends `host_overhead` issuing the call; the operation starts
+  // no earlier than both the issue completion and the stream's prior work.
+  bump_host_overhead(host_overhead);
+  return std::max(tail_, device_.host_time());
+}
+
+void Stream::memcpy_h2d_sync(DeviceBuffer& dst, std::uint64_t dst_offset,
+                             const void* src, std::uint64_t bytes) {
+  if (dst_offset + bytes > dst.bytes())
+    throw DeviceError("h2d copy overruns device buffer '" + dst.label() + "'");
+  const auto& cfg = device_.config();
+  const double start = begin_op(cfg.sync_copy_overhead);
+  const double duration = static_cast<double>(bytes) / cfg.h2d_bandwidth;
+  std::memcpy(dst.data() + dst_offset, src, bytes);
+  tail_ = start + duration;
+  busy_ += duration;
+  ++device_.stats_.h2d_calls;
+  device_.stats_.h2d_bytes += bytes;
+  // Synchronous semantics: the host blocks until completion.
+  device_.sync_host(*this);
+}
+
+void Stream::memcpy_d2h_sync(void* dst, const DeviceBuffer& src,
+                             std::uint64_t src_offset, std::uint64_t bytes) {
+  if (src_offset + bytes > src.bytes())
+    throw DeviceError("d2h copy overruns device buffer '" + src.label() + "'");
+  const auto& cfg = device_.config();
+  const double start = begin_op(cfg.sync_copy_overhead);
+  const double duration = static_cast<double>(bytes) / cfg.d2h_bandwidth;
+  std::memcpy(dst, src.data() + src_offset, bytes);
+  tail_ = start + duration;
+  busy_ += duration;
+  ++device_.stats_.d2h_calls;
+  device_.stats_.d2h_bytes += bytes;
+  device_.sync_host(*this);
+}
+
+void Stream::memcpy_h2d_async(DeviceBuffer& dst, std::uint64_t dst_offset,
+                              const void* src, std::uint64_t bytes) {
+  if (dst_offset + bytes > dst.bytes())
+    throw DeviceError("h2d copy overruns device buffer '" + dst.label() + "'");
+  const auto& cfg = device_.config();
+  const double start = begin_op(cfg.async_copy_overhead_h2d);
+  const double duration = static_cast<double>(bytes) / cfg.h2d_bandwidth;
+  std::memcpy(dst.data() + dst_offset, src, bytes);
+  tail_ = start + duration;
+  busy_ += duration;
+  ++device_.stats_.h2d_calls;
+  device_.stats_.h2d_bytes += bytes;
+}
+
+void Stream::memcpy_d2h_async(void* dst, const DeviceBuffer& src,
+                              std::uint64_t src_offset, std::uint64_t bytes) {
+  if (src_offset + bytes > src.bytes())
+    throw DeviceError("d2h copy overruns device buffer '" + src.label() + "'");
+  const auto& cfg = device_.config();
+  const double start = begin_op(cfg.async_copy_overhead_d2h);
+  const double duration = static_cast<double>(bytes) / cfg.d2h_bandwidth;
+  std::memcpy(dst, src.data() + src_offset, bytes);
+  tail_ = start + duration;
+  busy_ += duration;
+  ++device_.stats_.d2h_calls;
+  device_.stats_.d2h_bytes += bytes;
+}
+
+void Stream::launch(const std::string& label, std::uint64_t work_items,
+                    const std::function<void()>& body, double throughput) {
+  (void)label;
+  const auto& cfg = device_.config();
+  if (throughput <= 0.0) throughput = cfg.gate_kernel_throughput;
+  const double start = begin_op(cfg.kernel_launch_overhead);
+  const double duration = static_cast<double>(work_items) / throughput;
+  body();
+  tail_ = start + duration;
+  busy_ += duration;
+  ++device_.stats_.kernel_launches;
+}
+
+void Stream::synchronize() { device_.sync_host(*this); }
+
+}  // namespace memq::device

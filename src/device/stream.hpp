@@ -1,0 +1,82 @@
+// In-order device command queue with events — the scheduling surface the
+// MEMQSim pipeline is built on (paper Figure 1: decompress / H2D / kernel /
+// D2H overlapped on separate streams).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "device/device.hpp"
+
+namespace memq::device {
+
+/// Marker of a point in a stream's virtual timeline.
+struct Event {
+  double time = 0.0;
+};
+
+class Stream {
+ public:
+  explicit Stream(SimDevice& device, std::string name = "stream");
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Virtual time at which all currently queued work completes.
+  double tail() const noexcept { return tail_; }
+
+  /// Total modeled busy seconds accumulated on this stream.
+  double busy_seconds() const noexcept { return busy_; }
+
+  // -- copies (execute the real memcpy, charge modeled time) ---------------
+
+  /// One bulk synchronous copy (cudaMemcpy): blocks the host clock.
+  void memcpy_h2d_sync(DeviceBuffer& dst, std::uint64_t dst_offset,
+                       const void* src, std::uint64_t bytes);
+  void memcpy_d2h_sync(void* dst, const DeviceBuffer& src,
+                       std::uint64_t src_offset, std::uint64_t bytes);
+
+  /// Asynchronous copies (cudaMemcpyAsync on this stream): enqueue and
+  /// return; per-call driver overhead still burns host time.
+  void memcpy_h2d_async(DeviceBuffer& dst, std::uint64_t dst_offset,
+                        const void* src, std::uint64_t bytes);
+  void memcpy_d2h_async(void* dst, const DeviceBuffer& src,
+                        std::uint64_t src_offset, std::uint64_t bytes);
+
+  // -- kernels ---------------------------------------------------------------
+
+  /// Launches a "kernel": runs `body` immediately (real work) and charges
+  /// launch overhead + work_items/throughput to the stream.
+  /// `throughput` defaults to the gate-kernel rate; pass
+  /// config().scatter_kernel_throughput for data-movement kernels.
+  void launch(const std::string& label, std::uint64_t work_items,
+              const std::function<void()>& body, double throughput = 0.0);
+
+  // -- ordering ---------------------------------------------------------------
+
+  /// Records an event at the current tail.
+  Event record() const { return {tail_}; }
+
+  /// Makes subsequent work on this stream wait for `event`.
+  void wait(const Event& event) { tail_ = std::max(tail_, event.time); }
+
+  /// Host-side synchronize: advances the host clock to the tail.
+  void synchronize();
+
+  /// Rewinds this stream's virtual timeline (engine reset).
+  void reset_clock() noexcept {
+    tail_ = 0.0;
+    busy_ = 0.0;
+  }
+
+ private:
+  void bump_host_overhead(double seconds);
+  double begin_op(double host_overhead);
+
+  SimDevice& device_;
+  std::string name_;
+  double tail_ = 0.0;
+  double busy_ = 0.0;
+};
+
+}  // namespace memq::device

@@ -1,0 +1,210 @@
+#include "sv/kernels.hpp"
+
+#include <cmath>
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+
+namespace memq::sv {
+
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::Mat2;
+using circuit::Mat4;
+
+namespace {
+
+qubit_t span_qubits(std::span<const amp_t> amps) {
+  MEMQ_CHECK(bits::is_pow2(amps.size()), "span size must be a power of two");
+  return bits::log2_floor(amps.size());
+}
+
+}  // namespace
+
+void apply_matrix1(std::span<amp_t> amps, qubit_t target, const Mat2& m,
+                   index_t control_mask) {
+  const qubit_t n = span_qubits(amps);
+  MEMQ_CHECK(target < n, "target " << target << " outside " << n
+                                   << "-qubit span");
+  const index_t bit = index_t{1} << target;
+  const auto half = static_cast<std::int64_t>(amps.size() >> 1);
+  const amp_t m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+#pragma omp parallel for schedule(static)
+  for (std::int64_t k = 0; k < half; ++k) {
+    const index_t i0 = bits::insert_zero(static_cast<index_t>(k), target);
+    if ((i0 & control_mask) != control_mask) continue;
+    const index_t i1 = i0 | bit;
+    const amp_t a0 = amps[i0];
+    const amp_t a1 = amps[i1];
+    amps[i0] = m00 * a0 + m01 * a1;
+    amps[i1] = m10 * a0 + m11 * a1;
+  }
+}
+
+void apply_diagonal1(std::span<amp_t> amps, qubit_t target, amp_t d0, amp_t d1,
+                     index_t control_mask) {
+  const qubit_t n = span_qubits(amps);
+  MEMQ_CHECK(target < n, "target outside span");
+  const index_t bit = index_t{1} << target;
+  const auto size = static_cast<std::int64_t>(amps.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < size; ++i) {
+    const auto idx = static_cast<index_t>(i);
+    if ((idx & control_mask) != control_mask) continue;
+    amps[idx] *= (idx & bit) ? d1 : d0;
+  }
+}
+
+void apply_x(std::span<amp_t> amps, qubit_t target, index_t control_mask) {
+  const qubit_t n = span_qubits(amps);
+  MEMQ_CHECK(target < n, "target outside span");
+  const index_t bit = index_t{1} << target;
+  const auto half = static_cast<std::int64_t>(amps.size() >> 1);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t k = 0; k < half; ++k) {
+    const index_t i0 = bits::insert_zero(static_cast<index_t>(k), target);
+    if ((i0 & control_mask) != control_mask) continue;
+    std::swap(amps[i0], amps[i0 | bit]);
+  }
+}
+
+void apply_swap(std::span<amp_t> amps, qubit_t a, qubit_t b,
+                index_t control_mask) {
+  const qubit_t n = span_qubits(amps);
+  MEMQ_CHECK(a < n && b < n && a != b, "bad swap targets");
+  const qubit_t lo = std::min(a, b), hi = std::max(a, b);
+  const index_t lo_bit = index_t{1} << lo;
+  const index_t hi_bit = index_t{1} << hi;
+  const auto quarter = static_cast<std::int64_t>(amps.size() >> 2);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t k = 0; k < quarter; ++k) {
+    // Enumerate indices with (lo=1, hi=0); partner has (lo=0, hi=1).
+    const index_t base =
+        bits::insert_two_zeros(static_cast<index_t>(k), lo, hi);
+    if ((base & control_mask) != control_mask) continue;
+    std::swap(amps[base | lo_bit], amps[base | hi_bit]);
+  }
+}
+
+void apply_matrix2(std::span<amp_t> amps, qubit_t q_lo, qubit_t q_hi,
+                   const Mat4& m, index_t control_mask) {
+  const qubit_t n = span_qubits(amps);
+  MEMQ_CHECK(q_lo < n && q_hi < n && q_lo != q_hi, "bad matrix2 targets");
+  const bool swapped = q_lo > q_hi;
+  const qubit_t lo = std::min(q_lo, q_hi), hi = std::max(q_lo, q_hi);
+  const index_t lo_bit = index_t{1} << q_lo;  // basis-order bit of target 0
+  const index_t hi_bit = index_t{1} << q_hi;  // basis-order bit of target 1
+  (void)swapped;
+  const auto quarter = static_cast<std::int64_t>(amps.size() >> 2);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t k = 0; k < quarter; ++k) {
+    const index_t base =
+        bits::insert_two_zeros(static_cast<index_t>(k), lo, hi);
+    if ((base & control_mask) != control_mask) continue;
+    const index_t i00 = base;
+    const index_t i01 = base | lo_bit;           // target0 = 1
+    const index_t i10 = base | hi_bit;           // target1 = 1
+    const index_t i11 = base | lo_bit | hi_bit;
+    const amp_t a00 = amps[i00], a01 = amps[i01], a10 = amps[i10],
+                a11 = amps[i11];
+    amps[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+    amps[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+    amps[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+    amps[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+  }
+}
+
+namespace {
+
+index_t mask_of(std::span<const qubit_t> qs) {
+  index_t m = 0;
+  for (const qubit_t q : qs) m |= index_t{1} << q;
+  return m;
+}
+
+void dispatch(std::span<amp_t> amps, const Gate& g, qubit_t t0,
+              index_t control_mask) {
+  switch (g.kind) {
+    case GateKind::kI:
+      return;
+    case GateKind::kX:
+      apply_x(amps, t0, control_mask);
+      return;
+    case GateKind::kZ:
+      apply_diagonal1(amps, t0, amp_t{1, 0}, amp_t{-1, 0}, control_mask);
+      return;
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRZ:
+    case GateKind::kPhase: {
+      const Mat2 m = g.matrix1q();
+      apply_diagonal1(amps, t0, m[0], m[3], control_mask);
+      return;
+    }
+    default:
+      apply_matrix1(amps, t0, g.matrix1q(), control_mask);
+  }
+}
+
+}  // namespace
+
+void apply_gate(std::span<amp_t> amps, const Gate& gate) {
+  if (gate.is_barrier()) return;
+  MEMQ_CHECK(!gate.is_nonunitary(),
+             "apply_gate cannot execute measure/reset; use the simulator");
+  const index_t cmask = mask_of(gate.controls);
+  if (gate.kind == GateKind::kSwap) {
+    apply_swap(amps, gate.targets[0], gate.targets[1], cmask);
+    return;
+  }
+  dispatch(amps, gate, gate.targets[0], cmask);
+}
+
+void apply_gate_mapped(std::span<amp_t> amps, const Gate& gate,
+                       std::span<const qubit_t> local_of,
+                       index_t extra_control_mask) {
+  if (gate.is_barrier()) return;
+  MEMQ_CHECK(!gate.is_nonunitary(), "mapped apply cannot execute measure");
+  index_t cmask = extra_control_mask;
+  for (const qubit_t c : gate.controls) cmask |= index_t{1} << local_of[c];
+  if (gate.kind == GateKind::kSwap) {
+    apply_swap(amps, local_of[gate.targets[0]], local_of[gate.targets[1]],
+               cmask);
+    return;
+  }
+  dispatch(amps, gate, local_of[gate.targets[0]], cmask);
+}
+
+double probability_one(std::span<const amp_t> amps, qubit_t target) {
+  const qubit_t n = span_qubits(amps);
+  MEMQ_CHECK(target < n, "target outside span");
+  const index_t bit = index_t{1} << target;
+  double s = 0.0;
+  const auto size = static_cast<std::int64_t>(amps.size());
+#pragma omp parallel for reduction(+ : s) schedule(static)
+  for (std::int64_t i = 0; i < size; ++i)
+    if (static_cast<index_t>(i) & bit)
+      s += std::norm(amps[static_cast<index_t>(i)]);
+  return s;
+}
+
+void collapse(std::span<amp_t> amps, qubit_t target, bool outcome,
+              double scale) {
+  const qubit_t n = span_qubits(amps);
+  MEMQ_CHECK(target < n, "target outside span");
+  const index_t bit = index_t{1} << target;
+  const auto size = static_cast<std::int64_t>(amps.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < size; ++i) {
+    const auto idx = static_cast<index_t>(i);
+    const bool is_one = (idx & bit) != 0;
+    if (is_one == outcome)
+      amps[idx] *= scale;
+    else
+      amps[idx] = amp_t{0, 0};
+  }
+}
+
+}  // namespace memq::sv

@@ -1,0 +1,59 @@
+// Gate-application kernels over raw amplitude spans.
+//
+// These are shared by the dense simulator AND by the MEMQSim pipeline (the
+// "GPU kernel" the simulated device launches runs exactly this code on a
+// staged buffer, with qubit indices remapped into chunk-local space).
+//
+// Conventions:
+//  * the span holds 2^n amplitudes, qubit 0 = least-significant index bit;
+//  * `control_mask` has a 1 for every (local) control qubit: an amplitude
+//    pair is updated only if idx & control_mask == control_mask. Controls on
+//    higher, non-local qubits are resolved by the caller before invoking.
+#pragma once
+
+#include <span>
+
+#include "circuit/gate.hpp"
+#include "common/types.hpp"
+
+namespace memq::sv {
+
+/// General single-qubit unitary on `target`, optionally controlled.
+void apply_matrix1(std::span<amp_t> amps, qubit_t target,
+                   const circuit::Mat2& m, index_t control_mask = 0);
+
+/// Diagonal single-qubit gate diag(d0, d1): no pairing, one pass.
+void apply_diagonal1(std::span<amp_t> amps, qubit_t target, amp_t d0, amp_t d1,
+                     index_t control_mask = 0);
+
+/// Pauli-X specialization (pure swap of pair halves).
+void apply_x(std::span<amp_t> amps, qubit_t target, index_t control_mask = 0);
+
+/// SWAP on two targets, optionally controlled.
+void apply_swap(std::span<amp_t> amps, qubit_t a, qubit_t b,
+                index_t control_mask = 0);
+
+/// General two-qubit unitary (row-major 4x4, q_lo = first target = LSB).
+void apply_matrix2(std::span<amp_t> amps, qubit_t q_lo, qubit_t q_hi,
+                   const circuit::Mat4& m, index_t control_mask = 0);
+
+/// Dispatches a circuit Gate whose qubits are all local to the span.
+/// Measure/reset/barrier are rejected — callers own those flows.
+void apply_gate(std::span<amp_t> amps, const circuit::Gate& gate);
+
+/// As apply_gate, but with qubit relabeling: local_of[q] gives the local
+/// bit position of circuit qubit q inside this span, and `extra_control_mask`
+/// carries already-resolved (non-local) controls as an all-ones condition.
+void apply_gate_mapped(std::span<amp_t> amps, const circuit::Gate& gate,
+                       std::span<const qubit_t> local_of,
+                       index_t extra_control_mask = 0);
+
+/// P(target = 1) restricted to this span.
+double probability_one(std::span<const amp_t> amps, qubit_t target);
+
+/// Projects onto target == outcome (zeroing the other branch) and scales by
+/// `scale` (callers pass 1/sqrt(p) to renormalize).
+void collapse(std::span<amp_t> amps, qubit_t target, bool outcome,
+              double scale);
+
+}  // namespace memq::sv

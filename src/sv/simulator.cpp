@@ -1,0 +1,111 @@
+#include "sv/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sv/kernels.hpp"
+
+namespace memq::sv {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+Simulator::Simulator(qubit_t n_qubits, std::uint64_t seed)
+    : state_(n_qubits), rng_(seed) {}
+
+void Simulator::reset() {
+  state_.set_basis_state(0);
+  record_.clear();
+}
+
+void Simulator::apply(const Gate& gate) {
+  if (gate.is_barrier()) return;
+  if (gate.kind == GateKind::kMeasure) {
+    record_.push_back(measure(gate.targets.at(0)));
+    return;
+  }
+  if (gate.kind == GateKind::kReset) {
+    const bool outcome = measure(gate.targets.at(0));
+    record_.push_back(outcome);
+    if (outcome) apply_x(state_.amplitudes(), gate.targets[0]);
+    return;
+  }
+  apply_gate(state_.amplitudes(), gate);
+}
+
+void Simulator::run(const circuit::Circuit& circuit) {
+  MEMQ_CHECK(circuit.n_qubits() == state_.n_qubits(),
+             "circuit is " << circuit.n_qubits() << " qubits, simulator is "
+                           << state_.n_qubits());
+  for (const Gate& g : circuit.gates()) apply(g);
+}
+
+bool Simulator::measure(qubit_t q) {
+  const double p1 = probability_one(state_.amplitudes(), q);
+  const bool outcome = rng_.uniform() < p1;
+  const double p = outcome ? p1 : 1.0 - p1;
+  MEMQ_CHECK(p > 1e-300, "measurement hit a zero-probability branch");
+  collapse(state_.amplitudes(), q, outcome, 1.0 / std::sqrt(p));
+  return outcome;
+}
+
+std::map<index_t, std::uint64_t> Simulator::sample_counts(std::size_t shots) {
+  // Inverse-CDF sampling on sorted uniforms: one pass over the amplitudes.
+  std::vector<double> u(shots);
+  for (auto& x : u) x = rng_.uniform();
+  std::sort(u.begin(), u.end());
+
+  std::map<index_t, std::uint64_t> counts;
+  double cumulative = 0.0;
+  std::size_t next = 0;
+  const auto amps = state_.amplitudes();
+  for (index_t i = 0; i < amps.size() && next < shots; ++i) {
+    cumulative += std::norm(amps[i]);
+    while (next < shots && u[next] < cumulative) {
+      ++counts[i];
+      ++next;
+    }
+  }
+  // Floating-point slack: any stragglers land on the last nonzero state.
+  if (next < shots) {
+    index_t last = amps.size() - 1;
+    while (last > 0 && std::norm(amps[last]) == 0.0) --last;
+    counts[last] += shots - next;
+  }
+  return counts;
+}
+
+double Simulator::expectation(const PauliString& pauli) const {
+  MEMQ_CHECK(pauli.ops.size() == state_.n_qubits(),
+             "Pauli string length " << pauli.ops.size() << " != qubit count "
+                                    << state_.n_qubits());
+  StateVector transformed = [&] {
+    StateVector copy(state_.n_qubits());
+    std::copy(state_.amplitudes().begin(), state_.amplitudes().end(),
+              copy.amplitudes().begin());
+    return copy;
+  }();
+  for (qubit_t q = 0; q < state_.n_qubits(); ++q) {
+    switch (pauli.ops[q]) {
+      case 'I':
+        break;
+      case 'X':
+        apply_x(transformed.amplitudes(), q);
+        break;
+      case 'Y':
+        apply_matrix1(transformed.amplitudes(), q, Gate::y(q).matrix1q());
+        break;
+      case 'Z':
+        apply_diagonal1(transformed.amplitudes(), q, amp_t{1, 0},
+                        amp_t{-1, 0});
+        break;
+      default:
+        MEMQ_THROW(InvalidArgument,
+                   "bad Pauli character '" << pauli.ops[q] << "'");
+    }
+  }
+  return state_.inner_product(transformed).real();
+}
+
+}  // namespace memq::sv

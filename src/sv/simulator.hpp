@@ -1,0 +1,62 @@
+// Dense state-vector simulator (the SV-Sim/QuEST-style backend).
+//
+// This is the exactness oracle for the MEMQSim engine tests and the
+// uncompressed baseline in the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/prng.hpp"
+#include "sv/state_vector.hpp"
+
+namespace memq::sv {
+
+/// Pauli string for expectation values, e.g. "ZZI" (index 0 = qubit 0).
+struct PauliString {
+  std::string ops;  // characters from {I, X, Y, Z}
+};
+
+class Simulator {
+ public:
+  explicit Simulator(qubit_t n_qubits, std::uint64_t seed = 1234567);
+
+  qubit_t n_qubits() const noexcept { return state_.n_qubits(); }
+  StateVector& state() noexcept { return state_; }
+  const StateVector& state() const noexcept { return state_; }
+
+  /// Resets to |0...0>.
+  void reset();
+
+  /// Applies one gate; measure/reset gates sample via the internal PRNG and
+  /// record the outcome in measurement_record().
+  void apply(const circuit::Gate& gate);
+
+  /// Applies every gate of the circuit.
+  void run(const circuit::Circuit& circuit);
+
+  /// Measures qubit q (collapses); returns the outcome.
+  bool measure(qubit_t q);
+
+  /// Outcomes of measure/reset gates, in execution order.
+  const std::vector<bool>& measurement_record() const noexcept {
+    return record_;
+  }
+
+  /// Draws `shots` full-register samples from the current state without
+  /// collapsing it. Keys are basis indices.
+  std::map<index_t, std::uint64_t> sample_counts(std::size_t shots);
+
+  /// <psi| P |psi> for a Pauli string (real up to numerical noise).
+  double expectation(const PauliString& pauli) const;
+
+ private:
+  StateVector state_;
+  Prng rng_;
+  std::vector<bool> record_;
+};
+
+}  // namespace memq::sv

@@ -1,0 +1,96 @@
+#include "sv/state_vector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace memq::sv {
+
+StateVector::StateVector(qubit_t n_qubits, index_t basis)
+    : n_qubits_(n_qubits), amps_(dim_of(n_qubits)) {
+  MEMQ_CHECK(n_qubits >= 1 && n_qubits <= 34,
+             "dense state vector limited to 34 qubits (" << n_qubits
+                                                          << " requested)");
+  set_basis_state(basis);
+}
+
+void StateVector::set_basis_state(index_t basis) {
+  MEMQ_CHECK(basis < dim(), "basis state " << basis << " out of range");
+  std::fill(amps_.begin(), amps_.end(), amp_t{0, 0});
+  amps_[basis] = amp_t{1, 0};
+}
+
+amp_t StateVector::amplitude(index_t i) const {
+  MEMQ_CHECK(i < dim(), "amplitude index out of range");
+  return amps_[i];
+}
+
+double StateVector::norm() const {
+  double s = 0.0;
+#pragma omp parallel for reduction(+ : s) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim()); ++i)
+    s += std::norm(amps_[static_cast<index_t>(i)]);
+  return s;
+}
+
+void StateVector::normalize() {
+  const double n = norm();
+  MEMQ_CHECK(n > 0.0, "cannot normalize the zero vector");
+  const double inv = 1.0 / std::sqrt(n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim()); ++i)
+    amps_[static_cast<index_t>(i)] *= inv;
+}
+
+amp_t StateVector::inner_product(const StateVector& other) const {
+  MEMQ_CHECK(other.n_qubits_ == n_qubits_, "inner product size mismatch");
+  double re = 0.0, im = 0.0;
+#pragma omp parallel for reduction(+ : re, im) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim()); ++i) {
+    const amp_t p =
+        std::conj(amps_[static_cast<index_t>(i)]) *
+        other.amps_[static_cast<index_t>(i)];
+    re += p.real();
+    im += p.imag();
+  }
+  return {re, im};
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner_product(other));
+}
+
+double StateVector::probability_one(qubit_t q) const {
+  MEMQ_CHECK(q < n_qubits_, "qubit out of range");
+  double s = 0.0;
+  const index_t bit = index_t{1} << q;
+#pragma omp parallel for reduction(+ : s) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim()); ++i)
+    if (static_cast<index_t>(i) & bit)
+      s += std::norm(amps_[static_cast<index_t>(i)]);
+  return s;
+}
+
+std::vector<double> StateVector::probabilities() const {
+  MEMQ_CHECK(n_qubits_ <= 26, "full distribution too large beyond 26 qubits");
+  std::vector<double> p(dim());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim()); ++i)
+    p[static_cast<index_t>(i)] = std::norm(amps_[static_cast<index_t>(i)]);
+  return p;
+}
+
+double StateVector::max_abs_diff(const StateVector& other) const {
+  MEMQ_CHECK(other.n_qubits_ == n_qubits_, "size mismatch");
+  double m = 0.0;
+#pragma omp parallel for reduction(max : m) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(dim()); ++i) {
+    const amp_t d =
+        amps_[static_cast<index_t>(i)] - other.amps_[static_cast<index_t>(i)];
+    m = std::max(m, std::fabs(d.real()));
+    m = std::max(m, std::fabs(d.imag()));
+  }
+  return m;
+}
+
+}  // namespace memq::sv

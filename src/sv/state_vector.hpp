@@ -1,0 +1,59 @@
+// Dense state vector: 2^n amplitudes in one aligned allocation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+
+namespace memq::sv {
+
+class StateVector {
+ public:
+  /// Allocates 2^n amplitudes initialized to |basis>.
+  explicit StateVector(qubit_t n_qubits, index_t basis = 0);
+
+  qubit_t n_qubits() const noexcept { return n_qubits_; }
+  index_t dim() const noexcept { return dim_of(n_qubits_); }
+
+  amp_t* data() noexcept { return amps_.data(); }
+  const amp_t* data() const noexcept { return amps_.data(); }
+  std::span<amp_t> amplitudes() noexcept { return {amps_.data(), dim()}; }
+  std::span<const amp_t> amplitudes() const noexcept {
+    return {amps_.data(), dim()};
+  }
+
+  amp_t amplitude(index_t i) const;
+
+  /// Resets to |basis>.
+  void set_basis_state(index_t basis);
+
+  /// Sum of |a_i|^2 (should stay 1 under unitaries).
+  double norm() const;
+
+  /// Rescales so norm() == 1; throws on the zero vector.
+  void normalize();
+
+  /// |<this|other>|^2.
+  double fidelity(const StateVector& other) const;
+
+  /// <this|other>.
+  amp_t inner_product(const StateVector& other) const;
+
+  /// P(qubit q = 1).
+  double probability_one(qubit_t q) const;
+
+  /// Full measurement distribution (2^n entries) — small n only.
+  std::vector<double> probabilities() const;
+
+  /// Largest |a_i - b_i| over real and imaginary parts; the metric the
+  /// compression error bound is stated in.
+  double max_abs_diff(const StateVector& other) const;
+
+ private:
+  qubit_t n_qubits_;
+  AlignedBuffer<amp_t> amps_;
+};
+
+}  // namespace memq::sv

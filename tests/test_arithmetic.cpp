@@ -1,0 +1,150 @@
+// Quantum arithmetic: Draper constant adder and compiled Shor-15 order
+// finding, verified through the simulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "circuit/workloads.hpp"
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "core/engine.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::circuit {
+namespace {
+
+TEST(DraperAdder, AddsConstantsMod2n) {
+  constexpr qubit_t n = 5;
+  for (const std::uint64_t x : {0ull, 1ull, 13ull, 31ull}) {
+    for (const std::uint64_t k : {0ull, 1ull, 7ull, 31ull, 100ull}) {
+      sv::Simulator sim(n);
+      Circuit prep(n);
+      for (qubit_t q = 0; q < n; ++q)
+        if (bits::test(x, q)) prep.x(q);
+      sim.run(prep);
+      sim.run(make_draper_constant_adder(n, k));
+      const index_t expected = (x + k) & ((1u << n) - 1);
+      EXPECT_GT(std::norm(sim.state().amplitude(expected)), 0.999)
+          << x << " + " << k;
+    }
+  }
+}
+
+TEST(DraperAdder, InverseSubtracts) {
+  constexpr qubit_t n = 4;
+  sv::Simulator sim(n);
+  Circuit prep(n);
+  prep.x(0).x(2);  // |5>
+  sim.run(prep);
+  sim.run(make_draper_constant_adder(n, 3).inverse());
+  EXPECT_GT(std::norm(sim.state().amplitude(2)), 0.999);  // 5 - 3
+}
+
+TEST(DraperAdder, SuperpositionLinearity) {
+  // (|2> + |9>)/sqrt(2) + 4 -> (|6> + |13>)/sqrt(2).
+  constexpr qubit_t n = 4;
+  sv::Simulator sim(n);
+  Circuit prep(n);
+  prep.x(1);       // |2>
+  prep.h(3);       // superpose bit 3: |2> + |10>... adjust
+  sim.run(prep);   // (|2> + |10>)/sqrt(2)
+  sim.run(make_draper_constant_adder(n, 4));
+  EXPECT_NEAR(std::norm(sim.state().amplitude(6)), 0.5, 1e-9);
+  EXPECT_NEAR(std::norm(sim.state().amplitude(14)), 0.5, 1e-9);
+}
+
+TEST(OrderMod15, ClassicalReference) {
+  EXPECT_EQ(order_mod15(2), 4);
+  EXPECT_EQ(order_mod15(4), 2);
+  EXPECT_EQ(order_mod15(7), 4);
+  EXPECT_EQ(order_mod15(8), 4);
+  EXPECT_EQ(order_mod15(11), 2);
+  EXPECT_EQ(order_mod15(13), 4);
+  EXPECT_EQ(order_mod15(14), 2);
+  EXPECT_THROW(order_mod15(3), Error);
+  EXPECT_THROW(order_mod15(5), Error);
+}
+
+class Shor15 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Shor15, CountingRegisterPeaksAtMultiplesOfNOverR) {
+  const std::uint64_t a = GetParam();
+  constexpr qubit_t n_count = 6;
+  const Circuit c = make_shor15_order_finding(a, n_count);
+  sv::Simulator sim(c.n_qubits());
+  sim.run(c);
+
+  const int r = order_mod15(a);
+  const index_t step = (index_t{1} << n_count) / static_cast<index_t>(r);
+  // Sum probability over the counting register (trace out the target).
+  std::vector<double> count_prob(index_t{1} << n_count, 0.0);
+  const auto probs = sim.state().probabilities();
+  for (index_t i = 0; i < probs.size(); ++i)
+    count_prob[i & ((index_t{1} << n_count) - 1)] += probs[i];
+
+  double on_peaks = 0.0;
+  for (index_t s = 0; s < static_cast<index_t>(r); ++s)
+    on_peaks += count_prob[s * step];
+  // Exact-order phases: all the mass sits exactly on multiples of 2^n/r.
+  EXPECT_GT(on_peaks, 0.999) << "a=" << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, Shor15,
+                         ::testing::Values(2ull, 4ull, 7ull, 8ull, 11ull,
+                                           13ull, 14ull));
+
+TEST(Shor15, RejectsBadMultipliers) {
+  EXPECT_THROW(make_shor15_order_finding(1), Error);
+  EXPECT_THROW(make_shor15_order_finding(3), Error);
+  EXPECT_THROW(make_shor15_order_finding(15), Error);
+}
+
+TEST(Shor15, RunsOnMemQSimEngine) {
+  const Circuit c = make_shor15_order_finding(7, 6);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 5;
+  cfg.codec.bound = 1e-8;
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+  engine->run(c);
+  auto dense = core::make_engine(core::EngineKind::kDense, c.n_qubits(), cfg);
+  dense->run(c);
+  EXPECT_LT(engine->to_dense().max_abs_diff(dense->to_dense()), 1e-5);
+}
+
+TEST(Shor15, SamplingRecoversFactors) {
+  // Classical post-processing: sampled counting values s*2^n/r -> period r
+  // via continued fractions (here: gcd with 2^n), then factors from
+  // gcd(a^{r/2} +- 1, 15).
+  constexpr std::uint64_t a = 7;
+  constexpr qubit_t n_count = 6;
+  const Circuit c = make_shor15_order_finding(a, n_count);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 5;
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+  engine->run(c);
+  const auto counts = engine->sample_counts(200);
+
+  bool found = false;
+  for (const auto& [basis, cnt] : counts) {
+    const index_t s = basis & ((index_t{1} << n_count) - 1);
+    if (s == 0) continue;
+    const index_t g = std::gcd<index_t, index_t>(s, index_t{1} << n_count);
+    const index_t r = (index_t{1} << n_count) / g;
+    if (r % 2 != 0) continue;
+    std::uint64_t half = 1;
+    for (index_t i = 0; i < r / 2; ++i) half = (half * a) % 15;
+    const auto f1 = std::gcd<std::uint64_t, std::uint64_t>(half + 1, 15);
+    const auto f2 = std::gcd<std::uint64_t, std::uint64_t>(half - 1, 15);
+    if ((f1 == 3 && f2 == 5) || (f1 == 5 && f2 == 3)) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no sample yielded the factors 3 x 5";
+}
+
+}  // namespace
+}  // namespace memq::circuit

@@ -1,0 +1,90 @@
+#include "common/bit_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace memq::bits {
+namespace {
+
+TEST(BitOps, TestSetClearFlip) {
+  EXPECT_FALSE(test(0b1010, 0));
+  EXPECT_TRUE(test(0b1010, 1));
+  EXPECT_EQ(set(0b1010, 0), 0b1011u);
+  EXPECT_EQ(clear(0b1010, 1), 0b1000u);
+  EXPECT_EQ(flip(0b1010, 3), 0b0010u);
+  EXPECT_EQ(flip(0b1010, 0), 0b1011u);
+}
+
+TEST(BitOps, InsertZeroAtBitZero) {
+  // Inserting at bit 0 doubles the value.
+  for (index_t x : {0ull, 1ull, 5ull, 1023ull})
+    EXPECT_EQ(insert_zero(x, 0), x << 1);
+}
+
+TEST(BitOps, InsertZeroPreservesOtherBits) {
+  // x = 0b1011, insert zero at position 2 -> 0b10011.
+  EXPECT_EQ(insert_zero(0b1011, 2), 0b10011u);
+  // Inserting above all set bits is a no-op.
+  EXPECT_EQ(insert_zero(0b1011, 10), 0b1011u);
+}
+
+TEST(BitOps, InsertZeroEnumeratesZeroBitIndices) {
+  // insert_zero(k, b) for k in [0, 2^(n-1)) enumerates exactly the indices
+  // in [0, 2^n) with bit b clear — the gate-kernel invariant.
+  constexpr qubit_t n = 6;
+  for (qubit_t b = 0; b < n; ++b) {
+    std::vector<index_t> got;
+    for (index_t k = 0; k < (index_t{1} << (n - 1)); ++k) {
+      const index_t idx = insert_zero(k, b);
+      EXPECT_FALSE(test(idx, b));
+      EXPECT_LT(idx, index_t{1} << n);
+      got.push_back(idx);
+    }
+    // Strictly increasing => all distinct.
+    for (std::size_t i = 1; i < got.size(); ++i)
+      EXPECT_LT(got[i - 1], got[i]);
+  }
+}
+
+TEST(BitOps, InsertTwoZeros) {
+  constexpr qubit_t n = 6;
+  const qubit_t lo = 1, hi = 4;
+  for (index_t k = 0; k < (index_t{1} << (n - 2)); ++k) {
+    const index_t idx = insert_two_zeros(k, lo, hi);
+    EXPECT_FALSE(test(idx, lo));
+    EXPECT_FALSE(test(idx, hi));
+  }
+}
+
+TEST(BitOps, Pow2AndLog) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(index_t{1} << 40), 40u);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(BitOps, ReverseLowBits) {
+  EXPECT_EQ(reverse_low_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_low_bits(0b110, 3), 0b011u);
+  // Involution property on random values.
+  Prng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const index_t x = rng.next_u64() & 0xFFFF;
+    EXPECT_EQ(reverse_low_bits(reverse_low_bits(x, 16), 16), x);
+  }
+}
+
+}  // namespace
+}  // namespace memq::bits

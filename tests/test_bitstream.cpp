@@ -1,0 +1,119 @@
+#include "compress/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace memq::compress {
+namespace {
+
+TEST(BitStream, SingleBits) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  const bool pattern[] = {true, false, true, true, false, false, true, false,
+                          true};
+  for (const bool b : pattern) w.write_bit(b);
+  w.flush();
+  BitReader r(buf);
+  for (const bool b : pattern) EXPECT_EQ(r.read_bit(), b);
+}
+
+TEST(BitStream, FullWidthWords) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.write(~0ull, 64);
+  w.write(0x123456789ABCDEFull, 64);
+  w.flush();
+  BitReader r(buf);
+  EXPECT_EQ(r.read(64), ~0ull);
+  EXPECT_EQ(r.read(64), 0x123456789ABCDEFull);
+}
+
+TEST(BitStream, UnalignedWideWrites) {
+  // A 64-bit write landing on a non-zero bit offset exercises the
+  // accumulator-spill path.
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.write(0b101, 3);
+  w.write(0xFEDCBA9876543210ull, 64);
+  w.write(0x7F, 7);
+  w.flush();
+  BitReader r(buf);
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(64), 0xFEDCBA9876543210ull);
+  EXPECT_EQ(r.read(7), 0x7Fu);
+}
+
+TEST(BitStream, ZeroWidthWriteIsNoop) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.write(0xFF, 0);
+  w.write_bit(true);
+  w.flush();
+  EXPECT_EQ(buf.size(), 1u);
+  BitReader r(buf);
+  EXPECT_EQ(r.read(0), 0u);
+  EXPECT_TRUE(r.read_bit());
+}
+
+TEST(BitStream, MasksHighBits) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.write(0xFF, 4);  // only low 4 bits should land
+  w.flush();
+  BitReader r(buf);
+  EXPECT_EQ(r.read(8), 0x0Fu);
+}
+
+TEST(BitStream, RandomRoundTrip) {
+  Prng rng(99);
+  ByteBuffer buf;
+  BitWriter w(buf);
+  std::vector<std::pair<std::uint64_t, unsigned>> items;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned n = static_cast<unsigned>(rng.uniform_index(65));
+    const std::uint64_t v = rng.next_u64() & detail::low_mask(n);
+    items.emplace_back(v, n);
+    w.write(v, n);
+  }
+  w.flush();
+  BitReader r(buf);
+  for (const auto& [v, n] : items) EXPECT_EQ(r.read(n), v);
+}
+
+TEST(BitStream, TruncationThrows) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.write(0xABCD, 16);
+  w.flush();
+  BitReader r(buf);
+  (void)r.read(16);
+  EXPECT_THROW((void)r.read(1), CorruptData);
+}
+
+TEST(BitStream, AlignSkipsToByteBoundary) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.write(0b1, 1);
+  w.flush();  // pads with zeros
+  w.write(0xAA, 8);
+  BitReader r(buf);
+  EXPECT_TRUE(r.read_bit());
+  r.align();
+  EXPECT_EQ(r.read(8), 0xAAu);
+}
+
+TEST(BitStream, BitsWrittenCount) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  EXPECT_EQ(w.bits_written(), 0u);
+  w.write(0, 13);
+  EXPECT_EQ(w.bits_written(), 13u);
+  w.flush();
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+}  // namespace
+}  // namespace memq::compress

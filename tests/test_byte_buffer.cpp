@@ -1,0 +1,114 @@
+#include "compress/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/prng.hpp"
+
+namespace memq::compress {
+namespace {
+
+TEST(ByteBuffer, FixedWidthRoundTrip) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1.5e-300);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), -1.5e-300);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, LittleEndianLayout) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.u32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(ByteBuffer, VarintBoundaries) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  const std::uint64_t values[] = {0,        1,       127,       128,
+                                  16383,    16384,   (1u << 21) - 1,
+                                  1u << 28, ~0u,     ~0ull};
+  for (const auto v : values) w.varint(v);
+  ByteReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, VarintEncodingIsCompact) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.varint(127);
+  EXPECT_EQ(buf.size(), 1u);
+  w.varint(128);
+  EXPECT_EQ(buf.size(), 3u);  // +2 bytes
+}
+
+TEST(ByteBuffer, SignedVarintRoundTrip) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  const std::int64_t values[] = {0,  -1,  1,  -64, 64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : values) w.svarint(v);
+  ByteReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(ByteBuffer, RandomVarintRoundTrip) {
+  Prng rng(21);
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    // Mix magnitudes so all byte lengths appear.
+    const auto v = rng.next_u64() >> (rng.next_u64() % 64);
+    values.push_back(v);
+    w.varint(v);
+  }
+  ByteReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(ByteReader, TruncationThrows) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.u32(42);
+  ByteReader r(buf);
+  (void)r.u16();
+  EXPECT_THROW((void)r.u32(), CorruptData);
+}
+
+TEST(ByteReader, MalformedVarintThrows) {
+  // Eleven continuation bytes: longer than any valid 64-bit varint.
+  ByteBuffer buf(11, 0xFF);
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.varint(), CorruptData);
+}
+
+TEST(ByteReader, BytesSpanAndRemaining) {
+  ByteBuffer buf{1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 5u);
+  const auto s = r.bytes(3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_THROW((void)r.bytes(3), CorruptData);
+}
+
+}  // namespace
+}  // namespace memq::compress

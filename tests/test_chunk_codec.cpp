@@ -1,0 +1,188 @@
+#include "compress/chunk_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace memq::compress {
+namespace {
+
+std::vector<amp_t> random_amps(std::size_t n, std::uint64_t seed,
+                               double scale = 1e-3) {
+  Prng rng(seed);
+  std::vector<amp_t> v(n);
+  for (auto& a : v) a = rng.normal_amp() * scale;
+  return v;
+}
+
+double max_error(const std::vector<amp_t>& a, const std::vector<amp_t>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i].real() - b[i].real()));
+    m = std::max(m, std::fabs(a[i].imag() - b[i].imag()));
+  }
+  return m;
+}
+
+TEST(ChunkCodec, RoundTripWithinRelativeBound) {
+  ChunkCodecConfig cfg;
+  cfg.compressor = "szq";
+  cfg.mode = ErrorMode::kValueRangeRelative;
+  cfg.bound = 1e-4;
+  ChunkCodec codec(cfg);
+
+  const auto amps = random_amps(1 << 14, 1);
+  double max_abs = 0.0;
+  for (const auto& a : amps) {
+    max_abs = std::max(max_abs, std::fabs(a.real()));
+    max_abs = std::max(max_abs, std::fabs(a.imag()));
+  }
+
+  ByteBuffer out;
+  codec.encode(amps, out);
+  std::vector<amp_t> back(amps.size());
+  codec.decode(out, back);
+  EXPECT_LE(max_error(amps, back), cfg.bound * max_abs * (1 + 1e-12));
+}
+
+TEST(ChunkCodec, RoundTripAbsoluteBound) {
+  ChunkCodecConfig cfg;
+  cfg.compressor = "bpc";
+  cfg.mode = ErrorMode::kAbsolute;
+  cfg.bound = 1e-6;
+  ChunkCodec codec(cfg);
+
+  const auto amps = random_amps(5000, 2, 0.5);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  std::vector<amp_t> back(amps.size());
+  codec.decode(out, back);
+  EXPECT_LE(max_error(amps, back), 1e-6 * (1 + 1e-12));
+}
+
+TEST(ChunkCodec, LosslessCompressorIsExact) {
+  ChunkCodecConfig cfg;
+  cfg.compressor = "gorilla";
+  ChunkCodec codec(cfg);
+  const auto amps = random_amps(4096, 3);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  std::vector<amp_t> back(amps.size());
+  codec.decode(out, back);
+  EXPECT_EQ(max_error(amps, back), 0.0);
+}
+
+TEST(ChunkCodec, AllZeroChunkIsTiny) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const std::vector<amp_t> amps(1 << 16, amp_t{0, 0});
+  ByteBuffer out;
+  codec.encode(amps, out);
+  EXPECT_LT(out.size(), 32u);
+  std::vector<amp_t> back(amps.size(), amp_t{1, 1});
+  codec.decode(out, back);
+  for (const auto& a : back) EXPECT_EQ(a, (amp_t{0, 0}));
+}
+
+TEST(ChunkCodec, EmptyChunk) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const std::vector<amp_t> amps;
+  ByteBuffer out;
+  codec.encode(amps, out);
+  std::vector<amp_t> back;
+  codec.decode(out, back);  // must not throw
+}
+
+TEST(ChunkCodec, StoredCountPeek) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const auto amps = random_amps(777, 4);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  EXPECT_EQ(ChunkCodec::stored_count(out), 777u);
+}
+
+TEST(ChunkCodec, CountMismatchThrows) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const auto amps = random_amps(100, 5);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  std::vector<amp_t> back(101);
+  EXPECT_THROW(codec.decode(out, back), CorruptData);
+}
+
+TEST(ChunkCodec, BitFlipDetectedByChecksum) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const auto amps = random_amps(4096, 6);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  Prng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    ByteBuffer corrupted = out;
+    const std::size_t byte = rng.uniform_index(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    std::vector<amp_t> back(amps.size());
+    EXPECT_THROW(codec.decode(corrupted, back), CorruptData)
+        << "bit flip at byte " << byte << " went undetected";
+  }
+}
+
+TEST(ChunkCodec, TruncationDetected) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const auto amps = random_amps(4096, 8);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  out.resize(out.size() - 10);
+  std::vector<amp_t> back(amps.size());
+  EXPECT_THROW(codec.decode(out, back), CorruptData);
+}
+
+TEST(ChunkCodec, GarbageRejected) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  ByteBuffer garbage(100, 0x5A);
+  std::vector<amp_t> back(10);
+  EXPECT_THROW(codec.decode(garbage, back), CorruptData);
+}
+
+TEST(ChunkCodec, ChecksumCanBeDisabled) {
+  ChunkCodecConfig cfg;
+  cfg.checksum = false;
+  ChunkCodec codec(cfg);
+  const auto amps = random_amps(1024, 9);
+  ByteBuffer with, without;
+  codec.encode(amps, without);
+  ChunkCodecConfig cfg2;
+  cfg2.checksum = true;
+  ChunkCodec codec2(cfg2);
+  codec2.encode(amps, with);
+  EXPECT_EQ(with.size(), without.size() + 8);
+}
+
+TEST(ChunkCodec, CompressionRatioOnStateVectorLikeData) {
+  // A normalized 2^16-amplitude random state: values ~N(0, 2^-16.5);
+  // relative bound 1e-4 should compress well below raw size.
+  ChunkCodecConfig cfg;
+  cfg.bound = 1e-4;
+  ChunkCodec codec(cfg);
+  auto amps = random_amps(1 << 16, 10, 1.0);
+  double norm = 0.0;
+  for (const auto& a : amps) norm += std::norm(a);
+  const double inv = 1.0 / std::sqrt(norm);
+  for (auto& a : amps) a *= inv;
+
+  ByteBuffer out;
+  codec.encode(amps, out);
+  const double ratio = static_cast<double>(amps.size() * sizeof(amp_t)) /
+                       static_cast<double>(out.size());
+  EXPECT_GT(ratio, 3.0);
+}
+
+TEST(ChunkCodec, LossyRejectsNonPositiveBound) {
+  ChunkCodecConfig cfg;
+  cfg.bound = 0.0;
+  EXPECT_THROW(ChunkCodec codec(cfg), Error);
+}
+
+}  // namespace
+}  // namespace memq::compress

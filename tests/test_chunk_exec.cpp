@@ -1,0 +1,223 @@
+// Chunked gate application vs. the dense kernels: splitting a state into
+// chunks, applying through the chunk/pair paths, and reassembling must agree
+// with applying the gate to the whole vector.
+#include "core/chunk_exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "core/chunk_store.hpp"
+#include "sv/kernels.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Gate;
+
+constexpr qubit_t kN = 7;
+constexpr qubit_t kC = 3;  // 16 chunks of 8 amps
+
+std::vector<amp_t> random_state(std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<amp_t> v(dim_of(kN));
+  for (auto& a : v) a = rng.normal_amp();
+  return v;
+}
+
+/// Applies `gate` chunk-wise (local + pair + permute dispatch) and compares
+/// against the dense kernel result.
+void check_gate(const Gate& gate, std::uint64_t seed) {
+  auto dense = random_state(seed);
+  auto chunked = dense;
+
+  const index_t chunk_amps = index_t{1} << kC;
+  const index_t n_chunks = index_t{1} << (kN - kC);
+
+  if (is_chunk_local(gate, kC)) {
+    for (index_t ci = 0; ci < n_chunks; ++ci) {
+      const auto span =
+          std::span<amp_t>(chunked).subspan(ci * chunk_amps, chunk_amps);
+      apply_gate_to_chunk(span, ci, kC, gate);
+    }
+  } else {
+    qubit_t q = 0;
+    for (const qubit_t t : gate.targets)
+      if (t >= kC) q = t;
+    const qubit_t bit = q - kC;
+    std::vector<amp_t> pair(2 * chunk_amps);
+    for (index_t ci = 0; ci < n_chunks; ++ci) {
+      if (bits::test(ci, bit)) continue;
+      const index_t cj = bits::set(ci, bit);
+      std::copy_n(chunked.begin() + ci * chunk_amps, chunk_amps, pair.begin());
+      std::copy_n(chunked.begin() + cj * chunk_amps, chunk_amps,
+                  pair.begin() + chunk_amps);
+      apply_gate_to_pair(pair, ci, kC, q, gate);
+      std::copy_n(pair.begin(), chunk_amps, chunked.begin() + ci * chunk_amps);
+      std::copy_n(pair.begin() + chunk_amps, chunk_amps,
+                  chunked.begin() + cj * chunk_amps);
+    }
+  }
+
+  sv::apply_gate(dense, gate);
+  for (index_t i = 0; i < dense.size(); ++i)
+    ASSERT_LT(std::abs(dense[i] - chunked[i]), 1e-12)
+        << gate.to_string() << " at index " << i;
+}
+
+TEST(ChunkExec, LocalGatesMatchDense) {
+  int seed = 100;
+  for (qubit_t t = 0; t < kC; ++t) {
+    check_gate(Gate::h(t), seed++);
+    check_gate(Gate::u3(t, 0.3, 0.9, 1.7), seed++);
+    check_gate(Gate::x(t), seed++);
+  }
+  check_gate(Gate::swap(0, 2), seed++);
+}
+
+TEST(ChunkExec, DiagonalHighTargetIsLocal) {
+  int seed = 200;
+  for (qubit_t t = kC; t < kN; ++t) {
+    EXPECT_TRUE(is_chunk_local(Gate::rz(t, 0.7), kC));
+    check_gate(Gate::rz(t, 0.7), seed++);
+    check_gate(Gate::t(t), seed++);
+    check_gate(Gate::phase(t, -1.1), seed++);
+  }
+}
+
+TEST(ChunkExec, LocalGateWithHighControls) {
+  int seed = 300;
+  check_gate(Gate::x(1).with_controls({5}), seed++);
+  check_gate(Gate::h(0).with_controls({4, 6}), seed++);
+  check_gate(Gate::ry(2, 0.4).with_controls({3, 1}), seed++);  // mixed
+}
+
+TEST(ChunkExec, PairGatesMatchDense) {
+  int seed = 400;
+  for (qubit_t t = kC; t < kN; ++t) {
+    check_gate(Gate::h(t), seed++);
+    check_gate(Gate::u3(t, 1.2, 0.1, 2.2), seed++);
+    check_gate(Gate::ry(t, -0.8), seed++);
+  }
+}
+
+TEST(ChunkExec, PairGateWithControls) {
+  int seed = 500;
+  check_gate(Gate::h(5).with_controls({1}), seed++);       // local control
+  check_gate(Gate::h(5).with_controls({6}), seed++);       // high control
+  check_gate(Gate::h(5).with_controls({1, 6}), seed++);    // both
+  check_gate(Gate::x(4).with_controls({0, 6}), seed++);
+}
+
+TEST(ChunkExec, MixedSwapThroughPairPath) {
+  // swap(local, high) has one high target: handled by the pair machinery.
+  int seed = 600;
+  check_gate(Gate::swap(1, 5), seed++);
+  check_gate(Gate::swap(2, 6).with_controls({0}), seed++);
+}
+
+TEST(ChunkExec, DiagonalOnOtherHighQubitInsidePairStage) {
+  // A diagonal gate on high qubit q' applied through the *pair* path with
+  // pair_qubit != q' (the absorbed-local-gate case).
+  auto dense = random_state(700);
+  auto chunked = dense;
+  const index_t chunk_amps = index_t{1} << kC;
+  const index_t n_chunks = index_t{1} << (kN - kC);
+  const qubit_t pair_q = 5;
+  const Gate diag = Gate::rz(6, 0.9);
+
+  std::vector<amp_t> pair(2 * chunk_amps);
+  for (index_t ci = 0; ci < n_chunks; ++ci) {
+    if (bits::test(ci, pair_q - kC)) continue;
+    const index_t cj = bits::set(ci, pair_q - kC);
+    std::copy_n(chunked.begin() + ci * chunk_amps, chunk_amps, pair.begin());
+    std::copy_n(chunked.begin() + cj * chunk_amps, chunk_amps,
+                pair.begin() + chunk_amps);
+    apply_gate_to_pair(pair, ci, kC, pair_q, diag);
+    std::copy_n(pair.begin(), chunk_amps, chunked.begin() + ci * chunk_amps);
+    std::copy_n(pair.begin() + chunk_amps, chunk_amps,
+                chunked.begin() + cj * chunk_amps);
+  }
+  sv::apply_gate(dense, diag);
+  for (index_t i = 0; i < dense.size(); ++i)
+    ASSERT_LT(std::abs(dense[i] - chunked[i]), 1e-12) << i;
+}
+
+TEST(ChunkExec, SkippedGateReturnsFalse) {
+  std::vector<amp_t> chunk(1 << kC, amp_t{0.1, 0});
+  // Control on high qubit 6 unsatisfied for chunk 0.
+  EXPECT_FALSE(apply_gate_to_chunk(chunk, 0, kC, Gate::x(0).with_controls({6})));
+  for (const auto& a : chunk) EXPECT_EQ(a, (amp_t{0.1, 0}));
+  // Satisfied for a chunk whose bit (6 - kC) is set.
+  EXPECT_TRUE(apply_gate_to_chunk(chunk, index_t{1} << (6 - kC), kC,
+                                  Gate::x(0).with_controls({6})));
+}
+
+TEST(ChunkExec, RejectsMisuse) {
+  std::vector<amp_t> chunk(1 << kC);
+  EXPECT_THROW(apply_gate_to_chunk(chunk, 0, kC, Gate::h(kC)), Error);
+  EXPECT_THROW(apply_gate_to_chunk(chunk, 0, kC, Gate::measure(0)), Error);
+  std::vector<amp_t> pair(2 << kC);
+  // chunk_lo with the pair bit set is a caller bug.
+  EXPECT_THROW(
+      apply_gate_to_pair(pair, index_t{1} << (5 - kC), kC, 5, Gate::h(5)),
+      Error);
+}
+
+TEST(ChunkExec, PermutationX) {
+  compress::ChunkCodecConfig codec;
+  codec.compressor = "gorilla";  // lossless so equality is exact
+  ChunkStore store(kN, kC, codec);
+  auto dense = random_state(800);
+  const index_t chunk_amps = store.chunk_amps();
+  for (index_t ci = 0; ci < store.n_chunks(); ++ci)
+    store.store(ci, std::span<const amp_t>(dense).subspan(ci * chunk_amps,
+                                                          chunk_amps));
+
+  const Gate gate = Gate::x(5).with_controls({6});
+  apply_chunk_permutation(store, gate);
+  sv::apply_gate(dense, gate);
+
+  std::vector<amp_t> buf(chunk_amps);
+  for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
+    store.load(ci, buf);
+    for (index_t j = 0; j < chunk_amps; ++j)
+      ASSERT_EQ(buf[j], dense[ci * chunk_amps + j]) << ci << ":" << j;
+  }
+}
+
+TEST(ChunkExec, PermutationSwap) {
+  compress::ChunkCodecConfig codec;
+  codec.compressor = "gorilla";
+  ChunkStore store(kN, kC, codec);
+  auto dense = random_state(900);
+  const index_t chunk_amps = store.chunk_amps();
+  for (index_t ci = 0; ci < store.n_chunks(); ++ci)
+    store.store(ci, std::span<const amp_t>(dense).subspan(ci * chunk_amps,
+                                                          chunk_amps));
+
+  const Gate gate = Gate::swap(4, 6);
+  apply_chunk_permutation(store, gate);
+  sv::apply_gate(dense, gate);
+
+  std::vector<amp_t> buf(chunk_amps);
+  for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
+    store.load(ci, buf);
+    for (index_t j = 0; j < chunk_amps; ++j)
+      ASSERT_EQ(buf[j], dense[ci * chunk_amps + j]) << ci << ":" << j;
+  }
+}
+
+TEST(ChunkExec, PermutationRejectsLocalControls) {
+  compress::ChunkCodecConfig codec;
+  ChunkStore store(kN, kC, codec);
+  EXPECT_THROW(
+      apply_chunk_permutation(store, Gate::x(5).with_controls({0})), Error);
+  EXPECT_THROW(apply_chunk_permutation(store, Gate::h(5)), Error);
+}
+
+}  // namespace
+}  // namespace memq::core

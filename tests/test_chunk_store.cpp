@@ -1,0 +1,118 @@
+#include "core/chunk_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace memq::core {
+namespace {
+
+compress::ChunkCodecConfig default_codec() {
+  compress::ChunkCodecConfig cfg;
+  cfg.bound = 1e-6;
+  return cfg;
+}
+
+TEST(ChunkStore, GeometryAndInit) {
+  ChunkStore store(10, 6, default_codec());
+  EXPECT_EQ(store.n_chunks(), 16u);
+  EXPECT_EQ(store.chunk_amps(), 64u);
+  EXPECT_EQ(store.chunk_raw_bytes(), 1024u);
+  EXPECT_EQ(store.raw_bytes(), 16384u);
+
+  std::vector<amp_t> buf(64);
+  store.load(0, buf);
+  EXPECT_EQ(buf[0], (amp_t{1, 0}));
+  for (index_t i = 1; i < 64; ++i) EXPECT_EQ(buf[i], (amp_t{0, 0}));
+  for (index_t c = 1; c < 16; ++c) EXPECT_TRUE(store.is_zero_chunk(c));
+  EXPECT_FALSE(store.is_zero_chunk(0));
+}
+
+TEST(ChunkStore, InitNonzeroBasis) {
+  ChunkStore store(8, 4, default_codec());
+  store.init_basis(200);  // chunk 12, local 8
+  std::vector<amp_t> buf(16);
+  store.load(12, buf);
+  EXPECT_EQ(buf[8], (amp_t{1, 0}));
+  EXPECT_TRUE(store.is_zero_chunk(0));
+}
+
+TEST(ChunkStore, StoreLoadRoundTrip) {
+  ChunkStore store(8, 4, default_codec());
+  Prng rng(5);
+  std::vector<amp_t> in(16), out(16);
+  for (auto& a : in) a = rng.normal_amp() * 0.1;
+  store.store(3, in);
+  store.load(3, out);
+  for (index_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(out[i].real(), in[i].real(), 1e-6);
+    EXPECT_NEAR(out[i].imag(), in[i].imag(), 1e-6);
+  }
+  EXPECT_EQ(store.loads(), 1u);
+  EXPECT_EQ(store.stores(), 1u);
+}
+
+TEST(ChunkStore, SwapChunks) {
+  ChunkStore store(8, 4, default_codec());
+  std::vector<amp_t> a(16, amp_t{0.5, 0});
+  store.store(2, a);
+  EXPECT_FALSE(store.is_zero_chunk(2));
+  EXPECT_TRUE(store.is_zero_chunk(7));
+  store.swap_chunks(2, 7);
+  EXPECT_TRUE(store.is_zero_chunk(2));
+  EXPECT_FALSE(store.is_zero_chunk(7));
+  std::vector<amp_t> out(16);
+  store.load(7, out);
+  EXPECT_NEAR(out[0].real(), 0.5, 1e-6);
+}
+
+TEST(ChunkStore, FootprintShrinksWithSparsity) {
+  ChunkStore store(12, 6, default_codec());
+  // Fresh basis state: everything is zero chunks -> tiny footprint.
+  const auto sparse_bytes = store.compressed_bytes();
+  EXPECT_LT(sparse_bytes, store.raw_bytes() / 10);
+
+  // Smooth (QFT-like) chunk contents compress well; white noise would not,
+  // which the compressor benches quantify separately.
+  std::vector<amp_t> dense(64);
+  for (index_t c = 0; c < store.n_chunks(); ++c) {
+    for (index_t j = 0; j < 64; ++j) {
+      const double t = 0.01 * static_cast<double>(c * 64 + j);
+      dense[j] = amp_t{0.1 * std::sin(t), 0.1 * std::cos(t)};
+    }
+    store.store(c, dense);
+  }
+  EXPECT_GT(store.compressed_bytes(), sparse_bytes);
+  EXPECT_GE(store.peak_compressed_bytes(), store.compressed_bytes());
+  EXPECT_GT(store.compression_ratio(), 1.5);
+}
+
+TEST(ChunkStore, RejectsBadGeometry) {
+  EXPECT_THROW(ChunkStore(4, 0, default_codec()), Error);
+  EXPECT_THROW(ChunkStore(4, 5, default_codec()), Error);
+}
+
+TEST(ChunkStore, RejectsBadIndices) {
+  ChunkStore store(6, 3, default_codec());
+  std::vector<amp_t> buf(8);
+  EXPECT_THROW(store.load(8, buf), Error);
+  EXPECT_THROW(store.store(8, buf), Error);
+  std::vector<amp_t> wrong(4);
+  EXPECT_THROW(store.load(0, wrong), Error);
+  EXPECT_THROW(store.init_basis(64), Error);
+}
+
+TEST(ChunkStore, FullWidthChunk) {
+  // chunk_qubits == n_qubits: a single chunk holding the whole state.
+  ChunkStore store(5, 5, default_codec());
+  EXPECT_EQ(store.n_chunks(), 1u);
+  std::vector<amp_t> buf(32);
+  store.load(0, buf);
+  EXPECT_EQ(buf[0], (amp_t{1, 0}));
+}
+
+}  // namespace
+}  // namespace memq::core

@@ -1,0 +1,127 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace memq::circuit {
+namespace {
+
+TEST(Circuit, FluentBuilding) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0].kind, GateKind::kH);
+  EXPECT_EQ(c[2].controls[0], 1u);
+}
+
+TEST(Circuit, RejectsBadQubitCount) {
+  EXPECT_THROW(Circuit(0), Error);
+  EXPECT_THROW(Circuit(63), Error);
+  EXPECT_NO_THROW(Circuit(1));
+  EXPECT_NO_THROW(Circuit(62));
+}
+
+TEST(Circuit, RejectsOutOfRangeQubit) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.cx(0, 5), Error);
+}
+
+TEST(Circuit, RejectsRepeatedQubit) {
+  Circuit c(3);
+  EXPECT_THROW(c.cx(1, 1), Error);
+  EXPECT_THROW(c.append(Gate::ccx(0, 0, 1)), Error);
+  EXPECT_THROW(c.swap(2, 2), Error);
+}
+
+TEST(Circuit, RejectsMalformedGates) {
+  Circuit c(3);
+  Gate no_targets{GateKind::kX, {}, {}, {}};
+  EXPECT_THROW(c.append(no_targets), Error);
+  Gate swap_one{GateKind::kSwap, {0}, {}, {}};
+  EXPECT_THROW(c.append(swap_one), Error);
+  Gate x_two{GateKind::kX, {0, 1}, {}, {}};
+  EXPECT_THROW(c.append(x_two), Error);
+}
+
+TEST(Circuit, AppendCircuit) {
+  Circuit a(2), b(2);
+  a.h(0);
+  b.cx(0, 1).x(1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  Circuit wrong(3);
+  EXPECT_THROW(a.append(wrong), Error);
+}
+
+TEST(Circuit, StatsCountsAndDepth) {
+  Circuit c(3);
+  c.h(0).h(1).cx(0, 1).rz(2, 0.1).ccx(0, 1, 2);
+  const CircuitStats st = c.stats();
+  EXPECT_EQ(st.n_gates, 5u);
+  EXPECT_EQ(st.n_1q, 3u);
+  EXPECT_EQ(st.n_2q, 1u);
+  EXPECT_EQ(st.n_multi, 1u);
+  EXPECT_EQ(st.n_diagonal, 1u);  // rz
+  EXPECT_EQ(st.by_name.at("h"), 2u);
+  EXPECT_EQ(st.by_name.at("cx"), 1u);
+  EXPECT_EQ(st.by_name.at("ccx"), 1u);
+  // Layers: {h0, h1, rz2} | {cx01} | {ccx012} -> depth 3.
+  EXPECT_EQ(st.depth, 3u);
+}
+
+TEST(Circuit, DepthParallelGates) {
+  Circuit c(4);
+  c.h(0).h(1).h(2).h(3);
+  EXPECT_EQ(c.stats().depth, 1u);
+  c.cx(0, 1).cx(2, 3);
+  EXPECT_EQ(c.stats().depth, 2u);
+  c.cx(1, 2);
+  EXPECT_EQ(c.stats().depth, 3u);
+}
+
+TEST(Circuit, BarrierForcesLayerBoundary) {
+  Circuit c(2);
+  c.h(0);
+  c.append(Gate::barrier({0, 1}));
+  c.h(1);
+  // Without the barrier h(1) would share layer 1 with h(0).
+  EXPECT_EQ(c.stats().depth, 2u);
+}
+
+TEST(Circuit, InverseReversesAndInverts) {
+  Circuit c(2);
+  c.h(0).t(0).cx(0, 1).rz(1, 0.7);
+  const Circuit inv = c.inverse();
+  ASSERT_EQ(inv.size(), 4u);
+  EXPECT_EQ(inv[0].kind, GateKind::kRZ);
+  EXPECT_DOUBLE_EQ(inv[0].params[0], -0.7);
+  EXPECT_EQ(inv[1].kind, GateKind::kX);  // cx self-inverse
+  EXPECT_EQ(inv[2].kind, GateKind::kTdg);
+  EXPECT_EQ(inv[3].kind, GateKind::kH);
+}
+
+TEST(Circuit, InverseOfMeasureThrows) {
+  Circuit c(1);
+  c.measure(0);
+  EXPECT_THROW(c.inverse(), Error);
+  EXPECT_TRUE(c.has_nonunitary());
+}
+
+TEST(Circuit, ToStringListsGates) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("h q0"), std::string::npos);
+  EXPECT_NE(s.find("cx q0, q1"), std::string::npos);
+}
+
+TEST(Circuit, MeasureCountsInStats) {
+  Circuit c(2);
+  c.h(0).measure(0).measure(1);
+  EXPECT_EQ(c.stats().n_measure, 2u);
+}
+
+}  // namespace
+}  // namespace memq::circuit

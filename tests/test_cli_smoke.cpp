@@ -1,0 +1,109 @@
+// Smoke tests of the memq CLI binary: every subcommand must run, produce
+// the expected markers, and fail cleanly on bad input. Exercises the tool
+// the way a user does (fork/exec via std::system).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path cli_path() {
+  for (const fs::path& p : {fs::path{"../tools/memq"}, fs::path{"tools/memq"},
+                           fs::path{"build/tools/memq"},
+                           fs::path{"/root/repo/build/tools/memq"}}) {
+    if (fs::exists(p)) return fs::absolute(p);
+  }
+  return {};
+}
+
+/// Runs the CLI, returning {exit code, stdout+stderr}.
+std::pair<int, std::string> run_cli(const std::string& args) {
+  const fs::path cli = cli_path();
+  if (cli.empty()) return {-1, "memq binary not found"};
+  const std::string out_file =
+      (fs::temp_directory_path() / "memq_cli_out.txt").string();
+  const std::string cmd =
+      cli.string() + " " + args + " > " + out_file + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(out_file);
+  std::string output((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  std::remove(out_file.c_str());
+  return {WEXITSTATUS(rc), output};
+}
+
+TEST(CliSmoke, Info) {
+  const auto [rc, out] = run_cli("info");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("szq"), std::string::npos);
+  EXPECT_NE(out.find("memqsim"), std::string::npos);
+}
+
+TEST(CliSmoke, WorkloadExportAndRun) {
+  const std::string qasm =
+      (fs::temp_directory_path() / "memq_cli_ghz.qasm").string();
+  {
+    const auto [rc, out] =
+        run_cli("workload ghz --qubits 8 --stats --out " + qasm);
+    ASSERT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("8 qubits"), std::string::npos);
+    EXPECT_NE(out.find("gates/codec-pass"), std::string::npos);
+  }
+  {
+    const auto [rc, out] = run_cli("run " + qasm +
+                                   " --shots 50 --expect XXXXXXXX "
+                                   "--marginal 0,7 --chunk-qubits 4");
+    ASSERT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("<XXXXXXXX>"), std::string::npos);
+    EXPECT_NE(out.find("marginal over {0,7}"), std::string::npos);
+    EXPECT_NE(out.find("peak state memory"), std::string::npos);
+  }
+  std::remove(qasm.c_str());
+}
+
+TEST(CliSmoke, RunWithCheckpointRoundTrip) {
+  const std::string qasm =
+      (fs::temp_directory_path() / "memq_cli_w.qasm").string();
+  const std::string ckpt =
+      (fs::temp_directory_path() / "memq_cli_w.ckpt").string();
+  ASSERT_EQ(run_cli("workload w --qubits 6 --out " + qasm).first, 0);
+  ASSERT_EQ(run_cli("run " + qasm + " --shots 0 --chunk-qubits 3 "
+                    "--checkpoint " + ckpt).first, 0);
+  // Restoring and "running" an empty continuation must succeed.
+  const std::string empty_qasm =
+      (fs::temp_directory_path() / "memq_cli_empty.qasm").string();
+  {
+    std::ofstream f(empty_qasm);
+    f << "OPENQASM 2.0;\nqreg q[6];\n";
+  }
+  const auto [rc, out] = run_cli("run " + empty_qasm +
+                                 " --shots 20 --chunk-qubits 3 --restore " +
+                                 ckpt);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("restored state"), std::string::npos);
+  std::remove(qasm.c_str());
+  std::remove(ckpt.c_str());
+  std::remove(empty_qasm.c_str());
+}
+
+TEST(CliSmoke, TransferTable) {
+  const auto [rc, out] = run_cli("transfer --qubits 16");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("async-per-element"), std::string::npos);
+  EXPECT_NE(out.find("staged-buffer"), std::string::npos);
+}
+
+TEST(CliSmoke, ErrorsAreClean) {
+  EXPECT_NE(run_cli("").first, 0);
+  EXPECT_NE(run_cli("frobnicate").first, 0);
+  EXPECT_NE(run_cli("run /nonexistent.qasm").first, 0);
+  EXPECT_NE(run_cli("workload bogus --qubits 4").first, 0);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Adversarial / corner-case compressor tests beyond the round-trip sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/prng.hpp"
+#include "compress/compressor.hpp"
+#include "compress/huffman.hpp"
+
+namespace memq::compress {
+namespace {
+
+TEST(HuffmanExtra, FlatMaximumAlphabet) {
+  // 65538 equiprobable symbols: depth 17 codes, still round-trips.
+  std::vector<std::uint64_t> counts(65538, 7);
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  ByteBuffer bits;
+  BitWriter bw(bits);
+  for (std::uint32_t s = 0; s < 65538; s += 997) code.encode(bw, s);
+  bw.flush();
+  BitReader br(bits);
+  for (std::uint32_t s = 0; s < 65538; s += 997)
+    EXPECT_EQ(code.decode(br), s);
+}
+
+TEST(HuffmanExtra, PathologicalFibonacciCountsGetRescaled) {
+  // Fibonacci-like counts create maximal code depth; the builder must
+  // rescale until every code fits kMaxCodeLen.
+  std::vector<std::uint64_t> counts;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 80; ++i) {
+    counts.push_back(a);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  for (std::uint32_t s = 0; s < counts.size(); ++s)
+    EXPECT_LE(code.length_of(s), HuffmanCode::kMaxCodeLen);
+}
+
+TEST(CompressorExtra, DeterministicOutput) {
+  Prng rng(9);
+  std::vector<double> data(4096);
+  for (auto& x : data) x = rng.normal() * 1e-2;
+  for (const auto& name : compressor_names()) {
+    const auto codec = make_compressor(name);
+    ByteBuffer a, b;
+    codec->compress(data, 1e-5, a);
+    codec->compress(data, 1e-5, b);
+    EXPECT_EQ(a, b) << name << " output is not deterministic";
+  }
+}
+
+TEST(LzhExtra, LongRunsCollapse) {
+  const auto codec = make_compressor("lzh");
+  std::vector<double> data(8192, 1.0 / 3.0);
+  ByteBuffer out;
+  codec->compress(data, 0.0, out);
+  EXPECT_LT(out.size(), data.size() * 8 / 50);  // >50x on a constant run
+  std::vector<double> back(data.size());
+  codec->decompress(out, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(LzhExtra, MatchAcrossWindowBoundary) {
+  // A repeat whose source sits just inside / just outside the 32 KiB
+  // window: both must round-trip (the far one simply encodes as literals).
+  const auto codec = make_compressor("lzh");
+  Prng rng(5);
+  std::vector<double> data(10000);  // 80 KB of bytes
+  for (std::size_t i = 0; i < 1000; ++i) data[i] = rng.normal();
+  for (std::size_t i = 1000; i < data.size(); ++i)
+    data[i] = data[i % 911];  // periodic: matches at various distances
+  ByteBuffer out;
+  codec->compress(data, 0.0, out);
+  std::vector<double> back(data.size());
+  codec->decompress(out, back);
+  EXPECT_EQ(back, data);
+  EXPECT_LT(out.size(), data.size() * 8 / 4);
+}
+
+TEST(LzhExtra, OverlappingMatches) {
+  // Runs like "abcabcabc..." use matches whose source overlaps their
+  // destination (distance < length) — the classic LZ77 corner.
+  const auto codec = make_compressor("lzh");
+  std::vector<double> data(4096);
+  data[0] = 1.25;
+  data[1] = -2.5;
+  data[2] = 3.75;
+  for (std::size_t i = 3; i < data.size(); ++i) data[i] = data[i - 3];
+  ByteBuffer out;
+  codec->compress(data, 0.0, out);
+  std::vector<double> back(data.size());
+  codec->decompress(out, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(BpcExtra, TailBlockSmallerThan64) {
+  const auto codec = make_compressor("bpc");
+  for (const std::size_t n : {65ul, 100ul, 127ul, 129ul}) {
+    Prng rng(n);
+    std::vector<double> data(n);
+    for (auto& x : data) x = rng.normal();
+    ByteBuffer out;
+    codec->compress(data, 1e-6, out);
+    std::vector<double> back(n);
+    codec->decompress(out, back);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_LE(std::fabs(back[i] - data[i]), 1e-6) << n << ":" << i;
+  }
+}
+
+TEST(BpcExtra, MixedMagnitudeBlocks) {
+  // A block mixing 1e+6 and 1e-12 values: tiny values round to zero (still
+  // within the absolute bound), huge ones stay accurate.
+  const auto codec = make_compressor("bpc");
+  std::vector<double> data(64);
+  for (std::size_t i = 0; i < 64; ++i)
+    data[i] = (i % 2) ? 1e6 + static_cast<double>(i) : 1e-12;
+  ByteBuffer out;
+  codec->compress(data, 1e-3, out);
+  std::vector<double> back(64);
+  codec->decompress(out, back);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_LE(std::fabs(back[i] - data[i]), 1e-3) << i;
+}
+
+TEST(SzqExtra, ExceptionHeavyStream) {
+  // Wildly varying magnitudes defeat both predictors: nearly every value
+  // becomes an exception, and the stream must still round-trip in bound.
+  const auto codec = make_compressor("szq");
+  Prng rng(13);
+  std::vector<double> data(20000);
+  for (auto& x : data)
+    x = rng.normal() * std::pow(10.0, rng.uniform(-8, 8));
+  ByteBuffer out;
+  codec->compress(data, 1e-9, out);
+  std::vector<double> back(data.size());
+  codec->decompress(out, back);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    ASSERT_LE(std::fabs(back[i] - data[i]), 1e-9) << i;
+}
+
+TEST(SzqExtra, ZeroRunBoundaryLengths) {
+  // Runs right at the collapse threshold (8) and around block boundaries.
+  const auto codec = make_compressor("szq");
+  for (const std::size_t run : {7ul, 8ul, 9ul, 4095ul, 4096ul, 4097ul}) {
+    std::vector<double> data(run + 20, 0.0);
+    for (std::size_t i = 0; i < 10; ++i) data[i] = 1.0 + 0.01 * i;
+    for (std::size_t i = run + 10; i < data.size(); ++i) data[i] = -2.0;
+    ByteBuffer out;
+    codec->compress(data, 1e-8, out);
+    std::vector<double> back(data.size());
+    codec->decompress(out, back);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      ASSERT_LE(std::fabs(back[i] - data[i]), 1e-8) << run << ":" << i;
+  }
+}
+
+TEST(CompressorExtra, RepeatedCompressionIsStable) {
+  // compress(decompress(compress(x))) must not blow up in size or error:
+  // the reconstruction is a fixed point within one more bound.
+  const auto codec = make_compressor("szq");
+  Prng rng(3);
+  std::vector<double> data(8192);
+  for (auto& x : data) x = std::sin(0.001 * static_cast<double>(&x - data.data()));
+  ByteBuffer pass1, pass2;
+  codec->compress(data, 1e-6, pass1);
+  std::vector<double> mid(data.size());
+  codec->decompress(pass1, mid);
+  codec->compress(mid, 1e-6, pass2);
+  std::vector<double> back(data.size());
+  codec->decompress(pass2, back);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    ASSERT_LE(std::fabs(back[i] - data[i]), 2e-6) << i;
+  EXPECT_LT(pass2.size(), pass1.size() * 2);
+}
+
+}  // namespace
+}  // namespace memq::compress

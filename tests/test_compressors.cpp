@@ -1,0 +1,247 @@
+// Property suite over all registered compressors: round-trip correctness for
+// lossless codecs, pointwise error bounds for lossy codecs, across data
+// distributions that resemble real state-vector planes.
+#include "compress/compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "compress/quantizer.hpp"
+
+namespace memq::compress {
+namespace {
+
+enum class DataKind {
+  kSmoothWave,   // sinusoid: the QFT-like smooth plane
+  kGaussian,     // dense random state (Haar-ish after normalization)
+  kSparse,       // mostly zeros with spikes: GHZ/Grover-like
+  kConstant,     // all equal
+  kAllZero,      // empty subspace chunk
+  kAlternating,  // worst case for run collapsing
+};
+
+std::vector<double> make_data(DataKind kind, std::size_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<double> v(n);
+  switch (kind) {
+    case DataKind::kSmoothWave:
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = 0.3 * std::sin(0.001 * static_cast<double>(i)) +
+               0.05 * std::sin(0.07 * static_cast<double>(i));
+      break;
+    case DataKind::kGaussian:
+      for (auto& x : v) x = rng.normal() * 1e-3;
+      break;
+    case DataKind::kSparse:
+      for (auto& x : v) x = rng.uniform() < 0.01 ? rng.normal() : 0.0;
+      break;
+    case DataKind::kConstant:
+      for (auto& x : v) x = 0.70710678118654752;
+      break;
+    case DataKind::kAllZero:
+      break;
+    case DataKind::kAlternating:
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = (i % 2 ? 1.0 : -1.0) * (1.0 + 0.001 * rng.normal());
+      break;
+  }
+  return v;
+}
+
+std::string kind_name(DataKind k) {
+  switch (k) {
+    case DataKind::kSmoothWave: return "smooth";
+    case DataKind::kGaussian: return "gaussian";
+    case DataKind::kSparse: return "sparse";
+    case DataKind::kConstant: return "constant";
+    case DataKind::kAllZero: return "zero";
+    case DataKind::kAlternating: return "alternating";
+  }
+  return "?";
+}
+
+using Param = std::tuple<std::string, DataKind, std::size_t, double>;
+
+class CompressorRoundTrip : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CompressorRoundTrip, BoundHolds) {
+  const auto& [name, kind, n, eb] = GetParam();
+  const auto codec = make_compressor(name);
+  const auto data = make_data(kind, n, 0xC0FFEE + n);
+
+  ByteBuffer out;
+  codec->compress(data, eb, out);
+  std::vector<double> back(n);
+  codec->decompress(out, back);
+
+  if (codec->lossless()) {
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(back[i], data[i]) << name << " lossless mismatch at " << i;
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_LE(std::fabs(back[i] - data[i]), eb)
+          << name << "/" << kind_name(kind) << " bound violated at " << i
+          << ": " << data[i] << " -> " << back[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CompressorRoundTrip,
+    ::testing::Combine(
+        ::testing::Values("szq", "bpc", "gorilla", "lzh", "null"),
+        ::testing::Values(DataKind::kSmoothWave, DataKind::kGaussian,
+                          DataKind::kSparse, DataKind::kConstant,
+                          DataKind::kAllZero, DataKind::kAlternating),
+        ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{63},
+                          std::size_t{64}, std::size_t{1000},
+                          std::size_t{65536}),
+        ::testing::Values(1e-3, 1e-6, 1e-10)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::get<0>(info.param) + "_" +
+             kind_name(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param)) + "_eb" +
+             std::to_string(
+                 static_cast<int>(-std::log10(std::get<3>(info.param))));
+    });
+
+TEST(Szq, CompressesSmoothDataWell) {
+  const auto codec = make_compressor("szq");
+  const auto data = make_data(DataKind::kSmoothWave, 1 << 16, 1);
+  ByteBuffer out;
+  codec->compress(data, 1e-4, out);
+  const double ratio =
+      static_cast<double>(data.size() * sizeof(double)) /
+      static_cast<double>(out.size());
+  EXPECT_GT(ratio, 8.0) << "smooth data should compress >8x at 1e-4";
+}
+
+TEST(Szq, CompressesSparseDataExtremelyWell) {
+  const auto codec = make_compressor("szq");
+  const auto data = make_data(DataKind::kSparse, 1 << 16, 2);
+  ByteBuffer out;
+  codec->compress(data, 1e-6, out);
+  const double ratio =
+      static_cast<double>(data.size() * sizeof(double)) /
+      static_cast<double>(out.size());
+  EXPECT_GT(ratio, 20.0) << "1% dense data should compress >20x";
+}
+
+TEST(Szq, TighterBoundCostsMoreBits) {
+  const auto codec = make_compressor("szq");
+  const auto data = make_data(DataKind::kGaussian, 1 << 15, 3);
+  ByteBuffer loose, tight;
+  codec->compress(data, 1e-3, loose);
+  codec->compress(data, 1e-8, tight);
+  EXPECT_LT(loose.size(), tight.size());
+}
+
+TEST(Bpc, TighterBoundCostsMoreBits) {
+  const auto codec = make_compressor("bpc");
+  const auto data = make_data(DataKind::kGaussian, 1 << 15, 4);
+  ByteBuffer loose, tight;
+  codec->compress(data, 1e-3, loose);
+  codec->compress(data, 1e-8, tight);
+  EXPECT_LT(loose.size(), tight.size());
+}
+
+TEST(Gorilla, ConstantDataCompressesToAlmostNothing) {
+  const auto codec = make_compressor("gorilla");
+  const std::vector<double> data(10000, 0.125);
+  ByteBuffer out;
+  codec->compress(data, 0.0, out);
+  EXPECT_LT(out.size(), 10000u / 4);  // ~1 bit per repeated value
+}
+
+TEST(Gorilla, HandlesSpecialValues) {
+  const auto codec = make_compressor("gorilla");
+  const std::vector<double> data{0.0, -0.0, 1e308, -1e308, 5e-324,
+                                 1.0, -1.0, 0.1,   0.2,    0.30000000000000004};
+  ByteBuffer out;
+  codec->compress(data, 0.0, out);
+  std::vector<double> back(data.size());
+  codec->decompress(out, back);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(std::signbit(back[i]), std::signbit(data[i]));
+    EXPECT_EQ(back[i], data[i]);
+  }
+}
+
+TEST(Quantizer, ExactPredictionYieldsZeroSymbol) {
+  const auto qr = quantize(1.0, 1.0, 1e-6);
+  EXPECT_EQ(qr.symbol, kSymZero);
+  EXPECT_DOUBLE_EQ(qr.reconstructed, 1.0);
+}
+
+TEST(Quantizer, BoundRespectedAcrossMagnitudes) {
+  Prng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double eb = std::pow(10.0, -1.0 - rng.uniform() * 10.0);
+    const double pred = rng.normal();
+    const double x = pred + rng.normal() * eb * 100.0;
+    const auto qr = quantize(x, pred, eb);
+    EXPECT_LE(std::fabs(qr.reconstructed - x), eb);
+  }
+}
+
+TEST(Quantizer, FarValueBecomesException) {
+  const auto qr = quantize(1e9, 0.0, 1e-9);
+  EXPECT_EQ(qr.symbol, kSymException);
+  EXPECT_DOUBLE_EQ(qr.reconstructed, 1e9);
+}
+
+TEST(Registry, KnownNamesConstruct) {
+  for (const auto& name : compressor_names()) {
+    const auto c = make_compressor(name);
+    EXPECT_EQ(c->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_compressor("lz77"), InvalidArgument);
+}
+
+TEST(Registry, ListsAllFour) {
+  const auto names = compressor_names();
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Compressors, LossyRejectsZeroBound) {
+  std::vector<double> data(10, 1.0);
+  ByteBuffer out;
+  EXPECT_THROW(make_compressor("szq")->compress(data, 0.0, out), Error);
+  EXPECT_THROW(make_compressor("bpc")->compress(data, -1.0, out), Error);
+}
+
+TEST(Compressors, DecompressCountMismatchThrows) {
+  std::vector<double> data(100, 0.5);
+  for (const auto& name : compressor_names()) {
+    const auto codec = make_compressor(name);
+    ByteBuffer out;
+    codec->compress(data, 1e-4, out);
+    std::vector<double> wrong(99);
+    EXPECT_THROW(codec->decompress(out, wrong), CorruptData)
+        << name << " accepted wrong output size";
+  }
+}
+
+TEST(Compressors, TruncatedPayloadThrows) {
+  std::vector<double> data = make_data(DataKind::kGaussian, 4096, 9);
+  for (const auto& name : compressor_names()) {
+    const auto codec = make_compressor(name);
+    ByteBuffer out;
+    codec->compress(data, 1e-4, out);
+    ASSERT_GT(out.size(), 16u);
+    out.resize(out.size() / 2);
+    std::vector<double> back(data.size());
+    EXPECT_THROW(codec->decompress(out, back), CorruptData)
+        << name << " accepted truncated payload";
+  }
+}
+
+}  // namespace
+}  // namespace memq::compress

@@ -1,0 +1,151 @@
+// Fine-grained device-model semantics: host-clock coupling, cross-stream
+// and cross-device event ordering, shared clocks, and stat accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/copy_engine.hpp"
+
+namespace memq::device {
+namespace {
+
+DeviceConfig cfg_simple() {
+  DeviceConfig cfg;
+  cfg.memory_bytes = 1 << 20;
+  cfg.h2d_bandwidth = 1e9;
+  cfg.d2h_bandwidth = 1e9;
+  cfg.sync_copy_overhead = 1e-6;
+  cfg.async_copy_overhead_h2d = 1e-6;
+  cfg.async_copy_overhead_d2h = 1e-6;
+  cfg.kernel_launch_overhead = 1e-6;
+  cfg.gate_kernel_throughput = 1e9;
+  return cfg;
+}
+
+TEST(DeviceSemantics, OperationsCannotStartBeforeEnqueue) {
+  // CPU work advances the host clock; a copy enqueued afterwards must start
+  // at (or after) the host time even on an idle stream.
+  SimDevice dev(cfg_simple());
+  Stream s(dev, "s");
+  dev.advance_host(5e-3);
+  auto buf = dev.alloc(1000);
+  std::vector<std::uint8_t> host(1000);
+  s.memcpy_h2d_async(buf, 0, host.data(), 1000);
+  EXPECT_GE(s.tail(), 5e-3);
+}
+
+TEST(DeviceSemantics, InOrderWithinAStream) {
+  SimDevice dev(cfg_simple());
+  Stream s(dev, "s");
+  auto buf = dev.alloc(4096);
+  std::vector<std::uint8_t> host(4096);
+  s.memcpy_h2d_async(buf, 0, host.data(), 4096);
+  const double after_copy = s.tail();
+  s.launch("k", 1000, [] {});
+  // The kernel starts no earlier than the copy's completion.
+  EXPECT_GE(s.tail(), after_copy + 1000 / 1e9);
+}
+
+TEST(DeviceSemantics, IndependentStreamsOverlap) {
+  SimDevice dev(cfg_simple());
+  Stream a(dev, "a"), b(dev, "b");
+  a.launch("ka", 1000000, [] {});  // 1 ms
+  b.launch("kb", 1000000, [] {});  // 1 ms, overlapping
+  // Both finish ~1 ms after their (nearly identical) starts; the sum of
+  // tails is far below the serialized 2 ms + overheads.
+  EXPECT_LT(std::max(a.tail(), b.tail()), 1.2e-3);
+  EXPECT_NEAR(a.busy_seconds(), 1e-3, 1e-6);
+  EXPECT_NEAR(b.busy_seconds(), 1e-3, 1e-6);
+}
+
+TEST(DeviceSemantics, EventTransfersOrderingOnly) {
+  SimDevice dev(cfg_simple());
+  Stream a(dev, "a"), b(dev, "b");
+  a.launch("slow", 2000000, [] {});  // 2 ms
+  const Event e = a.record();
+  b.wait(e);
+  const double b_start_floor = b.tail();
+  b.launch("fast", 1000, [] {});
+  EXPECT_GE(b.tail(), b_start_floor + 1e-6);
+  // Waiting did not advance the host clock.
+  EXPECT_LT(dev.host_time(), 1e-4);
+  // Synchronize does.
+  b.synchronize();
+  EXPECT_GE(dev.host_time(), 2e-3);
+}
+
+TEST(DeviceSemantics, SharedClockCouplesDevices) {
+  auto clock = std::make_shared<HostClock>();
+  SimDevice d1(cfg_simple(), clock);
+  SimDevice d2(cfg_simple(), clock);
+  d1.advance_host(1e-3);
+  EXPECT_DOUBLE_EQ(d2.host_time(), 1e-3);
+  // A stream on d2 enqueued now cannot start before the shared host time.
+  Stream s2(d2, "s2");
+  s2.launch("k", 1000, [] {});
+  EXPECT_GE(s2.tail(), 1e-3);
+}
+
+TEST(DeviceSemantics, PrivateClocksAreIndependent) {
+  SimDevice d1(cfg_simple());
+  SimDevice d2(cfg_simple());
+  d1.advance_host(1.0);
+  EXPECT_DOUBLE_EQ(d2.host_time(), 0.0);
+}
+
+TEST(DeviceSemantics, StatsAccumulateExactly) {
+  SimDevice dev(cfg_simple());
+  Stream s(dev, "s");
+  auto buf = dev.alloc(1 << 12);
+  std::vector<std::uint8_t> host(1 << 12);
+  s.memcpy_h2d_sync(buf, 0, host.data(), 1 << 12);
+  s.memcpy_h2d_async(buf, 0, host.data(), 100);
+  s.memcpy_d2h_async(host.data(), buf, 0, 200);
+  s.launch("k", 10, [] {});
+  const auto& st = dev.stats();
+  EXPECT_EQ(st.h2d_calls, 2u);
+  EXPECT_EQ(st.d2h_calls, 1u);
+  EXPECT_EQ(st.h2d_bytes, (1u << 12) + 100u);
+  EXPECT_EQ(st.d2h_bytes, 200u);
+  EXPECT_EQ(st.kernel_launches, 1u);
+  dev.reset_stats();
+  EXPECT_EQ(dev.stats().h2d_calls, 0u);
+}
+
+TEST(DeviceSemantics, KernelBodyRunsExactlyOnce) {
+  SimDevice dev(cfg_simple());
+  Stream s(dev, "s");
+  int runs = 0;
+  s.launch("counter", 1, [&runs] { ++runs; });
+  s.launch("counter", 1, [&runs] { ++runs; });
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(DeviceSemantics, ResetClockPreservesAllocations) {
+  SimDevice dev(cfg_simple());
+  auto buf = dev.alloc(512);
+  dev.advance_host(1.0);
+  dev.reset_clock();
+  EXPECT_DOUBLE_EQ(dev.host_time(), 0.0);
+  EXPECT_EQ(dev.bytes_in_use(), 512u);
+  EXPECT_TRUE(buf.valid());
+}
+
+TEST(DeviceSemantics, DownloadAfterComputeSeesKernelWrites) {
+  // Real-execution semantics: a kernel mutation is visible to the download
+  // regardless of the modeled timeline.
+  SimDevice dev(cfg_simple());
+  Stream s(dev, "s");
+  auto buf = dev.alloc(sizeof(double) * 4);
+  std::vector<double> host{1, 2, 3, 4};
+  s.memcpy_h2d_async(buf, 0, host.data(), sizeof(double) * 4);
+  s.launch("double", 4, [&buf] {
+    for (auto& x : buf.view<double>()) x *= 2.0;
+  });
+  std::vector<double> back(4);
+  s.memcpy_d2h_async(back.data(), buf, 0, sizeof(double) * 4);
+  EXPECT_EQ(back, (std::vector<double>{2, 4, 6, 8}));
+}
+
+}  // namespace
+}  // namespace memq::device

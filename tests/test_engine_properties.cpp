@@ -1,0 +1,144 @@
+// Deeper engine property tests: measurement alignment across engines,
+// multi-run accumulation, slot-count invariance, and codec idempotency.
+#include <gtest/gtest.h>
+
+#include "circuit/workloads.hpp"
+#include "common/prng.hpp"
+#include "core/engine.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+EngineConfig cfg_of(qubit_t chunk, std::uint64_t seed = 555) {
+  EngineConfig cfg;
+  cfg.chunk_qubits = chunk;
+  cfg.codec.bound = 1e-9;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(EngineProperties, MidCircuitMeasurementsAlignAcrossEngines) {
+  // All engines draw measurement outcomes from the same PRNG sequence, so
+  // equal seeds give equal trajectories — states must then agree.
+  Circuit c(6);
+  c.h(0).h(3).cx(0, 1).measure(1).h(5).cx(3, 4).measure(4).ry(2, 0.7);
+  c.measure(5);
+  for (const std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    auto dense = make_engine(EngineKind::kDense, 6, cfg_of(3, seed));
+    auto memq = make_engine(EngineKind::kMemQSim, 6, cfg_of(3, seed));
+    auto wu = make_engine(EngineKind::kWu, 6, cfg_of(3, seed));
+    dense->run(c);
+    memq->run(c);
+    wu->run(c);
+    EXPECT_LT(memq->to_dense().max_abs_diff(dense->to_dense()), 1e-5)
+        << "seed " << seed;
+    EXPECT_LT(wu->to_dense().max_abs_diff(dense->to_dense()), 1e-5)
+        << "seed " << seed;
+  }
+}
+
+TEST(EngineProperties, RepeatedRunsAccumulate) {
+  // run() appends: three QFT quarters equal one full circuit.
+  const Circuit full = circuit::make_random_circuit(7, 9, 21);
+  Circuit third1(7), third2(7), third3(7);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    (i < full.size() / 3       ? third1
+     : i < 2 * full.size() / 3 ? third2
+                               : third3)
+        .append(full[i]);
+  }
+  auto split = make_engine(EngineKind::kMemQSim, 7, cfg_of(3));
+  split->run(third1);
+  split->run(third2);
+  split->run(third3);
+  auto whole = make_engine(EngineKind::kMemQSim, 7, cfg_of(3));
+  whole->run(full);
+  EXPECT_LT(split->to_dense().max_abs_diff(whole->to_dense()), 1e-6);
+}
+
+TEST(EngineProperties, SlotCountDoesNotChangeResults) {
+  const Circuit c = circuit::make_random_circuit(7, 6, 31);
+  sv::StateVector reference(7);
+  bool first = true;
+  for (const std::uint32_t slots : {1u, 2u, 4u}) {
+    EngineConfig cfg = cfg_of(3);
+    cfg.device_slots = slots;
+    auto engine = make_engine(EngineKind::kMemQSim, 7, cfg);
+    engine->run(c);
+    if (first) {
+      reference = engine->to_dense();
+      first = false;
+    } else {
+      EXPECT_LT(engine->to_dense().max_abs_diff(reference), 1e-12)
+          << slots << " slots";
+    }
+  }
+}
+
+TEST(EngineProperties, FullCpuOffloadNeverTouchesDevice) {
+  EngineConfig cfg = cfg_of(3);
+  cfg.cpu_offload_fraction = 1.0;
+  auto engine = make_engine(EngineKind::kMemQSim, 7, cfg);
+  engine->run(circuit::make_qft(7));
+  EXPECT_EQ(engine->telemetry().kernel_launches, 0u);
+  EXPECT_EQ(engine->telemetry().h2d_bytes, 0u);
+  auto dense = make_engine(EngineKind::kDense, 7, cfg);
+  dense->run(circuit::make_qft(7));
+  EXPECT_LT(engine->to_dense().max_abs_diff(dense->to_dense()), 1e-5);
+}
+
+TEST(EngineProperties, RecompressionIsIdempotentOnFixedPoint) {
+  // Running an empty circuit repeatedly must not erode the state: lossy
+  // codecs reconstruct a state they just produced within the same bound,
+  // and the zero-diff path skips recompression entirely.
+  EngineConfig cfg = cfg_of(3);
+  cfg.codec.bound = 1e-4;  // coarse on purpose
+  auto engine = make_engine(EngineKind::kMemQSim, 6, cfg);
+  engine->run(circuit::make_w_state(6));
+  const auto snapshot = engine->to_dense();
+  const auto stores_before = engine->telemetry().chunk_stores;
+  for (int i = 0; i < 5; ++i) {
+    // Identity gates sweep every chunk through the load path but must not
+    // mark anything dirty, so no recompression happens and nothing erodes.
+    Circuit idle(6);
+    idle.i(0).i(5);
+    engine->run(idle);
+  }
+  EXPECT_LT(engine->to_dense().max_abs_diff(snapshot), 1e-12);
+  EXPECT_EQ(engine->telemetry().chunk_stores, stores_before);
+}
+
+TEST(EngineProperties, DeepDiagonalCircuitsAreCodecFree) {
+  // A circuit of only diagonal gates on high qubits compiles to scalar
+  // chunk updates: no pair stages, no device traffic beyond local stages.
+  Circuit c(10);
+  for (int rep = 0; rep < 20; ++rep)
+    for (qubit_t q = 5; q < 10; ++q) c.rz(q, 0.01 * (rep + 1));
+  EngineConfig cfg = cfg_of(5);
+  auto engine = make_engine(EngineKind::kMemQSim, 10, cfg);
+  engine->run(c);
+  const auto& t = engine->telemetry();
+  EXPECT_EQ(t.stages_pair, 0u);
+  EXPECT_EQ(t.stages_permute, 0u);
+  auto dense = make_engine(EngineKind::kDense, 10, cfg);
+  dense->run(c);
+  EXPECT_LT(engine->to_dense().max_abs_diff(dense->to_dense()), 1e-5);
+}
+
+TEST(EngineProperties, NormDriftStaysWithinBoundBudget) {
+  // After a deep run at bound b, |norm - 1| is far below stores * b.
+  EngineConfig cfg = cfg_of(4);
+  cfg.codec.bound = 1e-6;
+  auto engine = make_engine(EngineKind::kMemQSim, 8, cfg);
+  engine->run(circuit::make_random_circuit(8, 16, 3));
+  const double drift = std::fabs(engine->norm() - 1.0);
+  const double budget =
+      static_cast<double>(engine->telemetry().chunk_stores) * 1e-6;
+  EXPECT_LT(drift, budget + 1e-9);
+}
+
+}  // namespace
+}  // namespace memq::core

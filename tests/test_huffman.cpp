@@ -1,0 +1,171 @@
+#include "compress/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace memq::compress {
+namespace {
+
+std::vector<std::uint32_t> encode_decode(
+    const std::vector<std::uint64_t>& counts,
+    const std::vector<std::uint32_t>& message) {
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  ByteBuffer table;
+  ByteWriter tw(table);
+  code.serialize(tw);
+  ByteReader tr(table);
+  const HuffmanCode decoded_code = HuffmanCode::deserialize(tr);
+
+  ByteBuffer bits;
+  BitWriter bw(bits);
+  for (const auto s : message) code.encode(bw, s);
+  bw.flush();
+  BitReader br(bits);
+  std::vector<std::uint32_t> out;
+  out.reserve(message.size());
+  for (std::size_t i = 0; i < message.size(); ++i)
+    out.push_back(decoded_code.decode(br));
+  return out;
+}
+
+TEST(Huffman, TwoSymbolRoundTrip) {
+  const std::vector<std::uint64_t> counts{3, 7};
+  const std::vector<std::uint32_t> msg{0, 1, 1, 0, 1, 1, 1, 0};
+  EXPECT_EQ(encode_decode(counts, msg), msg);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const std::vector<std::uint64_t> counts{0, 42, 0};
+  const std::vector<std::uint32_t> msg(100, 1);
+  EXPECT_EQ(encode_decode(counts, msg), msg);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 99% symbol 0: mean code length must be close to 1 bit.
+  std::vector<std::uint64_t> counts(16, 1);
+  counts[0] = 10000;
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  EXPECT_EQ(code.length_of(0), 1u);
+  EXPECT_LT(code.mean_code_length(counts), 1.1);
+}
+
+TEST(Huffman, UniformDistributionNearLog2) {
+  std::vector<std::uint64_t> counts(256, 100);
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  EXPECT_DOUBLE_EQ(code.mean_code_length(counts), 8.0);
+}
+
+TEST(Huffman, MeanLengthWithinOneBitOfEntropy) {
+  Prng rng(3);
+  std::vector<std::uint64_t> counts(64);
+  for (auto& c : counts) c = 1 + rng.uniform_index(10000);
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  double total = 0, entropy = 0;
+  for (const auto c : counts) total += static_cast<double>(c);
+  for (const auto c : counts) {
+    const double p = static_cast<double>(c) / total;
+    entropy -= p * std::log2(p);
+  }
+  const double mean = code.mean_code_length(counts);
+  EXPECT_GE(mean, entropy - 1e-9);
+  EXPECT_LE(mean, entropy + 1.0);
+}
+
+TEST(Huffman, LargeRandomMessageRoundTrip) {
+  Prng rng(5);
+  std::vector<std::uint64_t> counts(1000, 0);
+  std::vector<std::uint32_t> msg;
+  for (int i = 0; i < 20000; ++i) {
+    // Zipf-ish skew.
+    const auto s = static_cast<std::uint32_t>(
+        1000.0 * rng.uniform() * rng.uniform() * rng.uniform());
+    msg.push_back(std::min(s, 999u));
+    ++counts[msg.back()];
+  }
+  EXPECT_EQ(encode_decode(counts, msg), msg);
+}
+
+TEST(Huffman, SparseAlphabetRoundTrip) {
+  // Large alphabet with few used symbols — the SZQ shape (65538 symbols,
+  // a handful in use).
+  std::vector<std::uint64_t> counts(65538, 0);
+  counts[32768] = 100000;
+  counts[32769] = 500;
+  counts[32767] = 480;
+  counts[65536] = 3;
+  counts[65537] = 7;
+  std::vector<std::uint32_t> msg;
+  Prng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform();
+    msg.push_back(u < 0.95   ? 32768
+                  : u < 0.97 ? 32769
+                  : u < 0.99 ? 32767
+                  : u < 0.995 ? 65536
+                              : 65537);
+  }
+  EXPECT_EQ(encode_decode(counts, msg), msg);
+}
+
+TEST(Huffman, SerializedTableIsCompactForSparseAlphabet) {
+  std::vector<std::uint64_t> counts(65538, 0);
+  counts[32768] = 1000;
+  counts[0] = 1;
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  ByteBuffer table;
+  ByteWriter tw(table);
+  code.serialize(tw);
+  // Zero-run RLE keeps the table tiny despite the 65538-symbol alphabet.
+  EXPECT_LT(table.size(), 64u);
+}
+
+TEST(Huffman, EncodeUnknownSymbolThrows) {
+  const std::vector<std::uint64_t> counts{1, 0, 1};
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  ByteBuffer bits;
+  BitWriter bw(bits);
+  EXPECT_THROW(code.encode(bw, 1), Error);
+  EXPECT_THROW(code.encode(bw, 99), Error);
+}
+
+TEST(Huffman, AllZeroCountsThrows) {
+  const std::vector<std::uint64_t> counts(8, 0);
+  EXPECT_THROW(HuffmanCode::from_counts(counts), Error);
+}
+
+TEST(Huffman, CorruptTableDetected) {
+  // A table whose lengths violate the Kraft inequality must be rejected.
+  ByteBuffer bad;
+  ByteWriter w(bad);
+  w.varint(4);   // alphabet size
+  w.u8(1);       // all four symbols claim a 1-bit code
+  w.varint(4);
+  ByteReader r(bad);
+  EXPECT_THROW(HuffmanCode::deserialize(r), Error);
+}
+
+TEST(Huffman, TruncatedBitstreamThrows) {
+  std::vector<std::uint64_t> counts(4, 10);
+  const HuffmanCode code = HuffmanCode::from_counts(counts);
+  ByteBuffer bits;
+  BitWriter bw(bits);
+  for (int i = 0; i < 9; ++i) code.encode(bw, 3);
+  bw.flush();
+  BitReader br(bits);
+  for (int i = 0; i < 9; ++i) (void)code.decode(br);
+  // The remaining padding bits cannot contain 4 more valid codes.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 4; ++i) (void)code.decode(br);
+      },
+      CorruptData);
+}
+
+}  // namespace
+}  // namespace memq::compress

@@ -1,0 +1,242 @@
+// Gate kernels vs. an independent brute-force oracle that expands the full
+// 2^n x 2^n operator action index-by-index.
+#include "sv/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace memq::sv {
+namespace {
+
+using circuit::Gate;
+using circuit::Mat2;
+
+std::vector<amp_t> random_amps(qubit_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<amp_t> v(dim_of(n));
+  for (auto& a : v) a = rng.normal_amp();
+  return v;
+}
+
+/// Oracle: applies a controlled 1q matrix by direct enumeration, written
+/// independently of the kernel's insert_zero trick.
+std::vector<amp_t> oracle_matrix1(const std::vector<amp_t>& in, qubit_t target,
+                                  const Mat2& m, index_t cmask) {
+  std::vector<amp_t> out = in;
+  const index_t bit = index_t{1} << target;
+  for (index_t i = 0; i < in.size(); ++i) {
+    if ((i & bit) != 0) continue;      // visit each pair once, from the 0 side
+    if ((i & cmask) != cmask) continue;
+    const index_t j = i | bit;
+    out[i] = m[0] * in[i] + m[1] * in[j];
+    out[j] = m[2] * in[i] + m[3] * in[j];
+  }
+  return out;
+}
+
+std::vector<amp_t> oracle_swap(const std::vector<amp_t>& in, qubit_t a,
+                               qubit_t b, index_t cmask) {
+  std::vector<amp_t> out = in;
+  for (index_t i = 0; i < in.size(); ++i) {
+    if ((i & cmask) != cmask) continue;
+    index_t j = i;
+    const bool ba = bits::test(i, a), bb = bits::test(i, b);
+    j = ba ? bits::set(j, b) : bits::clear(j, b);
+    j = bb ? bits::set(j, a) : bits::clear(j, a);
+    out[j] = in[i];
+  }
+  return out;
+}
+
+void expect_close(const std::vector<amp_t>& a, const std::vector<amp_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (index_t i = 0; i < a.size(); ++i)
+    ASSERT_LT(std::abs(a[i] - b[i]), 1e-12) << "index " << i;
+}
+
+TEST(Kernels, Matrix1MatchesOracleEveryTarget) {
+  constexpr qubit_t n = 6;
+  const Mat2 m = Gate::u3(0, 0.9, 1.7, -0.4).matrix1q();
+  for (qubit_t t = 0; t < n; ++t) {
+    auto amps = random_amps(n, 10 + t);
+    const auto expected = oracle_matrix1(amps, t, m, 0);
+    apply_matrix1(amps, t, m);
+    expect_close(amps, expected);
+  }
+}
+
+TEST(Kernels, ControlledMatrix1MatchesOracle) {
+  constexpr qubit_t n = 6;
+  const Mat2 m = Gate::ry(0, 1.1).matrix1q();
+  Prng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const qubit_t t = static_cast<qubit_t>(rng.uniform_index(n));
+    index_t cmask = 0;
+    for (qubit_t q = 0; q < n; ++q)
+      if (q != t && rng.uniform() < 0.3) cmask |= index_t{1} << q;
+    auto amps = random_amps(n, 100 + trial);
+    const auto expected = oracle_matrix1(amps, t, m, cmask);
+    apply_matrix1(amps, t, m, cmask);
+    expect_close(amps, expected);
+  }
+}
+
+TEST(Kernels, XSpecializationMatchesGeneric) {
+  constexpr qubit_t n = 5;
+  const Mat2 xm = Gate::x(0).matrix1q();
+  for (qubit_t t = 0; t < n; ++t) {
+    auto a = random_amps(n, 20 + t);
+    auto b = a;
+    apply_x(a, t, index_t{1} << ((t + 1) % n));
+    apply_matrix1(b, t, xm, index_t{1} << ((t + 1) % n));
+    expect_close(a, b);
+  }
+}
+
+TEST(Kernels, DiagonalSpecializationMatchesGeneric) {
+  constexpr qubit_t n = 5;
+  const Mat2 m = Gate::rz(0, 0.77).matrix1q();
+  for (qubit_t t = 0; t < n; ++t) {
+    auto a = random_amps(n, 30 + t);
+    auto b = a;
+    apply_diagonal1(a, t, m[0], m[3]);
+    apply_matrix1(b, t, m);
+    expect_close(a, b);
+  }
+}
+
+TEST(Kernels, SwapMatchesOracleAllPairs) {
+  constexpr qubit_t n = 5;
+  for (qubit_t a = 0; a < n; ++a)
+    for (qubit_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      auto amps = random_amps(n, 40 + a * 8 + b);
+      const auto expected = oracle_swap(amps, a, b, 0);
+      apply_swap(amps, a, b);
+      expect_close(amps, expected);
+    }
+}
+
+TEST(Kernels, ControlledSwapMatchesOracle) {
+  constexpr qubit_t n = 5;
+  auto amps = random_amps(n, 50);
+  const index_t cmask = index_t{1} << 4;
+  const auto expected = oracle_swap(amps, 1, 3, cmask);
+  apply_swap(amps, 1, 3, cmask);
+  expect_close(amps, expected);
+}
+
+TEST(Kernels, Matrix2SwapMatrixMatchesSwapKernel) {
+  constexpr qubit_t n = 5;
+  const auto m = Gate::swap(0, 1).matrix2q();
+  for (qubit_t a = 0; a < n; ++a)
+    for (qubit_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      auto x = random_amps(n, 60 + a * 8 + b);
+      auto y = x;
+      apply_matrix2(x, a, b, m);
+      apply_swap(y, a, b);
+      expect_close(x, y);
+    }
+}
+
+TEST(Kernels, Matrix2CxMatchesControlledX) {
+  constexpr qubit_t n = 4;
+  // CX with control = second target (q_hi), target = first (q_lo):
+  // basis |t c>: flips t when c = 1 -> rows 2<->3 of the 4x4.
+  circuit::Mat4 cx{};
+  cx[0 * 4 + 0] = 1;
+  cx[1 * 4 + 1] = 1;
+  cx[2 * 4 + 3] = 1;
+  cx[3 * 4 + 2] = 1;
+  auto a = random_amps(n, 70);
+  auto b = a;
+  apply_matrix2(a, /*q_lo=*/0, /*q_hi=*/2, cx);
+  apply_x(b, 0, index_t{1} << 2);
+  expect_close(a, b);
+}
+
+TEST(Kernels, ApplyGateDispatchesEveryKind) {
+  constexpr qubit_t n = 4;
+  const Gate gates[] = {Gate::i(0),          Gate::x(1),
+                        Gate::y(2),          Gate::z(3),
+                        Gate::h(0),          Gate::s(1),
+                        Gate::sdg(2),        Gate::t(3),
+                        Gate::tdg(0),        Gate::sx(1),
+                        Gate::rx(2, 0.3),    Gate::ry(3, 0.5),
+                        Gate::rz(0, 0.7),    Gate::phase(1, 0.9),
+                        Gate::u3(2, 1, 2, 3), Gate::swap(0, 3),
+                        Gate::cx(0, 1),      Gate::ccx(0, 1, 2),
+                        Gate::cswap(3, 0, 1)};
+  auto amps = random_amps(n, 80);
+  double norm_before = 0;
+  for (const auto& a : amps) norm_before += std::norm(a);
+  for (const Gate& g : gates) apply_gate(amps, g);
+  double norm_after = 0;
+  for (const auto& a : amps) norm_after += std::norm(a);
+  EXPECT_NEAR(norm_after, norm_before, 1e-9);
+}
+
+TEST(Kernels, ApplyGateMappedRelabelsQubits) {
+  // A 3-qubit gate sequence executed with qubits permuted through the map
+  // must equal direct execution after permuting the data the same way.
+  constexpr qubit_t n = 3;
+  const std::vector<qubit_t> local_of = {2, 0, 1};  // circuit q -> local bit
+  auto direct = random_amps(n, 90);
+
+  // Build permuted copy: local index j collects direct index i where bits map.
+  std::vector<amp_t> mapped(direct.size());
+  for (index_t i = 0; i < direct.size(); ++i) {
+    index_t j = 0;
+    for (qubit_t q = 0; q < n; ++q)
+      if (bits::test(i, q)) j = bits::set(j, local_of[q]);
+    mapped[j] = direct[i];
+  }
+
+  const Gate g = Gate::cx(0, 2);
+  apply_gate(direct, g);
+  apply_gate_mapped(mapped, g, local_of);
+
+  for (index_t i = 0; i < direct.size(); ++i) {
+    index_t j = 0;
+    for (qubit_t q = 0; q < n; ++q)
+      if (bits::test(i, q)) j = bits::set(j, local_of[q]);
+    ASSERT_LT(std::abs(mapped[j] - direct[i]), 1e-12);
+  }
+}
+
+TEST(Kernels, ProbabilityAndCollapse) {
+  constexpr qubit_t n = 4;
+  auto amps = random_amps(n, 95);
+  double total = 0;
+  for (auto& a : amps) total += std::norm(a);
+  const double inv = 1.0 / std::sqrt(total);
+  for (auto& a : amps) a *= inv;
+
+  const double p1 = probability_one(amps, 2);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_LT(p1, 1.0);
+  collapse(amps, 2, true, 1.0 / std::sqrt(p1));
+  double norm_after = 0;
+  for (const auto& a : amps) norm_after += std::norm(a);
+  EXPECT_NEAR(norm_after, 1.0, 1e-12);
+  EXPECT_NEAR(probability_one(amps, 2), 1.0, 1e-12);
+}
+
+TEST(Kernels, RejectsMisuse) {
+  std::vector<amp_t> amps(8);
+  EXPECT_THROW(apply_x(amps, 3), Error);
+  EXPECT_THROW(apply_swap(amps, 1, 1), Error);
+  std::vector<amp_t> not_pow2(7);
+  EXPECT_THROW(apply_x(not_pow2, 0), Error);
+  EXPECT_THROW(apply_gate(amps, Gate::measure(0)), Error);
+}
+
+}  // namespace
+}  // namespace memq::sv

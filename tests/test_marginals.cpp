@@ -1,0 +1,96 @@
+// Marginal-probability queries across engines and layouts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/workloads.hpp"
+#include "common/error.hpp"
+#include "core/engine.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Circuit;
+
+EngineConfig cfg3() {
+  EngineConfig cfg;
+  cfg.chunk_qubits = 3;
+  cfg.codec.bound = 1e-9;
+  return cfg;
+}
+
+TEST(Marginals, GhzEndsAgree) {
+  for (const EngineKind kind : {EngineKind::kDense, EngineKind::kWu,
+                                EngineKind::kMemQSim}) {
+    auto engine = make_engine(kind, 7, cfg3());
+    engine->run(circuit::make_ghz(7));
+    // Any 2-qubit marginal of GHZ is 1/2 |00> + 1/2 |11>.
+    const auto m = engine->marginal_probabilities({1, 5});
+    ASSERT_EQ(m.size(), 4u);
+    EXPECT_NEAR(m[0], 0.5, 1e-6) << engine_kind_name(kind);
+    EXPECT_NEAR(m[3], 0.5, 1e-6);
+    EXPECT_NEAR(m[1], 0.0, 1e-9);
+    EXPECT_NEAR(m[2], 0.0, 1e-9);
+  }
+}
+
+TEST(Marginals, OrderOfQubitsDefinesBitOrder) {
+  auto engine = make_engine(EngineKind::kMemQSim, 4, cfg3());
+  Circuit c(4);
+  c.x(2);  // |0100>
+  engine->run(c);
+  // qubits {2, 0}: bit0 reads qubit 2 (=1), bit1 reads qubit 0 (=0) -> 0b01.
+  const auto m = engine->marginal_probabilities({2, 0});
+  EXPECT_NEAR(m[0b01], 1.0, 1e-9);
+  // Reversed request flips the key.
+  const auto r = engine->marginal_probabilities({0, 2});
+  EXPECT_NEAR(r[0b10], 1.0, 1e-9);
+}
+
+TEST(Marginals, SumsToOneOnRandomStates) {
+  auto engine = make_engine(EngineKind::kMemQSim, 8, cfg3());
+  engine->run(circuit::make_random_circuit(8, 6, 5));
+  const auto m = engine->marginal_probabilities({0, 3, 6, 7});
+  double total = 0.0;
+  for (const double p : m) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Marginals, MatchesDenseOracle) {
+  const Circuit c = circuit::make_random_circuit(8, 6, 11);
+  auto memq = make_engine(EngineKind::kMemQSim, 8, cfg3());
+  auto dense = make_engine(EngineKind::kDense, 8, cfg3());
+  memq->run(c);
+  dense->run(c);
+  for (const std::vector<qubit_t> qs :
+       {std::vector<qubit_t>{0}, {7}, {2, 5}, {0, 4, 7}, {6, 1, 3, 0}}) {
+    const auto a = memq->marginal_probabilities(qs);
+    const auto b = dense->marginal_probabilities(qs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_NEAR(a[i], b[i], 1e-6) << "subset size " << qs.size();
+  }
+}
+
+TEST(Marginals, LayoutTransparent) {
+  const Circuit bv = circuit::make_bernstein_vazirani(7, 0x4D);
+  EngineConfig opt = cfg3();
+  opt.optimize_layout = true;
+  auto engine = make_engine(EngineKind::kMemQSim, bv.n_qubits(), opt);
+  engine->run(bv);
+  // Data-register marginal must read the secret deterministically.
+  const auto m = engine->marginal_probabilities({0, 1, 2, 3, 4, 5, 6});
+  EXPECT_NEAR(m[0x4D], 1.0, 1e-6);
+}
+
+TEST(Marginals, RejectsBadRequests) {
+  auto engine = make_engine(EngineKind::kMemQSim, 5, cfg3());
+  engine->run(circuit::make_ghz(5));
+  EXPECT_THROW((void)engine->marginal_probabilities({}), Error);
+  EXPECT_THROW((void)engine->marginal_probabilities({9}), Error);
+  std::vector<qubit_t> too_many(21, 0);
+  EXPECT_THROW((void)engine->marginal_probabilities(too_many), Error);
+}
+
+}  // namespace
+}  // namespace memq::core

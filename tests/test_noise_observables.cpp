@@ -1,0 +1,153 @@
+// Trajectory noise sampling + Pauli-sum observables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/noise.hpp"
+#include "circuit/workloads.hpp"
+#include "common/stats.hpp"
+#include "core/observables.hpp"
+
+namespace memq {
+namespace {
+
+using circuit::Circuit;
+using circuit::NoiseModel;
+using circuit::sample_noisy_trajectory;
+
+TEST(Noise, ZeroNoiseIsIdentityTransform) {
+  const Circuit c = circuit::make_qft(5);
+  const Circuit noisy = sample_noisy_trajectory(c, {}, 7);
+  ASSERT_EQ(noisy.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(noisy[i], c[i]);
+}
+
+TEST(Noise, DeterministicInSeed) {
+  NoiseModel model;
+  model.depolarizing_1q = 0.2;
+  model.depolarizing_2q = 0.3;
+  const Circuit c = circuit::make_random_circuit(5, 5, 3);
+  const Circuit a = sample_noisy_trajectory(c, model, 42);
+  const Circuit b = sample_noisy_trajectory(c, model, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  const Circuit other = sample_noisy_trajectory(c, model, 43);
+  EXPECT_NE(other.size(), 0u);
+}
+
+TEST(Noise, InsertionRateMatchesProbability) {
+  NoiseModel model;
+  model.bit_flip = 0.25;
+  Circuit c(1);
+  for (int i = 0; i < 4000; ++i) c.h(0);
+  const Circuit noisy = sample_noisy_trajectory(c, model, 5);
+  const std::size_t inserted = noisy.size() - c.size();
+  // Binomial(4000, 0.25): mean 1000, sigma ~ 27.
+  EXPECT_NEAR(static_cast<double>(inserted), 1000.0, 5 * 27.0);
+}
+
+TEST(Noise, MeasureAndBarrierUntouched) {
+  NoiseModel model;
+  model.bit_flip = 1.0;  // would insert after every unitary
+  Circuit c(2);
+  c.measure(0);
+  c.append(circuit::Gate::barrier({0, 1}));
+  const Circuit noisy = sample_noisy_trajectory(c, model, 1);
+  EXPECT_EQ(noisy.size(), 2u);
+}
+
+TEST(Noise, BadProbabilityRejected) {
+  NoiseModel model;
+  model.depolarizing_1q = 1.5;
+  EXPECT_THROW(sample_noisy_trajectory(Circuit(1), model, 0), Error);
+}
+
+TEST(Noise, GhzCorrelationDecaysWithNoise) {
+  // Average ZZ parity of GHZ over trajectories decreases monotonically in p
+  // (each Z/X error flips parity correlations with some probability).
+  constexpr qubit_t n = 4;
+  const Circuit ghz = circuit::make_ghz(n);
+  const auto mean_xn = [&](double p) {
+    NoiseModel model;
+    model.depolarizing_1q = p;
+    model.depolarizing_2q = p;
+    RunningStats st;
+    core::EngineConfig cfg;
+    cfg.chunk_qubits = 2;
+    for (std::uint64_t t = 0; t < 40; ++t) {
+      auto engine = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+      engine->run(sample_noisy_trajectory(ghz, model, 100 + t));
+      st.add(engine->expectation({std::string(n, 'X')}));
+    }
+    return st.mean();
+  };
+  const double clean = mean_xn(0.0);
+  const double mild = mean_xn(0.05);
+  const double heavy = mean_xn(0.4);
+  EXPECT_NEAR(clean, 1.0, 1e-9);
+  EXPECT_LT(mild, clean);
+  EXPECT_LT(heavy, mild + 0.15);  // allow trajectory-sampling slack
+  EXPECT_LT(heavy, 0.5);
+}
+
+TEST(Observables, TfimProductStateEnergies) {
+  constexpr qubit_t n = 6;
+  const auto h = core::PauliSum::tfim_chain(n, 1.0, 0.5);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 3;
+
+  // |000000>: all ZZ terms give -J*(n-1); X terms vanish.
+  auto zeros = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+  zeros->run(Circuit(n));
+  EXPECT_NEAR(core::expectation(*zeros, h), -(static_cast<double>(n) - 1), 1e-6);
+
+  // |++++++>: ZZ terms vanish, X terms give -h*n.
+  auto plus = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+  Circuit prep(n);
+  for (qubit_t q = 0; q < n; ++q) prep.h(q);
+  plus->run(prep);
+  EXPECT_NEAR(core::expectation(*plus, h), -0.5 * static_cast<double>(n), 1e-6);
+}
+
+TEST(Observables, MaxCutCountsCutEdges) {
+  constexpr qubit_t n = 4;
+  const std::vector<std::pair<qubit_t, qubit_t>> edges{{0, 1}, {1, 2}, {2, 3}};
+  const auto h = core::PauliSum::maxcut(n, edges);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 2;
+  // |0101>: qubits 0,2 = 0 and 1,3 = 1 cuts all three edges.
+  auto engine = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+  Circuit prep(n);
+  prep.x(1).x(3);
+  engine->run(prep);
+  EXPECT_NEAR(core::expectation(*engine, h), 3.0, 1e-6);
+  // |0011> cuts only edge (1,2).
+  auto engine2 = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+  Circuit prep2(n);
+  prep2.x(2).x(3);
+  engine2->run(prep2);
+  EXPECT_NEAR(core::expectation(*engine2, h), 1.0, 1e-6);
+}
+
+TEST(Observables, MaxCutRejectsBadEdges) {
+  EXPECT_THROW(core::PauliSum::maxcut(3, {{0, 5}}), Error);
+  EXPECT_THROW(core::PauliSum::maxcut(3, {{1, 1}}), Error);
+}
+
+TEST(Observables, AgreesWithDenseEngine) {
+  constexpr qubit_t n = 6;
+  const Circuit c = circuit::make_random_circuit(n, 6, 13);
+  const auto h = core::PauliSum::tfim_chain(n, 0.7, 1.3);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 3;
+  cfg.codec.bound = 1e-9;
+  auto memq = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+  auto dense = core::make_engine(core::EngineKind::kDense, n, cfg);
+  memq->run(c);
+  dense->run(c);
+  EXPECT_NEAR(core::expectation(*memq, h), core::expectation(*dense, h),
+              1e-5);
+}
+
+}  // namespace
+}  // namespace memq

@@ -1,0 +1,184 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/workloads.hpp"
+#include "common/error.hpp"
+#include "core/chunk_exec.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+TEST(Partitioner, AllLocalCircuitIsOneStage) {
+  Circuit c(8);
+  c.h(0).cx(0, 1).t(2).swap(1, 3).rz(7, 0.5);  // rz(7) diagonal => local
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kLocal);
+  EXPECT_EQ(plan.stages[0].gates.size(), 5u);
+  EXPECT_EQ(plan.stats.local_stages, 1u);
+  EXPECT_EQ(plan.stats.gates_in_local, 5u);
+}
+
+TEST(Partitioner, PairStageGroupsSameHighQubit) {
+  Circuit c(8);
+  c.h(6).rx(6, 0.2).ry(6, 0.3);
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kPair);
+  EXPECT_EQ(plan.stages[0].pair_qubit, 6u);
+  EXPECT_EQ(plan.stages[0].gates.size(), 3u);
+}
+
+TEST(Partitioner, DifferentHighQubitsSplitStages) {
+  Circuit c(8);
+  c.h(5).h(6);
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_EQ(plan.stages[0].pair_qubit, 5u);
+  EXPECT_EQ(plan.stages[1].pair_qubit, 6u);
+}
+
+TEST(Partitioner, LocalRunAbsorbedIntoPairStage) {
+  Circuit c(8);
+  c.h(0).t(1).h(6);  // locals then a pair gate
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kPair);
+  EXPECT_EQ(plan.stages[0].gates.size(), 3u);
+}
+
+TEST(Partitioner, LocalsAfterPairJoinIt) {
+  Circuit c(8);
+  c.h(6).h(0).t(1);
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kPair);
+}
+
+TEST(Partitioner, PureXPermute) {
+  Circuit c(8);
+  c.x(6);
+  c.append(Gate::cx(5, 7));  // control 5 >= c: still pure permute
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kPermute);
+  EXPECT_EQ(plan.stages[1].kind, StageKind::kPermute);
+}
+
+TEST(Partitioner, XWithLocalControlIsPair) {
+  Circuit c(8);
+  c.append(Gate::cx(0, 6));
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kPair);
+}
+
+TEST(Partitioner, HighSwapIsPermute) {
+  Circuit c(8);
+  c.swap(5, 7);
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kPermute);
+}
+
+TEST(Partitioner, MixedSwapLoweredToCx) {
+  Circuit c(8);
+  c.swap(0, 6);
+  const StagePlan plan = partition(c, 4);
+  // cx(0->6): pair on 6; cx(6->0): local with high control; cx(0->6): pair.
+  // The middle local gate joins the first pair stage (same run), so we get
+  // pair(6) stages; count total gates = 3.
+  std::size_t total = 0;
+  for (const auto& st : plan.stages) {
+    EXPECT_NE(st.kind, StageKind::kPermute);
+    total += st.gates.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Partitioner, MeasureIsItsOwnStage) {
+  Circuit c(8);
+  c.h(0).measure(0).h(1);
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 3u);
+  EXPECT_EQ(plan.stages[0].kind, StageKind::kLocal);
+  EXPECT_EQ(plan.stages[1].kind, StageKind::kMeasure);
+  EXPECT_EQ(plan.stages[2].kind, StageKind::kLocal);
+}
+
+TEST(Partitioner, BarriersAreDropped) {
+  Circuit c(8);
+  c.h(0);
+  c.append(Gate::barrier({0, 1}));
+  c.h(1);
+  const StagePlan plan = partition(c, 4);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  EXPECT_EQ(plan.stages[0].gates.size(), 2u);
+}
+
+TEST(Partitioner, StageInvariantsOnWorkloads) {
+  for (const auto& name : circuit::workload_names()) {
+    const Circuit c = circuit::make_workload(name, 8, 7);
+    for (qubit_t chunk_q : {3u, 5u}) {
+      const StagePlan plan = partition(c, chunk_q);
+      for (const Stage& st : plan.stages) {
+        switch (st.kind) {
+          case StageKind::kLocal:
+            for (const Gate& g : st.gates)
+              EXPECT_TRUE(is_chunk_local(g, chunk_q))
+                  << name << ": " << g.to_string();
+            break;
+          case StageKind::kPair:
+            for (const Gate& g : st.gates) {
+              if (is_chunk_local(g, chunk_q)) continue;
+              qubit_t high = 0;
+              int n_high = 0;
+              for (const qubit_t t : g.targets)
+                if (t >= chunk_q) {
+                  high = t;
+                  ++n_high;
+                }
+              EXPECT_EQ(n_high, 1) << name << ": " << g.to_string();
+              EXPECT_EQ(high, st.pair_qubit) << name << ": " << g.to_string();
+            }
+            break;
+          case StageKind::kPermute:
+            ASSERT_EQ(st.gates.size(), 1u);
+            break;
+          case StageKind::kMeasure:
+            ASSERT_EQ(st.gates.size(), 1u);
+            EXPECT_TRUE(st.gates[0].is_nonunitary());
+            break;
+        }
+      }
+    }
+  }
+}
+
+TEST(Partitioner, LocalityMetricFavorsLocalRuns) {
+  // GHZ at large chunks: the CX ladder below the chunk boundary is local;
+  // gates per codec pass must exceed 1 (the Wu-style per-gate cost).
+  const Circuit ghz = circuit::make_ghz(10);
+  const StagePlan coarse = partition(ghz, 8);
+  EXPECT_GT(coarse.stats.gates_per_codec_pass(), 1.0);
+  // Tiny chunks: most of the CX ladder leaves the local regime.
+  const StagePlan fine = partition(ghz, 2);
+  EXPECT_GT(fine.stats.pair_stages + fine.stats.permute_stages,
+            coarse.stats.pair_stages + coarse.stats.permute_stages);
+  EXPECT_GT(coarse.stats.gates_per_codec_pass(),
+            fine.stats.gates_per_codec_pass());
+}
+
+TEST(Partitioner, RejectsBadChunkSize) {
+  Circuit c(4);
+  EXPECT_THROW(partition(c, 0), Error);
+  EXPECT_THROW(partition(c, 5), Error);
+}
+
+}  // namespace
+}  // namespace memq::core

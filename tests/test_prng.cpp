@@ -1,0 +1,96 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace memq {
+namespace {
+
+TEST(Prng, Deterministic) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, SeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(3);
+  RunningStats st;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    st.add(u);
+  }
+  EXPECT_NEAR(st.mean(), 0.5, 0.01);
+  EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Prng, UniformRange) {
+  Prng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 3.0);
+  }
+}
+
+TEST(Prng, UniformIndexUnbiased) {
+  Prng rng(5);
+  constexpr std::uint64_t n = 7;
+  std::vector<std::uint64_t> counts(n, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_index(n)];
+  const std::vector<double> expected(n, 1.0 / static_cast<double>(n));
+  const double stat = chi_squared(counts, expected);
+  EXPECT_LT(stat, chi_squared_critical(n - 1, 0.001));
+}
+
+TEST(Prng, UniformIndexEdgeCases) {
+  Prng rng(6);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Prng, NormalMoments) {
+  Prng rng(7);
+  RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Prng, JumpDecorrelates) {
+  Prng a(42);
+  Prng b(42);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  Prng rng(9);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+}
+
+}  // namespace
+}  // namespace memq

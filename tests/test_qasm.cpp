@@ -1,0 +1,261 @@
+#include "circuit/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::circuit {
+namespace {
+
+TEST(Qasm, MinimalProgram) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0], q[1];
+)");
+  EXPECT_EQ(prog.circuit.n_qubits(), 2u);
+  ASSERT_EQ(prog.circuit.size(), 2u);
+  EXPECT_EQ(prog.circuit[0].kind, GateKind::kH);
+  EXPECT_EQ(prog.circuit[1].kind, GateKind::kX);
+  EXPECT_EQ(prog.circuit[1].controls[0], 0u);
+}
+
+TEST(Qasm, NativeGateZoo) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+x q[0]; y q[0]; z q[0]; s q[1]; sdg q[1]; t q[2]; tdg q[2];
+rx(0.5) q[0]; ry(pi/2) q[1]; rz(-pi/4) q[2];
+u1(0.1) q[0]; u2(0.1,0.2) q[1]; u3(0.1,0.2,0.3) q[2];
+cz q[0], q[1]; cy q[1], q[2]; ch q[0], q[2];
+swap q[0], q[1]; ccx q[0], q[1], q[2]; cswap q[0], q[1], q[2];
+crz(0.3) q[0], q[1]; cu1(0.4) q[1], q[2];
+)");
+  EXPECT_EQ(prog.circuit.size(), 21u);
+  // Spot check a few kinds.
+  EXPECT_EQ(prog.circuit[9].kind, GateKind::kRZ);
+  EXPECT_NEAR(prog.circuit[9].params[0], -kPi / 4, 1e-15);
+  EXPECT_EQ(prog.circuit[20].kind, GateKind::kPhase);  // cu1 -> controlled p
+  EXPECT_EQ(prog.circuit[20].controls.size(), 1u);
+}
+
+TEST(Qasm, ExpressionGrammar) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[1];
+U(2*pi/4, -pi^2/pi, sin(pi/2)+cos(0)) q[0];
+)");
+  ASSERT_EQ(prog.circuit.size(), 1u);
+  const auto& p = prog.circuit[0].params;
+  EXPECT_NEAR(p[0], kPi / 2, 1e-12);
+  EXPECT_NEAR(p[1], -kPi, 1e-12);
+  EXPECT_NEAR(p[2], 2.0, 1e-12);
+}
+
+TEST(Qasm, WholeRegisterBroadcast) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q;
+)");
+  EXPECT_EQ(prog.circuit.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(prog.circuit[i].kind, GateKind::kH);
+}
+
+TEST(Qasm, TwoRegisterBroadcastCx) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[3];
+qreg b[3];
+cx a, b;
+)");
+  EXPECT_EQ(prog.circuit.n_qubits(), 6u);
+  EXPECT_EQ(prog.circuit.size(), 3u);
+  EXPECT_EQ(prog.circuit[2].controls[0], 2u);
+  EXPECT_EQ(prog.circuit[2].targets[0], 5u);
+}
+
+TEST(Qasm, BroadcastSizeMismatchFails) {
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[3];
+cx a, b;
+)"),
+               ParseError);
+}
+
+TEST(Qasm, UserGateDefinition) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+gate bell a, b { h a; cx a, b; }
+gate rot(ang) a { rz(ang/2) a; rz(ang/2) a; }
+qreg q[2];
+bell q[0], q[1];
+rot(1.0) q[1];
+)");
+  ASSERT_EQ(prog.circuit.size(), 4u);
+  EXPECT_EQ(prog.circuit[0].kind, GateKind::kH);
+  EXPECT_EQ(prog.circuit[3].kind, GateKind::kRZ);
+  EXPECT_DOUBLE_EQ(prog.circuit[3].params[0], 0.5);
+}
+
+TEST(Qasm, NestedGateDefinitions) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+gate inner a { x a; }
+gate outer a, b { inner a; cx a, b; inner b; }
+qreg q[2];
+outer q[0], q[1];
+)");
+  ASSERT_EQ(prog.circuit.size(), 3u);
+  EXPECT_EQ(prog.circuit[0].kind, GateKind::kX);
+  EXPECT_TRUE(prog.circuit[0].controls.empty());
+}
+
+TEST(Qasm, Qelib1ExpansionMatchesNative) {
+  // cu3 has no native kind: it must expand to u1/cx/u3 and produce the same
+  // state as the textbook decomposition.
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cu3(0.5, 0.6, 0.7) q[0], q[1];
+)");
+  EXPECT_GT(prog.circuit.size(), 2u);
+  sv::Simulator sim(2);
+  sim.run(prog.circuit);
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-12);
+}
+
+TEST(Qasm, MeasureAndRegisters) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+measure q[0] -> c[0];
+measure q -> c;
+)");
+  EXPECT_EQ(prog.measurements.size(), 3u);
+  EXPECT_EQ(prog.measurements[0], (std::pair<qubit_t, qubit_t>{0, 0}));
+  EXPECT_EQ(prog.cregs.at("c").size, 2u);
+  EXPECT_EQ(prog.circuit.stats().n_measure, 3u);
+}
+
+TEST(Qasm, ResetAndBarrier) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+barrier q;
+reset q[0];
+)");
+  EXPECT_EQ(prog.circuit.size(), 3u);
+  EXPECT_EQ(prog.circuit[1].kind, GateKind::kBarrier);
+  EXPECT_EQ(prog.circuit[2].kind, GateKind::kReset);
+}
+
+TEST(Qasm, OpaqueIsSkipped) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+opaque mystery(a, b) q, r;
+qreg q[1];
+U(0,0,0) q[0];
+)");
+  EXPECT_EQ(prog.circuit.size(), 1u);
+}
+
+TEST(Qasm, Comments) {
+  const auto prog = parse_qasm(
+      "OPENQASM 2.0; // header\nqreg q[1]; // reg\n// nothing\nU(0,0,0) "
+      "q[0];\n");
+  EXPECT_EQ(prog.circuit.size(), 1u);
+}
+
+TEST(Qasm, ErrorsCarryLocation) {
+  try {
+    parse_qasm("OPENQASM 2.0;\nqreg q[2];\nbadgate q[0];\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("badgate"), std::string::npos);
+  }
+}
+
+TEST(Qasm, RejectsClassicalConditionals) {
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+if (c==1) x q[0];
+)"),
+               ParseError);
+}
+
+TEST(Qasm, RejectsBadIndices) {
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nU(0,0,0) q[2];\n"),
+               ParseError);
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[0];\n"), ParseError);
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\nqreg q[2];\nqreg q[3];\n"),
+               ParseError);
+}
+
+TEST(Qasm, RejectsWrongArity) {
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rx(0.1, 0.2) q[0];
+)"),
+               ParseError);
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+cx q[0];
+)"),
+               ParseError);
+}
+
+TEST(Qasm, EmptyProgramYieldsEmptyCircuit) {
+  const auto prog = parse_qasm("OPENQASM 2.0;\nqreg q[3];\n");
+  EXPECT_EQ(prog.circuit.n_qubits(), 3u);
+  EXPECT_TRUE(prog.circuit.empty());
+}
+
+TEST(Qasm, RoundTripThroughToQasm) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(2, 0.25).ccx(0, 1, 2).swap(1, 2).t(0).measure(0);
+  const std::string text = to_qasm(c);
+  const auto prog = parse_qasm(text);
+  ASSERT_EQ(prog.circuit.size(), c.size());
+  // Equivalence via the simulator (ignoring the measure at the end).
+  Circuit c2(3), r2(3);
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) c2.append(c[i]);
+  for (std::size_t i = 0; i + 1 < prog.circuit.size(); ++i)
+    r2.append(prog.circuit[i]);
+  sv::Simulator a(3), b(3);
+  a.run(c2);
+  b.run(r2);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace memq::circuit

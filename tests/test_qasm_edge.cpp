@@ -1,0 +1,174 @@
+// QASM parser edge cases beyond the core suite: shadowing, numeric formats,
+// deep nesting, qelib1 long-tail gates, and error quality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/qasm.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::circuit {
+namespace {
+
+TEST(QasmEdge, NumericLiteralFormats) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[1];
+U(1e-2, .5, 2.5E+1) q[0];
+)");
+  ASSERT_EQ(prog.circuit.size(), 1u);
+  EXPECT_DOUBLE_EQ(prog.circuit[0].params[0], 0.01);
+  EXPECT_DOUBLE_EQ(prog.circuit[0].params[1], 0.5);
+  EXPECT_DOUBLE_EQ(prog.circuit[0].params[2], 25.0);
+}
+
+TEST(QasmEdge, FirstGateDefinitionWins) {
+  // Redefining a qelib1 name keeps the original (native) meaning — the
+  // "first definition wins" rule documented in the parser.
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+gate h a { x a; }
+qreg q[1];
+h q[0];
+)");
+  ASSERT_EQ(prog.circuit.size(), 1u);
+  EXPECT_EQ(prog.circuit[0].kind, GateKind::kH);
+}
+
+TEST(QasmEdge, DeeplyNestedDefinitions) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+gate l1(t) a { rz(t) a; }
+gate l2(t) a { l1(t/2) a; l1(t/2) a; }
+gate l3(t) a { l2(t*2) a; }
+gate l4(t) a, b { l3(t) a; l3(-t) b; }
+qreg q[2];
+l4(0.5) q[0], q[1];
+)");
+  ASSERT_EQ(prog.circuit.size(), 4u);
+  EXPECT_DOUBLE_EQ(prog.circuit[0].params[0], 0.5);
+  EXPECT_DOUBLE_EQ(prog.circuit[2].params[0], -0.5);
+}
+
+TEST(QasmEdge, Qelib1LongTailGates) {
+  // crx / cry / rzz / sx / u0 come from the embedded qelib1 definitions.
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+crx(0.3) q[0], q[1];
+cry(0.4) q[0], q[1];
+rzz(0.5) q[0], q[1];
+u0(1) q[0];
+)");
+  sv::Simulator sim(2);
+  sim.run(prog.circuit);
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-12);
+  // Everything controlled on |0> controls: state remains |00>.
+  EXPECT_NEAR(std::abs(sim.state().amplitude(0)), 1.0, 1e-9);
+}
+
+TEST(QasmEdge, CryMatchesNativeControlledRy) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cry(0.8) q[0], q[1];
+)");
+  sv::Simulator a(2), b(2);
+  a.run(prog.circuit);
+  Circuit native(2);
+  native.h(0);
+  native.append(Gate::ry(1, 0.8).with_controls({0}));
+  b.run(native);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-12);
+}
+
+TEST(QasmEdge, WholeRegisterReset) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q;
+reset q;
+)");
+  EXPECT_EQ(prog.circuit.size(), 6u);
+  sv::Simulator sim(3);
+  sim.run(prog.circuit);
+  EXPECT_NEAR(std::abs(sim.state().amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(QasmEdge, GateBodyBarrierIgnored) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+gate fenced a, b { h a; barrier a, b; cx a, b; }
+qreg q[2];
+fenced q[0], q[1];
+)");
+  EXPECT_EQ(prog.circuit.size(), 2u);
+}
+
+TEST(QasmEdge, MissingIncludeFileFails) {
+  EXPECT_THROW(parse_qasm("OPENQASM 2.0;\ninclude \"nope.inc\";\n"),
+               ParseError);
+}
+
+TEST(QasmEdge, MeasureShapeMismatchFails) {
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[2];
+measure q -> c;
+)"),
+               ParseError);
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+measure q[0] -> c;
+)"),
+               ParseError);
+}
+
+TEST(QasmEdge, SelfReferentialGateFails) {
+  // A gate calling itself should be rejected (unknown at definition use
+  // time -> the body op resolves to... itself recursively at APPLY time;
+  // our expander must not hang). First-definition-wins means the inner
+  // call resolves to the same def: guard via the unknown-name error when
+  // no base case exists.
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+gate loop a { loop a; }
+qreg q[1];
+loop q[0];
+)"),
+               Error);
+}
+
+TEST(QasmEdge, UnterminatedGateBodyFails) {
+  EXPECT_THROW(parse_qasm(R"(
+OPENQASM 2.0;
+gate broken a { h a;
+qreg q[1];
+)"),
+               ParseError);
+}
+
+TEST(QasmEdge, DivisionInExpressions) {
+  const auto prog = parse_qasm(R"(
+OPENQASM 2.0;
+qreg q[1];
+U(pi/2/2, 3/4/3, 0) q[0];
+)");
+  EXPECT_NEAR(prog.circuit[0].params[0], kPi / 4, 1e-12);
+  EXPECT_NEAR(prog.circuit[0].params[1], 0.25, 1e-12);  // left associative
+}
+
+}  // namespace
+}  // namespace memq::circuit

@@ -1,0 +1,175 @@
+#include "sv/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/workloads.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace memq::sv {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+TEST(Simulator, BellState) {
+  Simulator sim(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sim.run(c);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(sim.state().amplitude(0) - amp_t{inv_sqrt2, 0}), 0,
+              1e-12);
+  EXPECT_NEAR(std::abs(sim.state().amplitude(3) - amp_t{inv_sqrt2, 0}), 0,
+              1e-12);
+  EXPECT_NEAR(std::abs(sim.state().amplitude(1)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(sim.state().amplitude(2)), 0, 1e-12);
+}
+
+TEST(Simulator, NormPreservedOnRandomCircuit) {
+  Simulator sim(8);
+  sim.run(circuit::make_random_circuit(8, 20, 77));
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-10);
+}
+
+TEST(Simulator, CircuitThenInverseIsIdentity) {
+  const Circuit c = circuit::make_random_circuit(6, 10, 5);
+  Simulator sim(6);
+  sim.run(c);
+  sim.run(c.inverse());
+  EXPECT_NEAR(std::abs(sim.state().amplitude(0)), 1.0, 1e-9);
+}
+
+TEST(Simulator, QftOfZeroIsUniform) {
+  constexpr qubit_t n = 5;
+  Simulator sim(n);
+  sim.run(circuit::make_qft(n));
+  const double expected = 1.0 / std::sqrt(static_cast<double>(dim_of(n)));
+  for (index_t i = 0; i < dim_of(n); ++i) {
+    EXPECT_NEAR(sim.state().amplitude(i).real(), expected, 1e-10);
+    EXPECT_NEAR(sim.state().amplitude(i).imag(), 0.0, 1e-10);
+  }
+}
+
+TEST(Simulator, QftThenInverseQft) {
+  constexpr qubit_t n = 6;
+  Simulator sim(n);
+  Circuit prep(n);
+  prep.x(1).x(4);  // |010010>
+  sim.run(prep);
+  sim.run(circuit::make_qft(n));
+  sim.run(circuit::make_iqft(n));
+  EXPECT_NEAR(std::abs(sim.state().amplitude(0b010010)), 1.0, 1e-9);
+}
+
+TEST(Simulator, GhzProbabilities) {
+  constexpr qubit_t n = 7;
+  Simulator sim(n);
+  sim.run(circuit::make_ghz(n));
+  const auto p = sim.state().probabilities();
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[dim_of(n) - 1], 0.5, 1e-12);
+  for (index_t i = 1; i + 1 < dim_of(n); ++i) EXPECT_NEAR(p[i], 0.0, 1e-15);
+}
+
+TEST(Simulator, MeasurementCollapsesGhz) {
+  Simulator sim(5, /*seed=*/42);
+  sim.run(circuit::make_ghz(5));
+  const bool first = sim.measure(0);
+  // After measuring one qubit of GHZ, all qubits agree.
+  for (qubit_t q = 1; q < 5; ++q)
+    EXPECT_NEAR(sim.state().probability_one(q), first ? 1.0 : 0.0, 1e-12);
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-12);
+}
+
+TEST(Simulator, MeasurementStatisticsUnbiased) {
+  // P(1) = sin^2(0.6/2) for ry(0.6).
+  const double p1 = std::sin(0.3) * std::sin(0.3);
+  int ones = 0;
+  constexpr int kTrials = 4000;
+  Simulator sim(1, 9);
+  Circuit c(1);
+  c.ry(0, 0.6);
+  for (int i = 0; i < kTrials; ++i) {
+    sim.reset();
+    sim.run(c);
+    if (sim.measure(0)) ++ones;
+  }
+  const double phat = static_cast<double>(ones) / kTrials;
+  EXPECT_NEAR(phat, p1, 5.0 * std::sqrt(p1 * (1 - p1) / kTrials));
+}
+
+TEST(Simulator, ResetGateForcesZero) {
+  Simulator sim(2, 7);
+  Circuit c(2);
+  c.h(0).h(1).append(Gate::reset(0));
+  sim.run(c);
+  EXPECT_NEAR(sim.state().probability_one(0), 0.0, 1e-12);
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-12);
+  EXPECT_EQ(sim.measurement_record().size(), 1u);
+}
+
+TEST(Simulator, SampleCountsMatchDistribution) {
+  Simulator sim(3, 11);
+  Circuit c(3);
+  c.h(0).h(1).h(2);
+  sim.run(c);
+  constexpr std::size_t kShots = 16000;
+  const auto counts = sim.sample_counts(kShots);
+  std::vector<std::uint64_t> observed(8, 0);
+  std::uint64_t total = 0;
+  for (const auto& [basis, cnt] : counts) {
+    observed[basis] = cnt;
+    total += cnt;
+  }
+  EXPECT_EQ(total, kShots);
+  const std::vector<double> expected(8, 0.125);
+  EXPECT_LT(chi_squared(observed, expected), chi_squared_critical(7, 0.001));
+}
+
+TEST(Simulator, SamplingDoesNotCollapse) {
+  Simulator sim(2, 13);
+  Circuit c(2);
+  c.h(0);
+  sim.run(c);
+  (void)sim.sample_counts(100);
+  EXPECT_NEAR(sim.state().probability_one(0), 0.5, 1e-12);
+}
+
+TEST(Simulator, ExpectationValues) {
+  Simulator sim(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);  // Bell
+  sim.run(c);
+  EXPECT_NEAR(sim.expectation({"ZZ"}), 1.0, 1e-12);
+  EXPECT_NEAR(sim.expectation({"XX"}), 1.0, 1e-12);
+  EXPECT_NEAR(sim.expectation({"YY"}), -1.0, 1e-12);
+  EXPECT_NEAR(sim.expectation({"ZI"}), 0.0, 1e-12);
+  EXPECT_NEAR(sim.expectation({"II"}), 1.0, 1e-12);
+}
+
+TEST(Simulator, ExpectationRejectsBadString) {
+  Simulator sim(2);
+  EXPECT_THROW((void)sim.expectation({"Z"}), Error);
+  EXPECT_THROW((void)sim.expectation({"ZQ"}), Error);
+}
+
+TEST(Simulator, RunRejectsWrongWidth) {
+  Simulator sim(3);
+  Circuit c(4);
+  EXPECT_THROW(sim.run(c), Error);
+}
+
+TEST(Simulator, MeasureGateRecordsOutcome) {
+  Simulator sim(1, 21);
+  Circuit c(1);
+  c.x(0).measure(0);
+  sim.run(c);
+  ASSERT_EQ(sim.measurement_record().size(), 1u);
+  EXPECT_TRUE(sim.measurement_record()[0]);
+}
+
+}  // namespace
+}  // namespace memq::sv

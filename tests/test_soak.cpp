@@ -1,0 +1,137 @@
+// Soak and cross-feature interaction tests: long interleavings of run /
+// measure / checkpoint / query against invariants, plus bounded-value
+// properties of the observable machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "circuit/noise.hpp"
+#include "circuit/workloads.hpp"
+#include "common/prng.hpp"
+#include "core/engine.hpp"
+#include "core/observables.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Circuit;
+
+EngineConfig soak_cfg() {
+  EngineConfig cfg;
+  cfg.chunk_qubits = 3;
+  cfg.codec.bound = 1e-8;
+  return cfg;
+}
+
+TEST(Soak, LongInterleavedSession) {
+  // 30 rounds of random segments, measurements, checkpoints and queries;
+  // the norm must stay pinned at 1 and every query must stay sane.
+  constexpr qubit_t n = 7;
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "memq_soak.ckpt").string();
+  auto engine = make_engine(EngineKind::kMemQSim, n, soak_cfg());
+  Prng rng(777);
+  for (int round = 0; round < 30; ++round) {
+    switch (rng.uniform_index(5)) {
+      case 0:
+        engine->run(circuit::make_random_circuit(n, 2, 1000 + round));
+        break;
+      case 1: {
+        Circuit c(n);
+        c.measure(static_cast<qubit_t>(rng.uniform_index(n)));
+        engine->run(c);
+        break;
+      }
+      case 2:
+        engine->save_state(ckpt);
+        engine->run(circuit::make_random_circuit(n, 1, 2000 + round));
+        engine->load_state(ckpt);  // rewind
+        break;
+      case 3: {
+        const auto counts = engine->sample_counts(50);
+        std::uint64_t total = 0;
+        for (const auto& [k, v] : counts) total += v;
+        ASSERT_EQ(total, 50u);
+        break;
+      }
+      default: {
+        std::string ops(n, 'I');
+        ops[rng.uniform_index(n)] = 'Z';
+        const double e = engine->expectation({ops});
+        ASSERT_LE(std::fabs(e), 1.0 + 1e-6);
+        break;
+      }
+    }
+    ASSERT_NEAR(engine->norm(), 1.0, 1e-5) << "round " << round;
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(Soak, PauliExpectationsAreBounded) {
+  // |<P>| <= 1 on any normalized state, for random Pauli strings.
+  constexpr qubit_t n = 6;
+  auto engine = make_engine(EngineKind::kMemQSim, n, soak_cfg());
+  engine->run(circuit::make_random_circuit(n, 5, 99));
+  Prng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string ops(n, 'I');
+    for (qubit_t q = 0; q < n; ++q) ops[q] = "IXYZ"[rng.uniform_index(4)];
+    EXPECT_LE(std::fabs(engine->expectation({ops})), 1.0 + 1e-6) << ops;
+  }
+}
+
+TEST(Soak, PauliSumIsLinear) {
+  constexpr qubit_t n = 5;
+  auto engine = make_engine(EngineKind::kMemQSim, n, soak_cfg());
+  engine->run(circuit::make_random_circuit(n, 4, 55));
+
+  PauliSum a, b, combined;
+  a.terms = {{0.7, "ZIIII"}, {-0.3, "XXIII"}};
+  b.terms = {{1.1, "IIZZI"}, {0.2, "YIIIY"}};
+  combined.terms = a.terms;
+  combined.terms.insert(combined.terms.end(), b.terms.begin(), b.terms.end());
+  EXPECT_NEAR(expectation(*engine, combined),
+              expectation(*engine, a) + expectation(*engine, b), 1e-9);
+
+  PauliSum scaled = a;
+  for (auto& t : scaled.terms) t.coefficient *= 2.5;
+  EXPECT_NEAR(expectation(*engine, scaled), 2.5 * expectation(*engine, a),
+              1e-9);
+}
+
+TEST(Soak, NoisyTrajectoriesKeepEngineHealthy) {
+  // Trajectory circuits vary in length; the engine must absorb dozens of
+  // them back-to-back via reset() without leaking state or telemetry.
+  constexpr qubit_t n = 6;
+  circuit::NoiseModel model;
+  model.depolarizing_1q = 0.05;
+  auto engine = make_engine(EngineKind::kMemQSim, n, soak_cfg());
+  const Circuit base = circuit::make_ghz(n);
+  for (int t = 0; t < 25; ++t) {
+    engine->reset();
+    engine->run(circuit::sample_noisy_trajectory(base, model, 40 + t));
+    ASSERT_NEAR(engine->norm(), 1.0, 1e-6) << t;
+  }
+}
+
+TEST(Soak, RepeatedSaveLoadDoesNotDrift) {
+  // A checkpoint round-trip is byte-exact on the compressed form: 20
+  // cycles must reproduce the identical state (no recompression churn).
+  constexpr qubit_t n = 6;
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "memq_drift.ckpt").string();
+  auto engine = make_engine(EngineKind::kMemQSim, n, soak_cfg());
+  engine->run(circuit::make_qft(n));
+  const auto snapshot = engine->to_dense();
+  for (int i = 0; i < 20; ++i) {
+    engine->save_state(ckpt);
+    engine->load_state(ckpt);
+  }
+  EXPECT_EQ(engine->to_dense().max_abs_diff(snapshot), 0.0);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace memq::core

@@ -1,0 +1,119 @@
+// load_dense ingestion and the Grover-capable QASM export path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/qasm.hpp"
+#include "circuit/workloads.hpp"
+#include "common/prng.hpp"
+#include "core/engine.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Circuit;
+
+EngineConfig cfg3() {
+  EngineConfig cfg;
+  cfg.chunk_qubits = 3;
+  cfg.codec.bound = 1e-9;
+  return cfg;
+}
+
+std::vector<amp_t> random_normalized(qubit_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<amp_t> v(dim_of(n));
+  double norm = 0;
+  for (auto& a : v) {
+    a = rng.normal_amp();
+    norm += std::norm(a);
+  }
+  const double inv = 1.0 / std::sqrt(norm);
+  for (auto& a : v) a *= inv;
+  return v;
+}
+
+TEST(LoadDense, IngestedStateMatchesOnAllEngines) {
+  constexpr qubit_t n = 7;
+  const auto amps = random_normalized(n, 4);
+  for (const EngineKind kind : {EngineKind::kDense, EngineKind::kWu,
+                                EngineKind::kMemQSim}) {
+    auto engine = make_engine(kind, n, cfg3());
+    engine->load_dense(amps);
+    const auto back = engine->to_dense();
+    for (index_t i = 0; i < dim_of(n); ++i)
+      ASSERT_LT(std::abs(back.amplitude(i) - amps[i]), 1e-6)
+          << engine_kind_name(kind) << " index " << i;
+  }
+}
+
+TEST(LoadDense, EvolutionContinuesFromIngestedState) {
+  constexpr qubit_t n = 6;
+  const auto amps = random_normalized(n, 9);
+  const Circuit c = circuit::make_qft(n);
+
+  auto memq = make_engine(EngineKind::kMemQSim, n, cfg3());
+  memq->load_dense(amps);
+  memq->run(c);
+
+  sv::Simulator oracle(n);
+  std::copy(amps.begin(), amps.end(), oracle.state().amplitudes().begin());
+  oracle.run(c);
+
+  const auto result = memq->to_dense();
+  for (index_t i = 0; i < dim_of(n); ++i)
+    ASSERT_LT(std::abs(result.amplitude(i) - oracle.state().amplitude(i)),
+              1e-5);
+}
+
+TEST(LoadDense, ReplacesOptimizedLayout) {
+  // Loading caller data must drop any prior qubit remapping.
+  EngineConfig cfg = cfg3();
+  cfg.optimize_layout = true;
+  auto engine = make_engine(EngineKind::kMemQSim, 7,  cfg);
+  engine->run(circuit::make_bernstein_vazirani(6, 0x15));
+  const auto amps = random_normalized(7, 2);
+  engine->load_dense(amps);
+  EXPECT_LT(std::abs(engine->amplitude(5) - amps[5]), 1e-6);
+}
+
+TEST(LoadDense, RejectsWrongSize) {
+  auto engine = make_engine(EngineKind::kMemQSim, 5, cfg3());
+  std::vector<amp_t> wrong(16);
+  EXPECT_THROW(engine->load_dense(wrong), Error);
+}
+
+TEST(QasmExport, GroverRoundTripsThroughLowering) {
+  // mcz with many controls has no qelib1 spelling; export lowers it.
+  const Circuit grover = circuit::make_grover(6, 0b110101, 2);
+  const std::string text = circuit::to_qasm(grover);
+  const auto prog = circuit::parse_qasm(text);
+  sv::Simulator a(6), b(6);
+  a.run(grover);
+  b.run(prog.circuit);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-8);
+}
+
+TEST(QasmExport, ControlledSGateLowers) {
+  Circuit c(2);
+  c.h(0).h(1);
+  c.append(circuit::Gate::s(1).with_controls({0}));  // "cs" is not in qelib1
+  const auto prog = circuit::parse_qasm(circuit::to_qasm(c));
+  sv::Simulator a(2), b(2);
+  a.run(c);
+  b.run(prog.circuit);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-10);
+}
+
+TEST(QasmExport, Shor15RoundTrips) {
+  const Circuit shor = circuit::make_shor15_order_finding(7, 4);
+  const auto prog = circuit::parse_qasm(circuit::to_qasm(shor));
+  sv::Simulator a(shor.n_qubits()), b(shor.n_qubits());
+  a.run(shor);
+  b.run(prog.circuit);
+  EXPECT_NEAR(a.state().fidelity(b.state()), 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace memq::core

@@ -1,0 +1,93 @@
+#include "sv/state_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace memq::sv {
+namespace {
+
+StateVector random_state(qubit_t n, std::uint64_t seed) {
+  StateVector sv(n);
+  Prng rng(seed);
+  for (auto& a : sv.amplitudes()) a = rng.normal_amp();
+  sv.normalize();
+  return sv;
+}
+
+TEST(StateVector, InitialBasisState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_EQ(sv.amplitude(0), (amp_t{1, 0}));
+  for (index_t i = 1; i < 8; ++i) EXPECT_EQ(sv.amplitude(i), (amp_t{0, 0}));
+  EXPECT_DOUBLE_EQ(sv.norm(), 1.0);
+}
+
+TEST(StateVector, NonZeroBasisState) {
+  StateVector sv(3, 5);
+  EXPECT_EQ(sv.amplitude(5), (amp_t{1, 0}));
+  EXPECT_DOUBLE_EQ(sv.probability_one(0), 1.0);  // 5 = 0b101
+  EXPECT_DOUBLE_EQ(sv.probability_one(1), 0.0);
+  EXPECT_DOUBLE_EQ(sv.probability_one(2), 1.0);
+}
+
+TEST(StateVector, RejectsBadSizes) {
+  EXPECT_THROW(StateVector(0), Error);
+  EXPECT_THROW(StateVector(35), Error);
+  EXPECT_THROW(StateVector(3, 8), Error);
+}
+
+TEST(StateVector, NormalizeAndNorm) {
+  StateVector sv(4);
+  Prng rng(1);
+  for (auto& a : sv.amplitudes()) a = rng.normal_amp();
+  EXPECT_NE(sv.norm(), 1.0);
+  sv.normalize();
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, FidelityProperties) {
+  const StateVector a = random_state(5, 2);
+  const StateVector b = random_state(5, 3);
+  EXPECT_NEAR(a.fidelity(a), 1.0, 1e-12);
+  const double f = a.fidelity(b);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LT(f, 1.0);
+  EXPECT_NEAR(a.fidelity(b), b.fidelity(a), 1e-12);
+}
+
+TEST(StateVector, InnerProductConjugateSymmetry) {
+  const StateVector a = random_state(4, 4);
+  const StateVector b = random_state(4, 5);
+  const amp_t ab = a.inner_product(b);
+  const amp_t ba = b.inner_product(a);
+  EXPECT_NEAR(ab.real(), ba.real(), 1e-12);
+  EXPECT_NEAR(ab.imag(), -ba.imag(), 1e-12);
+}
+
+TEST(StateVector, ProbabilitiesSumToOne) {
+  const StateVector sv = random_state(6, 6);
+  const auto p = sv.probabilities();
+  double total = 0;
+  for (const double x : p) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StateVector, MaxAbsDiff) {
+  StateVector a(3), b(3);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+  b.amplitudes()[3] = amp_t{0.25, -0.5};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+}
+
+TEST(StateVector, SizeMismatchThrows) {
+  StateVector a(3), b(4);
+  EXPECT_THROW((void)a.fidelity(b), Error);
+  EXPECT_THROW((void)a.max_abs_diff(b), Error);
+}
+
+}  // namespace
+}  // namespace memq::sv

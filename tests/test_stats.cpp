@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace memq {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats st;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Prng rng(11);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> s{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(s, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(s, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(s, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 73), 5.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), Error);
+  EXPECT_THROW(percentile({1.0}, -1), Error);
+  EXPECT_THROW(percentile({1.0}, 101), Error);
+}
+
+TEST(ChiSquared, ZeroForPerfectFit) {
+  const std::vector<std::uint64_t> obs{25, 25, 25, 25};
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(chi_squared(obs, p), 0.0);
+}
+
+TEST(ChiSquared, DetectsSkew) {
+  const std::vector<std::uint64_t> obs{90, 10};
+  const std::vector<double> p{0.5, 0.5};
+  EXPECT_GT(chi_squared(obs, p), chi_squared_critical(1, 0.001));
+}
+
+TEST(ChiSquaredCritical, KnownValues) {
+  // chi2(0.05, 1) = 3.841; chi2(0.05, 10) = 18.307 (tables).
+  EXPECT_NEAR(chi_squared_critical(1, 0.05), 3.841, 0.2);
+  EXPECT_NEAR(chi_squared_critical(10, 0.05), 18.307, 0.2);
+  EXPECT_NEAR(chi_squared_critical(100, 0.01), 135.807, 1.0);
+}
+
+}  // namespace
+}  // namespace memq

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace memq {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(human_bytes(1ull << 30), "1.00 GiB");
+}
+
+TEST(Format, HumanSeconds) {
+  EXPECT_EQ(human_seconds(2.5), "2.500 s");
+  EXPECT_EQ(human_seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(human_seconds(2.5e-6), "2.500 us");
+  EXPECT_EQ(human_seconds(5e-9), "5.0 ns");
+}
+
+TEST(Format, FixedAndSci) {
+  EXPECT_EQ(format_fixed(1.0345, 2), "1.03");
+  EXPECT_EQ(format_sci(0.0001, 1), "1.0e-04");
+}
+
+TEST(PhaseTimers, AccumulatesAndMerges) {
+  PhaseTimers a;
+  a.add("h2d", 1.0);
+  a.add("h2d", 0.5);
+  a.add("kernel", 2.0);
+  EXPECT_DOUBLE_EQ(a.get("h2d"), 1.5);
+  EXPECT_DOUBLE_EQ(a.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(a.total(), 3.5);
+
+  PhaseTimers b;
+  b.add("kernel", 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("kernel"), 3.0);
+}
+
+TEST(PhaseTimers, ScopedPhaseAddsTime) {
+  PhaseTimers t;
+  {
+    ScopedPhase p(t, "work");
+    WallTimer w;
+    while (w.seconds() < 0.01) {
+    }
+  }
+  EXPECT_GE(t.get("work"), 0.009);
+}
+
+TEST(WallTimer, Monotonic) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  t.restart();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace memq

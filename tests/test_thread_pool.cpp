@@ -1,0 +1,70 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace memq {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i)
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, WaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i)
+    (void)pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, SizeReportsWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace memq

@@ -1,0 +1,221 @@
+// Workload builders verified through the dense simulator: each circuit must
+// produce its textbook state / distribution.
+#include "circuit/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bit_ops.hpp"
+#include "common/error.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::circuit {
+namespace {
+
+using sv::Simulator;
+
+TEST(Workloads, GhzState) {
+  constexpr qubit_t n = 6;
+  Simulator sim(n);
+  sim.run(make_ghz(n));
+  const auto p = sim.state().probabilities();
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[dim_of(n) - 1], 0.5, 1e-12);
+}
+
+TEST(Workloads, QftMapsBasisToFourierPhases) {
+  constexpr qubit_t n = 4;
+  constexpr index_t k = 5;
+  Simulator sim(n);
+  Circuit prep(n);
+  for (qubit_t q = 0; q < n; ++q)
+    if (bits::test(k, q)) prep.x(q);
+  sim.run(prep);
+  sim.run(make_qft(n));
+  // QFT|k> = 2^{-n/2} sum_j e^{2 pi i k j / 2^n} |j>.
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_of(n)));
+  for (index_t j = 0; j < dim_of(n); ++j) {
+    const double angle = 2.0 * kPi * static_cast<double>(k * j) /
+                         static_cast<double>(dim_of(n));
+    const amp_t expected{scale * std::cos(angle), scale * std::sin(angle)};
+    EXPECT_LT(std::abs(sim.state().amplitude(j) - expected), 1e-10)
+        << "j=" << j;
+  }
+}
+
+TEST(Workloads, BernsteinVaziraniRecoversSecret) {
+  constexpr qubit_t n = 8;
+  for (const std::uint64_t secret : {0x5Bull, 0x00ull, 0xFFull, 0x91ull}) {
+    Simulator sim(n + 1);
+    sim.run(make_bernstein_vazirani(n, secret));
+    // Data register must be exactly |secret> (ancilla in |->).
+    for (qubit_t q = 0; q < n; ++q)
+      EXPECT_NEAR(sim.state().probability_one(q),
+                  bits::test(secret, q) ? 1.0 : 0.0, 1e-10)
+          << "secret=" << secret << " qubit=" << q;
+  }
+}
+
+TEST(Workloads, GroverAmplifiesMarkedState) {
+  constexpr qubit_t n = 6;
+  constexpr std::uint64_t marked = 0b101101;
+  Simulator sim(n);
+  sim.run(make_grover(n, marked));
+  const auto p = sim.state().probabilities();
+  // Optimal iterations reach > 0.98 success probability at n = 6.
+  EXPECT_GT(p[marked], 0.9);
+  for (index_t i = 0; i < dim_of(n); ++i)
+    if (i != marked) EXPECT_LT(p[i], 0.01);
+}
+
+TEST(Workloads, GroverTwoQubitsIsExact) {
+  // n = 2 is the textbook case where one iteration reaches probability 1.
+  for (std::uint64_t marked = 0; marked < 4; ++marked) {
+    Simulator sim(2);
+    sim.run(make_grover(2, marked, 1));
+    EXPECT_NEAR(sim.state().probabilities()[marked], 1.0, 1e-10)
+        << "marked=" << marked;
+  }
+}
+
+TEST(Workloads, GroverSingleQubitStaysAtHalf) {
+  // Grover gains nothing on 1 qubit: sin^2(3 pi / 4) = 1/2.
+  Simulator sim(1);
+  sim.run(make_grover(1, 1, 1));
+  EXPECT_NEAR(sim.state().probabilities()[1], 0.5, 1e-10);
+}
+
+TEST(Workloads, WStateIsUniformOneHot) {
+  constexpr qubit_t n = 5;
+  Simulator sim(n);
+  sim.run(make_w_state(n));
+  const auto p = sim.state().probabilities();
+  for (index_t i = 0; i < dim_of(n); ++i) {
+    if (bits::popcount(i) == 1)
+      EXPECT_NEAR(p[i], 1.0 / n, 1e-10) << "i=" << i;
+    else
+      EXPECT_NEAR(p[i], 0.0, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Workloads, PhaseEstimationFindsExactPhase) {
+  // phase = 5/32 is exactly representable with 5 counting qubits.
+  constexpr qubit_t counting = 5;
+  Simulator sim(counting + 1);
+  sim.run(make_phase_estimation(counting, 5.0 / 32.0));
+  const auto p = sim.state().probabilities();
+  // Counting register (low qubits) should read 5; eigenstate qubit is |1>.
+  const index_t expected = 5 | (index_t{1} << counting);
+  EXPECT_GT(p[expected], 0.99);
+}
+
+TEST(Workloads, AdderAddsBasisStates) {
+  constexpr qubit_t bits = 4;
+  for (const auto& [a, b] : std::vector<std::pair<index_t, index_t>>{
+           {3, 5}, {0, 0}, {15, 1}, {9, 9}, {15, 15}}) {
+    const Circuit adder = make_adder(bits);
+    Simulator sim(adder.n_qubits());
+    Circuit prep(adder.n_qubits());
+    for (qubit_t q = 0; q < bits; ++q)
+      if (bits::test(a, q)) prep.x(q);
+    for (qubit_t q = 0; q < bits; ++q)
+      if (bits::test(b, q)) prep.x(bits + q);
+    sim.run(prep);
+    sim.run(adder);
+    // Result: a unchanged, b holds low bits of a+b, carry-out holds bit 4.
+    const index_t sum = a + b;
+    for (qubit_t q = 0; q < bits; ++q) {
+      EXPECT_NEAR(sim.state().probability_one(q), bits::test(a, q) ? 1 : 0,
+                  1e-9)
+          << "a bit " << q;
+      EXPECT_NEAR(sim.state().probability_one(bits + q),
+                  bits::test(sum, q) ? 1 : 0, 1e-9)
+          << "sum bit " << q;
+    }
+    EXPECT_NEAR(sim.state().probability_one(2 * bits + 1),
+                bits::test(sum, bits) ? 1 : 0, 1e-9)
+        << "carry out for " << a << "+" << b;
+  }
+}
+
+TEST(Workloads, TeleportDeliversState) {
+  const double theta = 1.1, phi = 0.4, lambda = 2.2;
+  Simulator sim(3);
+  sim.run(make_teleport(theta, phi, lambda));
+  // Qubit 2 should hold u3(theta,phi,lambda)|0> regardless of qubits 0,1.
+  Simulator ref(1);
+  Circuit prep(1);
+  prep.u3(0, theta, phi, lambda);
+  ref.run(prep);
+  const double expected_p1 = ref.state().probability_one(0);
+  EXPECT_NEAR(sim.state().probability_one(2), expected_p1, 1e-10);
+}
+
+TEST(Workloads, QaoaPreservesNormAndEntangles) {
+  // p = 1 MaxCut on the n-cycle: the optimal angles reach 3/4 of the edges
+  // (|expected cut - 0.75 n| small); the sign of beta depends on the mixer
+  // convention, so take the better of +-beta.
+  constexpr qubit_t n = 6;
+  // Per edge at p=1 on the cycle: <C> = 1/2 + (1/4) sin(4 beta) sin(gamma)
+  // cos(gamma); gamma = pi/4, |beta| = pi/8 attains the 3/4 ring optimum.
+  double best_cut = 0.0;
+  for (const double beta : {kPi / 8, -kPi / 8}) {
+    QaoaParams params;
+    for (qubit_t q = 0; q < n; ++q) params.edges.emplace_back(q, (q + 1) % n);
+    params.gammas = {kPi / 4};
+    params.betas = {beta};
+    Simulator sim(n);
+    sim.run(make_qaoa_maxcut(n, params));
+    EXPECT_NEAR(sim.state().norm(), 1.0, 1e-10);
+    double cut = 0;
+    for (const auto& [a, b] : params.edges) {
+      std::string ops(n, 'I');
+      ops[a] = 'Z';
+      ops[b] = 'Z';
+      cut += 0.5 * (1.0 - sim.expectation({ops}));
+    }
+    best_cut = std::max(best_cut, cut);
+  }
+  EXPECT_NEAR(best_cut, 0.75 * n, 1e-9);  // p=1 ring optimum
+}
+
+TEST(Workloads, RandomCircuitDeterministicInSeed) {
+  const Circuit a = make_random_circuit(5, 6, 123);
+  const Circuit b = make_random_circuit(5, 6, 123);
+  const Circuit c = make_random_circuit(5, 6, 124);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  bool any_diff = c.size() != a.size();
+  for (std::size_t i = 0; !any_diff && i < std::min(a.size(), c.size()); ++i)
+    any_diff = !(a[i] == c[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workloads, RandomCircuitSpreadsAmplitude) {
+  Simulator sim(6);
+  sim.run(make_random_circuit(6, 12, 7));
+  const auto p = sim.state().probabilities();
+  double max_p = 0;
+  for (const double x : p) max_p = std::max(max_p, x);
+  EXPECT_LT(max_p, 0.5);  // no basis state dominates after 12 layers
+  EXPECT_NEAR(sim.state().norm(), 1.0, 1e-10);
+}
+
+TEST(Workloads, RegistryBuildsEveryName) {
+  for (const auto& name : workload_names()) {
+    const Circuit c = make_workload(name, 6, 42);
+    EXPECT_GE(c.n_qubits(), 6u) << name;
+    EXPECT_FALSE(c.empty()) << name;
+    Simulator sim(c.n_qubits());
+    sim.run(c);
+    EXPECT_NEAR(sim.state().norm(), 1.0, 1e-9) << name;
+  }
+}
+
+TEST(Workloads, RegistryRejectsUnknown) {
+  EXPECT_THROW(make_workload("bogus", 4, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace memq::circuit

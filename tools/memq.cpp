@@ -1,0 +1,316 @@
+// memq — command-line front end to the MEMQSim stack.
+//
+//   memq info
+//   memq workload <name> --qubits N [--seed S] [--out file.qasm] [--stats]
+//   memq run <file.qasm> [--engine dense|wu|memqsim] [--shots N]
+//            [--chunk-qubits C] [--bound B] [--compressor NAME]
+//            [--devices D] [--layout] [--fuse] [--marginal q0,q1,...]
+//            [--expect PAULISTRING] [--checkpoint out.ckpt]
+//            [--restore in.ckpt]
+//   memq compress <file.qasm> [--chunk-qubits C] [--bound B]
+//            (final-state compression ratio for every registered codec)
+//   memq transfer --qubits N
+//            (Table-1-style sync/async/staged transfer comparison)
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/qasm.hpp"
+#include "circuit/transpile.hpp"
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "compress/compressor.hpp"
+#include "core/engine.hpp"
+#include "core/memq_engine.hpp"
+#include "core/partitioner.hpp"
+#include "device/copy_engine.hpp"
+
+namespace {
+
+using namespace memq;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  memq info\n"
+      "  memq workload <name> --qubits N [--seed S] [--out f.qasm] [--stats]\n"
+      "  memq run <file.qasm> [--engine dense|wu|memqsim] [--shots N]\n"
+      "           [--chunk-qubits C] [--bound B] [--compressor NAME]\n"
+      "           [--devices D] [--layout] [--fuse] [--marginal q0,q1,..]\n"
+      "           [--expect PAULIS] [--checkpoint f] [--restore f]\n"
+      "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
+      "  memq transfer --qubits N\n";
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& name) const {
+    for (const auto& f : flags)
+      if (f == name) return true;
+    return false;
+  }
+  std::string option(const std::string& name, const std::string& dflt) const {
+    for (const auto& [k, v] : options)
+      if (k == name) return v;
+    return dflt;
+  }
+};
+
+Args parse_args(int argc, char** argv, int start,
+                const std::vector<std::string>& flag_names) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string name = a.substr(2);
+      bool is_flag = false;
+      for (const auto& f : flag_names)
+        if (f == name) is_flag = true;
+      if (is_flag) {
+        args.flags.push_back(name);
+      } else {
+        if (i + 1 >= argc) usage(("missing value for --" + name).c_str());
+        args.options.emplace_back(name, argv[++i]);
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+core::EngineConfig config_from(const Args& args, qubit_t n) {
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = static_cast<qubit_t>(
+      std::atoi(args.option("chunk-qubits",
+                            std::to_string(n > 6 ? n - 6 : 1)).c_str()));
+  cfg.chunk_qubits = std::min<qubit_t>(cfg.chunk_qubits, n);
+  cfg.codec.bound = std::atof(args.option("bound", "1e-6").c_str());
+  cfg.codec.compressor = args.option("compressor", "szq");
+  cfg.device_count =
+      static_cast<std::uint32_t>(std::atoi(args.option("devices", "1").c_str()));
+  cfg.optimize_layout = args.has_flag("layout");
+  cfg.fuse_single_qubit_runs = args.has_flag("fuse");
+  return cfg;
+}
+
+int cmd_info() {
+  std::cout << "MEMQSim " << "0.1.0" << "\n\n";
+  std::cout << "engines:     dense, wu, memqsim\n";
+  std::cout << "compressors:";
+  for (const auto& name : compress::compressor_names())
+    std::cout << " " << name;
+  std::cout << "\nworkloads:  ";
+  for (const auto& name : circuit::workload_names())
+    std::cout << " " << name;
+  std::cout << "\n\ndefault engine config:\n";
+  core::EngineConfig cfg;
+  std::cout << "  chunk_qubits        " << cfg.chunk_qubits << "\n";
+  std::cout << "  codec               " << cfg.codec.compressor << " @ "
+            << format_sci(cfg.codec.bound, 0) << " (value-range relative)\n";
+  std::cout << "  transfer strategy   "
+            << device::strategy_name(cfg.strategy) << "\n";
+  std::cout << "  device slots        " << cfg.device_slots << "\n";
+  std::cout << "  device memory       " << human_bytes(cfg.device.memory_bytes)
+            << "\n";
+  std::cout << "  cpu codec workers   " << cfg.cpu_codec_workers << "\n";
+  return 0;
+}
+
+int cmd_workload(int argc, char** argv) {
+  if (argc < 3) usage("workload needs a name");
+  const Args args = parse_args(argc, argv, 3, {"stats"});
+  const std::string name = argv[2];
+  const auto n =
+      static_cast<qubit_t>(std::atoi(args.option("qubits", "12").c_str()));
+  const auto seed = std::strtoull(args.option("seed", "42").c_str(), nullptr, 10);
+
+  circuit::Circuit c = circuit::make_workload(name, n, seed);
+  std::cout << "workload '" << name << "': " << c.n_qubits() << " qubits, "
+            << c.size() << " gates, depth " << c.stats().depth << "\n";
+  if (args.has_flag("stats")) {
+    const auto st = c.stats();
+    TextTable table({"gate", "count"});
+    for (const auto& [g, cnt] : st.by_name)
+      table.add_row({g, std::to_string(cnt)});
+    table.print(std::cout);
+    const auto plan = core::partition(c, c.n_qubits() > 6 ? c.n_qubits() - 6
+                                                          : 1);
+    std::cout << "stages at chunk 2^" << (c.n_qubits() - 6) << ": local "
+              << plan.stats.local_stages << ", pair " << plan.stats.pair_stages
+              << ", permute " << plan.stats.permute_stages
+              << "; gates/codec-pass "
+              << format_fixed(plan.stats.gates_per_codec_pass(), 2) << "\n";
+  }
+  const std::string out = args.option("out", "");
+  if (!out.empty()) {
+    std::ofstream f(out);
+    if (!f) {
+      std::cerr << "cannot write " << out << "\n";
+      return 1;
+    }
+    f << circuit::to_qasm(c);
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) usage("run needs a .qasm file");
+  const Args args = parse_args(argc, argv, 3, {"layout", "fuse"});
+  const circuit::QasmProgram prog = circuit::parse_qasm_file(argv[2]);
+  const qubit_t n = prog.circuit.n_qubits();
+  std::cout << "parsed " << argv[2] << ": " << n << " qubits, "
+            << prog.circuit.size() << " gates\n";
+
+  const std::string engine_name = args.option("engine", "memqsim");
+  core::EngineKind kind = core::EngineKind::kMemQSim;
+  if (engine_name == "dense") kind = core::EngineKind::kDense;
+  else if (engine_name == "wu") kind = core::EngineKind::kWu;
+  else if (engine_name != "memqsim") usage("unknown engine");
+
+  auto engine = core::make_engine(kind, n, config_from(args, n));
+
+  const std::string restore = args.option("restore", "");
+  if (!restore.empty()) {
+    engine->load_state(restore);
+    std::cout << "restored state from " << restore << "\n";
+  }
+  engine->run(prog.circuit);
+
+  const auto shots = std::strtoull(args.option("shots", "1024").c_str(),
+                                   nullptr, 10);
+  if (shots > 0) {
+    std::cout << "\n" << shots << " shots:\n";
+    const auto counts = engine->sample_counts(shots);
+    std::size_t shown = 0;
+    for (const auto& [basis, count] : counts) {
+      if (++shown > 32) {
+        std::cout << "  ... (" << counts.size() - 32 << " more)\n";
+        break;
+      }
+      std::string bits(n, '0');
+      for (qubit_t q = 0; q < n; ++q)
+        if ((basis >> q) & 1) bits[n - 1 - q] = '1';
+      std::cout << "  " << bits << "  " << count << "\n";
+    }
+  }
+
+  const std::string expect = args.option("expect", "");
+  if (!expect.empty())
+    std::cout << "<" << expect << "> = "
+              << format_fixed(engine->expectation({expect}), 6) << "\n";
+
+  const std::string marginal = args.option("marginal", "");
+  if (!marginal.empty()) {
+    std::vector<qubit_t> qs;
+    std::stringstream ss(marginal);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+      qs.push_back(static_cast<qubit_t>(std::atoi(tok.c_str())));
+    const auto m = engine->marginal_probabilities(qs);
+    std::cout << "marginal over {" << marginal << "}:\n";
+    for (std::size_t b = 0; b < m.size(); ++b)
+      if (m[b] > 1e-9)
+        std::cout << "  " << b << " : " << format_fixed(m[b], 6) << "\n";
+  }
+
+  const std::string checkpoint = args.option("checkpoint", "");
+  if (!checkpoint.empty()) {
+    engine->save_state(checkpoint);
+    std::cout << "checkpoint written to " << checkpoint << "\n";
+  }
+
+  const auto& t = engine->telemetry();
+  std::cout << "\npeak state memory " << human_bytes(t.peak_host_state_bytes)
+            << ", ratio " << format_fixed(t.final_compression_ratio, 1)
+            << "x, modeled time " << human_seconds(t.modeled_total_seconds)
+            << "\n";
+  return 0;
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 3) usage("compress needs a .qasm file");
+  const Args args = parse_args(argc, argv, 3, {});
+  const circuit::QasmProgram prog = circuit::parse_qasm_file(argv[2]);
+  const qubit_t n = prog.circuit.n_qubits();
+
+  TextTable table({"codec", "final ratio", "peak state", "codec cpu time"});
+  for (const auto& codec : compress::compressor_names()) {
+    core::EngineConfig cfg = config_from(args, n);
+    cfg.codec.compressor = codec;
+    auto engine = core::make_engine(core::EngineKind::kMemQSim, n, cfg);
+    engine->run(prog.circuit);
+    const auto& t = engine->telemetry();
+    table.add_row({codec, format_fixed(t.final_compression_ratio, 1) + "x",
+                   human_bytes(t.peak_host_state_bytes),
+                   human_seconds(t.cpu_phases.get("decompress") +
+                                 t.cpu_phases.get("recompress"))});
+  }
+  std::cout << "final-state compression of " << argv[2] << " (" << n
+            << " qubits, bound " << args.option("bound", "1e-6") << "):\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_transfer(int argc, char** argv) {
+  const Args args = parse_args(argc, argv, 2, {});
+  const auto n =
+      static_cast<qubit_t>(std::atoi(args.option("qubits", "20").c_str()));
+  const index_t amps = dim_of(n);
+
+  TextTable table({"strategy", "H2D", "D2H", "API calls"});
+  for (const auto strategy :
+       {device::TransferStrategy::kSync,
+        device::TransferStrategy::kAsyncPerElement,
+        device::TransferStrategy::kStagedBuffer}) {
+    device::DeviceConfig dcfg;
+    dcfg.memory_bytes = 2 * amps * kAmpBytes + (1 << 20);
+    device::SimDevice dev(dcfg);
+    device::Stream stream(dev, "xfer");
+    device::CopyEngine engine(dev, strategy);
+    auto buf = dev.alloc(amps * kAmpBytes, "state");
+    auto staging = dev.alloc(amps * kAmpBytes, "staging");
+    std::vector<amp_t> host(amps);
+    const auto up = engine.upload(stream, buf, host, {}, &staging);
+    stream.synchronize();
+    const auto down = engine.download(stream, host, buf, {}, &staging);
+    stream.synchronize();
+    table.add_row({device::strategy_name(strategy),
+                   human_seconds(up.modeled_seconds),
+                   human_seconds(down.modeled_seconds),
+                   std::to_string(up.api_calls + down.api_calls)});
+  }
+  std::cout << "modeled state-vector transfer at " << n << " qubits ("
+            << human_bytes(amps * kAmpBytes) << "):\n";
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "workload") return cmd_workload(argc, argv);
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "compress") return cmd_compress(argc, argv);
+    if (cmd == "transfer") return cmd_transfer(argc, argv);
+    usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
