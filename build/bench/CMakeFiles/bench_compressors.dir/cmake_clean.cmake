@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compressors.dir/bench_compressors.cpp.o"
+  "CMakeFiles/bench_compressors.dir/bench_compressors.cpp.o.d"
+  "bench_compressors"
+  "bench_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_accumulation.dir/bench_error_accumulation.cpp.o"
+  "CMakeFiles/bench_error_accumulation.dir/bench_error_accumulation.cpp.o.d"
+  "bench_error_accumulation"
+  "bench_error_accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qubit_extension.dir/bench_qubit_extension.cpp.o"
+  "CMakeFiles/bench_qubit_extension.dir/bench_qubit_extension.cpp.o.d"
+  "bench_qubit_extension"
+  "bench_qubit_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qubit_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_trajectories.dir/noisy_trajectories.cpp.o"
+  "CMakeFiles/noisy_trajectories.dir/noisy_trajectories.cpp.o.d"
+  "noisy_trajectories"
+  "noisy_trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

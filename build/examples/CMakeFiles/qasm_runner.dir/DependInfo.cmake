@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/qasm_runner.cpp" "examples/CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o" "gcc" "examples/CMakeFiles/qasm_runner.dir/qasm_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/memq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memq_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/memq_sv.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/memq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/memq_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qft_memory_budget.dir/qft_memory_budget.cpp.o"
+  "CMakeFiles/qft_memory_budget.dir/qft_memory_budget.cpp.o.d"
+  "qft_memory_budget"
+  "qft_memory_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qft_memory_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shor_factor15.dir/shor_factor15.cpp.o"
+  "CMakeFiles/shor_factor15.dir/shor_factor15.cpp.o.d"
+  "shor_factor15"
+  "shor_factor15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shor_factor15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

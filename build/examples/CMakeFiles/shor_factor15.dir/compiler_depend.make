@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shor_factor15.
+# This may be replaced when dependencies are built.

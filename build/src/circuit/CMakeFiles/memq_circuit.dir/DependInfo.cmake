@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/memq_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/memq_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/circuit/CMakeFiles/memq_circuit.dir/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/memq_circuit.dir/gate.cpp.o.d"
+  "/root/repo/src/circuit/noise.cpp" "src/circuit/CMakeFiles/memq_circuit.dir/noise.cpp.o" "gcc" "src/circuit/CMakeFiles/memq_circuit.dir/noise.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "src/circuit/CMakeFiles/memq_circuit.dir/qasm.cpp.o" "gcc" "src/circuit/CMakeFiles/memq_circuit.dir/qasm.cpp.o.d"
+  "/root/repo/src/circuit/transpile.cpp" "src/circuit/CMakeFiles/memq_circuit.dir/transpile.cpp.o" "gcc" "src/circuit/CMakeFiles/memq_circuit.dir/transpile.cpp.o.d"
+  "/root/repo/src/circuit/workloads.cpp" "src/circuit/CMakeFiles/memq_circuit.dir/workloads.cpp.o" "gcc" "src/circuit/CMakeFiles/memq_circuit.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memq_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/memq_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/memq_circuit.dir/gate.cpp.o"
+  "CMakeFiles/memq_circuit.dir/gate.cpp.o.d"
+  "CMakeFiles/memq_circuit.dir/noise.cpp.o"
+  "CMakeFiles/memq_circuit.dir/noise.cpp.o.d"
+  "CMakeFiles/memq_circuit.dir/qasm.cpp.o"
+  "CMakeFiles/memq_circuit.dir/qasm.cpp.o.d"
+  "CMakeFiles/memq_circuit.dir/transpile.cpp.o"
+  "CMakeFiles/memq_circuit.dir/transpile.cpp.o.d"
+  "CMakeFiles/memq_circuit.dir/workloads.cpp.o"
+  "CMakeFiles/memq_circuit.dir/workloads.cpp.o.d"
+  "libmemq_circuit.a"
+  "libmemq_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memq_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemq_circuit.a"
+)

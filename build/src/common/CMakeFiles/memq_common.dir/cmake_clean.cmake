@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memq_common.dir/format.cpp.o"
+  "CMakeFiles/memq_common.dir/format.cpp.o.d"
+  "CMakeFiles/memq_common.dir/logging.cpp.o"
+  "CMakeFiles/memq_common.dir/logging.cpp.o.d"
+  "CMakeFiles/memq_common.dir/prng.cpp.o"
+  "CMakeFiles/memq_common.dir/prng.cpp.o.d"
+  "CMakeFiles/memq_common.dir/stats.cpp.o"
+  "CMakeFiles/memq_common.dir/stats.cpp.o.d"
+  "CMakeFiles/memq_common.dir/table.cpp.o"
+  "CMakeFiles/memq_common.dir/table.cpp.o.d"
+  "CMakeFiles/memq_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/memq_common.dir/thread_pool.cpp.o.d"
+  "libmemq_common.a"
+  "libmemq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bpc.cpp" "src/compress/CMakeFiles/memq_compress.dir/bpc.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/bpc.cpp.o.d"
+  "/root/repo/src/compress/chunk_codec.cpp" "src/compress/CMakeFiles/memq_compress.dir/chunk_codec.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/chunk_codec.cpp.o.d"
+  "/root/repo/src/compress/gorilla.cpp" "src/compress/CMakeFiles/memq_compress.dir/gorilla.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/gorilla.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/memq_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lzh.cpp" "src/compress/CMakeFiles/memq_compress.dir/lzh.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/lzh.cpp.o.d"
+  "/root/repo/src/compress/null_compressor.cpp" "src/compress/CMakeFiles/memq_compress.dir/null_compressor.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/null_compressor.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/compress/CMakeFiles/memq_compress.dir/registry.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/registry.cpp.o.d"
+  "/root/repo/src/compress/szq.cpp" "src/compress/CMakeFiles/memq_compress.dir/szq.cpp.o" "gcc" "src/compress/CMakeFiles/memq_compress.dir/szq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

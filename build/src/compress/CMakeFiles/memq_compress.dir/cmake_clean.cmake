@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memq_compress.dir/bpc.cpp.o"
+  "CMakeFiles/memq_compress.dir/bpc.cpp.o.d"
+  "CMakeFiles/memq_compress.dir/chunk_codec.cpp.o"
+  "CMakeFiles/memq_compress.dir/chunk_codec.cpp.o.d"
+  "CMakeFiles/memq_compress.dir/gorilla.cpp.o"
+  "CMakeFiles/memq_compress.dir/gorilla.cpp.o.d"
+  "CMakeFiles/memq_compress.dir/huffman.cpp.o"
+  "CMakeFiles/memq_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/memq_compress.dir/lzh.cpp.o"
+  "CMakeFiles/memq_compress.dir/lzh.cpp.o.d"
+  "CMakeFiles/memq_compress.dir/null_compressor.cpp.o"
+  "CMakeFiles/memq_compress.dir/null_compressor.cpp.o.d"
+  "CMakeFiles/memq_compress.dir/registry.cpp.o"
+  "CMakeFiles/memq_compress.dir/registry.cpp.o.d"
+  "CMakeFiles/memq_compress.dir/szq.cpp.o"
+  "CMakeFiles/memq_compress.dir/szq.cpp.o.d"
+  "libmemq_compress.a"
+  "libmemq_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memq_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chunk_exec.cpp" "src/core/CMakeFiles/memq_core.dir/chunk_exec.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/chunk_exec.cpp.o.d"
+  "/root/repo/src/core/chunk_store.cpp" "src/core/CMakeFiles/memq_core.dir/chunk_store.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/chunk_store.cpp.o.d"
+  "/root/repo/src/core/compressed_base.cpp" "src/core/CMakeFiles/memq_core.dir/compressed_base.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/compressed_base.cpp.o.d"
+  "/root/repo/src/core/dense_engine.cpp" "src/core/CMakeFiles/memq_core.dir/dense_engine.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/dense_engine.cpp.o.d"
+  "/root/repo/src/core/engine_factory.cpp" "src/core/CMakeFiles/memq_core.dir/engine_factory.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/engine_factory.cpp.o.d"
+  "/root/repo/src/core/memq_engine.cpp" "src/core/CMakeFiles/memq_core.dir/memq_engine.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/memq_engine.cpp.o.d"
+  "/root/repo/src/core/observables.cpp" "src/core/CMakeFiles/memq_core.dir/observables.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/observables.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/core/CMakeFiles/memq_core.dir/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/core/qubit_layout.cpp" "src/core/CMakeFiles/memq_core.dir/qubit_layout.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/qubit_layout.cpp.o.d"
+  "/root/repo/src/core/wu_engine.cpp" "src/core/CMakeFiles/memq_core.dir/wu_engine.cpp.o" "gcc" "src/core/CMakeFiles/memq_core.dir/wu_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/memq_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/memq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/memq_sv.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/memq_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memq_core.dir/chunk_exec.cpp.o"
+  "CMakeFiles/memq_core.dir/chunk_exec.cpp.o.d"
+  "CMakeFiles/memq_core.dir/chunk_store.cpp.o"
+  "CMakeFiles/memq_core.dir/chunk_store.cpp.o.d"
+  "CMakeFiles/memq_core.dir/compressed_base.cpp.o"
+  "CMakeFiles/memq_core.dir/compressed_base.cpp.o.d"
+  "CMakeFiles/memq_core.dir/dense_engine.cpp.o"
+  "CMakeFiles/memq_core.dir/dense_engine.cpp.o.d"
+  "CMakeFiles/memq_core.dir/engine_factory.cpp.o"
+  "CMakeFiles/memq_core.dir/engine_factory.cpp.o.d"
+  "CMakeFiles/memq_core.dir/memq_engine.cpp.o"
+  "CMakeFiles/memq_core.dir/memq_engine.cpp.o.d"
+  "CMakeFiles/memq_core.dir/observables.cpp.o"
+  "CMakeFiles/memq_core.dir/observables.cpp.o.d"
+  "CMakeFiles/memq_core.dir/partitioner.cpp.o"
+  "CMakeFiles/memq_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/memq_core.dir/qubit_layout.cpp.o"
+  "CMakeFiles/memq_core.dir/qubit_layout.cpp.o.d"
+  "CMakeFiles/memq_core.dir/wu_engine.cpp.o"
+  "CMakeFiles/memq_core.dir/wu_engine.cpp.o.d"
+  "libmemq_core.a"
+  "libmemq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memq_device.dir/copy_engine.cpp.o"
+  "CMakeFiles/memq_device.dir/copy_engine.cpp.o.d"
+  "CMakeFiles/memq_device.dir/device.cpp.o"
+  "CMakeFiles/memq_device.dir/device.cpp.o.d"
+  "CMakeFiles/memq_device.dir/stream.cpp.o"
+  "CMakeFiles/memq_device.dir/stream.cpp.o.d"
+  "libmemq_device.a"
+  "libmemq_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memq_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sv/kernels.cpp" "src/sv/CMakeFiles/memq_sv.dir/kernels.cpp.o" "gcc" "src/sv/CMakeFiles/memq_sv.dir/kernels.cpp.o.d"
+  "/root/repo/src/sv/simulator.cpp" "src/sv/CMakeFiles/memq_sv.dir/simulator.cpp.o" "gcc" "src/sv/CMakeFiles/memq_sv.dir/simulator.cpp.o.d"
+  "/root/repo/src/sv/state_vector.cpp" "src/sv/CMakeFiles/memq_sv.dir/state_vector.cpp.o" "gcc" "src/sv/CMakeFiles/memq_sv.dir/state_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/memq_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

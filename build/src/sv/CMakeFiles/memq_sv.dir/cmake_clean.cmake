@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memq_sv.dir/kernels.cpp.o"
+  "CMakeFiles/memq_sv.dir/kernels.cpp.o.d"
+  "CMakeFiles/memq_sv.dir/simulator.cpp.o"
+  "CMakeFiles/memq_sv.dir/simulator.cpp.o.d"
+  "CMakeFiles/memq_sv.dir/state_vector.cpp.o"
+  "CMakeFiles/memq_sv.dir/state_vector.cpp.o.d"
+  "libmemq_sv.a"
+  "libmemq_sv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memq_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

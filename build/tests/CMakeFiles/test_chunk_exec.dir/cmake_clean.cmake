@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_exec.dir/test_chunk_exec.cpp.o"
+  "CMakeFiles/test_chunk_exec.dir/test_chunk_exec.cpp.o.d"
+  "test_chunk_exec"
+  "test_chunk_exec.pdb"
+  "test_chunk_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_store.dir/test_chunk_store.cpp.o"
+  "CMakeFiles/test_chunk_store.dir/test_chunk_store.cpp.o.d"
+  "test_chunk_store"
+  "test_chunk_store.pdb"
+  "test_chunk_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_smoke.dir/test_cli_smoke.cpp.o"
+  "CMakeFiles/test_cli_smoke.dir/test_cli_smoke.cpp.o.d"
+  "test_cli_smoke"
+  "test_cli_smoke.pdb"
+  "test_cli_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress_extra.dir/test_compress_extra.cpp.o"
+  "CMakeFiles/test_compress_extra.dir/test_compress_extra.cpp.o.d"
+  "test_compress_extra"
+  "test_compress_extra.pdb"
+  "test_compress_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

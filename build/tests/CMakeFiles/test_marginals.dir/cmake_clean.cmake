@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marginals.dir/test_marginals.cpp.o"
+  "CMakeFiles/test_marginals.dir/test_marginals.cpp.o.d"
+  "test_marginals"
+  "test_marginals.pdb"
+  "test_marginals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marginals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_observables.dir/test_noise_observables.cpp.o"
+  "CMakeFiles/test_noise_observables.dir/test_noise_observables.cpp.o.d"
+  "test_noise_observables"
+  "test_noise_observables.pdb"
+  "test_noise_observables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_observables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_prng.cpp" "tests/CMakeFiles/test_prng.dir/test_prng.cpp.o" "gcc" "tests/CMakeFiles/test_prng.dir/test_prng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/memq_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/memq_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/memq_sv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm_edge.dir/test_qasm_edge.cpp.o"
+  "CMakeFiles/test_qasm_edge.dir/test_qasm_edge.cpp.o.d"
+  "test_qasm_edge"
+  "test_qasm_edge.pdb"
+  "test_qasm_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qubit_layout.dir/test_qubit_layout.cpp.o"
+  "CMakeFiles/test_qubit_layout.dir/test_qubit_layout.cpp.o.d"
+  "test_qubit_layout"
+  "test_qubit_layout.pdb"
+  "test_qubit_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qubit_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

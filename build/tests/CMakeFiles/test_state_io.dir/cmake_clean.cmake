@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_io.dir/test_state_io.cpp.o"
+  "CMakeFiles/test_state_io.dir/test_state_io.cpp.o.d"
+  "test_state_io"
+  "test_state_io.pdb"
+  "test_state_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

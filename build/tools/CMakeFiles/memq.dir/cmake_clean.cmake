@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memq.dir/memq.cpp.o"
+  "CMakeFiles/memq.dir/memq.cpp.o.d"
+  "memq"
+  "memq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
