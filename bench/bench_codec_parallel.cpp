@@ -1,0 +1,118 @@
+// Parallel codec pipeline bench: serial (codec_threads = 1) vs. threaded
+// online stage on the same workload. Reports real wall seconds, the
+// speedup, and the measured peak of the bounded in-flight window, and
+// verifies that (a) the results are bit-identical and (b) the window honors
+// the structural (pipeline_depth + codec_threads) work-item bound.
+//
+// Note: speedup tracks the machine's core count — on a single-core host the
+// pipeline degenerates to ~1x (the mechanism still runs, there is just no
+// parallel hardware to buy time on).
+//
+// Writes BENCH_codec_parallel.json next to the binary for the driver.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+using namespace memq;
+
+struct Result {
+  std::uint32_t threads = 1;
+  double wall_seconds = 0.0;
+  std::uint64_t peak_inflight = 0;
+  sv::StateVector state{1};
+};
+
+Result run_arm(const circuit::Circuit& c, qubit_t chunk_q,
+               std::uint32_t threads) {
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = chunk_q;
+  cfg.codec.bound = 1e-6;
+  cfg.codec_threads = threads;
+  auto engine = core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(),
+                                  cfg);
+  WallTimer t;
+  engine->run(c);
+  Result r;
+  r.threads = threads;
+  r.wall_seconds = t.seconds();
+  r.peak_inflight = engine->telemetry().peak_inflight_bytes;
+  r.state = engine->to_dense();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const qubit_t n = 14, chunk_q = 8;
+  const circuit::Circuit c = circuit::make_workload("random", n, 3);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "codec-parallel bench — random(" << int(n) << "), " << c.size()
+            << " gates, chunk = 2^" << int(chunk_q) << " amps, "
+            << hw << " hardware threads\n\n";
+
+  const Result serial = run_arm(c, chunk_q, 1);
+  std::vector<Result> arms;
+  for (std::uint32_t t : {2u, 4u, hw}) {
+    if (t <= 1) continue;
+    if (!arms.empty() && arms.back().threads == t) continue;
+    arms.push_back(run_arm(c, chunk_q, t));
+  }
+
+  const std::uint64_t chunk_raw = (index_t{1} << chunk_q) * kAmpBytes;
+  core::EngineConfig defaults;
+  const std::uint64_t depth = defaults.device_count * defaults.device_slots + 1;
+
+  bool all_identical = true, all_bounded = true;
+  TextTable table({"codec threads", "wall", "speedup", "peak in-flight",
+                   "bound", "bit-identical"});
+  table.add_row({"1 (serial)", human_seconds(serial.wall_seconds), "1.00x",
+                 human_bytes(serial.peak_inflight),
+                 human_bytes((depth + 1) * 2 * chunk_raw), "ref"});
+  for (const Result& r : arms) {
+    const std::uint64_t bound = (depth + r.threads) * 2 * chunk_raw;
+    const bool identical =
+        std::memcmp(serial.state.amplitudes().data(),
+                    r.state.amplitudes().data(),
+                    serial.state.amplitudes().size() * sizeof(amp_t)) == 0;
+    const bool bounded = r.peak_inflight <= bound;
+    all_identical &= identical;
+    all_bounded &= bounded;
+    table.add_row({std::to_string(r.threads),
+                   human_seconds(r.wall_seconds),
+                   format_fixed(serial.wall_seconds / r.wall_seconds, 2) + "x",
+                   human_bytes(r.peak_inflight), human_bytes(bound),
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nresults bit-identical across thread counts: "
+            << (all_identical ? "yes" : "NO") << "\n"
+            << "in-flight window within structural bound:   "
+            << (all_bounded ? "yes" : "NO") << "\n";
+
+  std::ofstream json("BENCH_codec_parallel.json");
+  json << "{\n  \"qubits\": " << int(n)
+       << ",\n  \"chunk_qubits\": " << int(chunk_q)
+       << ",\n  \"hardware_threads\": " << hw << ",\n  \"arms\": [\n";
+  json << "    {\"threads\": 1, \"wall_seconds\": " << serial.wall_seconds
+       << ", \"speedup\": 1.0, \"peak_in_flight_bytes\": "
+       << serial.peak_inflight << "}";
+  for (const Result& r : arms) {
+    json << ",\n    {\"threads\": " << r.threads
+         << ", \"wall_seconds\": " << r.wall_seconds
+         << ", \"speedup\": " << serial.wall_seconds / r.wall_seconds
+         << ", \"peak_in_flight_bytes\": " << r.peak_inflight << "}";
+  }
+  json << "\n  ],\n  \"bit_identical\": " << (all_identical ? "true" : "false")
+       << ",\n  \"in_flight_bounded\": " << (all_bounded ? "true" : "false")
+       << "\n}\n";
+  return (all_identical && all_bounded) ? 0 : 1;
+}

@@ -47,11 +47,24 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& f) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
+  std::mutex err_mutex;
+  std::exception_ptr error;
+  // Exceptions must not escape drain: the worker copies reference this
+  // frame's locals, so every future has to be waited before returning.
   auto drain = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      f(i);
+      try {
+        f(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mutex);
+          if (!error) error = std::current_exception();
+        }
+        next.store(n, std::memory_order_relaxed);  // stop the other workers
+        return;
+      }
     }
   };
   std::vector<std::future<void>> futs;
@@ -59,7 +72,8 @@ void ThreadPool::parallel_for(std::size_t n,
   futs.reserve(helpers);
   for (std::size_t t = 0; t < helpers; ++t) futs.push_back(submit(drain));
   drain();  // the caller works too
-  for (auto& fut : futs) fut.get();
+  for (auto& fut : futs) fut.get();  // drain never throws
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::wait_idle() {

@@ -44,6 +44,8 @@ class ThreadPool {
 
   /// Runs f(i) for i in [0, n) across the pool and waits for completion.
   /// The calling thread participates, so this works even with 1 worker.
+  /// If f throws, iteration stops early (remaining indices may be skipped),
+  /// every helper is still joined, and the first exception is rethrown.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
 
   /// Blocks until the queue is empty and all workers idle.

@@ -22,7 +22,7 @@ ChunkStore::ChunkStore(qubit_t n_qubits, qubit_t chunk_qubits,
 
 void ChunkStore::init_basis(index_t basis) {
   MEMQ_CHECK(basis < dim_of(n_qubits_), "basis state out of range");
-  total_bytes_ = 0;
+  std::uint64_t total = 0;
   std::vector<amp_t> scratch(chunk_amps(), amp_t{0, 0});
 
   // All chunks are zero except the one containing `basis`; encode the zero
@@ -34,29 +34,53 @@ void ChunkStore::init_basis(index_t basis) {
   for (index_t i = 0; i < n_chunks(); ++i) {
     if (i == hot_chunk) continue;
     blobs_[i] = zero_blob;
-    total_bytes_ += blobs_[i].size();
+    total += blobs_[i].size();
   }
   scratch[basis & (chunk_amps() - 1)] = amp_t{1, 0};
   codec_.encode(scratch, blobs_[hot_chunk]);
-  total_bytes_ += blobs_[hot_chunk].size();
-  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+  total += blobs_[hot_chunk].size();
+  total_bytes_.store(total, std::memory_order_relaxed);
+  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (total > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, total, std::memory_order_relaxed)) {
+  }
+}
+
+void ChunkStore::account_store(std::int64_t delta_bytes) {
+  const std::uint64_t total =
+      total_bytes_.fetch_add(static_cast<std::uint64_t>(delta_bytes),
+                             std::memory_order_relaxed) +
+      static_cast<std::uint64_t>(delta_bytes);
+  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (total > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, total, std::memory_order_relaxed)) {
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ChunkStore::load(index_t i, std::span<amp_t> out) {
-  MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
-  MEMQ_CHECK(out.size() == chunk_amps(), "load span size mismatch");
-  codec_.decode(blobs_[i], out);
-  ++loads_;
+  load_with(codec_, i, out);
 }
 
 void ChunkStore::store(index_t i, std::span<const amp_t> in) {
+  store_with(codec_, i, in);
+}
+
+void ChunkStore::load_with(compress::ChunkCodec& codec, index_t i,
+                           std::span<amp_t> out) {
+  MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
+  MEMQ_CHECK(out.size() == chunk_amps(), "load span size mismatch");
+  codec.decode(blobs_[i], out);
+  loads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
+                            std::span<const amp_t> in) {
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
   MEMQ_CHECK(in.size() == chunk_amps(), "store span size mismatch");
-  total_bytes_ -= blobs_[i].size();
-  codec_.encode(in, blobs_[i]);
-  total_bytes_ += blobs_[i].size();
-  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
-  ++stores_;
+  const std::int64_t before = static_cast<std::int64_t>(blobs_[i].size());
+  codec.encode(in, blobs_[i]);
+  account_store(static_cast<std::int64_t>(blobs_[i].size()) - before);
 }
 
 void ChunkStore::swap_chunks(index_t i, index_t j) {
@@ -145,8 +169,11 @@ void ChunkStore::restore(std::istream& in) {
     total += blobs[i].size();
   }
   blobs_ = std::move(blobs);
-  total_bytes_ = total;
-  peak_bytes_ = std::max(peak_bytes_, total_bytes_);
+  total_bytes_.store(total, std::memory_order_relaxed);
+  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (total > peak && !peak_bytes_.compare_exchange_weak(
+                             peak, total, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace memq::core

@@ -3,6 +3,7 @@
 // stored in CPU memory with such compressed format."
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -29,10 +30,21 @@ class ChunkStore {
   void init_basis(index_t basis);
 
   /// Decompresses chunk `i` into `out` (must be chunk_amps() long).
+  /// Uses the store's internal codec — single-threaded callers only.
   void load(index_t i, std::span<amp_t> out);
 
   /// Compresses `in` as the new contents of chunk `i`.
+  /// Uses the store's internal codec — single-threaded callers only.
   void store(index_t i, std::span<const amp_t> in);
+
+  /// Thread-safe variants for the parallel pipeline: safe to call
+  /// concurrently for DISTINCT chunks (concurrent load_with of the SAME
+  /// chunk is also fine — decoding does not mutate the blob). The caller
+  /// supplies a worker-local codec (ChunkCodec holds scratch planes); byte
+  /// and load/store counters are atomic.
+  void load_with(compress::ChunkCodec& codec, index_t i, std::span<amp_t> out);
+  void store_with(compress::ChunkCodec& codec, index_t i,
+                  std::span<const amp_t> in);
 
   /// Swaps two chunks without decompressing (chunk-permutation stages).
   void swap_chunks(index_t i, index_t j);
@@ -41,22 +53,30 @@ class ChunkStore {
   bool is_zero_chunk(index_t i) const;
 
   /// Current total compressed footprint.
-  std::uint64_t compressed_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t compressed_bytes() const noexcept {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
   /// Largest footprint ever held.
-  std::uint64_t peak_compressed_bytes() const noexcept { return peak_bytes_; }
+  std::uint64_t peak_compressed_bytes() const noexcept {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
   /// Raw (uncompressed) state size, for ratio reporting.
   std::uint64_t raw_bytes() const noexcept {
     return n_chunks() * chunk_raw_bytes();
   }
   double compression_ratio() const noexcept {
-    return total_bytes_ == 0
-               ? 0.0
-               : static_cast<double>(raw_bytes()) /
-                     static_cast<double>(total_bytes_);
+    const std::uint64_t total = compressed_bytes();
+    return total == 0 ? 0.0
+                      : static_cast<double>(raw_bytes()) /
+                            static_cast<double>(total);
   }
 
-  std::uint64_t loads() const noexcept { return loads_; }
-  std::uint64_t stores() const noexcept { return stores_; }
+  std::uint64_t loads() const noexcept {
+    return loads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stores() const noexcept {
+    return stores_.load(std::memory_order_relaxed);
+  }
 
   const compress::ChunkCodecConfig& codec_config() const noexcept {
     return codec_.config();
@@ -71,14 +91,16 @@ class ChunkStore {
   void restore(std::istream& in);
 
  private:
+  void account_store(std::int64_t delta_bytes);
+
   qubit_t n_qubits_;
   qubit_t chunk_qubits_;
   compress::ChunkCodec codec_;
   std::vector<compress::ByteBuffer> blobs_;
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t peak_bytes_ = 0;
-  std::uint64_t loads_ = 0;
-  std::uint64_t stores_ = 0;
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> peak_bytes_{0};
+  std::atomic<std::uint64_t> loads_{0};
+  std::atomic<std::uint64_t> stores_{0};
 };
 
 }  // namespace memq::core

@@ -1,0 +1,230 @@
+#include "core/codec_pool.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "core/chunk_store.hpp"
+
+namespace memq::core {
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+std::vector<amp_t> BufferPool::get(std::size_t n_amps) {
+  std::vector<amp_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  buf.resize(n_amps);
+  return buf;
+}
+
+void BufferPool::put(std::vector<amp_t> buf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(buf));
+}
+
+void BufferPool::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// CodecPool
+// ---------------------------------------------------------------------------
+
+CodecPool::CodecPool(const compress::ChunkCodecConfig& config,
+                     std::size_t n_threads)
+    : config_(config), pool_(n_threads) {}
+
+CodecPool::CodecHandle CodecPool::lease() {
+  std::unique_ptr<compress::ChunkCodec> codec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!codecs_.empty()) {
+      codec = std::move(codecs_.back());
+      codecs_.pop_back();
+    }
+  }
+  if (!codec) codec = std::make_unique<compress::ChunkCodec>(config_);
+  return CodecHandle(codec.release(), CodecReturner{this});
+}
+
+void CodecPool::recycle(compress::ChunkCodec* codec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  codecs_.push_back(std::unique_ptr<compress::ChunkCodec>(codec));
+}
+
+// ---------------------------------------------------------------------------
+// ChunkReader
+// ---------------------------------------------------------------------------
+
+ChunkReader::ChunkReader(ChunkStore& store, CodecPool* pool,
+                         BufferPool& buffers, InFlightLedger& ledger,
+                         std::vector<ChunkJob> jobs, std::size_t window)
+    : store_(store),
+      pool_(pool),
+      buffers_(buffers),
+      ledger_(ledger),
+      jobs_(std::move(jobs)),
+      window_(pool != nullptr ? std::max<std::size_t>(window, 1) : 0) {
+  refill();
+}
+
+ChunkReader::~ChunkReader() {
+  // Outstanding decode tasks hold raw pointers into pending_ buffers; wait
+  // them out (swallowing errors) before the buffers die.
+  for (Pending& p : pending_) {
+    if (!p.done.valid()) continue;
+    try {
+      (void)p.done.get();
+    } catch (...) {
+    }
+    ledger_.release(p.buf.size() * kAmpBytes);
+    buffers_.put(std::move(p.buf));
+  }
+}
+
+void ChunkReader::refill() {
+  if (pool_ == nullptr) return;
+  const std::size_t half = store_.chunk_amps();
+  while (next_job_ < jobs_.size() && pending_.size() < window_) {
+    Pending p;
+    p.job = jobs_[next_job_++];
+    const std::size_t amps = half * (p.job.has_b ? 2 : 1);
+    p.buf = buffers_.get(amps);
+    ledger_.acquire(amps * kAmpBytes);
+    amp_t* data = p.buf.data();
+    const ChunkJob job = p.job;
+    ChunkStore* store = &store_;
+    CodecPool* pool = pool_;
+    p.done = pool_->submit([store, pool, job, data, half]() -> double {
+      WallTimer t;
+      auto codec = pool->lease();
+      store->load_with(*codec, job.a, {data, half});
+      if (job.has_b) store->load_with(*codec, job.b, {data + half, half});
+      return t.seconds();
+    });
+    pending_.push_back(std::move(p));
+  }
+}
+
+std::optional<ChunkReader::Item> ChunkReader::next() {
+  const std::size_t half = store_.chunk_amps();
+  if (pool_ == nullptr) {
+    if (next_job_ >= jobs_.size()) return std::nullopt;
+    Item item;
+    item.job = jobs_[next_job_++];
+    const std::size_t amps = half * (item.job.has_b ? 2 : 1);
+    item.buf = buffers_.get(amps);
+    ledger_.acquire(amps * kAmpBytes);
+    WallTimer t;
+    store_.load(item.job.a, std::span<amp_t>(item.buf).first(half));
+    if (item.job.has_b)
+      store_.load(item.job.b, std::span<amp_t>(item.buf).subspan(half, half));
+    item.decode_seconds = t.seconds();
+    decode_seconds_ += item.decode_seconds;
+    return item;
+  }
+
+  refill();
+  if (pending_.empty()) return std::nullopt;
+  Pending p = std::move(pending_.front());
+  pending_.pop_front();
+  WallTimer wait;
+  const double dt = p.done.get();  // rethrows decode failures
+  wait_seconds_ += wait.seconds();
+  decode_seconds_ += dt;
+  refill();  // keep workers fed while the coordinator consumes this item
+  Item item;
+  item.job = p.job;
+  item.buf = std::move(p.buf);
+  return item;
+}
+
+void ChunkReader::recycle(std::vector<amp_t> buf) {
+  ledger_.release(buf.size() * kAmpBytes);
+  buffers_.put(std::move(buf));
+}
+
+// ---------------------------------------------------------------------------
+// ChunkWriter
+// ---------------------------------------------------------------------------
+
+ChunkWriter::ChunkWriter(ChunkStore& store, CodecPool* pool,
+                         BufferPool& buffers, InFlightLedger& ledger,
+                         std::size_t max_pending)
+    : store_(store),
+      pool_(pool),
+      buffers_(buffers),
+      ledger_(ledger),
+      max_pending_(max_pending) {}
+
+ChunkWriter::~ChunkWriter() {
+  for (auto& fut : pending_) {
+    if (!fut.valid()) continue;
+    try {
+      (void)fut.get();
+    } catch (...) {
+    }
+  }
+}
+
+double ChunkWriter::put(const ChunkJob& job, std::vector<amp_t> buf) {
+  const std::size_t half = store_.chunk_amps();
+  if (pool_ == nullptr) {
+    WallTimer t;
+    store_.store(job.a, std::span<const amp_t>(buf).first(half));
+    if (job.has_b)
+      store_.store(job.b, std::span<const amp_t>(buf).subspan(half, half));
+    const double dt = t.seconds();
+    encode_seconds_ += dt;
+    ledger_.release(buf.size() * kAmpBytes);
+    buffers_.put(std::move(buf));
+    return dt;
+  }
+
+  while (pending_.size() > max_pending_) reap_one();
+  ChunkStore* store = &store_;
+  CodecPool* pool = pool_;
+  BufferPool* buffers = &buffers_;
+  InFlightLedger* ledger = &ledger_;
+  pending_.push_back(pool_->submit(
+      [store, pool, buffers, ledger, job, half, b = std::move(buf)]() mutable
+      -> double {
+        WallTimer t;
+        {
+          auto codec = pool->lease();
+          store->store_with(*codec, job.a,
+                            std::span<const amp_t>(b).first(half));
+          if (job.has_b)
+            store->store_with(*codec, job.b,
+                              std::span<const amp_t>(b).subspan(half, half));
+        }
+        const double dt = t.seconds();
+        ledger->release(b.size() * kAmpBytes);
+        buffers->put(std::move(b));
+        return dt;
+      }));
+  return 0.0;
+}
+
+void ChunkWriter::reap_one() {
+  WallTimer wait;
+  std::future<double> fut = std::move(pending_.front());
+  pending_.pop_front();
+  const double dt = fut.get();  // rethrows encode failures
+  wait_seconds_ += wait.seconds();
+  encode_seconds_ += dt;
+}
+
+void ChunkWriter::drain() {
+  while (!pending_.empty()) reap_one();
+}
+
+}  // namespace memq::core

@@ -1,0 +1,222 @@
+// Parallel chunk-codec runtime — the real online-stage pipeline of paper
+// §2 step 5 ("the CPU leverages idle cores to decompress the data chunks").
+//
+// Three pieces:
+//   * CodecPool   — a ThreadPool plus a free-list of ChunkCodec instances
+//                   (the codec holds scratch planes and is NOT thread-safe,
+//                   so every concurrent task leases its own) and a shared
+//                   free-list of decompressed-amplitude buffers.
+//   * ChunkReader — streams a fixed job list of chunks in order, decoding up
+//                   to `window` jobs ahead on the pool. The consumer always
+//                   sees chunks in job order, so reductions stay
+//                   deterministic for any thread count.
+//   * ChunkWriter — fans recompress+store work out to the pool with a
+//                   bounded backlog.
+//
+// The bounded in-flight window (paper challenge 2 — compression granularity
+// vs. footprint spikes): every decompressed buffer is accounted in an
+// InFlightLedger from decode-submit until recompress-complete or recycle.
+// A stage that uses a reader with window W, a device pipeline of depth D and
+// a writer with backlog P keeps at most W + D + P + 1 items resident; the
+// engines size W and P so the total stays <= pipeline_depth + codec_threads
+// work items (see memq_engine.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "compress/chunk_codec.hpp"
+
+namespace memq::core {
+
+class ChunkStore;
+
+/// Atomic ledger of decompressed amplitude bytes resident in pipeline
+/// buffers. Feeds the `peak_inflight_bytes` telemetry so the paper's
+/// memory-footprint guarantee stays observable under concurrency.
+class InFlightLedger {
+ public:
+  void acquire(std::uint64_t bytes) noexcept {
+    const std::uint64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void release(std::uint64_t bytes) noexcept {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t current() const noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// Mutex-guarded free-list of amplitude buffers so the pipeline reuses a
+/// fixed working set instead of churning MiB-sized allocations per chunk.
+class BufferPool {
+ public:
+  std::vector<amp_t> get(std::size_t n_amps);
+  void put(std::vector<amp_t> buf);
+  void clear();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<amp_t>> free_;
+};
+
+/// Codec worker threads + leased per-task ChunkCodec instances.
+class CodecPool {
+ public:
+  CodecPool(const compress::ChunkCodecConfig& config, std::size_t n_threads);
+
+  std::size_t workers() const noexcept { return pool_.size(); }
+  ThreadPool& threads() noexcept { return pool_; }
+
+  template <typename F>
+  auto submit(F&& f) {
+    return pool_.submit(std::forward<F>(f));
+  }
+
+  struct CodecReturner {
+    CodecPool* pool;
+    void operator()(compress::ChunkCodec* codec) const {
+      if (codec != nullptr) pool->recycle(codec);
+    }
+  };
+  using CodecHandle = std::unique_ptr<compress::ChunkCodec, CodecReturner>;
+
+  /// Borrows a codec for the calling task (creates one on first use per
+  /// concurrency level); returned to the free-list when the handle dies.
+  CodecHandle lease();
+
+ private:
+  void recycle(compress::ChunkCodec* codec);
+
+  compress::ChunkCodecConfig config_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<compress::ChunkCodec>> codecs_;
+  ThreadPool pool_;
+};
+
+/// One unit of chunk work: a single chunk `a`, or a co-loaded pair [a | b]
+/// (pair-stage partner or Pauli-expectation partner) when `has_b` is set.
+struct ChunkJob {
+  index_t a = 0;
+  index_t b = 0;
+  bool has_b = false;
+};
+
+/// Ordered streaming decompressor over a fixed job list. With a pool,
+/// decodes up to `window` jobs ahead; without one (serial mode) each next()
+/// decodes synchronously. Items are always delivered in job order.
+class ChunkReader {
+ public:
+  ChunkReader(ChunkStore& store, CodecPool* pool, BufferPool& buffers,
+              InFlightLedger& ledger, std::vector<ChunkJob> jobs,
+              std::size_t window);
+  ~ChunkReader();
+
+  ChunkReader(const ChunkReader&) = delete;
+  ChunkReader& operator=(const ChunkReader&) = delete;
+
+  struct Item {
+    ChunkJob job;
+    std::vector<amp_t> buf;  ///< owned; size = chunk_amps * (has_b ? 2 : 1)
+    /// Serial mode: seconds this next() spent decoding (0 in pool mode,
+    /// where decode time lands in decode_seconds() instead).
+    double decode_seconds = 0.0;
+  };
+
+  /// Next job in order, or nullopt when exhausted. Throws (CorruptData...)
+  /// if the decode failed. Pass consumed buffers back via recycle() — or
+  /// hand them to a ChunkWriter — to keep the in-flight window bounded.
+  std::optional<Item> next();
+
+  /// Returns a consumed buffer to the pool and releases its in-flight bytes.
+  void recycle(std::vector<amp_t> buf);
+
+  /// Total codec seconds measured inside decode tasks (sum over workers).
+  double decode_seconds() const noexcept { return decode_seconds_; }
+  /// Seconds the coordinator spent blocked waiting for decodes (pool mode).
+  double wait_seconds() const noexcept { return wait_seconds_; }
+
+ private:
+  struct Pending {
+    ChunkJob job;
+    std::vector<amp_t> buf;
+    std::future<double> done;
+  };
+
+  void refill();
+
+  ChunkStore& store_;
+  CodecPool* pool_;
+  BufferPool& buffers_;
+  InFlightLedger& ledger_;
+  std::vector<ChunkJob> jobs_;
+  std::size_t next_job_ = 0;
+  std::size_t window_;
+  std::deque<Pending> pending_;
+  double decode_seconds_ = 0.0;
+  double wait_seconds_ = 0.0;
+};
+
+/// Parallel recompress+store with a bounded backlog: put() hands the buffer
+/// to the pool and returns immediately; beyond `max_pending` queued stores
+/// the oldest is reaped first. Serial mode stores synchronously.
+class ChunkWriter {
+ public:
+  ChunkWriter(ChunkStore& store, CodecPool* pool, BufferPool& buffers,
+              InFlightLedger& ledger, std::size_t max_pending);
+  ~ChunkWriter();
+
+  ChunkWriter(const ChunkWriter&) = delete;
+  ChunkWriter& operator=(const ChunkWriter&) = delete;
+
+  /// Encodes `buf` back into the store as job.a (and job.b from the second
+  /// half when job.has_b). Returns the synchronous encode seconds in serial
+  /// mode, 0.0 in pool mode.
+  double put(const ChunkJob& job, std::vector<amp_t> buf);
+
+  /// Waits until every queued store has landed; rethrows the first error.
+  void drain();
+
+  /// Total codec seconds measured inside encode tasks (or synchronously).
+  double encode_seconds() const noexcept { return encode_seconds_; }
+  /// Seconds the coordinator spent blocked on backlog/drain (pool mode).
+  double wait_seconds() const noexcept { return wait_seconds_; }
+
+ private:
+  void reap_one();
+
+  ChunkStore& store_;
+  CodecPool* pool_;
+  BufferPool& buffers_;
+  InFlightLedger& ledger_;
+  std::size_t max_pending_;
+  std::deque<std::future<double>> pending_;
+  double encode_seconds_ = 0.0;
+  double wait_seconds_ = 0.0;
+};
+
+}  // namespace memq::core

@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <thread>
 
 #include "common/bit_ops.hpp"
 #include "common/error.hpp"
 #include "sv/kernels.hpp"
 
 namespace memq::core {
+
+namespace {
+
+std::size_t resolved_codec_threads(const EngineConfig& config) {
+  // Cap absurd requests (e.g. a -1 that wrapped to 4 billion on the CLI)
+  // before they turn into thread-spawn storms.
+  constexpr std::size_t kMaxThreads = 256;
+  if (config.codec_threads == 1) return 1;
+  if (config.codec_threads != 0)
+    return std::min<std::size_t>(config.codec_threads, kMaxThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxThreads);
+}
+
+}  // namespace
 
 CompressedEngineBase::CompressedEngineBase(qubit_t n_qubits,
                                            const EngineConfig& config)
@@ -18,6 +34,9 @@ CompressedEngineBase::CompressedEngineBase(qubit_t n_qubits,
       rng_(config.seed),
       scratch_(store_.chunk_amps()),
       layout_(n_qubits) {
+  const std::size_t threads = resolved_codec_threads(config);
+  if (threads > 1)
+    codec_pool_ = std::make_unique<CodecPool>(config.codec, threads);
   refresh_footprint_telemetry();
 }
 
@@ -27,15 +46,35 @@ void CompressedEngineBase::reset() {
   rng_ = Prng(config_.seed);
   layout_ = QubitLayout(n_qubits());
   state_is_fresh_ = true;
+  inflight_.reset();
+  buffers_.clear();
   refresh_footprint_telemetry();
 }
 
+std::size_t CompressedEngineBase::split_reader_window() const noexcept {
+  const std::size_t workers = codec_workers();
+  if (workers <= 1) return 0;
+  return std::max<std::size_t>(1, workers / 2);
+}
+
+std::size_t CompressedEngineBase::split_writer_backlog() const noexcept {
+  const std::size_t workers = codec_workers();
+  if (workers <= 1) return 0;
+  const std::size_t window = split_reader_window();
+  return workers > window + 1 ? workers - window - 1 : 0;
+}
+
 void CompressedEngineBase::refresh_footprint_telemetry() {
-  const std::uint64_t working =
-      (store_.chunk_amps() * kAmpBytes) * 4;  // scratch + pair + staging
+  // Working buffers: the measured in-flight window of the parallel pipeline
+  // once it has run, with the historical serial floor (scratch + pair +
+  // staging) as the minimum.
+  const std::uint64_t serial_floor = (store_.chunk_amps() * kAmpBytes) * 4;
+  const std::uint64_t working = std::max(serial_floor, inflight_.peak());
   telemetry_.peak_host_state_bytes =
       std::max(telemetry_.peak_host_state_bytes,
                store_.peak_compressed_bytes() + working);
+  telemetry_.peak_inflight_bytes =
+      std::max(telemetry_.peak_inflight_bytes, inflight_.peak());
   telemetry_.final_compression_ratio = store_.compression_ratio();
   telemetry_.chunk_loads = store_.loads();
   telemetry_.chunk_stores = store_.stores();
@@ -61,6 +100,31 @@ void CompressedEngineBase::store_chunk_timed(index_t i,
   charge_cpu(dt / config_.cpu_codec_workers);
 }
 
+std::vector<ChunkJob> CompressedEngineBase::nonzero_chunk_jobs() const {
+  std::vector<ChunkJob> jobs;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+    if (!store_.is_zero_chunk(ci)) jobs.push_back({ci, 0, false});
+  return jobs;
+}
+
+void CompressedEngineBase::sweep_chunks(
+    std::vector<ChunkJob> jobs,
+    const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
+    bool timed) {
+  ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
+                     std::move(jobs), reader_window());
+  while (auto item = reader.next()) {
+    fn(item->job, std::span<amp_t>(item->buf));
+    reader.recycle(std::move(item->buf));
+  }
+  if (timed) {
+    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
+    charge_cpu(codec_pool_ ? reader.wait_seconds()
+                           : reader.decode_seconds() /
+                                 config_.cpu_codec_workers);
+  }
+}
+
 amp_t CompressedEngineBase::amplitude(index_t i) {
   MEMQ_CHECK(i < dim_of(n_qubits()), "amplitude index out of range");
   const index_t phys = layout_.to_physical(i);
@@ -72,11 +136,12 @@ amp_t CompressedEngineBase::amplitude(index_t i) {
 
 double CompressedEngineBase::norm() {
   double s = 0.0;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-    if (store_.is_zero_chunk(ci)) continue;
-    store_.load(ci, scratch_);
-    for (const amp_t& a : scratch_) s += std::norm(a);
-  }
+  sweep_chunks(nonzero_chunk_jobs(),
+               [&](const ChunkJob&, std::span<amp_t> amps) {
+                 double chunk_sum = 0.0;
+                 for (const amp_t& a : amps) chunk_sum += std::norm(a);
+                 s += chunk_sum;
+               });
   return s;
 }
 
@@ -86,29 +151,97 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
   for (auto& x : u) x = rng_.uniform();
   std::sort(u.begin(), u.end());
 
-  // One pass over chunks in index order = one pass over the CDF. Compressed
-  // amplitudes do not sum to exactly 1, so rescale by the true norm.
-  const double total = norm();
+  // Pass 1 — the only full sweep: per-chunk norms (compressed amplitudes do
+  // not sum to exactly 1, so the CDF is rescaled by the true total).
+  const std::vector<ChunkJob> jobs = nonzero_chunk_jobs();
+  std::vector<double> chunk_norm;
+  chunk_norm.reserve(jobs.size());
+  double total = 0.0;
+  sweep_chunks(jobs, [&](const ChunkJob&, std::span<amp_t> amps) {
+    double chunk_sum = 0.0;
+    for (const amp_t& a : amps) chunk_sum += std::norm(a);
+    chunk_norm.push_back(chunk_sum);
+    total += chunk_sum;
+  });
   MEMQ_CHECK(total > 0.0, "sampling from the zero state");
-  std::map<index_t, std::uint64_t> counts;
-  double cumulative = 0.0;
-  std::size_t next = 0;
-  index_t last_nonzero = 0;
-  for (index_t ci = 0; ci < store_.n_chunks() && next < shots; ++ci) {
-    if (store_.is_zero_chunk(ci)) continue;
-    store_.load(ci, scratch_);
-    const index_t base = ci << store_.chunk_qubits();
-    for (index_t j = 0; j < scratch_.size() && next < shots; ++j) {
-      const double p = std::norm(scratch_[j]) / total;
-      if (p > 0) last_nonzero = base + j;
-      cumulative += p;
-      while (next < shots && u[next] < cumulative) {
-        ++counts[layout_.to_logical(base + j)];
-        ++next;
+
+  // Plan which chunks actually contain sample thresholds: only those get a
+  // second decompression. Planner and walk advance the cumulative scale by
+  // one chunk-width add per chunk, so they agree exactly (and the result is
+  // independent of codec_threads).
+  std::vector<std::size_t> needed_k;
+  {
+    double cum = 0.0;
+    std::size_t next = 0;
+    for (std::size_t k = 0; k < jobs.size() && next < shots; ++k) {
+      const double end = cum + chunk_norm[k] / total;
+      if (chunk_norm[k] > 0.0 && u[next] < end) {
+        needed_k.push_back(k);
+        while (next < shots && u[next] < end) ++next;
       }
+      cum = end;
     }
   }
-  if (next < shots) counts[layout_.to_logical(last_nonzero)] += shots - next;
+  std::vector<ChunkJob> needed_jobs;
+  needed_jobs.reserve(needed_k.size());
+  for (const std::size_t k : needed_k) needed_jobs.push_back(jobs[k]);
+
+  // Pass 2 — the CDF walk over the planned chunks only.
+  std::map<index_t, std::uint64_t> counts;
+  std::size_t next = 0;
+  {
+    ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
+                       std::move(needed_jobs), reader_window());
+    double cum = 0.0;
+    std::size_t ni = 0;
+    for (std::size_t k = 0; k < jobs.size() && next < shots; ++k) {
+      const double end = cum + chunk_norm[k] / total;
+      if (ni < needed_k.size() && needed_k[ni] == k) {
+        ++ni;
+        auto item = reader.next();
+        MEMQ_CHECK(item.has_value(), "sample walk out of planned chunks");
+        const std::span<const amp_t> amps(item->buf);
+        const index_t base = jobs[k].a << store_.chunk_qubits();
+        double local = cum;
+        index_t last_nonzero = base;
+        for (index_t j = 0; j < amps.size() && next < shots; ++j) {
+          const double p = std::norm(amps[j]) / total;
+          if (p > 0) last_nonzero = base + j;
+          local += p;
+          while (next < shots && u[next] < local) {
+            ++counts[layout_.to_logical(base + j)];
+            ++next;
+          }
+        }
+        // Rounding gap between the per-amplitude sum and the chunk width:
+        // samples landing there belong to this chunk's tail.
+        while (next < shots && u[next] < end) {
+          ++counts[layout_.to_logical(last_nonzero)];
+          ++next;
+        }
+        reader.recycle(std::move(item->buf));
+      }
+      cum = end;
+    }
+  }
+
+  // Lossy-drift tail (u beyond the accumulated CDF): attribute leftover
+  // shots to the last nonzero amplitude of the state.
+  if (next < shots) {
+    std::size_t k_last = jobs.size();
+    for (std::size_t k = jobs.size(); k-- > 0;)
+      if (chunk_norm[k] > 0.0) {
+        k_last = k;
+        break;
+      }
+    MEMQ_CHECK(k_last < jobs.size(), "no probability mass to sample");
+    store_.load(jobs[k_last].a, scratch_);
+    const index_t base = jobs[k_last].a << store_.chunk_qubits();
+    index_t last_nonzero = base;
+    for (index_t j = 0; j < scratch_.size(); ++j)
+      if (std::norm(scratch_[j]) > 0) last_nonzero = base + j;
+    counts[layout_.to_logical(last_nonzero)] += shots - next;
+  }
   return counts;
 }
 
@@ -116,20 +249,35 @@ sv::StateVector CompressedEngineBase::to_dense() {
   MEMQ_CHECK(n_qubits() <= 28, "to_dense beyond 28 qubits");
   sv::StateVector out(n_qubits());
   auto amps = out.amplitudes();
+  const qubit_t c = store_.chunk_qubits();
   if (layout_.is_identity()) {
-    for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-      const auto slice =
-          amps.subspan(ci << store_.chunk_qubits(), store_.chunk_amps());
-      store_.load(ci, slice);
+    if (codec_pool_) {
+      // Every chunk decodes straight into its slice of the dense vector —
+      // disjoint destinations, so a plain parallel_for is safe.
+      CodecPool* pool = codec_pool_.get();
+      ChunkStore* store = &store_;
+      codec_pool_->threads().parallel_for(
+          store_.n_chunks(), [amps, c, pool, store](std::size_t ci) {
+            auto codec = pool->lease();
+            store->load_with(*codec, ci,
+                             amps.subspan(index_t{ci} << c,
+                                          store->chunk_amps()));
+          });
+    } else {
+      for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+        store_.load(ci, amps.subspan(ci << c, store_.chunk_amps()));
     }
     return out;
   }
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-    store_.load(ci, scratch_);
-    const index_t base = ci << store_.chunk_qubits();
-    for (index_t j = 0; j < scratch_.size(); ++j)
-      amps[layout_.to_logical(base + j)] = scratch_[j];
-  }
+  std::vector<ChunkJob> jobs;
+  jobs.reserve(store_.n_chunks());
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+    jobs.push_back({ci, 0, false});
+  sweep_chunks(jobs, [&](const ChunkJob& job, std::span<amp_t> chunk) {
+    const index_t base = job.a << c;
+    for (index_t j = 0; j < chunk.size(); ++j)
+      amps[layout_.to_logical(base + j)] = chunk[j];
+  });
   return out;
 }
 
@@ -176,28 +324,32 @@ double CompressedEngineBase::expectation(const sv::PauliString& pauli_in) {
   const qubit_t c = store_.chunk_qubits();
   const index_t x_high = xmask >> c;
   const index_t x_low = xmask & (store_.chunk_amps() - 1);
+  const index_t half = store_.chunk_amps();
 
-  std::vector<amp_t> partner(store_.chunk_amps());
-  amp_t total{0, 0};
+  // Chunk + partner co-load as one pair job; the reduction runs on the
+  // coordinator in chunk order (deterministic for any codec_threads).
+  std::vector<ChunkJob> jobs;
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
     const index_t cj = ci ^ x_high;
     if (store_.is_zero_chunk(ci) || store_.is_zero_chunk(cj)) continue;
-    store_.load(ci, scratch_);
-    const std::vector<amp_t>* other = &scratch_;
-    if (cj != ci) {
-      store_.load(cj, partner);
-      other = &partner;
-    }
-    const index_t base = ci << c;
+    jobs.push_back({ci, cj, cj != ci});
+  }
+  amp_t total{0, 0};
+  sweep_chunks(jobs, [&](const ChunkJob& job, std::span<amp_t> amps) {
+    const std::span<const amp_t> self =
+        std::span<const amp_t>(amps).first(half);
+    const std::span<const amp_t> other =
+        job.has_b ? std::span<const amp_t>(amps).subspan(half, half) : self;
+    const index_t base = job.a << c;
     amp_t chunk_sum{0, 0};
-    for (index_t l = 0; l < scratch_.size(); ++l) {
+    for (index_t l = 0; l < self.size(); ++l) {
       const index_t j = (base | l) ^ xmask;
-      const amp_t value = (*other)[l ^ x_low];
+      const amp_t value = other[l ^ x_low];
       const double sign = bits::popcount(j & yzmask) & 1 ? -1.0 : 1.0;
-      chunk_sum += std::conj(scratch_[l]) * (sign * value);
+      chunk_sum += std::conj(self[l]) * (sign * value);
     }
     total += chunk_sum;
-  }
+  });
   total *= y_phase;
   // Hermitian observable: the imaginary part is numerical noise.
   return total.real();
@@ -209,13 +361,22 @@ void CompressedEngineBase::load_dense(std::span<const amp_t> amplitudes) {
                                  << amplitudes.size());
   layout_ = QubitLayout(n_qubits());  // caller data is in logical order
   state_is_fresh_ = false;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-    WallTimer t;
-    store_.store(ci, amplitudes.subspan(ci << store_.chunk_qubits(),
-                                        store_.chunk_amps()));
-    const double dt = t.seconds();
-    telemetry_.cpu_phases.add("recompress", dt);
-    charge_cpu(dt / config_.cpu_codec_workers);
+  {
+    ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
+                       codec_workers() > 1 ? codec_workers() - 1 : 0);
+    for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+      std::vector<amp_t> buf = buffers_.get(store_.chunk_amps());
+      const auto src = amplitudes.subspan(ci << store_.chunk_qubits(),
+                                          store_.chunk_amps());
+      std::copy(src.begin(), src.end(), buf.begin());
+      inflight_.acquire(buf.size() * kAmpBytes);
+      writer.put({ci, 0, false}, std::move(buf));
+    }
+    writer.drain();
+    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
+    charge_cpu(codec_pool_ ? writer.wait_seconds()
+                           : writer.encode_seconds() /
+                                 config_.cpu_codec_workers);
   }
   refresh_footprint_telemetry();
 }
@@ -234,21 +395,20 @@ std::vector<double> CompressedEngineBase::marginal_probabilities(
   const qubit_t c = store_.chunk_qubits();
   std::vector<double> marginal(std::size_t{1} << qubits.size(), 0.0);
   double total = 0.0;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-    if (store_.is_zero_chunk(ci)) continue;
-    store_.load(ci, scratch_);
-    const index_t base = ci << c;
-    for (index_t l = 0; l < scratch_.size(); ++l) {
-      const double p = std::norm(scratch_[l]);
-      if (p == 0.0) continue;
-      const index_t global = base | l;
-      index_t key = 0;
-      for (std::size_t k = 0; k < phys.size(); ++k)
-        if (bits::test(global, phys[k])) key |= index_t{1} << k;
-      marginal[key] += p;
-      total += p;
-    }
-  }
+  sweep_chunks(nonzero_chunk_jobs(),
+               [&](const ChunkJob& job, std::span<amp_t> amps) {
+                 const index_t base = job.a << c;
+                 for (index_t l = 0; l < amps.size(); ++l) {
+                   const double p = std::norm(amps[l]);
+                   if (p == 0.0) continue;
+                   const index_t global = base | l;
+                   index_t key = 0;
+                   for (std::size_t k = 0; k < phys.size(); ++k)
+                     if (bits::test(global, phys[k])) key |= index_t{1} << k;
+                   marginal[key] += p;
+                   total += p;
+                 }
+               });
   MEMQ_CHECK(total > 0.0, "marginal of the zero state");
   for (double& p : marginal) p /= total;  // fold out lossy norm drift
   return marginal;
@@ -300,26 +460,28 @@ bool CompressedEngineBase::measure_qubit(qubit_t q) {
   MEMQ_CHECK(q < n_qubits(), "measured qubit out of range");
   const qubit_t c = store_.chunk_qubits();
 
-  // Pass 1: P(q = 1).
+  // Pass 1: P(q = 1), from per-chunk partials accumulated in chunk order on
+  // the coordinator — the outcome is identical for any codec_threads.
   double p1 = 0.0, total = 0.0;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-    if (store_.is_zero_chunk(ci)) continue;
-    (void)load_chunk_timed(ci, scratch_);
-    double chunk_norm = 0.0, chunk_one = 0.0;
-    if (q >= c) {
-      for (const amp_t& a : scratch_) chunk_norm += std::norm(a);
-      if (bits::test(ci, q - c)) chunk_one = chunk_norm;
-    } else {
-      const index_t bit = index_t{1} << q;
-      for (index_t j = 0; j < scratch_.size(); ++j) {
-        const double p = std::norm(scratch_[j]);
-        chunk_norm += p;
-        if (j & bit) chunk_one += p;
-      }
-    }
-    total += chunk_norm;
-    p1 += chunk_one;
-  }
+  sweep_chunks(
+      nonzero_chunk_jobs(),
+      [&](const ChunkJob& job, std::span<amp_t> amps) {
+        double chunk_norm = 0.0, chunk_one = 0.0;
+        if (q >= c) {
+          for (const amp_t& a : amps) chunk_norm += std::norm(a);
+          if (bits::test(job.a, q - c)) chunk_one = chunk_norm;
+        } else {
+          const index_t bit = index_t{1} << q;
+          for (index_t j = 0; j < amps.size(); ++j) {
+            const double p = std::norm(amps[j]);
+            chunk_norm += p;
+            if (j & bit) chunk_one += p;
+          }
+        }
+        total += chunk_norm;
+        p1 += chunk_one;
+      },
+      /*timed=*/true);
   MEMQ_CHECK(total > 0.0, "measuring the zero state");
   p1 /= total;
 
@@ -329,24 +491,43 @@ bool CompressedEngineBase::measure_qubit(qubit_t q) {
   const double scale = 1.0 / std::sqrt(p * total);
 
   // Pass 2: collapse + renormalize (the true norm folds into the scale so
-  // lossy drift does not accumulate across measurements).
-  std::vector<amp_t> zeros;
+  // lossy drift does not accumulate across measurements). Chunks on the
+  // discarded side are overwritten with zeros; kept chunks are rescaled.
+  std::vector<ChunkJob> zero_jobs, scale_jobs;
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
     if (q >= c && bits::test(ci, q - c) != outcome) {
-      if (!store_.is_zero_chunk(ci)) {
-        zeros.assign(store_.chunk_amps(), amp_t{0, 0});
-        store_chunk_timed(ci, zeros);
-      }
+      if (!store_.is_zero_chunk(ci)) zero_jobs.push_back({ci, 0, false});
       continue;
     }
     if (store_.is_zero_chunk(ci)) continue;
-    (void)load_chunk_timed(ci, scratch_);
-    if (q >= c) {
-      for (amp_t& a : scratch_) a *= scale;
-    } else {
-      sv::collapse(scratch_, q, outcome, scale);
+    scale_jobs.push_back({ci, 0, false});
+  }
+  {
+    ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
+                       split_writer_backlog());
+    for (const ChunkJob& job : zero_jobs) {
+      std::vector<amp_t> zeros = buffers_.get(store_.chunk_amps());
+      std::fill(zeros.begin(), zeros.end(), amp_t{0, 0});
+      inflight_.acquire(zeros.size() * kAmpBytes);
+      writer.put(job, std::move(zeros));
     }
-    store_chunk_timed(ci, scratch_);
+    ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
+                       std::move(scale_jobs), split_reader_window());
+    while (auto item = reader.next()) {
+      if (q >= c) {
+        for (amp_t& a : item->buf) a *= scale;
+      } else {
+        sv::collapse(item->buf, q, outcome, scale);
+      }
+      writer.put(item->job, std::move(item->buf));
+    }
+    writer.drain();
+    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
+    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
+    charge_cpu(codec_pool_
+                   ? reader.wait_seconds() + writer.wait_seconds()
+                   : (reader.decode_seconds() + writer.encode_seconds()) /
+                         config_.cpu_codec_workers);
   }
   refresh_footprint_telemetry();
   return outcome;

@@ -3,10 +3,13 @@
 // and the global measurement flow.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/prng.hpp"
 #include "core/chunk_store.hpp"
+#include "core/codec_pool.hpp"
 #include "core/engine.hpp"
 #include "core/qubit_layout.hpp"
 
@@ -40,6 +43,35 @@ class CompressedEngineBase : public Engine {
   /// Stores the buffer back with recompress timing.
   void store_chunk_timed(index_t i, std::span<const amp_t> buf);
 
+  /// The shared codec worker pool, or nullptr when codec_threads resolves
+  /// to 1 (serial mode — the historical single-threaded path).
+  CodecPool* codec_pool() noexcept { return codec_pool_.get(); }
+  /// Resolved codec worker count (1 in serial mode).
+  std::size_t codec_workers() const noexcept {
+    return codec_pool_ ? codec_pool_->workers() : 1;
+  }
+  /// Decode-ahead window for read-only sweeps (<= workers + 1 buffers
+  /// resident).
+  std::size_t reader_window() const noexcept { return codec_workers() > 1 ? codec_workers() : 0; }
+  /// Reader-window / writer-backlog split for read-modify-write loops,
+  /// sized so window + writer-resident <= codec_threads and a device stage
+  /// of pipeline depth D keeps <= D + codec_threads items in flight.
+  std::size_t split_reader_window() const noexcept;
+  std::size_t split_writer_backlog() const noexcept;
+
+  /// One ordered pass over `jobs`: decompression fans out across the codec
+  /// pool (bounded decode-ahead) while `fn` consumes every chunk on the
+  /// calling thread in job order, so reductions are deterministic for any
+  /// codec_threads. With `timed`, decompress seconds land in telemetry and
+  /// the modeled clock is charged (measured parallel wait in pool mode,
+  /// dt / cpu_codec_workers in serial mode).
+  void sweep_chunks(std::vector<ChunkJob> jobs,
+                    const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
+                    bool timed = false);
+
+  /// Jobs for every non-zero chunk, in chunk order.
+  std::vector<ChunkJob> nonzero_chunk_jobs() const;
+
   /// Measures qubit q across the chunked state: returns the outcome and
   /// collapses + renormalizes. Used for measure and reset gates.
   bool measure_qubit(qubit_t q);
@@ -55,6 +87,13 @@ class CompressedEngineBase : public Engine {
   Prng rng_;
   EngineTelemetry telemetry_;
   std::vector<amp_t> scratch_;  // one chunk
+
+  /// Parallel-pipeline state: worker pool (null in serial mode), reusable
+  /// amplitude buffers, and the decompressed-bytes ledger behind the
+  /// bounded in-flight window telemetry.
+  std::unique_ptr<CodecPool> codec_pool_;
+  BufferPool buffers_;
+  InFlightLedger inflight_;
 
   /// Logical-to-physical qubit mapping (identity unless the derived engine
   /// installs an optimized layout). All public queries translate through it;

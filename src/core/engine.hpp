@@ -45,6 +45,12 @@ struct EngineTelemetry {
   std::uint64_t peak_host_state_bytes = 0;
   std::uint64_t peak_device_bytes = 0;
 
+  /// Peak decompressed amplitude bytes simultaneously resident in online-
+  /// pipeline buffers — the bounded in-flight window of the parallel codec
+  /// path (compressed engines only; bounded by
+  /// (pipeline_depth + codec_threads) work items).
+  std::uint64_t peak_inflight_bytes = 0;
+
   std::uint64_t chunk_loads = 0;
   std::uint64_t chunk_stores = 0;
   std::uint64_t zero_chunks_skipped = 0;

@@ -214,44 +214,66 @@ struct OffloadPicker {
 
 }  // namespace
 
-void MemQSimEngine::run_local_stage(const Stage& stage) {
+void MemQSimEngine::run_stream_stage(const Stage& stage,
+                                     std::vector<ChunkJob> jobs) {
   struct InFlight {
-    index_t chunk;
+    ChunkJob job;
     std::vector<amp_t> buf;
     device::Event done;
     bool modified;
   };
   std::deque<InFlight> in_flight;
   OffloadPicker offload{config_.cpu_offload_fraction};
+  const bool serial = codec_pool() == nullptr;
+
+  // Reader decode-ahead + writer backlog are split so that reader window +
+  // writer-resident buffers stay <= codec_threads work items; together with
+  // the device deque the stage keeps <= pipeline_depth + codec_threads
+  // decompressed items in flight (tracked by inflight_).
+  ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
+                     std::move(jobs), split_reader_window());
+  ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
+                     split_writer_backlog());
+
+  const auto put_back = [&](const ChunkJob& job, std::vector<amp_t> buf,
+                            bool modified) {
+    if (!modified) {
+      reader.recycle(std::move(buf));
+      return;
+    }
+    const double dt = writer.put(job, std::move(buf));
+    if (serial) {
+      // Historical serial accounting: charge each recompress as it happens
+      // so modeled CPU/device interleaving is unchanged.
+      telemetry_.cpu_phases.add("recompress", dt);
+      charge_cpu(dt / config_.cpu_codec_workers);
+    }
+  };
 
   const auto complete_front = [&] {
     InFlight item = std::move(in_flight.front());
     in_flight.pop_front();
     clock_->sync_until(item.done.time);
-    if (item.modified) store_chunk_timed(item.chunk, item.buf);
+    put_back(item.job, std::move(item.buf), item.modified);
   };
 
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-    if (store_.is_zero_chunk(ci)) {
-      ++telemetry_.zero_chunks_skipped;
-      continue;  // unitary gates keep the zero subspace zero
+  while (auto item = reader.next()) {
+    if (serial) {
+      telemetry_.cpu_phases.add("decompress", item->decode_seconds);
+      charge_cpu(item->decode_seconds / config_.cpu_codec_workers);
     }
-    InFlight item;
-    item.chunk = ci;
-    (void)load_chunk_timed(ci, item.buf);
     ++work_items_;
 
     if (offload.pick()) {
-      // Step (5): this chunk is updated by idle CPU cores.
-      item.modified = cpu_apply(item.buf, stage, ci);
-      if (item.modified) store_chunk_timed(ci, item.buf);
+      // Step (5): this work item is updated by idle CPU cores.
+      const bool modified = cpu_apply(item->buf, stage, item->job.a);
+      put_back(item->job, std::move(item->buf), modified);
       continue;
     }
 
-    const auto [modified, done] = device_round_trip(item.buf, stage, ci);
-    item.modified = modified;
-    item.done = done;
-    in_flight.push_back(std::move(item));
+    const auto [modified, done] =
+        device_round_trip(item->buf, stage, item->job.a);
+    in_flight.push_back({item->job, std::move(item->buf), done, modified});
 
     if (!config_.pipelined) {
       complete_front();  // serialize every phase
@@ -260,34 +282,34 @@ void MemQSimEngine::run_local_stage(const Stage& stage) {
     }
   }
   while (!in_flight.empty()) complete_front();
+  writer.drain();
+  if (!serial) {
+    // Parallel mode: codec seconds are summed across workers for the phase
+    // breakdown, but the modeled clock is only charged the coordinator's
+    // measured blocked time — decompression genuinely overlapped device
+    // work, so no per-item fiction is needed.
+    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
+    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
+    charge_cpu(reader.wait_seconds() + writer.wait_seconds());
+  }
   refresh_footprint_telemetry();
 }
 
-void MemQSimEngine::run_pair_stage(const Stage& stage) {
-  struct InFlight {
-    index_t chunk_lo;
-    std::vector<amp_t> buf;  // 2 chunks
-    device::Event done;
-    bool modified;
-  };
-  std::deque<InFlight> in_flight;
-  OffloadPicker offload{config_.cpu_offload_fraction};
-  const qubit_t c = store_.chunk_qubits();
-  const qubit_t pair_bit = stage.pair_qubit - c;
-  const index_t amps = store_.chunk_amps();
-
-  const auto complete_front = [&] {
-    InFlight item = std::move(in_flight.front());
-    in_flight.pop_front();
-    clock_->sync_until(item.done.time);
-    if (item.modified) {
-      store_chunk_timed(item.chunk_lo,
-                        std::span<const amp_t>(item.buf).first(amps));
-      store_chunk_timed(bits::set(item.chunk_lo, pair_bit),
-                        std::span<const amp_t>(item.buf).last(amps));
+void MemQSimEngine::run_local_stage(const Stage& stage) {
+  std::vector<ChunkJob> jobs;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    if (store_.is_zero_chunk(ci)) {
+      ++telemetry_.zero_chunks_skipped;
+      continue;  // unitary gates keep the zero subspace zero
     }
-  };
+    jobs.push_back({ci, 0, false});
+  }
+  run_stream_stage(stage, std::move(jobs));
+}
 
+void MemQSimEngine::run_pair_stage(const Stage& stage) {
+  const qubit_t pair_bit = stage.pair_qubit - store_.chunk_qubits();
+  std::vector<ChunkJob> jobs;
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
     if (bits::test(ci, pair_bit)) continue;
     const index_t cj = bits::set(ci, pair_bit);
@@ -295,41 +317,9 @@ void MemQSimEngine::run_pair_stage(const Stage& stage) {
       ++telemetry_.zero_chunks_skipped;
       continue;
     }
-    InFlight item;
-    item.chunk_lo = ci;
-    item.buf.resize(2 * amps);
-    {
-      WallTimer t;
-      store_.load(ci, std::span<amp_t>(item.buf).first(amps));
-      store_.load(cj, std::span<amp_t>(item.buf).last(amps));
-      const double dt = t.seconds();
-      telemetry_.cpu_phases.add("decompress", dt);
-      charge_cpu(dt / config_.cpu_codec_workers);
-    }
-    ++work_items_;
-
-    if (offload.pick()) {
-      item.modified = cpu_apply(item.buf, stage, ci);
-      if (item.modified) {
-        store_chunk_timed(ci, std::span<const amp_t>(item.buf).first(amps));
-        store_chunk_timed(cj, std::span<const amp_t>(item.buf).last(amps));
-      }
-      continue;
-    }
-
-    const auto [modified, done] = device_round_trip(item.buf, stage, ci);
-    item.modified = modified;
-    item.done = done;
-    in_flight.push_back(std::move(item));
-
-    if (!config_.pipelined) {
-      complete_front();
-    } else if (in_flight.size() >= pipeline_depth()) {
-      complete_front();
-    }
+    jobs.push_back({ci, cj, true});
   }
-  while (!in_flight.empty()) complete_front();
-  refresh_footprint_telemetry();
+  run_stream_stage(stage, std::move(jobs));
 }
 
 void MemQSimEngine::collect_device_telemetry() {

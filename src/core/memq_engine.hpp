@@ -63,6 +63,11 @@ class MemQSimEngine final : public CompressedEngineBase {
   void run_pair_stage(const Stage& stage);
   void run_permute_stage(const Stage& stage);
 
+  /// Shared online-stage loop: streams `jobs` decompress -> device round
+  /// trip -> recompress, with codec work fanned across the codec pool
+  /// (bounded in-flight window) or run inline in serial mode.
+  void run_stream_stage(const Stage& stage, std::vector<ChunkJob> jobs);
+
   /// Streams one work item (a chunk or a chunk pair, already decompressed
   /// into `host_buf`) through upload -> kernels -> download on the next
   /// device (round-robin). Returns {modified, completion event}.
@@ -82,7 +87,6 @@ class MemQSimEngine final : public CompressedEngineBase {
   std::vector<DeviceContext> devices_;
   std::size_t next_device_ = 0;
 
-  std::vector<amp_t> pair_buf_;
   std::optional<StagePlan> plan_;
   std::uint64_t work_items_ = 0;  // for cpu-offload round-robin
 };

@@ -90,11 +90,9 @@ void apply_matrix2(std::span<amp_t> amps, qubit_t q_lo, qubit_t q_hi,
                    const Mat4& m, index_t control_mask) {
   const qubit_t n = span_qubits(amps);
   MEMQ_CHECK(q_lo < n && q_hi < n && q_lo != q_hi, "bad matrix2 targets");
-  const bool swapped = q_lo > q_hi;
   const qubit_t lo = std::min(q_lo, q_hi), hi = std::max(q_lo, q_hi);
   const index_t lo_bit = index_t{1} << q_lo;  // basis-order bit of target 0
   const index_t hi_bit = index_t{1} << q_hi;  // basis-order bit of target 1
-  (void)swapped;
   const auto quarter = static_cast<std::int64_t>(amps.size() >> 2);
 #pragma omp parallel for schedule(static)
   for (std::int64_t k = 0; k < quarter; ++k) {

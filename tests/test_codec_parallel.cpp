@@ -1,0 +1,223 @@
+// Parallel codec pipeline: results must be bit-identical for any
+// codec_threads (the determinism contract of DESIGN.md "Parallel online
+// pipeline"), the in-flight window must stay bounded, ChunkStore must
+// tolerate distinct-chunk concurrency, and ThreadPool::parallel_for must
+// survive nested submits and exceptions.
+#include "core/codec_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "circuit/workloads.hpp"
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "core/memq_engine.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+EngineConfig threaded_config(std::uint32_t threads, qubit_t chunk_qubits) {
+  EngineConfig cfg;
+  cfg.chunk_qubits = chunk_qubits;
+  cfg.codec.bound = 1e-6;
+  cfg.codec_threads = threads;
+  return cfg;
+}
+
+bool bit_identical(const sv::StateVector& a, const sv::StateVector& b) {
+  if (a.amplitudes().size() != b.amplitudes().size()) return false;
+  return std::memcmp(a.amplitudes().data(), b.amplitudes().data(),
+                     a.amplitudes().size() * sizeof(amp_t)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: codec_threads must never change a single bit of the result.
+// ---------------------------------------------------------------------------
+
+class CodecParallelDeterminism
+    : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(CodecParallelDeterminism, BitIdenticalAcrossThreadCounts) {
+  const Circuit c = circuit::make_workload("random", 8, 42);
+  auto serial = make_engine(GetParam(), 8, threaded_config(1, 4));
+  auto parallel = make_engine(GetParam(), 8, threaded_config(8, 4));
+  serial->run(c);
+  parallel->run(c);
+
+  EXPECT_TRUE(bit_identical(serial->to_dense(), parallel->to_dense()));
+  EXPECT_EQ(serial->norm(), parallel->norm());
+
+  const sv::PauliString pauli{"XZIYIZXI"};
+  EXPECT_EQ(serial->expectation(pauli), parallel->expectation(pauli));
+
+  const std::vector<qubit_t> qs{0, 3, 6};
+  EXPECT_EQ(serial->marginal_probabilities(qs),
+            parallel->marginal_probabilities(qs));
+
+  // Same seed + same per-chunk reduction order => identical CDF walk.
+  EXPECT_EQ(serial->sample_counts(200), parallel->sample_counts(200));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CodecParallelDeterminism,
+                         ::testing::Values(EngineKind::kMemQSim,
+                                           EngineKind::kWu));
+
+TEST(CodecParallel, MeasurementOutcomesIdentical) {
+  // Measurements consume engine RNG on the coordinator; outcomes (and the
+  // collapsed states) must match bit for bit across thread counts. Mix
+  // chunk-local (q0) and cross-chunk (q6) measured qubits.
+  Circuit c(8);
+  for (qubit_t q = 0; q < 8; ++q) c.append(Gate::h(q));
+  c.append(Gate::cx(0, 7));
+  c.append(Gate::cx(3, 5));
+  c.measure(0);
+  c.measure(6);
+  c.append(Gate::h(2));
+  c.measure(2);
+
+  for (const EngineKind kind : {EngineKind::kMemQSim, EngineKind::kWu}) {
+    auto serial = make_engine(kind, 8, threaded_config(1, 4));
+    auto parallel = make_engine(kind, 8, threaded_config(8, 4));
+    serial->run(c);
+    parallel->run(c);
+    EXPECT_TRUE(bit_identical(serial->to_dense(), parallel->to_dense()))
+        << engine_kind_name(kind);
+  }
+}
+
+TEST(CodecParallel, LoadDenseRoundTripMatchesSerial) {
+  auto serial = make_engine(EngineKind::kMemQSim, 8, threaded_config(1, 4));
+  auto parallel = make_engine(EngineKind::kMemQSim, 8, threaded_config(8, 4));
+  const Circuit c = circuit::make_workload("qft", 8, 7);
+  serial->run(c);
+  const sv::StateVector state = serial->to_dense();
+  parallel->load_dense(state.amplitudes());
+  serial->load_dense(state.amplitudes());
+  EXPECT_TRUE(bit_identical(serial->to_dense(), parallel->to_dense()));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded in-flight window
+// ---------------------------------------------------------------------------
+
+TEST(CodecParallel, InFlightWindowStaysBounded) {
+  constexpr std::uint32_t kThreads = 4;
+  EngineConfig cfg = threaded_config(kThreads, 4);
+  auto engine = make_engine(EngineKind::kMemQSim, 10, cfg);
+  // "random" mixes local and pair stages; pair items are two chunks wide.
+  engine->run(circuit::make_workload("random", 10, 11));
+  (void)engine->norm();
+  (void)engine->sample_counts(64);
+
+  const std::uint64_t chunk_raw = (index_t{1} << cfg.chunk_qubits) * kAmpBytes;
+  const std::uint64_t depth = cfg.device_count * cfg.device_slots + 1;
+  const std::uint64_t bound = (depth + kThreads) * 2 * chunk_raw;
+  EXPECT_GT(engine->telemetry().peak_inflight_bytes, 0u);
+  EXPECT_LE(engine->telemetry().peak_inflight_bytes, bound);
+}
+
+// ---------------------------------------------------------------------------
+// ChunkStore under distinct-chunk concurrency
+// ---------------------------------------------------------------------------
+
+TEST(ChunkStoreThreaded, DistinctChunkLoadStoreConcurrent) {
+  compress::ChunkCodecConfig codec;
+  codec.bound = 1e-8;
+  ChunkStore store(8, 4, codec);  // 16 chunks of 16 amps
+  const index_t chunk_amps = store.chunk_amps();
+
+  std::vector<amp_t> reference(dim_of(8));
+  for (index_t i = 0; i < reference.size(); ++i)
+    reference[i] = amp_t{std::sin(0.1 * static_cast<double>(i + 1)),
+                         std::cos(0.2 * static_cast<double>(i))};
+
+  ThreadPool pool(4);
+  pool.parallel_for(store.n_chunks(), [&](std::size_t ci) {
+    compress::ChunkCodec local(codec);  // codecs are per-thread by contract
+    store.store_with(local, ci,
+                     std::span<const amp_t>(reference)
+                         .subspan(ci * chunk_amps, chunk_amps));
+  });
+  EXPECT_EQ(store.stores(), 16u);
+  EXPECT_GT(store.compressed_bytes(), 0u);
+
+  std::vector<amp_t> decoded(dim_of(8));
+  pool.parallel_for(store.n_chunks(), [&](std::size_t ci) {
+    compress::ChunkCodec local(codec);
+    store.load_with(local, ci,
+                    std::span<amp_t>(decoded).subspan(ci * chunk_amps,
+                                                      chunk_amps));
+  });
+  EXPECT_EQ(store.loads(), 16u);
+  for (index_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(decoded[i].real(), reference[i].real(), 1e-5) << i;
+    EXPECT_NEAR(decoded[i].imag(), reference[i].imag(), 1e-5) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolEdge, ParallelForRethrowsAndSurvives) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // The pool must still be fully usable afterwards (no dangling task state).
+  std::atomic<int> after{0};
+  pool.parallel_for(50, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolEdge, ParallelForStopsEarlyOnException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(1000000,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::logic_error("stop");
+                                   ran.fetch_add(1);
+                                 }),
+               std::logic_error);
+  // Not all million iterations should have run after the early failure.
+  EXPECT_LT(ran.load(), 1000000);
+}
+
+TEST(ThreadPoolEdge, NestedSubmitInsideParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> inner{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    // Fire-and-forget nested work; waiting happens outside the loop so no
+    // worker can deadlock on its own queue.
+    (void)pool.submit([&inner] { inner.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPoolEdge, ParallelForFirstExceptionWins) {
+  ThreadPool pool(4);
+  // Every iteration throws; exactly one exception must surface and the call
+  // must not terminate or leak futures.
+  EXPECT_THROW(
+      pool.parallel_for(32,
+                        [](std::size_t i) {
+                          throw std::runtime_error("it " + std::to_string(i));
+                        }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memq::core

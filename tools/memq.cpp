@@ -4,9 +4,9 @@
 //   memq workload <name> --qubits N [--seed S] [--out file.qasm] [--stats]
 //   memq run <file.qasm> [--engine dense|wu|memqsim] [--shots N]
 //            [--chunk-qubits C] [--bound B] [--compressor NAME]
-//            [--devices D] [--layout] [--fuse] [--marginal q0,q1,...]
-//            [--expect PAULISTRING] [--checkpoint out.ckpt]
-//            [--restore in.ckpt]
+//            [--devices D] [--codec-threads T] [--layout] [--fuse]
+//            [--marginal q0,q1,...] [--expect PAULISTRING]
+//            [--checkpoint out.ckpt] [--restore in.ckpt]
 //   memq compress <file.qasm> [--chunk-qubits C] [--bound B]
 //            (final-state compression ratio for every registered codec)
 //   memq transfer --qubits N
@@ -42,8 +42,9 @@ using namespace memq;
       "  memq workload <name> --qubits N [--seed S] [--out f.qasm] [--stats]\n"
       "  memq run <file.qasm> [--engine dense|wu|memqsim] [--shots N]\n"
       "           [--chunk-qubits C] [--bound B] [--compressor NAME]\n"
-      "           [--devices D] [--layout] [--fuse] [--marginal q0,q1,..]\n"
-      "           [--expect PAULIS] [--checkpoint f] [--restore f]\n"
+      "           [--devices D] [--codec-threads T] [--layout] [--fuse]\n"
+      "           [--marginal q0,q1,..] [--expect PAULIS]\n"
+      "           [--checkpoint f] [--restore f]\n"
       "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
       "  memq transfer --qubits N\n";
   std::exit(2);
@@ -99,6 +100,8 @@ core::EngineConfig config_from(const Args& args, qubit_t n) {
   cfg.codec.compressor = args.option("compressor", "szq");
   cfg.device_count =
       static_cast<std::uint32_t>(std::atoi(args.option("devices", "1").c_str()));
+  cfg.codec_threads = static_cast<std::uint32_t>(
+      std::atoi(args.option("codec-threads", "1").c_str()));
   cfg.optimize_layout = args.has_flag("layout");
   cfg.fuse_single_qubit_runs = args.has_flag("fuse");
   return cfg;
@@ -124,6 +127,8 @@ int cmd_info() {
   std::cout << "  device memory       " << human_bytes(cfg.device.memory_bytes)
             << "\n";
   std::cout << "  cpu codec workers   " << cfg.cpu_codec_workers << "\n";
+  std::cout << "  codec threads       " << cfg.codec_threads
+            << " (0 = hardware concurrency)\n";
   return 0;
 }
 
