@@ -1,0 +1,178 @@
+// Chunk-cache bench: budget sweep {0, 12.5, 25, 50, 100}% of the raw state
+// over QFT / random / Grover. Reports real codec seconds (decompress +
+// recompress), modeled end-to-end time, hit rate, chunk-store traffic and
+// peak footprint, and verifies the tentpole claims:
+//   (a) at a 25%-of-raw-state budget, QFT's total codec seconds drop by
+//       >= 30% vs. budget 0 (hot early-stage chunks stop round-tripping);
+//   (b) the peak in-flight footprint stays within budget + the structural
+//       pipeline window;
+//   (c) budget 0 runs the historical path (zero cache activity).
+//
+// Writes BENCH_chunk_cache.json next to the binary for the driver.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+using namespace memq;
+
+constexpr qubit_t kQubits = 16;
+constexpr qubit_t kChunkQubits = 10;  // 64 chunks of 16 KiB raw
+
+struct Arm {
+  std::string workload;
+  double budget_percent = 0.0;
+  std::uint64_t budget_bytes = 0;
+  double codec_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t peak_inflight = 0;
+  std::uint64_t peak_host = 0;
+  std::uint64_t peak_cache = 0;
+
+  double hit_rate() const {
+    return hits + misses == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(hits + misses);
+  }
+};
+
+Arm run_arm(const circuit::Circuit& c, const std::string& workload,
+            double percent, std::uint64_t budget) {
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = kChunkQubits;
+  cfg.codec.bound = 1e-6;
+  cfg.cache_budget_bytes = budget;
+  // All arms (including budget 0) elide SWAPs: the bit-reversal tail is
+  // pure data movement, and benching the cache against a pipeline that
+  // round-trips it through the codec would flatter every budget equally.
+  cfg.elide_swaps = true;
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+  engine->run(c);
+  (void)engine->norm();  // the post-run sweep every experiment pays
+
+  const auto& t = engine->telemetry();
+  Arm a;
+  a.workload = workload;
+  a.budget_percent = percent;
+  a.budget_bytes = budget;
+  a.codec_seconds =
+      t.cpu_phases.get("decompress") + t.cpu_phases.get("recompress");
+  a.modeled_seconds = t.modeled_total_seconds;
+  a.hits = t.cache_hits;
+  a.misses = t.cache_misses;
+  a.loads = t.chunk_loads;
+  a.stores = t.chunk_stores;
+  a.peak_inflight = t.peak_inflight_bytes;
+  a.peak_host = t.peak_host_state_bytes;
+  a.peak_cache = t.peak_cache_resident_bytes;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t raw_state = dim_of(kQubits) * kAmpBytes;
+  const std::uint64_t chunk_raw = (index_t{1} << kChunkQubits) * kAmpBytes;
+  core::EngineConfig defaults;
+  const std::uint64_t depth =
+      defaults.device_count * defaults.device_slots + 1;
+  // Serial mode: 1 codec thread, so the structural window is depth + 1
+  // two-chunk work items on top of whatever the cache holds.
+  const std::uint64_t window = (depth + 1) * 2 * chunk_raw;
+
+  std::cout << "chunk-cache bench — " << int(kQubits) << " qubits, chunk 2^"
+            << int(kChunkQubits) << " (" << human_bytes(raw_state)
+            << " raw state, " << (dim_of(kQubits) >> kChunkQubits)
+            << " chunks)\n\n";
+
+  const std::vector<double> budgets_percent = {0.0, 12.5, 25.0, 50.0, 100.0};
+  std::vector<Arm> arms;
+  bool footprint_ok = true, budget0_clean = true;
+  double qft_base = 0.0, qft_quarter = 0.0;
+
+  for (const std::string workload : {"qft", "random", "grover"}) {
+    const circuit::Circuit c =
+        circuit::make_workload(workload, kQubits, 2024);
+    TextTable table({"budget", "codec cpu", "modeled", "hit rate",
+                     "loads+stores", "peak in-flight", "peak host"});
+    for (const double percent : budgets_percent) {
+      const auto budget = static_cast<std::uint64_t>(
+          static_cast<double>(raw_state) * percent / 100.0);
+      const Arm a = run_arm(c, workload, percent, budget);
+      arms.push_back(a);
+
+      if (budget == 0 && (a.hits | a.misses | a.peak_cache) != 0)
+        budget0_clean = false;
+      if (budget > 0 && a.peak_inflight > budget + window)
+        footprint_ok = false;
+      if (workload == "qft" && percent == 0.0) qft_base = a.codec_seconds;
+      if (workload == "qft" && percent == 25.0)
+        qft_quarter = a.codec_seconds;
+
+      table.add_row(
+          {percent == 0.0 ? "off" : format_fixed(percent, 1) + "%",
+           human_seconds(a.codec_seconds), human_seconds(a.modeled_seconds),
+           budget == 0 ? "-" : format_fixed(100.0 * a.hit_rate(), 1) + "%",
+           std::to_string(a.loads + a.stores), human_bytes(a.peak_inflight),
+           human_bytes(a.peak_host)});
+    }
+    std::cout << workload << "(" << int(kQubits) << "), " << c.size()
+              << " gates:\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const double qft_reduction =
+      qft_base > 0.0 ? 1.0 - qft_quarter / qft_base : 0.0;
+  const bool reduction_ok = qft_reduction >= 0.30;
+  std::cout << "qft codec seconds at 25% budget: "
+            << human_seconds(qft_quarter) << " vs " << human_seconds(qft_base)
+            << " off (" << format_fixed(100.0 * qft_reduction, 1)
+            << "% reduction, need >= 30%): " << (reduction_ok ? "yes" : "NO")
+            << "\n"
+            << "peak in-flight within budget + pipeline window: "
+            << (footprint_ok ? "yes" : "NO") << "\n"
+            << "budget 0 keeps the historical path (no cache activity): "
+            << (budget0_clean ? "yes" : "NO") << "\n";
+
+  std::ofstream json("BENCH_chunk_cache.json");
+  json << "{\n  \"qubits\": " << int(kQubits)
+       << ",\n  \"chunk_qubits\": " << int(kChunkQubits)
+       << ",\n  \"raw_state_bytes\": " << raw_state << ",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const Arm& a = arms[i];
+    json << "    {\"workload\": \"" << a.workload
+         << "\", \"budget_percent\": " << a.budget_percent
+         << ", \"budget_bytes\": " << a.budget_bytes
+         << ", \"codec_seconds\": " << a.codec_seconds
+         << ", \"modeled_seconds\": " << a.modeled_seconds
+         << ", \"hit_rate\": " << a.hit_rate()
+         << ", \"chunk_loads\": " << a.loads
+         << ", \"chunk_stores\": " << a.stores
+         << ", \"peak_inflight_bytes\": " << a.peak_inflight
+         << ", \"peak_host_state_bytes\": " << a.peak_host
+         << ", \"peak_cache_resident_bytes\": " << a.peak_cache << "}"
+         << (i + 1 < arms.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"qft_codec_reduction_at_25pct\": " << qft_reduction
+       << ",\n  \"qft_reduction_ok\": " << (reduction_ok ? "true" : "false")
+       << ",\n  \"footprint_within_bound\": "
+       << (footprint_ok ? "true" : "false")
+       << ",\n  \"budget0_historical\": "
+       << (budget0_clean ? "true" : "false") << "\n}\n";
+  return (reduction_ok && footprint_ok && budget0_clean) ? 0 : 1;
+}

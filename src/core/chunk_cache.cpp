@@ -1,0 +1,367 @@
+#include "core/chunk_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/chunk_store.hpp"
+
+namespace memq::core {
+
+ChunkCache::ChunkCache(ChunkStore& store, CodecPool* pool, BufferPool& buffers,
+                       InFlightLedger& ledger, std::uint64_t budget_bytes)
+    : store_(store),
+      buffers_(buffers),
+      ledger_(ledger),
+      budget_bytes_(budget_bytes),
+      chunk_raw_bytes_(store.chunk_raw_bytes()),
+      writer_(store, pool, buffers, ledger,
+              pool != nullptr ? pool->workers() : 0) {}
+
+ChunkCache::~ChunkCache() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best effort; engines flush explicitly where the
+    // result matters (save_state) and can surface the error there.
+  }
+}
+
+std::optional<index_t> ChunkCache::position_in(const StageAccess& stage,
+                                               index_t slot) {
+  switch (stage.kind) {
+    case StageAccess::Kind::kEvery:
+      return slot;
+    case StageAccess::Kind::kPair:
+      return slot & ~stage.pair_mask;
+    case StageAccess::Kind::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t ChunkCache::next_use_of(index_t slot,
+                                      std::uint64_t from_time) const {
+  if (!plan_active()) return kNever;
+  for (std::size_t s = static_cast<std::size_t>(from_time / width_);
+       s < plan_.size(); ++s) {
+    const std::optional<index_t> pos = position_in(plan_[s], slot);
+    if (!pos) continue;
+    const std::uint64_t t = s * width_ + *pos;
+    if (t > from_time) return t;
+  }
+  return kNever;
+}
+
+void ChunkCache::touch(index_t slot, Entry& entry) {
+  entry.last_use = ++lru_tick_;
+  if (plan_active()) {
+    const std::optional<index_t> pos = position_in(plan_[stage_], slot);
+    if (pos) now_ = std::max(now_, stage_ * width_ + *pos);
+    entry.next_use = next_use_of(slot, now_);
+  }
+}
+
+void ChunkCache::advance_clock(index_t slot) {
+  if (!plan_active()) return;
+  const std::optional<index_t> pos = position_in(plan_[stage_], slot);
+  if (pos) now_ = std::max(now_, stage_ * width_ + *pos);
+}
+
+bool ChunkCache::worth_inserting(index_t slot) {
+  if (!plan_active()) return true;  // LRU mode: always cache
+  if (resident_bytes_ + chunk_raw_bytes_ <= budget_bytes_) return true;
+  // Belady admits a chunk only when some resident is needed strictly later
+  // than the chunk's own next scheduled access — otherwise the eviction it
+  // forces discards a sooner-needed entry (or, at the end of the plan,
+  // churns a dirty entry through the codec for nothing).
+  const std::uint64_t incoming = next_use_of(slot, now_);
+  for (auto& [s, e] : entries_) {
+    if (e.next_use <= now_) e.next_use = next_use_of(s, now_);
+    if (e.next_use > incoming) return true;
+  }
+  return false;
+}
+
+void ChunkCache::guard_slot(index_t i) {
+  if (pending_wb_.empty() || pending_wb_.count(i) == 0) return;
+  writer_.drain();
+  pending_wb_.clear();
+}
+
+void ChunkCache::writeback(index_t slot, std::vector<amp_t> buf) {
+  writer_.put({slot, 0, false}, std::move(buf));
+  pending_wb_.insert(slot);
+}
+
+void ChunkCache::evict_to_fit(std::uint64_t extra_bytes) {
+  while (!entries_.empty() &&
+         resident_bytes_ + extra_bytes > budget_bytes_) {
+    auto victim = entries_.end();
+    if (plan_active()) {
+      // Belady: evict the farthest next use. Entries whose memoized next
+      // use is in the past (a scheduled access was skipped, e.g. a zero
+      // chunk) are lazily recomputed from the current clock.
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.next_use <= now_)
+          it->second.next_use = next_use_of(it->first, now_);
+        if (victim == entries_.end() ||
+            it->second.next_use > victim->second.next_use ||
+            (it->second.next_use == victim->second.next_use &&
+             it->first > victim->first))
+          victim = it;
+      }
+    } else {
+      // LRU fallback for plan-less sweeps.
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (victim == entries_.end() ||
+            it->second.last_use < victim->second.last_use)
+          victim = it;
+      }
+    }
+    const index_t slot = victim->first;
+    Entry entry = std::move(victim->second);
+    entries_.erase(victim);
+    resident_bytes_ -= chunk_raw_bytes_;
+    ++stats_.evictions;
+    if (entry.dirty) {
+      guard_slot(slot);
+      ++stats_.writebacks;
+      writeback(slot, std::move(entry.data));  // releases the ledger bytes
+    } else {
+      ++stats_.clean_evictions;
+      ledger_.release(chunk_raw_bytes_);
+      buffers_.put(std::move(entry.data));
+    }
+  }
+}
+
+void ChunkCache::insert(index_t i, std::span<const amp_t> data, bool dirty) {
+  Entry entry;
+  entry.data = buffers_.get(store_.chunk_amps());
+  std::copy(data.begin(), data.end(), entry.data.begin());
+  entry.dirty = dirty;
+  ledger_.acquire(chunk_raw_bytes_);
+  resident_bytes_ += chunk_raw_bytes_;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, resident_bytes_);
+  auto [it, inserted] = entries_.emplace(i, std::move(entry));
+  MEMQ_ASSERT(inserted);
+  (void)inserted;
+  touch(i, it->second);
+}
+
+void ChunkCache::load(index_t i, std::span<amp_t> out) {
+  MEMQ_CHECK(out.size() == store_.chunk_amps(), "cache load span mismatch");
+  const auto it = entries_.find(i);
+  if (it != entries_.end()) {
+    std::copy(it->second.data.begin(), it->second.data.end(), out.begin());
+    touch(i, it->second);
+    ++stats_.hits;
+    return;
+  }
+  guard_slot(i);
+  WallTimer t;
+  store_.load(i, out);
+  decode_seconds_ += t.seconds();
+  ++stats_.misses;
+  advance_clock(i);  // pass-throughs must still move the Belady clock
+  if (budget_bytes_ >= chunk_raw_bytes_ && worth_inserting(i)) {
+    evict_to_fit(chunk_raw_bytes_);
+    insert(i, out, /*dirty=*/false);
+  }
+}
+
+void ChunkCache::store(index_t i, std::span<const amp_t> in) {
+  MEMQ_CHECK(in.size() == store_.chunk_amps(), "cache store span mismatch");
+  const auto it = entries_.find(i);
+  if (it != entries_.end()) {
+    std::copy(in.begin(), in.end(), it->second.data.begin());
+    it->second.dirty = true;
+    touch(i, it->second);
+    ++stats_.stores_absorbed;
+    return;
+  }
+  guard_slot(i);
+  advance_clock(i);
+  if (budget_bytes_ >= chunk_raw_bytes_ && worth_inserting(i)) {
+    evict_to_fit(chunk_raw_bytes_);
+    insert(i, in, /*dirty=*/true);
+    ++stats_.stores_absorbed;
+    return;
+  }
+  // Not cacheable (budget below one chunk, or Belady declined the slot):
+  // encode immediately — still through the bounded writer so pool mode
+  // overlaps the encode.
+  std::vector<amp_t> buf = buffers_.get(store_.chunk_amps());
+  std::copy(in.begin(), in.end(), buf.begin());
+  ledger_.acquire(chunk_raw_bytes_);
+  writeback(i, std::move(buf));
+}
+
+bool ChunkCache::is_zero(index_t i) const {
+  const auto it = entries_.find(i);
+  if (it != entries_.end() && it->second.dirty) return false;
+  // A slot with an encode still in flight has unknown blob state; treat as
+  // possibly nonzero rather than racing the write-back worker.
+  if (!pending_wb_.empty() && pending_wb_.count(i) != 0) return false;
+  return store_.is_zero_chunk(i);
+}
+
+bool ChunkCache::dirty(index_t i) const {
+  const auto it = entries_.find(i);
+  return it != entries_.end() && it->second.dirty;
+}
+
+void ChunkCache::drop(index_t i) {
+  guard_slot(i);
+  const auto it = entries_.find(i);
+  if (it == entries_.end()) return;
+  ledger_.release(chunk_raw_bytes_);
+  resident_bytes_ -= chunk_raw_bytes_;
+  buffers_.put(std::move(it->second.data));
+  entries_.erase(it);
+}
+
+void ChunkCache::on_swap(index_t i, index_t j) {
+  if (i == j) return;
+  guard_slot(i);
+  guard_slot(j);
+  auto ni = entries_.extract(i);
+  auto nj = entries_.extract(j);
+  if (ni) {
+    ni.key() = j;
+    entries_.insert(std::move(ni));
+  }
+  if (nj) {
+    nj.key() = i;
+    entries_.insert(std::move(nj));
+  }
+  if (plan_active()) {
+    if (auto it = entries_.find(j); it != entries_.end() && ni)
+      it->second.next_use = next_use_of(j, now_);
+    if (auto it = entries_.find(i); it != entries_.end() && nj)
+      it->second.next_use = next_use_of(i, now_);
+  }
+}
+
+void ChunkCache::flush() {
+  for (auto& [slot, entry] : entries_) {
+    if (!entry.dirty) continue;
+    std::vector<amp_t> buf = buffers_.get(store_.chunk_amps());
+    std::copy(entry.data.begin(), entry.data.end(), buf.begin());
+    ledger_.acquire(chunk_raw_bytes_);
+    ++stats_.writebacks;
+    writer_.put({slot, 0, false}, std::move(buf));
+    entry.dirty = false;
+  }
+  writer_.drain();
+  pending_wb_.clear();
+}
+
+void ChunkCache::invalidate() {
+  writer_.drain();
+  pending_wb_.clear();
+  for (auto& [slot, entry] : entries_) {
+    ledger_.release(chunk_raw_bytes_);
+    buffers_.put(std::move(entry.data));
+  }
+  entries_.clear();
+  resident_bytes_ = 0;
+}
+
+void ChunkCache::set_plan(std::vector<StageAccess> plan) {
+  plan_ = std::move(plan);
+  stage_ = 0;
+  width_ = store_.n_chunks();
+  now_ = 0;
+  // Memoized distances refer to the previous plan's clock; mark them stale
+  // so the next eviction scan recomputes against the new schedule.
+  for (auto& [slot, entry] : entries_) entry.next_use = 0;
+}
+
+void ChunkCache::begin_stage(std::size_t stage_index) {
+  stage_ = stage_index;
+  if (!plan_.empty()) now_ = std::max(now_, stage_index * width_);
+}
+
+void ChunkCache::clear_plan() {
+  plan_.clear();
+  stage_ = 0;
+}
+
+ChunkCache::Timings ChunkCache::take_timings() {
+  Timings t;
+  t.decode_seconds = decode_seconds_;
+  decode_seconds_ = 0.0;
+  t.encode_seconds = writer_.encode_seconds() - encode_taken_;
+  encode_taken_ = writer_.encode_seconds();
+  t.wait_seconds = writer_.wait_seconds() - wait_taken_;
+  wait_taken_ = writer_.wait_seconds();
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// CachedReader / CachedWriter
+// ---------------------------------------------------------------------------
+
+CachedReader::CachedReader(ChunkStore& store, CodecPool* pool,
+                           BufferPool& buffers, InFlightLedger& ledger,
+                           ChunkCache* cache, std::vector<ChunkJob> jobs,
+                           std::size_t window)
+    : store_(store), buffers_(buffers), ledger_(ledger), cache_(cache) {
+  if (cache_ == nullptr) {
+    reader_.emplace(store, pool, buffers, ledger, std::move(jobs), window);
+  } else {
+    jobs_ = std::move(jobs);
+  }
+}
+
+std::optional<ChunkReader::Item> CachedReader::next() {
+  if (reader_) return reader_->next();
+  if (next_job_ >= jobs_.size()) return std::nullopt;
+  const std::size_t half = store_.chunk_amps();
+  ChunkReader::Item item;
+  item.job = jobs_[next_job_++];
+  const std::size_t amps = half * (item.job.has_b ? 2 : 1);
+  item.buf = buffers_.get(amps);
+  ledger_.acquire(amps * kAmpBytes);
+  cache_->load(item.job.a, std::span<amp_t>(item.buf).first(half));
+  if (item.job.has_b)
+    cache_->load(item.job.b, std::span<amp_t>(item.buf).subspan(half, half));
+  return item;
+}
+
+void CachedReader::recycle(std::vector<amp_t> buf) {
+  if (reader_) {
+    reader_->recycle(std::move(buf));
+    return;
+  }
+  ledger_.release(buf.size() * kAmpBytes);
+  buffers_.put(std::move(buf));
+}
+
+CachedWriter::CachedWriter(ChunkStore& store, CodecPool* pool,
+                           BufferPool& buffers, InFlightLedger& ledger,
+                           ChunkCache* cache, std::size_t max_pending)
+    : store_(store), buffers_(buffers), ledger_(ledger), cache_(cache) {
+  if (cache_ == nullptr)
+    writer_.emplace(store, pool, buffers, ledger, max_pending);
+}
+
+double CachedWriter::put(const ChunkJob& job, std::vector<amp_t> buf) {
+  if (writer_) return writer_->put(job, std::move(buf));
+  const std::size_t half = store_.chunk_amps();
+  cache_->store(job.a, std::span<const amp_t>(buf).first(half));
+  if (job.has_b)
+    cache_->store(job.b, std::span<const amp_t>(buf).subspan(half, half));
+  ledger_.release(buf.size() * kAmpBytes);
+  buffers_.put(std::move(buf));
+  return 0.0;
+}
+
+void CachedWriter::drain() {
+  if (writer_) writer_->drain();
+}
+
+}  // namespace memq::core

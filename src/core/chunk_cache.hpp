@@ -1,0 +1,301 @@
+// Budgeted write-back cache of *decompressed* chunks, layered between the
+// engines and ChunkStore — the answer to paper challenge 2 (compression
+// *frequency*): a stage that reloads a chunk the previous stage just wrote
+// should not pay a lossy encode/decode round trip for it.
+//
+//   * Hits skip decode entirely; the cached amplitudes are served as-is.
+//   * Stores are absorbed into the cache (entry marked dirty); the encode is
+//     deferred until the entry is evicted or flush() is called. A chunk that
+//     is rewritten k times while resident pays ONE encode instead of k.
+//   * Clean evictions skip recompression altogether — the blob is still
+//     accurate.
+//   * Eviction is Belady-style (farthest next use) when the engine installs
+//     a stage-access plan from the offline partitioner, falling back to LRU
+//     for sweeps with no plan (norm, sampling, observables...). The
+//     offline/online split mirrors the paper's architecture: the partitioner
+//     knows the full stage sequence, so next-use distances are exact up to
+//     dynamic zero-chunk skips (handled by lazy recomputation).
+//
+// Budget accounting: every resident entry charges chunk_raw_bytes to the
+// budget AND to the shared InFlightLedger, so peak_inflight_bytes /
+// peak_host_state_bytes stay honest. resident_bytes() never exceeds
+// budget_bytes(); a budget smaller than one chunk degenerates to
+// pass-through (every access goes straight to the store).
+//
+// Semantics note (documented in DESIGN.md §5c and asserted by
+// tests/test_chunk_cache.cpp): with a lossy codec, cache hits AVOID lossy
+// round trips, so results may differ from — be at least as accurate as —
+// the cache-off path. Bit-identical results are only guaranteed with the
+// Null codec. Results never depend on codec_threads: all cache decisions
+// (hit/miss/evict) are taken on the coordinator thread in access order.
+//
+// Threading contract: all public methods are coordinator-only. Dirty
+// write-backs fan out through the shared CodecPool (bounded backlog) when
+// one is available; a pending-write-back guard drains the backlog before
+// any operation that would read or rewrite a blob still being encoded.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/codec_pool.hpp"
+
+namespace memq::core {
+
+class ChunkStore;
+
+/// Counters surfaced through EngineTelemetry.
+struct ChunkCacheStats {
+  std::uint64_t hits = 0;             ///< loads served from the cache
+  std::uint64_t misses = 0;           ///< loads that had to decode
+  std::uint64_t evictions = 0;        ///< entries displaced by the budget
+  std::uint64_t writebacks = 0;       ///< deferred encodes actually paid
+  std::uint64_t clean_evictions = 0;  ///< evictions that skipped the encode
+  std::uint64_t stores_absorbed = 0;  ///< store() calls deferred in-cache
+  std::uint64_t peak_resident_bytes = 0;
+
+  /// Raw amplitude bytes whose codec pass was avoided: every hit skips one
+  /// decode; absorbed stores minus eventual write-backs are skipped encodes.
+  std::uint64_t codec_bytes_avoided(std::uint64_t chunk_raw_bytes) const {
+    const std::uint64_t skipped_encodes =
+        stores_absorbed > writebacks ? stores_absorbed - writebacks : 0;
+    return (hits + skipped_encodes) * chunk_raw_bytes;
+  }
+};
+
+/// One stage of the offline next-use schedule: which chunk slots the stage
+/// touches and at which position of its in-order sweep.
+struct StageAccess {
+  enum class Kind : std::uint8_t {
+    kEvery,  ///< local/measure stage: slot i accessed at position i
+    kPair,   ///< pair stage: slots i and i|pair_mask accessed together at
+             ///< position (i & ~pair_mask)
+    kNone,   ///< permute stage: no codec access at all
+  };
+  Kind kind = Kind::kEvery;
+  index_t pair_mask = 0;  ///< kPair only: high bit of the partner chunk
+};
+
+class ChunkCache {
+ public:
+  /// `pool` may be null (serial mode: write-backs encode synchronously).
+  ChunkCache(ChunkStore& store, CodecPool* pool, BufferPool& buffers,
+             InFlightLedger& ledger, std::uint64_t budget_bytes);
+  /// Flushes dirty entries (best effort — errors are swallowed, as in the
+  /// reader/writer destructors). Engines flush explicitly before save().
+  ~ChunkCache();
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  std::uint64_t budget_bytes() const noexcept { return budget_bytes_; }
+  std::uint64_t resident_bytes() const noexcept { return resident_bytes_; }
+
+  /// Installs the offline stage-access schedule (Belady mode). Stage titles
+  /// index into `plan`; call begin_stage() before each stage's accesses.
+  void set_plan(std::vector<StageAccess> plan);
+  void begin_stage(std::size_t stage_index);
+  /// Drops back to LRU mode (plan exhausted / plan-less sweeps).
+  void clear_plan();
+  bool has_plan() const noexcept { return !plan_.empty(); }
+
+  /// Reads chunk `i` into `out` (chunk_amps amplitudes), decoding and
+  /// inserting on a miss.
+  void load(index_t i, std::span<amp_t> out);
+
+  /// Accepts `in` as the new contents of chunk `i`; the encode is deferred
+  /// (write-back). Falls through to an immediate store when the budget
+  /// cannot hold even one chunk.
+  void store(index_t i, std::span<const amp_t> in);
+
+  /// Cache-aware zero query: a dirty entry means the blob is stale, so the
+  /// chunk must be treated as possibly nonzero. Never drains the write-back
+  /// backlog (a pending slot conservatively reports false).
+  bool is_zero(index_t i) const;
+
+  /// True if the cached copy of `i` exists and is dirty (blob stale).
+  bool dirty(index_t i) const;
+
+  /// Discards the entry for `i` (no write-back) — callers that are about to
+  /// overwrite the chunk in the store directly use this to keep the cache
+  /// coherent (e.g. measurement writing zero chunks).
+  void drop(index_t i);
+
+  /// Mirrors ChunkStore::swap_chunks so cached entries follow their blobs
+  /// through compressed-form permutation stages.
+  void on_swap(index_t i, index_t j);
+
+  /// Writes every dirty entry back (entries stay resident, now clean) and
+  /// joins the write-back backlog. Required before ChunkStore::save().
+  void flush();
+
+  /// Drops everything without write-back (state reset / restore / load_dense
+  /// overwrite). Joins the backlog first so no stale encode lands later.
+  void invalidate();
+
+  const ChunkCacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Codec seconds accumulated inside the cache since the last call:
+  /// decode = synchronous miss decodes, encode = write-back encodes (summed
+  /// across workers in pool mode), wait = coordinator seconds blocked on
+  /// the write-back backlog. Engines drain this into the phase breakdown
+  /// and the modeled clock.
+  struct Timings {
+    double decode_seconds = 0.0;
+    double encode_seconds = 0.0;
+    double wait_seconds = 0.0;
+  };
+  Timings take_timings();
+
+ private:
+  struct Entry {
+    std::vector<amp_t> data;
+    bool dirty = false;
+    std::uint64_t last_use = 0;  ///< LRU tick
+    std::uint64_t next_use = 0;  ///< Belady: next scheduled access time
+  };
+
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  bool plan_active() const noexcept {
+    return !plan_.empty() && stage_ < plan_.size();
+  }
+  /// Position of slot in a stage's sweep, or nullopt if untouched.
+  static std::optional<index_t> position_in(const StageAccess& stage,
+                                            index_t slot);
+  /// First scheduled access of `slot` strictly after `from_time`.
+  std::uint64_t next_use_of(index_t slot, std::uint64_t from_time) const;
+  /// Advances the Belady clock to the access of `slot` in the current stage.
+  void touch(index_t slot, Entry& entry);
+  /// Advances the Belady clock to `slot`'s position in the current stage.
+  void advance_clock(index_t slot);
+  /// Belady admission filter: false when caching `slot` would evict an
+  /// entry that is needed sooner than `slot` itself.
+  bool worth_inserting(index_t slot);
+  /// Drains the write-back backlog if `i` still has an encode in flight.
+  void guard_slot(index_t i);
+  /// Evicts victims until `extra_bytes` more fit in the budget.
+  void evict_to_fit(std::uint64_t extra_bytes);
+  /// Inserts a copy of `data` (caller guarantees it fits after eviction).
+  void insert(index_t i, std::span<const amp_t> data, bool dirty);
+  void writeback(index_t slot, std::vector<amp_t> buf);
+
+  ChunkStore& store_;
+  BufferPool& buffers_;
+  InFlightLedger& ledger_;
+  std::uint64_t budget_bytes_;
+  std::uint64_t chunk_raw_bytes_;
+
+  std::unordered_map<index_t, Entry> entries_;
+  std::uint64_t resident_bytes_ = 0;
+
+  // Deferred write-backs ride the same bounded-backlog writer the engines
+  // use; `pending_wb_` over-approximates the slots still in flight.
+  ChunkWriter writer_;
+  std::unordered_set<index_t> pending_wb_;
+
+  // Belady schedule + clock.
+  std::vector<StageAccess> plan_;
+  std::size_t stage_ = 0;
+  std::uint64_t width_ = 0;  ///< positions per stage (= n_chunks)
+  std::uint64_t now_ = 0;    ///< stage_ * width_ + current position
+  std::uint64_t lru_tick_ = 0;
+
+  ChunkCacheStats stats_;
+  double decode_seconds_ = 0.0;
+  double encode_taken_ = 0.0;  ///< writer encode seconds already reported
+  double wait_taken_ = 0.0;    ///< writer wait seconds already reported
+};
+
+/// Streams a job list through the cache when one is enabled, else through a
+/// plain ChunkReader — the single read path for engine stages and sweeps.
+/// Items come out in job order either way.
+class CachedReader {
+ public:
+  CachedReader(ChunkStore& store, CodecPool* pool, BufferPool& buffers,
+               InFlightLedger& ledger, ChunkCache* cache,
+               std::vector<ChunkJob> jobs, std::size_t window);
+
+  std::optional<ChunkReader::Item> next();
+  void recycle(std::vector<amp_t> buf);
+
+  /// Decode/wait seconds of the underlying ChunkReader (zero in cache mode —
+  /// cache codec time is reported through ChunkCache::take_timings()).
+  double decode_seconds() const noexcept {
+    return reader_ ? reader_->decode_seconds() : 0.0;
+  }
+  double wait_seconds() const noexcept {
+    return reader_ ? reader_->wait_seconds() : 0.0;
+  }
+
+ private:
+  ChunkStore& store_;
+  BufferPool& buffers_;
+  InFlightLedger& ledger_;
+  ChunkCache* cache_;
+  std::optional<ChunkReader> reader_;  ///< engaged iff cache_ == nullptr
+  std::vector<ChunkJob> jobs_;         ///< cache mode only
+  std::size_t next_job_ = 0;
+};
+
+/// Scoped plan for a plan-less sweep: installs a one-stage ascending kEvery
+/// schedule so eviction during the sweep stays next-use-aware (slots already
+/// swept become immediately evictable; upcoming residents survive) instead
+/// of LRU, which evicts residents moments before a cyclic scan reaches them.
+/// No-op when the cache is off or a run plan is already active.
+class SweepPlanGuard {
+ public:
+  explicit SweepPlanGuard(ChunkCache* cache)
+      : cache_(cache != nullptr && !cache->has_plan() ? cache : nullptr) {
+    if (cache_ != nullptr) {
+      cache_->set_plan({StageAccess{StageAccess::Kind::kEvery, 0}});
+      cache_->begin_stage(0);
+    }
+  }
+  ~SweepPlanGuard() {
+    if (cache_ != nullptr) cache_->clear_plan();
+  }
+  SweepPlanGuard(const SweepPlanGuard&) = delete;
+  SweepPlanGuard& operator=(const SweepPlanGuard&) = delete;
+
+ private:
+  ChunkCache* cache_;
+};
+
+/// Write-side twin of CachedReader: routes modified buffers into the cache
+/// (deferred encode) when one is enabled, else into a bounded ChunkWriter.
+class CachedWriter {
+ public:
+  CachedWriter(ChunkStore& store, CodecPool* pool, BufferPool& buffers,
+               InFlightLedger& ledger, ChunkCache* cache,
+               std::size_t max_pending);
+
+  /// Returns synchronous encode seconds (serial direct mode only; zero in
+  /// cache and pool modes).
+  double put(const ChunkJob& job, std::vector<amp_t> buf);
+  void drain();
+
+  double encode_seconds() const noexcept {
+    return writer_ ? writer_->encode_seconds() : 0.0;
+  }
+  double wait_seconds() const noexcept {
+    return writer_ ? writer_->wait_seconds() : 0.0;
+  }
+
+ private:
+  ChunkStore& store_;
+  BufferPool& buffers_;
+  InFlightLedger& ledger_;
+  ChunkCache* cache_;
+  std::optional<ChunkWriter> writer_;  ///< engaged iff cache_ == nullptr
+};
+
+}  // namespace memq::core

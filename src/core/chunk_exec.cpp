@@ -2,6 +2,7 @@
 
 #include "common/bit_ops.hpp"
 #include "common/error.hpp"
+#include "core/chunk_cache.hpp"
 #include "core/chunk_store.hpp"
 #include "sv/kernels.hpp"
 
@@ -157,13 +158,20 @@ bool apply_gate_to_pair(std::span<amp_t> pair, index_t chunk_lo,
   return true;
 }
 
-void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate) {
+void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate,
+                             ChunkCache* cache) {
   const qubit_t c = store.chunk_qubits();
   index_t cmask = 0;
   for (const qubit_t ctrl : gate.controls) {
     MEMQ_CHECK(ctrl >= c, "permutation gate has a local control");
     cmask |= index_t{1} << (ctrl - c);
   }
+  const auto swap_pair = [&](index_t ci, index_t cj) {
+    // The cache is notified first: on_swap drains any write-back still in
+    // flight for either slot before the blobs move underneath it.
+    if (cache != nullptr) cache->on_swap(ci, cj);
+    store.swap_chunks(ci, cj);
+  };
   if (gate.kind == GateKind::kX) {
     const qubit_t q = gate.targets.at(0);
     MEMQ_CHECK(q >= c, "permutation X must target a high qubit");
@@ -171,7 +179,7 @@ void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate) {
     for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
       if (bits::test(ci, bit)) continue;
       if ((ci & cmask) != cmask) continue;
-      store.swap_chunks(ci, bits::set(ci, bit));
+      swap_pair(ci, bits::set(ci, bit));
     }
     return;
   }
@@ -182,7 +190,7 @@ void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate) {
     for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
       if (!bits::test(ci, ba) || bits::test(ci, bb)) continue;
       if ((ci & cmask) != cmask) continue;
-      store.swap_chunks(ci, bits::set(bits::clear(ci, ba), bb));
+      swap_pair(ci, bits::set(bits::clear(ci, ba), bb));
     }
     return;
   }

@@ -33,9 +33,13 @@ bool apply_gate_to_pair(std::span<amp_t> pair, index_t chunk_lo,
                         const circuit::Gate& gate);
 
 class ChunkStore;
+class ChunkCache;
 
 /// Executes a pure chunk-permutation gate (X or SWAP on high qubits with no
 /// local controls) directly on the compressed store — zero codec work.
-void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate);
+/// When a chunk cache is active, pass it so cached entries follow their
+/// blobs through the permutation.
+void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate,
+                             ChunkCache* cache = nullptr);
 
 }  // namespace memq::core

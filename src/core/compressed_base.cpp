@@ -37,10 +37,20 @@ CompressedEngineBase::CompressedEngineBase(qubit_t n_qubits,
   const std::size_t threads = resolved_codec_threads(config);
   if (threads > 1)
     codec_pool_ = std::make_unique<CodecPool>(config.codec, threads);
+  if (config.cache_budget_bytes > 0)
+    cache_ = std::make_unique<ChunkCache>(store_, codec_pool_.get(), buffers_,
+                                          inflight_,
+                                          config.cache_budget_bytes);
   refresh_footprint_telemetry();
 }
 
 void CompressedEngineBase::reset() {
+  if (cache_) {
+    cache_->invalidate();  // dirty data must not outlive the reset
+    cache_->clear_plan();
+    cache_->reset_stats();
+    (void)cache_->take_timings();
+  }
   store_.init_basis(0);
   telemetry_ = {};
   rng_ = Prng(config_.seed);
@@ -78,11 +88,41 @@ void CompressedEngineBase::refresh_footprint_telemetry() {
   telemetry_.final_compression_ratio = store_.compression_ratio();
   telemetry_.chunk_loads = store_.loads();
   telemetry_.chunk_stores = store_.stores();
+  if (cache_) {
+    const ChunkCacheStats& cs = cache_->stats();
+    telemetry_.cache_hits = cs.hits;
+    telemetry_.cache_misses = cs.misses;
+    telemetry_.cache_evictions = cs.evictions;
+    telemetry_.cache_clean_evictions = cs.clean_evictions;
+    telemetry_.cache_writebacks = cs.writebacks;
+    telemetry_.cache_codec_bytes_avoided =
+        cs.codec_bytes_avoided(store_.chunk_raw_bytes());
+    telemetry_.peak_cache_resident_bytes = cs.peak_resident_bytes;
+  }
+}
+
+void CompressedEngineBase::harvest_cache_timings() {
+  if (!cache_) return;
+  const ChunkCache::Timings t = cache_->take_timings();
+  telemetry_.cpu_phases.add("decompress", t.decode_seconds);
+  telemetry_.cpu_phases.add("recompress", t.encode_seconds);
+  // Miss decodes run synchronously on the coordinator, so pool mode charges
+  // them in full plus the measured write-back wait; serial mode keeps the
+  // modeled multi-core divisor.
+  charge_cpu(codec_pool_
+                 ? t.decode_seconds + t.wait_seconds
+                 : (t.decode_seconds + t.encode_seconds) /
+                       config_.cpu_codec_workers);
 }
 
 std::span<amp_t> CompressedEngineBase::load_chunk_timed(
     index_t i, std::vector<amp_t>& buf) {
   buf.resize(store_.chunk_amps());
+  if (cache_) {
+    cache_->load(i, buf);
+    harvest_cache_timings();
+    return buf;
+  }
   WallTimer t;
   store_.load(i, buf);
   const double dt = t.seconds();
@@ -93,6 +133,11 @@ std::span<amp_t> CompressedEngineBase::load_chunk_timed(
 
 void CompressedEngineBase::store_chunk_timed(index_t i,
                                              std::span<const amp_t> buf) {
+  if (cache_) {
+    cache_->store(i, buf);
+    harvest_cache_timings();
+    return;
+  }
   WallTimer t;
   store_.store(i, buf);
   const double dt = t.seconds();
@@ -103,7 +148,7 @@ void CompressedEngineBase::store_chunk_timed(index_t i,
 std::vector<ChunkJob> CompressedEngineBase::nonzero_chunk_jobs() const {
   std::vector<ChunkJob> jobs;
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
-    if (!store_.is_zero_chunk(ci)) jobs.push_back({ci, 0, false});
+    if (!chunk_is_zero(ci)) jobs.push_back({ci, 0, false});
   return jobs;
 }
 
@@ -111,12 +156,14 @@ void CompressedEngineBase::sweep_chunks(
     std::vector<ChunkJob> jobs,
     const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
     bool timed) {
-  ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
-                     std::move(jobs), reader_window());
+  SweepPlanGuard sweep_plan(cache());
+  CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
+                      std::move(jobs), reader_window());
   while (auto item = reader.next()) {
     fn(item->job, std::span<amp_t>(item->buf));
     reader.recycle(std::move(item->buf));
   }
+  if (cache_) harvest_cache_timings();
   if (timed) {
     telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
     charge_cpu(codec_pool_ ? reader.wait_seconds()
@@ -129,8 +176,13 @@ amp_t CompressedEngineBase::amplitude(index_t i) {
   MEMQ_CHECK(i < dim_of(n_qubits()), "amplitude index out of range");
   const index_t phys = layout_.to_physical(i);
   const index_t chunk = phys >> store_.chunk_qubits();
-  if (store_.is_zero_chunk(chunk)) return amp_t{0, 0};
-  store_.load(chunk, scratch_);
+  if (chunk_is_zero(chunk)) return amp_t{0, 0};
+  if (cache_) {
+    cache_->load(chunk, scratch_);
+    harvest_cache_timings();
+  } else {
+    store_.load(chunk, scratch_);
+  }
   return scratch_[phys & (store_.chunk_amps() - 1)];
 }
 
@@ -190,8 +242,9 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
   std::map<index_t, std::uint64_t> counts;
   std::size_t next = 0;
   {
-    ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
-                       std::move(needed_jobs), reader_window());
+    SweepPlanGuard sweep_plan(cache());
+    CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
+                        std::move(needed_jobs), reader_window());
     double cum = 0.0;
     std::size_t ni = 0;
     for (std::size_t k = 0; k < jobs.size() && next < shots; ++k) {
@@ -224,6 +277,7 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
       cum = end;
     }
   }
+  if (cache_) harvest_cache_timings();
 
   // Lossy-drift tail (u beyond the accumulated CDF): attribute leftover
   // shots to the last nonzero amplitude of the state.
@@ -235,7 +289,12 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
         break;
       }
     MEMQ_CHECK(k_last < jobs.size(), "no probability mass to sample");
-    store_.load(jobs[k_last].a, scratch_);
+    if (cache_) {
+      cache_->load(jobs[k_last].a, scratch_);
+      harvest_cache_timings();
+    } else {
+      store_.load(jobs[k_last].a, scratch_);
+    }
     const index_t base = jobs[k_last].a << store_.chunk_qubits();
     index_t last_nonzero = base;
     for (index_t j = 0; j < scratch_.size(); ++j)
@@ -251,6 +310,15 @@ sv::StateVector CompressedEngineBase::to_dense() {
   auto amps = out.amplitudes();
   const qubit_t c = store_.chunk_qubits();
   if (layout_.is_identity()) {
+    if (cache_) {
+      // Cached copies may be dirtier (fresher) than the blobs, so the dense
+      // view must come through the cache — sequentially, on the coordinator.
+      SweepPlanGuard sweep_plan(cache_.get());
+      for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+        cache_->load(ci, amps.subspan(ci << c, store_.chunk_amps()));
+      harvest_cache_timings();
+      return out;
+    }
     if (codec_pool_) {
       // Every chunk decodes straight into its slice of the dense vector —
       // disjoint destinations, so a plain parallel_for is safe.
@@ -331,7 +399,7 @@ double CompressedEngineBase::expectation(const sv::PauliString& pauli_in) {
   std::vector<ChunkJob> jobs;
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
     const index_t cj = ci ^ x_high;
-    if (store_.is_zero_chunk(ci) || store_.is_zero_chunk(cj)) continue;
+    if (chunk_is_zero(ci) || chunk_is_zero(cj)) continue;
     jobs.push_back({ci, cj, cj != ci});
   }
   amp_t total{0, 0};
@@ -361,6 +429,9 @@ void CompressedEngineBase::load_dense(std::span<const amp_t> amplitudes) {
                                  << amplitudes.size());
   layout_ = QubitLayout(n_qubits());  // caller data is in logical order
   state_is_fresh_ = false;
+  // The new state supersedes everything cached; drop (not write back) so
+  // the direct stores below are the only source of truth.
+  if (cache_) cache_->invalidate();
   {
     ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
                        codec_workers() > 1 ? codec_workers() - 1 : 0);
@@ -415,6 +486,12 @@ std::vector<double> CompressedEngineBase::marginal_probabilities(
 }
 
 void CompressedEngineBase::save_state(const std::string& path) {
+  // Dirty cached chunks exist only in RAM until flushed; the checkpoint
+  // must see them.
+  if (cache_) {
+    cache_->flush();
+    harvest_cache_timings();
+  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   MEMQ_CHECK(static_cast<bool>(out), "cannot open checkpoint '" << path
                                                                 << "'");
@@ -442,6 +519,7 @@ void CompressedEngineBase::load_state(const std::string& path) {
     in.read(reinterpret_cast<char*>(&p), sizeof p);
     if (!in.good() || p >= n) throw CorruptData("checkpoint: bad layout");
   }
+  if (cache_) cache_->invalidate();  // restored blobs replace cached data
   store_.restore(in);
   QubitLayout restored(n);
   bool identity = true;
@@ -496,13 +574,39 @@ bool CompressedEngineBase::measure_qubit(qubit_t q) {
   std::vector<ChunkJob> zero_jobs, scale_jobs;
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
     if (q >= c && bits::test(ci, q - c) != outcome) {
-      if (!store_.is_zero_chunk(ci)) zero_jobs.push_back({ci, 0, false});
+      if (!chunk_is_zero(ci)) zero_jobs.push_back({ci, 0, false});
       continue;
     }
-    if (store_.is_zero_chunk(ci)) continue;
+    if (chunk_is_zero(ci)) continue;
     scale_jobs.push_back({ci, 0, false});
   }
-  {
+  if (cache_) {
+    // Zeroed chunks bypass the cache (storing zeros through it would defeat
+    // the zero-chunk fast path): drop any cached copy, then store directly.
+    WallTimer zt;
+    for (const ChunkJob& job : zero_jobs) {
+      cache_->drop(job.a);
+      std::fill(scratch_.begin(), scratch_.end(), amp_t{0, 0});
+      store_.store(job.a, scratch_);
+    }
+    const double zdt = zt.seconds();
+    telemetry_.cpu_phases.add("recompress", zdt);
+    charge_cpu(codec_pool_ ? zdt : zdt / config_.cpu_codec_workers);
+    CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
+                        std::move(scale_jobs), split_reader_window());
+    CachedWriter writer(store_, codec_pool(), buffers_, inflight_, cache(),
+                        split_writer_backlog());
+    while (auto item = reader.next()) {
+      if (q >= c) {
+        for (amp_t& a : item->buf) a *= scale;
+      } else {
+        sv::collapse(item->buf, q, outcome, scale);
+      }
+      writer.put(item->job, std::move(item->buf));
+    }
+    writer.drain();
+    harvest_cache_timings();
+  } else {
     ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
                        split_writer_backlog());
     for (const ChunkJob& job : zero_jobs) {

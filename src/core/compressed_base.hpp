@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/prng.hpp"
+#include "core/chunk_cache.hpp"
 #include "core/chunk_store.hpp"
 #include "core/codec_pool.hpp"
 #include "core/engine.hpp"
@@ -46,6 +47,16 @@ class CompressedEngineBase : public Engine {
   /// The shared codec worker pool, or nullptr when codec_threads resolves
   /// to 1 (serial mode — the historical single-threaded path).
   CodecPool* codec_pool() noexcept { return codec_pool_.get(); }
+  /// The write-back chunk cache, or nullptr when cache_budget_bytes == 0.
+  ChunkCache* cache() noexcept { return cache_.get(); }
+  /// Cache-aware zero query: a dirty cached chunk must never be skipped as
+  /// zero from its (stale) blob.
+  bool chunk_is_zero(index_t i) const {
+    return cache_ ? cache_->is_zero(i) : store_.is_zero_chunk(i);
+  }
+  /// Drains codec seconds accumulated inside the cache (miss decodes,
+  /// write-back encodes) into the phase breakdown and the modeled clock.
+  void harvest_cache_timings();
   /// Resolved codec worker count (1 in serial mode).
   std::size_t codec_workers() const noexcept {
     return codec_pool_ ? codec_pool_->workers() : 1;
@@ -94,6 +105,11 @@ class CompressedEngineBase : public Engine {
   std::unique_ptr<CodecPool> codec_pool_;
   BufferPool buffers_;
   InFlightLedger inflight_;
+
+  /// Budgeted write-back cache of decompressed chunks (null when
+  /// config.cache_budget_bytes == 0 — the historical path). Declared after
+  /// the pool/buffers/ledger it borrows so destruction order is safe.
+  std::unique_ptr<ChunkCache> cache_;
 
   /// Logical-to-physical qubit mapping (identity unless the derived engine
   /// installs an optimized layout). All public queries translate through it;

@@ -53,6 +53,19 @@ struct EngineConfig {
   /// change.
   std::uint32_t codec_threads = 1;
 
+  /// Byte budget for the write-back cache of decompressed chunks that sits
+  /// between the engines and the compressed store (core/chunk_cache.hpp).
+  /// 0 = off (the historical path: every touched chunk pays a decode +
+  /// encode round trip per stage). With a budget, hot chunks are served
+  /// decompressed and dirty chunks encode only on eviction/flush; eviction
+  /// is Belady (farthest next use from the offline stage plan) with an LRU
+  /// fallback. Resident bytes are charged to the in-flight ledger, so the
+  /// footprint telemetry includes the cache. Note: with a lossy codec,
+  /// cache hits skip lossy round trips, so results can differ from (be at
+  /// least as accurate as) budget 0; bit-identical only with the Null
+  /// codec.
+  std::uint64_t cache_budget_bytes = 0;
+
   /// CPU-side parallelism *model* used when codec_threads == 1: codec and
   /// CPU-apply work is measured on the host but charged to the modeled
   /// timeline as measured_seconds / cpu_codec_workers, simulating a
@@ -72,6 +85,12 @@ struct EngineConfig {
   /// bench_layout). Decided from the first circuit run on a fresh state;
   /// queries and samples are translated back transparently.
   bool optimize_layout = false;
+
+  /// Offline optimization: elide uncontrolled SWAP gates by renaming wires
+  /// instead of moving amplitudes, folding the permutation into the qubit
+  /// layout (kills e.g. the QFT bit-reversal tail). MemQSim engine only;
+  /// the Wu engine stays faithful to the paper's gate-by-gate schedule.
+  bool elide_swaps = false;
 
   /// PRNG seed for measurement sampling.
   std::uint64_t seed = 20231112;

@@ -55,6 +55,17 @@ struct EngineTelemetry {
   std::uint64_t chunk_stores = 0;
   std::uint64_t zero_chunks_skipped = 0;
 
+  /// Chunk-cache counters (all zero when cache_budget_bytes == 0; see
+  /// core/chunk_cache.hpp).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_clean_evictions = 0;  ///< evictions without encode
+  std::uint64_t cache_writebacks = 0;       ///< deferred encodes paid
+  /// Raw amplitude bytes whose codec pass the cache avoided.
+  std::uint64_t cache_codec_bytes_avoided = 0;
+  std::uint64_t peak_cache_resident_bytes = 0;
+
   std::size_t stages_local = 0;
   std::size_t stages_pair = 0;
   std::size_t stages_permute = 0;

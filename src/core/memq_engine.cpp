@@ -77,7 +77,8 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
     // state (which is invariant under qubit relabeling).
     if (config_.optimize_layout && state_is_fresh_ && layout_.is_identity())
       layout_ = QubitLayout::optimize(circuit, store_.chunk_qubits());
-    const circuit::Circuit mapped = layout_.map_circuit(circuit);
+    circuit::Circuit mapped = layout_.map_circuit(circuit);
+    if (config_.elide_swaps) mapped = elide_swaps(mapped, layout_);
     if (config_.fuse_single_qubit_runs) {
       plan_ = partition(circuit::fuse_1q_runs(mapped), store_.chunk_qubits());
     } else {
@@ -87,7 +88,36 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
   charge_cpu(telemetry_.cpu_phases.get("offline_partition"));
   state_is_fresh_ = false;
 
-  for (const Stage& stage : plan_->stages) {
+  if (ChunkCache* cache_ptr = cache()) {
+    // Hand the offline stage schedule to the cache so eviction can be
+    // Belady-optimal: per stage, which slots are touched and at which sweep
+    // position (pairs share the position of their low chunk).
+    std::vector<StageAccess> accesses;
+    accesses.reserve(plan_->stages.size());
+    for (const Stage& stage : plan_->stages) {
+      StageAccess a;
+      switch (stage.kind) {
+        case StageKind::kPermute:
+          a.kind = StageAccess::Kind::kNone;
+          break;
+        case StageKind::kPair:
+          a.kind = StageAccess::Kind::kPair;
+          a.pair_mask = index_t{1}
+                        << (stage.pair_qubit - store_.chunk_qubits());
+          break;
+        case StageKind::kLocal:
+        case StageKind::kMeasure:
+          a.kind = StageAccess::Kind::kEvery;
+          break;
+      }
+      accesses.push_back(a);
+    }
+    cache_ptr->set_plan(std::move(accesses));
+  }
+
+  for (std::size_t si = 0; si < plan_->stages.size(); ++si) {
+    const Stage& stage = plan_->stages[si];
+    if (cache()) cache()->begin_stage(si);
     switch (stage.kind) {
       case StageKind::kLocal:
         ++telemetry_.stages_local;
@@ -118,6 +148,8 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
     }
   }
 
+  if (cache()) cache()->clear_plan();  // back to LRU for post-run sweeps
+
   // Drain every device before reporting.
   for (DeviceContext& ctx : devices_) {
     ctx.device->sync_host(*ctx.d2h);
@@ -131,7 +163,7 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
 void MemQSimEngine::run_permute_stage(const Stage& stage) {
   // Compressed-form permutation: only blob pointers move.
   WallTimer t;
-  apply_chunk_permutation(store_, stage.gates.at(0));
+  apply_chunk_permutation(store_, stage.gates.at(0), cache());
   const double dt = t.seconds();
   telemetry_.cpu_phases.add("permute", dt);
   charge_cpu(dt / config_.cpu_codec_workers);
@@ -230,10 +262,10 @@ void MemQSimEngine::run_stream_stage(const Stage& stage,
   // writer-resident buffers stay <= codec_threads work items; together with
   // the device deque the stage keeps <= pipeline_depth + codec_threads
   // decompressed items in flight (tracked by inflight_).
-  ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
-                     std::move(jobs), split_reader_window());
-  ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
-                     split_writer_backlog());
+  CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
+                      std::move(jobs), split_reader_window());
+  CachedWriter writer(store_, codec_pool(), buffers_, inflight_, cache(),
+                      split_writer_backlog());
 
   const auto put_back = [&](const ChunkJob& job, std::vector<amp_t> buf,
                             bool modified) {
@@ -292,13 +324,14 @@ void MemQSimEngine::run_stream_stage(const Stage& stage,
     telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
     charge_cpu(reader.wait_seconds() + writer.wait_seconds());
   }
+  harvest_cache_timings();
   refresh_footprint_telemetry();
 }
 
 void MemQSimEngine::run_local_stage(const Stage& stage) {
   std::vector<ChunkJob> jobs;
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-    if (store_.is_zero_chunk(ci)) {
+    if (chunk_is_zero(ci)) {
       ++telemetry_.zero_chunks_skipped;
       continue;  // unitary gates keep the zero subspace zero
     }
@@ -313,7 +346,7 @@ void MemQSimEngine::run_pair_stage(const Stage& stage) {
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
     if (bits::test(ci, pair_bit)) continue;
     const index_t cj = bits::set(ci, pair_bit);
-    if (store_.is_zero_chunk(ci) && store_.is_zero_chunk(cj)) {
+    if (chunk_is_zero(ci) && chunk_is_zero(cj)) {
       ++telemetry_.zero_chunks_skipped;
       continue;
     }

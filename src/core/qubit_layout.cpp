@@ -82,6 +82,33 @@ index_t QubitLayout::to_physical(index_t logical_index) const {
   return out;
 }
 
+circuit::Circuit elide_swaps(const circuit::Circuit& circuit,
+                             QubitLayout& layout) {
+  const qubit_t n = circuit.n_qubits();
+  MEMQ_CHECK(layout.n_qubits() == n, "layout width mismatch");
+  // pos[q] = physical position where the data of declared wire q lives.
+  std::vector<qubit_t> pos(n);
+  std::iota(pos.begin(), pos.end(), 0);
+  circuit::Circuit out(n);
+  bool any = false;
+  for (circuit::Gate g : circuit.gates()) {
+    if (g.kind == circuit::GateKind::kSwap && g.controls.empty()) {
+      std::swap(pos[g.targets[0]], pos[g.targets[1]]);
+      any = true;
+      continue;
+    }
+    for (qubit_t& t : g.targets) t = pos[t];
+    for (qubit_t& c : g.controls) c = pos[c];
+    out.append(std::move(g));
+  }
+  if (any) {
+    std::vector<qubit_t> physical_of(n);
+    for (qubit_t l = 0; l < n; ++l) physical_of[l] = pos[layout.physical(l)];
+    layout = QubitLayout::from_mapping(physical_of);
+  }
+  return out;
+}
+
 index_t QubitLayout::to_logical(index_t physical_index) const {
   if (identity_) return physical_index;
   index_t out = 0;

@@ -53,4 +53,13 @@ class QubitLayout {
   bool identity_ = true;
 };
 
+/// Drops every uncontrolled SWAP from `circuit` (already in physical
+/// coordinates) and re-routes the gates after it through the accumulated
+/// relabeling instead — a SWAP in a chunked state vector is pure data
+/// movement, so skipping it and renaming the wires is free. The relabeling
+/// is folded into `layout` so index translation (amplitudes, sampling,
+/// to_dense, checkpoints) keeps resolving to the right physical positions.
+circuit::Circuit elide_swaps(const circuit::Circuit& circuit,
+                             QubitLayout& layout);
+
 }  // namespace memq::core

@@ -65,7 +65,7 @@ void WuEngine::apply_unitary_gate(const Gate& g) {
     for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
       // The all-zero fast path: a zero chunk stays zero under any masked
       // single-target unitary.
-      if (store_.is_zero_chunk(ci)) {
+      if (chunk_is_zero(ci)) {
         ++telemetry_.zero_chunks_skipped;
         continue;
       }
@@ -92,7 +92,7 @@ void WuEngine::apply_unitary_gate(const Gate& g) {
         g.targets[1] >= c)) &&
       all_high_controls()) {
     ++telemetry_.stages_permute;
-    apply_chunk_permutation(store_, g);
+    apply_chunk_permutation(store_, g, cache());
     return;
   }
 
@@ -108,7 +108,7 @@ void WuEngine::apply_unitary_gate(const Gate& g) {
   for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
     if (bits::test(ci, pair_bit)) continue;
     const index_t cj = bits::set(ci, pair_bit);
-    if (store_.is_zero_chunk(ci) && store_.is_zero_chunk(cj)) {
+    if (chunk_is_zero(ci) && chunk_is_zero(cj)) {
       ++telemetry_.zero_chunks_skipped;
       continue;
     }

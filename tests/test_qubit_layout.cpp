@@ -154,6 +154,90 @@ TEST(LayoutEngine, SecondRunReusesLayout) {
   EXPECT_NEAR(std::abs(engine->amplitude(0)), 1.0, 1e-5);
 }
 
+// ---------------------------------------------------------------------------
+// SWAP elision: uncontrolled swaps become wire renames folded into the layout.
+// ---------------------------------------------------------------------------
+
+TEST(SwapElision, RewritesGatesAndFoldsPermutation) {
+  Circuit c(4);
+  c.h(0).swap(0, 3).cx(0, 1).swap(1, 2).h(2);
+  QubitLayout layout(4);
+  const Circuit out = elide_swaps(c, layout);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].targets[0], 0u);   // h(0) before any swap
+  EXPECT_EQ(out[1].controls[0], 3u);  // cx control 0 now lives at 3
+  EXPECT_EQ(out[1].targets[0], 1u);
+  EXPECT_EQ(out[2].targets[0], 1u);   // h(2): wire 2's data lives at 1
+  // Final homes: 0->3, 1->2, 2->1, 3->0.
+  EXPECT_EQ(layout.physical(0), 3u);
+  EXPECT_EQ(layout.physical(1), 2u);
+  EXPECT_EQ(layout.physical(2), 1u);
+  EXPECT_EQ(layout.physical(3), 0u);
+}
+
+TEST(SwapElision, ControlledSwapIsNotElided) {
+  Circuit c(3);
+  c.h(0);
+  c.append(Gate::swap(1, 2).with_controls({0}));
+  QubitLayout layout(3);
+  const Circuit out = elide_swaps(c, layout);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(layout.is_identity());
+}
+
+TEST(SwapElision, EngineMatchesDenseOracle) {
+  auto cfg = layout_cfg(false);
+  cfg.elide_swaps = true;
+  for (const char* name : {"qft", "random", "grover"}) {
+    const Circuit c = circuit::make_workload(name, 8, 11);
+    auto elided = make_engine(EngineKind::kMemQSim, c.n_qubits(), cfg);
+    auto dense =
+        make_engine(EngineKind::kDense, c.n_qubits(), layout_cfg(false));
+    elided->run(c);
+    dense->run(c);
+    EXPECT_LT(elided->to_dense().max_abs_diff(dense->to_dense()), 1e-5)
+        << name;
+  }
+}
+
+TEST(SwapElision, KillsTheQftBitReversalTraffic) {
+  const Circuit qft = circuit::make_qft(8);
+  auto cfg = layout_cfg(false);
+  auto plain = make_engine(EngineKind::kMemQSim, 8, cfg);
+  cfg.elide_swaps = true;
+  auto elided = make_engine(EngineKind::kMemQSim, 8, cfg);
+  plain->run(qft);
+  elided->run(qft);
+  EXPECT_LT(elided->telemetry().chunk_stores,
+            plain->telemetry().chunk_stores);
+  EXPECT_EQ(elided->telemetry().stages_permute, 0u);
+}
+
+TEST(SwapElision, ComposesWithOptimizedLayoutAndSecondRun) {
+  auto cfg = layout_cfg(true);
+  cfg.elide_swaps = true;
+  const Circuit qft = circuit::make_qft(8);
+  auto engine = make_engine(EngineKind::kMemQSim, 8, cfg);
+  engine->run(qft);
+  engine->run(qft.inverse());
+  EXPECT_NEAR(std::abs(engine->amplitude(0)), 1.0, 1e-5);
+}
+
+TEST(SwapElision, CheckpointRoundTripsFoldedLayout) {
+  auto cfg = layout_cfg(false);
+  cfg.elide_swaps = true;
+  const Circuit qft = circuit::make_qft(7);
+  auto engine = make_engine(EngineKind::kMemQSim, 7, cfg);
+  engine->run(qft);
+  const auto before = engine->to_dense();
+  const std::string path = "/tmp/memq_elide_ckpt.bin";
+  engine->save_state(path);
+  auto fresh = make_engine(EngineKind::kMemQSim, 7, layout_cfg(false));
+  fresh->load_state(path);
+  EXPECT_LT(fresh->to_dense().max_abs_diff(before), 1e-12);
+  std::remove(path.c_str());
+}
+
 TEST(LayoutEngine, CheckpointPreservesLayout) {
   const Circuit bv = circuit::make_bernstein_vazirani(7, 0x2B);
   auto engine =

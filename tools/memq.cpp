@@ -4,17 +4,21 @@
 //   memq workload <name> --qubits N [--seed S] [--out file.qasm] [--stats]
 //   memq run <file.qasm> [--engine dense|wu|memqsim] [--shots N]
 //            [--chunk-qubits C] [--bound B] [--compressor NAME]
-//            [--devices D] [--codec-threads T] [--layout] [--fuse]
+//            [--devices D] [--codec-threads T] [--cache-budget BYTES]
+//            [--layout] [--fuse] [--elide-swaps]
 //            [--marginal q0,q1,...] [--expect PAULISTRING]
 //            [--checkpoint out.ckpt] [--restore in.ckpt]
 //   memq compress <file.qasm> [--chunk-qubits C] [--bound B]
 //            (final-state compression ratio for every registered codec)
 //   memq transfer --qubits N
 //            (Table-1-style sync/async/staged transfer comparison)
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,7 +46,9 @@ using namespace memq;
       "  memq workload <name> --qubits N [--seed S] [--out f.qasm] [--stats]\n"
       "  memq run <file.qasm> [--engine dense|wu|memqsim] [--shots N]\n"
       "           [--chunk-qubits C] [--bound B] [--compressor NAME]\n"
-      "           [--devices D] [--codec-threads T] [--layout] [--fuse]\n"
+      "           [--devices D] [--codec-threads T]\n"
+      "           [--cache-budget BYTES[K|M|G]] [--layout] [--fuse]\n"
+      "           [--elide-swaps]\n"
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
       "           [--checkpoint f] [--restore f]\n"
       "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
@@ -66,6 +72,58 @@ struct Args {
     return dflt;
   }
 };
+
+/// Checked numeric parsing: the whole token must be a number in range, or
+/// the flag's name is reported with a usage error — no more std::atoi
+/// silently turning "--codec-threads garbage" into 0.
+std::uint64_t parse_u64(const std::string& flag, const std::string& text,
+                        std::uint64_t max_value =
+                            std::numeric_limits<std::uint64_t>::max()) {
+  if (text.empty() || text[0] == '-' || !std::isdigit(
+          static_cast<unsigned char>(text[0])))
+    usage(("--" + flag + " expects a non-negative integer, got '" + text +
+           "'").c_str());
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0')
+    usage(("--" + flag + " expects a non-negative integer, got '" + text +
+           "'").c_str());
+  if (v > max_value)
+    usage(("--" + flag + " value " + text + " exceeds the maximum " +
+           std::to_string(max_value)).c_str());
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  if (text.empty())
+    usage(("--" + flag + " expects a number, got ''").c_str());
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0')
+    usage(("--" + flag + " expects a number, got '" + text + "'").c_str());
+  return v;
+}
+
+/// Byte sizes with optional binary suffix: "1048576", "64K", "16M", "1G".
+std::uint64_t parse_bytes(const std::string& flag, const std::string& text) {
+  std::string digits = text;
+  std::uint64_t scale = 1;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'k': case 'K': scale = std::uint64_t{1} << 10; break;
+      case 'm': case 'M': scale = std::uint64_t{1} << 20; break;
+      case 'g': case 'G': scale = std::uint64_t{1} << 30; break;
+      default: break;
+    }
+    if (scale != 1) digits.pop_back();
+  }
+  const std::uint64_t v = parse_u64(flag, digits);
+  if (scale != 1 && v > std::numeric_limits<std::uint64_t>::max() / scale)
+    usage(("--" + flag + " value " + text + " overflows").c_str());
+  return v * scale;
+}
 
 Args parse_args(int argc, char** argv, int start,
                 const std::vector<std::string>& flag_names) {
@@ -92,18 +150,21 @@ Args parse_args(int argc, char** argv, int start,
 
 core::EngineConfig config_from(const Args& args, qubit_t n) {
   core::EngineConfig cfg;
-  cfg.chunk_qubits = static_cast<qubit_t>(
-      std::atoi(args.option("chunk-qubits",
-                            std::to_string(n > 6 ? n - 6 : 1)).c_str()));
+  cfg.chunk_qubits = static_cast<qubit_t>(parse_u64(
+      "chunk-qubits",
+      args.option("chunk-qubits", std::to_string(n > 6 ? n - 6 : 1)), 62));
   cfg.chunk_qubits = std::min<qubit_t>(cfg.chunk_qubits, n);
-  cfg.codec.bound = std::atof(args.option("bound", "1e-6").c_str());
+  cfg.codec.bound = parse_double("bound", args.option("bound", "1e-6"));
   cfg.codec.compressor = args.option("compressor", "szq");
-  cfg.device_count =
-      static_cast<std::uint32_t>(std::atoi(args.option("devices", "1").c_str()));
-  cfg.codec_threads = static_cast<std::uint32_t>(
-      std::atoi(args.option("codec-threads", "1").c_str()));
+  cfg.device_count = static_cast<std::uint32_t>(
+      parse_u64("devices", args.option("devices", "1"), 1024));
+  cfg.codec_threads = static_cast<std::uint32_t>(parse_u64(
+      "codec-threads", args.option("codec-threads", "1"), 1 << 16));
+  cfg.cache_budget_bytes =
+      parse_bytes("cache-budget", args.option("cache-budget", "0"));
   cfg.optimize_layout = args.has_flag("layout");
   cfg.fuse_single_qubit_runs = args.has_flag("fuse");
+  cfg.elide_swaps = args.has_flag("elide-swaps");
   return cfg;
 }
 
@@ -136,9 +197,9 @@ int cmd_workload(int argc, char** argv) {
   if (argc < 3) usage("workload needs a name");
   const Args args = parse_args(argc, argv, 3, {"stats"});
   const std::string name = argv[2];
-  const auto n =
-      static_cast<qubit_t>(std::atoi(args.option("qubits", "12").c_str()));
-  const auto seed = std::strtoull(args.option("seed", "42").c_str(), nullptr, 10);
+  const auto n = static_cast<qubit_t>(
+      parse_u64("qubits", args.option("qubits", "12"), 62));
+  const auto seed = parse_u64("seed", args.option("seed", "42"));
 
   circuit::Circuit c = circuit::make_workload(name, n, seed);
   std::cout << "workload '" << name << "': " << c.n_qubits() << " qubits, "
@@ -172,7 +233,7 @@ int cmd_workload(int argc, char** argv) {
 
 int cmd_run(int argc, char** argv) {
   if (argc < 3) usage("run needs a .qasm file");
-  const Args args = parse_args(argc, argv, 3, {"layout", "fuse"});
+  const Args args = parse_args(argc, argv, 3, {"layout", "fuse", "elide-swaps"});
   const circuit::QasmProgram prog = circuit::parse_qasm_file(argv[2]);
   const qubit_t n = prog.circuit.n_qubits();
   std::cout << "parsed " << argv[2] << ": " << n << " qubits, "
@@ -193,8 +254,7 @@ int cmd_run(int argc, char** argv) {
   }
   engine->run(prog.circuit);
 
-  const auto shots = std::strtoull(args.option("shots", "1024").c_str(),
-                                   nullptr, 10);
+  const auto shots = parse_u64("shots", args.option("shots", "1024"));
   if (shots > 0) {
     std::cout << "\n" << shots << " shots:\n";
     const auto counts = engine->sample_counts(shots);
@@ -222,7 +282,7 @@ int cmd_run(int argc, char** argv) {
     std::stringstream ss(marginal);
     std::string tok;
     while (std::getline(ss, tok, ','))
-      qs.push_back(static_cast<qubit_t>(std::atoi(tok.c_str())));
+      qs.push_back(static_cast<qubit_t>(parse_u64("marginal", tok, n - 1)));
     const auto m = engine->marginal_probabilities(qs);
     std::cout << "marginal over {" << marginal << "}:\n";
     for (std::size_t b = 0; b < m.size(); ++b)
@@ -241,6 +301,16 @@ int cmd_run(int argc, char** argv) {
             << ", ratio " << format_fixed(t.final_compression_ratio, 1)
             << "x, modeled time " << human_seconds(t.modeled_total_seconds)
             << "\n";
+  if (t.cache_hits + t.cache_misses > 0) {
+    const double rate = 100.0 * static_cast<double>(t.cache_hits) /
+                        static_cast<double>(t.cache_hits + t.cache_misses);
+    std::cout << "chunk cache: " << t.cache_hits << " hits / "
+              << t.cache_misses << " misses (" << format_fixed(rate, 1)
+              << "%), " << t.cache_evictions << " evictions ("
+              << t.cache_clean_evictions << " clean), "
+              << human_bytes(t.cache_codec_bytes_avoided)
+              << " codec bytes avoided\n";
+  }
   return 0;
 }
 
@@ -270,8 +340,8 @@ int cmd_compress(int argc, char** argv) {
 
 int cmd_transfer(int argc, char** argv) {
   const Args args = parse_args(argc, argv, 2, {});
-  const auto n =
-      static_cast<qubit_t>(std::atoi(args.option("qubits", "20").c_str()));
+  const auto n = static_cast<qubit_t>(
+      parse_u64("qubits", args.option("qubits", "20"), 40));
   const index_t amps = dim_of(n);
 
   TextTable table({"strategy", "H2D", "D2H", "API calls"});
