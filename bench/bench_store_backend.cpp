@@ -1,0 +1,177 @@
+// Blob-backend bench: RAM baseline vs. the disk-spilling file backend at
+// budgets of {100, 50, 25, 12.5}% of the RAM arm's measured peak compressed
+// footprint, over QFT and a random circuit. Reports spill traffic, peak
+// resident compressed bytes, and modeled time, and verifies the tentpole
+// claims:
+//   (a) every file arm holds its peak resident compressed bytes <= budget
+//       (the budget is a hard cap, not a hint);
+//   (b) every arm's final amplitudes match the dense reference within the
+//       codec tolerance — spilling moves bytes, never corrupts them;
+//   (c) the file backend at 100% pays zero spill reads during the run's
+//       steady state only if nothing exceeds the budget — below 100%,
+//       spill traffic must actually appear (the backend is exercised).
+//
+// Writes BENCH_store_backend.json next to the binary for the driver.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "sv/simulator.hpp"
+
+namespace {
+
+using namespace memq;
+
+constexpr qubit_t kQubits = 14;
+constexpr qubit_t kChunkQubits = 8;  // 64 chunks of 4 KiB raw
+
+struct Arm {
+  std::string workload;
+  std::string backend;
+  double budget_percent = 0.0;  // of the RAM arm's peak compressed bytes
+  std::uint64_t budget_bytes = 0;
+  std::uint64_t peak_resident = 0;
+  std::uint64_t spill_writes = 0;
+  std::uint64_t spill_reads = 0;
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t spill_bytes_read = 0;
+  double modeled_seconds = 0.0;
+  double max_abs_err = 0.0;
+  bool within_budget = true;
+};
+
+core::EngineConfig base_config() {
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = kChunkQubits;
+  cfg.codec.bound = 1e-6;
+  cfg.elide_swaps = true;  // bench codec traffic, not the bit-reversal tail
+  return cfg;
+}
+
+Arm run_arm(const circuit::Circuit& c, const sv::StateVector& reference,
+            const std::string& workload, core::StoreBackend backend,
+            double percent, std::uint64_t budget) {
+  core::EngineConfig cfg = base_config();
+  cfg.store_backend = backend;
+  cfg.host_blob_budget_bytes = budget;
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+  engine->run(c);
+
+  Arm a;
+  a.workload = workload;
+  a.backend = backend == core::StoreBackend::kFile ? "file" : "ram";
+  a.budget_percent = percent;
+  a.budget_bytes = budget;
+  a.max_abs_err = engine->to_dense().max_abs_diff(reference);
+
+  const auto& t = engine->telemetry();
+  a.peak_resident = t.peak_resident_blob_bytes;
+  a.spill_writes = t.spill_writes;
+  a.spill_reads = t.spill_reads;
+  a.spill_bytes_written = t.spill_bytes_written;
+  a.spill_bytes_read = t.spill_bytes_read;
+  a.modeled_seconds = t.modeled_total_seconds;
+  a.within_budget = backend != core::StoreBackend::kFile ||
+                    a.peak_resident <= budget;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "blob-backend bench — " << int(kQubits) << " qubits, chunk 2^"
+            << int(kChunkQubits) << " ("
+            << human_bytes(dim_of(kQubits) * kAmpBytes) << " raw state, "
+            << (dim_of(kQubits) >> kChunkQubits) << " chunks)\n\n";
+
+  // The codec tolerance bound: value-range-relative 1e-6 per chunk, loose
+  // slack for accumulation across the circuit depth.
+  constexpr double kTolerance = 1e-3;
+
+  std::vector<Arm> arms;
+  bool budgets_ok = true, accuracy_ok = true, spill_exercised = false;
+
+  for (const std::string workload : {"qft", "random"}) {
+    const circuit::Circuit c =
+        circuit::make_workload(workload, kQubits, 2025);
+    sv::Simulator oracle(kQubits);
+    oracle.run(c);
+
+    // RAM arm first: its peak compressed footprint anchors the budget sweep.
+    const Arm ram = run_arm(c, oracle.state(), workload,
+                            core::StoreBackend::kRam, 100.0, 0);
+    arms.push_back(ram);
+    const std::uint64_t peak = ram.peak_resident;
+
+    TextTable table({"backend", "budget", "peak resident", "spill out",
+                     "spill in", "modeled", "max |err|", "<= budget"});
+    table.add_row({"ram", "-", human_bytes(ram.peak_resident), "-", "-",
+                   human_seconds(ram.modeled_seconds),
+                   format_sci(ram.max_abs_err, 2), "-"});
+
+    for (const double percent : {100.0, 50.0, 25.0, 12.5}) {
+      const auto budget = static_cast<std::uint64_t>(
+          static_cast<double>(peak) * percent / 100.0);
+      const Arm a = run_arm(c, oracle.state(), workload,
+                            core::StoreBackend::kFile, percent, budget);
+      arms.push_back(a);
+      budgets_ok = budgets_ok && a.within_budget;
+      accuracy_ok = accuracy_ok && a.max_abs_err < kTolerance;
+      if (percent < 100.0 && a.spill_writes > 0) spill_exercised = true;
+      table.add_row({"file", format_fixed(percent, 1) + "%",
+                     human_bytes(a.peak_resident),
+                     human_bytes(a.spill_bytes_written),
+                     human_bytes(a.spill_bytes_read),
+                     human_seconds(a.modeled_seconds),
+                     format_sci(a.max_abs_err, 2),
+                     a.within_budget ? "yes" : "NO"});
+    }
+    accuracy_ok = accuracy_ok && ram.max_abs_err < kTolerance;
+
+    std::cout << workload << "(" << int(kQubits) << "), " << c.size()
+              << " gates — RAM peak compressed " << human_bytes(peak)
+              << ":\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "file backend holds peak resident <= budget on every arm: "
+            << (budgets_ok ? "yes" : "NO") << "\n"
+            << "all arms match the dense reference within "
+            << format_sci(kTolerance, 0) << ": " << (accuracy_ok ? "yes" : "NO")
+            << "\n"
+            << "sub-100% budgets actually spill: "
+            << (spill_exercised ? "yes" : "NO") << "\n";
+
+  std::ofstream json("BENCH_store_backend.json");
+  json << "{\n  \"qubits\": " << int(kQubits)
+       << ",\n  \"chunk_qubits\": " << int(kChunkQubits)
+       << ",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const Arm& a = arms[i];
+    json << "    {\"workload\": \"" << a.workload << "\", \"backend\": \""
+         << a.backend << "\", \"budget_percent\": " << a.budget_percent
+         << ", \"budget_bytes\": " << a.budget_bytes
+         << ", \"peak_resident_blob_bytes\": " << a.peak_resident
+         << ", \"spill_writes\": " << a.spill_writes
+         << ", \"spill_reads\": " << a.spill_reads
+         << ", \"spill_bytes_written\": " << a.spill_bytes_written
+         << ", \"spill_bytes_read\": " << a.spill_bytes_read
+         << ", \"modeled_seconds\": " << a.modeled_seconds
+         << ", \"max_abs_err\": " << a.max_abs_err
+         << ", \"within_budget\": " << (a.within_budget ? "true" : "false")
+         << "}" << (i + 1 < arms.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"budgets_ok\": " << (budgets_ok ? "true" : "false")
+       << ",\n  \"accuracy_ok\": " << (accuracy_ok ? "true" : "false")
+       << ",\n  \"spill_exercised\": " << (spill_exercised ? "true" : "false")
+       << "\n}\n";
+  return (budgets_ok && accuracy_ok && spill_exercised) ? 0 : 1;
+}

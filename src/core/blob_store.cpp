@@ -1,0 +1,258 @@
+#include "core/blob_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "compress/chunk_codec.hpp"
+
+namespace memq::core {
+
+// ---------------------------------------------------------------- RAM ----
+
+void RamBlobStore::resize(index_t n_blobs) {
+  blobs_.assign(n_blobs, {});
+}
+
+const compress::ByteBuffer& RamBlobStore::read(index_t i,
+                                               compress::ByteBuffer&) {
+  return blobs_[i];
+}
+
+void RamBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
+  blobs_[i] = std::move(blob);
+}
+
+compress::ByteBuffer* RamBlobStore::inplace_slot(index_t i) {
+  return &blobs_[i];
+}
+
+std::uint64_t RamBlobStore::size(index_t i) const { return blobs_[i].size(); }
+
+bool RamBlobStore::is_zero(index_t i) const {
+  return compress::ChunkCodec::is_zero_chunk(blobs_[i]);
+}
+
+void RamBlobStore::swap(index_t i, index_t j) {
+  std::swap(blobs_[i], blobs_[j]);
+}
+
+// --------------------------------------------------------------- file ----
+
+namespace {
+/// File regions are rounded up so small blob-size jitter (lossy codecs
+/// re-encode to slightly different lengths) reuses the region in place
+/// instead of fragmenting the file.
+constexpr std::uint64_t kRegionAlign = 512;
+
+std::uint64_t round_region(std::uint64_t bytes) {
+  return (bytes + kRegionAlign - 1) / kRegionAlign * kRegionAlign;
+}
+}  // namespace
+
+FileBlobStore::FileBlobStore(std::uint64_t budget_bytes)
+    : budget_(budget_bytes) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  path += "/memq-spill-XXXXXX";
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  fd_ = ::mkstemp(buf.data());
+  MEMQ_CHECK(fd_ >= 0, "cannot create spill file under '"
+                           << path << "': " << std::strerror(errno));
+  // Unlink immediately: the file lives exactly as long as this process
+  // holds the descriptor — no cleanup path, no leftover temp files.
+  ::unlink(buf.data());
+}
+
+FileBlobStore::~FileBlobStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBlobStore::resize(index_t n_blobs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.assign(n_blobs, Entry{});
+  lru_order_.clear();
+  free_regions_.clear();
+  file_end_ = 0;
+  stats_.resident_bytes = 0;
+}
+
+void FileBlobStore::pwrite_fully(const void* data, std::uint64_t n,
+                                 std::uint64_t off) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::pwrite(fd_, p, n, static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      MEMQ_THROW(Error, "spill-file write failed: " << std::strerror(errno));
+    }
+    p += w;
+    off += static_cast<std::uint64_t>(w);
+    n -= static_cast<std::uint64_t>(w);
+  }
+}
+
+void FileBlobStore::pread_fully(void* data, std::uint64_t n,
+                                std::uint64_t off) const {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::pread(fd_, p, n, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      MEMQ_THROW(Error, "spill-file read failed: " << std::strerror(errno));
+    }
+    MEMQ_CHECK(r != 0, "spill file truncated");
+    p += r;
+    off += static_cast<std::uint64_t>(r);
+    n -= static_cast<std::uint64_t>(r);
+  }
+}
+
+void FileBlobStore::touch_locked(index_t i) {
+  Entry& e = entries_[i];
+  lru_order_.erase(e.lru);
+  e.lru = ++lru_tick_;
+  lru_order_.emplace(e.lru, i);
+}
+
+void FileBlobStore::ensure_region_locked(Entry& e) {
+  if (e.file_cap >= e.bytes) return;
+  if (e.file_cap > 0) free_regions_.emplace(e.file_cap, e.file_off);
+  const std::uint64_t need = round_region(e.bytes);
+  const auto it = free_regions_.lower_bound(need);
+  if (it != free_regions_.end()) {
+    e.file_cap = it->first;
+    e.file_off = it->second;
+    free_regions_.erase(it);
+  } else {
+    e.file_off = file_end_;
+    e.file_cap = need;
+    file_end_ += need;
+    stats_.file_bytes = std::max(stats_.file_bytes, file_end_);
+  }
+}
+
+void FileBlobStore::evict_locked(index_t i) {
+  Entry& e = entries_[i];
+  if (!e.on_disk) {
+    ensure_region_locked(e);
+    pwrite_fully(e.ram.data(), e.bytes, e.file_off);
+    e.on_disk = true;
+    ++stats_.spill_writes;
+    stats_.spill_bytes_written += e.bytes;
+  }
+  lru_order_.erase(e.lru);
+  stats_.resident_bytes -= e.bytes;
+  e.resident = false;
+  e.ram = compress::ByteBuffer{};  // actually free the capacity
+}
+
+void FileBlobStore::make_room_locked(std::uint64_t need, index_t keep) {
+  while (stats_.resident_bytes + need > budget_ && !lru_order_.empty()) {
+    const auto oldest = lru_order_.begin();
+    if (oldest->second == keep) {
+      // `keep` is being rewritten; its old bytes are gone already, so the
+      // only way it heads the LRU is as the sole resident — nothing to do.
+      if (lru_order_.size() == 1) break;
+      evict_locked(std::next(oldest)->second);
+      continue;
+    }
+    evict_locked(oldest->second);
+  }
+}
+
+void FileBlobStore::admit_locked(index_t i, compress::ByteBuffer&& bytes) {
+  Entry& e = entries_[i];
+  e.ram = std::move(bytes);
+  e.resident = true;
+  e.lru = ++lru_tick_;
+  lru_order_.emplace(e.lru, i);
+  stats_.resident_bytes += e.bytes;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+}
+
+const compress::ByteBuffer& FileBlobStore::read(index_t i,
+                                                compress::ByteBuffer& scratch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[i];
+  if (e.resident) {
+    touch_locked(i);
+    // Copy out: the resident buffer may be evicted (freed) by a concurrent
+    // write to a different blob the moment the lock drops.
+    scratch = e.ram;
+    return scratch;
+  }
+  MEMQ_CHECK(e.on_disk, "blob " << i << " read before first write");
+  scratch.resize(e.bytes);
+  pread_fully(scratch.data(), e.bytes, e.file_off);
+  ++stats_.spill_reads;
+  stats_.spill_bytes_read += e.bytes;
+  if (e.bytes <= budget_ && budget_ > 0) {
+    // Promote resident-clean: the disk copy stays current, so a later
+    // eviction of this blob costs nothing.
+    make_room_locked(e.bytes, i);
+    admit_locked(i, compress::ByteBuffer(scratch));
+  }
+  return scratch;
+}
+
+void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[i];
+  const bool zero = compress::ChunkCodec::is_zero_chunk(blob);
+  if (e.resident) {
+    lru_order_.erase(e.lru);
+    stats_.resident_bytes -= e.bytes;
+    e.resident = false;
+    e.ram = compress::ByteBuffer{};
+  }
+  e.bytes = blob.size();
+  e.zero = zero;
+  e.on_disk = false;  // any disk copy is now stale (region stays reserved)
+  if (e.bytes <= budget_ && budget_ > 0) {
+    make_room_locked(e.bytes, i);
+    admit_locked(i, std::move(blob));
+  } else {
+    // Oversized (or zero-budget): spill straight through.
+    ensure_region_locked(e);
+    pwrite_fully(blob.data(), e.bytes, e.file_off);
+    e.on_disk = true;
+    ++stats_.spill_writes;
+    stats_.spill_bytes_written += e.bytes;
+  }
+}
+
+std::uint64_t FileBlobStore::size(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[i].bytes;
+}
+
+bool FileBlobStore::is_zero(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[i].zero;
+}
+
+void FileBlobStore::swap(index_t i, index_t j) {
+  if (i == j) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::swap(entries_[i], entries_[j]);
+  // LRU ticks travelled with the entries; repoint them at the new indices.
+  if (entries_[i].resident) lru_order_[entries_[i].lru] = i;
+  if (entries_[j].resident) lru_order_[entries_[j].lru] = j;
+}
+
+BlobStore::Stats FileBlobStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace memq::core

@@ -1,0 +1,169 @@
+// Pluggable persistence layer for compressed chunk blobs — the bottom of
+// the storage hierarchy. ChunkStore owns the codec and the accounting;
+// where the bytes actually live is this interface's problem:
+//
+//   * RamBlobStore  — every blob in a host vector (the historical path,
+//                     byte-for-byte: `inplace_slot` lets the codec encode
+//                     straight into the stored buffer with no copy).
+//   * FileBlobStore — blobs past a host-RAM budget spill to an unlinked
+//                     backing file (write-behind: stores stay resident and
+//                     spill only on LRU eviction; reads promote spilled
+//                     blobs back when they fit). The budget is a hard cap
+//                     on resident compressed bytes, so states whose
+//                     *compressed* form exceeds RAM remain simulable.
+//
+// Threading contract (matches ChunkStore::{load,store}_with): concurrent
+// calls are safe for DISTINCT blobs; FileBlobStore serializes internally
+// with one mutex (file offsets and the LRU index are shared state), so
+// callers get safety for the price of contention, never corruption.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "compress/byte_buffer.hpp"
+
+namespace memq::core {
+
+class BlobStore {
+ public:
+  /// Spill / residency counters (all zero for backends that never spill).
+  struct Stats {
+    std::uint64_t spill_writes = 0;        ///< blobs written to backing file
+    std::uint64_t spill_reads = 0;         ///< blobs read back from the file
+    std::uint64_t spill_bytes_written = 0;
+    std::uint64_t spill_bytes_read = 0;
+    std::uint64_t resident_bytes = 0;      ///< compressed bytes in host RAM
+    std::uint64_t peak_resident_bytes = 0;
+    std::uint64_t file_bytes = 0;          ///< backing-file high-water mark
+  };
+
+  virtual ~BlobStore() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Sets the blob count (called once by ChunkStore; existing contents are
+  /// discarded).
+  virtual void resize(index_t n_blobs) = 0;
+
+  /// Returns blob `i`'s bytes. `scratch` is caller-owned storage the
+  /// backend may fill and return when the blob is not directly addressable
+  /// (spilled); RAM backends return a reference to the stored buffer and
+  /// leave `scratch` untouched. The reference is valid until the next
+  /// write/swap of blob `i` (or the next read through the same scratch).
+  virtual const compress::ByteBuffer& read(index_t i,
+                                           compress::ByteBuffer& scratch) = 0;
+
+  /// Replaces blob `i`.
+  virtual void write(index_t i, compress::ByteBuffer&& blob) = 0;
+
+  /// Direct mutable storage of blob `i` for in-place encoding, or nullptr
+  /// when the backend cannot expose one (spilling backends). Callers that
+  /// get a slot must finish mutating it before any other call for blob `i`.
+  virtual compress::ByteBuffer* inplace_slot(index_t /*i*/) { return nullptr; }
+
+  /// Current compressed size of blob `i` in bytes.
+  virtual std::uint64_t size(index_t i) const = 0;
+
+  /// True if blob `i` holds the codec's all-zero fast-path encoding.
+  /// Backends answer from metadata — never from a disk read.
+  virtual bool is_zero(index_t i) const = 0;
+
+  /// Exchanges blobs `i` and `j` without touching their bytes.
+  virtual void swap(index_t i, index_t j) = 0;
+
+  /// True when the backend enforces a residency budget (its
+  /// stats().peak_resident_bytes is the honest host-RAM peak; backends
+  /// without one keep everything resident by definition).
+  virtual bool tracks_residency() const noexcept { return false; }
+
+  virtual Stats stats() const { return {}; }
+};
+
+/// Historical backend: every blob lives in host RAM, encode happens
+/// in place. Must stay byte-for-byte equivalent to the pre-BlobStore
+/// ChunkStore (tests assert bit-exact amplitudes and unchanged counters).
+class RamBlobStore final : public BlobStore {
+ public:
+  const char* name() const noexcept override { return "ram"; }
+  void resize(index_t n_blobs) override;
+  const compress::ByteBuffer& read(index_t i,
+                                   compress::ByteBuffer& scratch) override;
+  void write(index_t i, compress::ByteBuffer&& blob) override;
+  compress::ByteBuffer* inplace_slot(index_t i) override;
+  std::uint64_t size(index_t i) const override;
+  bool is_zero(index_t i) const override;
+  void swap(index_t i, index_t j) override;
+
+ private:
+  std::vector<compress::ByteBuffer> blobs_;
+};
+
+/// Disk-spilling backend: keeps at most `budget_bytes` of compressed blobs
+/// resident (hard cap), spilling least-recently-used blobs to an unlinked
+/// temporary file. Write-behind: a stored blob stays resident and dirty
+/// until eviction forces the file write; a spilled blob read back while it
+/// fits is promoted resident-clean (its disk copy stays valid, so the next
+/// eviction is free). Blobs larger than the whole budget spill immediately.
+class FileBlobStore final : public BlobStore {
+ public:
+  /// `budget_bytes` = 0 keeps nothing resident (every access hits the file).
+  explicit FileBlobStore(std::uint64_t budget_bytes);
+  ~FileBlobStore() override;
+
+  FileBlobStore(const FileBlobStore&) = delete;
+  FileBlobStore& operator=(const FileBlobStore&) = delete;
+
+  const char* name() const noexcept override { return "file"; }
+  void resize(index_t n_blobs) override;
+  const compress::ByteBuffer& read(index_t i,
+                                   compress::ByteBuffer& scratch) override;
+  void write(index_t i, compress::ByteBuffer&& blob) override;
+  std::uint64_t size(index_t i) const override;
+  bool is_zero(index_t i) const override;
+  void swap(index_t i, index_t j) override;
+  bool tracks_residency() const noexcept override { return true; }
+  Stats stats() const override;
+
+  std::uint64_t budget_bytes() const noexcept { return budget_; }
+
+ private:
+  struct Entry {
+    compress::ByteBuffer ram;     ///< resident bytes (empty when spilled)
+    std::uint64_t bytes = 0;      ///< current blob size
+    std::uint64_t file_off = 0;   ///< backing-file region start
+    std::uint64_t file_cap = 0;   ///< backing-file region capacity (0 = none)
+    std::uint64_t lru = 0;        ///< tick of last touch (resident only)
+    bool resident = false;
+    bool on_disk = false;         ///< file region holds the CURRENT bytes
+    bool zero = false;            ///< codec zero-chunk fast path
+  };
+
+  void touch_locked(index_t i);
+  /// Evicts LRU residents (never blob `keep`) until `need` more bytes fit.
+  void make_room_locked(std::uint64_t need, index_t keep);
+  /// Writes entry `i` to its file region (allocating one if needed) unless
+  /// its disk copy is already current, then drops the resident bytes.
+  void evict_locked(index_t i);
+  /// Ensures entry has a file region of >= entry.bytes capacity.
+  void ensure_region_locked(Entry& e);
+  void admit_locked(index_t i, compress::ByteBuffer&& bytes);
+  void pwrite_fully(const void* data, std::uint64_t n, std::uint64_t off);
+  void pread_fully(void* data, std::uint64_t n, std::uint64_t off) const;
+
+  const std::uint64_t budget_;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::map<std::uint64_t, index_t> lru_order_;  ///< tick -> blob index
+  /// Free backing-file regions, capacity -> offset (best fit on realloc).
+  std::multimap<std::uint64_t, std::uint64_t> free_regions_;
+  std::uint64_t file_end_ = 0;
+  std::uint64_t lru_tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace memq::core

@@ -3,20 +3,26 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace memq::core {
 
 ChunkStore::ChunkStore(qubit_t n_qubits, qubit_t chunk_qubits,
-                       const compress::ChunkCodecConfig& codec_config)
-    : n_qubits_(n_qubits), chunk_qubits_(chunk_qubits), codec_(codec_config) {
+                       const compress::ChunkCodecConfig& codec_config,
+                       std::unique_ptr<BlobStore> blob_store)
+    : n_qubits_(n_qubits),
+      chunk_qubits_(chunk_qubits),
+      codec_(codec_config),
+      blob_store_(blob_store != nullptr ? std::move(blob_store)
+                                        : std::make_unique<RamBlobStore>()) {
   MEMQ_CHECK(chunk_qubits >= 1 && chunk_qubits <= n_qubits,
              "chunk_qubits " << chunk_qubits << " must be in [1, " << n_qubits
                              << "]");
   MEMQ_CHECK(n_qubits - chunk_qubits <= 30,
              "too many chunks: lower n_qubits or raise chunk_qubits");
-  blobs_.resize(n_chunks());
+  blob_store_->resize(n_chunks());
   init_basis(0);
 }
 
@@ -33,12 +39,14 @@ void ChunkStore::init_basis(index_t basis) {
   const index_t hot_chunk = basis >> chunk_qubits_;
   for (index_t i = 0; i < n_chunks(); ++i) {
     if (i == hot_chunk) continue;
-    blobs_[i] = zero_blob;
-    total += blobs_[i].size();
+    total += zero_blob.size();
+    blob_store_->write(i, compress::ByteBuffer(zero_blob));
   }
   scratch[basis & (chunk_amps() - 1)] = amp_t{1, 0};
-  codec_.encode(scratch, blobs_[hot_chunk]);
-  total += blobs_[hot_chunk].size();
+  compress::ByteBuffer hot_blob;
+  codec_.encode(scratch, hot_blob);
+  total += hot_blob.size();
+  blob_store_->write(hot_chunk, std::move(hot_blob));
   total_bytes_.store(total, std::memory_order_relaxed);
   std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
   while (total > peak && !peak_bytes_.compare_exchange_weak(
@@ -70,7 +78,8 @@ void ChunkStore::load_with(compress::ChunkCodec& codec, index_t i,
                            std::span<amp_t> out) {
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
   MEMQ_CHECK(out.size() == chunk_amps(), "load span size mismatch");
-  codec.decode(blobs_[i], out);
+  compress::ByteBuffer scratch;  // untouched by the RAM backend
+  codec.decode(blob_store_->read(i, scratch), out);
   loads_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -78,19 +87,35 @@ void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
                             std::span<const amp_t> in) {
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
   MEMQ_CHECK(in.size() == chunk_amps(), "store span size mismatch");
-  const std::int64_t before = static_cast<std::int64_t>(blobs_[i].size());
-  codec.encode(in, blobs_[i]);
-  account_store(static_cast<std::int64_t>(blobs_[i].size()) - before);
+  if (compress::ByteBuffer* slot = blob_store_->inplace_slot(i)) {
+    // RAM backend: encode straight into the stored buffer (historical path).
+    const std::int64_t before = static_cast<std::int64_t>(slot->size());
+    codec.encode(in, *slot);
+    account_store(static_cast<std::int64_t>(slot->size()) - before);
+    return;
+  }
+  const std::int64_t before = static_cast<std::int64_t>(blob_store_->size(i));
+  compress::ByteBuffer blob;
+  codec.encode(in, blob);
+  const std::int64_t after = static_cast<std::int64_t>(blob.size());
+  blob_store_->write(i, std::move(blob));
+  account_store(after - before);
 }
 
 void ChunkStore::swap_chunks(index_t i, index_t j) {
   MEMQ_CHECK(i < n_chunks() && j < n_chunks(), "chunk index out of range");
-  std::swap(blobs_[i], blobs_[j]);
+  blob_store_->swap(i, j);
 }
 
 bool ChunkStore::is_zero_chunk(index_t i) const {
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
-  return compress::ChunkCodec::is_zero_chunk(blobs_[i]);
+  return blob_store_->is_zero(i);
+}
+
+std::uint64_t ChunkStore::peak_resident_bytes() const {
+  return blob_store_->tracks_residency()
+             ? blob_store_->stats().peak_resident_bytes
+             : peak_compressed_bytes();
 }
 
 namespace {
@@ -108,14 +133,17 @@ void ChunkStore::save(std::ostream& out) const {
   w.bytes({reinterpret_cast<const std::uint8_t*>(codec_name.data()),
            codec_name.size()});
   w.varint(n_chunks());
-  for (const auto& blob : blobs_) w.varint(blob.size());
+  for (index_t i = 0; i < n_chunks(); ++i) w.varint(blob_store_->size(i));
   const std::uint64_t header_len = header.size();
   out.write(reinterpret_cast<const char*>(&header_len), sizeof header_len);
   out.write(reinterpret_cast<const char*>(header.data()),
             static_cast<std::streamsize>(header.size()));
-  for (const auto& blob : blobs_)
+  compress::ByteBuffer scratch;
+  for (index_t i = 0; i < n_chunks(); ++i) {
+    const compress::ByteBuffer& blob = blob_store_->read(i, scratch);
     out.write(reinterpret_cast<const char*>(blob.data()),
               static_cast<std::streamsize>(blob.size()));
+  }
   MEMQ_CHECK(out.good(), "checkpoint write failed");
 }
 
@@ -155,6 +183,8 @@ void ChunkStore::restore(std::istream& in) {
   std::vector<std::uint64_t> lengths(count);
   for (auto& len : lengths) len = r.varint();
 
+  // Read + validate every blob before committing any of them, so a
+  // truncated checkpoint never leaves a half-restored state.
   std::vector<compress::ByteBuffer> blobs(count);
   std::uint64_t total = 0;
   for (index_t i = 0; i < count; ++i) {
@@ -168,7 +198,8 @@ void ChunkStore::restore(std::istream& in) {
     compress::ChunkCodec::verify(blobs[i]);
     total += blobs[i].size();
   }
-  blobs_ = std::move(blobs);
+  for (index_t i = 0; i < count; ++i)
+    blob_store_->write(i, std::move(blobs[i]));
   total_bytes_.store(total, std::memory_order_relaxed);
   std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
   while (total > peak && !peak_bytes_.compare_exchange_weak(

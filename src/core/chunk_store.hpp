@@ -1,22 +1,31 @@
 // Compressed chunk container — the paper's offline-stage data structure:
 // "each data chunk of the state vector is compressed independently and
 // stored in CPU memory with such compressed format."
+//
+// Since PR 3 the blob bytes themselves live behind the pluggable BlobStore
+// interface (core/blob_store.hpp): RAM by default (the historical path,
+// byte-for-byte), or a disk-spilling file backend with a resident-bytes
+// budget. ChunkStore keeps the codec, the geometry, and the accounting.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
 #include "compress/chunk_codec.hpp"
+#include "core/blob_store.hpp"
 
 namespace memq::core {
 
 class ChunkStore {
  public:
+  /// `blob_store` defaults to RamBlobStore (historical behavior).
   ChunkStore(qubit_t n_qubits, qubit_t chunk_qubits,
-             const compress::ChunkCodecConfig& codec_config);
+             const compress::ChunkCodecConfig& codec_config,
+             std::unique_ptr<BlobStore> blob_store = nullptr);
 
   qubit_t n_qubits() const noexcept { return n_qubits_; }
   qubit_t chunk_qubits() const noexcept { return chunk_qubits_; }
@@ -41,7 +50,8 @@ class ChunkStore {
   /// concurrently for DISTINCT chunks (concurrent load_with of the SAME
   /// chunk is also fine — decoding does not mutate the blob). The caller
   /// supplies a worker-local codec (ChunkCodec holds scratch planes); byte
-  /// and load/store counters are atomic.
+  /// and load/store counters are atomic, and spilling backends serialize
+  /// file access internally.
   void load_with(compress::ChunkCodec& codec, index_t i, std::span<amp_t> out);
   void store_with(compress::ChunkCodec& codec, index_t i,
                   std::span<const amp_t> in);
@@ -60,6 +70,10 @@ class ChunkStore {
   std::uint64_t peak_compressed_bytes() const noexcept {
     return peak_bytes_.load(std::memory_order_relaxed);
   }
+  /// Largest compressed footprint ever resident in host RAM: equal to
+  /// peak_compressed_bytes() for the RAM backend, capped by the blob budget
+  /// for spilling backends. This is what peak_host_state_bytes charges.
+  std::uint64_t peak_resident_bytes() const;
   /// Raw (uncompressed) state size, for ratio reporting.
   std::uint64_t raw_bytes() const noexcept {
     return n_chunks() * chunk_raw_bytes();
@@ -82,6 +96,10 @@ class ChunkStore {
     return codec_.config();
   }
 
+  /// The persistence backend (spill telemetry, backend name).
+  const BlobStore& blob_store() const noexcept { return *blob_store_; }
+  BlobStore::Stats blob_stats() const { return blob_store_->stats(); }
+
   /// Writes the compressed state (geometry header + every blob) to a
   /// checkpoint stream.
   void save(std::ostream& out) const;
@@ -96,7 +114,7 @@ class ChunkStore {
   qubit_t n_qubits_;
   qubit_t chunk_qubits_;
   compress::ChunkCodec codec_;
-  std::vector<compress::ByteBuffer> blobs_;
+  std::unique_ptr<BlobStore> blob_store_;
   std::atomic<std::uint64_t> total_bytes_{0};
   std::atomic<std::uint64_t> peak_bytes_{0};
   std::atomic<std::uint64_t> loads_{0};

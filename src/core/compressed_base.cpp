@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <fstream>
-#include <thread>
 
 #include "common/bit_ops.hpp"
 #include "common/error.hpp"
@@ -11,184 +11,38 @@
 
 namespace memq::core {
 
-namespace {
-
-std::size_t resolved_codec_threads(const EngineConfig& config) {
-  // Cap absurd requests (e.g. a -1 that wrapped to 4 billion on the CLI)
-  // before they turn into thread-spawn storms.
-  constexpr std::size_t kMaxThreads = 256;
-  if (config.codec_threads == 1) return 1;
-  if (config.codec_threads != 0)
-    return std::min<std::size_t>(config.codec_threads, kMaxThreads);
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxThreads);
-}
-
-}  // namespace
-
 CompressedEngineBase::CompressedEngineBase(qubit_t n_qubits,
                                            const EngineConfig& config)
     : config_(config),
-      store_(n_qubits, std::min<qubit_t>(config.chunk_qubits, n_qubits),
-             config.codec),
       rng_(config.seed),
-      scratch_(store_.chunk_amps()),
+      pager_(n_qubits, config_, telemetry_,
+             [this](double seconds) { charge_cpu(seconds); }),
       layout_(n_qubits) {
-  const std::size_t threads = resolved_codec_threads(config);
-  if (threads > 1)
-    codec_pool_ = std::make_unique<CodecPool>(config.codec, threads);
-  if (config.cache_budget_bytes > 0)
-    cache_ = std::make_unique<ChunkCache>(store_, codec_pool_.get(), buffers_,
-                                          inflight_,
-                                          config.cache_budget_bytes);
   refresh_footprint_telemetry();
 }
 
 void CompressedEngineBase::reset() {
-  if (cache_) {
-    cache_->invalidate();  // dirty data must not outlive the reset
-    cache_->clear_plan();
-    cache_->reset_stats();
-    (void)cache_->take_timings();
-  }
-  store_.init_basis(0);
+  pager_.reset();
   telemetry_ = {};
   rng_ = Prng(config_.seed);
   layout_ = QubitLayout(n_qubits());
   state_is_fresh_ = true;
-  inflight_.reset();
-  buffers_.clear();
   refresh_footprint_telemetry();
-}
-
-std::size_t CompressedEngineBase::split_reader_window() const noexcept {
-  const std::size_t workers = codec_workers();
-  if (workers <= 1) return 0;
-  return std::max<std::size_t>(1, workers / 2);
-}
-
-std::size_t CompressedEngineBase::split_writer_backlog() const noexcept {
-  const std::size_t workers = codec_workers();
-  if (workers <= 1) return 0;
-  const std::size_t window = split_reader_window();
-  return workers > window + 1 ? workers - window - 1 : 0;
-}
-
-void CompressedEngineBase::refresh_footprint_telemetry() {
-  // Working buffers: the measured in-flight window of the parallel pipeline
-  // once it has run, with the historical serial floor (scratch + pair +
-  // staging) as the minimum.
-  const std::uint64_t serial_floor = (store_.chunk_amps() * kAmpBytes) * 4;
-  const std::uint64_t working = std::max(serial_floor, inflight_.peak());
-  telemetry_.peak_host_state_bytes =
-      std::max(telemetry_.peak_host_state_bytes,
-               store_.peak_compressed_bytes() + working);
-  telemetry_.peak_inflight_bytes =
-      std::max(telemetry_.peak_inflight_bytes, inflight_.peak());
-  telemetry_.final_compression_ratio = store_.compression_ratio();
-  telemetry_.chunk_loads = store_.loads();
-  telemetry_.chunk_stores = store_.stores();
-  if (cache_) {
-    const ChunkCacheStats& cs = cache_->stats();
-    telemetry_.cache_hits = cs.hits;
-    telemetry_.cache_misses = cs.misses;
-    telemetry_.cache_evictions = cs.evictions;
-    telemetry_.cache_clean_evictions = cs.clean_evictions;
-    telemetry_.cache_writebacks = cs.writebacks;
-    telemetry_.cache_codec_bytes_avoided =
-        cs.codec_bytes_avoided(store_.chunk_raw_bytes());
-    telemetry_.peak_cache_resident_bytes = cs.peak_resident_bytes;
-  }
-}
-
-void CompressedEngineBase::harvest_cache_timings() {
-  if (!cache_) return;
-  const ChunkCache::Timings t = cache_->take_timings();
-  telemetry_.cpu_phases.add("decompress", t.decode_seconds);
-  telemetry_.cpu_phases.add("recompress", t.encode_seconds);
-  // Miss decodes run synchronously on the coordinator, so pool mode charges
-  // them in full plus the measured write-back wait; serial mode keeps the
-  // modeled multi-core divisor.
-  charge_cpu(codec_pool_
-                 ? t.decode_seconds + t.wait_seconds
-                 : (t.decode_seconds + t.encode_seconds) /
-                       config_.cpu_codec_workers);
-}
-
-std::span<amp_t> CompressedEngineBase::load_chunk_timed(
-    index_t i, std::vector<amp_t>& buf) {
-  buf.resize(store_.chunk_amps());
-  if (cache_) {
-    cache_->load(i, buf);
-    harvest_cache_timings();
-    return buf;
-  }
-  WallTimer t;
-  store_.load(i, buf);
-  const double dt = t.seconds();
-  telemetry_.cpu_phases.add("decompress", dt);
-  charge_cpu(dt / config_.cpu_codec_workers);
-  return buf;
-}
-
-void CompressedEngineBase::store_chunk_timed(index_t i,
-                                             std::span<const amp_t> buf) {
-  if (cache_) {
-    cache_->store(i, buf);
-    harvest_cache_timings();
-    return;
-  }
-  WallTimer t;
-  store_.store(i, buf);
-  const double dt = t.seconds();
-  telemetry_.cpu_phases.add("recompress", dt);
-  charge_cpu(dt / config_.cpu_codec_workers);
-}
-
-std::vector<ChunkJob> CompressedEngineBase::nonzero_chunk_jobs() const {
-  std::vector<ChunkJob> jobs;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
-    if (!chunk_is_zero(ci)) jobs.push_back({ci, 0, false});
-  return jobs;
-}
-
-void CompressedEngineBase::sweep_chunks(
-    std::vector<ChunkJob> jobs,
-    const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
-    bool timed) {
-  SweepPlanGuard sweep_plan(cache());
-  CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
-                      std::move(jobs), reader_window());
-  while (auto item = reader.next()) {
-    fn(item->job, std::span<amp_t>(item->buf));
-    reader.recycle(std::move(item->buf));
-  }
-  if (cache_) harvest_cache_timings();
-  if (timed) {
-    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
-    charge_cpu(codec_pool_ ? reader.wait_seconds()
-                           : reader.decode_seconds() /
-                                 config_.cpu_codec_workers);
-  }
 }
 
 amp_t CompressedEngineBase::amplitude(index_t i) {
   MEMQ_CHECK(i < dim_of(n_qubits()), "amplitude index out of range");
   const index_t phys = layout_.to_physical(i);
-  const index_t chunk = phys >> store_.chunk_qubits();
+  const index_t chunk = phys >> pager_.chunk_qubits();
   if (chunk_is_zero(chunk)) return amp_t{0, 0};
-  if (cache_) {
-    cache_->load(chunk, scratch_);
-    harvest_cache_timings();
-  } else {
-    store_.load(chunk, scratch_);
-  }
-  return scratch_[phys & (store_.chunk_amps() - 1)];
+  std::vector<amp_t> buf(pager_.chunk_amps());
+  pager_.peek(chunk, buf);
+  return buf[phys & (pager_.chunk_amps() - 1)];
 }
 
 double CompressedEngineBase::norm() {
   double s = 0.0;
-  sweep_chunks(nonzero_chunk_jobs(),
+  pager_.sweep(pager_.nonzero_jobs(),
                [&](const ChunkJob&, std::span<amp_t> amps) {
                  double chunk_sum = 0.0;
                  for (const amp_t& a : amps) chunk_sum += std::norm(a);
@@ -205,11 +59,11 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
 
   // Pass 1 — the only full sweep: per-chunk norms (compressed amplitudes do
   // not sum to exactly 1, so the CDF is rescaled by the true total).
-  const std::vector<ChunkJob> jobs = nonzero_chunk_jobs();
+  const std::vector<ChunkJob> jobs = pager_.nonzero_jobs();
   std::vector<double> chunk_norm;
   chunk_norm.reserve(jobs.size());
   double total = 0.0;
-  sweep_chunks(jobs, [&](const ChunkJob&, std::span<amp_t> amps) {
+  pager_.sweep(jobs, [&](const ChunkJob&, std::span<amp_t> amps) {
     double chunk_sum = 0.0;
     for (const amp_t& a : amps) chunk_sum += std::norm(a);
     chunk_norm.push_back(chunk_sum);
@@ -242,19 +96,17 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
   std::map<index_t, std::uint64_t> counts;
   std::size_t next = 0;
   {
-    SweepPlanGuard sweep_plan(cache());
-    CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
-                        std::move(needed_jobs), reader_window());
+    StatePager::ReadStream reader = pager_.open_read(std::move(needed_jobs));
     double cum = 0.0;
     std::size_t ni = 0;
     for (std::size_t k = 0; k < jobs.size() && next < shots; ++k) {
       const double end = cum + chunk_norm[k] / total;
       if (ni < needed_k.size() && needed_k[ni] == k) {
         ++ni;
-        auto item = reader.next();
-        MEMQ_CHECK(item.has_value(), "sample walk out of planned chunks");
-        const std::span<const amp_t> amps(item->buf);
-        const index_t base = jobs[k].a << store_.chunk_qubits();
+        auto lease = reader.next();
+        MEMQ_CHECK(lease.has_value(), "sample walk out of planned chunks");
+        const std::span<const amp_t> amps = lease->amps();
+        const index_t base = jobs[k].a << pager_.chunk_qubits();
         double local = cum;
         index_t last_nonzero = base;
         for (index_t j = 0; j < amps.size() && next < shots; ++j) {
@@ -272,12 +124,11 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
           ++counts[layout_.to_logical(last_nonzero)];
           ++next;
         }
-        reader.recycle(std::move(item->buf));
+        reader.recycle(std::move(*lease));
       }
       cum = end;
     }
   }
-  if (cache_) harvest_cache_timings();
 
   // Lossy-drift tail (u beyond the accumulated CDF): attribute leftover
   // shots to the last nonzero amplitude of the state.
@@ -289,16 +140,12 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
         break;
       }
     MEMQ_CHECK(k_last < jobs.size(), "no probability mass to sample");
-    if (cache_) {
-      cache_->load(jobs[k_last].a, scratch_);
-      harvest_cache_timings();
-    } else {
-      store_.load(jobs[k_last].a, scratch_);
-    }
-    const index_t base = jobs[k_last].a << store_.chunk_qubits();
+    std::vector<amp_t> buf(pager_.chunk_amps());
+    pager_.peek(jobs[k_last].a, buf);
+    const index_t base = jobs[k_last].a << pager_.chunk_qubits();
     index_t last_nonzero = base;
-    for (index_t j = 0; j < scratch_.size(); ++j)
-      if (std::norm(scratch_[j]) > 0) last_nonzero = base + j;
+    for (index_t j = 0; j < buf.size(); ++j)
+      if (std::norm(buf[j]) > 0) last_nonzero = base + j;
     counts[layout_.to_logical(last_nonzero)] += shots - next;
   }
   return counts;
@@ -308,40 +155,16 @@ sv::StateVector CompressedEngineBase::to_dense() {
   MEMQ_CHECK(n_qubits() <= 28, "to_dense beyond 28 qubits");
   sv::StateVector out(n_qubits());
   auto amps = out.amplitudes();
-  const qubit_t c = store_.chunk_qubits();
+  const qubit_t c = pager_.chunk_qubits();
   if (layout_.is_identity()) {
-    if (cache_) {
-      // Cached copies may be dirtier (fresher) than the blobs, so the dense
-      // view must come through the cache — sequentially, on the coordinator.
-      SweepPlanGuard sweep_plan(cache_.get());
-      for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
-        cache_->load(ci, amps.subspan(ci << c, store_.chunk_amps()));
-      harvest_cache_timings();
-      return out;
-    }
-    if (codec_pool_) {
-      // Every chunk decodes straight into its slice of the dense vector —
-      // disjoint destinations, so a plain parallel_for is safe.
-      CodecPool* pool = codec_pool_.get();
-      ChunkStore* store = &store_;
-      codec_pool_->threads().parallel_for(
-          store_.n_chunks(), [amps, c, pool, store](std::size_t ci) {
-            auto codec = pool->lease();
-            store->load_with(*codec, ci,
-                             amps.subspan(index_t{ci} << c,
-                                          store->chunk_amps()));
-          });
-    } else {
-      for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
-        store_.load(ci, amps.subspan(ci << c, store_.chunk_amps()));
-    }
+    pager_.export_dense(amps);
     return out;
   }
   std::vector<ChunkJob> jobs;
-  jobs.reserve(store_.n_chunks());
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+  jobs.reserve(pager_.n_chunks());
+  for (index_t ci = 0; ci < pager_.n_chunks(); ++ci)
     jobs.push_back({ci, 0, false});
-  sweep_chunks(jobs, [&](const ChunkJob& job, std::span<amp_t> chunk) {
+  pager_.sweep(jobs, [&](const ChunkJob& job, std::span<amp_t> chunk) {
     const index_t base = job.a << c;
     for (index_t j = 0; j < chunk.size(); ++j)
       amps[layout_.to_logical(base + j)] = chunk[j];
@@ -389,21 +212,21 @@ double CompressedEngineBase::expectation(const sv::PauliString& pauli_in) {
       {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
   const amp_t y_phase = kIPowers[n_y % 4];
 
-  const qubit_t c = store_.chunk_qubits();
+  const qubit_t c = pager_.chunk_qubits();
   const index_t x_high = xmask >> c;
-  const index_t x_low = xmask & (store_.chunk_amps() - 1);
-  const index_t half = store_.chunk_amps();
+  const index_t x_low = xmask & (pager_.chunk_amps() - 1);
+  const index_t half = pager_.chunk_amps();
 
   // Chunk + partner co-load as one pair job; the reduction runs on the
   // coordinator in chunk order (deterministic for any codec_threads).
   std::vector<ChunkJob> jobs;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+  for (index_t ci = 0; ci < pager_.n_chunks(); ++ci) {
     const index_t cj = ci ^ x_high;
     if (chunk_is_zero(ci) || chunk_is_zero(cj)) continue;
     jobs.push_back({ci, cj, cj != ci});
   }
   amp_t total{0, 0};
-  sweep_chunks(jobs, [&](const ChunkJob& job, std::span<amp_t> amps) {
+  pager_.sweep(jobs, [&](const ChunkJob& job, std::span<amp_t> amps) {
     const std::span<const amp_t> self =
         std::span<const amp_t>(amps).first(half);
     const std::span<const amp_t> other =
@@ -429,27 +252,7 @@ void CompressedEngineBase::load_dense(std::span<const amp_t> amplitudes) {
                                  << amplitudes.size());
   layout_ = QubitLayout(n_qubits());  // caller data is in logical order
   state_is_fresh_ = false;
-  // The new state supersedes everything cached; drop (not write back) so
-  // the direct stores below are the only source of truth.
-  if (cache_) cache_->invalidate();
-  {
-    ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
-                       codec_workers() > 1 ? codec_workers() - 1 : 0);
-    for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
-      std::vector<amp_t> buf = buffers_.get(store_.chunk_amps());
-      const auto src = amplitudes.subspan(ci << store_.chunk_qubits(),
-                                          store_.chunk_amps());
-      std::copy(src.begin(), src.end(), buf.begin());
-      inflight_.acquire(buf.size() * kAmpBytes);
-      writer.put({ci, 0, false}, std::move(buf));
-    }
-    writer.drain();
-    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
-    charge_cpu(codec_pool_ ? writer.wait_seconds()
-                           : writer.encode_seconds() /
-                                 config_.cpu_codec_workers);
-  }
-  refresh_footprint_telemetry();
+  pager_.ingest_dense(amplitudes);
 }
 
 std::vector<double> CompressedEngineBase::marginal_probabilities(
@@ -463,10 +266,10 @@ std::vector<double> CompressedEngineBase::marginal_probabilities(
   for (std::size_t k = 0; k < qubits.size(); ++k)
     phys[k] = layout_.physical(qubits[k]);
 
-  const qubit_t c = store_.chunk_qubits();
+  const qubit_t c = pager_.chunk_qubits();
   std::vector<double> marginal(std::size_t{1} << qubits.size(), 0.0);
   double total = 0.0;
-  sweep_chunks(nonzero_chunk_jobs(),
+  pager_.sweep(pager_.nonzero_jobs(),
                [&](const ChunkJob& job, std::span<amp_t> amps) {
                  const index_t base = job.a << c;
                  for (index_t l = 0; l < amps.size(); ++l) {
@@ -485,16 +288,22 @@ std::vector<double> CompressedEngineBase::marginal_probabilities(
   return marginal;
 }
 
+namespace {
+/// Versioned checkpoint envelope (since format version 2). Files written by
+/// the unversioned seed format start directly with the u32 qubit count, so
+/// the magic doubles as the format sniff: no plausible qubit count collides
+/// with these bytes.
+constexpr char kStateMagic[8] = {'M', 'E', 'M', 'Q', 'S', 'T', 'A', 'T'};
+constexpr std::uint32_t kStateVersion = 2;
+}  // namespace
+
 void CompressedEngineBase::save_state(const std::string& path) {
-  // Dirty cached chunks exist only in RAM until flushed; the checkpoint
-  // must see them.
-  if (cache_) {
-    cache_->flush();
-    harvest_cache_timings();
-  }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   MEMQ_CHECK(static_cast<bool>(out), "cannot open checkpoint '" << path
                                                                 << "'");
+  out.write(kStateMagic, sizeof kStateMagic);
+  const std::uint32_t version = kStateVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof version);
   // Layout section precedes the store so restored states keep their qubit
   // mapping (chunks are stored in physical order).
   const std::uint32_t n = n_qubits();
@@ -503,24 +312,45 @@ void CompressedEngineBase::save_state(const std::string& path) {
     const std::uint32_t p = layout_.physical(q);
     out.write(reinterpret_cast<const char*>(&p), sizeof p);
   }
-  store_.save(out);
+  pager_.checkpoint_to(out);
+  MEMQ_CHECK(out.good(), "checkpoint write failed");
 }
 
 void CompressedEngineBase::load_state(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   MEMQ_CHECK(static_cast<bool>(in), "cannot open checkpoint '" << path
                                                                << "'");
+  char magic[sizeof kStateMagic];
+  in.read(magic, sizeof magic);
   std::uint32_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof n);
-  if (!in.good() || n != n_qubits())
-    throw CorruptData("checkpoint: qubit-count header mismatch");
+  if (in.good() && std::memcmp(magic, kStateMagic, sizeof kStateMagic) == 0) {
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char*>(&version), sizeof version);
+    if (!in.good()) throw CorruptData("checkpoint: truncated version header");
+    if (version != kStateVersion)
+      throw CorruptData("checkpoint format version " +
+                        std::to_string(version) + " is not supported (this "
+                        "build reads version " +
+                        std::to_string(kStateVersion) +
+                        " and the unversioned seed format)");
+    in.read(reinterpret_cast<char*>(&n), sizeof n);
+    if (!in.good() || n != n_qubits())
+      throw CorruptData("checkpoint: qubit-count header mismatch");
+  } else {
+    // Legacy (pre-version-header) checkpoint: the stream starts with the
+    // u32 qubit count. Rewind and parse it as before.
+    in.clear();
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(&n), sizeof n);
+    if (!in.good() || n != n_qubits())
+      throw CorruptData("checkpoint: qubit-count header mismatch");
+  }
   std::vector<qubit_t> physical_of(n);
   for (auto& p : physical_of) {
     in.read(reinterpret_cast<char*>(&p), sizeof p);
     if (!in.good() || p >= n) throw CorruptData("checkpoint: bad layout");
   }
-  if (cache_) cache_->invalidate();  // restored blobs replace cached data
-  store_.restore(in);
+  pager_.restore_from(in);
   QubitLayout restored(n);
   bool identity = true;
   for (qubit_t q = 0; q < n; ++q)
@@ -536,13 +366,13 @@ void CompressedEngineBase::load_state(const std::string& path) {
 
 bool CompressedEngineBase::measure_qubit(qubit_t q) {
   MEMQ_CHECK(q < n_qubits(), "measured qubit out of range");
-  const qubit_t c = store_.chunk_qubits();
+  const qubit_t c = pager_.chunk_qubits();
 
   // Pass 1: P(q = 1), from per-chunk partials accumulated in chunk order on
   // the coordinator — the outcome is identical for any codec_threads.
   double p1 = 0.0, total = 0.0;
-  sweep_chunks(
-      nonzero_chunk_jobs(),
+  pager_.sweep(
+      pager_.nonzero_jobs(),
       [&](const ChunkJob& job, std::span<amp_t> amps) {
         double chunk_norm = 0.0, chunk_one = 0.0;
         if (q >= c) {
@@ -572,7 +402,7 @@ bool CompressedEngineBase::measure_qubit(qubit_t q) {
   // lossy drift does not accumulate across measurements). Chunks on the
   // discarded side are overwritten with zeros; kept chunks are rescaled.
   std::vector<ChunkJob> zero_jobs, scale_jobs;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+  for (index_t ci = 0; ci < pager_.n_chunks(); ++ci) {
     if (q >= c && bits::test(ci, q - c) != outcome) {
       if (!chunk_is_zero(ci)) zero_jobs.push_back({ci, 0, false});
       continue;
@@ -580,60 +410,14 @@ bool CompressedEngineBase::measure_qubit(qubit_t q) {
     if (chunk_is_zero(ci)) continue;
     scale_jobs.push_back({ci, 0, false});
   }
-  if (cache_) {
-    // Zeroed chunks bypass the cache (storing zeros through it would defeat
-    // the zero-chunk fast path): drop any cached copy, then store directly.
-    WallTimer zt;
-    for (const ChunkJob& job : zero_jobs) {
-      cache_->drop(job.a);
-      std::fill(scratch_.begin(), scratch_.end(), amp_t{0, 0});
-      store_.store(job.a, scratch_);
-    }
-    const double zdt = zt.seconds();
-    telemetry_.cpu_phases.add("recompress", zdt);
-    charge_cpu(codec_pool_ ? zdt : zdt / config_.cpu_codec_workers);
-    CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
-                        std::move(scale_jobs), split_reader_window());
-    CachedWriter writer(store_, codec_pool(), buffers_, inflight_, cache(),
-                        split_writer_backlog());
-    while (auto item = reader.next()) {
-      if (q >= c) {
-        for (amp_t& a : item->buf) a *= scale;
-      } else {
-        sv::collapse(item->buf, q, outcome, scale);
-      }
-      writer.put(item->job, std::move(item->buf));
-    }
-    writer.drain();
-    harvest_cache_timings();
-  } else {
-    ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
-                       split_writer_backlog());
-    for (const ChunkJob& job : zero_jobs) {
-      std::vector<amp_t> zeros = buffers_.get(store_.chunk_amps());
-      std::fill(zeros.begin(), zeros.end(), amp_t{0, 0});
-      inflight_.acquire(zeros.size() * kAmpBytes);
-      writer.put(job, std::move(zeros));
-    }
-    ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
-                       std::move(scale_jobs), split_reader_window());
-    while (auto item = reader.next()) {
-      if (q >= c) {
-        for (amp_t& a : item->buf) a *= scale;
-      } else {
-        sv::collapse(item->buf, q, outcome, scale);
-      }
-      writer.put(item->job, std::move(item->buf));
-    }
-    writer.drain();
-    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
-    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
-    charge_cpu(codec_pool_
-                   ? reader.wait_seconds() + writer.wait_seconds()
-                   : (reader.decode_seconds() + writer.encode_seconds()) /
-                         config_.cpu_codec_workers);
-  }
-  refresh_footprint_telemetry();
+  pager_.collapse(zero_jobs, std::move(scale_jobs),
+                  [&](const ChunkJob&, std::span<amp_t> amps) {
+                    if (q >= c) {
+                      for (amp_t& a : amps) a *= scale;
+                    } else {
+                      sv::collapse(amps, q, outcome, scale);
+                    }
+                  });
   return outcome;
 }
 

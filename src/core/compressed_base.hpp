@@ -1,6 +1,7 @@
 // Shared machinery of the two compressed-state engines (MemQSim and the
-// Wu-style prior-work baseline): chunked compressed storage, state queries,
-// and the global measurement flow.
+// Wu-style prior-work baseline): state queries and the global measurement
+// flow, on top of the StatePager storage plane (which owns the chunk
+// store, cache, and codec pool — see core/state_pager.hpp).
 #pragma once
 
 #include <functional>
@@ -8,11 +9,9 @@
 #include <vector>
 
 #include "common/prng.hpp"
-#include "core/chunk_cache.hpp"
-#include "core/chunk_store.hpp"
-#include "core/codec_pool.hpp"
 #include "core/engine.hpp"
 #include "core/qubit_layout.hpp"
+#include "core/state_pager.hpp"
 
 namespace memq::core {
 
@@ -20,7 +19,7 @@ class CompressedEngineBase : public Engine {
  public:
   CompressedEngineBase(qubit_t n_qubits, const EngineConfig& config);
 
-  qubit_t n_qubits() const override { return store_.n_qubits(); }
+  qubit_t n_qubits() const override { return pager_.n_qubits(); }
   void reset() override;
   void load_dense(std::span<const amp_t> amplitudes) override;
   amp_t amplitude(index_t i) override;
@@ -35,53 +34,17 @@ class CompressedEngineBase : public Engine {
   const EngineTelemetry& telemetry() const override { return telemetry_; }
 
   /// Compressed footprint right now (benches poll this mid-run).
-  std::uint64_t compressed_bytes() const { return store_.compressed_bytes(); }
-  const ChunkStore& store() const { return store_; }
+  std::uint64_t compressed_bytes() const { return pager_.compressed_bytes(); }
+  const ChunkStore& store() const { return pager_.store(); }
+  /// The storage plane (benches / tests inspect counters through it).
+  const StatePager& pager() const { return pager_; }
 
  protected:
-  /// Loads chunk i into the scratch buffer with decompress timing.
-  std::span<amp_t> load_chunk_timed(index_t i, std::vector<amp_t>& buf);
-  /// Stores the buffer back with recompress timing.
-  void store_chunk_timed(index_t i, std::span<const amp_t> buf);
-
-  /// The shared codec worker pool, or nullptr when codec_threads resolves
-  /// to 1 (serial mode — the historical single-threaded path).
-  CodecPool* codec_pool() noexcept { return codec_pool_.get(); }
-  /// The write-back chunk cache, or nullptr when cache_budget_bytes == 0.
-  ChunkCache* cache() noexcept { return cache_.get(); }
-  /// Cache-aware zero query: a dirty cached chunk must never be skipped as
-  /// zero from its (stale) blob.
-  bool chunk_is_zero(index_t i) const {
-    return cache_ ? cache_->is_zero(i) : store_.is_zero_chunk(i);
-  }
-  /// Drains codec seconds accumulated inside the cache (miss decodes,
-  /// write-back encodes) into the phase breakdown and the modeled clock.
-  void harvest_cache_timings();
-  /// Resolved codec worker count (1 in serial mode).
-  std::size_t codec_workers() const noexcept {
-    return codec_pool_ ? codec_pool_->workers() : 1;
-  }
-  /// Decode-ahead window for read-only sweeps (<= workers + 1 buffers
-  /// resident).
-  std::size_t reader_window() const noexcept { return codec_workers() > 1 ? codec_workers() : 0; }
-  /// Reader-window / writer-backlog split for read-modify-write loops,
-  /// sized so window + writer-resident <= codec_threads and a device stage
-  /// of pipeline depth D keeps <= D + codec_threads items in flight.
-  std::size_t split_reader_window() const noexcept;
-  std::size_t split_writer_backlog() const noexcept;
-
-  /// One ordered pass over `jobs`: decompression fans out across the codec
-  /// pool (bounded decode-ahead) while `fn` consumes every chunk on the
-  /// calling thread in job order, so reductions are deterministic for any
-  /// codec_threads. With `timed`, decompress seconds land in telemetry and
-  /// the modeled clock is charged (measured parallel wait in pool mode,
-  /// dt / cpu_codec_workers in serial mode).
-  void sweep_chunks(std::vector<ChunkJob> jobs,
-                    const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
-                    bool timed = false);
-
-  /// Jobs for every non-zero chunk, in chunk order.
-  std::vector<ChunkJob> nonzero_chunk_jobs() const;
+  /// Cache-aware zero query (see StatePager::is_zero).
+  bool chunk_is_zero(index_t i) const { return pager_.is_zero(i); }
+  qubit_t chunk_qubits() const noexcept { return pager_.chunk_qubits(); }
+  index_t n_chunks() const noexcept { return pager_.n_chunks(); }
+  index_t chunk_amps() const noexcept { return pager_.chunk_amps(); }
 
   /// Measures qubit q across the chunked state: returns the outcome and
   /// collapses + renormalizes. Used for measure and reset gates.
@@ -91,25 +54,14 @@ class CompressedEngineBase : public Engine {
   /// (MemQSim forwards to the device host clock; Wu accumulates directly).
   virtual void charge_cpu(double seconds) = 0;
 
-  void refresh_footprint_telemetry();
+  void refresh_footprint_telemetry() { pager_.refresh_telemetry(); }
 
   EngineConfig config_;
-  ChunkStore store_;
   Prng rng_;
   EngineTelemetry telemetry_;
-  std::vector<amp_t> scratch_;  // one chunk
-
-  /// Parallel-pipeline state: worker pool (null in serial mode), reusable
-  /// amplitude buffers, and the decompressed-bytes ledger behind the
-  /// bounded in-flight window telemetry.
-  std::unique_ptr<CodecPool> codec_pool_;
-  BufferPool buffers_;
-  InFlightLedger inflight_;
-
-  /// Budgeted write-back cache of decompressed chunks (null when
-  /// config.cache_budget_bytes == 0 — the historical path). Declared after
-  /// the pool/buffers/ledger it borrows so destruction order is safe.
-  std::unique_ptr<ChunkCache> cache_;
+  /// The storage plane: every chunk access flows through its leases,
+  /// sweeps, and streams. Declared after telemetry_ (it publishes into it).
+  StatePager pager_;
 
   /// Logical-to-physical qubit mapping (identity unless the derived engine
   /// installs an optimized layout). All public queries translate through it;

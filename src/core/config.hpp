@@ -11,6 +11,12 @@
 
 namespace memq::core {
 
+/// Where compressed chunk blobs live (core/blob_store.hpp).
+enum class StoreBackend : std::uint8_t {
+  kRam,   ///< everything in host RAM (historical behavior, default)
+  kFile,  ///< spill past host_blob_budget_bytes to an unlinked temp file
+};
+
 struct EngineConfig {
   /// log2 of amplitudes per chunk — the compression granularity of
   /// challenge (2). 2^16 amps = 1 MiB raw per chunk.
@@ -65,6 +71,17 @@ struct EngineConfig {
   /// least as accurate as) budget 0; bit-identical only with the Null
   /// codec.
   std::uint64_t cache_budget_bytes = 0;
+
+  /// Persistence backend for the compressed blobs. kRam is byte-for-byte
+  /// the historical path; kFile keeps at most host_blob_budget_bytes of
+  /// compressed data resident (hard cap) and spills the rest to an unlinked
+  /// temporary file — states whose *compressed* form exceeds host RAM stay
+  /// simulable, at the price of spill I/O (counted in telemetry).
+  StoreBackend store_backend = StoreBackend::kRam;
+
+  /// Resident-compressed-bytes budget for StoreBackend::kFile (ignored for
+  /// kRam). 0 keeps nothing resident: every blob access goes to the file.
+  std::uint64_t host_blob_budget_bytes = 0;
 
   /// CPU-side parallelism *model* used when codec_threads == 1: codec and
   /// CPU-apply work is measured on the host but charged to the modeled

@@ -66,6 +66,17 @@ struct EngineTelemetry {
   std::uint64_t cache_codec_bytes_avoided = 0;
   std::uint64_t peak_cache_resident_bytes = 0;
 
+  /// Blob-backend spill counters (zero for StoreBackend::kRam; see
+  /// core/blob_store.hpp).
+  std::uint64_t spill_writes = 0;  ///< blobs written to the backing file
+  std::uint64_t spill_reads = 0;   ///< blobs read back from the file
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t spill_bytes_read = 0;
+  /// Peak compressed bytes resident in host RAM — equals the peak
+  /// compressed footprint for the RAM backend, is capped by
+  /// host_blob_budget_bytes for the file backend.
+  std::uint64_t peak_resident_blob_bytes = 0;
+
   std::size_t stages_local = 0;
   std::size_t stages_pair = 0;
   std::size_t stages_permute = 0;

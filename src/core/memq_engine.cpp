@@ -17,7 +17,7 @@ MemQSimEngine::MemQSimEngine(qubit_t n_qubits, const EngineConfig& config)
       clock_(std::make_shared<device::HostClock>()) {
   MEMQ_CHECK(config.device_slots >= 1, "need at least one device slot");
   MEMQ_CHECK(config.device_count >= 1, "need at least one device");
-  const std::uint64_t pair_bytes = store_.chunk_amps() * 2 * kAmpBytes;
+  const std::uint64_t pair_bytes = chunk_amps() * 2 * kAmpBytes;
   const bool staged =
       config.strategy == device::TransferStrategy::kStagedBuffer;
   const std::uint64_t per_slot = pair_bytes * (staged ? 2 : 1);
@@ -76,19 +76,19 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
     // Layout is chosen once, from the first circuit on the fresh |0..0>
     // state (which is invariant under qubit relabeling).
     if (config_.optimize_layout && state_is_fresh_ && layout_.is_identity())
-      layout_ = QubitLayout::optimize(circuit, store_.chunk_qubits());
+      layout_ = QubitLayout::optimize(circuit, chunk_qubits());
     circuit::Circuit mapped = layout_.map_circuit(circuit);
     if (config_.elide_swaps) mapped = elide_swaps(mapped, layout_);
     if (config_.fuse_single_qubit_runs) {
-      plan_ = partition(circuit::fuse_1q_runs(mapped), store_.chunk_qubits());
+      plan_ = partition(circuit::fuse_1q_runs(mapped), chunk_qubits());
     } else {
-      plan_ = partition(mapped, store_.chunk_qubits());
+      plan_ = partition(mapped, chunk_qubits());
     }
   }
   charge_cpu(telemetry_.cpu_phases.get("offline_partition"));
   state_is_fresh_ = false;
 
-  if (ChunkCache* cache_ptr = cache()) {
+  if (pager_.cache_enabled()) {
     // Hand the offline stage schedule to the cache so eviction can be
     // Belady-optimal: per stage, which slots are touched and at which sweep
     // position (pairs share the position of their low chunk).
@@ -102,8 +102,7 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
           break;
         case StageKind::kPair:
           a.kind = StageAccess::Kind::kPair;
-          a.pair_mask = index_t{1}
-                        << (stage.pair_qubit - store_.chunk_qubits());
+          a.pair_mask = index_t{1} << (stage.pair_qubit - chunk_qubits());
           break;
         case StageKind::kLocal:
         case StageKind::kMeasure:
@@ -112,12 +111,12 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
       }
       accesses.push_back(a);
     }
-    cache_ptr->set_plan(std::move(accesses));
+    pager_.set_plan(std::move(accesses));
   }
 
   for (std::size_t si = 0; si < plan_->stages.size(); ++si) {
     const Stage& stage = plan_->stages[si];
-    if (cache()) cache()->begin_stage(si);
+    pager_.begin_stage(si);
     switch (stage.kind) {
       case StageKind::kLocal:
         ++telemetry_.stages_local;
@@ -137,7 +136,7 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
         const bool outcome = measure_qubit(g.targets.at(0));
         if (g.kind == GateKind::kReset && outcome) {
           const Gate fix = Gate::x(g.targets[0]);
-          if (g.targets[0] >= store_.chunk_qubits()) {
+          if (g.targets[0] >= chunk_qubits()) {
             run_permute_stage({StageKind::kPermute, {fix}, 0});
           } else {
             run_local_stage({StageKind::kLocal, {fix}, 0});
@@ -148,7 +147,7 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
     }
   }
 
-  if (cache()) cache()->clear_plan();  // back to LRU for post-run sweeps
+  pager_.clear_plan();  // back to LRU for post-run sweeps
 
   // Drain every device before reporting.
   for (DeviceContext& ctx : devices_) {
@@ -163,7 +162,7 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
 void MemQSimEngine::run_permute_stage(const Stage& stage) {
   // Compressed-form permutation: only blob pointers move.
   WallTimer t;
-  apply_chunk_permutation(store_, stage.gates.at(0), cache());
+  pager_.permute(stage.gates.at(0));
   const double dt = t.seconds();
   telemetry_.cpu_phases.add("permute", dt);
   charge_cpu(dt / config_.cpu_codec_workers);
@@ -175,11 +174,10 @@ bool MemQSimEngine::cpu_apply(std::span<amp_t> buf, const Stage& stage,
   bool modified = false;
   for (const Gate& g : stage.gates) {
     if (stage.kind == StageKind::kPair)
-      modified |= apply_gate_to_pair(buf, chunk_lo, store_.chunk_qubits(),
+      modified |= apply_gate_to_pair(buf, chunk_lo, chunk_qubits(),
                                      stage.pair_qubit, g);
     else
-      modified |=
-          apply_gate_to_chunk(buf, chunk_lo, store_.chunk_qubits(), g);
+      modified |= apply_gate_to_chunk(buf, chunk_lo, chunk_qubits(), g);
   }
   const double dt = t.seconds();
   telemetry_.cpu_phases.add("cpu_apply", dt);
@@ -205,7 +203,7 @@ std::pair<bool, device::Event> MemQSimEngine::device_round_trip(
   // Launch one kernel per gate (paper step 3), operating in device memory.
   bool modified = false;
   auto dev_amps = slot.state.view<amp_t>().first(host_buf.size());
-  const qubit_t c = store_.chunk_qubits();
+  const qubit_t c = chunk_qubits();
   for (const Gate& g : stage.gates) {
     bool* modified_ptr = &modified;
     ctx.compute->launch(
@@ -249,63 +247,41 @@ struct OffloadPicker {
 void MemQSimEngine::run_stream_stage(const Stage& stage,
                                      std::vector<ChunkJob> jobs) {
   struct InFlight {
-    ChunkJob job;
-    std::vector<amp_t> buf;
+    StatePager::Lease lease;
     device::Event done;
     bool modified;
   };
   std::deque<InFlight> in_flight;
   OffloadPicker offload{config_.cpu_offload_fraction};
-  const bool serial = codec_pool() == nullptr;
 
-  // Reader decode-ahead + writer backlog are split so that reader window +
-  // writer-resident buffers stay <= codec_threads work items; together with
-  // the device deque the stage keeps <= pipeline_depth + codec_threads
-  // decompressed items in flight (tracked by inflight_).
-  CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
-                      std::move(jobs), split_reader_window());
-  CachedWriter writer(store_, codec_pool(), buffers_, inflight_, cache(),
-                      split_writer_backlog());
-
-  const auto put_back = [&](const ChunkJob& job, std::vector<amp_t> buf,
-                            bool modified) {
-    if (!modified) {
-      reader.recycle(std::move(buf));
-      return;
-    }
-    const double dt = writer.put(job, std::move(buf));
-    if (serial) {
-      // Historical serial accounting: charge each recompress as it happens
-      // so modeled CPU/device interleaving is unchanged.
-      telemetry_.cpu_phases.add("recompress", dt);
-      charge_cpu(dt / config_.cpu_codec_workers);
-    }
-  };
+  // The stage stream owns the split decode-ahead window / writer backlog
+  // (reader window + writer-resident buffers <= codec_threads work items);
+  // together with the device deque the stage keeps <= pipeline_depth +
+  // codec_threads decompressed items in flight. All codec timing — serial
+  // per-item charges, pool-mode coordinator waits, cache timings — is
+  // settled by the stream itself.
+  StatePager::StageStream io = pager_.open_stage(std::move(jobs));
 
   const auto complete_front = [&] {
     InFlight item = std::move(in_flight.front());
     in_flight.pop_front();
     clock_->sync_until(item.done.time);
-    put_back(item.job, std::move(item.buf), item.modified);
+    io.release(std::move(item.lease), item.modified);
   };
 
-  while (auto item = reader.next()) {
-    if (serial) {
-      telemetry_.cpu_phases.add("decompress", item->decode_seconds);
-      charge_cpu(item->decode_seconds / config_.cpu_codec_workers);
-    }
+  while (auto lease = io.next()) {
     ++work_items_;
 
     if (offload.pick()) {
       // Step (5): this work item is updated by idle CPU cores.
-      const bool modified = cpu_apply(item->buf, stage, item->job.a);
-      put_back(item->job, std::move(item->buf), modified);
+      const bool modified = cpu_apply(lease->amps(), stage, lease->chunk());
+      io.release(std::move(*lease), modified);
       continue;
     }
 
     const auto [modified, done] =
-        device_round_trip(item->buf, stage, item->job.a);
-    in_flight.push_back({item->job, std::move(item->buf), done, modified});
+        device_round_trip(lease->amps(), stage, lease->chunk());
+    in_flight.push_back({std::move(*lease), done, modified});
 
     if (!config_.pipelined) {
       complete_front();  // serialize every phase
@@ -314,23 +290,12 @@ void MemQSimEngine::run_stream_stage(const Stage& stage,
     }
   }
   while (!in_flight.empty()) complete_front();
-  writer.drain();
-  if (!serial) {
-    // Parallel mode: codec seconds are summed across workers for the phase
-    // breakdown, but the modeled clock is only charged the coordinator's
-    // measured blocked time — decompression genuinely overlapped device
-    // work, so no per-item fiction is needed.
-    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
-    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
-    charge_cpu(reader.wait_seconds() + writer.wait_seconds());
-  }
-  harvest_cache_timings();
-  refresh_footprint_telemetry();
+  io.finish();
 }
 
 void MemQSimEngine::run_local_stage(const Stage& stage) {
   std::vector<ChunkJob> jobs;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+  for (index_t ci = 0; ci < n_chunks(); ++ci) {
     if (chunk_is_zero(ci)) {
       ++telemetry_.zero_chunks_skipped;
       continue;  // unitary gates keep the zero subspace zero
@@ -341,9 +306,9 @@ void MemQSimEngine::run_local_stage(const Stage& stage) {
 }
 
 void MemQSimEngine::run_pair_stage(const Stage& stage) {
-  const qubit_t pair_bit = stage.pair_qubit - store_.chunk_qubits();
+  const qubit_t pair_bit = stage.pair_qubit - chunk_qubits();
   std::vector<ChunkJob> jobs;
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+  for (index_t ci = 0; ci < n_chunks(); ++ci) {
     if (bits::test(ci, pair_bit)) continue;
     const index_t cj = bits::set(ci, pair_bit);
     if (chunk_is_zero(ci) && chunk_is_zero(cj)) {

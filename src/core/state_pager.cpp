@@ -1,0 +1,511 @@
+#include "core/state_pager.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/chunk_exec.hpp"
+
+namespace memq::core {
+
+namespace {
+
+std::size_t resolved_codec_threads(const EngineConfig& config) {
+  // Cap absurd requests (e.g. a -1 that wrapped to 4 billion on the CLI)
+  // before they turn into thread-spawn storms.
+  constexpr std::size_t kMaxThreads = 256;
+  if (config.codec_threads == 1) return 1;
+  if (config.codec_threads != 0)
+    return std::min<std::size_t>(config.codec_threads, kMaxThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxThreads);
+}
+
+std::unique_ptr<BlobStore> make_blob_store(const EngineConfig& config) {
+  switch (config.store_backend) {
+    case StoreBackend::kFile:
+      return std::make_unique<FileBlobStore>(config.host_blob_budget_bytes);
+    case StoreBackend::kRam:
+      break;
+  }
+  return nullptr;  // ChunkStore defaults to RamBlobStore
+}
+
+}  // namespace
+
+StatePager::StatePager(qubit_t n_qubits, const EngineConfig& config,
+                       EngineTelemetry& telemetry,
+                       std::function<void(double)> charge_cpu)
+    : config_(config),
+      telemetry_(telemetry),
+      charge_cpu_(std::move(charge_cpu)),
+      store_(n_qubits, std::min<qubit_t>(config.chunk_qubits, n_qubits),
+             config.codec, make_blob_store(config)) {
+  const std::size_t threads = resolved_codec_threads(config);
+  if (threads > 1)
+    codec_pool_ = std::make_unique<CodecPool>(config.codec, threads);
+  if (config.cache_budget_bytes > 0)
+    cache_ = std::make_unique<ChunkCache>(store_, codec_pool_.get(), buffers_,
+                                          inflight_,
+                                          config.cache_budget_bytes);
+}
+
+StatePager::~StatePager() = default;
+
+void StatePager::reset() {
+  MEMQ_CHECK(leased_.empty(), "reset with live leases");
+  if (cache_) {
+    cache_->invalidate();  // dirty data must not outlive the reset
+    cache_->clear_plan();
+    cache_->reset_stats();
+    (void)cache_->take_timings();
+  }
+  store_.init_basis(0);
+  inflight_.reset();
+  buffers_.clear();
+}
+
+std::size_t StatePager::split_reader_window() const noexcept {
+  const std::size_t workers = codec_workers();
+  if (workers <= 1) return 0;
+  return std::max<std::size_t>(1, workers / 2);
+}
+
+std::size_t StatePager::split_writer_backlog() const noexcept {
+  const std::size_t workers = codec_workers();
+  if (workers <= 1) return 0;
+  const std::size_t window = split_reader_window();
+  return workers > window + 1 ? workers - window - 1 : 0;
+}
+
+void StatePager::harvest_cache_timings() {
+  if (!cache_) return;
+  const ChunkCache::Timings t = cache_->take_timings();
+  telemetry_.cpu_phases.add("decompress", t.decode_seconds);
+  telemetry_.cpu_phases.add("recompress", t.encode_seconds);
+  // Miss decodes run synchronously on the coordinator, so pool mode charges
+  // them in full plus the measured write-back wait; serial mode keeps the
+  // modeled multi-core divisor.
+  charge_cpu_(codec_pool_
+                  ? t.decode_seconds + t.wait_seconds
+                  : (t.decode_seconds + t.encode_seconds) /
+                        config_.cpu_codec_workers);
+}
+
+void StatePager::refresh_telemetry() {
+  // Working buffers: the measured in-flight window of the parallel pipeline
+  // once it has run, with the historical serial floor (scratch + pair +
+  // staging) as the minimum. Only RESIDENT compressed bytes count toward
+  // the host peak — spilled blobs live on disk, which is the point.
+  const std::uint64_t serial_floor = (store_.chunk_amps() * kAmpBytes) * 4;
+  const std::uint64_t working = std::max(serial_floor, inflight_.peak());
+  telemetry_.peak_host_state_bytes =
+      std::max(telemetry_.peak_host_state_bytes,
+               store_.peak_resident_bytes() + working);
+  telemetry_.peak_inflight_bytes =
+      std::max(telemetry_.peak_inflight_bytes, inflight_.peak());
+  telemetry_.final_compression_ratio = store_.compression_ratio();
+  telemetry_.chunk_loads = store_.loads();
+  telemetry_.chunk_stores = store_.stores();
+  if (cache_) {
+    const ChunkCacheStats& cs = cache_->stats();
+    telemetry_.cache_hits = cs.hits;
+    telemetry_.cache_misses = cs.misses;
+    telemetry_.cache_evictions = cs.evictions;
+    telemetry_.cache_clean_evictions = cs.clean_evictions;
+    telemetry_.cache_writebacks = cs.writebacks;
+    telemetry_.cache_codec_bytes_avoided =
+        cs.codec_bytes_avoided(store_.chunk_raw_bytes());
+    telemetry_.peak_cache_resident_bytes = cs.peak_resident_bytes;
+  }
+  const BlobStore::Stats bs = store_.blob_stats();
+  telemetry_.spill_writes = bs.spill_writes;
+  telemetry_.spill_reads = bs.spill_reads;
+  telemetry_.spill_bytes_written = bs.spill_bytes_written;
+  telemetry_.spill_bytes_read = bs.spill_bytes_read;
+  telemetry_.peak_resident_blob_bytes = store_.peak_resident_bytes();
+}
+
+// ---- leases --------------------------------------------------------------
+
+void StatePager::claim(const ChunkJob& job) {
+  MEMQ_CHECK(job.a < n_chunks() && (!job.has_b || job.b < n_chunks()),
+             "chunk index out of range");
+  if (leased_.count(job.a) || (job.has_b && leased_.count(job.b)))
+    MEMQ_THROW(InvalidArgument,
+               "chunk " << (leased_.count(job.a) ? job.a : job.b)
+                        << " already has a live lease");
+  leased_.insert(job.a);
+  if (job.has_b) leased_.insert(job.b);
+}
+
+void StatePager::unclaim(const ChunkJob& job) {
+  leased_.erase(job.a);
+  if (job.has_b) leased_.erase(job.b);
+}
+
+void StatePager::load_timed(index_t i, std::span<amp_t> out) {
+  if (cache_) {
+    cache_->load(i, out);
+    harvest_cache_timings();
+    return;
+  }
+  WallTimer t;
+  store_.load(i, out);
+  const double dt = t.seconds();
+  telemetry_.cpu_phases.add("decompress", dt);
+  charge_cpu_(dt / config_.cpu_codec_workers);
+}
+
+void StatePager::store_timed(index_t i, std::span<const amp_t> in) {
+  if (cache_) {
+    cache_->store(i, in);
+    harvest_cache_timings();
+    return;
+  }
+  WallTimer t;
+  store_.store(i, in);
+  const double dt = t.seconds();
+  telemetry_.cpu_phases.add("recompress", dt);
+  charge_cpu_(dt / config_.cpu_codec_workers);
+}
+
+StatePager::Lease StatePager::acquire(ChunkJob job, bool writable) {
+  claim(job);
+  Lease lease;
+  lease.job_ = job;
+  lease.writable_ = writable;
+  lease.tracked_ = true;
+  const std::size_t half = store_.chunk_amps();
+  lease.buf_ = buffers_.get(half * (job.has_b ? 2 : 1));
+  const std::span<amp_t> amps(lease.buf_);
+  load_timed(job.a, amps.first(half));
+  if (job.has_b) load_timed(job.b, amps.subspan(half, half));
+  return lease;
+}
+
+StatePager::Lease StatePager::acquire_read(index_t i) {
+  return acquire({i, 0, false}, /*writable=*/false);
+}
+
+StatePager::Lease StatePager::acquire_write(index_t i) {
+  return acquire({i, 0, false}, /*writable=*/true);
+}
+
+StatePager::Lease StatePager::acquire_write_pair(index_t lo, index_t hi) {
+  MEMQ_CHECK(lo != hi, "pair lease needs two distinct chunks");
+  return acquire({lo, hi, true}, /*writable=*/true);
+}
+
+void StatePager::release(Lease lease, bool modified) {
+  if (lease.tracked_) unclaim(lease.job_);
+  if (modified) {
+    MEMQ_CHECK(lease.writable_, "read lease released as modified");
+    const std::size_t half = store_.chunk_amps();
+    const std::span<const amp_t> amps(lease.buf_);
+    store_timed(lease.job_.a, amps.first(half));
+    if (lease.job_.has_b) store_timed(lease.job_.b, amps.subspan(half, half));
+  }
+  buffers_.put(std::move(lease.buf_));
+}
+
+void StatePager::peek(index_t i, std::span<amp_t> out) {
+  if (cache_) {
+    cache_->load(i, out);
+    harvest_cache_timings();
+  } else {
+    store_.load(i, out);
+  }
+}
+
+// ---- bulk sweeps ----------------------------------------------------------
+
+std::vector<ChunkJob> StatePager::nonzero_jobs() const {
+  std::vector<ChunkJob> jobs;
+  for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+    if (!is_zero(ci)) jobs.push_back({ci, 0, false});
+  return jobs;
+}
+
+void StatePager::sweep(
+    std::vector<ChunkJob> jobs,
+    const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
+    bool timed) {
+  SweepPlanGuard sweep_plan(cache());
+  CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
+                      std::move(jobs), reader_window());
+  while (auto item = reader.next()) {
+    fn(item->job, std::span<amp_t>(item->buf));
+    reader.recycle(std::move(item->buf));
+  }
+  if (cache_) harvest_cache_timings();
+  if (timed) {
+    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
+    charge_cpu_(codec_pool_ ? reader.wait_seconds()
+                            : reader.decode_seconds() /
+                                  config_.cpu_codec_workers);
+  }
+}
+
+struct StatePager::ReadStream::Impl {
+  StatePager* pager;
+  SweepPlanGuard plan_guard;
+  CachedReader reader;
+
+  Impl(StatePager* p, std::vector<ChunkJob> jobs)
+      : pager(p),
+        plan_guard(p->cache()),
+        reader(p->store_, p->codec_pool(), p->buffers_, p->inflight_,
+               p->cache(), std::move(jobs), p->reader_window()) {}
+};
+
+StatePager::ReadStream::ReadStream(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+StatePager::ReadStream::ReadStream(ReadStream&&) noexcept = default;
+
+StatePager::ReadStream::~ReadStream() {
+  if (impl_ && impl_->pager->cache_enabled())
+    impl_->pager->harvest_cache_timings();
+}
+
+std::optional<StatePager::Lease> StatePager::ReadStream::next() {
+  auto item = impl_->reader.next();
+  if (!item) return std::nullopt;
+  Lease lease;
+  lease.job_ = item->job;
+  lease.buf_ = std::move(item->buf);
+  return lease;
+}
+
+void StatePager::ReadStream::recycle(Lease lease) {
+  impl_->reader.recycle(std::move(lease.buf_));
+}
+
+StatePager::ReadStream StatePager::open_read(std::vector<ChunkJob> jobs) {
+  return ReadStream(std::make_unique<ReadStream::Impl>(this, std::move(jobs)));
+}
+
+struct StatePager::StageStream::Impl {
+  StatePager* pager;
+  CachedReader reader;
+  CachedWriter writer;
+  bool serial;
+  bool finished = false;
+
+  Impl(StatePager* p, std::vector<ChunkJob> jobs)
+      : pager(p),
+        reader(p->store_, p->codec_pool(), p->buffers_, p->inflight_,
+               p->cache(), std::move(jobs), p->split_reader_window()),
+        writer(p->store_, p->codec_pool(), p->buffers_, p->inflight_,
+               p->cache(), p->split_writer_backlog()),
+        serial(p->codec_pool_ == nullptr) {}
+};
+
+StatePager::StageStream::StageStream(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+StatePager::StageStream::StageStream(StageStream&&) noexcept = default;
+StatePager::StageStream::~StageStream() = default;
+
+std::optional<StatePager::Lease> StatePager::StageStream::next() {
+  auto item = impl_->reader.next();
+  if (!item) return std::nullopt;
+  if (impl_->serial) {
+    StatePager& pager = *impl_->pager;
+    pager.telemetry_.cpu_phases.add("decompress", item->decode_seconds);
+    pager.charge_cpu_(item->decode_seconds / pager.config_.cpu_codec_workers);
+  }
+  Lease lease;
+  lease.job_ = item->job;
+  lease.buf_ = std::move(item->buf);
+  lease.writable_ = true;
+  return lease;
+}
+
+void StatePager::StageStream::release(Lease lease, bool modified) {
+  if (!modified) {
+    impl_->reader.recycle(std::move(lease.buf_));
+    return;
+  }
+  const double dt = impl_->writer.put(lease.job_, std::move(lease.buf_));
+  if (impl_->serial) {
+    // Historical serial accounting: charge each recompress as it happens
+    // so modeled CPU/device interleaving is unchanged.
+    StatePager& pager = *impl_->pager;
+    pager.telemetry_.cpu_phases.add("recompress", dt);
+    pager.charge_cpu_(dt / pager.config_.cpu_codec_workers);
+  }
+}
+
+void StatePager::StageStream::finish() {
+  MEMQ_CHECK(!impl_->finished, "StageStream finished twice");
+  impl_->finished = true;
+  StatePager& pager = *impl_->pager;
+  impl_->writer.drain();
+  if (!impl_->serial) {
+    // Parallel mode: codec seconds are summed across workers for the phase
+    // breakdown, but the modeled clock is only charged the coordinator's
+    // measured blocked time — decompression genuinely overlapped device
+    // work, so no per-item fiction is needed.
+    pager.telemetry_.cpu_phases.add("decompress",
+                                    impl_->reader.decode_seconds());
+    pager.telemetry_.cpu_phases.add("recompress",
+                                    impl_->writer.encode_seconds());
+    pager.charge_cpu_(impl_->reader.wait_seconds() +
+                      impl_->writer.wait_seconds());
+  }
+  pager.harvest_cache_timings();
+  pager.refresh_telemetry();
+}
+
+StatePager::StageStream StatePager::open_stage(std::vector<ChunkJob> jobs) {
+  return StageStream(
+      std::make_unique<StageStream::Impl>(this, std::move(jobs)));
+}
+
+// ---- whole-state operations ----------------------------------------------
+
+void StatePager::collapse(
+    const std::vector<ChunkJob>& zero_jobs, std::vector<ChunkJob> scale_jobs,
+    const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn) {
+  if (cache_) {
+    // Zeroed chunks bypass the cache (storing zeros through it would defeat
+    // the zero-chunk fast path): drop any cached copy, then store directly.
+    WallTimer zt;
+    std::vector<amp_t> zeros(store_.chunk_amps(), amp_t{0, 0});
+    for (const ChunkJob& job : zero_jobs) {
+      cache_->drop(job.a);
+      store_.store(job.a, zeros);
+    }
+    const double zdt = zt.seconds();
+    telemetry_.cpu_phases.add("recompress", zdt);
+    charge_cpu_(codec_pool_ ? zdt : zdt / config_.cpu_codec_workers);
+    CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
+                        std::move(scale_jobs), split_reader_window());
+    CachedWriter writer(store_, codec_pool(), buffers_, inflight_, cache(),
+                        split_writer_backlog());
+    while (auto item = reader.next()) {
+      fn(item->job, std::span<amp_t>(item->buf));
+      writer.put(item->job, std::move(item->buf));
+    }
+    writer.drain();
+    harvest_cache_timings();
+  } else {
+    ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
+                       split_writer_backlog());
+    for (const ChunkJob& job : zero_jobs) {
+      std::vector<amp_t> zeros = buffers_.get(store_.chunk_amps());
+      std::fill(zeros.begin(), zeros.end(), amp_t{0, 0});
+      inflight_.acquire(zeros.size() * kAmpBytes);
+      writer.put(job, std::move(zeros));
+    }
+    ChunkReader reader(store_, codec_pool(), buffers_, inflight_,
+                       std::move(scale_jobs), split_reader_window());
+    while (auto item = reader.next()) {
+      fn(item->job, std::span<amp_t>(item->buf));
+      writer.put(item->job, std::move(item->buf));
+    }
+    writer.drain();
+    telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
+    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
+    charge_cpu_(codec_pool_
+                    ? reader.wait_seconds() + writer.wait_seconds()
+                    : (reader.decode_seconds() + writer.encode_seconds()) /
+                          config_.cpu_codec_workers);
+  }
+  refresh_telemetry();
+}
+
+void StatePager::ingest_dense(std::span<const amp_t> amplitudes) {
+  // The new state supersedes everything cached; drop (not write back) so
+  // the direct stores below are the only source of truth.
+  if (cache_) cache_->invalidate();
+  {
+    ChunkWriter writer(store_, codec_pool(), buffers_, inflight_,
+                       codec_workers() > 1 ? codec_workers() - 1 : 0);
+    for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+      std::vector<amp_t> buf = buffers_.get(store_.chunk_amps());
+      const auto src = amplitudes.subspan(ci << store_.chunk_qubits(),
+                                          store_.chunk_amps());
+      std::copy(src.begin(), src.end(), buf.begin());
+      inflight_.acquire(buf.size() * kAmpBytes);
+      writer.put({ci, 0, false}, std::move(buf));
+    }
+    writer.drain();
+    telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
+    charge_cpu_(codec_pool_ ? writer.wait_seconds()
+                            : writer.encode_seconds() /
+                                  config_.cpu_codec_workers);
+  }
+  refresh_telemetry();
+}
+
+void StatePager::export_dense(std::span<amp_t> amps) {
+  MEMQ_CHECK(amps.size() == dim_of(n_qubits()), "export span size mismatch");
+  const qubit_t c = store_.chunk_qubits();
+  if (cache_) {
+    // Cached copies may be dirtier (fresher) than the blobs, so the dense
+    // view must come through the cache — sequentially, on the coordinator.
+    SweepPlanGuard sweep_plan(cache_.get());
+    for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+      cache_->load(ci, amps.subspan(ci << c, store_.chunk_amps()));
+    harvest_cache_timings();
+    return;
+  }
+  if (codec_pool_) {
+    // Every chunk decodes straight into its slice of the dense vector —
+    // disjoint destinations, so a plain parallel_for is safe.
+    CodecPool* pool = codec_pool_.get();
+    ChunkStore* store = &store_;
+    codec_pool_->threads().parallel_for(
+        store_.n_chunks(), [amps, c, pool, store](std::size_t ci) {
+          auto codec = pool->lease();
+          store->load_with(*codec, ci,
+                           amps.subspan(index_t{ci} << c,
+                                        store->chunk_amps()));
+        });
+  } else {
+    for (index_t ci = 0; ci < store_.n_chunks(); ++ci)
+      store_.load(ci, amps.subspan(ci << c, store_.chunk_amps()));
+  }
+}
+
+void StatePager::permute(const circuit::Gate& gate) {
+  apply_chunk_permutation(store_, gate, cache());
+}
+
+// ---- cache plan forwarding ------------------------------------------------
+
+void StatePager::set_plan(std::vector<StageAccess> plan) {
+  if (cache_) cache_->set_plan(std::move(plan));
+}
+
+void StatePager::begin_stage(std::size_t stage_index) {
+  if (cache_) cache_->begin_stage(stage_index);
+}
+
+void StatePager::clear_plan() {
+  if (cache_) cache_->clear_plan();
+}
+
+// ---- checkpointing --------------------------------------------------------
+
+void StatePager::checkpoint_to(std::ostream& out) {
+  // Dirty cached chunks exist only in RAM until flushed; the checkpoint
+  // must see them.
+  if (cache_) {
+    cache_->flush();
+    harvest_cache_timings();
+  }
+  store_.save(out);
+}
+
+void StatePager::restore_from(std::istream& in) {
+  if (cache_) cache_->invalidate();  // restored blobs replace cached data
+  store_.restore(in);
+}
+
+}  // namespace memq::core

@@ -1,0 +1,240 @@
+// The storage plane of the compressed engines: one object owning the
+// ChunkStore, the write-back ChunkCache, and the CodecPool wiring, so that
+// every chunk access — timed or untimed, cached or direct, serial or
+// pooled — flows through a single API. Engines never touch the store, the
+// cache, or the pool directly; they hold leases.
+//
+//   * acquire_read / acquire_write / acquire_write_pair + release —
+//     single-chunk (or pair) access with the historical timing model:
+//     decompress/recompress seconds land in the phase breakdown and the
+//     modeled clock is charged dt / cpu_codec_workers (serial) or through
+//     the cache's measured timings.
+//   * open_read(jobs)  — ordered bulk sweep (decode-ahead window).
+//   * open_stage(jobs) — the online-stage read-modify-write stream with the
+//     split reader-window / writer-backlog bound.
+//   * collapse / ingest_dense / export_dense / permute / checkpoint —
+//     the remaining whole-state operations, each encapsulating its
+//     cache-coherence rules (drop-before-zero, invalidate-before-restore,
+//     flush-before-save).
+//
+// Lease exclusivity: at most one live lease per chunk (pairs claim both
+// chunks). A second acquire of a leased chunk throws InvalidArgument —
+// concurrent same-chunk access was never legal; now it is checked.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/chunk_cache.hpp"
+#include "core/chunk_store.hpp"
+#include "core/codec_pool.hpp"
+#include "core/config.hpp"
+#include "core/engine.hpp"
+
+namespace memq::circuit {
+struct Gate;
+}  // namespace memq::circuit
+
+namespace memq::core {
+
+class StatePager {
+ public:
+  /// `telemetry` and the config outlive the pager (the owning engine holds
+  /// both); `charge_cpu` forwards modeled seconds to the engine's timeline.
+  StatePager(qubit_t n_qubits, const EngineConfig& config,
+             EngineTelemetry& telemetry,
+             std::function<void(double)> charge_cpu);
+  ~StatePager();
+
+  StatePager(const StatePager&) = delete;
+  StatePager& operator=(const StatePager&) = delete;
+
+  // ---- geometry / queries -----------------------------------------------
+  qubit_t n_qubits() const noexcept { return store_.n_qubits(); }
+  qubit_t chunk_qubits() const noexcept { return store_.chunk_qubits(); }
+  index_t n_chunks() const noexcept { return store_.n_chunks(); }
+  index_t chunk_amps() const noexcept { return store_.chunk_amps(); }
+  std::uint64_t compressed_bytes() const noexcept {
+    return store_.compressed_bytes();
+  }
+  const ChunkStore& store() const noexcept { return store_; }
+  /// Resolved codec worker count (1 in serial mode).
+  std::size_t codec_workers() const noexcept {
+    return codec_pool_ ? codec_pool_->workers() : 1;
+  }
+  bool cache_enabled() const noexcept { return cache_ != nullptr; }
+
+  /// Cache-aware zero query: a dirty cached chunk must never be skipped as
+  /// zero from its (stale) blob.
+  bool is_zero(index_t i) const {
+    return cache_ ? cache_->is_zero(i) : store_.is_zero_chunk(i);
+  }
+  /// Jobs for every non-zero chunk, in chunk order.
+  std::vector<ChunkJob> nonzero_jobs() const;
+
+  // ---- leases -----------------------------------------------------------
+  class Lease {
+   public:
+    Lease(Lease&&) noexcept = default;
+    Lease& operator=(Lease&&) noexcept = default;
+    /// The decompressed amplitudes: one chunk, or [a | b] for a pair.
+    std::span<amp_t> amps() noexcept { return buf_; }
+    std::span<const amp_t> amps() const noexcept { return buf_; }
+    const ChunkJob& job() const noexcept { return job_; }
+    index_t chunk() const noexcept { return job_.a; }
+
+   private:
+    friend class StatePager;
+    Lease() = default;
+    ChunkJob job_{};
+    std::vector<amp_t> buf_;
+    bool writable_ = false;
+    bool tracked_ = false;  ///< claimed in the exclusivity set
+  };
+
+  /// Timed single-chunk loads. Exclusive: a second lease on a live chunk
+  /// throws InvalidArgument. Release every lease (release() or the stream's
+  /// release) before the next whole-state operation.
+  Lease acquire_read(index_t i);
+  Lease acquire_write(index_t i);
+  /// Co-loads chunks `lo` and `hi` into one buffer ([lo | hi]).
+  Lease acquire_write_pair(index_t lo, index_t hi);
+
+  /// Ends the lease; with `modified`, stores the buffer back (timed).
+  void release(Lease lease, bool modified);
+
+  /// Untimed read of chunk `i` (historical amplitude()/sample-tail path:
+  /// no phase seconds, no modeled charge — the loads counter still ticks).
+  void peek(index_t i, std::span<amp_t> out);
+
+  // ---- bulk sweeps ------------------------------------------------------
+  /// One ordered pass over `jobs`: decompression fans out across the codec
+  /// pool (bounded decode-ahead) while `fn` consumes every chunk on the
+  /// calling thread in job order, so reductions are deterministic for any
+  /// codec_threads. With `timed`, decompress seconds land in telemetry and
+  /// the modeled clock is charged (measured parallel wait in pool mode,
+  /// dt / cpu_codec_workers in serial mode).
+  void sweep(std::vector<ChunkJob> jobs,
+             const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
+             bool timed = false);
+
+  /// Incremental read-only stream over `jobs` (the sweep, inverted for
+  /// callers that interleave other work — the sample-counts CDF walk).
+  /// Untimed like the historical pass-2: cache timings are harvested on
+  /// destruction; plain-reader decode seconds are discarded.
+  class ReadStream {
+   public:
+    ReadStream(ReadStream&&) noexcept;
+    ~ReadStream();
+    std::optional<Lease> next();
+    void recycle(Lease lease);
+
+   private:
+    friend class StatePager;
+    struct Impl;
+    explicit ReadStream(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+  };
+  ReadStream open_read(std::vector<ChunkJob> jobs);
+
+  /// The online-stage read-modify-write stream: leases come out in job
+  /// order with the split decode-ahead window; release() routes modified
+  /// buffers back through the bounded writer. finish() drains the writer,
+  /// settles all timing accounts, and refreshes footprint telemetry.
+  class StageStream {
+   public:
+    StageStream(StageStream&&) noexcept;
+    ~StageStream();
+    std::optional<Lease> next();
+    void release(Lease lease, bool modified);
+    void finish();
+
+   private:
+    friend class StatePager;
+    struct Impl;
+    explicit StageStream(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+  };
+  StageStream open_stage(std::vector<ChunkJob> jobs);
+
+  // ---- whole-state operations -------------------------------------------
+  /// Measurement pass 2: overwrites `zero_jobs` chunks with zeros (bypassing
+  /// the cache so the zero-chunk fast path survives) and rewrites
+  /// `scale_jobs` chunks through `fn`. Timed like the historical path.
+  void collapse(const std::vector<ChunkJob>& zero_jobs,
+                std::vector<ChunkJob> scale_jobs,
+                const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn);
+
+  /// Replaces the whole state from a dense amplitude vector (physical chunk
+  /// order). Invalidate-then-store: the cache never shadows the new state.
+  void ingest_dense(std::span<const amp_t> amplitudes);
+
+  /// Decompresses the whole state into `amps` in physical chunk order
+  /// (2^n amplitudes). Untimed, parallel across the pool when cache-less.
+  void export_dense(std::span<amp_t> amps);
+
+  /// Compressed-form chunk permutation (blob pointers move; the cache
+  /// follows its blobs). Untimed — callers own the "permute" phase timer.
+  void permute(const circuit::Gate& gate);
+
+  /// Resets to |0...0> and clears all pipeline state (not the telemetry —
+  /// the engine owns that).
+  void reset();
+
+  // ---- cache plan forwarding (no-ops when the cache is off) -------------
+  void set_plan(std::vector<StageAccess> plan);
+  void begin_stage(std::size_t stage_index);
+  void clear_plan();
+
+  // ---- checkpointing ----------------------------------------------------
+  /// Flushes dirty cache residents, then writes the store checkpoint.
+  void checkpoint_to(std::ostream& out);
+  /// Invalidates the cache and restores the store checkpoint.
+  void restore_from(std::istream& in);
+
+  // ---- telemetry --------------------------------------------------------
+  /// Drains codec seconds accumulated inside the cache (miss decodes,
+  /// write-back encodes) into the phase breakdown and the modeled clock.
+  void harvest_cache_timings();
+  /// Publishes footprint / counter / spill telemetry into the engine's
+  /// EngineTelemetry.
+  void refresh_telemetry();
+
+ private:
+  Lease acquire(ChunkJob job, bool writable);
+  void claim(const ChunkJob& job);
+  void unclaim(const ChunkJob& job);
+  void load_timed(index_t i, std::span<amp_t> out);
+  void store_timed(index_t i, std::span<const amp_t> in);
+  ChunkCache* cache() noexcept { return cache_.get(); }
+  CodecPool* codec_pool() noexcept { return codec_pool_.get(); }
+  /// Decode-ahead window for read-only sweeps (<= workers + 1 buffers
+  /// resident).
+  std::size_t reader_window() const noexcept {
+    return codec_workers() > 1 ? codec_workers() : 0;
+  }
+  /// Reader-window / writer-backlog split for read-modify-write loops,
+  /// sized so window + writer-resident <= codec_threads and a device stage
+  /// of pipeline depth D keeps <= D + codec_threads items in flight.
+  std::size_t split_reader_window() const noexcept;
+  std::size_t split_writer_backlog() const noexcept;
+
+  const EngineConfig& config_;
+  EngineTelemetry& telemetry_;
+  std::function<void(double)> charge_cpu_;
+
+  ChunkStore store_;
+  std::unique_ptr<CodecPool> codec_pool_;
+  BufferPool buffers_;
+  InFlightLedger inflight_;
+  /// Declared after the pool/buffers/ledger it borrows so destruction
+  /// order is safe.
+  std::unique_ptr<ChunkCache> cache_;
+
+  std::unordered_set<index_t> leased_;
+};
+
+}  // namespace memq::core

@@ -30,13 +30,11 @@ void WuEngine::run(const circuit::Circuit& circuit) {
       continue;
     }
     if (g.kind == GateKind::kSwap &&
-        (g.targets[0] >= store_.chunk_qubits() ||
-         g.targets[1] >= store_.chunk_qubits()) &&
-        !(g.targets[0] >= store_.chunk_qubits() &&
-          g.targets[1] >= store_.chunk_qubits() &&
+        (g.targets[0] >= chunk_qubits() || g.targets[1] >= chunk_qubits()) &&
+        !(g.targets[0] >= chunk_qubits() && g.targets[1] >= chunk_qubits() &&
           [&] {
             for (const qubit_t ctrl : g.controls)
-              if (ctrl < store_.chunk_qubits()) return false;
+              if (ctrl < chunk_qubits()) return false;
             return true;
           }())) {
       // Mixed-locality swap: three CXs, as in the MemQSim partitioner.
@@ -57,25 +55,25 @@ void WuEngine::run(const circuit::Circuit& circuit) {
 }
 
 void WuEngine::apply_unitary_gate(const Gate& g) {
-  const qubit_t c = store_.chunk_qubits();
+  const qubit_t c = chunk_qubits();
 
   if (is_chunk_local(g, c)) {
     // Wu-style: every gate pays a full decompress + recompress sweep.
     ++telemetry_.stages_local;
-    for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+    for (index_t ci = 0; ci < n_chunks(); ++ci) {
       // The all-zero fast path: a zero chunk stays zero under any masked
       // single-target unitary.
       if (chunk_is_zero(ci)) {
         ++telemetry_.zero_chunks_skipped;
         continue;
       }
-      (void)load_chunk_timed(ci, scratch_);
+      StatePager::Lease lease = pager_.acquire_write(ci);
       WallTimer t;
-      const bool touched = apply_gate_to_chunk(scratch_, ci, c, g);
+      const bool touched = apply_gate_to_chunk(lease.amps(), ci, c, g);
       const double dt = t.seconds();
       telemetry_.cpu_phases.add("cpu_apply", dt);
       charge_cpu(dt / config_.cpu_codec_workers);
-      if (touched) store_chunk_timed(ci, scratch_);
+      pager_.release(std::move(lease), touched);
     }
     refresh_footprint_telemetry();
     return;
@@ -92,7 +90,7 @@ void WuEngine::apply_unitary_gate(const Gate& g) {
         g.targets[1] >= c)) &&
       all_high_controls()) {
     ++telemetry_.stages_permute;
-    apply_chunk_permutation(store_, g, cache());
+    pager_.permute(g);
     return;
   }
 
@@ -102,29 +100,20 @@ void WuEngine::apply_unitary_gate(const Gate& g) {
   for (const qubit_t t : g.targets)
     if (t >= c) q = t;
   const qubit_t pair_bit = q - c;
-  pair_buf_.resize(store_.chunk_amps() * 2);
-  const auto lo_half = std::span<amp_t>(pair_buf_).first(store_.chunk_amps());
-  const auto hi_half = std::span<amp_t>(pair_buf_).last(store_.chunk_amps());
-  for (index_t ci = 0; ci < store_.n_chunks(); ++ci) {
+  for (index_t ci = 0; ci < n_chunks(); ++ci) {
     if (bits::test(ci, pair_bit)) continue;
     const index_t cj = bits::set(ci, pair_bit);
     if (chunk_is_zero(ci) && chunk_is_zero(cj)) {
       ++telemetry_.zero_chunks_skipped;
       continue;
     }
-    (void)load_chunk_timed(ci, scratch_);
-    std::copy(scratch_.begin(), scratch_.end(), lo_half.begin());
-    (void)load_chunk_timed(cj, scratch_);
-    std::copy(scratch_.begin(), scratch_.end(), hi_half.begin());
+    StatePager::Lease lease = pager_.acquire_write_pair(ci, cj);
     WallTimer t;
-    const bool touched = apply_gate_to_pair(pair_buf_, ci, c, q, g);
+    const bool touched = apply_gate_to_pair(lease.amps(), ci, c, q, g);
     const double dt = t.seconds();
     telemetry_.cpu_phases.add("cpu_apply", dt);
     charge_cpu(dt / config_.cpu_codec_workers);
-    if (touched) {
-      store_chunk_timed(ci, lo_half);
-      store_chunk_timed(cj, hi_half);
-    }
+    pager_.release(std::move(lease), touched);
   }
   refresh_footprint_telemetry();
 }

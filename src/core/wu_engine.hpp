@@ -20,8 +20,6 @@ class WuEngine final : public CompressedEngineBase {
  private:
   void charge_cpu(double seconds) override;
   void apply_unitary_gate(const circuit::Gate& gate);
-
-  std::vector<amp_t> pair_buf_;
 };
 
 }  // namespace memq::core

@@ -1,0 +1,202 @@
+// BlobStore backends: the RAM backend's in-place contract and the file
+// backend's budget cap, spill counters, zero metadata, and region reuse.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "compress/chunk_codec.hpp"
+#include "core/blob_store.hpp"
+
+namespace memq::core {
+namespace {
+
+using compress::ByteBuffer;
+
+// Blobs must carry real codec framing (is_zero answers from the header),
+// so build them through a bit-exact ChunkCodec.
+ByteBuffer make_blob(double seed, std::size_t n_amps = 16) {
+  compress::ChunkCodecConfig cfg;
+  cfg.compressor = "null";
+  compress::ChunkCodec codec(cfg);
+  std::vector<amp_t> amps(n_amps);
+  for (std::size_t k = 0; k < n_amps; ++k)
+    amps[k] = {seed + static_cast<double>(k), seed - static_cast<double>(k)};
+  ByteBuffer out;
+  codec.encode(amps, out);
+  return out;
+}
+
+ByteBuffer make_zero_blob(std::size_t n_amps = 16) {
+  compress::ChunkCodecConfig cfg;
+  cfg.compressor = "null";
+  compress::ChunkCodec codec(cfg);
+  std::vector<amp_t> amps(n_amps);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  return out;
+}
+
+TEST(RamBlobStore, RoundTripAndInplaceSlot) {
+  RamBlobStore store;
+  store.resize(3);
+  const ByteBuffer a = make_blob(1.0);
+  store.write(0, ByteBuffer(a));
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), a);
+  EXPECT_EQ(store.size(0), a.size());
+  EXPECT_FALSE(store.is_zero(0));
+  EXPECT_FALSE(store.tracks_residency());
+
+  // The in-place slot is the stored buffer itself: mutations through it are
+  // visible on the next read (the historical encode-in-place path).
+  ByteBuffer* slot = store.inplace_slot(1);
+  ASSERT_NE(slot, nullptr);
+  *slot = make_zero_blob();
+  EXPECT_TRUE(store.is_zero(1));
+
+  store.write(2, make_blob(7.0));
+  store.swap(0, 2);
+  EXPECT_EQ(store.read(2, scratch), a);
+}
+
+TEST(FileBlobStore, RoundTripWithinBudget) {
+  FileBlobStore store(1 << 20);
+  store.resize(4);
+  const ByteBuffer a = make_blob(1.0), b = make_blob(2.0);
+  store.write(0, ByteBuffer(a));
+  store.write(1, ByteBuffer(b));
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), a);
+  EXPECT_EQ(store.read(1, scratch), b);
+  // Everything fits: write-behind means nothing has touched the file yet.
+  const auto st = store.stats();
+  EXPECT_EQ(st.spill_writes, 0u);
+  EXPECT_EQ(st.spill_reads, 0u);
+  EXPECT_EQ(st.resident_bytes, a.size() + b.size());
+}
+
+TEST(FileBlobStore, BudgetIsAHardCap) {
+  const ByteBuffer probe = make_blob(0.0);
+  // Budget fits roughly two blobs; eight live blobs force spilling.
+  const std::uint64_t budget = 2 * probe.size() + probe.size() / 2;
+  FileBlobStore store(budget);
+  store.resize(8);
+  std::vector<ByteBuffer> originals;
+  for (index_t i = 0; i < 8; ++i) {
+    originals.push_back(make_blob(static_cast<double>(i) + 1.0));
+    store.write(i, ByteBuffer(originals.back()));
+    EXPECT_LE(store.stats().resident_bytes, budget) << "after write " << i;
+  }
+  ByteBuffer scratch;
+  for (index_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(store.read(i, scratch), originals[i]) << "blob " << i;
+    EXPECT_LE(store.stats().resident_bytes, budget) << "after read " << i;
+  }
+  const auto st = store.stats();
+  EXPECT_LE(st.peak_resident_bytes, budget);
+  EXPECT_GT(st.spill_writes, 0u);
+  EXPECT_GT(st.spill_reads, 0u);
+  EXPECT_EQ(st.spill_bytes_written, st.spill_writes * probe.size());
+  EXPECT_EQ(st.spill_bytes_read, st.spill_reads * probe.size());
+}
+
+TEST(FileBlobStore, ReadBackPromotesAndKeepsDiskCopyValid) {
+  const ByteBuffer probe = make_blob(0.0);
+  FileBlobStore store(probe.size());  // exactly one resident blob
+  store.resize(3);
+  const ByteBuffer a = make_blob(1.0), b = make_blob(2.0), c = make_blob(3.0);
+  store.write(0, ByteBuffer(a));
+  store.write(1, ByteBuffer(b));  // evicts 0 to disk
+  store.write(2, ByteBuffer(c));  // evicts 1 to disk
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), a);  // promoted back, clean
+  const auto before = store.stats();
+  EXPECT_EQ(store.read(1, scratch), b);  // evicts 0 again — disk copy reused
+  // Re-evicting the clean promoted blob must not pay a second file write.
+  EXPECT_EQ(store.stats().spill_writes, before.spill_writes);
+  EXPECT_EQ(store.read(0, scratch), a);
+}
+
+TEST(FileBlobStore, ZeroFlagSurvivesSpill) {
+  const ByteBuffer probe = make_blob(0.0);
+  FileBlobStore store(probe.size());
+  store.resize(3);
+  store.write(0, make_zero_blob());
+  EXPECT_TRUE(store.is_zero(0));
+  EXPECT_FALSE(store.is_zero(1));  // never written: zero-sized, not flagged
+  store.write(1, make_blob(4.0));
+  store.write(2, make_blob(5.0));  // pushes blob 0 out to disk
+  EXPECT_TRUE(store.is_zero(0));   // answered from metadata, no disk read
+  const auto reads_before = store.stats().spill_reads;
+  EXPECT_TRUE(store.is_zero(0));
+  EXPECT_EQ(store.stats().spill_reads, reads_before);
+}
+
+TEST(FileBlobStore, SwapExchangesResidentAndSpilled) {
+  const ByteBuffer probe = make_blob(0.0);
+  FileBlobStore store(probe.size());
+  store.resize(2);
+  const ByteBuffer a = make_blob(1.0), b = make_blob(2.0);
+  store.write(0, ByteBuffer(a));
+  store.write(1, ByteBuffer(b));  // 0 spilled, 1 resident
+  store.swap(0, 1);
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), b);
+  EXPECT_EQ(store.read(1, scratch), a);
+  EXPECT_EQ(store.size(0), b.size());
+  EXPECT_EQ(store.size(1), a.size());
+}
+
+TEST(FileBlobStore, OversizedBlobSpillsImmediately) {
+  const ByteBuffer small = make_blob(1.0, 4);
+  FileBlobStore store(small.size());
+  store.resize(2);
+  const ByteBuffer big = make_blob(2.0, 256);  // larger than the whole budget
+  ASSERT_GT(big.size(), store.budget_bytes());
+  store.write(0, ByteBuffer(big));
+  EXPECT_LE(store.stats().resident_bytes, store.budget_bytes());
+  EXPECT_GT(store.stats().spill_writes, 0u);
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), big);
+  EXPECT_LE(store.stats().resident_bytes, store.budget_bytes());
+}
+
+TEST(FileBlobStore, ZeroBudgetKeepsNothingResident) {
+  FileBlobStore store(0);
+  store.resize(2);
+  const ByteBuffer a = make_blob(1.0);
+  store.write(0, ByteBuffer(a));
+  store.write(1, make_blob(2.0));
+  EXPECT_EQ(store.stats().resident_bytes, 0u);
+  EXPECT_EQ(store.stats().peak_resident_bytes, 0u);
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), a);
+  EXPECT_EQ(store.stats().resident_bytes, 0u);
+}
+
+TEST(FileBlobStore, RewriteReusesOrGrowsFileRegion) {
+  const ByteBuffer probe = make_blob(0.0, 8);
+  FileBlobStore store(probe.size());
+  store.resize(2);
+  // Cycle a blob through the file at alternating sizes: every read must see
+  // the latest bytes regardless of region reallocation.
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n_amps = (round % 2 == 0) ? 8 : 64;
+    const ByteBuffer v = make_blob(10.0 + round, n_amps);
+    store.write(0, ByteBuffer(v));
+    store.write(1, make_blob(99.0, 8));  // forces 0 out
+    ByteBuffer scratch;
+    EXPECT_EQ(store.read(0, scratch), v) << "round " << round;
+  }
+}
+
+TEST(FileBlobStore, ReadBeforeWriteIsRejected) {
+  FileBlobStore store(1 << 10);
+  store.resize(1);
+  ByteBuffer scratch;
+  EXPECT_THROW((void)store.read(0, scratch), Error);
+}
+
+}  // namespace
+}  // namespace memq::core

@@ -1,0 +1,190 @@
+// StatePager: lease exclusivity, zero-chunk semantics, and backend parity —
+// the RAM backend against the dense oracle (the pre-refactor behavior) and
+// the file backend bit-identical to RAM under a null codec.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/error.hpp"
+#include "core/engine.hpp"
+#include "core/memq_engine.hpp"
+#include "core/state_pager.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::core {
+namespace {
+
+using circuit::Circuit;
+
+// The pager borrows the config and telemetry for its whole lifetime, so a
+// harness keeps them alongside it.
+struct PagerHarness {
+  EngineConfig cfg;
+  EngineTelemetry telemetry;
+  double charged = 0.0;
+  StatePager pager;
+
+  explicit PagerHarness(qubit_t n, EngineConfig config)
+      : cfg(std::move(config)),
+        pager(n, cfg, telemetry, [this](double s) { charged += s; }) {}
+};
+
+EngineConfig exact_cfg(qubit_t chunk_qubits) {
+  EngineConfig cfg;
+  cfg.chunk_qubits = chunk_qubits;
+  cfg.codec.compressor = "null";  // bit-exact round trips
+  return cfg;
+}
+
+TEST(PagerLease, SecondLeaseOnLiveChunkThrows) {
+  PagerHarness h(5, exact_cfg(3));
+  StatePager::Lease w = h.pager.acquire_write(0);
+  EXPECT_THROW((void)h.pager.acquire_read(0), InvalidArgument);
+  EXPECT_THROW((void)h.pager.acquire_write(0), InvalidArgument);
+  // A distinct chunk is unaffected.
+  StatePager::Lease r = h.pager.acquire_read(1);
+  h.pager.release(std::move(r), false);
+  h.pager.release(std::move(w), false);
+  // Released chunks can be leased again.
+  h.pager.release(h.pager.acquire_write(0), false);
+}
+
+TEST(PagerLease, PairLeaseClaimsBothChunks) {
+  PagerHarness h(5, exact_cfg(3));
+  StatePager::Lease pair = h.pager.acquire_write_pair(0, 2);
+  EXPECT_EQ(pair.amps().size(), 2 * h.pager.chunk_amps());
+  EXPECT_THROW((void)h.pager.acquire_read(0), InvalidArgument);
+  EXPECT_THROW((void)h.pager.acquire_write(2), InvalidArgument);
+  h.pager.release(h.pager.acquire_read(1), false);  // the chunk in between
+  h.pager.release(std::move(pair), false);
+  h.pager.release(h.pager.acquire_read(2), false);
+}
+
+TEST(PagerLease, WriteReleaseRoundTrip) {
+  PagerHarness h(5, exact_cfg(3));
+  std::vector<amp_t> written;
+  {
+    StatePager::Lease w = h.pager.acquire_write(2);
+    auto amps = w.amps();
+    for (std::size_t k = 0; k < amps.size(); ++k)
+      amps[k] = {0.25 * static_cast<double>(k), -1.0};
+    written.assign(amps.begin(), amps.end());
+    h.pager.release(std::move(w), true);
+  }
+  StatePager::Lease r = h.pager.acquire_read(2);
+  ASSERT_EQ(r.amps().size(), written.size());
+  for (std::size_t k = 0; k < written.size(); ++k)
+    EXPECT_EQ(r.amps()[k], written[k]) << "amp " << k;
+  h.pager.release(std::move(r), false);
+}
+
+TEST(PagerZero, MatchesStoreAndTracksWrites) {
+  PagerHarness h(6, exact_cfg(3));
+  // Fresh pager: |0..0> lives in chunk 0, everything else is zero.
+  for (index_t i = 0; i < h.pager.n_chunks(); ++i) {
+    EXPECT_EQ(h.pager.is_zero(i), i != 0) << "chunk " << i;
+    EXPECT_EQ(h.pager.is_zero(i), h.pager.store().is_zero_chunk(i));
+  }
+  EXPECT_EQ(h.pager.nonzero_jobs().size(), 1u);
+
+  // Writing amplitudes clears the flag; writing zeros restores it.
+  StatePager::Lease w = h.pager.acquire_write(3);
+  w.amps()[0] = {1.0, 0.0};
+  h.pager.release(std::move(w), true);
+  EXPECT_FALSE(h.pager.is_zero(3));
+  EXPECT_EQ(h.pager.nonzero_jobs().size(), 2u);
+
+  StatePager::Lease z = h.pager.acquire_write(3);
+  std::fill(z.amps().begin(), z.amps().end(), amp_t{});
+  h.pager.release(std::move(z), true);
+  EXPECT_TRUE(h.pager.is_zero(3));
+}
+
+TEST(PagerZero, CacheAwareZeroQuery) {
+  // A dirty cached chunk must be reported non-zero even while its (stale)
+  // blob still holds the zero fast-path encoding.
+  EngineConfig cfg = exact_cfg(3);
+  cfg.cache_budget_bytes = 1 << 20;
+  PagerHarness h(6, cfg);
+  StatePager::Lease w = h.pager.acquire_write(5);
+  w.amps()[0] = {0.5, 0.5};
+  h.pager.release(std::move(w), true);
+  EXPECT_FALSE(h.pager.is_zero(5));
+}
+
+TEST(PagerParity, RamBackendMatchesDenseOracle) {
+  // The RAM backend is the historical storage path; the engines on top of
+  // the pager must still reproduce the dense reference on real circuits.
+  constexpr qubit_t n = 7;
+  const Circuit circuits[] = {circuit::make_qft(n),
+                              circuit::make_grover(n, 0b0110101, 2),
+                              circuit::make_random_circuit(n, 10, 77)};
+  for (const Circuit& c : circuits) {
+    EngineConfig cfg;
+    cfg.chunk_qubits = 3;
+    cfg.codec.bound = 1e-9;
+    auto engine = make_engine(EngineKind::kMemQSim, n, cfg);
+    engine->run(c);
+    sv::Simulator oracle(n);
+    oracle.run(c);
+    EXPECT_LT(engine->to_dense().max_abs_diff(oracle.state()), 1e-6);
+  }
+}
+
+TEST(PagerParity, FileBackendBitIdenticalToRam) {
+  constexpr qubit_t n = 8;
+  const Circuit c = circuit::make_qft(n);
+  EngineConfig ram_cfg = exact_cfg(4);
+  EngineConfig file_cfg = ram_cfg;
+  file_cfg.store_backend = StoreBackend::kFile;
+  file_cfg.host_blob_budget_bytes = 2048;  // well below the compressed state
+
+  auto ram = make_engine(EngineKind::kMemQSim, n, ram_cfg);
+  auto file = make_engine(EngineKind::kMemQSim, n, file_cfg);
+  ram->run(c);
+  file->run(c);
+
+  // Null codec: the backends must agree bit for bit, with identical chunk
+  // traffic — spilling changes where bytes live, never what they are.
+  EXPECT_EQ(file->to_dense().max_abs_diff(ram->to_dense()), 0.0);
+  EXPECT_EQ(file->telemetry().chunk_loads, ram->telemetry().chunk_loads);
+  EXPECT_EQ(file->telemetry().chunk_stores, ram->telemetry().chunk_stores);
+  EXPECT_EQ(file->telemetry().zero_chunks_skipped,
+            ram->telemetry().zero_chunks_skipped);
+
+  EXPECT_GT(file->telemetry().spill_writes, 0u);
+  EXPECT_LE(file->telemetry().peak_resident_blob_bytes,
+            file_cfg.host_blob_budget_bytes);
+  EXPECT_EQ(ram->telemetry().spill_writes, 0u);
+  EXPECT_EQ(ram->telemetry().spill_reads, 0u);
+}
+
+TEST(PagerParity, FileBackendHoldsBudgetOnWuEngine) {
+  constexpr qubit_t n = 7;
+  EngineConfig cfg = exact_cfg(3);
+  cfg.store_backend = StoreBackend::kFile;
+  cfg.host_blob_budget_bytes = 1024;
+  auto engine = make_engine(EngineKind::kWu, n, cfg);
+  const Circuit c = circuit::make_random_circuit(n, 8, 13);
+  engine->run(c);
+  sv::Simulator oracle(n);
+  oracle.run(c);
+  EXPECT_LT(engine->to_dense().max_abs_diff(oracle.state()), 1e-9);
+  EXPECT_LE(engine->telemetry().peak_resident_blob_bytes,
+            cfg.host_blob_budget_bytes);
+}
+
+TEST(PagerReset, ClearsStateAndRefusesLiveLeases) {
+  PagerHarness h(5, exact_cfg(3));
+  StatePager::Lease w = h.pager.acquire_write(1);
+  w.amps()[0] = {1.0, 0.0};
+  EXPECT_THROW(h.pager.reset(), Error);  // live lease
+  h.pager.release(std::move(w), true);
+  h.pager.reset();
+  EXPECT_TRUE(h.pager.is_zero(1));
+  EXPECT_FALSE(h.pager.is_zero(0));
+}
+
+}  // namespace
+}  // namespace memq::core

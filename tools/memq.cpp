@@ -49,8 +49,9 @@ using namespace memq;
       "           [--devices D] [--codec-threads T]\n"
       "           [--cache-budget BYTES[K|M|G]] [--layout] [--fuse]\n"
       "           [--elide-swaps]\n"
+      "           [--store-backend ram|file] [--blob-budget BYTES[K|M|G]]\n"
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
-      "           [--checkpoint f] [--restore f]\n"
+      "           [--checkpoint f] [--restore f] [--telemetry-json f.json]\n"
       "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
       "  memq transfer --qubits N\n";
   std::exit(2);
@@ -162,6 +163,17 @@ core::EngineConfig config_from(const Args& args, qubit_t n) {
       "codec-threads", args.option("codec-threads", "1"), 1 << 16));
   cfg.cache_budget_bytes =
       parse_bytes("cache-budget", args.option("cache-budget", "0"));
+  const std::string backend = args.option("store-backend", "ram");
+  if (backend == "ram") {
+    cfg.store_backend = core::StoreBackend::kRam;
+  } else if (backend == "file") {
+    cfg.store_backend = core::StoreBackend::kFile;
+  } else {
+    usage(("--store-backend expects 'ram' or 'file', got '" + backend +
+           "'").c_str());
+  }
+  cfg.host_blob_budget_bytes =
+      parse_bytes("blob-budget", args.option("blob-budget", "0"));
   cfg.optimize_layout = args.has_flag("layout");
   cfg.fuse_single_qubit_runs = args.has_flag("fuse");
   cfg.elide_swaps = args.has_flag("elide-swaps");
@@ -245,7 +257,8 @@ int cmd_run(int argc, char** argv) {
   else if (engine_name == "wu") kind = core::EngineKind::kWu;
   else if (engine_name != "memqsim") usage("unknown engine");
 
-  auto engine = core::make_engine(kind, n, config_from(args, n));
+  const core::EngineConfig cfg = config_from(args, n);
+  auto engine = core::make_engine(kind, n, cfg);
 
   const std::string restore = args.option("restore", "");
   if (!restore.empty()) {
@@ -310,6 +323,49 @@ int cmd_run(int argc, char** argv) {
               << t.cache_clean_evictions << " clean), "
               << human_bytes(t.cache_codec_bytes_avoided)
               << " codec bytes avoided\n";
+  }
+  if (cfg.store_backend == core::StoreBackend::kFile) {
+    std::cout << "blob store: file backend, budget "
+              << human_bytes(cfg.host_blob_budget_bytes) << ", peak resident "
+              << human_bytes(t.peak_resident_blob_bytes) << "; spilled "
+              << t.spill_writes << " blobs / "
+              << human_bytes(t.spill_bytes_written) << " out, " << t.spill_reads
+              << " blobs / " << human_bytes(t.spill_bytes_read)
+              << " read back\n";
+  }
+
+  const std::string json_path = args.option("telemetry-json", "");
+  if (!json_path.empty()) {
+    std::ofstream jf(json_path);
+    if (!jf) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    jf << "{\n"
+       << "  \"engine\": \"" << engine->name() << "\",\n"
+       << "  \"qubits\": " << n << ",\n"
+       << "  \"store_backend\": \""
+       << (cfg.store_backend == core::StoreBackend::kFile ? "file" : "ram")
+       << "\",\n"
+       << "  \"blob_budget_bytes\": " << cfg.host_blob_budget_bytes << ",\n"
+       << "  \"modeled_total_seconds\": " << t.modeled_total_seconds << ",\n"
+       << "  \"peak_host_state_bytes\": " << t.peak_host_state_bytes << ",\n"
+       << "  \"peak_resident_blob_bytes\": " << t.peak_resident_blob_bytes
+       << ",\n"
+       << "  \"final_compression_ratio\": " << t.final_compression_ratio
+       << ",\n"
+       << "  \"chunk_loads\": " << t.chunk_loads << ",\n"
+       << "  \"chunk_stores\": " << t.chunk_stores << ",\n"
+       << "  \"zero_chunks_skipped\": " << t.zero_chunks_skipped << ",\n"
+       << "  \"cache_hits\": " << t.cache_hits << ",\n"
+       << "  \"cache_misses\": " << t.cache_misses << ",\n"
+       << "  \"cache_evictions\": " << t.cache_evictions << ",\n"
+       << "  \"spill_writes\": " << t.spill_writes << ",\n"
+       << "  \"spill_reads\": " << t.spill_reads << ",\n"
+       << "  \"spill_bytes_written\": " << t.spill_bytes_written << ",\n"
+       << "  \"spill_bytes_read\": " << t.spill_bytes_read << "\n"
+       << "}\n";
+    std::cout << "telemetry written to " << json_path << "\n";
   }
   return 0;
 }
