@@ -33,6 +33,8 @@ struct Arm {
   std::uint64_t budget_bytes = 0;
   double codec_seconds = 0.0;
   double modeled_seconds = 0.0;
+  double stall_seconds = 0.0;
+  double device_idle_seconds = 0.0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t loads = 0;
@@ -72,6 +74,9 @@ Arm run_arm(const circuit::Circuit& c, const std::string& workload,
   a.codec_seconds =
       t.cpu_phases.get("decompress") + t.cpu_phases.get("recompress");
   a.modeled_seconds = t.modeled_total_seconds;
+  a.stall_seconds = t.pipeline_stall_seconds;
+  if (const core::StageReport* rep = engine->stage_report())
+    a.device_idle_seconds = rep->total.device_idle_seconds;
   a.hits = t.cache_hits;
   a.misses = t.cache_misses;
   a.loads = t.chunk_loads;
@@ -160,6 +165,8 @@ int main() {
          << ", \"budget_bytes\": " << a.budget_bytes
          << ", \"codec_seconds\": " << a.codec_seconds
          << ", \"modeled_seconds\": " << a.modeled_seconds
+         << ", \"pipeline_stall_seconds\": " << a.stall_seconds
+         << ", \"device_idle_seconds\": " << a.device_idle_seconds
          << ", \"hit_rate\": " << a.hit_rate()
          << ", \"chunk_loads\": " << a.loads
          << ", \"chunk_stores\": " << a.stores

@@ -12,7 +12,14 @@
 //
 // Host wait = modeled total - charged CPU time (CPU phase seconds are
 // measured raw and charged / cpu_codec_workers; see core/config.hpp).
+//
+// Writes BENCH_pipeline.json next to the binary for the driver, including
+// the stall accounting (coordinator blocked on codec, modeled device idle)
+// surfaced by the stage report.
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "circuit/workloads.hpp"
 #include "common/format.hpp"
@@ -29,6 +36,19 @@ struct Arm {
   device::TransferStrategy strategy;
   double offload;
 };
+
+struct Result {
+  std::string profile;
+  std::string workload;
+  std::string label;
+  double modeled_seconds = 0.0;
+  double device_busy_seconds = 0.0;
+  double host_wait_seconds = 0.0;
+  double stall_seconds = 0.0;
+  double device_idle_seconds = 0.0;
+};
+
+std::vector<Result> g_results;
 
 const Arm kArms[] = {
     {"serialized + sync copy", false, device::TransferStrategy::kSync, 0.0},
@@ -49,7 +69,8 @@ void run_profile(const char* profile_name, const device::DeviceConfig& dev,
             << "), " << c.size() << " gates, chunk = 2^" << chunk_q
             << " amps\n";
   TextTable table({"configuration", "modeled total", "device busy",
-                   "host wait", "decompress", "recompress", "cpu apply"});
+                   "host wait", "stall", "dev idle", "decompress",
+                   "recompress", "cpu apply"});
   for (const Arm& arm : kArms) {
     core::EngineConfig cfg;
     cfg.chunk_qubits = chunk_q;
@@ -64,14 +85,39 @@ void run_profile(const char* profile_name, const device::DeviceConfig& dev,
     const auto& t = engine->telemetry();
     const double charged_cpu = t.cpu_phases.total() / cfg.cpu_codec_workers;
     const double wait = std::max(0.0, t.modeled_total_seconds - charged_cpu);
+    const core::StageReport* rep = engine->stage_report();
+    const double idle = rep != nullptr ? rep->total.device_idle_seconds : 0.0;
     table.add_row({arm.label, human_seconds(t.modeled_total_seconds),
                    human_seconds(t.device_busy_seconds), human_seconds(wait),
+                   human_seconds(t.pipeline_stall_seconds),
+                   human_seconds(idle),
                    human_seconds(t.cpu_phases.get("decompress")),
                    human_seconds(t.cpu_phases.get("recompress")),
                    human_seconds(t.cpu_phases.get("cpu_apply"))});
+    g_results.push_back({profile_name, workload, arm.label,
+                         t.modeled_total_seconds, t.device_busy_seconds, wait,
+                         t.pipeline_stall_seconds, idle});
   }
   table.print(std::cout);
   std::cout << "\n";
+}
+
+void write_json(const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"pipeline\",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < g_results.size(); ++i) {
+    const Result& r = g_results[i];
+    out << "    {\"profile\": \"" << r.profile << "\", \"workload\": \""
+        << r.workload << "\", \"configuration\": \"" << r.label
+        << "\", \"modeled_seconds\": " << r.modeled_seconds
+        << ", \"device_busy_seconds\": " << r.device_busy_seconds
+        << ", \"host_wait_seconds\": " << r.host_wait_seconds
+        << ", \"pipeline_stall_seconds\": " << r.stall_seconds
+        << ", \"device_idle_seconds\": " << r.device_idle_seconds << "}"
+        << (i + 1 < g_results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << " (" << g_results.size() << " arms)\n";
 }
 
 }  // namespace
@@ -94,6 +140,8 @@ int main() {
     run_profile("paper-class device", paper_class, workload, kN, kChunk);
     run_profile("weak device", weak, workload, kN, kChunk);
   }
+
+  write_json("BENCH_pipeline.json");
 
   std::cout
       << "Expected shape: on the paper-class device the codec binds and CPU\n"

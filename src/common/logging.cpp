@@ -1,10 +1,13 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+
+#include "common/trace.hpp"
 
 namespace memq::log {
 namespace {
@@ -33,6 +36,14 @@ const char* name_of(Level lvl) {
   }
 }
 
+/// Monotonic seconds since the first log line of the process. Interleaved
+/// worker output stays orderable even when stderr buffering reorders lines.
+double uptime_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
 }  // namespace
 
 void set_level(Level level) noexcept {
@@ -45,8 +56,13 @@ Level level() noexcept {
 
 void write(Level lvl, const std::string& message) {
   if (static_cast<int>(lvl) < g_level.load(std::memory_order_relaxed)) return;
+  // Stable short thread ids (shared with the tracer's track ids), not raw
+  // std::thread::id hashes — worker lines stay attributable across a run.
+  const int tid = trace::thread_id();
+  const double t = uptime_seconds();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[memq %s] %s\n", name_of(lvl), message.c_str());
+  std::fprintf(stderr, "[memq %s +%.3fs T%02d] %s\n", name_of(lvl), t, tid,
+               message.c_str());
 }
 
 }  // namespace memq::log

@@ -8,11 +8,16 @@ namespace memq::log {
 
 enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global log threshold (default: kWarn; MEMQ_LOG env overrides).
+/// Sets the global log threshold (default: kWarn; MEMQ_LOG env overrides —
+/// the env contract is unchanged: debug|info|warn|error|off).
 void set_level(Level level) noexcept;
 Level level() noexcept;
 
-/// Emits one line "[level] message" to stderr if `lvl` >= threshold.
+/// Emits one line "[memq level +T.TTTs Tnn] message" to stderr if `lvl` >=
+/// threshold: T.TTT is a monotonic timestamp (seconds since the process's
+/// first log line) and nn is the stable short id of the emitting thread
+/// (trace::thread_id — the same ids the tracer uses for its tracks), so
+/// interleaved worker logs are attributable.
 void write(Level lvl, const std::string& message);
 
 namespace detail {

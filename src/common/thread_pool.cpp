@@ -2,16 +2,22 @@
 
 #include <atomic>
 
+#include "common/trace.hpp"
+
 namespace memq {
 
-ThreadPool::ThreadPool(std::size_t n_threads) {
+ThreadPool::ThreadPool(std::size_t n_threads, const std::string& name_prefix) {
   if (n_threads == 0) {
     n_threads = std::thread::hardware_concurrency();
     if (n_threads == 0) n_threads = 1;
   }
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i, name_prefix] {
+      if (!name_prefix.empty())
+        trace::set_thread_name(name_prefix + "-" + std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -17,8 +17,11 @@ namespace memq {
 
 class ThreadPool {
  public:
-  /// Spawns `n_threads` workers (>=1; 0 means hardware_concurrency).
-  explicit ThreadPool(std::size_t n_threads = 0);
+  /// Spawns `n_threads` workers (>=1; 0 means hardware_concurrency). A
+  /// non-empty `name_prefix` names each worker "<prefix>-<i>" for the
+  /// tracer's tracks and the log line thread ids.
+  explicit ThreadPool(std::size_t n_threads = 0,
+                      const std::string& name_prefix = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -28,8 +28,17 @@ class WallTimer {
   clock::time_point start_;
 };
 
-/// Accumulates seconds per named phase. Not thread-safe; each worker keeps
-/// its own and merges at the end.
+/// Accumulates seconds per named phase. NOT thread-safe.
+///
+/// Threading contract (audited): every add() on an engine's
+/// EngineTelemetry::cpu_phases happens on the coordinator thread. Codec-pool
+/// workers never call add() — they time their own encode/decode and return
+/// the seconds through a std::future<double> (codec_pool.cpp), which the
+/// coordinator reaps (ChunkReader::next / ChunkWriter::reap_one, both
+/// coordinator-only) and accumulates here. future::get() synchronizes-with
+/// the worker's promise fulfillment, so the measured values are also
+/// race-free. Workers that need private timing keep their own PhaseTimers
+/// and merge() on the coordinator at the end.
 class PhaseTimers {
  public:
   void add(const std::string& phase, double seconds) {

@@ -1,0 +1,308 @@
+#include "common/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace memq::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+struct Event {
+  char ph;           // 'B', 'E', 'i', 'X', 'C'
+  const char* cat;   // static string literals only
+  std::string name;  // empty for 'E'
+  double ts_us;      // wall us (pid 0) or modeled us (pid 1)
+  double dur_us;     // 'X' only
+  int pid;
+  int tid;           // thread id (pid 0) or lane id (pid 1)
+  std::string args;  // JSON object fragment, no braces
+};
+
+struct ThreadBuffer {
+  std::mutex mutex;  // uncontended except when stop() snapshots the buffer
+  std::vector<Event> events;
+  int tid = 0;
+  std::uint64_t gen = 0;
+
+  void push(Event e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back(std::move(e));
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::unordered_map<int, std::string> thread_names;
+  std::vector<std::string> lanes;  // lane id -> name (persists across runs)
+  std::string path;
+  clock_type::time_point epoch;
+  std::atomic<std::uint64_t> gen{0};
+  std::atomic<int> next_thread_id{0};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+int assign_thread_id() noexcept {
+  return registry().next_thread_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The calling thread's buffer for the current capture generation. The
+/// registry keeps a shared_ptr so buffers outlive their threads (codec pool
+/// workers die with the engine, before stop()).
+ThreadBuffer& buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf;
+  Registry& r = registry();
+  const std::uint64_t gen = r.gen.load(std::memory_order_acquire);
+  if (!buf || buf->gen != gen) {
+    buf = std::make_shared<ThreadBuffer>();
+    buf->tid = thread_id();
+    buf->gen = gen;
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.buffers.push_back(buf);
+  }
+  return *buf;
+}
+
+double wall_us() noexcept {
+  return std::chrono::duration<double, std::micro>(clock_type::now() -
+                                                   registry().epoch)
+      .count();
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void write_meta(std::FILE* f, int pid, int tid, const char* kind,
+                const std::string& value) {
+  std::string esc;
+  json_escape_into(esc, value);
+  std::fprintf(f,
+               "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+               "\"args\":{\"name\":\"%s\"}},\n",
+               pid, tid, kind, esc.c_str());
+}
+
+void write_event(std::FILE* f, const Event& e, bool last) {
+  std::string name;
+  json_escape_into(name, e.name);
+  std::fprintf(f, "{\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f", e.ph,
+               e.pid, e.tid, e.ts_us);
+  if (e.ph == 'X') std::fprintf(f, ",\"dur\":%.3f", e.dur_us);
+  if (e.ph != 'E') {
+    std::fprintf(f, ",\"cat\":\"%s\",\"name\":\"%s\"", e.cat, name.c_str());
+  }
+  if (e.ph == 'i') std::fprintf(f, ",\"s\":\"t\"");  // thread-scoped instant
+  if (!e.args.empty()) std::fprintf(f, ",\"args\":{%s}", e.args.c_str());
+  std::fprintf(f, "}%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int thread_id() noexcept {
+  thread_local int id = assign_thread_id();
+  return id;
+}
+
+void set_thread_name(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.thread_names[thread_id()] = name;
+}
+
+void start(const std::string& path) {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (detail::g_enabled.load(std::memory_order_relaxed))
+      throw std::invalid_argument("trace::start while already capturing");
+    std::FILE* probe = std::fopen(path.c_str(), "w");  // fail before the
+    if (probe == nullptr)                              // run, not at flush
+      throw std::runtime_error("trace: cannot write '" + path + "'");
+    std::fclose(probe);
+    r.path = path;
+    r.buffers.clear();
+    r.epoch = clock_type::now();
+  }
+  r.gen.fetch_add(1, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+bool init_from_env() {
+  if (enabled()) return true;
+  const char* env = std::getenv("MEMQ_TRACE");
+  if (env == nullptr || env[0] == '\0') return false;
+  start(env);
+  return true;
+}
+
+std::size_t event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t n = 0;
+  for (const auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::size_t stop() {
+  Registry& r = registry();
+  if (!detail::g_enabled.exchange(false, std::memory_order_acq_rel)) return 0;
+
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::unordered_map<int, std::string> thread_names;
+  std::vector<std::string> lanes;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    buffers.swap(r.buffers);
+    thread_names = r.thread_names;
+    lanes = r.lanes;
+    path = r.path;
+  }
+
+  // Snapshot each buffer under its own mutex: a thread that was inside an
+  // armed scope when capture went off (e.g. an async cache write-back still
+  // encoding) may race one last append, which must not tear the flush. Any
+  // span still open after the snapshot gets a synthetic E at the stop
+  // timestamp so every track stays B/E-balanced.
+  const double stop_ts = wall_us();
+  std::vector<std::vector<Event>> snapshots;
+  snapshots.reserve(buffers.size());
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    snapshots.push_back(std::move(buf->events));
+  }
+  for (std::size_t b = 0; b < snapshots.size(); ++b) {
+    long depth = 0;  // one thread per buffer, so depth is per-track
+    for (const Event& e : snapshots[b]) {
+      if (e.ph == 'B') ++depth;
+      if (e.ph == 'E') --depth;
+    }
+    for (; depth > 0; --depth)
+      snapshots[b].push_back(Event{'E', "", std::string{}, stop_ts, 0.0, 0,
+                                   buffers[b]->tid, {}});
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("trace: cannot write '" + path + "'");
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+
+  write_meta(f, 0, 0, "process_name", "host (wall clock)");
+  write_meta(f, 1, 0, "process_name", "modeled device (virtual clock)");
+  for (const auto& buf : buffers) {
+    const auto it = thread_names.find(buf->tid);
+    write_meta(f, 0, buf->tid, "thread_name",
+               it != thread_names.end()
+                   ? it->second
+                   : "thread-" + std::to_string(buf->tid));
+  }
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    write_meta(f, 1, static_cast<int>(i), "thread_name", lanes[i]);
+
+  std::size_t total = 0;
+  for (const auto& events : snapshots) total += events.size();
+  std::size_t written = 0;
+  for (const auto& events : snapshots)
+    for (const Event& e : events) write_event(f, e, ++written == total);
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  return total;
+}
+
+void begin(const char* cat, const char* name, std::string args) {
+  buffer().push(
+      Event{'B', cat, name, wall_us(), 0.0, 0, thread_id(), std::move(args)});
+}
+
+void end() {
+  buffer().push(
+      Event{'E', "", std::string{}, wall_us(), 0.0, 0, thread_id(), {}});
+}
+
+void instant(const char* cat, const char* name, std::string args) {
+  buffer().push(
+      Event{'i', cat, name, wall_us(), 0.0, 0, thread_id(), std::move(args)});
+}
+
+void counter(const char* name, double value) {
+  buffer().push(Event{'C', "counter", name, wall_us(), 0.0, 0, thread_id(),
+                      arg("value", value)});
+}
+
+int lane(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (std::size_t i = 0; i < r.lanes.size(); ++i)
+    if (r.lanes[i] == name) return static_cast<int>(i);
+  r.lanes.push_back(name);
+  return static_cast<int>(r.lanes.size() - 1);
+}
+
+void lane_span(int lane_id, const char* name, double start_s, double dur_s,
+               std::string args) {
+  buffer().push(Event{'X', "device", name, start_s * 1e6, dur_s * 1e6, 1,
+                      lane_id, std::move(args)});
+}
+
+namespace detail {
+
+std::string arg_uint(const char* key, unsigned long long value) {
+  return "\"" + std::string(key) + "\":" + std::to_string(value);
+}
+
+std::string arg_int(const char* key, long long value) {
+  return "\"" + std::string(key) + "\":" + std::to_string(value);
+}
+
+}  // namespace detail
+
+std::string arg(const char* key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return "\"" + std::string(key) + "\":" + buf;
+}
+
+std::string arg(const char* key, const std::string& value) {
+  std::string out = "\"" + std::string(key) + "\":\"";
+  json_escape_into(out, value);
+  out += '"';
+  return out;
+}
+
+}  // namespace memq::trace

@@ -1,0 +1,150 @@
+// Pipeline tracer — Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) across the whole hot path, so the paper's overlap claims
+// (decompress / H2D / kernel / D2H pipelined, Figure 1/2) are literally
+// visible instead of inferred from end-of-run aggregates.
+//
+// Two clock domains, rendered as two "processes":
+//   * pid 0 — real OS threads on the wall clock (microseconds since
+//     trace::start()): codec decode/encode spans, pager stream items,
+//     cache instants, coordinator stall spans.
+//   * pid 1 — virtual "modeled device" lanes on the modeled clock from
+//     device/stream (dev0:h2d / dev0:compute / dev0:d2h ...): every copy and
+//     kernel is a complete ('X') event at its modeled start/duration, so the
+//     hardware-substitution timeline gets real tracks.
+//
+// Cost model: tracing is OFF by default and every macro site is a single
+// relaxed atomic load when disabled. When enabled, each thread appends to
+// its own buffer under a per-thread mutex that only stop() ever contends
+// (the global mutex is taken on first-event registration and at flush),
+// and events are written out once, at stop().
+//
+// Threading contract: start() and stop() are coordinator-only. Prefer
+// stopping after instrumented engines are destroyed (their pools join);
+// if a worker is still inside a span at stop() — e.g. an async cache
+// write-back — the flush snapshots its buffer safely and closes the open
+// span with a synthetic E at the stop timestamp, so tracks stay balanced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace memq::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// The per-macro-site branch: one relaxed atomic load.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts capturing; events buffer in memory until stop() writes `path`.
+/// Throws InvalidArgument if already capturing.
+void start(const std::string& path);
+
+/// Flushes every thread buffer to the path given to start() and disables
+/// capture. No-op when not capturing. Returns the number of events written.
+std::size_t stop();
+
+/// Starts capturing iff the MEMQ_TRACE environment variable names a file
+/// and capture is not already on. Returns true if capture is (now) on.
+bool init_from_env();
+
+/// Events recorded since start() (coordinator-only; used by tests).
+std::size_t event_count();
+
+// ---- thread identity (shared with common/logging) -------------------------
+
+/// Stable short id of the calling thread: 0, 1, 2... in order of first use
+/// (NOT the opaque std::thread::id hash). Never recycled.
+int thread_id() noexcept;
+
+/// Names the calling thread's track (and log prefix attribution). Safe to
+/// call whether or not capture is on.
+void set_thread_name(const std::string& name);
+
+// ---- event emission (call only when enabled(); macros guard) --------------
+
+/// `args` is a JSON object *fragment* without braces, e.g. produced by
+/// arg("chunk", i) + "," + arg("bytes", n). Empty = no args.
+void begin(const char* cat, const char* name, std::string args = {});
+void end();
+void instant(const char* cat, const char* name, std::string args = {});
+void counter(const char* name, double value);
+
+/// Registers (once) and returns the virtual-lane id for `name` ("dev0:h2d").
+int lane(const std::string& name);
+
+/// Complete event on a modeled-device lane: `start_s`/`dur_s` are modeled
+/// seconds on the virtual clock (lane timestamps are monotonic per lane
+/// because stream ops are issued in order).
+void lane_span(int lane_id, const char* name, double start_s, double dur_s,
+               std::string args = {});
+
+// ---- args helpers ----------------------------------------------------------
+
+namespace detail {
+std::string arg_uint(const char* key, unsigned long long value);
+std::string arg_int(const char* key, long long value);
+}  // namespace detail
+
+std::string arg(const char* key, double value);
+std::string arg(const char* key, const std::string& value);  ///< escapes
+
+/// One overload for every integer width/signedness (avoids the
+/// uint64_t-vs-unsigned-long aliasing trap across LP64/LLP64).
+template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+std::string arg(const char* key, T value) {
+  if constexpr (std::is_signed_v<T>)
+    return detail::arg_int(key, static_cast<long long>(value));
+  else
+    return detail::arg_uint(key, static_cast<unsigned long long>(value));
+}
+
+/// RAII span on the calling thread's track. The `armed` snapshot is taken
+/// at construction so the E always pairs its B; if a stop() races the
+/// scope, the flush drops the late E and synthesizes one at the stop
+/// timestamp instead.
+class Scope {
+ public:
+  Scope(const char* cat, const char* name, std::string args = {})
+      : armed_(enabled()) {
+    if (armed_) begin(cat, name, std::move(args));
+  }
+  ~Scope() {
+    if (armed_) end();
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  bool armed_;
+};
+
+}  // namespace memq::trace
+
+// Macro sites: the args expression is evaluated ONLY when tracing is on, so
+// disabled-mode cost is the single relaxed load inside enabled().
+#define MEMQ_TRACE_CONCAT_(a, b) a##b
+#define MEMQ_TRACE_CONCAT(a, b) MEMQ_TRACE_CONCAT_(a, b)
+
+#define MEMQ_TRACE_SCOPE(cat, name, ...)                              \
+  ::memq::trace::Scope MEMQ_TRACE_CONCAT(memq_trace_scope_, __LINE__)( \
+      (cat), (name),                                                   \
+      ::memq::trace::enabled() ? ::std::string{__VA_ARGS__}            \
+                               : ::std::string{})
+
+#define MEMQ_TRACE_INSTANT(cat, name, ...)                          \
+  do {                                                              \
+    if (::memq::trace::enabled())                                   \
+      ::memq::trace::instant((cat), (name), ::std::string{__VA_ARGS__}); \
+  } while (0)
+
+#define MEMQ_TRACE_COUNTER(name, value)                \
+  do {                                                 \
+    if (::memq::trace::enabled())                      \
+      ::memq::trace::counter((name), static_cast<double>(value)); \
+  } while (0)

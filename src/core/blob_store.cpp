@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "compress/chunk_codec.hpp"
 
 namespace memq::core {
@@ -143,6 +144,9 @@ void FileBlobStore::ensure_region_locked(Entry& e) {
 void FileBlobStore::evict_locked(index_t i) {
   Entry& e = entries_[i];
   if (!e.on_disk) {
+    MEMQ_TRACE_SCOPE("spill", "write",
+                     trace::arg("blob", std::uint64_t{i}) + "," +
+                         trace::arg("bytes", e.bytes));
     ensure_region_locked(e);
     pwrite_fully(e.ram.data(), e.bytes, e.file_off);
     e.on_disk = true;
@@ -192,8 +196,13 @@ const compress::ByteBuffer& FileBlobStore::read(index_t i,
     return scratch;
   }
   MEMQ_CHECK(e.on_disk, "blob " << i << " read before first write");
-  scratch.resize(e.bytes);
-  pread_fully(scratch.data(), e.bytes, e.file_off);
+  {
+    MEMQ_TRACE_SCOPE("spill", "read",
+                     trace::arg("blob", std::uint64_t{i}) + "," +
+                         trace::arg("bytes", e.bytes));
+    scratch.resize(e.bytes);
+    pread_fully(scratch.data(), e.bytes, e.file_off);
+  }
   ++stats_.spill_reads;
   stats_.spill_bytes_read += e.bytes;
   if (e.bytes <= budget_ && budget_ > 0) {
@@ -223,6 +232,9 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
     admit_locked(i, std::move(blob));
   } else {
     // Oversized (or zero-budget): spill straight through.
+    MEMQ_TRACE_SCOPE("spill", "write",
+                     trace::arg("blob", std::uint64_t{i}) + "," +
+                         trace::arg("bytes", e.bytes));
     ensure_region_locked(e);
     pwrite_fully(blob.data(), e.bytes, e.file_off);
     e.on_disk = true;

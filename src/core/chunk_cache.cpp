@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/chunk_store.hpp"
 
 namespace memq::core {
@@ -124,15 +125,22 @@ void ChunkCache::evict_to_fit(std::uint64_t extra_bytes) {
     entries_.erase(victim);
     resident_bytes_ -= chunk_raw_bytes_;
     ++stats_.evictions;
+    MEMQ_TRACE_INSTANT("cache", "evict",
+                       trace::arg("chunk", std::uint64_t{slot}) + "," +
+                           trace::arg("next_use", entry.next_use));
     if (entry.dirty) {
       guard_slot(slot);
       ++stats_.writebacks;
+      MEMQ_TRACE_INSTANT("cache", "writeback",
+                         trace::arg("chunk", std::uint64_t{slot}));
       writeback(slot, std::move(entry.data));  // releases the ledger bytes
     } else {
       ++stats_.clean_evictions;
       ledger_.release(chunk_raw_bytes_);
       buffers_.put(std::move(entry.data));
     }
+    MEMQ_TRACE_COUNTER("cache_resident_bytes",
+                       static_cast<double>(resident_bytes_));
   }
 }
 
@@ -158,9 +166,13 @@ void ChunkCache::load(index_t i, std::span<amp_t> out) {
     std::copy(it->second.data.begin(), it->second.data.end(), out.begin());
     touch(i, it->second);
     ++stats_.hits;
+    MEMQ_TRACE_INSTANT("cache", "hit",
+                       trace::arg("chunk", std::uint64_t{i}) + "," +
+                           trace::arg("next_use", it->second.next_use));
     return;
   }
   guard_slot(i);
+  MEMQ_TRACE_INSTANT("cache", "miss", trace::arg("chunk", std::uint64_t{i}));
   WallTimer t;
   store_.load(i, out);
   decode_seconds_ += t.seconds();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace memq::core {
 
@@ -78,6 +79,7 @@ void ChunkStore::load_with(compress::ChunkCodec& codec, index_t i,
                            std::span<amp_t> out) {
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
   MEMQ_CHECK(out.size() == chunk_amps(), "load span size mismatch");
+  MEMQ_TRACE_SCOPE("codec", "decode", trace::arg("chunk", std::uint64_t{i}));
   compress::ByteBuffer scratch;  // untouched by the RAM backend
   codec.decode(blob_store_->read(i, scratch), out);
   loads_.fetch_add(1, std::memory_order_relaxed);
@@ -87,6 +89,7 @@ void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
                             std::span<const amp_t> in) {
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
   MEMQ_CHECK(in.size() == chunk_amps(), "store span size mismatch");
+  MEMQ_TRACE_SCOPE("codec", "encode", trace::arg("chunk", std::uint64_t{i}));
   if (compress::ByteBuffer* slot = blob_store_->inplace_slot(i)) {
     // RAM backend: encode straight into the stored buffer (historical path).
     const std::int64_t before = static_cast<std::int64_t>(slot->size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/chunk_store.hpp"
 
 namespace memq::core {
@@ -40,7 +41,7 @@ void BufferPool::clear() {
 
 CodecPool::CodecPool(const compress::ChunkCodecConfig& config,
                      std::size_t n_threads)
-    : config_(config), pool_(n_threads) {}
+    : config_(config), pool_(n_threads, "codec") {}
 
 CodecPool::CodecHandle CodecPool::lease() {
   std::unique_ptr<compress::ChunkCodec> codec;
@@ -137,7 +138,12 @@ std::optional<ChunkReader::Item> ChunkReader::next() {
   Pending p = std::move(pending_.front());
   pending_.pop_front();
   WallTimer wait;
-  const double dt = p.done.get();  // rethrows decode failures
+  double dt;
+  {
+    MEMQ_TRACE_SCOPE("stall", "wait_decode",
+                     trace::arg("chunk", std::uint64_t{p.job.a}));
+    dt = p.done.get();  // rethrows decode failures
+  }
   wait_seconds_ += wait.seconds();
   decode_seconds_ += dt;
   refill();  // keep workers fed while the coordinator consumes this item
@@ -218,7 +224,11 @@ void ChunkWriter::reap_one() {
   WallTimer wait;
   std::future<double> fut = std::move(pending_.front());
   pending_.pop_front();
-  const double dt = fut.get();  // rethrows encode failures
+  double dt;
+  {
+    MEMQ_TRACE_SCOPE("stall", "wait_encode");
+    dt = fut.get();  // rethrows encode failures
+  }
   wait_seconds_ += wait.seconds();
   encode_seconds_ += dt;
 }

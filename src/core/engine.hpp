@@ -17,6 +17,7 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/config.hpp"
+#include "core/stage_report.hpp"
 #include "sv/simulator.hpp"
 #include "sv/state_vector.hpp"
 
@@ -82,6 +83,12 @@ struct EngineTelemetry {
   std::size_t stages_permute = 0;
   std::size_t stages_measure = 0;
 
+  /// Wall seconds the coordinator spent blocked on the codec pipeline —
+  /// waiting for a decode it needs next, or for the bounded write-back
+  /// window to drain. High values mean the in-flight window (not the
+  /// modeled device) is the bottleneck.
+  double pipeline_stall_seconds = 0.0;
+
   /// Compressed-store compression ratio at the end of the run.
   double final_compression_ratio = 0.0;
 };
@@ -135,6 +142,10 @@ class Engine {
   virtual void load_state(const std::string& path) = 0;
 
   virtual const EngineTelemetry& telemetry() const = 0;
+
+  /// Per-stage metrics of the last run(), or nullptr for engines without a
+  /// stage plan (dense, wu).
+  virtual const StageReport* stage_report() const { return nullptr; }
 };
 
 enum class EngineKind : std::uint8_t { kDense, kWu, kMemQSim };

@@ -1,16 +1,97 @@
 #include "core/memq_engine.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "circuit/transpile.hpp"
 #include "common/bit_ops.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "core/chunk_exec.hpp"
 
 namespace memq::core {
 
 using circuit::Gate;
 using circuit::GateKind;
+
+/// Absolute counter/clock values at a stage boundary; rows are differences
+/// of consecutive snaps, so per-stage counters telescope to the run total.
+struct MemQSimEngine::MetricsSnap {
+  std::uint64_t chunk_loads = 0;
+  std::uint64_t chunk_stores = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_writebacks = 0;
+  std::uint64_t spill_writes = 0;
+  std::uint64_t spill_reads = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t zero_chunks_skipped = 0;
+  double decompress = 0.0;
+  double recompress = 0.0;
+  double cpu_apply = 0.0;
+  double stall = 0.0;
+  double modeled = 0.0;
+  double device_busy = 0.0;
+  double kernel_busy = 0.0;
+
+  static StageRow delta(const MetricsSnap& from, const MetricsSnap& to,
+                        std::size_t device_count) {
+    StageRow r;
+    r.chunk_loads = to.chunk_loads - from.chunk_loads;
+    r.chunk_stores = to.chunk_stores - from.chunk_stores;
+    r.cache_hits = to.cache_hits - from.cache_hits;
+    r.cache_misses = to.cache_misses - from.cache_misses;
+    r.cache_evictions = to.cache_evictions - from.cache_evictions;
+    r.cache_writebacks = to.cache_writebacks - from.cache_writebacks;
+    r.spill_writes = to.spill_writes - from.spill_writes;
+    r.spill_reads = to.spill_reads - from.spill_reads;
+    r.h2d_bytes = to.h2d_bytes - from.h2d_bytes;
+    r.d2h_bytes = to.d2h_bytes - from.d2h_bytes;
+    r.kernel_launches = to.kernel_launches - from.kernel_launches;
+    r.zero_chunks_skipped = to.zero_chunks_skipped - from.zero_chunks_skipped;
+    r.decompress_seconds = to.decompress - from.decompress;
+    r.recompress_seconds = to.recompress - from.recompress;
+    r.cpu_apply_seconds = to.cpu_apply - from.cpu_apply;
+    r.stall_seconds = to.stall - from.stall;
+    r.modeled_seconds = to.modeled - from.modeled;
+    r.device_busy_seconds = to.device_busy - from.device_busy;
+    r.kernel_busy_seconds = to.kernel_busy - from.kernel_busy;
+    r.device_idle_seconds =
+        std::max(0.0, r.modeled_seconds * static_cast<double>(device_count) -
+                          r.kernel_busy_seconds);
+    return r;
+  }
+};
+
+MemQSimEngine::MetricsSnap MemQSimEngine::take_metrics_snap() {
+  pager_.refresh_telemetry();
+  collect_device_telemetry();
+  MetricsSnap s;
+  s.chunk_loads = telemetry_.chunk_loads;
+  s.chunk_stores = telemetry_.chunk_stores;
+  s.cache_hits = telemetry_.cache_hits;
+  s.cache_misses = telemetry_.cache_misses;
+  s.cache_evictions = telemetry_.cache_evictions;
+  s.cache_writebacks = telemetry_.cache_writebacks;
+  s.spill_writes = telemetry_.spill_writes;
+  s.spill_reads = telemetry_.spill_reads;
+  s.h2d_bytes = telemetry_.h2d_bytes;
+  s.d2h_bytes = telemetry_.d2h_bytes;
+  s.kernel_launches = telemetry_.kernel_launches;
+  s.zero_chunks_skipped = telemetry_.zero_chunks_skipped;
+  s.decompress = telemetry_.cpu_phases.get("decompress");
+  s.recompress = telemetry_.cpu_phases.get("recompress");
+  s.cpu_apply = telemetry_.cpu_phases.get("cpu_apply");
+  s.stall = telemetry_.pipeline_stall_seconds;
+  s.modeled = telemetry_.modeled_total_seconds;
+  s.device_busy = telemetry_.device_busy_seconds;
+  for (const DeviceContext& ctx : devices_)
+    s.kernel_busy += ctx.compute->busy_seconds();
+  return s;
+}
 
 MemQSimEngine::MemQSimEngine(qubit_t n_qubits, const EngineConfig& config)
     : CompressedEngineBase(n_qubits, config),
@@ -64,6 +145,7 @@ void MemQSimEngine::reset() {
   next_device_ = 0;
   work_items_ = 0;
   plan_.reset();
+  report_ = StageReport{};
 }
 
 void MemQSimEngine::charge_cpu(double seconds) { clock_->advance(seconds); }
@@ -114,37 +196,54 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
     pager_.set_plan(std::move(accesses));
   }
 
+  report_ = StageReport{};
+  report_.rows.reserve(plan_->stages.size());
+  const MetricsSnap first_snap = take_metrics_snap();
+  MetricsSnap prev_snap = first_snap;
+
   for (std::size_t si = 0; si < plan_->stages.size(); ++si) {
     const Stage& stage = plan_->stages[si];
     pager_.begin_stage(si);
-    switch (stage.kind) {
-      case StageKind::kLocal:
-        ++telemetry_.stages_local;
-        run_local_stage(stage);
-        break;
-      case StageKind::kPair:
-        ++telemetry_.stages_pair;
-        run_pair_stage(stage);
-        break;
-      case StageKind::kPermute:
-        ++telemetry_.stages_permute;
-        run_permute_stage(stage);
-        break;
-      case StageKind::kMeasure: {
-        ++telemetry_.stages_measure;
-        const Gate& g = stage.gates.at(0);
-        const bool outcome = measure_qubit(g.targets.at(0));
-        if (g.kind == GateKind::kReset && outcome) {
-          const Gate fix = Gate::x(g.targets[0]);
-          if (g.targets[0] >= chunk_qubits()) {
-            run_permute_stage({StageKind::kPermute, {fix}, 0});
-          } else {
-            run_local_stage({StageKind::kLocal, {fix}, 0});
+    {
+      MEMQ_TRACE_SCOPE("stage", stage_kind_name(stage.kind),
+                       trace::arg("stage", std::uint64_t{si}) + "," +
+                           trace::arg("gates", stage.gates.size()));
+      switch (stage.kind) {
+        case StageKind::kLocal:
+          ++telemetry_.stages_local;
+          run_local_stage(stage);
+          break;
+        case StageKind::kPair:
+          ++telemetry_.stages_pair;
+          run_pair_stage(stage);
+          break;
+        case StageKind::kPermute:
+          ++telemetry_.stages_permute;
+          run_permute_stage(stage);
+          break;
+        case StageKind::kMeasure: {
+          ++telemetry_.stages_measure;
+          const Gate& g = stage.gates.at(0);
+          const bool outcome = measure_qubit(g.targets.at(0));
+          if (g.kind == GateKind::kReset && outcome) {
+            const Gate fix = Gate::x(g.targets[0]);
+            if (g.targets[0] >= chunk_qubits()) {
+              run_permute_stage({StageKind::kPermute, {fix}, 0});
+            } else {
+              run_local_stage({StageKind::kLocal, {fix}, 0});
+            }
           }
+          break;
         }
-        break;
       }
     }
+    MetricsSnap now_snap = take_metrics_snap();
+    StageRow row = MetricsSnap::delta(prev_snap, now_snap, devices_.size());
+    row.index = si;
+    row.kind = stage_kind_name(stage.kind);
+    row.gates = stage.gates.size();
+    report_.rows.push_back(row);
+    prev_snap = now_snap;
   }
 
   pager_.clear_plan();  // back to LRU for post-run sweeps
@@ -157,6 +256,10 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
   telemetry_.wall_seconds += wall.seconds();
   collect_device_telemetry();
   refresh_footprint_telemetry();
+  report_.total =
+      MetricsSnap::delta(first_snap, take_metrics_snap(), devices_.size());
+  report_.total.kind = "total";
+  report_.total.gates = circuit.size();
 }
 
 void MemQSimEngine::run_permute_stage(const Stage& stage) {

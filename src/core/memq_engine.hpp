@@ -39,6 +39,9 @@ class MemQSimEngine final : public CompressedEngineBase {
   /// Stage plan of the last run() (benches inspect locality stats).
   const std::optional<StagePlan>& last_plan() const { return plan_; }
 
+  /// Per-stage counter deltas + stall accounting of the last run().
+  const StageReport* stage_report() const override { return &report_; }
+
  private:
   struct Slot {
     device::DeviceBuffer state;
@@ -83,11 +86,16 @@ class MemQSimEngine final : public CompressedEngineBase {
     return devices_.size() * devices_.front().slots.size() + 1;
   }
 
+  /// Counter/clock snapshot for the stage report (telescoped deltas).
+  struct MetricsSnap;
+  MetricsSnap take_metrics_snap();
+
   std::shared_ptr<device::HostClock> clock_;
   std::vector<DeviceContext> devices_;
   std::size_t next_device_ = 0;
 
   std::optional<StagePlan> plan_;
+  StageReport report_;
   std::uint64_t work_items_ = 0;  // for cpu-offload round-robin
 };
 

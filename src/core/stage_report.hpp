@@ -1,0 +1,60 @@
+// Per-stage metrics report: one row per offline-plan stage with the DELTAS
+// of the run counters (chunk loads/stores, cache hits/misses/evictions/
+// write-backs, spill I/O, device traffic) plus stall accounting — wall
+// seconds the coordinator spent blocked on the codec pipeline, and modeled
+// seconds the device(s) sat idle waiting for chunks.
+//
+// Rows are built by telescoping counter snapshots (each stage's "before" is
+// the previous stage's "after"), so per-stage counter deltas sum EXACTLY to
+// the whole-run delta in `total`. Seconds-type fields outside the stage loop
+// (offline partitioning, the final device drain) belong to `total` only, so
+// for those the row sum is a lower bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace memq::core {
+
+struct StageRow {
+  std::size_t index = 0;       ///< position in the stage plan
+  const char* kind = "";       ///< "local" | "pair" | "permute" | "measure"
+  std::size_t gates = 0;
+
+  // ---- counter deltas (telescoped; rows sum exactly to `total`) ----------
+  std::uint64_t chunk_loads = 0;
+  std::uint64_t chunk_stores = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_writebacks = 0;
+  std::uint64_t spill_writes = 0;
+  std::uint64_t spill_reads = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t zero_chunks_skipped = 0;
+
+  // ---- seconds deltas ----------------------------------------------------
+  double decompress_seconds = 0.0;  ///< real codec decode (summed workers)
+  double recompress_seconds = 0.0;  ///< real codec encode (summed workers)
+  double cpu_apply_seconds = 0.0;   ///< real CPU gate application
+  double stall_seconds = 0.0;       ///< coordinator blocked on the pipeline
+  double modeled_seconds = 0.0;     ///< modeled host-clock advance
+  double device_busy_seconds = 0.0; ///< modeled busy, all streams/devices
+  double kernel_busy_seconds = 0.0; ///< modeled busy, compute streams only
+  /// Modeled seconds of compute capacity left idle during this stage:
+  /// max(0, modeled_seconds * device_count - kernel_busy_seconds). High
+  /// values with high stall_seconds mean the codec pipeline starved the
+  /// device.
+  double device_idle_seconds = 0.0;
+};
+
+struct StageReport {
+  std::vector<StageRow> rows;
+  /// Whole-run delta (first snapshot to after the final device drain);
+  /// kind is "total".
+  StageRow total;
+};
+
+}  // namespace memq::core

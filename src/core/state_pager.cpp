@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/chunk_exec.hpp"
 
 namespace memq::core {
@@ -87,6 +88,7 @@ void StatePager::harvest_cache_timings() {
   const ChunkCache::Timings t = cache_->take_timings();
   telemetry_.cpu_phases.add("decompress", t.decode_seconds);
   telemetry_.cpu_phases.add("recompress", t.encode_seconds);
+  telemetry_.pipeline_stall_seconds += t.wait_seconds;
   // Miss decodes run synchronously on the coordinator, so pool mode charges
   // them in full plus the measured write-back wait; serial mode keeps the
   // modeled multi-core divisor.
@@ -175,6 +177,8 @@ void StatePager::store_timed(index_t i, std::span<const amp_t> in) {
 }
 
 StatePager::Lease StatePager::acquire(ChunkJob job, bool writable) {
+  MEMQ_TRACE_SCOPE("pager", writable ? "acquire_write" : "acquire_read",
+                   trace::arg("chunk", job.a));
   claim(job);
   Lease lease;
   lease.job_ = job;
@@ -202,6 +206,8 @@ StatePager::Lease StatePager::acquire_write_pair(index_t lo, index_t hi) {
 }
 
 void StatePager::release(Lease lease, bool modified) {
+  MEMQ_TRACE_SCOPE("pager", modified ? "release_modified" : "release",
+                   trace::arg("chunk", lease.job_.a));
   if (lease.tracked_) unclaim(lease.job_);
   if (modified) {
     MEMQ_CHECK(lease.writable_, "read lease released as modified");
@@ -245,6 +251,7 @@ void StatePager::sweep(
   if (cache_) harvest_cache_timings();
   if (timed) {
     telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
+    telemetry_.pipeline_stall_seconds += reader.wait_seconds();
     charge_cpu_(codec_pool_ ? reader.wait_seconds()
                             : reader.decode_seconds() /
                                   config_.cpu_codec_workers);
@@ -273,6 +280,7 @@ StatePager::ReadStream::~ReadStream() {
 }
 
 std::optional<StatePager::Lease> StatePager::ReadStream::next() {
+  MEMQ_TRACE_SCOPE("pager", "read_next");
   auto item = impl_->reader.next();
   if (!item) return std::nullopt;
   Lease lease;
@@ -311,6 +319,7 @@ StatePager::StageStream::StageStream(StageStream&&) noexcept = default;
 StatePager::StageStream::~StageStream() = default;
 
 std::optional<StatePager::Lease> StatePager::StageStream::next() {
+  MEMQ_TRACE_SCOPE("pager", "stage_next");
   auto item = impl_->reader.next();
   if (!item) return std::nullopt;
   if (impl_->serial) {
@@ -326,6 +335,9 @@ std::optional<StatePager::Lease> StatePager::StageStream::next() {
 }
 
 void StatePager::StageStream::release(Lease lease, bool modified) {
+  MEMQ_TRACE_SCOPE("pager", modified ? "stage_release_modified"
+                                     : "stage_release",
+                   trace::arg("chunk", lease.job_.a));
   if (!modified) {
     impl_->reader.recycle(std::move(lease.buf_));
     return;
@@ -354,6 +366,8 @@ void StatePager::StageStream::finish() {
                                     impl_->reader.decode_seconds());
     pager.telemetry_.cpu_phases.add("recompress",
                                     impl_->writer.encode_seconds());
+    pager.telemetry_.pipeline_stall_seconds +=
+        impl_->reader.wait_seconds() + impl_->writer.wait_seconds();
     pager.charge_cpu_(impl_->reader.wait_seconds() +
                       impl_->writer.wait_seconds());
   }
@@ -411,6 +425,8 @@ void StatePager::collapse(
     writer.drain();
     telemetry_.cpu_phases.add("decompress", reader.decode_seconds());
     telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
+    telemetry_.pipeline_stall_seconds +=
+        reader.wait_seconds() + writer.wait_seconds();
     charge_cpu_(codec_pool_
                     ? reader.wait_seconds() + writer.wait_seconds()
                     : (reader.decode_seconds() + writer.encode_seconds()) /
@@ -436,6 +452,7 @@ void StatePager::ingest_dense(std::span<const amp_t> amplitudes) {
     }
     writer.drain();
     telemetry_.cpu_phases.add("recompress", writer.encode_seconds());
+    telemetry_.pipeline_stall_seconds += writer.wait_seconds();
     charge_cpu_(codec_pool_ ? writer.wait_seconds()
                             : writer.encode_seconds() /
                                   config_.cpu_codec_workers);

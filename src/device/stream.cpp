@@ -1,9 +1,19 @@
 #include "device/stream.hpp"
 
+#include "common/trace.hpp"
+
 namespace memq::device {
 
 Stream::Stream(SimDevice& device, std::string name)
     : device_(device), name_(std::move(name)) {}
+
+void Stream::trace_op(const char* name, double start_s, double dur_s,
+                      std::uint64_t bytes) {
+  if (!trace::enabled()) return;
+  if (trace_lane_ < 0) trace_lane_ = trace::lane(name_);
+  trace::lane_span(trace_lane_, name, start_s, dur_s,
+                   bytes > 0 ? trace::arg("bytes", bytes) : std::string{});
+}
 
 void Stream::bump_host_overhead(double seconds) {
   device_.advance_host(seconds);
@@ -26,6 +36,7 @@ void Stream::memcpy_h2d_sync(DeviceBuffer& dst, std::uint64_t dst_offset,
   std::memcpy(dst.data() + dst_offset, src, bytes);
   tail_ = start + duration;
   busy_ += duration;
+  trace_op("h2d", start, duration, bytes);
   ++device_.stats_.h2d_calls;
   device_.stats_.h2d_bytes += bytes;
   // Synchronous semantics: the host blocks until completion.
@@ -42,6 +53,7 @@ void Stream::memcpy_d2h_sync(void* dst, const DeviceBuffer& src,
   std::memcpy(dst, src.data() + src_offset, bytes);
   tail_ = start + duration;
   busy_ += duration;
+  trace_op("d2h", start, duration, bytes);
   ++device_.stats_.d2h_calls;
   device_.stats_.d2h_bytes += bytes;
   device_.sync_host(*this);
@@ -57,6 +69,7 @@ void Stream::memcpy_h2d_async(DeviceBuffer& dst, std::uint64_t dst_offset,
   std::memcpy(dst.data() + dst_offset, src, bytes);
   tail_ = start + duration;
   busy_ += duration;
+  trace_op("h2d", start, duration, bytes);
   ++device_.stats_.h2d_calls;
   device_.stats_.h2d_bytes += bytes;
 }
@@ -71,13 +84,13 @@ void Stream::memcpy_d2h_async(void* dst, const DeviceBuffer& src,
   std::memcpy(dst, src.data() + src_offset, bytes);
   tail_ = start + duration;
   busy_ += duration;
+  trace_op("d2h", start, duration, bytes);
   ++device_.stats_.d2h_calls;
   device_.stats_.d2h_bytes += bytes;
 }
 
 void Stream::launch(const std::string& label, std::uint64_t work_items,
                     const std::function<void()>& body, double throughput) {
-  (void)label;
   const auto& cfg = device_.config();
   if (throughput <= 0.0) throughput = cfg.gate_kernel_throughput;
   const double start = begin_op(cfg.kernel_launch_overhead);
@@ -85,6 +98,11 @@ void Stream::launch(const std::string& label, std::uint64_t work_items,
   body();
   tail_ = start + duration;
   busy_ += duration;
+  if (trace::enabled()) {
+    if (trace_lane_ < 0) trace_lane_ = trace::lane(name_);
+    trace::lane_span(trace_lane_, label.c_str(), start, duration,
+                     trace::arg("work_items", work_items));
+  }
   ++device_.stats_.kernel_launches;
 }
 

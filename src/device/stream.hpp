@@ -72,11 +72,16 @@ class Stream {
  private:
   void bump_host_overhead(double seconds);
   double begin_op(double host_overhead);
+  /// Emits a complete event on this stream's modeled-device lane (registers
+  /// the lane on first use; no-op when tracing is off).
+  void trace_op(const char* name, double start_s, double dur_s,
+                std::uint64_t bytes);
 
   SimDevice& device_;
   std::string name_;
   double tail_ = 0.0;
   double busy_ = 0.0;
+  int trace_lane_ = -1;
 };
 
 }  // namespace memq::device

@@ -1,0 +1,499 @@
+// Observability plane: the tracer must emit valid Chrome trace-event JSON
+// with balanced B/E spans per track, monotonic modeled-device lanes, and
+// deterministic span *content* across codec thread counts; the per-stage
+// report must telescope exactly (stage counter deltas sum to the run total);
+// and PhaseTimers' coordinator-only contract must hold under TSan.
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/timer.hpp"
+#include "core/engine.hpp"
+
+namespace memq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to validate the trace file. Parses
+// objects/arrays/strings/numbers/bools into a variant tree and throws on any
+// syntax error, so "the file is valid JSON" is checked for real.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("json error at byte " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null_value();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.fields.emplace(key.str, value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            v.str += text_.substr(pos_ - 2, 6);  // keep raw; fine for tests
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    JsonValue v;
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue load_trace(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return JsonParser(ss.str()).parse();
+}
+
+std::string trace_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+core::EngineConfig traced_config(std::uint32_t codec_threads,
+                                 bool with_cache = true) {
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 5;
+  cfg.codec.bound = 1e-6;
+  cfg.codec_threads = codec_threads;
+  if (with_cache) cfg.cache_budget_bytes = 8 * (index_t{1} << 5) * kAmpBytes;
+  return cfg;
+}
+
+/// Runs a small memqsim workload while the tracer captures to `path`.
+/// Returns the number of events flushed.
+std::size_t run_traced(const std::string& path, std::uint32_t codec_threads,
+                       bool with_cache = true) {
+  const circuit::Circuit c = circuit::make_workload("qft", 10, 7);
+  trace::start(path);
+  {
+    auto engine = core::make_engine(core::EngineKind::kMemQSim, 10,
+                                    traced_config(codec_threads, with_cache));
+    engine->run(c);
+  }  // destroy first: joins codec workers, settling async write-backs
+  return trace::stop();
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode: no buffers, no file, stop() is a no-op.
+// ---------------------------------------------------------------------------
+
+TEST(TraceDisabled, EmitsNothing) {
+  ASSERT_FALSE(trace::enabled());
+  const circuit::Circuit c = circuit::make_workload("qft", 8, 7);
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, 8, traced_config(2));
+  engine->run(c);
+  EXPECT_FALSE(trace::enabled());
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_EQ(trace::stop(), 0u);  // no capture -> no-op, writes no file
+}
+
+TEST(TraceDisabled, StartWhileCapturingThrows) {
+  const std::string path = trace_path("trace_twice.json");
+  trace::start(path);
+  EXPECT_THROW(trace::start(path), std::invalid_argument);
+  trace::stop();
+}
+
+// ---------------------------------------------------------------------------
+// Capture: valid JSON, >= 4 subsystems, balanced spans, monotonic lanes.
+// ---------------------------------------------------------------------------
+
+TEST(TraceCapture, ValidJsonWithBalancedSpansAcrossSubsystems) {
+  const std::string path = trace_path("trace_capture.json");
+  const std::size_t n_events = run_traced(path, 2);
+  EXPECT_GT(n_events, 0u);
+
+  const JsonValue root = load_trace(path);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  std::set<std::string> cats;
+  std::map<std::pair<double, double>, int> depth;  // (pid,tid) -> open spans
+  std::map<double, double> lane_last_ts;           // pid-1 lane -> last ts
+  std::size_t counted = 0;
+  for (const JsonValue& e : events->items) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") continue;  // metadata carries no cat/ts
+    ++counted;
+    const double pid = e.find("pid")->number;
+    const double tid = e.find("tid")->number;
+    if (ph->str != "E") {
+      ASSERT_NE(e.find("cat"), nullptr);
+      cats.insert(e.find("cat")->str);
+    }
+    const std::pair<double, double> track{pid, tid};
+    if (ph->str == "B") ++depth[track];
+    if (ph->str == "E") {
+      --depth[track];
+      EXPECT_GE(depth[track], 0) << "E without matching B";
+    }
+    if (pid == 1.0) {
+      EXPECT_EQ(ph->str, "X") << "modeled lanes hold complete events only";
+      const double ts = e.find("ts")->number;
+      const auto it = lane_last_ts.find(tid);
+      if (it != lane_last_ts.end()) {
+        EXPECT_GE(ts, it->second) << "lane " << tid << " went backwards";
+      }
+      lane_last_ts[tid] = ts;
+      EXPECT_GE(e.find("dur")->number, 0.0);
+    }
+  }
+  EXPECT_EQ(counted, n_events);
+  for (const auto& [track, open] : depth)
+    EXPECT_EQ(open, 0) << "unbalanced B/E on pid " << track.first << " tid "
+                       << track.second;
+
+  // The whole hot path shows up: stage + pager + codec + cache + device.
+  EXPECT_GE(cats.size(), 4u);
+  for (const char* want : {"stage", "pager", "codec", "cache", "device"})
+    EXPECT_TRUE(cats.count(want)) << "missing subsystem: " << want;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism in content: the (ph, cat, name, args) multiset must not depend
+// on the codec thread count. Timestamps, tids, and the scheduling-dependent
+// "stall"/"spill" categories are excluded — everything else is driven by the
+// coordinator or by chunk content, which the determinism contract pins. The
+// cache stays off here: Belady admission consults the structural pipeline
+// window, so cache *placement* (unlike results) legitimately varies with
+// codec_threads.
+// ---------------------------------------------------------------------------
+
+std::multiset<std::string> content_multiset(const JsonValue& root) {
+  std::multiset<std::string> out;
+  const JsonValue* events = root.find("traceEvents");
+  for (const JsonValue& e : events->items) {
+    const std::string& ph = e.find("ph")->str;
+    if (ph == "M" || ph == "E") continue;
+    const std::string& cat = e.find("cat")->str;
+    if (cat == "stall" || cat == "spill") continue;
+    std::string key = ph + "|" + cat + "|" + e.find("name")->str;
+    if (const JsonValue* args = e.find("args")) {
+      for (const auto& [k, v] : args->fields) {
+        key += "|" + k + "=";
+        key += v.kind == JsonValue::Kind::kString ? v.str
+                                                  : std::to_string(v.number);
+      }
+    }
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+TEST(TraceCapture, SpanContentDeterministicAcrossCodecThreads) {
+  const std::string serial_path = trace_path("trace_serial.json");
+  const std::string pooled_path = trace_path("trace_pooled.json");
+  run_traced(serial_path, 1, /*with_cache=*/false);
+  run_traced(pooled_path, 4, /*with_cache=*/false);
+
+  const auto serial = content_multiset(load_trace(serial_path));
+  const auto pooled = content_multiset(load_trace(pooled_path));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled);
+}
+
+// ---------------------------------------------------------------------------
+// Stage report: counter deltas are telescoped snapshots, so per-stage rows
+// must sum EXACTLY to the run total, and the total must match telemetry.
+// ---------------------------------------------------------------------------
+
+TEST(StageReport, CounterRowsSumExactlyToTotal) {
+  const circuit::Circuit c = circuit::make_workload("random", 10, 11);
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, 10, traced_config(2));
+  engine->run(c);
+
+  const core::StageReport* rep = engine->stage_report();
+  ASSERT_NE(rep, nullptr);
+  ASSERT_FALSE(rep->rows.empty());
+
+  core::StageRow sum;
+  for (const core::StageRow& row : rep->rows) {
+    sum.chunk_loads += row.chunk_loads;
+    sum.chunk_stores += row.chunk_stores;
+    sum.cache_hits += row.cache_hits;
+    sum.cache_misses += row.cache_misses;
+    sum.cache_evictions += row.cache_evictions;
+    sum.cache_writebacks += row.cache_writebacks;
+    sum.spill_writes += row.spill_writes;
+    sum.spill_reads += row.spill_reads;
+    sum.h2d_bytes += row.h2d_bytes;
+    sum.d2h_bytes += row.d2h_bytes;
+    sum.kernel_launches += row.kernel_launches;
+    sum.zero_chunks_skipped += row.zero_chunks_skipped;
+  }
+  EXPECT_EQ(sum.chunk_loads, rep->total.chunk_loads);
+  EXPECT_EQ(sum.chunk_stores, rep->total.chunk_stores);
+  EXPECT_EQ(sum.cache_hits, rep->total.cache_hits);
+  EXPECT_EQ(sum.cache_misses, rep->total.cache_misses);
+  EXPECT_EQ(sum.cache_evictions, rep->total.cache_evictions);
+  EXPECT_EQ(sum.cache_writebacks, rep->total.cache_writebacks);
+  EXPECT_EQ(sum.spill_writes, rep->total.spill_writes);
+  EXPECT_EQ(sum.spill_reads, rep->total.spill_reads);
+  EXPECT_EQ(sum.h2d_bytes, rep->total.h2d_bytes);
+  EXPECT_EQ(sum.d2h_bytes, rep->total.d2h_bytes);
+  EXPECT_EQ(sum.kernel_launches, rep->total.kernel_launches);
+  EXPECT_EQ(sum.zero_chunks_skipped, rep->total.zero_chunks_skipped);
+
+  // The totals row is the whole run, so it must agree with telemetry.
+  const core::EngineTelemetry& t = engine->telemetry();
+  EXPECT_EQ(rep->total.chunk_loads, t.chunk_loads);
+  EXPECT_EQ(rep->total.chunk_stores, t.chunk_stores);
+  EXPECT_EQ(rep->total.cache_hits, t.cache_hits);
+  EXPECT_EQ(rep->total.cache_misses, t.cache_misses);
+  EXPECT_EQ(rep->total.kernel_launches, t.kernel_launches);
+
+  // Stage gate counts cover the circuit.
+  std::size_t gates = 0;
+  for (const core::StageRow& row : rep->rows) gates += row.gates;
+  EXPECT_EQ(gates, c.size());
+  EXPECT_EQ(rep->total.gates, c.size());
+
+  // Seconds rows are a lower bound on the total (offline partitioning and
+  // the final device drain live outside the stage loop).
+  double modeled = 0.0;
+  for (const core::StageRow& row : rep->rows) modeled += row.modeled_seconds;
+  EXPECT_LE(modeled, rep->total.modeled_seconds + 1e-9);
+  EXPECT_GE(rep->total.device_idle_seconds, 0.0);
+}
+
+TEST(StageReport, DenseEngineHasNone) {
+  auto engine = core::make_engine(core::EngineKind::kDense, 4, {});
+  EXPECT_EQ(engine->stage_report(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: PhaseTimers threading contract. Workers never call add() on a
+// shared PhaseTimers — they time locally and the coordinator merges either
+// raw seconds handed through a future (codec-pool pattern) or a private
+// PhaseTimers via merge(). Run under TSan in CI, this is the regression
+// guard for the cpu_phases audit.
+// ---------------------------------------------------------------------------
+
+TEST(PhaseTimersThreading, FutureHandoffAndMergeAreRaceFree) {
+  constexpr int kWorkers = 4;
+  constexpr int kItems = 64;
+
+  PhaseTimers coordinator;
+  std::vector<std::future<double>> handed;
+  handed.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    handed.push_back(std::async(std::launch::async, [] {
+      double s = 0.0;
+      for (int i = 0; i < kItems; ++i) s += 0.001;
+      return s;  // seconds cross the thread boundary via the future
+    }));
+  }
+  for (auto& f : handed) coordinator.add("decompress", f.get());
+
+  std::vector<std::future<PhaseTimers>> merged;
+  merged.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    merged.push_back(std::async(std::launch::async, [] {
+      PhaseTimers local;  // worker-private, never shared while hot
+      for (int i = 0; i < kItems; ++i) local.add("recompress", 0.001);
+      return local;
+    }));
+  }
+  for (auto& f : merged) {
+    const PhaseTimers local = f.get();
+    coordinator.merge(local);
+  }
+
+  EXPECT_NEAR(coordinator.get("decompress"), kWorkers * kItems * 0.001, 1e-9);
+  EXPECT_NEAR(coordinator.get("recompress"), kWorkers * kItems * 0.001, 1e-9);
+}
+
+TEST(PhaseTimersThreading, EngineCpuPhasesConsistentWithPooledCodec) {
+  // End-to-end regression: a pooled-codec run's cpu_phases must be finite,
+  // non-negative, and include both codec phases. Under TSan this drives the
+  // real worker->future->coordinator handoff in the engine.
+  const circuit::Circuit c = circuit::make_workload("qft", 9, 3);
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, 9, traced_config(4));
+  engine->run(c);
+  const core::EngineTelemetry& t = engine->telemetry();
+  EXPECT_GT(t.cpu_phases.get("decompress"), 0.0);
+  EXPECT_GT(t.cpu_phases.get("recompress"), 0.0);
+  EXPECT_GE(t.cpu_phases.total(), t.cpu_phases.get("decompress"));
+}
+
+}  // namespace
+}  // namespace memq

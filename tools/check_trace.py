@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate a memq Chrome trace-event file (as written by --trace).
+
+Checks, in order:
+  1. the file parses as JSON and has a traceEvents array;
+  2. every B has a matching E on its (pid, tid) track, and no track ends
+     with open spans;
+  3. modeled-device lanes (pid 1) carry only complete ('X') events with
+     monotonically nondecreasing timestamps per lane;
+  4. spans cover at least --min-subsystems distinct categories (default 4),
+     so a hollowed-out instrumentation path fails CI instead of shipping.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+Usage: check_trace.py TRACE.json [--min-subsystems N]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON file written by memq --trace")
+    ap.add_argument("--min-subsystems", type=int, default=4)
+    args = ap.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as f:
+        root = json.load(f)
+    events = root.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"FAIL: {args.trace}: no traceEvents array", file=sys.stderr)
+        return 1
+
+    depth = collections.Counter()
+    lane_last = {}
+    cats = set()
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        track = (e["pid"], e["tid"])
+        if ph != "E":
+            cats.add(e["cat"])
+        if ph == "B":
+            depth[track] += 1
+        elif ph == "E":
+            depth[track] -= 1
+            if depth[track] < 0:
+                print(f"FAIL: event {i}: E without B on {track}",
+                      file=sys.stderr)
+                return 1
+        if e["pid"] == 1:
+            if ph != "X":
+                print(f"FAIL: event {i}: pid 1 lane has ph={ph!r}, "
+                      "expected complete ('X') events only", file=sys.stderr)
+                return 1
+            if e["ts"] < lane_last.get(e["tid"], float("-inf")):
+                print(f"FAIL: event {i}: lane {e['tid']} timestamp went "
+                      "backwards", file=sys.stderr)
+                return 1
+            lane_last[e["tid"]] = e["ts"]
+
+    open_tracks = {t: d for t, d in depth.items() if d != 0}
+    if open_tracks:
+        print(f"FAIL: unbalanced B/E on tracks {open_tracks}",
+              file=sys.stderr)
+        return 1
+    if len(cats) < args.min_subsystems:
+        print(f"FAIL: only {len(cats)} subsystem categories ({sorted(cats)}),"
+              f" need >= {args.min_subsystems}", file=sys.stderr)
+        return 1
+
+    n = sum(1 for e in events if e.get("ph") != "M")
+    print(f"OK: {args.trace}: {n} events, {len(depth)} host tracks, "
+          f"{len(lane_last)} device lanes, subsystems {sorted(cats)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@
 #include "circuit/workloads.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "compress/compressor.hpp"
 #include "core/engine.hpp"
 #include "core/memq_engine.hpp"
@@ -52,6 +53,7 @@ using namespace memq;
       "           [--store-backend ram|file] [--blob-budget BYTES[K|M|G]]\n"
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
       "           [--checkpoint f] [--restore f] [--telemetry-json f.json]\n"
+      "           [--trace f.json] [--stage-report]\n"
       "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
       "  memq transfer --qubits N\n";
   std::exit(2);
@@ -243,9 +245,65 @@ int cmd_workload(int argc, char** argv) {
   return 0;
 }
 
+/// One row per stage: counter deltas + stall / modeled-idle accounting.
+void print_stage_report(const core::StageReport& rep) {
+  TextTable table({"stage", "kind", "gates", "loads", "stores", "hits",
+                   "miss", "evict", "wb", "h2d", "d2h", "kern", "stall",
+                   "modeled", "idle"});
+  const auto row_cells = [](const core::StageRow& r, const std::string& id) {
+    return std::vector<std::string>{
+        id, r.kind, std::to_string(r.gates), std::to_string(r.chunk_loads),
+        std::to_string(r.chunk_stores), std::to_string(r.cache_hits),
+        std::to_string(r.cache_misses), std::to_string(r.cache_evictions),
+        std::to_string(r.cache_writebacks), human_bytes(r.h2d_bytes),
+        human_bytes(r.d2h_bytes), std::to_string(r.kernel_launches),
+        human_seconds(r.stall_seconds), human_seconds(r.modeled_seconds),
+        human_seconds(r.device_idle_seconds)};
+  };
+  for (const core::StageRow& r : rep.rows)
+    table.add_row(row_cells(r, std::to_string(r.index)));
+  table.add_row(row_cells(rep.total, "total"));
+  table.print(std::cout);
+}
+
+void stage_row_json(std::ostream& os, const core::StageRow& r,
+                    const char* indent) {
+  os << indent << "{\"index\": " << r.index << ", \"kind\": \"" << r.kind
+     << "\", \"gates\": " << r.gates
+     << ", \"chunk_loads\": " << r.chunk_loads
+     << ", \"chunk_stores\": " << r.chunk_stores
+     << ", \"cache_hits\": " << r.cache_hits
+     << ", \"cache_misses\": " << r.cache_misses
+     << ", \"cache_evictions\": " << r.cache_evictions
+     << ", \"cache_writebacks\": " << r.cache_writebacks
+     << ", \"spill_writes\": " << r.spill_writes
+     << ", \"spill_reads\": " << r.spill_reads
+     << ", \"h2d_bytes\": " << r.h2d_bytes
+     << ", \"d2h_bytes\": " << r.d2h_bytes
+     << ", \"kernel_launches\": " << r.kernel_launches
+     << ", \"zero_chunks_skipped\": " << r.zero_chunks_skipped
+     << ", \"decompress_seconds\": " << r.decompress_seconds
+     << ", \"recompress_seconds\": " << r.recompress_seconds
+     << ", \"cpu_apply_seconds\": " << r.cpu_apply_seconds
+     << ", \"stall_seconds\": " << r.stall_seconds
+     << ", \"modeled_seconds\": " << r.modeled_seconds
+     << ", \"device_busy_seconds\": " << r.device_busy_seconds
+     << ", \"kernel_busy_seconds\": " << r.kernel_busy_seconds
+     << ", \"device_idle_seconds\": " << r.device_idle_seconds << "}";
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 3) usage("run needs a .qasm file");
-  const Args args = parse_args(argc, argv, 3, {"layout", "fuse", "elide-swaps"});
+  const Args args = parse_args(argc, argv, 3,
+                               {"layout", "fuse", "elide-swaps",
+                                "stage-report"});
+  std::string trace_path = args.option("trace", "");
+  if (!trace_path.empty() && !trace::enabled()) {
+    trace::start(trace_path);  // before engine construction: workers register
+  } else if (trace_path.empty() && trace::enabled()) {
+    const char* env = std::getenv("MEMQ_TRACE");
+    if (env != nullptr) trace_path = env;
+  }
   const circuit::QasmProgram prog = circuit::parse_qasm_file(argv[2]);
   const qubit_t n = prog.circuit.n_qubits();
   std::cout << "parsed " << argv[2] << ": " << n << " qubits, "
@@ -314,6 +372,19 @@ int cmd_run(int argc, char** argv) {
             << ", ratio " << format_fixed(t.final_compression_ratio, 1)
             << "x, modeled time " << human_seconds(t.modeled_total_seconds)
             << "\n";
+  if (t.pipeline_stall_seconds > 0.0)
+    std::cout << "pipeline stall (coordinator blocked on codec): "
+              << human_seconds(t.pipeline_stall_seconds) << " wall\n";
+  if (args.has_flag("stage-report")) {
+    const core::StageReport* rep = engine->stage_report();
+    if (rep == nullptr) {
+      std::cout << "(--stage-report: engine '" << engine->name()
+                << "' has no stage plan)\n";
+    } else {
+      std::cout << "\nper-stage report:\n";
+      print_stage_report(*rep);
+    }
+  }
   if (t.cache_hits + t.cache_misses > 0) {
     const double rate = 100.0 * static_cast<double>(t.cache_hits) /
                         static_cast<double>(t.cache_hits + t.cache_misses);
@@ -342,6 +413,7 @@ int cmd_run(int argc, char** argv) {
       return 1;
     }
     jf << "{\n"
+       << "  \"schema_version\": 2,\n"
        << "  \"engine\": \"" << engine->name() << "\",\n"
        << "  \"qubits\": " << n << ",\n"
        << "  \"store_backend\": \""
@@ -349,6 +421,9 @@ int cmd_run(int argc, char** argv) {
        << "\",\n"
        << "  \"blob_budget_bytes\": " << cfg.host_blob_budget_bytes << ",\n"
        << "  \"modeled_total_seconds\": " << t.modeled_total_seconds << ",\n"
+       << "  \"device_busy_seconds\": " << t.device_busy_seconds << ",\n"
+       << "  \"pipeline_stall_seconds\": " << t.pipeline_stall_seconds
+       << ",\n"
        << "  \"peak_host_state_bytes\": " << t.peak_host_state_bytes << ",\n"
        << "  \"peak_resident_blob_bytes\": " << t.peak_resident_blob_bytes
        << ",\n"
@@ -360,12 +435,39 @@ int cmd_run(int argc, char** argv) {
        << "  \"cache_hits\": " << t.cache_hits << ",\n"
        << "  \"cache_misses\": " << t.cache_misses << ",\n"
        << "  \"cache_evictions\": " << t.cache_evictions << ",\n"
+       << "  \"cache_writebacks\": " << t.cache_writebacks << ",\n"
        << "  \"spill_writes\": " << t.spill_writes << ",\n"
        << "  \"spill_reads\": " << t.spill_reads << ",\n"
        << "  \"spill_bytes_written\": " << t.spill_bytes_written << ",\n"
-       << "  \"spill_bytes_read\": " << t.spill_bytes_read << "\n"
-       << "}\n";
+       << "  \"spill_bytes_read\": " << t.spill_bytes_read << ",\n";
+    jf << "  \"cpu_phases\": {";
+    bool first_phase = true;
+    for (const auto& [phase, seconds] : t.cpu_phases.totals()) {
+      jf << (first_phase ? "" : ", ") << "\"" << phase << "\": " << seconds;
+      first_phase = false;
+    }
+    jf << "}";
+    if (const core::StageReport* rep = engine->stage_report();
+        rep != nullptr) {
+      jf << ",\n  \"stage_report\": {\n    \"rows\": [\n";
+      for (std::size_t i = 0; i < rep->rows.size(); ++i) {
+        stage_row_json(jf, rep->rows[i], "      ");
+        jf << (i + 1 < rep->rows.size() ? ",\n" : "\n");
+      }
+      jf << "    ],\n    \"total\":\n";
+      stage_row_json(jf, rep->total, "      ");
+      jf << "\n  }";
+    }
+    jf << "\n}\n";
     std::cout << "telemetry written to " << json_path << "\n";
+  }
+
+  if (trace::enabled()) {
+    engine.reset();  // join codec workers so async write-backs settle first
+    const std::size_t n_events = trace::stop();
+    std::cout << "trace: " << n_events << " events written to "
+              << (trace_path.empty() ? "MEMQ_TRACE target" : trace_path)
+              << "\n";
   }
   return 0;
 }
@@ -433,6 +535,7 @@ int cmd_transfer(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  memq::trace::init_from_env();  // MEMQ_TRACE=file.json enables capture
   try {
     if (cmd == "info") return cmd_info();
     if (cmd == "workload") return cmd_workload(argc, argv);
