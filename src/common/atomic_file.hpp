@@ -1,0 +1,74 @@
+// Atomic file replacement for checkpoints: bytes stream into `<path>.tmp`
+// and only a successful commit() renames the temp file over `<path>`, so a
+// failure at any point — including the injected `checkpoint.save` fault —
+// leaves the previous file at `<path>` untouched. Without a commit, the
+// destructor removes the temp file.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/faultpoint.hpp"
+
+namespace memq {
+
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(const std::string& path)
+      : path_(path), tmp_(path + ".tmp"),
+        out_(tmp_, std::ios::binary | std::ios::trunc) {
+    MEMQ_CHECK(static_cast<bool>(out_),
+               "cannot open checkpoint temp file '" << tmp_ << "'");
+  }
+
+  ~AtomicFileWriter() {
+    if (!committed_) {
+      out_.close();
+      std::remove(tmp_.c_str());
+    }
+  }
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The stream to write the new contents into.
+  std::ofstream& stream() { return out_; }
+
+  /// Flushes, validates, and renames the temp file over the target. Throws
+  /// IoError (temp file removed, previous target intact) on any failure.
+  void commit() {
+    if (MEMQ_FAULT("checkpoint.save"))
+      MEMQ_THROW_IO("checkpoint write to '"
+                              << tmp_ << "' failed (injected): "
+                              << std::strerror(EIO) << "; previous '" << path_
+                              << "' kept",
+                 EIO);
+    out_.flush();
+    if (!out_.good())
+      MEMQ_THROW_IO("checkpoint write to '" << tmp_
+                                                  << "' failed; previous '"
+                                                  << path_ << "' kept",
+                 0);
+    out_.close();
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      const int err = errno;
+      MEMQ_THROW_IO("cannot rename checkpoint '"
+                              << tmp_ << "' over '" << path_
+                              << "': " << std::strerror(err),
+                 err);
+    }
+    committed_ = true;
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+}  // namespace memq

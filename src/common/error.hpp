@@ -57,6 +57,18 @@ class DeviceError : public Error {
   explicit DeviceError(const std::string& what) : Error(what) {}
 };
 
+/// A host I/O operation (spill file, checkpoint) failed after any retries;
+/// carries the errno so callers can distinguish transient from persistent.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what, int code = 0)
+      : Error(what), code_(code) {}
+  int code() const noexcept { return code_; }
+
+ private:
+  int code_;
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {
@@ -80,6 +92,13 @@ namespace detail {
 #define MEMQ_THROW(ExcType, msg)                                \
   do {                                                          \
     throw ExcType((std::ostringstream{} << msg).str());         \
+  } while (0)
+
+/// IoError variant carrying the errno: callers classify transient vs
+/// persistent failures from code().
+#define MEMQ_THROW_IO(msg, err)                                           \
+  do {                                                                    \
+    throw ::memq::IoError((std::ostringstream{} << msg).str(), (err));    \
   } while (0)
 
 #ifdef NDEBUG

@@ -1,0 +1,295 @@
+#include "common/faultpoint.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+
+namespace memq::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+// The central catalog: adding a fault point to the code without listing it
+// here leaves MEMQ_FAULT unable to match any armed schedule, and the
+// matrix test (tests/test_fault_injection.cpp) iterates this list — keep
+// both in sync.
+const std::vector<SiteInfo>& catalog() {
+  static const std::vector<SiteInfo>* sites = new std::vector<SiteInfo>{
+      {"blob.read.eio",
+       "transient EIO from a spill-file pread (recovered by bounded retry "
+       "with backoff; persistent failure surfaces as IoError)"},
+      {"blob.read.short",
+       "premature EOF from a spill-file pread (retried, then surfaced as "
+       "IoError naming path/offset/length)"},
+      {"blob.write.eio",
+       "transient EIO from a spill-file pwrite (recovered by bounded retry "
+       "with backoff; persistent failure degrades the store to RAM)"},
+      {"blob.write.enospc",
+       "ENOSPC from a spill-file pwrite (not retried; the store degrades to "
+       "RAM residency and stops spilling)"},
+      {"blob.allocate",
+       "ENOSPC growing the spill file (not retried; the store degrades to "
+       "RAM residency and stops spilling)"},
+      {"codec.decode.corrupt",
+       "checksum mismatch decoding a chunk blob (surfaced as CorruptData — "
+       "compressed state is the only copy, nothing to recover from)"},
+      {"cache.writeback",
+       "failure of a deferred cache write-back (retried from the "
+       "still-resident amplitudes; persistent failure surfaces as IoError "
+       "with the previous blob intact)"},
+      {"pager.acquire",
+       "lease-buffer allocation failure under budget pressure (surfaced as "
+       "OutOfMemory before any state is touched)"},
+      {"checkpoint.save",
+       "write failure mid checkpoint save (the temp-file + rename protocol "
+       "keeps the previous checkpoint; surfaced as IoError)"},
+      {"checkpoint.load",
+       "read corruption on checkpoint load (surfaced as CorruptData; the "
+       "in-memory state is replaced only after the stream validates)"},
+  };
+  return *sites;
+}
+
+enum class Mode : std::uint8_t { kNth, kEveryK, kProb };
+
+struct Schedule {
+  Mode mode = Mode::kNth;
+  std::uint64_t n = 1;  ///< kNth / kEveryK parameter
+  double p = 0.0;       ///< kProb parameter
+  std::string text;     ///< original spec fragment, for summary()
+};
+
+struct SiteState {
+  const Schedule* schedule = nullptr;  ///< null: count hits, never fire
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Schedule> schedules;       ///< owned storage for SiteState refs
+  std::vector<SiteState> sites;          ///< parallel to catalog()
+  std::uint64_t seed = 0;
+  std::uint64_t total_fires = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+int site_index(const char* name) {
+  const auto& sites = catalog();
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    if (std::strcmp(sites[i].name, name) == 0) return static_cast<int>(i);
+  return -1;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (; *s != '\0'; ++s) h = (h ^ static_cast<std::uint8_t>(*s)) *
+                              0x100000001B3ull;
+  return h;
+}
+
+std::uint64_t parse_count(const std::string& entry, const std::string& text) {
+  if (text.empty())
+    MEMQ_THROW(InvalidArgument, "fault spec '" << entry
+                                               << "': missing count");
+  for (const char c : text)
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      MEMQ_THROW(InvalidArgument, "fault spec '" << entry << "': '" << text
+                                                 << "' is not a count");
+  const std::uint64_t v = std::strtoull(text.c_str(), nullptr, 10);
+  if (v == 0)
+    MEMQ_THROW(InvalidArgument, "fault spec '" << entry
+                                               << "': count must be >= 1");
+  return v;
+}
+
+}  // namespace
+
+const std::vector<SiteInfo>& known_sites() { return catalog(); }
+
+void arm(const std::string& spec) {
+  // Parse into a fresh registry image first so a bad spec leaves the plane
+  // disarmed rather than half-armed.
+  std::vector<Schedule> schedules;
+  std::vector<int> site_of;  // parallel to schedules
+  std::uint64_t seed = 0;
+  std::size_t begin = 0;
+  bool any = false;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace.
+    while (!entry.empty() && std::isspace(static_cast<unsigned char>(
+                                 entry.front())))
+      entry.erase(entry.begin());
+    while (!entry.empty() && std::isspace(static_cast<unsigned char>(
+                                 entry.back())))
+      entry.pop_back();
+    if (entry.empty()) continue;
+    if (entry.rfind("seed=", 0) == 0) {
+      seed = parse_count(entry, entry.substr(5));
+      continue;
+    }
+    Schedule s;
+    std::string name = entry;
+    const std::size_t sep = entry.find_first_of("@%~");
+    if (sep != std::string::npos) {
+      name = entry.substr(0, sep);
+      const std::string param = entry.substr(sep + 1);
+      switch (entry[sep]) {
+        case '@':
+          s.mode = Mode::kNth;
+          s.n = parse_count(entry, param);
+          break;
+        case '%':
+          s.mode = Mode::kEveryK;
+          s.n = parse_count(entry, param);
+          break;
+        case '~': {
+          s.mode = Mode::kProb;
+          char* param_end = nullptr;
+          s.p = std::strtod(param.c_str(), &param_end);
+          if (param.empty() || param_end != param.c_str() + param.size() ||
+              s.p < 0.0 || s.p > 1.0)
+            MEMQ_THROW(InvalidArgument,
+                       "fault spec '" << entry
+                                      << "': probability must be in [0, 1]");
+          break;
+        }
+      }
+    }
+    const int idx = site_index(name.c_str());
+    if (idx < 0) {
+      std::string known;
+      for (const SiteInfo& info : catalog())
+        known += std::string(known.empty() ? "" : ", ") + info.name;
+      MEMQ_THROW(InvalidArgument, "unknown fault point '"
+                                      << name << "' (known: " << known
+                                      << ")");
+    }
+    s.text = entry;
+    schedules.push_back(std::move(s));
+    site_of.push_back(idx);
+    any = true;
+  }
+  if (!any)
+    MEMQ_THROW(InvalidArgument,
+               "fault spec '" << spec << "' names no fault points");
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.schedules = std::move(schedules);
+  r.sites.assign(catalog().size(), SiteState{});
+  for (std::size_t k = 0; k < r.schedules.size(); ++k)
+    r.sites[static_cast<std::size_t>(site_of[k])].schedule = &r.schedules[k];
+  r.seed = seed;
+  r.total_fires = 0;
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  Registry& r = registry();
+  detail::g_armed.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.schedules.clear();
+  r.sites.clear();
+  r.total_fires = 0;
+}
+
+bool init_from_env() {
+  if (armed()) return true;
+  const char* env = std::getenv("MEMQ_FAULTS");
+  if (env == nullptr || env[0] == '\0') return false;
+  arm(env);
+  return true;
+}
+
+bool should_fire(const char* site) {
+  const int idx = site_index(site);
+  MEMQ_CHECK(idx >= 0, "fault point '" << site << "' is not in the catalog");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.sites.empty()) return false;  // raced a disarm; nothing armed
+  SiteState& state = r.sites[static_cast<std::size_t>(idx)];
+  const std::uint64_t hit = ++state.hits;  // 1-based
+  const Schedule* s = state.schedule;
+  if (s == nullptr) return false;
+  bool fire = false;
+  switch (s->mode) {
+    case Mode::kNth:
+      fire = hit == s->n;
+      break;
+    case Mode::kEveryK:
+      fire = hit % s->n == 0;
+      break;
+    case Mode::kProb:
+      fire = static_cast<double>(splitmix64(r.seed ^ fnv1a(site) ^ hit)) <
+             s->p * 18446744073709551616.0;  // 2^64
+      break;
+  }
+  if (fire) {
+    ++state.fires;
+    ++r.total_fires;
+    MEMQ_TRACE_INSTANT("fault", site, trace::arg("hit", hit));
+  }
+  return fire;
+}
+
+std::uint64_t hits(const std::string& site) {
+  const int idx = site_index(site.c_str());
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (idx < 0 || r.sites.empty()) return 0;
+  return r.sites[static_cast<std::size_t>(idx)].hits;
+}
+
+std::uint64_t fires(const std::string& site) {
+  const int idx = site_index(site.c_str());
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (idx < 0 || r.sites.empty()) return 0;
+  return r.sites[static_cast<std::size_t>(idx)].fires;
+}
+
+std::uint64_t total_fires() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.total_fires;
+}
+
+std::vector<std::string> summary() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < r.sites.size(); ++i) {
+    const SiteState& s = r.sites[i];
+    if (s.schedule == nullptr) continue;
+    lines.push_back(std::string(catalog()[i].name) + " fired " +
+                    std::to_string(s.fires) + " of " +
+                    std::to_string(s.hits) + " hits [" + s.schedule->text +
+                    "]");
+  }
+  return lines;
+}
+
+}  // namespace memq::fault

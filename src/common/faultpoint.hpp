@@ -1,0 +1,88 @@
+// Deterministic fault-injection plane — the storage-plane counterpart of
+// the tracer (common/trace.hpp): named fault points are compiled into the
+// fallible sites of the hot path (blob-store I/O, codec decode, cache
+// write-back, lease acquisition, checkpoint save/load) and cost ONE relaxed
+// atomic load each while disarmed. Armed via `memq --faults SPEC` or the
+// MEMQ_FAULTS environment variable, every point follows a seeded schedule,
+// so a failing run is a reproducer line, not a flake.
+//
+// SPEC grammar (comma-separated entries):
+//   site            fire once, on the first hit
+//   site@N          fire once, on the Nth hit (1-based)
+//   site%K          fire on every Kth hit
+//   site~P          fire with probability P per hit (deterministic: the
+//                   decision is a hash of seed, site and hit index, so a
+//                   given seed always fires on the same hit numbers)
+//   seed=S          PRNG seed for ~P schedules (default 0)
+// e.g.  --faults 'blob.read.eio@3,codec.decode.corrupt%5,seed=7'
+//
+// Site names must come from known_sites() — a typo in a spec is an
+// InvalidArgument at arm() time, never a silently-never-firing schedule.
+//
+// Threading contract: arm()/disarm() are coordinator-only (call them while
+// no engine is running, like trace::start/stop). should_fire() is
+// thread-safe and may be called from codec-pool workers; when armed, every
+// hit is serialized on one mutex — fault runs measure correctness, not
+// throughput. Each fire emits a trace instant (cat "fault") when tracing is
+// on, so schedules are auditable in Perfetto next to the recovery they
+// triggered.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memq::fault {
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// The per-macro-site branch: one relaxed atomic load.
+inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// One catalogued fault point.
+struct SiteInfo {
+  const char* name;         ///< spec name, e.g. "blob.read.eio"
+  const char* description;  ///< what fails and how it is handled
+};
+
+/// Every fault point compiled into the binary, with its documented
+/// failure + recovery contract. Tests iterate this to build fault matrices.
+const std::vector<SiteInfo>& known_sites();
+
+/// Parses `spec` and arms the listed schedules (replacing any previous
+/// ones). Throws InvalidArgument on unknown sites or malformed schedules.
+void arm(const std::string& spec);
+
+/// Clears all schedules and counters; fault points go back to the single
+/// relaxed-load disabled path.
+void disarm();
+
+/// Arms from the MEMQ_FAULTS environment variable if set and not already
+/// armed. Returns true if the plane is (now) armed.
+bool init_from_env();
+
+/// Records a hit on `site` and returns true when its armed schedule says
+/// this hit fails. Sites without an armed schedule count hits but never
+/// fire. Call only when armed() (the MEMQ_FAULT macro guards).
+bool should_fire(const char* site);
+
+/// Counters since arm() (zero for unknown sites).
+std::uint64_t hits(const std::string& site);
+std::uint64_t fires(const std::string& site);
+/// Total fires across all sites since arm().
+std::uint64_t total_fires();
+
+/// One "site fired F of H hits [schedule]" line per armed site (for the
+/// CLI's end-of-run fault summary).
+std::vector<std::string> summary();
+
+}  // namespace memq::fault
+
+/// The site macro: disarmed cost is the single relaxed load in armed().
+#define MEMQ_FAULT(site) \
+  (::memq::fault::armed() && ::memq::fault::should_fire(site))

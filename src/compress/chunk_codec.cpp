@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "compress/checksum.hpp"
 
 namespace memq::compress {
@@ -72,6 +73,11 @@ void ChunkCodec::encode(std::span<const amp_t> amps, ByteBuffer& out) {
 
 void ChunkCodec::decode(std::span<const std::uint8_t> data,
                         std::span<amp_t> amps) {
+  // The injected failure takes the same path as a real flipped bit caught
+  // by the checksum below: compressed state is the only copy, so there is
+  // nothing to recover from — the typed error surfaces to the coordinator.
+  if (MEMQ_FAULT("codec.decode.corrupt"))
+    throw CorruptData("chunk: checksum mismatch (injected)");
   ByteReader r(data);
   if (r.u32() != kMagic) throw CorruptData("chunk: bad magic");
   if (r.u8() != kVersion) throw CorruptData("chunk: unsupported version");

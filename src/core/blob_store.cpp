@@ -5,12 +5,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
+#include "common/logging.hpp"
 #include "common/trace.hpp"
 #include "compress/chunk_codec.hpp"
 
@@ -56,6 +60,16 @@ constexpr std::uint64_t kRegionAlign = 512;
 std::uint64_t round_region(std::uint64_t bytes) {
   return (bytes + kRegionAlign - 1) / kRegionAlign * kRegionAlign;
 }
+
+/// Spill I/O errors worth retrying: the device may recover. ENOSPC is not
+/// here on purpose — a full disk stays full, so it degrades immediately.
+bool transient_io_errno(int err) { return err == EIO || err == EAGAIN; }
+
+constexpr int kMaxIoRetries = 3;
+
+void retry_backoff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 << (attempt - 1)));
+}
 }  // namespace
 
 FileBlobStore::FileBlobStore(std::uint64_t budget_bytes)
@@ -68,6 +82,7 @@ FileBlobStore::FileBlobStore(std::uint64_t budget_bytes)
   fd_ = ::mkstemp(buf.data());
   MEMQ_CHECK(fd_ >= 0, "cannot create spill file under '"
                            << path << "': " << std::strerror(errno));
+  path_ = buf.data();  // kept for error messages after the unlink below
   // Unlink immediately: the file lives exactly as long as this process
   // holds the descriptor — no cleanup path, no leftover temp files.
   ::unlink(buf.data());
@@ -89,11 +104,36 @@ void FileBlobStore::resize(index_t n_blobs) {
 void FileBlobStore::pwrite_fully(const void* data, std::uint64_t n,
                                  std::uint64_t off) {
   const char* p = static_cast<const char*>(data);
+  const std::uint64_t total = n;
+  const std::uint64_t base = off;
+  int attempts = 0;
   while (n > 0) {
-    const ssize_t w = ::pwrite(fd_, p, n, static_cast<off_t>(off));
+    ssize_t w;
+    if (MEMQ_FAULT("blob.write.enospc")) {
+      w = -1;
+      errno = ENOSPC;
+    } else if (MEMQ_FAULT("blob.write.eio")) {
+      w = -1;
+      errno = EIO;
+    } else {
+      w = ::pwrite(fd_, p, n, static_cast<off_t>(off));
+    }
     if (w < 0) {
-      if (errno == EINTR) continue;
-      MEMQ_THROW(Error, "spill-file write failed: " << std::strerror(errno));
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (transient_io_errno(err) && attempts < kMaxIoRetries) {
+        ++attempts;
+        ++stats_.io_retries;
+        MEMQ_TRACE_INSTANT("fault", "blob.write.retry",
+                           trace::arg("attempt", std::uint64_t(attempts)));
+        retry_backoff(attempts);
+        continue;
+      }
+      MEMQ_THROW_IO("spill-file write failed: '"
+                              << path_ << "' offset " << off << ", " << n
+                              << " of " << total << " bytes (region at "
+                              << base << "): " << std::strerror(err),
+                 err);
     }
     p += w;
     off += static_cast<std::uint64_t>(w);
@@ -102,15 +142,56 @@ void FileBlobStore::pwrite_fully(const void* data, std::uint64_t n,
 }
 
 void FileBlobStore::pread_fully(void* data, std::uint64_t n,
-                                std::uint64_t off) const {
+                                std::uint64_t off) {
   char* p = static_cast<char*>(data);
+  const std::uint64_t total = n;
+  const std::uint64_t base = off;
+  int attempts = 0;
   while (n > 0) {
-    const ssize_t r = ::pread(fd_, p, n, static_cast<off_t>(off));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      MEMQ_THROW(Error, "spill-file read failed: " << std::strerror(errno));
+    ssize_t r;
+    if (MEMQ_FAULT("blob.read.eio")) {
+      r = -1;
+      errno = EIO;
+    } else if (MEMQ_FAULT("blob.read.short")) {
+      r = 0;  // premature EOF, as if the file were truncated under us
+    } else {
+      r = ::pread(fd_, p, n, static_cast<off_t>(off));
     }
-    MEMQ_CHECK(r != 0, "spill file truncated");
+    if (r < 0) {
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (transient_io_errno(err) && attempts < kMaxIoRetries) {
+        ++attempts;
+        ++stats_.io_retries;
+        MEMQ_TRACE_INSTANT("fault", "blob.read.retry",
+                           trace::arg("attempt", std::uint64_t(attempts)));
+        retry_backoff(attempts);
+        continue;
+      }
+      MEMQ_THROW_IO("spill-file read failed: '"
+                              << path_ << "' offset " << off << ", " << n
+                              << " of " << total << " bytes (region at "
+                              << base << "): " << std::strerror(err),
+                 err);
+    }
+    if (r == 0) {
+      // Premature EOF. Retry like a transient error (the injection harness
+      // proves the path); a genuinely truncated file exhausts the retries
+      // and surfaces with full context.
+      if (attempts < kMaxIoRetries) {
+        ++attempts;
+        ++stats_.io_retries;
+        MEMQ_TRACE_INSTANT("fault", "blob.read.retry",
+                           trace::arg("attempt", std::uint64_t(attempts)));
+        retry_backoff(attempts);
+        continue;
+      }
+      MEMQ_THROW_IO("spill-file read truncated: '"
+                              << path_ << "' offset " << off << ", " << n
+                              << " of " << total << " bytes (region at "
+                              << base << ") past EOF",
+                 0);
+    }
     p += r;
     off += static_cast<std::uint64_t>(r);
     n -= static_cast<std::uint64_t>(r);
@@ -124,8 +205,28 @@ void FileBlobStore::touch_locked(index_t i) {
   lru_order_.emplace(e.lru, i);
 }
 
+void FileBlobStore::degrade_locked(const std::string& why) {
+  if (degraded_) return;
+  degraded_ = true;
+  stats_.degraded_to_ram = 1;
+  MEMQ_LOG_WARN << "FileBlobStore: spill to '" << path_
+                << "' failing persistently (" << why
+                << "); degrading to RAM residency — the " << budget_
+                << "-byte blob budget is no longer enforced";
+  MEMQ_TRACE_INSTANT("fault", "blob.degraded_to_ram", trace::arg("why", why));
+}
+
 void FileBlobStore::ensure_region_locked(Entry& e) {
   if (e.file_cap >= e.bytes) return;
+  // The fault check must come before any bookkeeping mutation: throwing
+  // after the old region moved to the free list would leave the entry
+  // pointing at a region another blob may reuse.
+  if (MEMQ_FAULT("blob.allocate"))
+    MEMQ_THROW_IO("spill-file region allocation failed: '"
+                            << path_ << "' growing to "
+                            << file_end_ + round_region(e.bytes)
+                            << " bytes: " << std::strerror(ENOSPC),
+               ENOSPC);
   if (e.file_cap > 0) free_regions_.emplace(e.file_cap, e.file_off);
   const std::uint64_t need = round_region(e.bytes);
   const auto it = free_regions_.lower_bound(need);
@@ -147,8 +248,15 @@ void FileBlobStore::evict_locked(index_t i) {
     MEMQ_TRACE_SCOPE("spill", "write",
                      trace::arg("blob", std::uint64_t{i}) + "," +
                          trace::arg("bytes", e.bytes));
-    ensure_region_locked(e);
-    pwrite_fully(e.ram.data(), e.bytes, e.file_off);
+    try {
+      ensure_region_locked(e);
+      pwrite_fully(e.ram.data(), e.bytes, e.file_off);
+    } catch (const IoError& err) {
+      // The resident copy is the only current one — dropping it would lose
+      // state. Keep the blob resident (over budget) and stop spilling.
+      degrade_locked(err.what());
+      return;
+    }
     e.on_disk = true;
     ++stats_.spill_writes;
     stats_.spill_bytes_written += e.bytes;
@@ -160,7 +268,8 @@ void FileBlobStore::evict_locked(index_t i) {
 }
 
 void FileBlobStore::make_room_locked(std::uint64_t need, index_t keep) {
-  while (stats_.resident_bytes + need > budget_ && !lru_order_.empty()) {
+  while (!degraded_ && stats_.resident_bytes + need > budget_ &&
+         !lru_order_.empty()) {
     const auto oldest = lru_order_.begin();
     if (oldest->second == keep) {
       // `keep` is being rewritten; its old bytes are gone already, so the
@@ -205,9 +314,10 @@ const compress::ByteBuffer& FileBlobStore::read(index_t i,
   }
   ++stats_.spill_reads;
   stats_.spill_bytes_read += e.bytes;
-  if (e.bytes <= budget_ && budget_ > 0) {
+  if (degraded_ || (e.bytes <= budget_ && budget_ > 0)) {
     // Promote resident-clean: the disk copy stays current, so a later
-    // eviction of this blob costs nothing.
+    // eviction of this blob costs nothing. In degraded mode everything
+    // promotes — the file is failing, so stop depending on it.
     make_room_locked(e.bytes, i);
     admit_locked(i, compress::ByteBuffer(scratch));
   }
@@ -227,7 +337,7 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
   e.bytes = blob.size();
   e.zero = zero;
   e.on_disk = false;  // any disk copy is now stale (region stays reserved)
-  if (e.bytes <= budget_ && budget_ > 0) {
+  if (degraded_ || (e.bytes <= budget_ && budget_ > 0)) {
     make_room_locked(e.bytes, i);
     admit_locked(i, std::move(blob));
   } else {
@@ -235,8 +345,16 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
     MEMQ_TRACE_SCOPE("spill", "write",
                      trace::arg("blob", std::uint64_t{i}) + "," +
                          trace::arg("bytes", e.bytes));
-    ensure_region_locked(e);
-    pwrite_fully(blob.data(), e.bytes, e.file_off);
+    try {
+      ensure_region_locked(e);
+      pwrite_fully(blob.data(), e.bytes, e.file_off);
+    } catch (const IoError& err) {
+      // `blob` is the only current copy; losing it here would silently
+      // corrupt the state. Keep it resident and degrade instead.
+      degrade_locked(err.what());
+      admit_locked(i, std::move(blob));
+      return;
+    }
     e.on_disk = true;
     ++stats_.spill_writes;
     stats_.spill_bytes_written += e.bytes;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -39,6 +40,8 @@ class BlobStore {
     std::uint64_t resident_bytes = 0;      ///< compressed bytes in host RAM
     std::uint64_t peak_resident_bytes = 0;
     std::uint64_t file_bytes = 0;          ///< backing-file high-water mark
+    std::uint64_t io_retries = 0;          ///< transient spill I/O retries
+    std::uint64_t degraded_to_ram = 0;     ///< 1 after persistent spill failure
   };
 
   virtual ~BlobStore() = default;
@@ -129,6 +132,14 @@ class FileBlobStore final : public BlobStore {
   Stats stats() const override;
 
   std::uint64_t budget_bytes() const noexcept { return budget_; }
+  /// Backing-file path (for error messages; the inode is already unlinked).
+  const std::string& path() const noexcept { return path_; }
+  /// True once a persistent spill failure switched the store to keeping
+  /// every blob resident (the budget is no longer enforced).
+  bool degraded() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_;
+  }
 
  private:
   struct Entry {
@@ -151,10 +162,15 @@ class FileBlobStore final : public BlobStore {
   /// Ensures entry has a file region of >= entry.bytes capacity.
   void ensure_region_locked(Entry& e);
   void admit_locked(index_t i, compress::ByteBuffer&& bytes);
+  /// Switches to RAM residency after a persistent spill failure (warns once,
+  /// sets stats().degraded_to_ram; later writes stop spilling).
+  void degrade_locked(const std::string& why);
   void pwrite_fully(const void* data, std::uint64_t n, std::uint64_t off);
-  void pread_fully(void* data, std::uint64_t n, std::uint64_t off) const;
+  void pread_fully(void* data, std::uint64_t n, std::uint64_t off);
 
   const std::uint64_t budget_;
+  std::string path_;
+  bool degraded_ = false;
   int fd_ = -1;
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;

@@ -1,8 +1,10 @@
 #include "core/chunk_cache.hpp"
 
 #include <algorithm>
+#include <cerrno>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "core/chunk_store.hpp"
@@ -91,6 +93,28 @@ void ChunkCache::guard_slot(index_t i) {
 }
 
 void ChunkCache::writeback(index_t slot, std::vector<amp_t> buf) {
+  // Injected write-back failures are recoverable by construction: `buf`
+  // still holds the amplitudes and the store's previous blob stays intact
+  // (blob replacement is atomic at blob granularity), so a retry simply
+  // re-submits from the clean resident copy.
+  constexpr int kMaxWritebackRetries = 3;
+  for (int attempt = 1; MEMQ_FAULT("cache.writeback"); ++attempt) {
+    ++stats_.writeback_retries;
+    MEMQ_TRACE_INSTANT("fault", "cache.writeback.retry",
+                       trace::arg("attempt", std::uint64_t(attempt)));
+    if (attempt >= kMaxWritebackRetries) {
+      // Persistent failure: undo this write-back's accounting so the
+      // typed error surfaces without leaking ledger bytes, leaving the
+      // previous blob as the store's (stale but uncorrupted) contents.
+      ledger_.release(chunk_raw_bytes_);
+      buffers_.put(std::move(buf));
+      MEMQ_THROW_IO("cache write-back of chunk "
+                              << slot << " failed after "
+                              << kMaxWritebackRetries
+                              << " attempts (injected); previous blob kept",
+                 EIO);
+    }
+  }
   writer_.put({slot, 0, false}, std::move(buf));
   pending_wb_.insert(slot);
 }
@@ -264,7 +288,7 @@ void ChunkCache::flush() {
     std::copy(entry.data.begin(), entry.data.end(), buf.begin());
     ledger_.acquire(chunk_raw_bytes_);
     ++stats_.writebacks;
-    writer_.put({slot, 0, false}, std::move(buf));
+    writeback(slot, std::move(buf));
     entry.dirty = false;
   }
   writer_.drain();

@@ -59,6 +59,8 @@ struct ChunkCacheStats {
   std::uint64_t clean_evictions = 0;  ///< evictions that skipped the encode
   std::uint64_t stores_absorbed = 0;  ///< store() calls deferred in-cache
   std::uint64_t peak_resident_bytes = 0;
+  std::uint64_t writeback_retries = 0;  ///< failed write-backs re-submitted
+                                        ///< from the resident copy
 
   /// Raw amplitude bytes whose codec pass was avoided: every hit skips one
   /// decode; absorbed stores minus eventual write-backs are skipped encodes.

@@ -5,8 +5,10 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
 #include "common/bit_ops.hpp"
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "sv/kernels.hpp"
 
 namespace memq::core {
@@ -298,9 +300,11 @@ constexpr std::uint32_t kStateVersion = 2;
 }  // namespace
 
 void CompressedEngineBase::save_state(const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  MEMQ_CHECK(static_cast<bool>(out), "cannot open checkpoint '" << path
-                                                                << "'");
+  // Temp-file + rename: a failure anywhere below (including the injected
+  // checkpoint.save fault at commit) leaves any previous checkpoint at
+  // `path` intact.
+  AtomicFileWriter writer(path);
+  std::ofstream& out = writer.stream();
   out.write(kStateMagic, sizeof kStateMagic);
   const std::uint32_t version = kStateVersion;
   out.write(reinterpret_cast<const char*>(&version), sizeof version);
@@ -314,12 +318,19 @@ void CompressedEngineBase::save_state(const std::string& path) {
   }
   pager_.checkpoint_to(out);
   MEMQ_CHECK(out.good(), "checkpoint write failed");
+  writer.commit();
 }
 
 void CompressedEngineBase::load_state(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   MEMQ_CHECK(static_cast<bool>(in), "cannot open checkpoint '" << path
                                                                << "'");
+  // Injected before any header parse: a corrupt checkpoint surfaces as
+  // CorruptData with the in-memory state untouched (restore_from replaces
+  // it only after the whole stream validates).
+  if (MEMQ_FAULT("checkpoint.load"))
+    throw CorruptData("checkpoint '" + path +
+                      "': corrupt stream (injected)");
   char magic[sizeof kStateMagic];
   in.read(magic, sizeof magic);
   std::uint32_t n = 0;

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 
 namespace memq::core {
 
@@ -58,9 +60,10 @@ std::vector<double> DenseEngine::marginal_probabilities(
 }
 
 void DenseEngine::save_state(const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  MEMQ_CHECK(static_cast<bool>(out), "cannot open checkpoint '" << path
-                                                                << "'");
+  // Same temp-file + rename protocol as the compressed engines: a failure
+  // mid-save never destroys a previous checkpoint at `path`.
+  AtomicFileWriter writer(path);
+  std::ofstream& out = writer.stream();
   static constexpr char kMagic[8] = {'M', 'Q', 'D', 'N', 'S', 'E', '0', '1'};
   out.write(kMagic, sizeof kMagic);
   const std::uint64_t n = sim_.n_qubits();
@@ -69,12 +72,16 @@ void DenseEngine::save_state(const std::string& path) {
   out.write(reinterpret_cast<const char*>(amps.data()),
             static_cast<std::streamsize>(amps.size() * sizeof(amp_t)));
   MEMQ_CHECK(out.good(), "checkpoint write failed");
+  writer.commit();
 }
 
 void DenseEngine::load_state(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   MEMQ_CHECK(static_cast<bool>(in), "cannot open checkpoint '" << path
                                                                << "'");
+  if (MEMQ_FAULT("checkpoint.load"))
+    throw CorruptData("dense checkpoint '" + path +
+                      "': corrupt stream (injected)");
   char magic[8];
   in.read(magic, sizeof magic);
   if (!in.good() || std::memcmp(magic, "MQDNSE01", 8) != 0)

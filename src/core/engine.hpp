@@ -78,6 +78,15 @@ struct EngineTelemetry {
   /// host_blob_budget_bytes for the file backend.
   std::uint64_t peak_resident_blob_bytes = 0;
 
+  /// Fault-injection + recovery counters (see common/faultpoint.hpp).
+  /// faults_injected is process-global fires since the last fault::arm();
+  /// io_retries counts transient spill I/O and cache write-back retries;
+  /// degraded_to_ram is 1 once a persistent spill failure switched the
+  /// file backend to RAM residency.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t degraded_to_ram = 0;
+
   std::size_t stages_local = 0;
   std::size_t stages_pair = 0;
   std::size_t stages_permute = 0;

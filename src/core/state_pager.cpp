@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "core/chunk_exec.hpp"
@@ -130,6 +131,10 @@ void StatePager::refresh_telemetry() {
   telemetry_.spill_bytes_written = bs.spill_bytes_written;
   telemetry_.spill_bytes_read = bs.spill_bytes_read;
   telemetry_.peak_resident_blob_bytes = store_.peak_resident_bytes();
+  telemetry_.io_retries =
+      bs.io_retries + (cache_ ? cache_->stats().writeback_retries : 0);
+  telemetry_.degraded_to_ram = bs.degraded_to_ram;
+  telemetry_.faults_injected = fault::total_fires();
 }
 
 // ---- leases --------------------------------------------------------------
@@ -179,6 +184,13 @@ void StatePager::store_timed(index_t i, std::span<const amp_t> in) {
 StatePager::Lease StatePager::acquire(ChunkJob job, bool writable) {
   MEMQ_TRACE_SCOPE("pager", writable ? "acquire_write" : "acquire_read",
                    trace::arg("chunk", job.a));
+  // Injected before any claim or buffer allocation: an acquisition failure
+  // must leave no live lease and no in-flight accounting behind.
+  if (MEMQ_FAULT("pager.acquire"))
+    MEMQ_THROW(OutOfMemory, "lease acquisition for chunk "
+                                << job.a
+                                << " failed (injected): working-buffer "
+                                   "budget exhausted");
   claim(job);
   Lease lease;
   lease.job_ = job;
@@ -320,6 +332,9 @@ StatePager::StageStream::~StageStream() = default;
 
 std::optional<StatePager::Lease> StatePager::StageStream::next() {
   MEMQ_TRACE_SCOPE("pager", "stage_next");
+  if (MEMQ_FAULT("pager.acquire"))
+    MEMQ_THROW(OutOfMemory, "stage-stream lease acquisition failed "
+                            "(injected): working-buffer budget exhausted");
   auto item = impl_->reader.next();
   if (!item) return std::nullopt;
   if (impl_->serial) {

@@ -184,5 +184,92 @@ TEST(ChunkCodec, LossyRejectsNonPositiveBound) {
   EXPECT_THROW(ChunkCodec codec(cfg), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Corruption fuzz: seeded random mutations of valid encodings. The decoder's
+// contract is that any corruption surfaces as CorruptData — never undefined
+// behavior, a crash, or a silently wrong decode (ASan/TSan CI runs make the
+// "never UB" half observable).
+
+TEST(ChunkCodecFuzz, RandomBitFlipsAlwaysSurfaceAsCorruptData) {
+  for (const char* compressor : {"szq", "null"}) {
+    ChunkCodecConfig cfg;
+    cfg.compressor = compressor;
+    ChunkCodec codec(cfg);
+    const auto amps = random_amps(1 << 10, 11);
+    ByteBuffer out;
+    codec.encode(amps, out);
+    Prng rng(12);
+    for (int trial = 0; trial < 200; ++trial) {
+      ByteBuffer corrupted = out;
+      // 1..4 independent bit flips anywhere in the frame, header included.
+      const int flips = 1 + static_cast<int>(rng.uniform_index(4));
+      for (int f = 0; f < flips; ++f)
+        corrupted[rng.uniform_index(corrupted.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+      if (corrupted == out) continue;  // flips canceled out: not a corruption
+      std::vector<amp_t> back(amps.size());
+      try {
+        codec.decode(corrupted, back);
+        ADD_FAILURE() << compressor << " trial " << trial
+                      << ": corruption went undetected";
+      } catch (const CorruptData&) {
+        // expected
+      }
+      try {
+        ChunkCodec::verify(corrupted);
+        ADD_FAILURE() << compressor << " trial " << trial
+                      << ": verify() missed the corruption";
+      } catch (const CorruptData&) {
+      }
+    }
+  }
+}
+
+TEST(ChunkCodecFuzz, EveryTruncationLengthSurfacesAsCorruptData) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const auto amps = random_amps(512, 13);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  Prng rng(14);
+  for (int trial = 0; trial < 200; ++trial) {
+    ByteBuffer cut = out;
+    cut.resize(rng.uniform_index(out.size()));  // 0 .. size-1 bytes kept
+    std::vector<amp_t> back(amps.size());
+    EXPECT_THROW(codec.decode(cut, back), CorruptData)
+        << "truncation to " << cut.size() << " bytes went undetected";
+    EXPECT_THROW(ChunkCodec::verify(cut), CorruptData);
+  }
+}
+
+TEST(ChunkCodecFuzz, RandomGarbageNeverDecodes) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  Prng rng(15);
+  for (int trial = 0; trial < 100; ++trial) {
+    ByteBuffer garbage(1 + rng.uniform_index(256), 0);
+    for (std::size_t i = 0; i < garbage.size(); ++i)
+      garbage[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+    std::vector<amp_t> back(64);
+    EXPECT_THROW(codec.decode(garbage, back), CorruptData);
+  }
+}
+
+TEST(ChunkCodecFuzz, CorruptedZeroChunkHeaderDetected) {
+  // The all-zero fast path carries no payload; its frame must still be
+  // checksummed so metadata corruption cannot smuggle in a bogus count.
+  ChunkCodec codec(ChunkCodecConfig{});
+  const std::vector<amp_t> zeros(256);
+  ByteBuffer out;
+  codec.encode(zeros, out);
+  ASSERT_TRUE(ChunkCodec::is_zero_chunk(out));
+  Prng rng(16);
+  for (int trial = 0; trial < 50; ++trial) {
+    ByteBuffer corrupted = out;
+    corrupted[rng.uniform_index(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    std::vector<amp_t> back(zeros.size());
+    EXPECT_THROW(codec.decode(corrupted, back), CorruptData);
+  }
+}
+
 }  // namespace
 }  // namespace memq::compress

@@ -1,0 +1,381 @@
+// The fault-injection plane (common/faultpoint.hpp) and the storage-plane
+// recovery it exercises: spec parsing, schedule semantics, and a full fault
+// matrix over every catalogued site asserting the documented contract —
+// each injected failure either recovers with amplitudes bit-identical to a
+// fault-free run or surfaces as a typed memq::Error, never a crash, hang,
+// or silent wrong answer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/error.hpp"
+#include "common/faultpoint.hpp"
+#include "core/blob_store.hpp"
+#include "core/engine.hpp"
+
+namespace memq::core {
+namespace {
+
+// Every test leaves the plane disarmed, armed state must never leak into
+// the rest of the suite.
+class FaultPlaneTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+// A configuration that routes every storage-plane code path through its
+// fault points: the file backend with a zero resident budget (every blob
+// access is spill I/O) and a small write-back cache (dirty evictions).
+EngineConfig fault_cfg(std::uint32_t codec_threads = 1) {
+  EngineConfig cfg;
+  cfg.chunk_qubits = 3;
+  cfg.codec.bound = 1e-9;
+  cfg.codec_threads = codec_threads;
+  cfg.store_backend = StoreBackend::kFile;
+  cfg.host_blob_budget_bytes = 0;
+  cfg.cache_budget_bytes = 3 * (sizeof(amp_t) << 3);  // three chunks resident
+  return cfg;
+}
+
+circuit::Circuit scenario_circuit() {
+  return circuit::make_random_circuit(/*n=*/6, /*depth=*/4, /*seed=*/42,
+                                      /*haar_1q=*/true);
+}
+
+std::vector<amp_t> dense_of(Engine& engine) {
+  const auto sv = engine.to_dense();
+  std::vector<amp_t> out(dim_of(engine.n_qubits()));
+  for (index_t i = 0; i < static_cast<index_t>(out.size()); ++i)
+    out[static_cast<std::size_t>(i)] = sv.amplitude(i);
+  return out;
+}
+
+// Runs the circuit, checkpoints, restores into a fresh engine, and returns
+// the restored amplitudes — touching spill reads/writes/allocation, codec
+// decodes, cache write-backs, lease acquisition, and checkpoint save/load.
+std::vector<amp_t> run_scenario(const EngineConfig& cfg,
+                                const std::string& ckpt) {
+  auto engine = make_engine(EngineKind::kMemQSim, 6, cfg);
+  engine->run(scenario_circuit());
+  engine->save_state(ckpt);
+  auto fresh = make_engine(EngineKind::kMemQSim, 6, cfg);
+  fresh->load_state(ckpt);
+  return dense_of(*fresh);
+}
+
+bool bit_identical(const std::vector<amp_t>& a, const std::vector<amp_t>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(amp_t)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing and schedule semantics (no engine involved).
+
+TEST_F(FaultPlaneTest, UnknownSiteRejectedAtArmTimeListingCatalog) {
+  try {
+    fault::arm("blob.reed.eio@1");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown fault point"), std::string::npos) << what;
+    // The error lists the catalog, so a typo is self-correcting.
+    EXPECT_NE(what.find("blob.read.eio"), std::string::npos) << what;
+  }
+  EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultPlaneTest, MalformedSchedulesRejected) {
+  EXPECT_THROW(fault::arm("blob.read.eio@"), InvalidArgument);
+  EXPECT_THROW(fault::arm("blob.read.eio@x"), InvalidArgument);
+  EXPECT_THROW(fault::arm("blob.read.eio@0"), InvalidArgument);
+  EXPECT_THROW(fault::arm("blob.read.eio%0"), InvalidArgument);
+  EXPECT_THROW(fault::arm("blob.read.eio~1.5"), InvalidArgument);
+  EXPECT_THROW(fault::arm("blob.read.eio~"), InvalidArgument);
+  EXPECT_THROW(fault::arm("seed=3"), InvalidArgument);  // names no site
+  EXPECT_THROW(fault::arm(""), InvalidArgument);
+  EXPECT_FALSE(fault::armed()) << "a bad spec must leave the plane disarmed";
+}
+
+TEST_F(FaultPlaneTest, NthScheduleFiresExactlyOnce) {
+  fault::arm("blob.read.eio@3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(MEMQ_FAULT("blob.read.eio"));
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(fault::hits("blob.read.eio"), 6u);
+  EXPECT_EQ(fault::fires("blob.read.eio"), 1u);
+}
+
+TEST_F(FaultPlaneTest, EveryKScheduleFiresPeriodically) {
+  fault::arm("cache.writeback%2");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(MEMQ_FAULT("cache.writeback"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+  EXPECT_EQ(fault::fires("cache.writeback"), 3u);
+  EXPECT_EQ(fault::total_fires(), 3u);
+}
+
+TEST_F(FaultPlaneTest, ProbabilityScheduleIsSeedDeterministic) {
+  const auto pattern = [](const std::string& spec) {
+    fault::arm(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i)
+      fired.push_back(MEMQ_FAULT("codec.decode.corrupt"));
+    fault::disarm();
+    return fired;
+  };
+  const auto a = pattern("codec.decode.corrupt~0.5,seed=7");
+  const auto b = pattern("codec.decode.corrupt~0.5,seed=7");
+  EXPECT_EQ(a, b) << "same seed must fire on the same hit numbers";
+  const auto c = pattern("codec.decode.corrupt~0.5,seed=8");
+  EXPECT_NE(a, c) << "different seeds must differ (64 coin flips)";
+  const auto fires = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FaultPlaneTest, DisarmedHitsAreNotCounted) {
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(MEMQ_FAULT("blob.read.eio"));
+  fault::arm("blob.read.eio@1");
+  EXPECT_EQ(fault::hits("blob.read.eio"), 0u)
+      << "the disarmed path must not reach the registry";
+}
+
+TEST_F(FaultPlaneTest, UnscheduledSitesCountHitsButNeverFire) {
+  fault::arm("blob.read.eio@1");
+  EXPECT_FALSE(MEMQ_FAULT("cache.writeback"));
+  EXPECT_EQ(fault::hits("cache.writeback"), 1u);
+  EXPECT_EQ(fault::fires("cache.writeback"), 0u);
+}
+
+TEST_F(FaultPlaneTest, SummaryReportsFiredOfHits) {
+  fault::arm("blob.read.eio@2");
+  for (int i = 0; i < 3; ++i) (void)MEMQ_FAULT("blob.read.eio");
+  const auto lines = fault::summary();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("blob.read.eio fired 1 of 3 hits"),
+            std::string::npos)
+      << lines[0];
+}
+
+TEST_F(FaultPlaneTest, InitFromEnvArmsOnce) {
+  ASSERT_EQ(::setenv("MEMQ_FAULTS", "pager.acquire@2", 1), 0);
+  EXPECT_TRUE(fault::init_from_env());
+  EXPECT_TRUE(fault::armed());
+  ::unsetenv("MEMQ_FAULTS");
+}
+
+// ---------------------------------------------------------------------------
+// The full fault matrix: every catalogued site, fired once and on an
+// every-K schedule, through a scenario that reaches all of them.
+
+TEST_F(FaultPlaneTest, FullMatrixRecoversBitIdenticalOrThrowsTyped) {
+  const std::string dir = ::testing::TempDir();
+  const auto baseline = run_scenario(fault_cfg(), dir + "fault_base.ckpt");
+  for (const fault::SiteInfo& site : fault::known_sites()) {
+    for (const std::string sched : {"@1", "%3"}) {
+      const std::string spec = std::string(site.name) + sched;
+      SCOPED_TRACE("--faults '" + spec + "'");
+      fault::arm(spec);
+      bool threw = false;
+      std::vector<amp_t> out;
+      try {
+        out = run_scenario(fault_cfg(), dir + "fault_armed.ckpt");
+      } catch (const Error&) {
+        // A documented typed failure. Anything that is not a memq::Error
+        // escapes the harness and fails the test — that is the contract.
+        threw = true;
+      }
+      EXPECT_GE(fault::hits(site.name), 1u)
+          << "the scenario never reached fault point " << site.name;
+      if (sched == "@1") {
+        EXPECT_EQ(fault::fires(site.name), 1u)
+            << site.name << " must fire exactly once under @1";
+      }
+      fault::disarm();
+      if (!threw) {
+        EXPECT_TRUE(bit_identical(out, baseline))
+            << "recovered run diverged from the fault-free run";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery policies, one by one.
+
+TEST_F(FaultPlaneTest, TransientWriteFaultRetriedAndCounted) {
+  const auto circ = scenario_circuit();
+  auto clean = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  clean->run(circ);
+  const auto expected = dense_of(*clean);
+
+  fault::arm("blob.write.eio@1");
+  auto engine = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  engine->run(circ);
+  const auto got = dense_of(*engine);
+  const EngineTelemetry& t = engine->telemetry();
+  EXPECT_GE(t.io_retries, 1u);
+  EXPECT_GE(t.faults_injected, 1u);
+  EXPECT_EQ(t.degraded_to_ram, 0u);
+  EXPECT_TRUE(bit_identical(got, expected));
+}
+
+TEST_F(FaultPlaneTest, EnospcDegradesToRamAndCompletes) {
+  const auto circ = scenario_circuit();
+  auto clean = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  clean->run(circ);
+  const auto expected = dense_of(*clean);
+
+  for (const char* spec : {"blob.write.enospc@1", "blob.allocate@1"}) {
+    SCOPED_TRACE(spec);
+    fault::arm(spec);
+    auto engine = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+    engine->run(circ);
+    const auto got = dense_of(*engine);
+    EXPECT_EQ(engine->telemetry().degraded_to_ram, 1u)
+        << "a persistent spill failure must degrade the store to RAM";
+    EXPECT_TRUE(bit_identical(got, expected))
+        << "degraded residency must not change amplitudes";
+    fault::disarm();
+  }
+}
+
+TEST_F(FaultPlaneTest, PersistentWritebackFailureSurfacesIoError) {
+  fault::arm("cache.writeback%1");  // every attempt fails: retries exhaust
+  auto engine = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  try {
+    engine->run(scenario_circuit());
+    engine->save_state(::testing::TempDir() + "fault_wb.ckpt");
+    FAIL() << "expected IoError from an exhausted write-back retry";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), EIO);
+    EXPECT_NE(std::string(e.what()).find("write-back"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(FaultPlaneTest, SpillIoErrorsCarryPathOffsetLengthErrno) {
+  FileBlobStore store(/*budget_bytes=*/0);
+  store.resize(1);
+  compress::ChunkCodecConfig ccfg;
+  ccfg.compressor = "null";
+  compress::ChunkCodec codec(ccfg);
+  std::vector<amp_t> amps(16, amp_t{1.0, -1.0});
+  compress::ByteBuffer blob;
+  codec.encode(amps, blob);
+
+  fault::arm("blob.read.eio%1");  // every pread attempt fails
+  store.write(0, std::move(blob));
+  compress::ByteBuffer scratch;
+  try {
+    store.read(0, scratch);
+    FAIL() << "expected IoError after read retries exhaust";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(e.code(), EIO);
+    EXPECT_NE(what.find(store.path()), std::string::npos)
+        << "missing path in: " << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    EXPECT_NE(what.find("bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::strerror(EIO)), std::string::npos)
+        << "missing errno string in: " << what;
+  }
+}
+
+TEST_F(FaultPlaneTest, PersistentWriteFailureDegradesInsteadOfLosingData) {
+  // Even with EVERY pwrite failing, the store must never drop the only
+  // copy of a blob: it degrades to RAM residency and keeps serving reads.
+  FileBlobStore store(/*budget_bytes=*/0);
+  store.resize(1);
+  compress::ChunkCodecConfig ccfg;
+  ccfg.compressor = "null";
+  compress::ChunkCodec codec(ccfg);
+  std::vector<amp_t> amps(16, amp_t{2.0, 3.0});
+  compress::ByteBuffer blob;
+  codec.encode(amps, blob);
+  const compress::ByteBuffer expected = blob;
+
+  fault::arm("blob.write.eio%1");
+  store.write(0, std::move(blob));
+  EXPECT_TRUE(store.degraded());
+  EXPECT_EQ(store.stats().degraded_to_ram, 1u);
+  fault::disarm();
+  compress::ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint atomicity: a failed save must leave the previous checkpoint
+// loadable and no temp file behind.
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+TEST_F(FaultPlaneTest, FailedCheckpointSaveKeepsPreviousFile) {
+  const std::string path = ::testing::TempDir() + "fault_atomic.ckpt";
+  auto engine = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  engine->run(scenario_circuit());
+  const auto at_save = dense_of(*engine);
+  engine->save_state(path);
+  const auto good_bytes = slurp(path);
+  ASSERT_FALSE(good_bytes.empty());
+
+  // Mutate the state, then fail the next save mid-write.
+  engine->run(circuit::make_random_circuit(6, 2, 43, true));
+  fault::arm("checkpoint.save@1");
+  EXPECT_THROW(engine->save_state(path), IoError);
+  fault::disarm();
+
+  EXPECT_EQ(slurp(path), good_bytes)
+      << "a failed save must not touch the previous checkpoint";
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "the temp file must be removed on failure";
+
+  auto fresh = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  fresh->load_state(path);
+  EXPECT_TRUE(bit_identical(dense_of(*fresh), at_save));
+}
+
+TEST_F(FaultPlaneTest, CheckpointLoadFaultSurfacesCorruptData) {
+  const std::string path = ::testing::TempDir() + "fault_load.ckpt";
+  auto engine = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  engine->run(scenario_circuit());
+  engine->save_state(path);
+
+  fault::arm("checkpoint.load@1");
+  auto fresh = make_engine(EngineKind::kMemQSim, 6, fault_cfg());
+  EXPECT_THROW(fresh->load_state(path), CorruptData);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-thread faults must surface at the coordinator, not hang the
+// pipeline or escape on a worker thread.
+
+TEST_F(FaultPlaneTest, WorkerDecodeFaultSurfacesAtCoordinator) {
+  fault::arm("codec.decode.corrupt@1");
+  auto engine = make_engine(EngineKind::kMemQSim, 6, fault_cfg(4));
+  EXPECT_THROW(
+      {
+        engine->run(scenario_circuit());
+        (void)engine->to_dense();
+      },
+      CorruptData);
+}
+
+}  // namespace
+}  // namespace memq::core

@@ -26,6 +26,7 @@
 #include "circuit/qasm.hpp"
 #include "circuit/transpile.hpp"
 #include "circuit/workloads.hpp"
+#include "common/faultpoint.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
@@ -53,7 +54,9 @@ using namespace memq;
       "           [--store-backend ram|file] [--blob-budget BYTES[K|M|G]]\n"
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
       "           [--checkpoint f] [--restore f] [--telemetry-json f.json]\n"
-      "           [--trace f.json] [--stage-report]\n"
+      "           [--trace f.json] [--stage-report] [--faults SPEC]\n"
+      "  (--faults: deterministic fault injection, e.g.\n"
+      "   'blob.read.eio@3,codec.decode.corrupt%5,seed=7' — see DESIGN.md)\n"
       "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
       "  memq transfer --qubits N\n";
   std::exit(2);
@@ -304,6 +307,9 @@ int cmd_run(int argc, char** argv) {
     const char* env = std::getenv("MEMQ_TRACE");
     if (env != nullptr) trace_path = env;
   }
+  const std::string faults_spec = args.option("faults", "");
+  if (!faults_spec.empty())
+    fault::arm(faults_spec);  // InvalidArgument on a bad spec → exit 1
   const circuit::QasmProgram prog = circuit::parse_qasm_file(argv[2]);
   const qubit_t n = prog.circuit.n_qubits();
   std::cout << "parsed " << argv[2] << ": " << n << " qubits, "
@@ -404,6 +410,14 @@ int cmd_run(int argc, char** argv) {
               << " blobs / " << human_bytes(t.spill_bytes_read)
               << " read back\n";
   }
+  if (fault::armed()) {
+    std::cout << "fault injection: " << fault::total_fires() << " fires";
+    if (t.io_retries > 0) std::cout << ", " << t.io_retries << " I/O retries";
+    if (t.degraded_to_ram != 0) std::cout << ", degraded to RAM residency";
+    std::cout << "\n";
+    for (const std::string& line : fault::summary())
+      std::cout << "  " << line << "\n";
+  }
 
   const std::string json_path = args.option("telemetry-json", "");
   if (!json_path.empty()) {
@@ -413,7 +427,7 @@ int cmd_run(int argc, char** argv) {
       return 1;
     }
     jf << "{\n"
-       << "  \"schema_version\": 2,\n"
+       << "  \"schema_version\": 3,\n"
        << "  \"engine\": \"" << engine->name() << "\",\n"
        << "  \"qubits\": " << n << ",\n"
        << "  \"store_backend\": \""
@@ -439,7 +453,12 @@ int cmd_run(int argc, char** argv) {
        << "  \"spill_writes\": " << t.spill_writes << ",\n"
        << "  \"spill_reads\": " << t.spill_reads << ",\n"
        << "  \"spill_bytes_written\": " << t.spill_bytes_written << ",\n"
-       << "  \"spill_bytes_read\": " << t.spill_bytes_read << ",\n";
+       << "  \"spill_bytes_read\": " << t.spill_bytes_read << ",\n"
+       << "  \"faults_armed\": " << (fault::armed() ? "true" : "false")
+       << ",\n"
+       << "  \"faults_injected\": " << t.faults_injected << ",\n"
+       << "  \"io_retries\": " << t.io_retries << ",\n"
+       << "  \"degraded_to_ram\": " << t.degraded_to_ram << ",\n";
     jf << "  \"cpu_phases\": {";
     bool first_phase = true;
     for (const auto& [phase, seconds] : t.cpu_phases.totals()) {
@@ -537,6 +556,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   memq::trace::init_from_env();  // MEMQ_TRACE=file.json enables capture
   try {
+    memq::fault::init_from_env();  // MEMQ_FAULTS=SPEC arms fault injection
     if (cmd == "info") return cmd_info();
     if (cmd == "workload") return cmd_workload(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
