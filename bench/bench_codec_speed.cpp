@@ -1,0 +1,190 @@
+// Codec raw-speed bench (ISSUE 6 tentpole): szq encode/decode throughput in
+// MB/s of RAW amplitude bytes, swept over plane shapes × dispatch level
+// (forced scalar vs the widest ISA this CPU has) × shared-dictionary mode.
+// The scalar and SIMD arms encode byte-identical streams (test-enforced in
+// tests/test_simd_codec.cpp), so the ratio column is pure speed.
+//
+// Writes BENCH_codec_speed.json next to the binary for the driver.
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/cpu_features.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "compress/byte_buffer.hpp"
+#include "compress/compressor.hpp"
+#include "compress/dictionary.hpp"
+
+namespace {
+
+using namespace memq;
+using compress::ByteBuffer;
+using compress::DictContext;
+
+constexpr std::size_t kPlaneLen = std::size_t{1} << 16;
+constexpr double kEb = 1e-7;
+// Each measured cell runs at least this long (seconds) and this many reps.
+constexpr double kMinSeconds = 0.25;
+constexpr int kMinReps = 3;
+
+std::vector<double> make_plane(const std::string& kind) {
+  std::vector<double> v(kPlaneLen, 0.0);
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  if (kind == "smooth") {
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] = 1e-3 * std::sin(2e-4 * static_cast<double>(i));
+  } else if (kind == "haar") {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(v.size()));
+    for (auto& x : v) x = normal(rng) * scale;
+  } else if (kind == "sparse") {
+    for (std::size_t i = 0; i < v.size(); i += 50) v[i] = uni(rng);
+  }  // "zero": leave as-is
+  return v;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Cell {
+  double encode_mbps = 0.0;
+  double decode_mbps = 0.0;
+  double ratio = 0.0;  // raw bytes / encoded bytes
+};
+
+// Measures steady-state encode and decode throughput for one configuration.
+// `dict` (may be null) is used as-is — callers pre-train it.
+Cell measure(const compress::Compressor& comp, const std::vector<double>& plane,
+             DictContext* dict) {
+  const double raw_mb = static_cast<double>(plane.size() * sizeof(double)) / 1e6;
+
+  ByteBuffer encoded;
+  comp.compress(plane, kEb, encoded, dict);
+
+  Cell cell;
+  cell.ratio = static_cast<double>(plane.size() * sizeof(double)) /
+               static_cast<double>(encoded.size());
+
+  // Encode arm.
+  {
+    int reps = 0;
+    const double t0 = now_seconds();
+    double t1 = t0;
+    while (reps < kMinReps || t1 - t0 < kMinSeconds) {
+      ByteBuffer out;
+      comp.compress(plane, kEb, out, dict);
+      ++reps;
+      t1 = now_seconds();
+    }
+    cell.encode_mbps = raw_mb * reps / (t1 - t0);
+  }
+
+  // Decode arm.
+  {
+    std::vector<double> out(plane.size());
+    int reps = 0;
+    const double t0 = now_seconds();
+    double t1 = t0;
+    while (reps < kMinReps || t1 - t0 < kMinSeconds) {
+      comp.decompress(encoded, out, dict);
+      ++reps;
+      t1 = now_seconds();
+    }
+    cell.decode_mbps = raw_mb * reps / (t1 - t0);
+  }
+  return cell;
+}
+
+struct Row {
+  std::string plane;
+  std::string dict_mode;
+  Cell scalar;
+  Cell simd;
+};
+
+}  // namespace
+
+int main() {
+  const auto comp = compress::make_compressor("szq");
+  const simd::IsaLevel widest = simd::detected();
+
+  std::cout << "codec speed bench — szq, n = " << kPlaneLen
+            << " doubles/plane, eb = " << format_sci(kEb, 0)
+            << ", widest ISA: " << simd::name(widest) << "\n\n";
+
+  std::vector<Row> rows;
+  for (const std::string plane_kind : {"smooth", "haar", "sparse", "zero"}) {
+    const auto plane = make_plane(plane_kind);
+    for (const std::string dict_mode : {"off", "train"}) {
+      Row row;
+      row.plane = plane_kind;
+      row.dict_mode = dict_mode;
+
+      // One shared dictionary per (plane, mode) row, trained up front so
+      // both dispatch arms measure the same steady state. 8 observations
+      // of 64K tokens dominate the +1 alphabet smoothing.
+      std::shared_ptr<DictContext> dict;
+      if (dict_mode == "train") {
+        dict = std::make_shared<DictContext>();
+        for (int i = 0; i < 8 && dict->dict() == nullptr; ++i) {
+          ByteBuffer warm;
+          comp->compress(plane, kEb, warm, dict.get());
+        }
+        dict->train_now();
+      }
+
+      simd::force(simd::IsaLevel::kScalar);
+      row.scalar = measure(*comp, plane, dict.get());
+      simd::force(widest);
+      row.simd = measure(*comp, plane, dict.get());
+      simd::clear_force();
+      rows.push_back(row);
+    }
+  }
+
+  TextTable table({"plane", "dict", "ratio", "enc scalar MB/s",
+                   "enc " + std::string(simd::name(widest)) + " MB/s",
+                   "enc speedup", "dec scalar MB/s",
+                   "dec " + std::string(simd::name(widest)) + " MB/s",
+                   "dec speedup"});
+  for (const Row& r : rows) {
+    table.add_row({r.plane, r.dict_mode, format_fixed(r.simd.ratio, 2),
+                   format_fixed(r.scalar.encode_mbps, 1),
+                   format_fixed(r.simd.encode_mbps, 1),
+                   format_fixed(r.simd.encode_mbps / r.scalar.encode_mbps, 2) +
+                       "x",
+                   format_fixed(r.scalar.decode_mbps, 1),
+                   format_fixed(r.simd.decode_mbps, 1),
+                   format_fixed(r.simd.decode_mbps / r.scalar.decode_mbps, 2) +
+                       "x"});
+  }
+  table.print(std::cout);
+
+  std::ofstream json("BENCH_codec_speed.json");
+  json << "{\n  \"compressor\": \"szq\",\n  \"plane_len\": " << kPlaneLen
+       << ",\n  \"eb\": " << format_sci(kEb, 0) << ",\n  \"widest_isa\": \""
+       << simd::name(widest) << "\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"plane\": \"" << r.plane << "\", \"dict\": \""
+         << r.dict_mode << "\", \"ratio\": " << r.simd.ratio
+         << ", \"encode_mbps_scalar\": " << r.scalar.encode_mbps
+         << ", \"encode_mbps_simd\": " << r.simd.encode_mbps
+         << ", \"decode_mbps_scalar\": " << r.scalar.decode_mbps
+         << ", \"decode_mbps_simd\": " << r.simd.decode_mbps << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_codec_speed.json\n";
+  return 0;
+}

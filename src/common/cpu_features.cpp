@@ -1,0 +1,89 @@
+#include "common/cpu_features.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace memq::simd {
+
+namespace {
+
+IsaLevel probe() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+#endif
+  return IsaLevel::kSse2;  // architectural baseline on x86-64
+#else
+  return IsaLevel::kScalar;
+#endif
+}
+
+constexpr int kNoForce = -1;
+
+/// Forced cap, or kNoForce. The env var is folded in once at first use.
+std::atomic<int> g_force{kNoForce};
+
+int env_cap() noexcept {
+  const char* v = std::getenv("MEMQ_SIMD");
+  if (v == nullptr || *v == '\0') return kNoForce;
+  if (std::strcmp(v, "scalar") == 0 || std::strcmp(v, "off") == 0)
+    return static_cast<int>(IsaLevel::kScalar);
+  if (std::strcmp(v, "sse2") == 0) return static_cast<int>(IsaLevel::kSse2);
+  if (std::strcmp(v, "avx2") == 0) return static_cast<int>(IsaLevel::kAvx2);
+  MEMQ_LOG_WARN << "MEMQ_SIMD='" << v
+                << "' not recognized (want scalar|sse2|avx2); ignoring";
+  return kNoForce;
+}
+
+/// -2 = unread sentinel so the env var is parsed exactly once.
+std::atomic<int> g_env{-2};
+
+int env_cap_cached() noexcept {
+  int c = g_env.load(std::memory_order_relaxed);
+  if (c == -2) {
+    c = env_cap();
+    g_env.store(c, std::memory_order_relaxed);
+  }
+  return c;
+}
+
+}  // namespace
+
+IsaLevel detected() noexcept {
+  static const IsaLevel level = probe();
+  return level;
+}
+
+IsaLevel active() noexcept {
+  const int det = static_cast<int>(detected());
+  // An explicit force() wins outright (tests pin lanes past an env cap);
+  // otherwise MEMQ_SIMD caps detection. Either way, never above detected.
+  const int forced = g_force.load(std::memory_order_relaxed);
+  if (forced != kNoForce) return static_cast<IsaLevel>(std::min(forced, det));
+  const int env = env_cap_cached();
+  if (env != kNoForce) return static_cast<IsaLevel>(std::min(env, det));
+  return static_cast<IsaLevel>(det);
+}
+
+void force(IsaLevel level) noexcept {
+  g_force.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_force() noexcept {
+  g_force.store(kNoForce, std::memory_order_relaxed);
+}
+
+const char* name(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kScalar: return "scalar";
+    case IsaLevel::kSse2: return "sse2";
+    case IsaLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace memq::simd

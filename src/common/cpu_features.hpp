@@ -1,0 +1,41 @@
+// Runtime CPU-feature detection and SIMD dispatch control for the codec
+// hot loops (compress/simd_kernels.*). One process-global ISA level:
+//
+//   active() = min(detected(), forced level)
+//
+// where the forced level comes from force() (the `--no-simd` escape hatch,
+// tests pinning a lane) or the MEMQ_SIMD environment variable
+// ("scalar"/"off", "sse2", "avx2") read on first use. Every vectorized
+// kernel has a scalar fallback that is byte-identical by construction
+// (test-enforced in tests/test_simd_codec.cpp), so the level only changes
+// speed, never output.
+#pragma once
+
+#include <cstdint>
+
+namespace memq::simd {
+
+enum class IsaLevel : std::uint8_t {
+  kScalar = 0,  ///< portable C++ paths only
+  kSse2 = 1,    ///< 2-wide double kernels (baseline on x86-64)
+  kAvx2 = 2,    ///< 4-wide double kernels
+};
+
+/// Highest level this CPU supports (cached cpuid probe).
+IsaLevel detected() noexcept;
+
+/// The level kernels dispatch on: detection capped by force()/MEMQ_SIMD.
+IsaLevel active() noexcept;
+
+/// Pins active() to `level` (clamped to detected()), overriding MEMQ_SIMD.
+/// Coordinator-only, like fault::arm — call while no codec work is in
+/// flight.
+void force(IsaLevel level) noexcept;
+
+/// Removes the force() pin; MEMQ_SIMD (if set) applies again as a cap.
+void clear_force() noexcept;
+
+/// "scalar" | "sse2" | "avx2".
+const char* name(IsaLevel level) noexcept;
+
+}  // namespace memq::simd

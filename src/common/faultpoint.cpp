@@ -37,6 +37,9 @@ const std::vector<SiteInfo>& catalog() {
       {"blob.allocate",
        "ENOSPC growing the spill file (not retried; the store degrades to "
        "RAM residency and stops spilling)"},
+      {"blob.mmap.map",
+       "failure mapping/growing the spill file's mmap window (not retried; "
+       "the store falls back to pread/pwrite spill I/O permanently)"},
       {"codec.decode.corrupt",
        "checksum mismatch decoding a chunk blob (surfaced as CorruptData — "
        "compressed state is the only copy, nothing to recover from)"},

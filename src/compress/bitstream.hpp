@@ -1,5 +1,12 @@
 // Bit-granular writer/reader on top of ByteBuffer, LSB-first within bytes.
 // Used by the Huffman coder, the Gorilla codec and the bit-plane codec.
+//
+// Hot-path shape: the writer accumulates up to 63 bits and appends whole
+// 64-bit words; the reader refills up to 8 bytes per bounds check and
+// exposes peek/consume so table-driven decoders (Huffman LUT) pay one
+// bounds check per symbol instead of one per bit. Byte output/consumption
+// is identical to the historical per-byte loops — the bit->byte mapping is
+// position-determined, so batching changes speed, never bytes.
 #pragma once
 
 #include <algorithm>
@@ -25,36 +32,49 @@ class BitWriter {
   void write(std::uint64_t bits, unsigned n) {
     MEMQ_ASSERT(n <= 64);
     bits &= detail::low_mask(n);
-    // Invariant between calls: fill_ < 8, so a <=56-bit chunk always fits
-    // in the 64-bit accumulator.
-    while (n > 0) {
-      const unsigned take = std::min(n, 56u);
-      acc_ |= (bits & detail::low_mask(take)) << fill_;
-      fill_ += take;
-      while (fill_ >= 8) {
-        out_.push_back(static_cast<std::uint8_t>(acc_));
-        acc_ >>= 8;
-        fill_ -= 8;
-      }
-      bits >>= take;
-      n -= take;
+    // Invariant between calls: fill_ < 64.
+    if (fill_ + n < 64) {
+      acc_ |= bits << fill_;
+      fill_ += n;
+      return;
     }
+    const unsigned take = 64 - fill_;  // take <= n, since fill_ + n >= 64
+    acc_ |= take >= 64 ? bits : (bits & detail::low_mask(take)) << fill_;
+    flush_word();
+    acc_ = take >= 64 ? 0 : bits >> take;
+    fill_ = n - take;
   }
 
   void write_bit(bool b) { write(b ? 1 : 0, 1); }
 
   /// Pads to a byte boundary with zero bits.
   void flush() {
-    if (fill_ > 0) {
+    while (fill_ > 0) {
       out_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ = 0;
-      fill_ = 0;
+      acc_ >>= 8;
+      fill_ = fill_ > 8 ? fill_ - 8 : 0;
     }
+    acc_ = 0;
   }
+
+  /// Pre-sizes the output for ~`n` more bits (one amortized allocation when
+  /// the encoder knows its size up front).
+  void reserve_bits(std::size_t n) { out_.reserve(out_.size() + n / 8 + 8); }
 
   std::size_t bits_written() const noexcept { return out_.size() * 8 + fill_; }
 
  private:
+  void flush_word() {
+    const std::size_t at = out_.size();
+    out_.resize(at + 8);
+    std::uint8_t* p = out_.data() + at;
+    std::uint64_t a = acc_;
+    for (int b = 0; b < 8; ++b) {  // folds to one store on little-endian
+      p[b] = static_cast<std::uint8_t>(a);
+      a >>= 8;
+    }
+  }
+
   ByteBuffer& out_;
   std::uint64_t acc_ = 0;
   unsigned fill_ = 0;
@@ -82,6 +102,27 @@ class BitReader {
 
   bool read_bit() { return read(1) != 0; }
 
+  /// Ensures >= n buffered bits when the stream still has them; returns
+  /// whether it succeeded. Never throws — callers fall back to the
+  /// bit-by-bit path (which reports truncation) when this returns false.
+  bool prefetch(unsigned n) {
+    MEMQ_ASSERT(n <= 56);
+    if (fill_ < n) refill_soft();
+    return fill_ >= n;
+  }
+
+  /// Next `n` buffered bits without consuming. Requires prefetch(n) == true.
+  std::uint64_t peek(unsigned n) const noexcept {
+    return acc_ & detail::low_mask(n);
+  }
+
+  /// Drops `n` buffered bits. Requires n <= buffered bits.
+  void consume(unsigned n) {
+    MEMQ_ASSERT(n <= fill_);
+    acc_ >>= n;
+    fill_ -= n;
+  }
+
   /// Discards buffered bits up to the next byte boundary.
   void align() {
     const unsigned drop = fill_ % 8;
@@ -92,11 +133,29 @@ class BitReader {
   std::size_t bits_consumed() const noexcept { return pos_ * 8 - fill_; }
 
  private:
-  void refill() {
+  void refill_soft() noexcept {
+    const std::size_t avail = data_.size() - pos_;
+    if (avail >= 8 && fill_ < 56) {
+      // Bulk path: one unaligned 8-byte load (the shift-OR folds to a
+      // single little-endian load), keep as many whole bytes as fit.
+      const std::uint8_t* p = data_.data() + pos_;
+      std::uint64_t w = 0;
+      for (unsigned b = 0; b < 8; ++b)
+        w |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+      const unsigned take = (64 - fill_) >> 3;  // bytes, 1..8
+      acc_ |= (w & detail::low_mask(8 * take)) << fill_;
+      pos_ += take;
+      fill_ += 8 * take;
+      return;
+    }
     while (fill_ <= 56 && pos_ < data_.size()) {
       acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << fill_;
       fill_ += 8;
     }
+  }
+
+  void refill() {
+    refill_soft();
     if (fill_ == 0)
       throw CorruptData("bit stream truncated at bit " +
                         std::to_string(bits_consumed()));

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
 #include "compress/checksum.hpp"
+#include "compress/dictionary.hpp"
+#include "compress/simd_kernels.hpp"
 
 namespace memq::compress {
 
@@ -34,11 +36,10 @@ void ChunkCodec::encode(std::span<const amp_t> amps, ByteBuffer& out) {
   w.u8(kVersion);
   w.varint(amps.size());
 
-  double max_abs = 0.0;
-  for (const amp_t& a : amps) {
-    max_abs = std::max(max_abs, std::fabs(a.real()));
-    max_abs = std::max(max_abs, std::fabs(a.imag()));
-  }
+  // amp_t is std::complex<double>, guaranteed array-compatible with
+  // double[2] — treat the chunk as 2n contiguous doubles for the kernels.
+  const auto* flat = reinterpret_cast<const double*>(amps.data());
+  const double max_abs = simd_kernels::max_abs(flat, 2 * amps.size());
 
   std::uint8_t flags = config_.checksum ? kFlagChecksum : 0;
   if (max_abs == 0.0) {
@@ -55,15 +56,12 @@ void ChunkCodec::encode(std::span<const amp_t> amps, ByteBuffer& out) {
 
   re_.resize(amps.size());
   im_.resize(amps.size());
-  for (std::size_t i = 0; i < amps.size(); ++i) {
-    re_[i] = amps[i].real();
-    im_[i] = amps[i].imag();
-  }
+  simd_kernels::split_interleaved(flat, amps.size(), re_.data(), im_.data());
 
   ByteBuffer plane;
   for (const auto* src : {&re_, &im_}) {
     plane.clear();
-    compressor_->compress(*src, eb_abs, plane);
+    compressor_->compress(*src, eb_abs, plane, config_.dict.get());
     w.varint(plane.size());
     w.bytes(plane);
   }
@@ -107,10 +105,10 @@ void ChunkCodec::decode(std::span<const std::uint8_t> data,
   for (auto* dst : {&re_, &im_}) {
     const std::uint64_t len = r.varint();
     const auto payload = r.bytes(len);
-    compressor_->decompress(payload, *dst);
+    compressor_->decompress(payload, *dst, config_.dict.get());
   }
-  for (std::size_t i = 0; i < amps.size(); ++i)
-    amps[i] = amp_t{re_[i], im_[i]};
+  simd_kernels::merge_interleaved(re_.data(), im_.data(), amps.size(),
+                                  reinterpret_cast<double*>(amps.data()));
 }
 
 std::uint64_t ChunkCodec::stored_count(std::span<const std::uint8_t> data) {

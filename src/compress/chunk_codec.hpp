@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,10 +23,18 @@
 
 namespace memq::compress {
 
+class DictContext;  // dictionary.hpp
+
 /// How the configured bound is interpreted.
 enum class ErrorMode : std::uint8_t {
   kAbsolute = 0,           ///< bound is the absolute per-value error
   kValueRangeRelative = 1, ///< bound is relative to the chunk's max |value|
+};
+
+/// Shared-dictionary policy for codecs that support one (szq).
+enum class DictMode : std::uint8_t {
+  kOff = 0,    ///< per-chunk self-describing entropy tables only
+  kTrain = 1,  ///< train one table per run from the first chunks, share it
 };
 
 struct ChunkCodecConfig {
@@ -33,6 +42,10 @@ struct ChunkCodecConfig {
   ErrorMode mode = ErrorMode::kValueRangeRelative;
   double bound = 1e-5;
   bool checksum = true;
+  DictMode dict_mode = DictMode::kOff;
+  /// Run-level dictionary state, shared by every per-worker ChunkCodec of
+  /// a run. Created by the engine when dict_mode == kTrain; null otherwise.
+  std::shared_ptr<DictContext> dict;
 };
 
 /// Encodes/decodes chunks. Holds scratch planes, so NOT thread-safe: the
@@ -62,6 +75,8 @@ class ChunkCodec {
 
   const ChunkCodecConfig& config() const noexcept { return config_; }
   const Compressor& compressor() const noexcept { return *compressor_; }
+  /// The run-level dictionary state, or null when dictionaries are off.
+  DictContext* dict_context() const noexcept { return config_.dict.get(); }
 
  private:
   ChunkCodecConfig config_;

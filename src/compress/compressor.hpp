@@ -17,6 +17,8 @@
 
 namespace memq::compress {
 
+class DictContext;  // dictionary.hpp — run-level shared entropy tables
+
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -38,6 +40,22 @@ class Compressor {
   /// malformed input.
   virtual void decompress(std::span<const std::uint8_t> in,
                           std::span<double> out) const = 0;
+
+  /// Dictionary-aware variants. `dict` carries run-level shared entropy
+  /// tables (see dictionary.hpp); codecs that support them (szq) consult
+  /// and train it, everything else forwards to the plain overloads. A
+  /// stream encoded with a dictionary requires the same dictionary (by id)
+  /// to decode; CorruptData otherwise.
+  virtual void compress(std::span<const double> in, double eb_abs,
+                        ByteBuffer& out, DictContext* dict) const {
+    (void)dict;
+    compress(in, eb_abs, out);
+  }
+  virtual void decompress(std::span<const std::uint8_t> in,
+                          std::span<double> out, DictContext* dict) const {
+    (void)dict;
+    decompress(in, out);
+  }
 };
 
 /// Creates a compressor by registry name; throws InvalidArgument for

@@ -1,0 +1,89 @@
+#include "compress/dictionary.hpp"
+
+#include "common/error.hpp"
+
+namespace memq::compress {
+namespace {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+SzqDict SzqDict::build(std::span<const std::uint64_t> counts) {
+  // +1 smoothing: every alphabet symbol gets a nonzero count, hence a code.
+  // Later chunks can therefore always be encoded against this table, no
+  // matter how their distribution differs from the training sample; poor
+  // fits are handled by the per-chunk escape, not by missing codes.
+  std::vector<std::uint64_t> smoothed(counts.begin(), counts.end());
+  for (auto& c : smoothed) c += 1;
+  HuffmanCode code = HuffmanCode::from_counts(smoothed);
+  ByteBuffer table;
+  ByteWriter w(table);
+  code.serialize(w);
+  return SzqDict(std::move(code), fnv1a64(table));
+}
+
+void SzqDict::serialize(ByteWriter& w) const {
+  w.u64(id_);
+  code_.serialize(w);
+}
+
+SzqDict SzqDict::deserialize(ByteReader& r) {
+  const std::uint64_t stored_id = r.u64();
+  HuffmanCode code = HuffmanCode::deserialize(r);
+  ByteBuffer table;
+  ByteWriter w(table);
+  code.serialize(w);
+  if (fnv1a64(table) != stored_id)
+    throw CorruptData("szq dictionary id does not match its table");
+  return SzqDict(std::move(code), stored_id);
+}
+
+void DictContext::observe(std::span<const std::uint64_t> counts,
+                          std::uint64_t tokens) {
+  std::lock_guard lock(mu_);
+  if (dict_) return;
+  if (counts_.size() < counts.size()) counts_.resize(counts.size(), 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) counts_[i] += counts[i];
+  tokens_seen_ += tokens;
+  ++chunks_seen_;
+  if (chunks_seen_ >= kTrainChunks && tokens_seen_ >= kTrainTokens) {
+    build_locked();
+  }
+}
+
+std::shared_ptr<const SzqDict> DictContext::dict() const {
+  std::lock_guard lock(mu_);
+  return dict_;
+}
+
+void DictContext::train_now() {
+  std::lock_guard lock(mu_);
+  if (dict_ || chunks_seen_ == 0) return;
+  build_locked();
+}
+
+void DictContext::install(std::shared_ptr<const SzqDict> dict) {
+  std::lock_guard lock(mu_);
+  dict_ = std::move(dict);
+}
+
+std::uint64_t DictContext::chunks_observed() const {
+  std::lock_guard lock(mu_);
+  return chunks_seen_;
+}
+
+void DictContext::build_locked() {
+  dict_ = std::make_shared<const SzqDict>(SzqDict::build(counts_));
+  counts_.clear();
+  counts_.shrink_to_fit();
+}
+
+}  // namespace memq::compress

@@ -1,0 +1,95 @@
+// Run-level shared Huffman dictionary for the SZQ codec.
+//
+// Per-chunk self-describing Huffman tables pay twice: serialized table
+// bytes in every chunk and a fresh table *build* per encode. Real circuits
+// produce strongly repeating symbol distributions across chunks (cross-
+// chunk redundancy, cf. Mera), so one trained table per run amortizes
+// both. The DictContext is shared (via shared_ptr in ChunkCodecConfig) by
+// every per-worker ChunkCodec of a run:
+//
+//   * training: the first few chunk encodes contribute their symbol counts
+//     (which the encoder computes anyway); once enough tokens are seen the
+//     dictionary is built — with +1 smoothing over the whole alphabet, so
+//     every symbol has a code and later chunks can never fall outside it;
+//   * steady state: encoders reference the dictionary by id (u64 FNV of
+//     the serialized table) instead of embedding a table, and skip the
+//     per-chunk Huffman build entirely;
+//   * escape: a chunk whose distribution fits the shared table poorly
+//     (estimated shared bits >> its own entropy) falls back to the
+//     self-describing format — a per-chunk flag in the szq stream;
+//   * checkpoints: ChunkStore::save embeds the dictionary after the blobs,
+//     restore installs it, so dictionary-referencing blobs stay decodable.
+//
+// Thread contract: observe()/dict()/install() are thread-safe (one mutex;
+// called at chunk granularity). Decoded amplitudes are identical with the
+// dictionary on or off — only the encoded bytes differ.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "compress/byte_buffer.hpp"
+#include "compress/huffman.hpp"
+
+namespace memq::compress {
+
+/// An immutable trained dictionary: a Huffman code covering the full SZQ
+/// alphabet plus its content id.
+class SzqDict {
+ public:
+  /// Builds from accumulated symbol counts (+1 smoothing applied here).
+  static SzqDict build(std::span<const std::uint64_t> counts);
+
+  const HuffmanCode& code() const noexcept { return code_; }
+  /// FNV-1a of the serialized table — what encoded streams reference.
+  std::uint64_t id() const noexcept { return id_; }
+
+  void serialize(ByteWriter& w) const;
+  static SzqDict deserialize(ByteReader& r);
+
+ private:
+  SzqDict(HuffmanCode code, std::uint64_t id)
+      : code_(std::move(code)), id_(id) {}
+
+  HuffmanCode code_;
+  std::uint64_t id_;
+};
+
+/// Mutable run-level training state + the built dictionary once ready.
+class DictContext {
+ public:
+  /// Training thresholds: build once this many chunks AND tokens have been
+  /// observed (small runs may never train — they just keep self tables).
+  static constexpr std::uint64_t kTrainChunks = 4;
+  static constexpr std::uint64_t kTrainTokens = 1u << 18;
+
+  /// Encoder hook: accumulates one chunk's symbol counts. Builds the
+  /// dictionary when the thresholds are crossed. No-op once trained.
+  void observe(std::span<const std::uint64_t> counts, std::uint64_t tokens);
+
+  /// The trained dictionary, or nullptr while still sampling.
+  std::shared_ptr<const SzqDict> dict() const;
+
+  /// Forces a build from whatever has been observed so far (benchmarks,
+  /// tests). Requires at least one observed chunk. No-op once trained.
+  void train_now();
+
+  /// Installs an externally built dictionary (checkpoint restore).
+  void install(std::shared_ptr<const SzqDict> dict);
+
+  std::uint64_t chunks_observed() const;
+
+ private:
+  void build_locked();
+
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t tokens_seen_ = 0;
+  std::uint64_t chunks_seen_ = 0;
+  std::shared_ptr<const SzqDict> dict_;
+};
+
+}  // namespace memq::compress

@@ -4,10 +4,26 @@
 #include <numeric>
 #include <queue>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "common/cpu_features.hpp"
 #include "common/error.hpp"
 
 namespace memq::compress {
 namespace {
+
+/// Reverses the low `len` bits of `code`. The bitstream is LSB-first, so
+/// emitting the reversed code with one write() puts the MSB of the
+/// canonical code on the wire first — identical bits to the per-bit loop.
+std::uint64_t reverse_bits(std::uint64_t code, unsigned len) noexcept {
+  std::uint64_t rev = 0;
+  for (unsigned i = 0; i < len; ++i) rev |= ((code >> i) & 1) << (len - 1 - i);
+  return rev;
+}
+
+constexpr std::uint64_t kEntryCodeMask = (std::uint64_t{1} << 56) - 1;
 
 /// Computes optimal code lengths for the nonzero-count symbols using the
 /// standard heap construction. Returns lengths parallel to `counts`.
@@ -127,6 +143,30 @@ void HuffmanCode::build_tables() {
     for (std::uint32_t i = first_index_[l]; i < first_index_[l + 1]; ++i)
       codes_[sorted_symbols_[i]] = next[l]++;
   }
+
+  // Packed encoder entries: bit-reversed code + length in one u64, so the
+  // encode hot loop is a table load and a single BitWriter::write.
+  enc_entry_.assign(lengths_.size(), 0);
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+    const unsigned len = lengths_[s];
+    if (len == 0) continue;
+    enc_entry_[s] =
+        reverse_bits(codes_[s], len) | (static_cast<std::uint64_t>(len) << 56);
+  }
+
+  // Decoder LUT over the next kLutBits stream bits: every code of length
+  // <= kLutBits owns all entries whose low bits match its reversed code.
+  const unsigned lut_len = std::min(max_len_, kLutBits);
+  lut_.assign(std::size_t{1} << kLutBits, 0);
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+    const unsigned len = lengths_[s];
+    if (len == 0 || len > lut_len) continue;
+    const std::uint64_t rev = reverse_bits(codes_[s], len);
+    const std::uint32_t entry = (s << 6) | len;
+    for (std::uint64_t hi = 0; hi < (std::uint64_t{1} << (kLutBits - len));
+         ++hi)
+      lut_[rev | (hi << len)] = entry;
+  }
 }
 
 void HuffmanCode::serialize(ByteWriter& w) const {
@@ -161,15 +201,74 @@ HuffmanCode HuffmanCode::deserialize(ByteReader& r) {
 }
 
 void HuffmanCode::encode(BitWriter& bw, std::uint32_t symbol) const {
-  MEMQ_CHECK(symbol < lengths_.size() && lengths_[symbol] > 0,
+  MEMQ_CHECK(symbol < enc_entry_.size() && enc_entry_[symbol] != 0,
              "encoding symbol " << symbol << " with no Huffman code");
-  const unsigned len = lengths_[symbol];
-  const std::uint64_t code = codes_[symbol];
-  // MSB-first emission enables incremental canonical decoding.
-  for (unsigned i = len; i-- > 0;) bw.write_bit((code >> i) & 1);
+  const std::uint64_t e = enc_entry_[symbol];
+  // Reversed-code emission == MSB-first per-bit emission on the LSB-first
+  // stream; one write instead of `len` write_bit calls.
+  bw.write(e & kEntryCodeMask, static_cast<unsigned>(e >> 56));
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) static void encode_all_avx2(
+    BitWriter& bw, std::span<const std::uint32_t> tokens,
+    const std::uint64_t* entries, std::size_t alphabet) {
+  // Gather 4 packed entries per iteration; emission stays sequential (the
+  // bitstream is inherently serial), so bits are identical to the scalar
+  // loop — the gather only batches the table lookups.
+  std::size_t i = 0;
+  alignas(32) std::uint64_t lane[4];
+  for (; i + 4 <= tokens.size(); i += 4) {
+    const std::uint32_t t0 = tokens[i], t1 = tokens[i + 1];
+    const std::uint32_t t2 = tokens[i + 2], t3 = tokens[i + 3];
+    if ((t0 >= alphabet) | (t1 >= alphabet) | (t2 >= alphabet) |
+        (t3 >= alphabet))
+      break;  // fall through to the checked scalar tail
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(tokens.data() + i));
+    const __m256i e = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(entries), idx, 8);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane), e);
+    for (int k = 0; k < 4; ++k) {
+      MEMQ_CHECK(lane[k] != 0, "encoding symbol " << tokens[i + k]
+                                                  << " with no Huffman code");
+      bw.write(lane[k] & kEntryCodeMask, static_cast<unsigned>(lane[k] >> 56));
+    }
+  }
+  for (; i < tokens.size(); ++i) {
+    const std::uint32_t t = tokens[i];
+    MEMQ_CHECK(t < alphabet && entries[t] != 0,
+               "encoding symbol " << t << " with no Huffman code");
+    bw.write(entries[t] & kEntryCodeMask,
+             static_cast<unsigned>(entries[t] >> 56));
+  }
+}
+#endif
+
+void HuffmanCode::encode_all(BitWriter& bw,
+                             std::span<const std::uint32_t> tokens) const {
+#if defined(__x86_64__)
+  if (simd::active() == simd::IsaLevel::kAvx2) {
+    encode_all_avx2(bw, tokens, enc_entry_.data(), enc_entry_.size());
+    return;
+  }
+#endif
+  for (const std::uint32_t t : tokens) encode(bw, t);
 }
 
 std::uint32_t HuffmanCode::decode(BitReader& br) const {
+  if (br.prefetch(kLutBits)) {
+    const std::uint32_t e = lut_[br.peek(kLutBits)];
+    if (e != 0) {
+      br.consume(e & 63);
+      return e >> 6;
+    }
+  }
+  // Long code, or fewer than kLutBits left in the stream.
+  return decode_slow(br);
+}
+
+std::uint32_t HuffmanCode::decode_slow(BitReader& br) const {
   std::uint64_t code = 0;
   for (unsigned len = 1; len <= max_len_; ++len) {
     code = (code << 1) | (br.read_bit() ? 1 : 0);

@@ -7,6 +7,13 @@
 // Codes are canonical: assigned by (length, symbol) order, so only the code
 // lengths are serialized. Code bits are written MSB-first so the decoder can
 // do incremental canonical decoding (first_code/offset per length).
+//
+// Hot paths: the encoder keeps a per-symbol packed entry (bit-reversed code
+// + length) so each symbol is one BitWriter::write call; the decoder peeks
+// kLutBits of the stream into a lookup table covering every code of that
+// length or shorter, falling back to the canonical bit-by-bit walk for the
+// rare long codes (and near the end of the stream). Both paths emit/accept
+// exactly the same bits as the historical per-bit loops.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,10 @@ class HuffmanCode {
   /// Longest admissible code. Counts are rescaled until respected.
   static constexpr unsigned kMaxCodeLen = 48;
 
+  /// Decoder LUT covers codes up to this many bits (one table probe per
+  /// symbol). 11 bits = 16 KiB of entries, sized for L1.
+  static constexpr unsigned kLutBits = 11;
+
   /// Builds an optimal (length-limited) code from symbol frequencies.
   /// Symbols with zero count get no code. At least one nonzero count required.
   static HuffmanCode from_counts(std::span<const std::uint64_t> counts);
@@ -35,6 +46,10 @@ class HuffmanCode {
 
   /// Emits the code of `symbol`; throws if the symbol had zero count.
   void encode(BitWriter& bw, std::uint32_t symbol) const;
+
+  /// Emits every symbol of `tokens` in order — same bits as calling
+  /// encode() per symbol, batched (SIMD table gather where available).
+  void encode_all(BitWriter& bw, std::span<const std::uint32_t> tokens) const;
 
   /// Decodes one symbol.
   std::uint32_t decode(BitReader& br) const;
@@ -50,9 +65,16 @@ class HuffmanCode {
 
  private:
   void build_tables();
+  std::uint32_t decode_slow(BitReader& br) const;
 
   std::vector<std::uint8_t> lengths_;        // per symbol, 0 = unused
   std::vector<std::uint64_t> codes_;         // canonical, MSB-first semantics
+  // Encoder fast path: per symbol, bit-reversed code | length << 56
+  // (0 = symbol has no code).
+  std::vector<std::uint64_t> enc_entry_;
+  // Decoder fast path: indexed by the next kLutBits stream bits (LSB-first);
+  // entry = symbol << 6 | length, 0 = no code of length <= kLutBits here.
+  std::vector<std::uint32_t> lut_;
   // Decoder tables indexed by code length.
   std::vector<std::uint64_t> first_code_;    // first canonical code of length L
   std::vector<std::uint32_t> first_index_;   // index into sorted_symbols_

@@ -48,6 +48,51 @@ inline double dequantize(std::uint32_t symbol, double pred,
   return pred + 2.0 * eb * static_cast<double>(q);
 }
 
+// ---- decoupled grid quantization (the vectorizable SZQ v2 pipeline) -----
+//
+// Instead of quantizing each value against the *reconstructed* prediction
+// (a sequential float recurrence), v2 snaps every value independently to a
+// global grid q = roundeven(x / 2eb) and predicts in integer space (cuSZ's
+// "decoupled" trick). The per-element pass has no loop-carried dependence,
+// so it vectorizes; |2eb*q - x| <= eb still holds for every grid-quantized
+// value, so the error bound is unchanged.
+
+/// Grid indices must stay below 2^51 so (double)q is exact and the SIMD
+/// int64<->double magic-number conversion is valid.
+inline constexpr double kGridLimit = 2251799813685248.0;  // 2^51
+
+/// Flag bits produced by the grid-quantize pass (one byte per element).
+inline constexpr std::uint8_t kGridQuantizable = 1u << 0;  ///< emit a symbol
+inline constexpr std::uint8_t kGridInRange = 1u << 1;      ///< q is valid
+
+/// Scalar reference for one element; the SIMD kernels in simd_kernels.cpp
+/// compute exactly this (IEEE division, round-to-nearest-even, IEEE
+/// multiply), which is what makes scalar and SIMD streams byte-identical.
+inline void grid_quantize_one(double x, double eb, std::int64_t& q,
+                              std::uint8_t& flags) noexcept {
+  const double eb2 = 2.0 * eb;
+  const double scaled = x / eb2;
+  const bool in_range = std::fabs(scaled) < kGridLimit;  // NaN/inf -> false
+  double r = 0.0;
+  q = 0;
+  if (in_range) {
+    r = std::nearbyint(scaled);  // round-to-nearest-even, like the SIMD path
+    q = static_cast<std::int64_t>(r);
+  }
+  const bool ok = in_range && std::fabs(eb2 * r - x) <= eb;
+  flags = static_cast<std::uint8_t>(
+      (in_range ? kGridInRange : 0) | (ok ? kGridQuantizable : 0));
+}
+
+/// Decoder-side grid index of an exception value: the integer history both
+/// sides continue predicting from. Must match the encoder's q for the same
+/// x bit-for-bit (it does: same division and rounding).
+inline std::int64_t grid_base(double x, double eb) noexcept {
+  const double scaled = x / (2.0 * eb);
+  if (!(std::fabs(scaled) < kGridLimit)) return 0;
+  return static_cast<std::int64_t>(std::nearbyint(scaled));
+}
+
 enum class PredictorKind : std::uint8_t {
   kLorenzo = 0,  ///< pred = previous reconstructed value
   kLinear = 1,   ///< pred = 2*r[i-1] - r[i-2]
@@ -60,6 +105,16 @@ inline double predict(PredictorKind kind, double r1, double r2,
   if (have == 0) return 0.0;
   if (kind == PredictorKind::kLorenzo || have == 1) return r1;
   return 2.0 * r1 - r2;
+}
+
+/// Integer-space predictor for the v2 pipeline. History values are grid
+/// indices with |p| <= 2^51 (enforced by encoder and decoder), so the
+/// linear form never overflows int64.
+inline std::int64_t predict_grid(PredictorKind kind, std::int64_t p1,
+                                 std::int64_t p2, int have) noexcept {
+  if (have == 0) return 0;
+  if (kind == PredictorKind::kLorenzo || have == 1) return p1;
+  return 2 * p1 - p2;
 }
 
 }  // namespace memq::compress

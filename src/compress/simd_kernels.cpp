@@ -1,0 +1,334 @@
+#include "compress/simd_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "common/cpu_features.hpp"
+#include "compress/quantizer.hpp"
+
+namespace memq::compress::simd_kernels {
+
+namespace {
+
+// ------------------------------------------------------------- scalar ----
+
+void quantize_grid_scalar(const double* x, std::size_t n, double eb,
+                          std::int64_t* q, std::uint8_t* flags) {
+  for (std::size_t i = 0; i < n; ++i) grid_quantize_one(x[i], eb, q[i], flags[i]);
+}
+
+void scale_grid_scalar(const std::int64_t* q, std::size_t n, double eb2,
+                       double* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = eb2 * static_cast<double>(q[i]);
+}
+
+double max_abs_scalar(const double* x, std::size_t n) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+void split_scalar(const double* in, std::size_t n, double* re, double* im) {
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = in[2 * i];
+    im[i] = in[2 * i + 1];
+  }
+}
+
+void merge_scalar(const double* re, const double* im, std::size_t n,
+                  double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[2 * i] = re[i];
+    out[2 * i + 1] = im[i];
+  }
+}
+
+#if defined(__x86_64__)
+
+// int64 <-> double magic constant: 2^52 + 2^51. Adding it to an integral
+// double r with |r| < 2^51 lands in [2^52, 2^53), where the mantissa IS
+// r + 2^51 in two's-complement-compatible form, so subtracting the
+// constant's bit pattern (0x4338...) yields r as int64 — and the reverse
+// gives an exact int64 -> double conversion (AVX2 has neither direction).
+constexpr double kMagic = 6755399441055744.0;
+constexpr long long kMagicBits = 0x4338000000000000LL;
+
+// --------------------------------------------------------------- AVX2 ----
+
+__attribute__((target("avx2"))) void quantize_grid_avx2(
+    const double* x, std::size_t n, double eb, std::int64_t* q,
+    std::uint8_t* flags) {
+  const double eb2 = 2.0 * eb;
+  const __m256d veb2 = _mm256_set1_pd(eb2);
+  const __m256d veb = _mm256_set1_pd(eb);
+  const __m256d vlim = _mm256_set1_pd(kGridLimit);
+  const __m256d vabs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  const __m256d vmagic = _mm256_set1_pd(kMagic);
+  const __m256i vmagic_bits = _mm256_set1_epi64x(kMagicBits);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vs = _mm256_div_pd(vx, veb2);
+    const __m256d vin =
+        _mm256_cmp_pd(_mm256_and_pd(vs, vabs_mask), vlim, _CMP_LT_OQ);
+    const __m256d vr = _mm256_round_pd(
+        vs, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    // (int64)vr via the magic trick; garbage on out-of-range lanes, which
+    // the vin mask zeroes — matching the scalar q = 0 convention.
+    __m256i vq = _mm256_sub_epi64(
+        _mm256_castpd_si256(_mm256_add_pd(vr, vmagic)), vmagic_bits);
+    vq = _mm256_and_si256(vq, _mm256_castpd_si256(vin));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i), vq);
+    const __m256d verr =
+        _mm256_and_pd(_mm256_sub_pd(_mm256_mul_pd(veb2, vr), vx), vabs_mask);
+    const __m256d vok =
+        _mm256_and_pd(vin, _mm256_cmp_pd(verr, veb, _CMP_LE_OQ));
+    const int min = _mm256_movemask_pd(vin);
+    const int mok = _mm256_movemask_pd(vok);
+    for (int l = 0; l < 4; ++l)
+      flags[i + l] = static_cast<std::uint8_t>((((min >> l) & 1) << 1) |
+                                               ((mok >> l) & 1));
+  }
+  for (; i < n; ++i) grid_quantize_one(x[i], eb, q[i], flags[i]);
+}
+
+__attribute__((target("avx2"))) void scale_grid_avx2(const std::int64_t* q,
+                                                     std::size_t n,
+                                                     double eb2, double* out) {
+  const __m256d veb2 = _mm256_set1_pd(eb2);
+  const __m256d vmagic = _mm256_set1_pd(kMagic);
+  const __m256i vmagic_bits = _mm256_set1_epi64x(kMagicBits);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vq =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i));
+    const __m256d vd = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_add_epi64(vq, vmagic_bits)), vmagic);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(veb2, vd));
+  }
+  for (; i < n; ++i) out[i] = eb2 * static_cast<double>(q[i]);
+}
+
+__attribute__((target("avx2"))) double max_abs_avx2(const double* x,
+                                                    std::size_t n) {
+  const __m256d vabs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  __m256d vmax = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    vmax = _mm256_max_pd(vmax,
+                         _mm256_and_pd(_mm256_loadu_pd(x + i), vabs_mask));
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, vmax);
+  double m = std::max(std::max(lane[0], lane[1]), std::max(lane[2], lane[3]));
+  for (; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+__attribute__((target("avx2"))) void split_avx2(const double* in,
+                                                std::size_t n, double* re,
+                                                double* im) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a0 = _mm256_loadu_pd(in + 2 * i);      // r0 i0 r1 i1
+    const __m256d a1 = _mm256_loadu_pd(in + 2 * i + 4);  // r2 i2 r3 i3
+    const __m256d t0 = _mm256_permute2f128_pd(a0, a1, 0x20);  // r0 i0 r2 i2
+    const __m256d t1 = _mm256_permute2f128_pd(a0, a1, 0x31);  // r1 i1 r3 i3
+    _mm256_storeu_pd(re + i, _mm256_unpacklo_pd(t0, t1));
+    _mm256_storeu_pd(im + i, _mm256_unpackhi_pd(t0, t1));
+  }
+  for (; i < n; ++i) {
+    re[i] = in[2 * i];
+    im[i] = in[2 * i + 1];
+  }
+}
+
+__attribute__((target("avx2"))) void merge_avx2(const double* re,
+                                                const double* im,
+                                                std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vr = _mm256_loadu_pd(re + i);
+    const __m256d vi = _mm256_loadu_pd(im + i);
+    const __m256d t0 = _mm256_unpacklo_pd(vr, vi);  // r0 i0 r2 i2
+    const __m256d t1 = _mm256_unpackhi_pd(vr, vi);  // r1 i1 r3 i3
+    _mm256_storeu_pd(out + 2 * i, _mm256_permute2f128_pd(t0, t1, 0x20));
+    _mm256_storeu_pd(out + 2 * i + 4, _mm256_permute2f128_pd(t0, t1, 0x31));
+  }
+  for (; i < n; ++i) {
+    out[2 * i] = re[i];
+    out[2 * i + 1] = im[i];
+  }
+}
+
+// --------------------------------------------------------------- SSE2 ----
+
+void quantize_grid_sse2(const double* x, std::size_t n, double eb,
+                        std::int64_t* q, std::uint8_t* flags) {
+  const double eb2 = 2.0 * eb;
+  const __m128d veb2 = _mm_set1_pd(eb2);
+  const __m128d veb = _mm_set1_pd(eb);
+  const __m128d vlim = _mm_set1_pd(kGridLimit);
+  const __m128d vabs_mask =
+      _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  const __m128d vsign_mask = _mm_castsi128_pd(_mm_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL)));
+  const __m128d vround = _mm_set1_pd(4503599627370496.0);  // 2^52
+  const __m128d vmagic = _mm_set1_pd(kMagic);
+  const __m128i vmagic_bits = _mm_set1_epi64x(kMagicBits);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vx = _mm_loadu_pd(x + i);
+    const __m128d vs = _mm_div_pd(vx, veb2);
+    const __m128d vin = _mm_cmplt_pd(_mm_and_pd(vs, vabs_mask), vlim);
+    // Round-to-nearest-even via the signed 2^52 add/sub trick (exact for
+    // |vs| < 2^51, the only lanes whose result is used).
+    const __m128d vsigned_round =
+        _mm_or_pd(vround, _mm_and_pd(vs, vsign_mask));
+    const __m128d vr =
+        _mm_sub_pd(_mm_add_pd(vs, vsigned_round), vsigned_round);
+    __m128i vq = _mm_sub_epi64(_mm_castpd_si128(_mm_add_pd(vr, vmagic)),
+                               vmagic_bits);
+    vq = _mm_and_si128(vq, _mm_castpd_si128(vin));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i), vq);
+    const __m128d verr =
+        _mm_and_pd(_mm_sub_pd(_mm_mul_pd(veb2, vr), vx), vabs_mask);
+    const __m128d vok = _mm_and_pd(vin, _mm_cmple_pd(verr, veb));
+    const int min = _mm_movemask_pd(vin);
+    const int mok = _mm_movemask_pd(vok);
+    for (int l = 0; l < 2; ++l)
+      flags[i + l] = static_cast<std::uint8_t>((((min >> l) & 1) << 1) |
+                                               ((mok >> l) & 1));
+  }
+  for (; i < n; ++i) grid_quantize_one(x[i], eb, q[i], flags[i]);
+}
+
+void scale_grid_sse2(const std::int64_t* q, std::size_t n, double eb2,
+                     double* out) {
+  const __m128d veb2 = _mm_set1_pd(eb2);
+  const __m128d vmagic = _mm_set1_pd(kMagic);
+  const __m128i vmagic_bits = _mm_set1_epi64x(kMagicBits);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+    const __m128d vd = _mm_sub_pd(
+        _mm_castsi128_pd(_mm_add_epi64(vq, vmagic_bits)), vmagic);
+    _mm_storeu_pd(out + i, _mm_mul_pd(veb2, vd));
+  }
+  for (; i < n; ++i) out[i] = eb2 * static_cast<double>(q[i]);
+}
+
+double max_abs_sse2(const double* x, std::size_t n) {
+  const __m128d vabs_mask =
+      _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  __m128d vmax = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    vmax = _mm_max_pd(vmax, _mm_and_pd(_mm_loadu_pd(x + i), vabs_mask));
+  alignas(16) double lane[2];
+  _mm_store_pd(lane, vmax);
+  double m = std::max(lane[0], lane[1]);
+  for (; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+void split_sse2(const double* in, std::size_t n, double* re, double* im) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d a0 = _mm_loadu_pd(in + 2 * i);      // r0 i0
+    const __m128d a1 = _mm_loadu_pd(in + 2 * i + 2);  // r1 i1
+    _mm_storeu_pd(re + i, _mm_unpacklo_pd(a0, a1));
+    _mm_storeu_pd(im + i, _mm_unpackhi_pd(a0, a1));
+  }
+  for (; i < n; ++i) {
+    re[i] = in[2 * i];
+    im[i] = in[2 * i + 1];
+  }
+}
+
+void merge_sse2(const double* re, const double* im, std::size_t n,
+                double* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vr = _mm_loadu_pd(re + i);
+    const __m128d vi = _mm_loadu_pd(im + i);
+    _mm_storeu_pd(out + 2 * i, _mm_unpacklo_pd(vr, vi));
+    _mm_storeu_pd(out + 2 * i + 2, _mm_unpackhi_pd(vr, vi));
+  }
+  for (; i < n; ++i) {
+    out[2 * i] = re[i];
+    out[2 * i + 1] = im[i];
+  }
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+void quantize_grid(const double* x, std::size_t n, double eb, std::int64_t* q,
+                   std::uint8_t* flags) {
+#if defined(__x86_64__)
+  switch (simd::active()) {
+    case simd::IsaLevel::kAvx2: return quantize_grid_avx2(x, n, eb, q, flags);
+    case simd::IsaLevel::kSse2: return quantize_grid_sse2(x, n, eb, q, flags);
+    case simd::IsaLevel::kScalar: break;
+  }
+#endif
+  quantize_grid_scalar(x, n, eb, q, flags);
+}
+
+void scale_grid(const std::int64_t* q, std::size_t n, double eb2,
+                double* out) {
+#if defined(__x86_64__)
+  switch (simd::active()) {
+    case simd::IsaLevel::kAvx2: return scale_grid_avx2(q, n, eb2, out);
+    case simd::IsaLevel::kSse2: return scale_grid_sse2(q, n, eb2, out);
+    case simd::IsaLevel::kScalar: break;
+  }
+#endif
+  scale_grid_scalar(q, n, eb2, out);
+}
+
+double max_abs(const double* x, std::size_t n) {
+#if defined(__x86_64__)
+  switch (simd::active()) {
+    case simd::IsaLevel::kAvx2: return max_abs_avx2(x, n);
+    case simd::IsaLevel::kSse2: return max_abs_sse2(x, n);
+    case simd::IsaLevel::kScalar: break;
+  }
+#endif
+  return max_abs_scalar(x, n);
+}
+
+void split_interleaved(const double* interleaved, std::size_t n, double* re,
+                       double* im) {
+#if defined(__x86_64__)
+  switch (simd::active()) {
+    case simd::IsaLevel::kAvx2: return split_avx2(interleaved, n, re, im);
+    case simd::IsaLevel::kSse2: return split_sse2(interleaved, n, re, im);
+    case simd::IsaLevel::kScalar: break;
+  }
+#endif
+  split_scalar(interleaved, n, re, im);
+}
+
+void merge_interleaved(const double* re, const double* im, std::size_t n,
+                       double* interleaved) {
+#if defined(__x86_64__)
+  switch (simd::active()) {
+    case simd::IsaLevel::kAvx2: return merge_avx2(re, im, n, interleaved);
+    case simd::IsaLevel::kSse2: return merge_sse2(re, im, n, interleaved);
+    case simd::IsaLevel::kScalar: break;
+  }
+#endif
+  merge_scalar(re, im, n, interleaved);
+}
+
+}  // namespace memq::compress::simd_kernels

@@ -1,0 +1,37 @@
+// Runtime-dispatched SIMD kernels for the codec hot loops: grid
+// quantization, grid dequantization, plane split/merge, and max|x|.
+//
+// Contract: every kernel's output is byte-identical across dispatch levels
+// (test-enforced). That works because the only arithmetic involved —
+// IEEE-754 division, multiplication, round-to-nearest-even, and exact
+// int64<->double conversion of |q| < 2^51 — is exactly rounded, so scalar
+// and vector lanes produce the same bits. Dispatch is decided per call
+// from memq::simd::active() (see common/cpu_features.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memq::compress::simd_kernels {
+
+/// q[i] = roundeven(x[i] / 2eb); flags[i] = kGridQuantizable/kGridInRange
+/// bits (quantizer.hpp). Matches grid_quantize_one element-wise.
+void quantize_grid(const double* x, std::size_t n, double eb, std::int64_t* q,
+                   std::uint8_t* flags);
+
+/// out[i] = eb2 * (double)q[i]. Requires |q[i]| <= 2^51.
+void scale_grid(const std::int64_t* q, std::size_t n, double eb2,
+                double* out);
+
+/// max over |x[i]| (0.0 for n == 0).
+double max_abs(const double* x, std::size_t n);
+
+/// Deinterleaves n complex values ([re,im] pairs, 2n doubles) into planes.
+void split_interleaved(const double* interleaved, std::size_t n, double* re,
+                       double* im);
+
+/// Inverse of split_interleaved.
+void merge_interleaved(const double* re, const double* im, std::size_t n,
+                       double* interleaved);
+
+}  // namespace memq::compress::simd_kernels

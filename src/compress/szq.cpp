@@ -1,25 +1,36 @@
 // SZQ: SZ-style error-bounded lossy compressor for double arrays.
 //
-// Pipeline (matching SZ 2.x's 1D mode, the compressor family the paper's
-// "state-of-the-art data compressor" refers to):
-//   1. per-block predictor selection (Lorenzo vs. linear, on reconstructed
-//      history so encoder and decoder agree),
-//   2. error-bounded linear-scaling quantization with exception values,
-//   3. zero-run collapsing of long "prediction exact" runs (dominant in the
-//      sparse state vectors of GHZ/Grover-style circuits),
-//   4. canonical Huffman entropy coding of the symbol stream.
+// v2 pipeline (decoupled grid quantization, the scheme cuSZ introduced to
+// make SZ's hot loop parallel): every value is snapped *independently* to a
+// global grid q = roundeven(x / 2eb) — a pure element-wise pass with no
+// loop-carried float recurrence, so it runs through the SIMD kernels in
+// simd_kernels.cpp — and prediction (Lorenzo vs. linear, selected per
+// block) happens afterwards in exact int64 arithmetic on the grid indices.
+// |2eb*q - x| <= eb holds for every grid-quantized value, so the pointwise
+// error bound is identical to the classic reconstructed-history scheme.
+// The remaining stages are unchanged in spirit: zero-run collapsing of
+// "prediction exact" runs (dominant in sparse GHZ/Grover-style states) and
+// canonical Huffman coding of the symbol stream — either with a per-chunk
+// self-describing table or against the run-level shared dictionary
+// (dictionary.hpp), whichever the escape heuristic says is cheaper.
 //
 // Stream layout (all byte-aligned sections, length-prefixed):
-//   varint n | f64 eb | predictor bytes (ceil(n/kBlock)) | huffman table |
+//   varint n | f64 eb | u8 flags | predictor bytes (ceil(n/kBlock)) |
+//   [flags bit0 ? u64 dict id : huffman table] |
 //   varint bitlen | symbol bitstream | varint nruns | run varints |
 //   varint nexc | exception f64s
+#include <algorithm>
+#include <cmath>
+#include <optional>
 #include <vector>
 
 #include "common/error.hpp"
 #include "compress/bitstream.hpp"
 #include "compress/compressor.hpp"
+#include "compress/dictionary.hpp"
 #include "compress/huffman.hpp"
 #include "compress/quantizer.hpp"
+#include "compress/simd_kernels.hpp"
 
 namespace memq::compress {
 
@@ -28,29 +39,61 @@ namespace {
 constexpr std::size_t kBlock = 4096;
 constexpr std::uint64_t kMinZeroRun = 8;
 
-/// Quantizes one block with a fixed predictor, appending symbols/exceptions.
-/// Returns a cost proxy (total |q| + heavy penalty per exception) and leaves
-/// the reconstructed history for the *next* block in (r1, r2).
-double quantize_block(std::span<const double> block, double eb,
-                      PredictorKind kind, double& r1, double& r2, int& have,
-                      std::vector<std::uint32_t>& symbols,
-                      std::vector<double>& exceptions) {
-  double cost = 0.0;
-  for (const double x : block) {
-    const double pred = predict(kind, r1, r2, have);
-    const QuantResult qr = quantize(x, pred, eb);
-    symbols.push_back(qr.symbol);
-    if (qr.symbol == kSymException) {
-      exceptions.push_back(x);
-      cost += 64.0;
-    } else {
-      const auto q = static_cast<double>(
-          static_cast<std::int64_t>(qr.symbol) - kQuantRadius);
-      cost += std::fabs(q) + 1.0;
+/// Stream flag: symbols are coded against a shared dictionary (the stream
+/// stores its id instead of a table).
+constexpr std::uint8_t kFlagSharedDict = 1u << 0;
+
+/// Grid indices both sides keep as prediction history satisfy |v| < 2^51
+/// (encoder invariant); the decoder rejects anything outside, which also
+/// keeps the linear predictor's 2*p1 - p2 far from int64 overflow on
+/// corrupt streams.
+constexpr std::int64_t kGridMax = std::int64_t{1} << 51;
+
+struct GridHistory {
+  std::int64_t p1 = 0;
+  std::int64_t p2 = 0;
+  int have = 0;
+};
+
+inline void advance(GridHistory& h, std::int64_t v) noexcept {
+  h.p2 = h.p1;
+  h.p1 = v;
+  h.have = h.have < 2 ? h.have + 1 : 2;
+}
+
+/// The grid index the encoder's history continues from after element i:
+/// the element's own grid index when it has one, 0 for out-of-range
+/// exceptions. grid_base() reproduces this on the decoder side.
+inline std::int64_t history_value(std::int64_t q, std::uint8_t flags) noexcept {
+  return (flags & kGridInRange) ? q : 0;
+}
+
+/// Integer cost proxy of coding [begin, end) with `kind`, starting from
+/// history `h` (by value: trials must not disturb the real history).
+/// Mirrors the emission pass exactly so the selected predictor is the one
+/// that will actually be used.
+std::uint64_t block_cost(const std::int64_t* q, const std::uint8_t* flags,
+                         std::size_t begin, std::size_t end,
+                         PredictorKind kind, GridHistory h) {
+  std::uint64_t cost = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::int64_t qi = q[i];
+    if (flags[i] & kGridQuantizable) {
+      const std::int64_t d = qi - predict_grid(kind, h.p1, h.p2, h.have);
+      if (d >= -kQuantRadius && d < kQuantRadius) {
+        const std::int64_t mag = d < 0 ? -d : d;
+        cost += static_cast<std::uint64_t>(
+                    std::min<std::int64_t>(mag, std::int64_t{1} << 20)) +
+                1;
+        advance(h, qi);
+        continue;
+      }
+      cost += 64;
+      advance(h, qi);
+      continue;
     }
-    r2 = r1;
-    r1 = qr.reconstructed;
-    have = have < 2 ? have + 1 : 2;
+    cost += 64;
+    advance(h, history_value(qi, flags[i]));
   }
   return cost;
 }
@@ -62,52 +105,70 @@ class SzqCompressor final : public Compressor {
 
   void compress(std::span<const double> in, double eb,
                 ByteBuffer& out) const override {
+    compress(in, eb, out, nullptr);
+  }
+
+  void decompress(std::span<const std::uint8_t> in,
+                  std::span<double> out) const override {
+    decompress(in, out, nullptr);
+  }
+
+  void compress(std::span<const double> in, double eb, ByteBuffer& out,
+                DictContext* dict) const override {
     MEMQ_CHECK(eb > 0.0, "szq requires a positive error bound, got " << eb);
     ByteWriter w(out);
     w.varint(in.size());
     w.f64(eb);
     if (in.empty()) return;
+    const std::size_t n = in.size();
 
-    const std::size_t n_blocks = (in.size() + kBlock - 1) / kBlock;
+    // Pass 1 (vectorized): independent grid quantization of every element.
+    std::vector<std::int64_t> q(n);
+    std::vector<std::uint8_t> qflags(n);
+    simd_kernels::quantize_grid(in.data(), n, eb, q.data(), qflags.data());
+
+    // Pass 2: per-block predictor selection + symbol emission, in integer
+    // space. Candidates are scored on a prefix of the block (cheap), then
+    // the winner emits the full block; both passes advance history the
+    // same way, so encoder and decoder stay in lockstep.
+    constexpr std::size_t kTrialPrefix = 512;
+    const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
     std::vector<std::uint8_t> predictor_of(n_blocks);
     std::vector<std::uint32_t> symbols;
-    symbols.reserve(in.size());
+    symbols.reserve(n);
     std::vector<double> exceptions;
 
-    // Per-block predictor selection on reconstructed history. Candidates
-    // are scored on a prefix of the block (cheap), then the winner encodes
-    // the full block once — both sides resume from the same history, so
-    // encoder and decoder stay in lockstep.
-    constexpr std::size_t kTrialPrefix = 512;
-    double r1 = 0.0, r2 = 0.0;
-    int have = 0;
-    std::vector<std::uint32_t> trial;
-    std::vector<double> trial_exc;
+    GridHistory h;
     for (std::size_t b = 0; b < n_blocks; ++b) {
-      const auto block = in.subspan(
-          b * kBlock, std::min(kBlock, in.size() - b * kBlock));
-      const auto prefix = block.first(std::min(kTrialPrefix, block.size()));
+      const std::size_t begin = b * kBlock;
+      const std::size_t end = std::min(begin + kBlock, n);
+      const std::size_t trial_end = std::min(begin + kTrialPrefix, end);
 
-      PredictorKind winner = PredictorKind::kLorenzo;
-      {
-        trial.clear();
-        trial_exc.clear();
-        double t1 = r1, t2 = r2;
-        int th = have;
-        const double cost_lo = quantize_block(
-            prefix, eb, PredictorKind::kLorenzo, t1, t2, th, trial, trial_exc);
-        trial.clear();
-        trial_exc.clear();
-        t1 = r1;
-        t2 = r2;
-        th = have;
-        const double cost_li = quantize_block(
-            prefix, eb, PredictorKind::kLinear, t1, t2, th, trial, trial_exc);
-        if (cost_li < cost_lo) winner = PredictorKind::kLinear;
-      }
-
+      const std::uint64_t cost_lo = block_cost(
+          q.data(), qflags.data(), begin, trial_end, PredictorKind::kLorenzo,
+          h);
+      const std::uint64_t cost_li = block_cost(
+          q.data(), qflags.data(), begin, trial_end, PredictorKind::kLinear,
+          h);
+      const PredictorKind winner = cost_li < cost_lo ? PredictorKind::kLinear
+                                                     : PredictorKind::kLorenzo;
       predictor_of[b] = static_cast<std::uint8_t>(winner);
-      quantize_block(block, eb, winner, r1, r2, have, symbols, exceptions);
+
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::int64_t qi = q[i];
+        if (qflags[i] & kGridQuantizable) {
+          const std::int64_t d =
+              qi - predict_grid(winner, h.p1, h.p2, h.have);
+          if (d >= -kQuantRadius && d < kQuantRadius) {
+            symbols.push_back(static_cast<std::uint32_t>(d + kQuantRadius));
+            advance(h, qi);
+            continue;
+          }
+        }
+        symbols.push_back(kSymException);
+        exceptions.push_back(in[i]);
+        advance(h, history_value(qi, qflags[i]));
+      }
     }
 
     // Collapse long runs of the "prediction exact" symbol.
@@ -133,26 +194,75 @@ class SzqCompressor final : public Compressor {
 
     std::vector<std::uint64_t> counts(kSzqAlphabet, 0);
     for (const auto t : tokens) ++counts[t];
-    const HuffmanCode code = HuffmanCode::from_counts(counts);
 
+    // Entropy table choice: the shared dictionary when one is trained and
+    // fits this chunk's distribution, a per-chunk self-describing table
+    // otherwise. While still sampling, this chunk's counts feed training.
+    std::shared_ptr<const SzqDict> shared;
+    if (dict != nullptr) {
+      shared = dict->dict();
+      if (!shared) {
+        dict->observe(counts, tokens.size());
+        shared = dict->dict();
+      }
+    }
+    double entropy_bits = 0.0;
+    double shared_bits = 0.0;
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < counts.size(); ++s) total += counts[s];
+    for (std::size_t s = 0; s < counts.size(); ++s) {
+      const std::uint64_t c = counts[s];
+      if (c == 0) continue;
+      entropy_bits += static_cast<double>(c) *
+                      std::log2(static_cast<double>(total) /
+                                static_cast<double>(c));
+      if (shared) {
+        shared_bits += static_cast<double>(c) *
+                       static_cast<double>(
+                           shared->code().length_of(
+                               static_cast<std::uint32_t>(s)));
+      }
+    }
+    // Escape heuristic: a self table costs ~entropy bits plus its own
+    // serialized form (~64 bytes for typical sparse alphabets). Keep the
+    // shared table unless it is clearly worse than that.
+    const bool use_shared =
+        shared && shared_bits <= 1.08 * entropy_bits + 8.0 * 64.0;
+
+    w.u8(use_shared ? kFlagSharedDict : 0);
     w.bytes({predictor_of.data(), predictor_of.size()});
-    code.serialize(w);
+
+    std::optional<HuffmanCode> self_code;
+    if (!use_shared) self_code.emplace(HuffmanCode::from_counts(counts));
+    const HuffmanCode& code = use_shared ? shared->code() : *self_code;
+    if (use_shared) {
+      w.u64(shared->id());
+    } else {
+      self_code->serialize(w);
+    }
+
+    // Size hint: reserve the whole payload once instead of growing the
+    // buffer through the bit emitter (satellite: amortized single reserve).
+    const double est_bits = use_shared ? shared_bits : entropy_bits;
+    out.reserve(out.size() + static_cast<std::size_t>(est_bits / 8.0) +
+                exceptions.size() * 8 + runs.size() * 2 + 64);
 
     ByteBuffer bits;
     BitWriter bw(bits);
-    for (const auto t : tokens) code.encode(bw, t);
+    bw.reserve_bits(static_cast<std::size_t>(est_bits) + 64);
+    code.encode_all(bw, tokens);
     bw.flush();
     w.varint(bits.size());
     w.bytes(bits);
 
     w.varint(runs.size());
-    for (const auto r : runs) w.varint(r);
+    for (const auto run : runs) w.varint(run);
     w.varint(exceptions.size());
     for (const auto e : exceptions) w.f64(e);
   }
 
-  void decompress(std::span<const std::uint8_t> in,
-                  std::span<double> out) const override {
+  void decompress(std::span<const std::uint8_t> in, std::span<double> out,
+                  DictContext* dict) const override {
     ByteReader r(in);
     const std::uint64_t n = r.varint();
     if (n != out.size())
@@ -162,9 +272,25 @@ class SzqCompressor final : public Compressor {
     if (n == 0) return;
     if (!(eb > 0.0)) throw CorruptData("szq: non-positive error bound");
 
+    const std::uint8_t stream_flags = r.u8();
+    if (stream_flags & ~kFlagSharedDict)
+      throw CorruptData("szq: unknown stream flags");
+
     const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
     const auto predictor_bytes = r.bytes(n_blocks);
-    const HuffmanCode code = HuffmanCode::deserialize(r);
+
+    std::shared_ptr<const SzqDict> shared;
+    std::optional<HuffmanCode> self_code;
+    if (stream_flags & kFlagSharedDict) {
+      const std::uint64_t id = r.u64();
+      shared = dict != nullptr ? dict->dict() : nullptr;
+      if (!shared || shared->id() != id)
+        throw CorruptData("szq: stream references shared dictionary " +
+                          std::to_string(id) + " which is not installed");
+    } else {
+      self_code.emplace(HuffmanCode::deserialize(r));
+    }
+    const HuffmanCode& code = shared ? shared->code() : *self_code;
 
     const std::uint64_t bit_len = r.varint();
     const auto bit_payload = r.bytes(bit_len);
@@ -177,19 +303,25 @@ class SzqCompressor final : public Compressor {
     std::vector<double> exceptions(n_exc);
     for (auto& e : exceptions) e = r.f64();
 
+    // Integer token walk reproducing the encoder's grid indices, then one
+    // vectorized scale pass turns them into amplitudes; exception values
+    // are scattered over their slots afterwards (they are stored exactly).
+    std::vector<std::int64_t> q(n);
+    std::vector<std::size_t> exc_pos;
+    exc_pos.reserve(n_exc);
+
     BitReader br(bit_payload);
     std::size_t run_cursor = 0, exc_cursor = 0;
-    double r1 = 0.0, r2 = 0.0;
-    int have = 0;
+    GridHistory h;
     std::size_t i = 0;
     std::uint64_t pending_zero = 0;
     while (i < n) {
-      const auto kind = static_cast<PredictorKind>(
-          predictor_bytes[i / kBlock] & 1);
-      double value;
+      const auto kind =
+          static_cast<PredictorKind>(predictor_bytes[i / kBlock] & 1);
+      std::int64_t v;
       if (pending_zero > 0) {
         --pending_zero;
-        value = predict(kind, r1, r2, have);
+        v = predict_grid(kind, h.p1, h.p2, h.have);
       } else {
         const std::uint32_t sym = code.decode(br);
         if (sym == kSymZeroRun) {
@@ -202,18 +334,27 @@ class SzqCompressor final : public Compressor {
         if (sym == kSymException) {
           if (exc_cursor >= exceptions.size())
             throw CorruptData("szq: exception channel exhausted");
-          value = exceptions[exc_cursor++];
+          exc_pos.push_back(i);
+          v = grid_base(exceptions[exc_cursor++], eb);
         } else if (sym < 2 * kQuantRadius) {
-          value = dequantize(sym, predict(kind, r1, r2, have), eb);
+          v = predict_grid(kind, h.p1, h.p2, h.have) +
+              (static_cast<std::int64_t>(sym) - kQuantRadius);
         } else {
           throw CorruptData("szq: invalid symbol");
         }
       }
-      out[i++] = value;
-      r2 = r1;
-      r1 = value;
-      have = have < 2 ? have + 1 : 2;
+      // Encoder history always satisfies |v| < 2^51; anything else means a
+      // corrupt stream (and, unchecked, would eventually overflow the
+      // linear predictor).
+      if (v >= kGridMax || v <= -kGridMax)
+        throw CorruptData("szq: grid index out of range");
+      q[i++] = v;
+      advance(h, v);
     }
+
+    simd_kernels::scale_grid(q.data(), n, 2.0 * eb, out.data());
+    for (std::size_t k = 0; k < exc_pos.size(); ++k)
+      out[exc_pos[k]] = exceptions[k];
   }
 };
 

@@ -1,6 +1,7 @@
 #include "core/blob_store.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -70,10 +71,22 @@ constexpr int kMaxIoRetries = 3;
 void retry_backoff(int attempt) {
   std::this_thread::sleep_for(std::chrono::milliseconds(1 << (attempt - 1)));
 }
+
+/// The mmap window grows in whole multiples of this (few mremap-equivalent
+/// events, and posix_fallocate keeps every mapped page backed by real
+/// blocks so a full disk surfaces as a clean error instead of SIGBUS).
+constexpr std::uint64_t kMapGrowQuantum = std::uint64_t{1} << 20;  // 1 MiB
+
+SpillIo resolve_spill_io(SpillIo io) {
+  if (io != SpillIo::kAuto) return io;
+  const char* env = std::getenv("MEMQ_SPILL_IO");
+  if (env != nullptr && std::string(env) == "pread") return SpillIo::kPread;
+  return SpillIo::kMmap;
+}
 }  // namespace
 
-FileBlobStore::FileBlobStore(std::uint64_t budget_bytes)
-    : budget_(budget_bytes) {
+FileBlobStore::FileBlobStore(std::uint64_t budget_bytes, SpillIo io)
+    : budget_(budget_bytes), io_(resolve_spill_io(io)) {
   const char* tmpdir = std::getenv("TMPDIR");
   std::string path = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
   path += "/memq-spill-XXXXXX";
@@ -89,7 +102,125 @@ FileBlobStore::FileBlobStore(std::uint64_t budget_bytes)
 }
 
 FileBlobStore::~FileBlobStore() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
   if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBlobStore::mmap_fail_locked(const std::string& why) {
+  if (mmap_failed_) return;
+  mmap_failed_ = true;
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+  MEMQ_LOG_WARN << "FileBlobStore: mmap spill I/O on '" << path_
+                << "' failed (" << why
+                << "); falling back to pread/pwrite for this store";
+  MEMQ_TRACE_INSTANT("fault", "blob.mmap.fallback", trace::arg("why", why));
+}
+
+bool FileBlobStore::ensure_mapped_locked(std::uint64_t need_end) {
+  if (io_ == SpillIo::kPread || mmap_failed_) return false;
+  if (need_end <= map_len_) return true;
+  std::uint64_t new_len =
+      std::max((need_end + kMapGrowQuantum - 1) / kMapGrowQuantum *
+                   kMapGrowQuantum,
+               2 * map_len_);
+  if (MEMQ_FAULT("blob.mmap.map")) {
+    mmap_fail_locked("injected map failure");
+    return false;
+  }
+  // Pre-allocate the blocks: with every mapped page backed, ENOSPC shows up
+  // here as an error code, never later as SIGBUS inside a memcpy.
+  int rc = ::posix_fallocate(fd_, 0, static_cast<off_t>(new_len));
+  if (rc == EOPNOTSUPP || rc == EINVAL) {
+    // Filesystem without fallocate: extend sparsely instead. (Accepts the
+    // theoretical late-ENOSPC page fault; spill files live on tmpfs or
+    // local scratch in practice.)
+    rc = ::ftruncate(fd_, static_cast<off_t>(new_len)) == 0 ? 0 : errno;
+  }
+  if (rc != 0) {
+    mmap_fail_locked(std::string("allocate: ") + std::strerror(rc));
+    return false;
+  }
+  void* m = ::mmap(nullptr, new_len, PROT_READ | PROT_WRITE, MAP_SHARED, fd_,
+                   0);
+  if (m == MAP_FAILED) {
+    mmap_fail_locked(std::string("mmap: ") + std::strerror(errno));
+    return false;
+  }
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+  map_ = static_cast<char*>(m);
+  map_len_ = new_len;
+  // Blob access order is LRU-driven, not sequential — tell readahead so.
+  ::madvise(map_, map_len_, MADV_RANDOM);
+  return true;
+}
+
+void FileBlobStore::mmap_write(const void* data, std::uint64_t n,
+                               std::uint64_t off) {
+  int attempts = 0;
+  for (;;) {
+    if (MEMQ_FAULT("blob.write.enospc"))
+      MEMQ_THROW_IO("spill-mmap write failed: '"
+                        << path_ << "' offset " << off << ", " << n
+                        << " bytes: " << std::strerror(ENOSPC),
+                    ENOSPC);
+    if (MEMQ_FAULT("blob.write.eio")) {
+      if (attempts < kMaxIoRetries) {
+        ++attempts;
+        ++stats_.io_retries;
+        MEMQ_TRACE_INSTANT("fault", "blob.write.retry",
+                           trace::arg("attempt", std::uint64_t(attempts)));
+        retry_backoff(attempts);
+        continue;
+      }
+      MEMQ_THROW_IO("spill-mmap write failed: '"
+                        << path_ << "' offset " << off << ", " << n
+                        << " bytes: " << std::strerror(EIO),
+                    EIO);
+    }
+    std::memcpy(map_ + off, data, n);
+    map_dirty_ = true;
+    return;
+  }
+}
+
+void FileBlobStore::mmap_read(void* data, std::uint64_t n,
+                              std::uint64_t off) {
+  int attempts = 0;
+  for (;;) {
+    if (MEMQ_FAULT("blob.read.eio") || MEMQ_FAULT("blob.read.short")) {
+      if (attempts < kMaxIoRetries) {
+        ++attempts;
+        ++stats_.io_retries;
+        MEMQ_TRACE_INSTANT("fault", "blob.read.retry",
+                           trace::arg("attempt", std::uint64_t(attempts)));
+        retry_backoff(attempts);
+        continue;
+      }
+      MEMQ_THROW_IO("spill-mmap read failed: '"
+                        << path_ << "' offset " << off << ", " << n
+                        << " bytes: " << std::strerror(EIO),
+                    EIO);
+    }
+    std::memcpy(data, map_ + off, n);
+    return;
+  }
+}
+
+void FileBlobStore::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_ == nullptr || !map_dirty_) return;
+  // Best-effort durability barrier for checkpoints: the spill file is
+  // scratch (already unlinked), so a failed msync costs nothing but the
+  // page-cache hint — warn, don't throw.
+  if (::msync(map_, map_len_, MS_SYNC) != 0) {
+    MEMQ_LOG_WARN << "FileBlobStore: msync('" << path_
+                  << "') failed: " << std::strerror(errno);
+  }
+  map_dirty_ = false;
 }
 
 void FileBlobStore::resize(index_t n_blobs) {
@@ -250,7 +381,10 @@ void FileBlobStore::evict_locked(index_t i) {
                          trace::arg("bytes", e.bytes));
     try {
       ensure_region_locked(e);
-      pwrite_fully(e.ram.data(), e.bytes, e.file_off);
+      if (ensure_mapped_locked(e.file_off + e.file_cap))
+        mmap_write(e.ram.data(), e.bytes, e.file_off);
+      else
+        pwrite_fully(e.ram.data(), e.bytes, e.file_off);
     } catch (const IoError& err) {
       // The resident copy is the only current one — dropping it would lose
       // state. Keep the blob resident (over budget) and stop spilling.
@@ -310,7 +444,14 @@ const compress::ByteBuffer& FileBlobStore::read(index_t i,
                      trace::arg("blob", std::uint64_t{i}) + "," +
                          trace::arg("bytes", e.bytes));
     scratch.resize(e.bytes);
-    pread_fully(scratch.data(), e.bytes, e.file_off);
+    // A mapped window always covers every allocated region (it only grows),
+    // but after a mid-run map failure later regions exist only on disk —
+    // MAP_SHARED over the same fd keeps the two views coherent either way.
+    if (map_ != nullptr && !mmap_failed_ &&
+        e.file_off + e.bytes <= map_len_)
+      mmap_read(scratch.data(), e.bytes, e.file_off);
+    else
+      pread_fully(scratch.data(), e.bytes, e.file_off);
   }
   ++stats_.spill_reads;
   stats_.spill_bytes_read += e.bytes;
@@ -347,7 +488,10 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
                          trace::arg("bytes", e.bytes));
     try {
       ensure_region_locked(e);
-      pwrite_fully(blob.data(), e.bytes, e.file_off);
+      if (ensure_mapped_locked(e.file_off + e.file_cap))
+        mmap_write(blob.data(), e.bytes, e.file_off);
+      else
+        pwrite_fully(blob.data(), e.bytes, e.file_off);
     } catch (const IoError& err) {
       // `blob` is the only current copy; losing it here would silently
       // corrupt the state. Keep it resident and degrade instead.

@@ -29,6 +29,13 @@
 
 namespace memq::core {
 
+/// How FileBlobStore moves bytes to/from its backing file.
+enum class SpillIo : std::uint8_t {
+  kAuto = 0,   ///< mmap unless the MEMQ_SPILL_IO env var says otherwise
+  kMmap = 1,   ///< mmap'd regions (falls back to pread/pwrite on map failure)
+  kPread = 2,  ///< classic pread/pwrite only
+};
+
 class BlobStore {
  public:
   /// Spill / residency counters (all zero for backends that never spill).
@@ -78,6 +85,10 @@ class BlobStore {
   /// Exchanges blobs `i` and `j` without touching their bytes.
   virtual void swap(index_t i, index_t j) = 0;
 
+  /// Flushes any buffered backend state to its medium (checkpoint barrier).
+  /// No-op for backends without one.
+  virtual void sync() {}
+
   /// True when the backend enforces a residency budget (its
   /// stats().peak_resident_bytes is the honest host-RAM peak; backends
   /// without one keep everything resident by definition).
@@ -114,7 +125,10 @@ class RamBlobStore final : public BlobStore {
 class FileBlobStore final : public BlobStore {
  public:
   /// `budget_bytes` = 0 keeps nothing resident (every access hits the file).
-  explicit FileBlobStore(std::uint64_t budget_bytes);
+  /// `io` selects the spill transport; kAuto consults MEMQ_SPILL_IO
+  /// ("mmap" or "pread") and defaults to mmap.
+  explicit FileBlobStore(std::uint64_t budget_bytes,
+                         SpillIo io = SpillIo::kAuto);
   ~FileBlobStore() override;
 
   FileBlobStore(const FileBlobStore&) = delete;
@@ -128,8 +142,16 @@ class FileBlobStore final : public BlobStore {
   std::uint64_t size(index_t i) const override;
   bool is_zero(index_t i) const override;
   void swap(index_t i, index_t j) override;
+  void sync() override;
   bool tracks_residency() const noexcept override { return true; }
   Stats stats() const override;
+
+  /// True while spill I/O goes through the mmap'd window (false before the
+  /// first spill, after a map failure, or in pread mode).
+  bool using_mmap() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_ != nullptr && !mmap_failed_;
+  }
 
   std::uint64_t budget_bytes() const noexcept { return budget_; }
   /// Backing-file path (for error messages; the inode is already unlinked).
@@ -167,10 +189,25 @@ class FileBlobStore final : public BlobStore {
   void degrade_locked(const std::string& why);
   void pwrite_fully(const void* data, std::uint64_t n, std::uint64_t off);
   void pread_fully(void* data, std::uint64_t n, std::uint64_t off);
+  /// Grows the mmap window to cover [0, need_end). Returns false when mmap
+  /// is off / has failed — the caller uses pread/pwrite instead.
+  bool ensure_mapped_locked(std::uint64_t need_end);
+  /// memcpy into/out of the window, with the same fault sites and
+  /// transient-retry behavior as the pread/pwrite pair (so the PR 5 fault
+  /// plane exercises both transports identically).
+  void mmap_write(const void* data, std::uint64_t n, std::uint64_t off);
+  void mmap_read(void* data, std::uint64_t n, std::uint64_t off);
+  /// One-way switch to pread/pwrite after a map/grow failure (warns once).
+  void mmap_fail_locked(const std::string& why);
 
   const std::uint64_t budget_;
+  const SpillIo io_;
   std::string path_;
   bool degraded_ = false;
+  bool mmap_failed_ = false;
+  char* map_ = nullptr;           ///< mmap window over [0, map_len_)
+  std::uint64_t map_len_ = 0;
+  bool map_dirty_ = false;        ///< window written since last sync()
   int fd_ = -1;
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;

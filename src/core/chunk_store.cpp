@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/trace.hpp"
+#include "compress/dictionary.hpp"
 
 namespace memq::core {
 
@@ -122,10 +123,14 @@ std::uint64_t ChunkStore::peak_resident_bytes() const {
 }
 
 namespace {
-constexpr char kCheckpointMagic[8] = {'M', 'Q', 'C', 'K', 'P', 'T', '0', '1'};
+// "02": adds the shared-dictionary section after the blobs.
+constexpr char kCheckpointMagic[8] = {'M', 'Q', 'C', 'K', 'P', 'T', '0', '2'};
 }  // namespace
 
 void ChunkStore::save(std::ostream& out) const {
+  // Checkpoint barrier: flush any mmap'd spill pages so the backing file
+  // and the blobs we are about to stream agree.
+  blob_store_->sync();
   out.write(kCheckpointMagic, sizeof kCheckpointMagic);
   compress::ByteBuffer header;
   compress::ByteWriter w(header);
@@ -147,6 +152,22 @@ void ChunkStore::save(std::ostream& out) const {
     out.write(reinterpret_cast<const char*>(blob.data()),
               static_cast<std::streamsize>(blob.size()));
   }
+
+  // Shared-dictionary section: blobs encoded against the run's trained
+  // dictionary reference it by id only, so the dictionary itself must
+  // travel with the checkpoint or they are undecodable after restore.
+  compress::ByteBuffer dict_section;
+  {
+    compress::ByteWriter dw(dict_section);
+    std::shared_ptr<const compress::SzqDict> dict;
+    if (const auto* ctx = codec_.dict_context()) dict = ctx->dict();
+    dw.u8(dict ? 1 : 0);
+    if (dict) dict->serialize(dw);
+  }
+  const std::uint64_t dict_len = dict_section.size();
+  out.write(reinterpret_cast<const char*>(&dict_len), sizeof dict_len);
+  out.write(reinterpret_cast<const char*>(dict_section.data()),
+            static_cast<std::streamsize>(dict_section.size()));
   MEMQ_CHECK(out.good(), "checkpoint write failed");
 }
 
@@ -201,6 +222,24 @@ void ChunkStore::restore(std::istream& in) {
     compress::ChunkCodec::verify(blobs[i]);
     total += blobs[i].size();
   }
+  std::uint64_t dict_len = 0;
+  in.read(reinterpret_cast<char*>(&dict_len), sizeof dict_len);
+  if (!in.good() || dict_len > (1ull << 24))
+    throw CorruptData("checkpoint: bad dictionary section length");
+  std::vector<std::uint8_t> dict_section(dict_len);
+  in.read(reinterpret_cast<char*>(dict_section.data()),
+          static_cast<std::streamsize>(dict_len));
+  if (!in.good()) throw CorruptData("checkpoint: truncated dictionary");
+  compress::ByteReader dr(dict_section);
+  if (dr.u8() != 0) {
+    auto* ctx = codec_.dict_context();
+    MEMQ_CHECK(ctx != nullptr,
+               "checkpoint carries a shared codec dictionary but this run "
+               "has dictionaries off — restore with --codec-dict=train");
+    ctx->install(std::make_shared<const compress::SzqDict>(
+        compress::SzqDict::deserialize(dr)));
+  }
+
   for (index_t i = 0; i < count; ++i)
     blob_store_->write(i, std::move(blobs[i]));
   total_bytes_.store(total, std::memory_order_relaxed);

@@ -9,13 +9,27 @@
 #include "common/bit_ops.hpp"
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
+#include "compress/dictionary.hpp"
 #include "sv/kernels.hpp"
 
 namespace memq::core {
 
+namespace {
+/// Attaches the run-level shared-dictionary context while the config is
+/// copied into the engine: it must exist before the pager clones
+/// per-worker ChunkCodecs from config_.codec, and every clone must share
+/// the same instance.
+EngineConfig with_dict(EngineConfig config) {
+  if (config.codec.dict_mode == compress::DictMode::kTrain &&
+      config.codec.dict == nullptr)
+    config.codec.dict = std::make_shared<compress::DictContext>();
+  return config;
+}
+}  // namespace
+
 CompressedEngineBase::CompressedEngineBase(qubit_t n_qubits,
                                            const EngineConfig& config)
-    : config_(config),
+    : config_(with_dict(config)),
       rng_(config.seed),
       pager_(n_qubits, config_, telemetry_,
              [this](double seconds) { charge_cpu(seconds); }),

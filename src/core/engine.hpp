@@ -56,6 +56,13 @@ struct EngineTelemetry {
   std::uint64_t chunk_stores = 0;
   std::uint64_t zero_chunks_skipped = 0;
 
+  /// Raw amplitude bytes pushed through the codec: loads/stores times the
+  /// chunk's uncompressed size. Divided by the matching cpu_phases seconds
+  /// they give the codec's effective MB/s (reported in the telemetry JSON
+  /// and the --stage-report table).
+  std::uint64_t codec_decode_bytes = 0;
+  std::uint64_t codec_encode_bytes = 0;
+
   /// Chunk-cache counters (all zero when cache_budget_bytes == 0; see
   /// core/chunk_cache.hpp).
   std::uint64_t cache_hits = 0;

@@ -19,6 +19,8 @@ using circuit::GateKind;
 struct MemQSimEngine::MetricsSnap {
   std::uint64_t chunk_loads = 0;
   std::uint64_t chunk_stores = 0;
+  std::uint64_t codec_decode_bytes = 0;
+  std::uint64_t codec_encode_bytes = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
@@ -42,6 +44,8 @@ struct MemQSimEngine::MetricsSnap {
     StageRow r;
     r.chunk_loads = to.chunk_loads - from.chunk_loads;
     r.chunk_stores = to.chunk_stores - from.chunk_stores;
+    r.codec_decode_bytes = to.codec_decode_bytes - from.codec_decode_bytes;
+    r.codec_encode_bytes = to.codec_encode_bytes - from.codec_encode_bytes;
     r.cache_hits = to.cache_hits - from.cache_hits;
     r.cache_misses = to.cache_misses - from.cache_misses;
     r.cache_evictions = to.cache_evictions - from.cache_evictions;
@@ -72,6 +76,8 @@ MemQSimEngine::MetricsSnap MemQSimEngine::take_metrics_snap() {
   MetricsSnap s;
   s.chunk_loads = telemetry_.chunk_loads;
   s.chunk_stores = telemetry_.chunk_stores;
+  s.codec_decode_bytes = telemetry_.codec_decode_bytes;
+  s.codec_encode_bytes = telemetry_.codec_encode_bytes;
   s.cache_hits = telemetry_.cache_hits;
   s.cache_misses = telemetry_.cache_misses;
   s.cache_evictions = telemetry_.cache_evictions;

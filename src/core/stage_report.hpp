@@ -24,6 +24,11 @@ struct StageRow {
   // ---- counter deltas (telescoped; rows sum exactly to `total`) ----------
   std::uint64_t chunk_loads = 0;
   std::uint64_t chunk_stores = 0;
+  /// Raw amplitude bytes through the codec this stage (loads/stores times
+  /// the chunk's uncompressed size; with decompress/recompress_seconds
+  /// these give per-stage codec MB/s).
+  std::uint64_t codec_decode_bytes = 0;
+  std::uint64_t codec_encode_bytes = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;

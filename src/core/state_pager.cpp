@@ -114,6 +114,8 @@ void StatePager::refresh_telemetry() {
   telemetry_.final_compression_ratio = store_.compression_ratio();
   telemetry_.chunk_loads = store_.loads();
   telemetry_.chunk_stores = store_.stores();
+  telemetry_.codec_decode_bytes = store_.loads() * store_.chunk_raw_bytes();
+  telemetry_.codec_encode_bytes = store_.stores() * store_.chunk_raw_bytes();
   if (cache_) {
     const ChunkCacheStats& cs = cache_->stats();
     telemetry_.cache_hits = cs.hits;

@@ -99,6 +99,7 @@ TEST(BitStream, AlignSkipsToByteBoundary) {
   w.write(0b1, 1);
   w.flush();  // pads with zeros
   w.write(0xAA, 8);
+  w.flush();  // the word-batched writer buffers until the final flush
   BitReader r(buf);
   EXPECT_TRUE(r.read_bit());
   r.align();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "compress/chunk_codec.hpp"
 #include "core/blob_store.hpp"
 
@@ -189,6 +190,73 @@ TEST(FileBlobStore, RewriteReusesOrGrowsFileRegion) {
     ByteBuffer scratch;
     EXPECT_EQ(store.read(0, scratch), v) << "round " << round;
   }
+}
+
+TEST(FileBlobStore, MmapSpillRoundTrips) {
+  // Zero budget: every blob goes straight through the mmap'd spill window.
+  FileBlobStore store(0, SpillIo::kMmap);
+  store.resize(8);
+  std::vector<ByteBuffer> originals;
+  for (index_t i = 0; i < 8; ++i) {
+    originals.push_back(make_blob(static_cast<double>(i) + 1.0,
+                                  16 + 8 * static_cast<std::size_t>(i)));
+    store.write(i, ByteBuffer(originals.back()));
+  }
+  EXPECT_TRUE(store.using_mmap());
+  store.sync();  // checkpoint barrier: msync must not disturb the data
+  ByteBuffer scratch;
+  for (index_t i = 0; i < 8; ++i)
+    EXPECT_EQ(store.read(i, scratch), originals[i]) << "blob " << i;
+  const auto st = store.stats();
+  EXPECT_GT(st.spill_writes, 0u);
+  EXPECT_GT(st.spill_reads, 0u);
+}
+
+TEST(FileBlobStore, MmapGrowthKeepsEarlierBlobsValid) {
+  // Force repeated window growth past the initial mapping; bytes written
+  // before a munmap/re-mmap cycle must still read back exactly.
+  FileBlobStore store(0, SpillIo::kMmap);
+  store.resize(4);
+  std::vector<ByteBuffer> originals;
+  for (index_t i = 0; i < 4; ++i) {
+    originals.push_back(make_blob(static_cast<double>(i), 1 << 16));
+    store.write(i, ByteBuffer(originals.back()));
+  }
+  EXPECT_TRUE(store.using_mmap());
+  ByteBuffer scratch;
+  for (index_t i = 0; i < 4; ++i)
+    EXPECT_EQ(store.read(i, scratch), originals[i]) << "blob " << i;
+}
+
+TEST(FileBlobStore, MmapFailureDegradesToPreadAndStaysCorrect) {
+  fault::arm("blob.mmap.map@1");
+  FileBlobStore store(0, SpillIo::kMmap);
+  store.resize(4);
+  std::vector<ByteBuffer> originals;
+  for (index_t i = 0; i < 4; ++i) {
+    originals.push_back(make_blob(static_cast<double>(i) + 1.0));
+    store.write(i, ByteBuffer(originals.back()));
+  }
+  // The very first mapping attempt failed: the store must have fallen back
+  // to pread/pwrite permanently, with identical round-trip semantics.
+  EXPECT_FALSE(store.using_mmap());
+  EXPECT_EQ(fault::fires("blob.mmap.map"), 1u);
+  ByteBuffer scratch;
+  for (index_t i = 0; i < 4; ++i)
+    EXPECT_EQ(store.read(i, scratch), originals[i]) << "blob " << i;
+  store.sync();  // no mapping: must be a harmless no-op
+  fault::disarm();
+}
+
+TEST(FileBlobStore, PreadModeNeverMaps) {
+  FileBlobStore store(0, SpillIo::kPread);
+  store.resize(2);
+  const ByteBuffer a = make_blob(1.0);
+  store.write(0, ByteBuffer(a));
+  store.write(1, make_blob(2.0));
+  EXPECT_FALSE(store.using_mmap());
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), a);
 }
 
 TEST(FileBlobStore, ReadBeforeWriteIsRejected) {

@@ -130,6 +130,33 @@ TEST(DifferentialOracle, CacheOnAndOffAgreeWithinBound) {
         << reproducer(seed, n, 5, 4, on);
 }
 
+TEST(DifferentialOracle, SharedDictionariesMatchDenseReference) {
+  // ISSUE 6: a shared trained dictionary changes encoded bytes only, never
+  // decoded amplitudes — runs with dictionaries on must match the dense
+  // oracle exactly as tightly as runs without.
+  for (const std::uint64_t seed : {4242ull, 4243ull, 4244ull}) {
+    const qubit_t n = 10;
+    const std::size_t depth = 6;
+    const auto circ = circuit::make_random_circuit(n, depth, seed, true);
+    auto oracle = make_engine(EngineKind::kDense, n, EngineConfig{});
+    oracle->run(circ);
+    const auto expected = oracle->to_dense();
+
+    CaseConfig cc{4, StoreBackend::kFile, 4};
+    EngineConfig cfg = make_cfg(cc, 5);
+    cfg.codec.dict_mode = compress::DictMode::kTrain;
+    auto engine = make_engine(EngineKind::kMemQSim, n, cfg);
+    engine->run(circ);
+    const auto got = engine->to_dense();
+
+    for (index_t k = 0; k < dim_of(n); ++k)
+      ASSERT_LT(std::abs(got.amplitude(k) - expected.amplitude(k)),
+                kTolerance)
+          << "amplitude " << k << " with dictionaries on; "
+          << reproducer(seed, n, depth, 5, cc) << " codec_dict=train";
+  }
+}
+
 TEST(DifferentialOracle, ThreadCountsAreBitIdentical) {
   // The codec pipeline's contract (PR "multithreaded codec pipeline"):
   // results are bit-identical across codec_threads, only timing changes.

@@ -1,0 +1,345 @@
+// SIMD dispatch equivalence and shared-dictionary behavior of the codec
+// plane (ISSUE 6): every compressor must produce byte-identical encoded
+// streams and bit-identical decoded amplitudes whether the hot loops run
+// scalar or vectorized, and szq's run-level trained dictionary must round
+// trip, escape cleanly, reject id mismatches, and survive checkpoints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "common/cpu_features.hpp"
+#include "common/error.hpp"
+#include "compress/byte_buffer.hpp"
+#include "compress/chunk_codec.hpp"
+#include "compress/compressor.hpp"
+#include "compress/dictionary.hpp"
+#include "compress/quantizer.hpp"
+#include "core/chunk_store.hpp"
+
+namespace memq {
+namespace {
+
+using compress::ByteBuffer;
+using compress::ByteReader;
+using compress::ByteWriter;
+using compress::DictContext;
+using compress::SzqDict;
+
+// A length that is several szq predictor blocks plus a ragged tail, so the
+// vector kernels' main loops AND their scalar remainders are both exercised.
+constexpr std::size_t kPlaneLen = 3 * 4096 + 17;
+
+std::vector<double> smooth_plane(std::size_t n = kPlaneLen) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 1e-3 * std::sin(2e-4 * static_cast<double>(i));
+  return v;
+}
+
+std::vector<double> haar_plane(std::uint64_t seed, std::size_t n = kPlaneLen) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  std::vector<double> v(n);
+  for (auto& x : v) x = normal(rng) * scale;
+  return v;
+}
+
+std::vector<double> sparse_plane(std::uint64_t seed, std::size_t n = kPlaneLen) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  std::vector<double> v(n, 0.0);
+  for (std::size_t i = 0; i < n; i += 50) v[i] = uni(rng);
+  return v;
+}
+
+std::vector<double> zero_plane(std::size_t n = kPlaneLen) {
+  return std::vector<double>(n, 0.0);
+}
+
+struct NamedPlane {
+  const char* name;
+  std::vector<double> data;
+};
+
+std::vector<NamedPlane> all_planes() {
+  std::vector<NamedPlane> planes;
+  planes.push_back({"smooth", smooth_plane()});
+  planes.push_back({"haar", haar_plane(7)});
+  planes.push_back({"sparse", sparse_plane(11)});
+  planes.push_back({"zero", zero_plane()});
+  return planes;
+}
+
+bool bit_identical(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// Pins the dispatch level for one scope; restores env-derived dispatch on
+// exit so tests cannot leak a forced level into each other.
+class SimdCodec : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::clear_force(); }
+};
+
+// The tentpole contract: forced-scalar and widest-available dispatch emit
+// the SAME bytes, and each stream decodes to the SAME doubles under either
+// dispatch. Every registered compressor, every plane shape.
+TEST_F(SimdCodec, EncodedStreamsByteIdenticalAcrossDispatch) {
+  const auto planes = all_planes();
+  for (const auto& name : compress::compressor_names()) {
+    const auto comp = compress::make_compressor(name);
+    const double eb = 1e-7;  // ignored by lossless codecs
+    for (const auto& plane : planes) {
+      SCOPED_TRACE(::testing::Message() << name << " / " << plane.name);
+
+      simd::force(simd::IsaLevel::kScalar);
+      ByteBuffer scalar_stream;
+      comp->compress(plane.data, eb, scalar_stream);
+
+      simd::force(simd::detected());
+      ByteBuffer simd_stream;
+      comp->compress(plane.data, eb, simd_stream);
+
+      ASSERT_EQ(scalar_stream, simd_stream);
+
+      // Cross-decode: the scalar decoder reads the SIMD-encoded stream and
+      // vice versa; all four decodes must agree bit for bit.
+      std::vector<double> dec_simd(plane.data.size());
+      comp->decompress(simd_stream, dec_simd);
+      simd::force(simd::IsaLevel::kScalar);
+      std::vector<double> dec_scalar(plane.data.size());
+      comp->decompress(simd_stream, dec_scalar);
+      EXPECT_TRUE(bit_identical(dec_scalar, dec_simd));
+
+      if (comp->lossless()) {
+        EXPECT_TRUE(bit_identical(plane.data, dec_scalar));
+      } else {
+        for (std::size_t i = 0; i < plane.data.size(); ++i)
+          ASSERT_LE(std::fabs(dec_scalar[i] - plane.data[i]), eb)
+              << "index " << i;
+      }
+    }
+  }
+}
+
+// Same contract one level up: the ChunkCodec path also runs the SIMD
+// split/merge/max-abs kernels, so complete encoded chunks (header, checksum,
+// payload) must be byte-identical across dispatch too.
+TEST_F(SimdCodec, ChunkCodecByteIdenticalAcrossDispatch) {
+  compress::ChunkCodecConfig cfg;
+  cfg.compressor = "szq";
+  cfg.bound = 1e-6;
+
+  const auto re = haar_plane(21, 1 << 10);
+  const auto im = haar_plane(22, 1 << 10);
+  std::vector<amp_t> amps(re.size());
+  for (std::size_t i = 0; i < amps.size(); ++i) amps[i] = {re[i], im[i]};
+
+  simd::force(simd::IsaLevel::kScalar);
+  compress::ChunkCodec scalar_codec(cfg);
+  ByteBuffer scalar_blob;
+  scalar_codec.encode(amps, scalar_blob);
+
+  simd::force(simd::detected());
+  compress::ChunkCodec simd_codec(cfg);
+  ByteBuffer simd_blob;
+  simd_codec.encode(amps, simd_blob);
+
+  ASSERT_EQ(scalar_blob, simd_blob);
+
+  std::vector<amp_t> dec_simd(amps.size());
+  simd_codec.decode(simd_blob, dec_simd);
+  simd::force(simd::IsaLevel::kScalar);
+  std::vector<amp_t> dec_scalar(amps.size());
+  scalar_codec.decode(simd_blob, dec_scalar);
+  EXPECT_EQ(0, std::memcmp(dec_scalar.data(), dec_simd.data(),
+                           dec_scalar.size() * sizeof(amp_t)));
+}
+
+TEST(SzqDictionary, TrainsOnlyAfterBothThresholds) {
+  DictContext ctx;
+  std::vector<std::uint64_t> counts(compress::kSzqAlphabet, 0);
+  counts[100] = 1000;
+  counts[200] = 500;
+
+  // Enough tokens but too few chunks: still sampling.
+  ctx.observe(counts, DictContext::kTrainTokens);
+  EXPECT_EQ(ctx.dict(), nullptr);
+  ctx.observe(counts, DictContext::kTrainTokens);
+  ctx.observe(counts, DictContext::kTrainTokens);
+  EXPECT_EQ(ctx.dict(), nullptr);
+  EXPECT_EQ(ctx.chunks_observed(), 3u);
+
+  ctx.observe(counts, DictContext::kTrainTokens);
+  ASSERT_NE(ctx.dict(), nullptr);
+
+  // Training is one-shot: later observations don't replace the table.
+  const auto id = ctx.dict()->id();
+  ctx.observe(counts, DictContext::kTrainTokens);
+  EXPECT_EQ(ctx.dict()->id(), id);
+}
+
+TEST(SzqDictionary, SerializeRoundTripValidatesId) {
+  std::vector<std::uint64_t> counts(compress::kSzqAlphabet, 0);
+  for (std::size_t i = 0; i < 64; ++i) counts[i * 13 % counts.size()] = i + 1;
+  const SzqDict dict = SzqDict::build(counts);
+
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  dict.serialize(w);
+
+  ByteReader r(buf);
+  const SzqDict back = SzqDict::deserialize(r);
+  EXPECT_EQ(back.id(), dict.id());
+
+  // The id is the leading u64: flipping it must fail validation against the
+  // (re-serialized) table that follows.
+  buf[0] ^= 0xff;
+  ByteReader r2(buf);
+  EXPECT_THROW((void)SzqDict::deserialize(r2), CorruptData);
+}
+
+TEST(SzqDictionary, SharedStreamRoundTripsAndRequiresTheDictionary) {
+  const auto comp = compress::make_compressor("szq");
+  // A bound where haar data quantizes in-range: tokens spread over a few
+  // thousand symbols and the trained table genuinely fits.
+  const auto plane = haar_plane(33);
+  const double eb = 1e-5;
+
+  // Train the way a run does: accumulate MANY chunks, so real counts
+  // dominate the +1 smoothing over the 65538-symbol alphabet. (One chunk of
+  // ~12K tokens would be smoothing-dominated and every encode would escape.)
+  DictContext ctx;
+  ByteBuffer self_stream;
+  comp->compress(plane, eb, self_stream, &ctx);  // observes; no dict yet
+  EXPECT_EQ(ctx.chunks_observed(), 1u);
+  for (int i = 0; i < 24; ++i) {
+    ByteBuffer scratch_stream;
+    comp->compress(plane, eb, scratch_stream, &ctx);
+  }
+  ctx.train_now();
+  ASSERT_NE(ctx.dict(), nullptr);
+
+  // Trained on this very distribution, the shared table fits: the encoder
+  // must reference it instead of embedding a per-chunk table.
+  ByteBuffer shared_stream;
+  comp->compress(plane, eb, shared_stream, &ctx);
+  EXPECT_NE(shared_stream, self_stream);
+  EXPECT_LT(shared_stream.size(), self_stream.size());
+
+  // Decoded amplitudes are identical with or without the dictionary.
+  std::vector<double> dec_self(plane.size()), dec_shared(plane.size());
+  comp->decompress(self_stream, dec_self);
+  comp->decompress(shared_stream, dec_shared, &ctx);
+  EXPECT_TRUE(bit_identical(dec_self, dec_shared));
+
+  // A dictionary-referencing stream without the dictionary is corrupt...
+  std::vector<double> scratch(plane.size());
+  EXPECT_THROW(comp->decompress(shared_stream, scratch), CorruptData);
+  DictContext untrained;
+  EXPECT_THROW(comp->decompress(shared_stream, scratch, &untrained),
+               CorruptData);
+
+  // ...and so is decoding against a DIFFERENT trained dictionary (id check).
+  DictContext other;
+  ByteBuffer tmp;
+  comp->compress(sparse_plane(44), eb, tmp, &other);
+  other.train_now();
+  ASSERT_NE(other.dict(), nullptr);
+  ASSERT_NE(other.dict()->id(), ctx.dict()->id());
+  EXPECT_THROW(comp->decompress(shared_stream, scratch, &other), CorruptData);
+}
+
+TEST(SzqDictionary, PoorFitEscapesToSelfDescribingStream) {
+  const auto comp = compress::make_compressor("szq");
+  const double eb = 1e-7;
+
+  // Train on the all-zero distribution: after +1 smoothing the table is
+  // near-uniform over the whole alphabet, a terrible fit for haar data.
+  DictContext ctx;
+  ByteBuffer tmp;
+  comp->compress(zero_plane(), eb, tmp, &ctx);
+  ctx.train_now();
+  ASSERT_NE(ctx.dict(), nullptr);
+
+  const auto plane = haar_plane(55);
+  ByteBuffer stream;
+  comp->compress(plane, eb, stream, &ctx);
+
+  // The escape means the stream is self-describing: it decodes with NO
+  // dictionary at all, to the same values as a dictionary-aware decode.
+  std::vector<double> dec_plain(plane.size()), dec_ctx(plane.size());
+  comp->decompress(stream, dec_plain);
+  comp->decompress(stream, dec_ctx, &ctx);
+  EXPECT_TRUE(bit_identical(dec_plain, dec_ctx));
+}
+
+TEST(SzqDictionary, CheckpointCarriesAndRestoresTheDictionary) {
+  compress::ChunkCodecConfig cfg;
+  cfg.compressor = "szq";
+  cfg.bound = 1e-6;
+  cfg.dict_mode = compress::DictMode::kTrain;
+  cfg.dict = std::make_shared<DictContext>();
+
+  constexpr qubit_t kQubits = 8, kChunkQubits = 5;
+  core::ChunkStore store(kQubits, kChunkQubits, cfg);
+  const index_t n_chunks = store.n_chunks();
+  const index_t chunk_amps = store.chunk_amps();
+
+  std::vector<std::vector<amp_t>> chunks(n_chunks);
+  for (index_t c = 0; c < n_chunks; ++c) {
+    const auto re = haar_plane(100 + static_cast<std::uint64_t>(c),
+                               static_cast<std::size_t>(chunk_amps));
+    const auto im = haar_plane(200 + static_cast<std::uint64_t>(c),
+                               static_cast<std::size_t>(chunk_amps));
+    chunks[c].resize(chunk_amps);
+    for (index_t k = 0; k < chunk_amps; ++k)
+      chunks[c][k] = {re[k], im[k]};
+    store.store(c, chunks[c]);
+  }
+  // Force training from the observed chunks, then re-store so blobs can
+  // reference the shared table.
+  cfg.dict->train_now();
+  ASSERT_NE(cfg.dict->dict(), nullptr);
+  for (index_t c = 0; c < n_chunks; ++c) store.store(c, chunks[c]);
+
+  std::stringstream ckpt;
+  store.save(ckpt);
+
+  // Restore into a store whose dictionary context is empty: the checkpoint
+  // must install the table, and every chunk must decode bit-identically.
+  compress::ChunkCodecConfig cfg2 = cfg;
+  cfg2.dict = std::make_shared<DictContext>();
+  core::ChunkStore restored(kQubits, kChunkQubits, cfg2);
+  restored.restore(ckpt);
+  ASSERT_NE(cfg2.dict->dict(), nullptr);
+  EXPECT_EQ(cfg2.dict->dict()->id(), cfg.dict->dict()->id());
+
+  std::vector<amp_t> a(chunk_amps), b(chunk_amps);
+  for (index_t c = 0; c < n_chunks; ++c) {
+    store.load(c, a);
+    restored.load(c, b);
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(amp_t)))
+        << "chunk " << c;
+  }
+
+  // A run with dictionaries off cannot restore a dictionary-carrying
+  // checkpoint — that must be an explicit error, not silent decode failures.
+  compress::ChunkCodecConfig cfg_off;
+  cfg_off.compressor = "szq";
+  cfg_off.bound = 1e-6;
+  core::ChunkStore off(kQubits, kChunkQubits, cfg_off);
+  std::stringstream ckpt2;
+  store.save(ckpt2);
+  EXPECT_THROW(off.restore(ckpt2), Error);
+}
+
+}  // namespace
+}  // namespace memq

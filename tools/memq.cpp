@@ -26,6 +26,7 @@
 #include "circuit/qasm.hpp"
 #include "circuit/transpile.hpp"
 #include "circuit/workloads.hpp"
+#include "common/cpu_features.hpp"
 #include "common/faultpoint.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
@@ -52,6 +53,7 @@ using namespace memq;
       "           [--cache-budget BYTES[K|M|G]] [--layout] [--fuse]\n"
       "           [--elide-swaps]\n"
       "           [--store-backend ram|file] [--blob-budget BYTES[K|M|G]]\n"
+      "           [--codec-dict off|train] [--no-simd]\n"
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
       "           [--checkpoint f] [--restore f] [--telemetry-json f.json]\n"
       "           [--trace f.json] [--stage-report] [--faults SPEC]\n"
@@ -179,6 +181,16 @@ core::EngineConfig config_from(const Args& args, qubit_t n) {
   }
   cfg.host_blob_budget_bytes =
       parse_bytes("blob-budget", args.option("blob-budget", "0"));
+  const std::string dict = args.option("codec-dict", "off");
+  if (dict == "train") {
+    cfg.codec.dict_mode = compress::DictMode::kTrain;
+  } else if (dict != "off") {
+    usage(("--codec-dict expects 'off' or 'train', got '" + dict +
+           "'").c_str());
+  }
+  // Process-wide: pins every codec worker to the scalar kernels (the
+  // bit-identical reference paths for the SIMD dispatch).
+  if (args.has_flag("no-simd")) simd::force(simd::IsaLevel::kScalar);
   cfg.optimize_layout = args.has_flag("layout");
   cfg.fuse_single_qubit_runs = args.has_flag("fuse");
   cfg.elide_swaps = args.has_flag("elide-swaps");
@@ -251,15 +263,21 @@ int cmd_workload(int argc, char** argv) {
 /// One row per stage: counter deltas + stall / modeled-idle accounting.
 void print_stage_report(const core::StageReport& rep) {
   TextTable table({"stage", "kind", "gates", "loads", "stores", "hits",
-                   "miss", "evict", "wb", "h2d", "d2h", "kern", "stall",
-                   "modeled", "idle"});
-  const auto row_cells = [](const core::StageRow& r, const std::string& id) {
+                   "miss", "evict", "wb", "h2d", "d2h", "kern", "dec MB/s",
+                   "enc MB/s", "stall", "modeled", "idle"});
+  const auto rate = [](std::uint64_t bytes, double seconds) {
+    if (seconds <= 0.0 || bytes == 0) return std::string("-");
+    return format_fixed(static_cast<double>(bytes) / seconds / 1e6, 0);
+  };
+  const auto row_cells = [&](const core::StageRow& r, const std::string& id) {
     return std::vector<std::string>{
         id, r.kind, std::to_string(r.gates), std::to_string(r.chunk_loads),
         std::to_string(r.chunk_stores), std::to_string(r.cache_hits),
         std::to_string(r.cache_misses), std::to_string(r.cache_evictions),
         std::to_string(r.cache_writebacks), human_bytes(r.h2d_bytes),
         human_bytes(r.d2h_bytes), std::to_string(r.kernel_launches),
+        rate(r.codec_decode_bytes, r.decompress_seconds),
+        rate(r.codec_encode_bytes, r.recompress_seconds),
         human_seconds(r.stall_seconds), human_seconds(r.modeled_seconds),
         human_seconds(r.device_idle_seconds)};
   };
@@ -275,6 +293,8 @@ void stage_row_json(std::ostream& os, const core::StageRow& r,
      << "\", \"gates\": " << r.gates
      << ", \"chunk_loads\": " << r.chunk_loads
      << ", \"chunk_stores\": " << r.chunk_stores
+     << ", \"codec_decode_bytes\": " << r.codec_decode_bytes
+     << ", \"codec_encode_bytes\": " << r.codec_encode_bytes
      << ", \"cache_hits\": " << r.cache_hits
      << ", \"cache_misses\": " << r.cache_misses
      << ", \"cache_evictions\": " << r.cache_evictions
@@ -299,7 +319,7 @@ int cmd_run(int argc, char** argv) {
   if (argc < 3) usage("run needs a .qasm file");
   const Args args = parse_args(argc, argv, 3,
                                {"layout", "fuse", "elide-swaps",
-                                "stage-report"});
+                                "stage-report", "no-simd"});
   std::string trace_path = args.option("trace", "");
   if (!trace_path.empty() && !trace::enabled()) {
     trace::start(trace_path);  // before engine construction: workers register
@@ -426,9 +446,16 @@ int cmd_run(int argc, char** argv) {
       std::cerr << "cannot write " << json_path << "\n";
       return 1;
     }
+    const double dec_s = t.cpu_phases.get("decompress");
+    const double enc_s = t.cpu_phases.get("recompress");
     jf << "{\n"
-       << "  \"schema_version\": 3,\n"
+       << "  \"schema_version\": 4,\n"
        << "  \"engine\": \"" << engine->name() << "\",\n"
+       << "  \"simd\": \"" << simd::name(simd::active()) << "\",\n"
+       << "  \"codec_dict\": \""
+       << (cfg.codec.dict_mode == compress::DictMode::kTrain ? "train"
+                                                             : "off")
+       << "\",\n"
        << "  \"qubits\": " << n << ",\n"
        << "  \"store_backend\": \""
        << (cfg.store_backend == core::StoreBackend::kFile ? "file" : "ram")
@@ -445,6 +472,16 @@ int cmd_run(int argc, char** argv) {
        << ",\n"
        << "  \"chunk_loads\": " << t.chunk_loads << ",\n"
        << "  \"chunk_stores\": " << t.chunk_stores << ",\n"
+       << "  \"codec_decode_bytes\": " << t.codec_decode_bytes << ",\n"
+       << "  \"codec_encode_bytes\": " << t.codec_encode_bytes << ",\n"
+       << "  \"codec_decode_bytes_per_sec\": "
+       << (dec_s > 0.0 ? static_cast<double>(t.codec_decode_bytes) / dec_s
+                       : 0.0)
+       << ",\n"
+       << "  \"codec_encode_bytes_per_sec\": "
+       << (enc_s > 0.0 ? static_cast<double>(t.codec_encode_bytes) / enc_s
+                       : 0.0)
+       << ",\n"
        << "  \"zero_chunks_skipped\": " << t.zero_chunks_skipped << ",\n"
        << "  \"cache_hits\": " << t.cache_hits << ",\n"
        << "  \"cache_misses\": " << t.cache_misses << ",\n"
@@ -493,7 +530,7 @@ int cmd_run(int argc, char** argv) {
 
 int cmd_compress(int argc, char** argv) {
   if (argc < 3) usage("compress needs a .qasm file");
-  const Args args = parse_args(argc, argv, 3, {});
+  const Args args = parse_args(argc, argv, 3, {"no-simd"});
   const circuit::QasmProgram prog = circuit::parse_qasm_file(argv[2]);
   const qubit_t n = prog.circuit.n_qubits();
 
