@@ -1,23 +1,14 @@
-// FNV-1a 64-bit checksum, used by the chunk codec to detect corrupted
-// compressed chunks before feeding them to a decoder.
+// Compatibility alias: FNV-1a moved to common/hash.hpp so that core/ (blob
+// dedup) and compress/ (chunk framing, dictionary ids) share one definition.
+// Existing includes of compress/checksum.hpp keep working unchanged.
 #pragma once
 
-#include <cstdint>
-#include <span>
+#include "common/hash.hpp"
 
 namespace memq::compress {
 
-constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
-
-constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
-                                std::uint64_t seed = kFnvOffset) noexcept {
-  std::uint64_t h = seed;
-  for (const std::uint8_t b : data) {
-    h ^= b;
-    h *= kFnvPrime;
-  }
-  return h;
-}
+using common::kFnvOffset;
+using common::kFnvPrime;
+using common::fnv1a64;
 
 }  // namespace memq::compress

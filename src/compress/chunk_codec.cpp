@@ -5,11 +5,13 @@
 
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
-#include "compress/checksum.hpp"
+#include "common/hash.hpp"
 #include "compress/dictionary.hpp"
 #include "compress/simd_kernels.hpp"
 
 namespace memq::compress {
+
+using common::fnv1a64;
 
 namespace {
 
@@ -18,6 +20,18 @@ constexpr std::uint8_t kVersion = 1;
 
 constexpr std::uint8_t kFlagZeroChunk = 1u << 0;
 constexpr std::uint8_t kFlagChecksum = 1u << 1;
+constexpr std::uint8_t kFlagConstChunk = 1u << 2;
+
+// True when every amplitude equals the first one bitwise. The constant tag
+// round-trips exactly, so classification must be bitwise too — comparing
+// with == would tag -0.0 chunks as constant 0.0 and change stored bits.
+bool all_amps_equal(std::span<const amp_t> amps) noexcept {
+  const auto* flat = reinterpret_cast<const std::uint64_t*>(amps.data());
+  const std::uint64_t re = flat[0], im = flat[1];
+  for (std::size_t k = 1; k < amps.size(); ++k)
+    if (flat[2 * k] != re || flat[2 * k + 1] != im) return false;
+  return true;
+}
 
 }  // namespace
 
@@ -45,6 +59,18 @@ void ChunkCodec::encode(std::span<const amp_t> amps, ByteBuffer& out) {
   if (max_abs == 0.0) {
     flags |= kFlagZeroChunk;
     w.u8(flags);
+    if (config_.checksum) w.u64(fnv1a64({out.data(), out.size()}));
+    return;
+  }
+  // Constant chunk: store the one repeated amplitude as a 16-byte tag in
+  // place of a codec stream. Like the zero path this is always on (not
+  // gated by --dedup): the tag decodes bit-exactly where a lossy codec
+  // would not, so gating it would make the two arms diverge.
+  if (amps.size() > 1 && all_amps_equal(amps)) {
+    flags |= kFlagConstChunk;
+    w.u8(flags);
+    w.f64(amps[0].real());
+    w.f64(amps[0].imag());
     if (config_.checksum) w.u64(fnv1a64({out.data(), out.size()}));
     return;
   }
@@ -98,6 +124,12 @@ void ChunkCodec::decode(std::span<const std::uint8_t> data,
     return;
   }
 
+  if (flags & kFlagConstChunk) {
+    const double re = r.f64(), im = r.f64();
+    std::fill(amps.begin(), amps.end(), amp_t{re, im});
+    return;
+  }
+
   (void)r.f64();  // eb_abs: informational; each codec re-reads its own copy
 
   re_.resize(amps.size());
@@ -124,6 +156,14 @@ bool ChunkCodec::is_zero_chunk(std::span<const std::uint8_t> data) {
   if (r.u8() != kVersion) throw CorruptData("chunk: unsupported version");
   (void)r.varint();
   return (r.u8() & kFlagZeroChunk) != 0;
+}
+
+bool ChunkCodec::is_constant_chunk(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw CorruptData("chunk: bad magic");
+  if (r.u8() != kVersion) throw CorruptData("chunk: unsupported version");
+  (void)r.varint();
+  return (r.u8() & (kFlagZeroChunk | kFlagConstChunk)) != 0;
 }
 
 void ChunkCodec::verify(std::span<const std::uint8_t> data) {

@@ -68,6 +68,11 @@ class ChunkCodec {
   /// (header peek; no decompression).
   static bool is_zero_chunk(std::span<const std::uint8_t> data);
 
+  /// True if the chunk decodes as a `fill` — all-zero or all-one-value
+  /// (constant tag). Such chunks bypass the codec payload, the CodecPool,
+  /// and modeled H2D transfer. Header peek; no decompression.
+  static bool is_constant_chunk(std::span<const std::uint8_t> data);
+
   /// Validates framing and (when present) the checksum without decoding
   /// the payload; throws CorruptData on any mismatch. Used by checkpoint
   /// restore to reject rotten blobs early.

@@ -1,20 +1,11 @@
 #include "compress/dictionary.hpp"
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace memq::compress {
-namespace {
 
-std::uint64_t fnv1a64(std::span<const std::uint8_t> data) noexcept {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::uint8_t b : data) {
-    h ^= b;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-}  // namespace
+using common::fnv1a64;
 
 SzqDict SzqDict::build(std::span<const std::uint64_t> counts) {
   // +1 smoothing: every alphabet symbol gets a nonzero count, hence a code.

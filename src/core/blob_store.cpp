@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "common/trace.hpp"
 #include "compress/chunk_codec.hpp"
@@ -44,6 +45,14 @@ std::uint64_t RamBlobStore::size(index_t i) const { return blobs_[i].size(); }
 
 bool RamBlobStore::is_zero(index_t i) const {
   return compress::ChunkCodec::is_zero_chunk(blobs_[i]);
+}
+
+bool RamBlobStore::is_constant(index_t i) const {
+  return compress::ChunkCodec::is_constant_chunk(blobs_[i]);
+}
+
+void RamBlobStore::free_blob(index_t i) {
+  blobs_[i] = compress::ByteBuffer{};
 }
 
 void RamBlobStore::swap(index_t i, index_t j) {
@@ -469,6 +478,7 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entries_[i];
   const bool zero = compress::ChunkCodec::is_zero_chunk(blob);
+  const bool constant = compress::ChunkCodec::is_constant_chunk(blob);
   if (e.resident) {
     lru_order_.erase(e.lru);
     stats_.resident_bytes -= e.bytes;
@@ -477,6 +487,7 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
   }
   e.bytes = blob.size();
   e.zero = zero;
+  e.constant = constant;
   e.on_disk = false;  // any disk copy is now stale (region stays reserved)
   if (degraded_ || (e.bytes <= budget_ && budget_ > 0)) {
     make_room_locked(e.bytes, i);
@@ -515,6 +526,25 @@ bool FileBlobStore::is_zero(index_t i) const {
   return entries_[i].zero;
 }
 
+bool FileBlobStore::is_constant(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_[i].constant;
+}
+
+void FileBlobStore::free_blob(index_t i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[i];
+  if (e.resident) {
+    lru_order_.erase(e.lru);
+    stats_.resident_bytes -= e.bytes;
+  }
+  // Return the file region to the best-fit free list EXACTLY once: the
+  // reset below clears file_cap, so a repeated free (or a later write) can
+  // never re-donate the same region and hand one offset to two blobs.
+  if (e.file_cap > 0) free_regions_.emplace(e.file_cap, e.file_off);
+  e = Entry{};
+}
+
 void FileBlobStore::swap(index_t i, index_t j) {
   if (i == j) return;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -527,6 +557,198 @@ void FileBlobStore::swap(index_t i, index_t j) {
 BlobStore::Stats FileBlobStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+// -------------------------------------------------------------- dedup ----
+
+DedupBlobStore::DedupBlobStore(std::unique_ptr<BlobStore> inner)
+    : inner_(std::move(inner)),
+      name_(std::string("dedup+") + inner_->name()) {}
+
+void DedupBlobStore::resize(index_t n_blobs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Every live physical slot is held by >= 1 logical blob and a write only
+  // allocates while its own logical slot is detached, so physical demand
+  // never exceeds the logical count: the inner store can be sized 1:1.
+  inner_->resize(n_blobs);
+  logical_.assign(n_blobs, kUnmapped);
+  phys_.assign(n_blobs, PhysMeta{});
+  by_hash_.clear();
+  free_phys_.clear();
+  next_phys_ = 0;
+  physical_bytes_ = 0;
+}
+
+index_t DedupBlobStore::alloc_phys_locked() {
+  if (!free_phys_.empty()) {
+    const index_t p = free_phys_.back();
+    free_phys_.pop_back();
+    return p;
+  }
+  MEMQ_CHECK(next_phys_ < static_cast<index_t>(phys_.size()),
+             "dedup: physical slots exhausted");
+  return next_phys_++;
+}
+
+void DedupBlobStore::release_phys_locked(index_t p) {
+  PhysMeta& m = phys_[p];
+  if (--m.refcount > 0) return;
+  const auto [lo, hi] = by_hash_.equal_range(m.hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == p) {
+      by_hash_.erase(it);
+      break;
+    }
+  }
+  physical_bytes_ -= m.bytes;
+  inner_->free_blob(p);
+  m = PhysMeta{};
+  free_phys_.push_back(p);
+}
+
+index_t DedupBlobStore::find_match_locked(
+    std::uint64_t hash, const compress::ByteBuffer& blob) {
+  const auto [lo, hi] = by_hash_.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    const index_t p = it->second;
+    if (phys_[p].bytes != blob.size()) continue;
+    // Mandatory verify-on-match: a 64-bit hash equality alone must never
+    // alias amplitudes — the candidate's actual bytes decide.
+    const compress::ByteBuffer& have = inner_->read(p, cmp_scratch_);
+    if (std::equal(have.begin(), have.end(), blob.begin())) return p;
+  }
+  return kUnmapped;
+}
+
+const compress::ByteBuffer& DedupBlobStore::read(
+    index_t i, compress::ByteBuffer& scratch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t p = logical_[i];
+  MEMQ_CHECK(p != kUnmapped, "blob " << i << " read before first write");
+  return inner_->read(p, scratch);
+}
+
+void DedupBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
+  const std::uint64_t hash = common::fnv1a64(blob);
+  const bool zero = compress::ChunkCodec::is_zero_chunk(blob);
+  const bool constant = compress::ChunkCodec::is_constant_chunk(blob);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t old = logical_[i];
+  const index_t match = find_match_locked(hash, blob);
+  if (match != kUnmapped) {
+    if (match != old) {
+      ++stats_.dedup_hits;
+      stats_.dedup_bytes_saved += blob.size();
+      MEMQ_TRACE_INSTANT("spill", "dedup.hit",
+                         trace::arg("blob", std::uint64_t{i}) + "," +
+                             trace::arg("bytes", std::uint64_t{blob.size()}));
+      ++phys_[match].refcount;
+      logical_[i] = match;
+      if (old != kUnmapped) release_phys_locked(old);
+    }
+    return;  // identical content already stored: nothing physical to do
+  }
+  if (old != kUnmapped && phys_[old].refcount == 1) {
+    // Exclusive owner: overwrite the physical slot in place.
+    PhysMeta& m = phys_[old];
+    const auto [lo, hi] = by_hash_.equal_range(m.hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == old) {
+        by_hash_.erase(it);
+        break;
+      }
+    }
+    physical_bytes_ += blob.size();
+    physical_bytes_ -= m.bytes;
+    peak_physical_bytes_ = std::max(peak_physical_bytes_, physical_bytes_);
+    m = PhysMeta{1, hash, blob.size(), ++next_token_, zero, constant};
+    by_hash_.emplace(hash, old);
+    inner_->write(old, std::move(blob));
+    return;
+  }
+  if (old != kUnmapped) {
+    // Divergent write to a shared slot: copy-on-write break. The other
+    // holders keep the original; this writer moves to a fresh slot.
+    ++stats_.cow_breaks;
+    MEMQ_TRACE_INSTANT("spill", "dedup.cow",
+                       trace::arg("blob", std::uint64_t{i}));
+    --phys_[old].refcount;
+  }
+  const index_t p = alloc_phys_locked();
+  physical_bytes_ += blob.size();
+  peak_physical_bytes_ = std::max(peak_physical_bytes_, physical_bytes_);
+  phys_[p] = PhysMeta{1, hash, blob.size(), ++next_token_, zero, constant};
+  by_hash_.emplace(hash, p);
+  logical_[i] = p;
+  inner_->write(p, std::move(blob));
+}
+
+std::uint64_t DedupBlobStore::size(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t p = logical_[i];
+  return p == kUnmapped ? 0 : phys_[p].bytes;
+}
+
+bool DedupBlobStore::is_zero(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t p = logical_[i];
+  return p != kUnmapped && phys_[p].zero;
+}
+
+bool DedupBlobStore::is_constant(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t p = logical_[i];
+  return p != kUnmapped && (phys_[p].zero || phys_[p].constant);
+}
+
+std::uint64_t DedupBlobStore::content_id(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t p = logical_[i];
+  // The slot's fill token IS the id: two logical blobs report the same id
+  // iff they were byte-verified onto one copy, so equality is
+  // collision-proof (unlike exposing the raw hash) — and tokens are never
+  // reused, so a stale remembered id can never match recycled content.
+  return p == kUnmapped ? kNoContentId : phys_[p].token;
+}
+
+void DedupBlobStore::free_blob(index_t i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t p = logical_[i];
+  if (p == kUnmapped) return;
+  logical_[i] = kUnmapped;
+  release_phys_locked(p);
+}
+
+void DedupBlobStore::swap(index_t i, index_t j) {
+  if (i == j) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::swap(logical_[i], logical_[j]);  // O(1): bytes never move
+}
+
+index_t DedupBlobStore::physical_blobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_phys_ - static_cast<index_t>(free_phys_.size());
+}
+
+std::uint64_t DedupBlobStore::refcount(index_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const index_t p = logical_[i];
+  return p == kUnmapped ? 0 : phys_[p].refcount;
+}
+
+BlobStore::Stats DedupBlobStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = inner_->stats();
+  s.dedup_hits = stats_.dedup_hits;
+  s.dedup_bytes_saved = stats_.dedup_bytes_saved;
+  s.cow_breaks = stats_.cow_breaks;
+  if (!inner_->tracks_residency()) {
+    // RAM inner store keeps every physical byte resident: report the
+    // deduped physical footprint as the honest residency numbers.
+    s.resident_bytes = physical_bytes_;
+    s.peak_resident_bytes = peak_physical_bytes_;
+  }
+  return s;
 }
 
 }  // namespace memq::core

@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -49,7 +51,14 @@ class BlobStore {
     std::uint64_t file_bytes = 0;          ///< backing-file high-water mark
     std::uint64_t io_retries = 0;          ///< transient spill I/O retries
     std::uint64_t degraded_to_ram = 0;     ///< 1 after persistent spill failure
+    std::uint64_t dedup_hits = 0;          ///< writes coalesced onto a shared copy
+    std::uint64_t dedup_bytes_saved = 0;   ///< compressed bytes not stored twice
+    std::uint64_t cow_breaks = 0;          ///< shared blobs split by divergent writes
   };
+
+  /// content_id() value for backends without content tracking: never equal
+  /// to another blob's id, so callers never alias.
+  static constexpr std::uint64_t kNoContentId = ~std::uint64_t{0};
 
   virtual ~BlobStore() = default;
 
@@ -82,6 +91,25 @@ class BlobStore {
   /// Backends answer from metadata — never from a disk read.
   virtual bool is_zero(index_t i) const = 0;
 
+  /// True if blob `i` decodes as a fill (all-zero or constant-tagged).
+  /// Backends answer from metadata — never from a disk read.
+  virtual bool is_constant(index_t i) const { return is_zero(i); }
+
+  /// Opaque id equal for two blobs iff they are byte-verified to share one
+  /// physical copy right now. kNoContentId when the backend does not dedup
+  /// (or the blob was never written) — callers must then never alias. Ids
+  /// are never reused within a store's lifetime, so a remembered id can
+  /// never silently alias different content written later.
+  virtual std::uint64_t content_id(index_t /*i*/) const { return kNoContentId; }
+
+  /// True when content_id() actually tracks content (dedup backends) —
+  /// callers use this to gate redundancy-aware shortcuts up the stack.
+  virtual bool content_addressed() const noexcept { return false; }
+
+  /// Drops blob `i` back to its never-written state, releasing its bytes
+  /// (and any spill-file region) for reuse. Idempotent.
+  virtual void free_blob(index_t /*i*/) {}
+
   /// Exchanges blobs `i` and `j` without touching their bytes.
   virtual void swap(index_t i, index_t j) = 0;
 
@@ -110,6 +138,8 @@ class RamBlobStore final : public BlobStore {
   compress::ByteBuffer* inplace_slot(index_t i) override;
   std::uint64_t size(index_t i) const override;
   bool is_zero(index_t i) const override;
+  bool is_constant(index_t i) const override;
+  void free_blob(index_t i) override;
   void swap(index_t i, index_t j) override;
 
  private:
@@ -141,6 +171,8 @@ class FileBlobStore final : public BlobStore {
   void write(index_t i, compress::ByteBuffer&& blob) override;
   std::uint64_t size(index_t i) const override;
   bool is_zero(index_t i) const override;
+  bool is_constant(index_t i) const override;
+  void free_blob(index_t i) override;
   void swap(index_t i, index_t j) override;
   void sync() override;
   bool tracks_residency() const noexcept override { return true; }
@@ -173,6 +205,7 @@ class FileBlobStore final : public BlobStore {
     bool resident = false;
     bool on_disk = false;         ///< file region holds the CURRENT bytes
     bool zero = false;            ///< codec zero-chunk fast path
+    bool constant = false;        ///< codec zero/constant fill fast path
   };
 
   void touch_locked(index_t i);
@@ -217,6 +250,86 @@ class FileBlobStore final : public BlobStore {
   std::uint64_t file_end_ = 0;
   std::uint64_t lru_tick_ = 0;
   Stats stats_;
+};
+
+/// Content-hashed dedup wrapper over any inner backend: logical blob
+/// indices map onto refcounted physical slots of the inner store, so N
+/// identical blobs (ubiquitous early in GHZ/QFT circuits) occupy ONE
+/// physical copy in RAM and in the spill file. A write is FNV-1a hashed
+/// and — on an index match — byte-compared against the candidate before
+/// sharing, so a hash collision can never alias amplitudes. Divergent
+/// writes to a shared slot copy-on-write: the writer detaches onto a fresh
+/// physical slot (`cow_breaks`), everyone else keeps the original.
+///
+/// `inplace_slot` is deliberately unsupported (returns nullptr): an
+/// in-place encode would mutate a possibly-shared physical buffer before
+/// the wrapper could hash it. ChunkStore's encode-to-temp path handles
+/// this with identical byte accounting.
+class DedupBlobStore final : public BlobStore {
+ public:
+  explicit DedupBlobStore(std::unique_ptr<BlobStore> inner);
+
+  const char* name() const noexcept override { return name_.c_str(); }
+  void resize(index_t n_blobs) override;
+  const compress::ByteBuffer& read(index_t i,
+                                   compress::ByteBuffer& scratch) override;
+  void write(index_t i, compress::ByteBuffer&& blob) override;
+  std::uint64_t size(index_t i) const override;
+  bool is_zero(index_t i) const override;
+  bool is_constant(index_t i) const override;
+  std::uint64_t content_id(index_t i) const override;
+  bool content_addressed() const noexcept override { return true; }
+  void free_blob(index_t i) override;
+  void swap(index_t i, index_t j) override;
+  void sync() override { inner_->sync(); }
+  /// Always true: physical (deduped) bytes are the honest residency story
+  /// even over a RAM inner store.
+  bool tracks_residency() const noexcept override { return true; }
+  Stats stats() const override;
+
+  BlobStore& inner() noexcept { return *inner_; }
+  /// Number of physical slots currently holding at least one logical blob.
+  index_t physical_blobs() const;
+  /// Refcount of the physical slot behind logical blob `i` (0 = unmapped).
+  std::uint64_t refcount(index_t i) const;
+
+ private:
+  static constexpr index_t kUnmapped = ~index_t{0};
+
+  struct PhysMeta {
+    std::uint64_t refcount = 0;
+    std::uint64_t hash = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t token = 0;  ///< content_id; unique per content fill, never reused
+    bool zero = false;
+    bool constant = false;
+  };
+
+  index_t alloc_phys_locked();
+  /// Drops one reference; at zero, frees the inner blob (returning any
+  /// spill region exactly once), unindexes the hash, and recycles the slot.
+  void release_phys_locked(index_t p);
+  /// Physical slot holding byte-identical content, or kUnmapped.
+  index_t find_match_locked(std::uint64_t hash,
+                            const compress::ByteBuffer& blob);
+
+  std::unique_ptr<BlobStore> inner_;
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::vector<index_t> logical_;   ///< logical index -> physical slot
+  std::vector<PhysMeta> phys_;
+  std::unordered_multimap<std::uint64_t, index_t> by_hash_;  ///< hash -> phys
+  std::vector<index_t> free_phys_;
+  index_t next_phys_ = 0;
+  /// Monotonic content-token source. Deliberately NOT reset by resize():
+  /// tokens must stay unique for the store's whole lifetime so memoized
+  /// ids up the stack (ChunkCache aliasing, ChunkStore codec memo) can
+  /// never match recycled slots holding new content.
+  std::uint64_t next_token_ = 0;
+  compress::ByteBuffer cmp_scratch_;  ///< verify-on-match read buffer
+  std::uint64_t physical_bytes_ = 0;  ///< bytes across live physical slots
+  std::uint64_t peak_physical_bytes_ = 0;
+  Stats stats_;  ///< dedup_{hits,bytes_saved}, cow_breaks only
 };
 
 }  // namespace memq::core

@@ -168,11 +168,13 @@ void ChunkCache::evict_to_fit(std::uint64_t extra_bytes) {
   }
 }
 
-void ChunkCache::insert(index_t i, std::span<const amp_t> data, bool dirty) {
+void ChunkCache::insert(index_t i, std::span<const amp_t> data, bool dirty,
+                        bool from_decode) {
   Entry entry;
   entry.data = buffers_.get(store_.chunk_amps());
   std::copy(data.begin(), data.end(), entry.data.begin());
   entry.dirty = dirty;
+  entry.from_decode = from_decode;
   ledger_.acquire(chunk_raw_bytes_);
   resident_bytes_ += chunk_raw_bytes_;
   stats_.peak_resident_bytes =
@@ -196,6 +198,7 @@ void ChunkCache::load(index_t i, std::span<amp_t> out) {
     return;
   }
   guard_slot(i);
+  if (try_alias_load(i, out)) return;
   MEMQ_TRACE_INSTANT("cache", "miss", trace::arg("chunk", std::uint64_t{i}));
   WallTimer t;
   store_.load(i, out);
@@ -204,8 +207,39 @@ void ChunkCache::load(index_t i, std::span<amp_t> out) {
   advance_clock(i);  // pass-throughs must still move the Belady clock
   if (budget_bytes_ >= chunk_raw_bytes_ && worth_inserting(i)) {
     evict_to_fit(chunk_raw_bytes_);
-    insert(i, out, /*dirty=*/false);
+    insert(i, out, /*dirty=*/false, /*from_decode=*/true);
   }
+}
+
+bool ChunkCache::try_alias_load(index_t i, std::span<amp_t> out) {
+  const std::uint64_t cid = store_.content_id(i);
+  if (cid == BlobStore::kNoContentId) return false;
+  index_t source = 0;
+  bool found = false;
+  for (const auto& [slot, e] : entries_) {
+    // Eligible sources hold exactly decode(blob bytes): clean, no encode in
+    // flight, and decode-derived (see Entry::from_decode). Since the blob
+    // store byte-verified slot and i onto one physical copy, copying the
+    // entry is bit-identical to decoding blob i.
+    if (e.dirty || !e.from_decode) continue;
+    if (!pending_wb_.empty() && pending_wb_.count(slot) != 0) continue;
+    if (store_.content_id(slot) != cid) continue;
+    std::copy(e.data.begin(), e.data.end(), out.begin());
+    source = slot;
+    found = true;
+    break;
+  }
+  if (!found) return false;
+  ++stats_.alias_hits;
+  MEMQ_TRACE_INSTANT("cache", "alias_hit",
+                     trace::arg("chunk", std::uint64_t{i}) + "," +
+                         trace::arg("source", std::uint64_t{source}));
+  advance_clock(i);
+  if (budget_bytes_ >= chunk_raw_bytes_ && worth_inserting(i)) {
+    evict_to_fit(chunk_raw_bytes_);
+    insert(i, out, /*dirty=*/false, /*from_decode=*/true);
+  }
+  return true;
 }
 
 void ChunkCache::store(index_t i, std::span<const amp_t> in) {
@@ -214,6 +248,7 @@ void ChunkCache::store(index_t i, std::span<const amp_t> in) {
   if (it != entries_.end()) {
     std::copy(in.begin(), in.end(), it->second.data.begin());
     it->second.dirty = true;
+    it->second.from_decode = false;  // pre-codec amplitudes from here on
     touch(i, it->second);
     ++stats_.stores_absorbed;
     return;
@@ -222,7 +257,7 @@ void ChunkCache::store(index_t i, std::span<const amp_t> in) {
   advance_clock(i);
   if (budget_bytes_ >= chunk_raw_bytes_ && worth_inserting(i)) {
     evict_to_fit(chunk_raw_bytes_);
-    insert(i, in, /*dirty=*/true);
+    insert(i, in, /*dirty=*/true, /*from_decode=*/false);
     ++stats_.stores_absorbed;
     return;
   }
@@ -242,6 +277,13 @@ bool ChunkCache::is_zero(index_t i) const {
   // possibly nonzero rather than racing the write-back worker.
   if (!pending_wb_.empty() && pending_wb_.count(i) != 0) return false;
   return store_.is_zero_chunk(i);
+}
+
+bool ChunkCache::is_constant(index_t i) const {
+  const auto it = entries_.find(i);
+  if (it != entries_.end() && it->second.dirty) return false;
+  if (!pending_wb_.empty() && pending_wb_.count(i) != 0) return false;
+  return store_.is_constant_chunk(i);
 }
 
 bool ChunkCache::dirty(index_t i) const {

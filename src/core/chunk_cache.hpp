@@ -54,6 +54,8 @@ class ChunkStore;
 struct ChunkCacheStats {
   std::uint64_t hits = 0;             ///< loads served from the cache
   std::uint64_t misses = 0;           ///< loads that had to decode
+  std::uint64_t alias_hits = 0;       ///< misses served by copying a resident
+                                      ///< entry of a dedup-shared blob
   std::uint64_t evictions = 0;        ///< entries displaced by the budget
   std::uint64_t writebacks = 0;       ///< deferred encodes actually paid
   std::uint64_t clean_evictions = 0;  ///< evictions that skipped the encode
@@ -121,6 +123,10 @@ class ChunkCache {
   /// backlog (a pending slot conservatively reports false).
   bool is_zero(index_t i) const;
 
+  /// Cache-aware fill query, same conservatism as is_zero(): true only when
+  /// the blob's zero/constant tag is authoritative for the current contents.
+  bool is_constant(index_t i) const;
+
   /// True if the cached copy of `i` exists and is dirty (blob stale).
   bool dirty(index_t i) const;
 
@@ -160,6 +166,12 @@ class ChunkCache {
   struct Entry {
     std::vector<amp_t> data;
     bool dirty = false;
+    /// Provenance: true iff `data` came out of ChunkCodec::decode (miss
+    /// decode or alias copy of one). Only such entries may serve dedup
+    /// alias hits — a store()-inserted entry holds PRE-codec amplitudes,
+    /// which a lossy codec would not reproduce, so copying it would break
+    /// bit-identity with the dedup-off path.
+    bool from_decode = false;
     std::uint64_t last_use = 0;  ///< LRU tick
     std::uint64_t next_use = 0;  ///< Belady: next scheduled access time
   };
@@ -187,7 +199,11 @@ class ChunkCache {
   /// Evicts victims until `extra_bytes` more fit in the budget.
   void evict_to_fit(std::uint64_t extra_bytes);
   /// Inserts a copy of `data` (caller guarantees it fits after eviction).
-  void insert(index_t i, std::span<const amp_t> data, bool dirty);
+  void insert(index_t i, std::span<const amp_t> data, bool dirty,
+              bool from_decode);
+  /// Serves a miss of `i` by copying a clean decode-derived entry of a
+  /// blob-store-verified identical chunk. False when no such entry exists.
+  bool try_alias_load(index_t i, std::span<amp_t> out);
   void writeback(index_t slot, std::vector<amp_t> buf);
 
   ChunkStore& store_;

@@ -1,11 +1,13 @@
 #include "core/chunk_store.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/trace.hpp"
 #include "compress/dictionary.hpp"
 
@@ -81,9 +83,45 @@ void ChunkStore::load_with(compress::ChunkCodec& codec, index_t i,
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
   MEMQ_CHECK(out.size() == chunk_amps(), "load span size mismatch");
   MEMQ_TRACE_SCOPE("codec", "decode", trace::arg("chunk", std::uint64_t{i}));
+  // Redundancy memo: a recent decode of the same physical content (token
+  // equality is byte-verified sharing, and tokens are never reused) makes
+  // this load a copy. The token is stable across the unlocked window — the
+  // pipeline never stores a chunk while also loading it.
+  const std::uint64_t token = blob_store_->content_addressed()
+                                  ? blob_store_->content_id(i)
+                                  : BlobStore::kNoContentId;
+  if (token != BlobStore::kNoContentId) {
+    std::lock_guard<std::mutex> lock(memo_.mutex);
+    for (const CodecMemo::Decoded& e : memo_.decoded) {
+      if (e.token != token) continue;
+      std::copy(e.amps.begin(), e.amps.end(), out.begin());
+      // Counter only, no trace instant: memo hits depend on worker
+      // interleaving, and trace span content must stay deterministic
+      // across codec thread counts (PR 4 contract, test-enforced).
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      loads_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   compress::ByteBuffer scratch;  // untouched by the RAM backend
-  codec.decode(blob_store_->read(i, scratch), out);
+  const compress::ByteBuffer& blob = blob_store_->read(i, scratch);
+  const bool constant = compress::ChunkCodec::is_constant_chunk(blob);
+  if (constant) {
+    constant_loads_.fetch_add(1, std::memory_order_relaxed);
+    MEMQ_TRACE_INSTANT("codec", "const_fill",
+                       trace::arg("chunk", std::uint64_t{i}));
+  }
+  codec.decode(blob, out);
   loads_.fetch_add(1, std::memory_order_relaxed);
+  if (token != BlobStore::kNoContentId && !constant) {
+    // Constant fills are cheaper than the memo copy — don't let them
+    // churn the entries real decodes want.
+    std::lock_guard<std::mutex> lock(memo_.mutex);
+    CodecMemo::Decoded& e = memo_.decoded[memo_.decoded_next];
+    memo_.decoded_next = (memo_.decoded_next + 1) % CodecMemo::kWays;
+    e.token = token;
+    e.amps.assign(out.begin(), out.end());
+  }
 }
 
 void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
@@ -95,13 +133,65 @@ void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
     // RAM backend: encode straight into the stored buffer (historical path).
     const std::int64_t before = static_cast<std::int64_t>(slot->size());
     codec.encode(in, *slot);
+    if (compress::ChunkCodec::is_constant_chunk(*slot))
+      constant_stores_.fetch_add(1, std::memory_order_relaxed);
     account_store(static_cast<std::int64_t>(slot->size()) - before);
     return;
   }
   const std::int64_t before = static_cast<std::int64_t>(blob_store_->size(i));
+  // Redundancy memo: when the backend dedups anyway, a store whose raw
+  // amplitudes byte-match a recent one can reuse that encode's blob —
+  // encode is deterministic, so these are exactly the bytes a fresh encode
+  // would produce (bit-identity with the memo off), and the backend's own
+  // hash+verify still runs on them.
+  // Fill chunks (all amplitudes bitwise equal — a one-memcmp check) skip
+  // the memo entirely: their encode is already a tag, cheaper than a hash.
+  const bool addressed =
+      blob_store_->content_addressed() &&
+      !(in.size() > 1 &&
+        std::memcmp(in.data(), in.data() + 1,
+                    (in.size() - 1) * sizeof(amp_t)) == 0);
+  const std::uint64_t raw_hash =
+      addressed
+          ? common::fnv1a64_words(
+                {reinterpret_cast<const std::uint8_t*>(in.data()),
+                 in.size() * sizeof(amp_t)})
+          : 0;
+  if (addressed) {
+    std::unique_lock<std::mutex> lock(memo_.mutex);
+    for (const CodecMemo::Encoded& e : memo_.encoded) {
+      if (e.raw_hash != raw_hash || e.raw.size() != in.size()) continue;
+      // Bitwise, not value, equality: -0.0 == +0.0 as doubles but the two
+      // need not encode to the same blob, and the memo guarantees the
+      // exact bytes a fresh encode would produce.
+      if (std::memcmp(in.data(), e.raw.data(),
+                      in.size() * sizeof(amp_t)) != 0)
+        continue;
+      compress::ByteBuffer blob = e.blob;  // copy: write() consumes it
+      lock.unlock();
+      // Counter only, no trace instant — see the decode-side note.
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      const std::int64_t after = static_cast<std::int64_t>(blob.size());
+      if (compress::ChunkCodec::is_constant_chunk(blob))
+        constant_stores_.fetch_add(1, std::memory_order_relaxed);
+      blob_store_->write(i, std::move(blob));
+      account_store(after - before);
+      return;
+    }
+  }
   compress::ByteBuffer blob;
   codec.encode(in, blob);
   const std::int64_t after = static_cast<std::int64_t>(blob.size());
+  const bool constant = compress::ChunkCodec::is_constant_chunk(blob);
+  if (constant) constant_stores_.fetch_add(1, std::memory_order_relaxed);
+  if (addressed && !constant) {
+    std::lock_guard<std::mutex> lock(memo_.mutex);
+    CodecMemo::Encoded& e = memo_.encoded[memo_.encoded_next];
+    memo_.encoded_next = (memo_.encoded_next + 1) % CodecMemo::kWays;
+    e.raw_hash = raw_hash;
+    e.raw.assign(in.begin(), in.end());
+    e.blob = blob;
+  }
   blob_store_->write(i, std::move(blob));
   account_store(after - before);
 }
@@ -114,6 +204,16 @@ void ChunkStore::swap_chunks(index_t i, index_t j) {
 bool ChunkStore::is_zero_chunk(index_t i) const {
   MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
   return blob_store_->is_zero(i);
+}
+
+bool ChunkStore::is_constant_chunk(index_t i) const {
+  MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
+  return blob_store_->is_constant(i);
+}
+
+std::uint64_t ChunkStore::content_id(index_t i) const {
+  MEMQ_CHECK(i < n_chunks(), "chunk index out of range");
+  return blob_store_->content_id(i);
 }
 
 std::uint64_t ChunkStore::peak_resident_bytes() const {

@@ -8,10 +8,12 @@
 // budget. ChunkStore keeps the codec, the geometry, and the accounting.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.hpp"
@@ -62,6 +64,15 @@ class ChunkStore {
   /// True if chunk `i` was stored as the all-zero fast path.
   bool is_zero_chunk(index_t i) const;
 
+  /// True if chunk `i` materializes as a fill (all-zero or constant tag):
+  /// its decode bypasses the compressor and is cheap enough to run inline.
+  bool is_constant_chunk(index_t i) const;
+
+  /// Blob-store content id of chunk `i`: equal for two chunks iff the
+  /// backend byte-verified them onto one shared physical copy
+  /// (BlobStore::kNoContentId when the backend does not dedup).
+  std::uint64_t content_id(index_t i) const;
+
   /// Current total compressed footprint.
   std::uint64_t compressed_bytes() const noexcept {
     return total_bytes_.load(std::memory_order_relaxed);
@@ -91,6 +102,20 @@ class ChunkStore {
   std::uint64_t stores() const noexcept {
     return stores_.load(std::memory_order_relaxed);
   }
+  /// Chunks stored through the zero/constant fill fast path.
+  std::uint64_t constant_chunks_stored() const noexcept {
+    return constant_stores_.load(std::memory_order_relaxed);
+  }
+  /// Chunks materialized (decoded) through the fill fast path.
+  std::uint64_t constant_chunks_materialized() const noexcept {
+    return constant_loads_.load(std::memory_order_relaxed);
+  }
+  /// Codec invocations skipped by the redundancy memo (content-addressed
+  /// backends only): encodes reused from a byte-identical recent store
+  /// plus decodes reused from a recent load of the same physical content.
+  std::uint64_t codec_memo_hits() const noexcept {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
 
   const compress::ChunkCodecConfig& codec_config() const noexcept {
     return codec_.config();
@@ -111,6 +136,31 @@ class ChunkStore {
  private:
   void account_store(std::int64_t delta_bytes);
 
+  /// Last-K codec results, active only over content-addressed blob stores.
+  /// Encode side: a store whose raw amplitudes byte-match a memoized entry
+  /// reuses its encoded blob (encode is deterministic, so the bytes are
+  /// what a fresh encode would produce — bit-identity holds with the memo
+  /// on or off). Decode side: a load whose content token matches a
+  /// memoized decode copies the amplitudes instead of re-decoding; tokens
+  /// are never reused (BlobStore contract), so a match is always current.
+  struct CodecMemo {
+    struct Decoded {
+      std::uint64_t token = BlobStore::kNoContentId;
+      std::vector<amp_t> amps;
+    };
+    struct Encoded {
+      std::uint64_t raw_hash = 0;
+      std::vector<amp_t> raw;
+      compress::ByteBuffer blob;
+    };
+    static constexpr std::size_t kWays = 4;
+    std::mutex mutex;
+    std::array<Decoded, kWays> decoded;
+    std::array<Encoded, kWays> encoded;
+    std::size_t decoded_next = 0;  ///< round-robin replacement cursor
+    std::size_t encoded_next = 0;
+  };
+
   qubit_t n_qubits_;
   qubit_t chunk_qubits_;
   compress::ChunkCodec codec_;
@@ -119,6 +169,10 @@ class ChunkStore {
   std::atomic<std::uint64_t> peak_bytes_{0};
   std::atomic<std::uint64_t> loads_{0};
   std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> constant_stores_{0};
+  std::atomic<std::uint64_t> constant_loads_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
+  CodecMemo memo_;
 };
 
 }  // namespace memq::core

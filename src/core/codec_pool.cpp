@@ -102,6 +102,21 @@ void ChunkReader::refill() {
     ledger_.acquire(amps * kAmpBytes);
     amp_t* data = p.buf.data();
     const ChunkJob job = p.job;
+    if (store_.is_constant_chunk(job.a) &&
+        (!job.has_b || store_.is_constant_chunk(job.b))) {
+      // Zero/constant-tagged chunks materialize as a fill — too cheap to be
+      // worth a pool dispatch. Decode inline on the coordinator and park a
+      // pre-satisfied future so next() is none the wiser.
+      WallTimer t;
+      auto codec = pool_->lease();
+      store_.load_with(*codec, job.a, {data, half});
+      if (job.has_b) store_.load_with(*codec, job.b, {data + half, half});
+      std::promise<double> ready;
+      ready.set_value(t.seconds());
+      p.done = ready.get_future();
+      pending_.push_back(std::move(p));
+      continue;
+    }
     ChunkStore* store = &store_;
     CodecPool* pool = pool_;
     p.done = pool_->submit([store, pool, job, data, half]() -> double {

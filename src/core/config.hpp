@@ -83,6 +83,15 @@ struct EngineConfig {
   /// kRam). 0 keeps nothing resident: every blob access goes to the file.
   std::uint64_t host_blob_budget_bytes = 0;
 
+  /// Content-hashed chunk deduplication (core/blob_store.hpp's
+  /// DedupBlobStore): byte-identical compressed blobs share one physical
+  /// copy (in RAM and in the spill file) under refcounts, with copy-on-
+  /// write on divergent overwrite. Amplitudes are bit-identical with dedup
+  /// on or off — only the physical footprint, spill traffic, and the dedup
+  /// telemetry counters change. Default on; --dedup off restores the
+  /// one-blob-per-chunk layout.
+  bool dedup = true;
+
   /// CPU-side parallelism *model* used when codec_threads == 1: codec and
   /// CPU-apply work is measured on the host but charged to the modeled
   /// timeline as measured_seconds / cpu_codec_workers, simulating a

@@ -82,8 +82,27 @@ struct EngineTelemetry {
   std::uint64_t spill_bytes_read = 0;
   /// Peak compressed bytes resident in host RAM — equals the peak
   /// compressed footprint for the RAM backend, is capped by
-  /// host_blob_budget_bytes for the file backend.
+  /// host_blob_budget_bytes for the file backend. With dedup on this is
+  /// the *physical* (post-dedup) footprint.
   std::uint64_t peak_resident_blob_bytes = 0;
+
+  /// Redundancy-aware storage counters (all zero with --dedup off; see
+  /// core/blob_store.hpp DedupBlobStore and DESIGN.md §5h).
+  std::uint64_t dedup_hits = 0;  ///< stores coalesced onto an existing blob
+  std::uint64_t dedup_bytes_saved = 0;  ///< compressed bytes not re-stored
+  std::uint64_t cow_breaks = 0;  ///< divergent writes that split a share
+  /// Constant-chunk fast path (always on, independent of dedup): stores
+  /// that collapsed to a ~16-byte tag and loads served by a fill that
+  /// bypassed the codec.
+  std::uint64_t constant_chunks_stored = 0;
+  std::uint64_t constant_chunks_materialized = 0;
+  /// Cache loads served by copying another cached chunk with the same
+  /// physical blob (dedup on + cache only).
+  std::uint64_t cache_alias_hits = 0;
+  /// Codec invocations skipped by the store's redundancy memo (dedup only):
+  /// encodes reused from a byte-identical recent store plus decodes reused
+  /// from a recent load of the same physical content.
+  std::uint64_t codec_memo_hits = 0;
 
   /// Fault-injection + recovery counters (see common/faultpoint.hpp).
   /// faults_injected is process-global fires since the last fault::arm();

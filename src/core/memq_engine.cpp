@@ -1,6 +1,7 @@
 #include "core/memq_engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 
 #include "circuit/transpile.hpp"
@@ -295,7 +296,8 @@ bool MemQSimEngine::cpu_apply(std::span<amp_t> buf, const Stage& stage,
 }
 
 std::pair<bool, device::Event> MemQSimEngine::device_round_trip(
-    std::span<amp_t> host_buf, const Stage& stage, index_t chunk_lo) {
+    std::span<amp_t> host_buf, const Stage& stage, index_t chunk_lo,
+    bool constant_src) {
   DeviceContext& ctx = devices_[next_device_];
   next_device_ = (next_device_ + 1) % devices_.size();
   Slot& slot = ctx.slots[ctx.next_slot];
@@ -305,9 +307,25 @@ std::pair<bool, device::Event> MemQSimEngine::device_round_trip(
   // completed before we overwrite the device buffer.
   ctx.h2d->wait(slot.free_at);
 
-  ctx.copy->upload(*ctx.h2d, slot.state, {host_buf.data(), host_buf.size()},
-                   {}, slot.staging.valid() ? &slot.staging : nullptr);
-  ctx.compute->wait(ctx.h2d->record());
+  if (constant_src) {
+    // The source chunk(s) are a constant tag: the device materializes the
+    // fill itself instead of pulling the full amplitudes over the modeled
+    // PCIe link. Charged as a data-movement kernel on the compute stream;
+    // no h2d bytes or copy calls are counted. (The real memcpy still runs —
+    // the simulated device computes real results.)
+    amp_t* dst = slot.state.view<amp_t>().data();
+    const amp_t* src = host_buf.data();
+    const std::size_t n = host_buf.size();
+    ctx.compute->wait(ctx.h2d->record());  // slot-reuse ordering
+    ctx.compute->launch(
+        "const_fill", n,
+        [dst, src, n] { std::memcpy(dst, src, n * sizeof(amp_t)); },
+        ctx.device->config().scatter_kernel_throughput);
+  } else {
+    ctx.copy->upload(*ctx.h2d, slot.state, {host_buf.data(), host_buf.size()},
+                     {}, slot.staging.valid() ? &slot.staging : nullptr);
+    ctx.compute->wait(ctx.h2d->record());
+  }
 
   // Launch one kernel per gate (paper step 3), operating in device memory.
   bool modified = false;
@@ -388,8 +406,16 @@ void MemQSimEngine::run_stream_stage(const Stage& stage,
       continue;
     }
 
+    // Constant-tagged chunks skip the modeled H2D transfer (the device
+    // fills them from the ~16-byte tag). Gated on config.dedup so --dedup
+    // off reproduces the historical transfer model exactly.
+    const ChunkJob& job = lease->job();
+    const bool constant_src =
+        config_.dedup && pager_.is_constant(job.a) &&
+        (!job.has_b || pager_.is_constant(job.b));
+
     const auto [modified, done] =
-        device_round_trip(lease->amps(), stage, lease->chunk());
+        device_round_trip(lease->amps(), stage, lease->chunk(), constant_src);
     in_flight.push_back({std::move(*lease), done, modified});
 
     if (!config_.pipelined) {

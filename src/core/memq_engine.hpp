@@ -73,10 +73,14 @@ class MemQSimEngine final : public CompressedEngineBase {
 
   /// Streams one work item (a chunk or a chunk pair, already decompressed
   /// into `host_buf`) through upload -> kernels -> download on the next
-  /// device (round-robin). Returns {modified, completion event}.
+  /// device (round-robin). With `constant_src` the upload is replaced by a
+  /// modeled device-side fill (the chunk is a ~16-byte constant tag — the
+  /// device can materialize it without moving the amplitudes over PCIe).
+  /// Returns {modified, completion event}.
   std::pair<bool, device::Event> device_round_trip(std::span<amp_t> host_buf,
                                                    const Stage& stage,
-                                                   index_t chunk_lo);
+                                                   index_t chunk_lo,
+                                                   bool constant_src);
 
   /// CPU path for step (5).
   bool cpu_apply(std::span<amp_t> buf, const Stage& stage, index_t chunk_lo);

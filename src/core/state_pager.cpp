@@ -28,13 +28,20 @@ std::size_t resolved_codec_threads(const EngineConfig& config) {
 }
 
 std::unique_ptr<BlobStore> make_blob_store(const EngineConfig& config) {
+  std::unique_ptr<BlobStore> inner;
   switch (config.store_backend) {
     case StoreBackend::kFile:
-      return std::make_unique<FileBlobStore>(config.host_blob_budget_bytes);
+      inner = std::make_unique<FileBlobStore>(config.host_blob_budget_bytes);
+      break;
     case StoreBackend::kRam:
+      // Historical in-place RAM path when dedup is off (ChunkStore defaults
+      // to RamBlobStore); dedup needs an explicit inner store to wrap.
+      if (!config.dedup) return nullptr;
+      inner = std::make_unique<RamBlobStore>();
       break;
   }
-  return nullptr;  // ChunkStore defaults to RamBlobStore
+  if (config.dedup) return std::make_unique<DedupBlobStore>(std::move(inner));
+  return inner;
 }
 
 }  // namespace
@@ -133,6 +140,14 @@ void StatePager::refresh_telemetry() {
   telemetry_.spill_bytes_written = bs.spill_bytes_written;
   telemetry_.spill_bytes_read = bs.spill_bytes_read;
   telemetry_.peak_resident_blob_bytes = store_.peak_resident_bytes();
+  telemetry_.dedup_hits = bs.dedup_hits;
+  telemetry_.dedup_bytes_saved = bs.dedup_bytes_saved;
+  telemetry_.cow_breaks = bs.cow_breaks;
+  telemetry_.constant_chunks_stored = store_.constant_chunks_stored();
+  telemetry_.constant_chunks_materialized =
+      store_.constant_chunks_materialized();
+  if (cache_) telemetry_.cache_alias_hits = cache_->stats().alias_hits;
+  telemetry_.codec_memo_hits = store_.codec_memo_hits();
   telemetry_.io_retries =
       bs.io_retries + (cache_ ? cache_->stats().writeback_retries : 0);
   telemetry_.degraded_to_ram = bs.degraded_to_ram;

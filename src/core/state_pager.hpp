@@ -72,6 +72,12 @@ class StatePager {
   bool is_zero(index_t i) const {
     return cache_ ? cache_->is_zero(i) : store_.is_zero_chunk(i);
   }
+  /// Cache-aware fill query: true when chunk `i` materializes as a fill
+  /// (zero or constant tag) — same dirty/pending conservatism as is_zero().
+  /// Engines use it to skip modeled H2D transfer for constant chunks.
+  bool is_constant(index_t i) const {
+    return cache_ ? cache_->is_constant(i) : store_.is_constant_chunk(i);
+  }
   /// Jobs for every non-zero chunk, in chunk order.
   std::vector<ChunkJob> nonzero_jobs() const;
 

@@ -2,6 +2,7 @@
 // backend's budget cap, spill counters, zero metadata, and region reuse.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
@@ -261,6 +262,237 @@ TEST(FileBlobStore, PreadModeNeverMaps) {
 
 TEST(FileBlobStore, ReadBeforeWriteIsRejected) {
   FileBlobStore store(1 << 10);
+  store.resize(1);
+  ByteBuffer scratch;
+  EXPECT_THROW((void)store.read(0, scratch), Error);
+}
+
+ByteBuffer make_const_blob(double re, double im, std::size_t n_amps = 16) {
+  compress::ChunkCodecConfig cfg;
+  cfg.compressor = "null";
+  compress::ChunkCodec codec(cfg);
+  std::vector<amp_t> amps(n_amps, amp_t{re, im});
+  ByteBuffer out;
+  codec.encode(amps, out);
+  return out;
+}
+
+TEST(FileBlobStore, FreeBlobReturnsRegionExactlyOnce) {
+  // Zero budget: every write goes straight to the file, so a store/free
+  // cycle exercises region allocation + donation each round. 1k rounds must
+  // not grow the file past the single region the first round allocated.
+  FileBlobStore store(0);
+  store.resize(2);
+  const ByteBuffer v = make_blob(3.0);
+  store.write(0, ByteBuffer(v));
+  const std::uint64_t one_region = store.stats().file_bytes;
+  ASSERT_GT(one_region, 0u);
+  for (int round = 0; round < 1000; ++round) {
+    store.free_blob(0);
+    store.write(0, ByteBuffer(v));
+    ASSERT_EQ(store.stats().file_bytes, one_region) << "round " << round;
+  }
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), v);
+}
+
+TEST(FileBlobStore, DoubleFreeDoesNotDonateRegionTwice) {
+  FileBlobStore store(0);
+  store.resize(3);
+  store.write(0, ByteBuffer(make_blob(1.0)));
+  store.free_blob(0);
+  store.free_blob(0);  // idempotent: the region must not enter the free
+                       // list a second time
+  const ByteBuffer a = make_blob(2.0), b = make_blob(3.0);
+  store.write(1, ByteBuffer(a));  // takes the donated region
+  store.write(2, ByteBuffer(b));  // must get a DIFFERENT region
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(1, scratch), a);
+  EXPECT_EQ(store.read(2, scratch), b);
+}
+
+TEST(FileBlobStore, FreedBlobReadsAsNeverWritten) {
+  FileBlobStore store(1 << 10);
+  store.resize(1);
+  store.write(0, ByteBuffer(make_blob(1.0)));
+  store.free_blob(0);
+  ByteBuffer scratch;
+  EXPECT_THROW((void)store.read(0, scratch), Error);
+  EXPECT_EQ(store.size(0), 0u);
+}
+
+TEST(BlobStoreConstantFlag, ZeroAndConstantAreDistinguished) {
+  RamBlobStore store;
+  store.resize(3);
+  store.write(0, make_zero_blob());
+  store.write(1, make_const_blob(0.25, -0.5));
+  store.write(2, make_blob(1.0));
+  EXPECT_TRUE(store.is_zero(0));
+  EXPECT_TRUE(store.is_constant(0));  // zero is a constant fill
+  EXPECT_FALSE(store.is_zero(1));
+  EXPECT_TRUE(store.is_constant(1));
+  EXPECT_FALSE(store.is_zero(2));
+  EXPECT_FALSE(store.is_constant(2));
+}
+
+TEST(DedupBlobStore, IdenticalBlobsShareOnePhysicalCopy) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(8);
+  const ByteBuffer v = make_blob(4.0);
+  for (index_t i = 0; i < 8; ++i) store.write(i, ByteBuffer(v));
+  EXPECT_EQ(store.physical_blobs(), 1u);
+  ByteBuffer scratch;
+  for (index_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(store.read(i, scratch), v) << "blob " << i;
+    EXPECT_EQ(store.refcount(i), 8u);
+    EXPECT_EQ(store.content_id(i), store.content_id(0));
+  }
+  const auto st = store.stats();
+  EXPECT_EQ(st.dedup_hits, 7u);
+  EXPECT_EQ(st.dedup_bytes_saved, 7u * v.size());
+  EXPECT_EQ(st.cow_breaks, 0u);
+  // Physical residency over a RAM inner: one copy, not eight.
+  EXPECT_EQ(st.resident_bytes, v.size());
+}
+
+TEST(DedupBlobStore, DivergentWriteBreaksShareViaCow) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(3);
+  const ByteBuffer shared = make_blob(1.0), fresh = make_blob(9.0);
+  for (index_t i = 0; i < 3; ++i) store.write(i, ByteBuffer(shared));
+  store.write(1, ByteBuffer(fresh));  // detaches onto its own slot
+  EXPECT_EQ(store.physical_blobs(), 2u);
+  EXPECT_EQ(store.refcount(0), 2u);
+  EXPECT_EQ(store.refcount(1), 1u);
+  EXPECT_NE(store.content_id(1), store.content_id(0));
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), shared);  // untouched by 1's rewrite
+  EXPECT_EQ(store.read(1, scratch), fresh);
+  EXPECT_EQ(store.read(2, scratch), shared);
+  EXPECT_EQ(store.stats().cow_breaks, 1u);
+}
+
+TEST(DedupBlobStore, ExclusiveOverwriteReindexesContent) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(2);
+  store.write(0, make_blob(1.0));
+  store.write(0, make_blob(2.0));  // refcount 1: in-place, no CoW
+  EXPECT_EQ(store.stats().cow_breaks, 0u);
+  EXPECT_EQ(store.physical_blobs(), 1u);
+  // The new content must be findable: a second write of the same bytes
+  // dedups against the overwritten slot, not the stale pre-overwrite hash.
+  store.write(1, make_blob(2.0));
+  EXPECT_EQ(store.physical_blobs(), 1u);
+  EXPECT_EQ(store.refcount(0), 2u);
+  EXPECT_EQ(store.stats().dedup_hits, 1u);
+}
+
+TEST(DedupBlobStore, RewriteToSameContentIsStable) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(2);
+  const ByteBuffer v = make_blob(5.0);
+  store.write(0, ByteBuffer(v));
+  store.write(1, ByteBuffer(v));
+  const auto before = store.stats();
+  store.write(1, ByteBuffer(v));  // re-store of identical content: no-op
+  EXPECT_EQ(store.physical_blobs(), 1u);
+  EXPECT_EQ(store.refcount(1), 2u);
+  EXPECT_EQ(store.stats().dedup_hits, before.dedup_hits);
+  EXPECT_EQ(store.stats().cow_breaks, 0u);
+}
+
+TEST(DedupBlobStore, DifferentContentNeverShares) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(4);
+  for (index_t i = 0; i < 4; ++i)
+    store.write(i, make_blob(static_cast<double>(i)));  // same size, all
+                                                        // distinct bytes
+  EXPECT_EQ(store.physical_blobs(), 4u);
+  ByteBuffer scratch;
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(store.refcount(i), 1u);
+    EXPECT_EQ(store.read(i, scratch), make_blob(static_cast<double>(i)));
+  }
+  EXPECT_EQ(store.stats().dedup_hits, 0u);
+}
+
+TEST(DedupBlobStore, FreeBlobDropsOneReference) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(3);
+  const ByteBuffer v = make_blob(6.0);
+  for (index_t i = 0; i < 3; ++i) store.write(i, ByteBuffer(v));
+  store.free_blob(0);
+  EXPECT_EQ(store.refcount(1), 2u);
+  EXPECT_EQ(store.physical_blobs(), 1u);
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(1, scratch), v);
+  store.free_blob(1);
+  store.free_blob(2);  // last reference: physical slot released
+  EXPECT_EQ(store.physical_blobs(), 0u);
+  EXPECT_THROW((void)store.read(2, scratch), Error);
+  EXPECT_EQ(store.stats().resident_bytes, 0u);
+}
+
+TEST(DedupBlobStore, SwapMovesLogicalMappingOnly) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(2);
+  const ByteBuffer a = make_blob(1.0), b = make_blob(2.0);
+  store.write(0, ByteBuffer(a));
+  store.write(1, ByteBuffer(b));
+  store.swap(0, 1);
+  ByteBuffer scratch;
+  EXPECT_EQ(store.read(0, scratch), b);
+  EXPECT_EQ(store.read(1, scratch), a);
+  EXPECT_EQ(store.size(0), b.size());
+}
+
+TEST(DedupBlobStore, MetadataFlagsFollowTheSharedSlot) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(4);
+  store.write(0, make_zero_blob());
+  store.write(1, make_zero_blob());
+  store.write(2, make_const_blob(0.5, 0.5));
+  store.write(3, make_const_blob(0.5, 0.5));
+  EXPECT_EQ(store.physical_blobs(), 2u);
+  EXPECT_TRUE(store.is_zero(0));
+  EXPECT_TRUE(store.is_zero(1));
+  EXPECT_FALSE(store.is_zero(2));
+  EXPECT_TRUE(store.is_constant(2));
+  EXPECT_TRUE(store.is_constant(3));
+}
+
+TEST(DedupBlobStore, InplaceSlotIsUnsupported) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
+  store.resize(1);
+  EXPECT_EQ(store.inplace_slot(0), nullptr);
+}
+
+TEST(DedupBlobStore, SharedBlobsSpillOnceOverFileInner) {
+  // Zero budget: every physical write goes to the file. Eight identical
+  // logical blobs must cost ONE spill write and one file region.
+  auto inner = std::make_unique<FileBlobStore>(0);
+  const FileBlobStore* file = inner.get();
+  DedupBlobStore store(std::move(inner));
+  store.resize(8);
+  const ByteBuffer v = make_blob(7.0);
+  for (index_t i = 0; i < 8; ++i) store.write(i, ByteBuffer(v));
+  const auto st = store.stats();
+  EXPECT_EQ(st.spill_writes, 1u);
+  EXPECT_EQ(st.spill_bytes_written, v.size());
+  EXPECT_EQ(st.dedup_hits, 7u);
+  const std::uint64_t one_region = file->stats().file_bytes;
+  ByteBuffer scratch;
+  for (index_t i = 0; i < 8; ++i)
+    EXPECT_EQ(store.read(i, scratch), v) << "blob " << i;
+  // Release all shares: the single region is donated back exactly once and
+  // fully reused by the next distinct blob.
+  for (index_t i = 0; i < 8; ++i) store.free_blob(i);
+  store.write(0, ByteBuffer(make_blob(8.0)));
+  EXPECT_EQ(file->stats().file_bytes, one_region);
+}
+
+TEST(DedupBlobStore, ReadBeforeWriteIsRejected) {
+  DedupBlobStore store(std::make_unique<RamBlobStore>());
   store.resize(1);
   ByteBuffer scratch;
   EXPECT_THROW((void)store.read(0, scratch), Error);

@@ -86,6 +86,83 @@ TEST(ChunkCodec, AllZeroChunkIsTiny) {
   for (const auto& a : back) EXPECT_EQ(a, (amp_t{0, 0}));
 }
 
+TEST(ChunkCodec, ConstantChunkIsTinyAndBitExact) {
+  // Constant tagging must be bit-exact even under a lossy codec config —
+  // that is what lets it stay always-on without breaking the dedup-off
+  // bit-identity bar.
+  ChunkCodecConfig cfg;
+  cfg.compressor = "szq";
+  cfg.bound = 1e-4;
+  ChunkCodec codec(cfg);
+  const amp_t c{0.123456789012345, -0.987654321098765};
+  const std::vector<amp_t> amps(1 << 12, c);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  EXPECT_LT(out.size(), 48u);
+  EXPECT_TRUE(ChunkCodec::is_constant_chunk(out));
+  EXPECT_FALSE(ChunkCodec::is_zero_chunk(out));
+  std::vector<amp_t> back(amps.size(), amp_t{1, 1});
+  codec.decode(out, back);
+  for (const auto& a : back) EXPECT_EQ(a, c);
+}
+
+TEST(ChunkCodec, ZeroChunkReportsConstant) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const std::vector<amp_t> amps(256, amp_t{0, 0});
+  ByteBuffer out;
+  codec.encode(amps, out);
+  EXPECT_TRUE(ChunkCodec::is_zero_chunk(out));
+  EXPECT_TRUE(ChunkCodec::is_constant_chunk(out));
+}
+
+TEST(ChunkCodec, NonConstantChunkIsNotTagged) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  auto amps = random_amps(256, 11);
+  ByteBuffer out;
+  codec.encode(amps, out);
+  EXPECT_FALSE(ChunkCodec::is_constant_chunk(out));
+}
+
+TEST(ChunkCodec, ConstantTagPreservesSignedZero) {
+  // The constant classifier compares bit patterns, so a -0.0 component
+  // round-trips as -0.0 (a value-compare classifier would conflate it with
+  // +0.0 and change stored bits).
+  ChunkCodec codec(ChunkCodecConfig{});
+  const std::vector<amp_t> amps(64, amp_t{1.0, -0.0});
+  ByteBuffer out;
+  codec.encode(amps, out);
+  EXPECT_FALSE(ChunkCodec::is_zero_chunk(out));
+  EXPECT_TRUE(ChunkCodec::is_constant_chunk(out));
+  std::vector<amp_t> back(amps.size());
+  codec.decode(out, back);
+  EXPECT_EQ(back[0].real(), 1.0);
+  EXPECT_TRUE(std::signbit(back[0].imag()));
+}
+
+TEST(ChunkCodec, ConstantChunkChecksumDetectsBitFlip) {
+  ChunkCodec codec(ChunkCodecConfig{});
+  const std::vector<amp_t> amps(128, amp_t{0.5, 0.25});
+  ByteBuffer out;
+  codec.encode(amps, out);
+  ASSERT_TRUE(ChunkCodec::is_constant_chunk(out));
+  out[out.size() / 2] ^= 0x10;
+  std::vector<amp_t> back(amps.size());
+  EXPECT_THROW(codec.decode(out, back), CorruptData);
+}
+
+TEST(ChunkCodec, SingleAmpChunkIsNeverConstantTagged) {
+  // A 1-amp chunk gains nothing from the tag (the tag is the same size);
+  // the classifier requires size > 1 so framing stays the historical one.
+  ChunkCodec codec(ChunkCodecConfig{});
+  const std::vector<amp_t> amps(1, amp_t{2.0, 3.0});
+  ByteBuffer out;
+  codec.encode(amps, out);
+  EXPECT_FALSE(ChunkCodec::is_constant_chunk(out));
+  std::vector<amp_t> back(1);
+  codec.decode(out, back);
+  EXPECT_EQ(back[0], (amp_t{2.0, 3.0}));
+}
+
 TEST(ChunkCodec, EmptyChunk) {
   ChunkCodec codec(ChunkCodecConfig{});
   const std::vector<amp_t> amps;

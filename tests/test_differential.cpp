@@ -157,6 +157,64 @@ TEST(DifferentialOracle, SharedDictionariesMatchDenseReference) {
   }
 }
 
+TEST(DifferentialOracle, DedupOnAndOffAreBitIdentical) {
+  // ISSUE 7: dedup is a storage-plane property — amplitudes must be
+  // bit-identical with --dedup on and off on every matrix arm, lossy codec
+  // included (the constant tag is always-on in BOTH arms, so the byte
+  // streams fed to the codec never diverge).
+  for (std::size_t m = 0; m < sizeof(kMatrix) / sizeof(kMatrix[0]); ++m) {
+    const CaseConfig& cc = kMatrix[m];
+    const std::uint64_t seed = 5100 + m;
+    const qubit_t n = 9;
+    const auto circ = circuit::make_random_circuit(n, 5, seed, true);
+    EngineConfig on_cfg = make_cfg(cc, 4);
+    EngineConfig off_cfg = on_cfg;
+    off_cfg.dedup = false;
+    auto on = make_engine(EngineKind::kMemQSim, n, on_cfg);
+    auto off = make_engine(EngineKind::kMemQSim, n, off_cfg);
+    on->run(circ);
+    off->run(circ);
+    const auto da = on->to_dense();
+    const auto db = off->to_dense();
+    for (index_t k = 0; k < dim_of(n); ++k) {
+      const amp_t x = da.amplitude(k);
+      const amp_t y = db.amplitude(k);
+      ASSERT_TRUE(x.real() == y.real() && x.imag() == y.imag())
+          << "amplitude " << k << " differs between dedup on/off; "
+          << reproducer(seed, n, 5, 4, cc);
+    }
+  }
+}
+
+TEST(DifferentialOracle, DedupMatchesDenseOnRedundantStates) {
+  // A redundancy-heavy circuit (H-wall into QFT keeps long runs of
+  // identical chunks live) with dedup on must still track the dense oracle
+  // — and must actually have deduped, or the arm tests nothing.
+  const qubit_t n = 10;
+  circuit::Circuit circ(n);
+  for (qubit_t q = 0; q < n; ++q) circ.h(q);
+  circ.append(circuit::make_qft(n));
+
+  auto oracle = make_engine(EngineKind::kDense, n, EngineConfig{});
+  oracle->run(circ);
+  const auto expected = oracle->to_dense();
+
+  for (const StoreBackend backend :
+       {StoreBackend::kRam, StoreBackend::kFile}) {
+    CaseConfig cc{1, backend, 0};
+    auto engine = make_engine(EngineKind::kMemQSim, n, make_cfg(cc, 5));
+    engine->run(circ);
+    const auto got = engine->to_dense();
+    for (index_t k = 0; k < dim_of(n); ++k)
+      ASSERT_LT(std::abs(got.amplitude(k) - expected.amplitude(k)),
+                kTolerance)
+          << "amplitude " << k << " backend "
+          << (backend == StoreBackend::kRam ? "ram" : "file");
+    EXPECT_GT(engine->telemetry().dedup_hits, 0u);
+    EXPECT_GT(engine->telemetry().constant_chunks_stored, 0u);
+  }
+}
+
 TEST(DifferentialOracle, ThreadCountsAreBitIdentical) {
   // The codec pipeline's contract (PR "multithreaded codec pipeline"):
   // results are bit-identical across codec_threads, only timing changes.

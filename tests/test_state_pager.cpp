@@ -3,10 +3,13 @@
 // the file backend bit-identical to RAM under a null codec.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "circuit/workloads.hpp"
 #include "common/error.hpp"
+#include "common/faultpoint.hpp"
 #include "core/engine.hpp"
 #include "core/memq_engine.hpp"
 #include "core/state_pager.hpp"
@@ -136,6 +139,10 @@ TEST(PagerParity, FileBackendBitIdenticalToRam) {
   constexpr qubit_t n = 8;
   const Circuit c = circuit::make_qft(n);
   EngineConfig ram_cfg = exact_cfg(4);
+  // Dedup off: this test pins the HISTORICAL spill path (with dedup on,
+  // the QFT's redundant intermediate states collapse under the budget and
+  // nothing spills — see PagerDedup/DifferentialOracle for that arm).
+  ram_cfg.dedup = false;
   EngineConfig file_cfg = ram_cfg;
   file_cfg.store_backend = StoreBackend::kFile;
   file_cfg.host_blob_budget_bytes = 2048;  // well below the compressed state
@@ -173,6 +180,197 @@ TEST(PagerParity, FileBackendHoldsBudgetOnWuEngine) {
   EXPECT_LT(engine->to_dense().max_abs_diff(oracle.state()), 1e-9);
   EXPECT_LE(engine->telemetry().peak_resident_blob_bytes,
             cfg.host_blob_budget_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Redundancy-aware storage: dedup, alias hits, CoW, checkpoints, faults
+// ---------------------------------------------------------------------------
+
+std::vector<amp_t> patterned_amps(std::size_t n, double seed) {
+  std::vector<amp_t> v(n);
+  for (std::size_t k = 0; k < n; ++k)
+    v[k] = {seed + 0.125 * static_cast<double>(k),
+            seed - 0.25 * static_cast<double>(k)};
+  return v;
+}
+
+void write_chunk(StatePager& pager, index_t i, const std::vector<amp_t>& v) {
+  StatePager::Lease w = pager.acquire_write(i);
+  std::copy(v.begin(), v.end(), w.amps().begin());
+  pager.release(std::move(w), true);
+}
+
+std::vector<amp_t> read_chunk(StatePager& pager, index_t i) {
+  StatePager::Lease r = pager.acquire_read(i);
+  std::vector<amp_t> v(r.amps().begin(), r.amps().end());
+  pager.release(std::move(r), false);
+  return v;
+}
+
+TEST(PagerDedup, IdenticalChunksShareOnePhysicalBlob) {
+  PagerHarness h(6, exact_cfg(3));  // dedup defaults on
+  // Even the fresh |0..0> dedups (chunks 1..7 share one zero blob), so
+  // assert deltas from the initialized state.
+  h.pager.refresh_telemetry();
+  const std::uint64_t hits0 = h.telemetry.dedup_hits;
+  const std::uint64_t cow0 = h.telemetry.cow_breaks;
+  EXPECT_GT(hits0, 0u);
+
+  const auto v = patterned_amps(h.pager.chunk_amps(), 3.0);
+  for (index_t i = 1; i <= 4; ++i) write_chunk(h.pager, i, v);
+  h.pager.refresh_telemetry();
+  // Chunk 1 detached from the shared zero blob (one CoW break); 2..4 then
+  // coalesced onto chunk 1's new physical copy.
+  EXPECT_EQ(h.telemetry.dedup_hits, hits0 + 3);
+  EXPECT_EQ(h.telemetry.cow_breaks, cow0 + 1);
+  EXPECT_GT(h.telemetry.dedup_bytes_saved, 0u);
+
+  // Divergent rewrite of one share: the others must keep their bytes.
+  write_chunk(h.pager, 2, patterned_amps(h.pager.chunk_amps(), 9.0));
+  h.pager.refresh_telemetry();
+  EXPECT_EQ(h.telemetry.cow_breaks, cow0 + 2);
+  EXPECT_EQ(read_chunk(h.pager, 1), v);
+  EXPECT_EQ(read_chunk(h.pager, 4), v);
+}
+
+TEST(PagerDedup, ConstantChunkQueryAndCounters) {
+  PagerHarness h(6, exact_cfg(3));
+  const std::vector<amp_t> fill(h.pager.chunk_amps(), amp_t{0.25, -0.5});
+  write_chunk(h.pager, 3, fill);
+  EXPECT_TRUE(h.pager.is_constant(3));
+  EXPECT_FALSE(h.pager.is_zero(3));
+  EXPECT_EQ(read_chunk(h.pager, 3), fill);  // fill decode, codec bypassed
+  h.pager.refresh_telemetry();
+  EXPECT_GE(h.telemetry.constant_chunks_stored, 1u);
+  EXPECT_GE(h.telemetry.constant_chunks_materialized, 1u);
+  // Non-constant data clears the flag again.
+  write_chunk(h.pager, 3, patterned_amps(h.pager.chunk_amps(), 1.0));
+  EXPECT_FALSE(h.pager.is_constant(3));
+}
+
+TEST(PagerDedup, CacheAliasLoadThenDivergentWrite) {
+  EngineConfig cfg = exact_cfg(3);
+  cfg.cache_budget_bytes = sizeof(amp_t) * 8;  // exactly one 8-amp chunk
+  PagerHarness h(6, cfg);
+  const auto v = patterned_amps(h.pager.chunk_amps(), 2.0);
+  write_chunk(h.pager, 1, v);
+  write_chunk(h.pager, 2, v);
+  std::ostringstream flush;  // checkpoint barrier: every dirty entry lands
+  h.pager.checkpoint_to(flush);
+
+  // Load 1 (decode miss: cached clean, decode provenance), then 2: same
+  // physical blob, so 2 is served by copying 1's cached bytes — no decode.
+  EXPECT_EQ(read_chunk(h.pager, 1), v);
+  EXPECT_EQ(read_chunk(h.pager, 2), v);
+  h.pager.refresh_telemetry();
+  EXPECT_GE(h.telemetry.cache_alias_hits, 1u);
+
+  // Writing through the aliased entry must not leak into chunk 1.
+  const auto w = patterned_amps(h.pager.chunk_amps(), 8.0);
+  write_chunk(h.pager, 2, w);
+  std::ostringstream flush2;
+  h.pager.checkpoint_to(flush2);
+  EXPECT_EQ(read_chunk(h.pager, 1), v);
+  EXPECT_EQ(read_chunk(h.pager, 2), w);
+}
+
+TEST(PagerDedup, CheckpointBytesIdenticalDedupOnAndOff) {
+  // The checkpoint writes the LOGICAL store: dedup must be invisible in the
+  // file format (MQCKPT02 streams stay interchangeable between arms).
+  EngineConfig on_cfg = exact_cfg(3);
+  EngineConfig off_cfg = on_cfg;
+  off_cfg.dedup = false;
+  PagerHarness on(6, on_cfg), off(6, off_cfg);
+  const auto shared = patterned_amps(8, 4.0);
+  const std::vector<amp_t> fill(8, amp_t{0.5, 0.5});
+  for (PagerHarness* h : {&on, &off}) {
+    write_chunk(h->pager, 1, shared);
+    write_chunk(h->pager, 2, shared);
+    write_chunk(h->pager, 5, fill);
+  }
+  std::ostringstream a, b;
+  on.pager.checkpoint_to(a);
+  off.pager.checkpoint_to(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(PagerDedup, RestoreRecoalescesSharedBlobs) {
+  EngineConfig off_cfg = exact_cfg(3);
+  off_cfg.dedup = false;
+  PagerHarness off(6, off_cfg);
+  const auto shared = patterned_amps(8, 6.0);
+  write_chunk(off.pager, 1, shared);
+  write_chunk(off.pager, 2, shared);
+  write_chunk(off.pager, 3, shared);
+  std::ostringstream ckpt;
+  off.pager.checkpoint_to(ckpt);
+
+  // Restoring a dedup-off checkpoint into a dedup-on pager re-coalesces the
+  // identical blobs on ingest.
+  PagerHarness on(6, exact_cfg(3));
+  std::istringstream in(ckpt.str());
+  on.pager.restore_from(in);
+  on.pager.refresh_telemetry();
+  EXPECT_GE(on.telemetry.dedup_hits, 2u);
+  EXPECT_EQ(read_chunk(on.pager, 1), shared);
+  EXPECT_EQ(read_chunk(on.pager, 2), shared);
+  EXPECT_EQ(read_chunk(on.pager, 3), shared);
+}
+
+TEST(PagerDedup, TransientSpillFaultUnderDedupStaysBitIdentical) {
+  // The PR 6 fault plane must hold with shared physical blobs: a transient
+  // write fault is retried and the state stays bit-identical to a clean
+  // dedup-off run.
+  constexpr qubit_t n = 7;
+  const Circuit c = circuit::make_qft(n);
+  EngineConfig clean_cfg = exact_cfg(3);
+  clean_cfg.store_backend = StoreBackend::kFile;
+  // Zero budget: every physical write hits the file, so the fault site
+  // fires even though dedup collapses the footprint.
+  clean_cfg.host_blob_budget_bytes = 0;
+  clean_cfg.dedup = false;
+  auto clean = make_engine(EngineKind::kMemQSim, n, clean_cfg);
+  clean->run(c);
+
+  fault::arm("blob.write.eio@1");
+  EngineConfig cfg = clean_cfg;
+  cfg.dedup = true;
+  auto engine = make_engine(EngineKind::kMemQSim, n, cfg);
+  engine->run(c);
+  fault::disarm();
+  EXPECT_GE(engine->telemetry().faults_injected, 1u);
+  EXPECT_EQ(engine->to_dense().max_abs_diff(clean->to_dense()), 0.0);
+}
+
+TEST(PagerDedup, EngineBitIdenticalOnAndOffWithSavings) {
+  // An H-wall pushes the whole register through uniform (constant) chunks:
+  // dedup-on must produce bit-identical amplitudes while storing fewer
+  // physical bytes and skipping modeled H2D transfer for constant chunks.
+  constexpr qubit_t n = 8;
+  Circuit c(n);
+  for (qubit_t q = 0; q < n; ++q) c.h(q);
+  c.append(circuit::make_qft(n));
+
+  EngineConfig on_cfg = exact_cfg(4);
+  EngineConfig off_cfg = on_cfg;
+  off_cfg.dedup = false;
+  auto on = make_engine(EngineKind::kMemQSim, n, on_cfg);
+  auto off = make_engine(EngineKind::kMemQSim, n, off_cfg);
+  on->run(c);
+  off->run(c);
+
+  EXPECT_EQ(on->to_dense().max_abs_diff(off->to_dense()), 0.0);
+  const EngineTelemetry& t = on->telemetry();
+  EXPECT_GT(t.dedup_hits, 0u);
+  EXPECT_GT(t.dedup_bytes_saved, 0u);
+  EXPECT_GT(t.constant_chunks_stored, 0u);
+  // Constant chunks skipped the modeled PCIe link.
+  EXPECT_LT(t.h2d_bytes, off->telemetry().h2d_bytes);
+  // Logical traffic is unchanged — dedup is a storage-plane property.
+  EXPECT_EQ(t.chunk_loads, off->telemetry().chunk_loads);
+  EXPECT_EQ(t.chunk_stores, off->telemetry().chunk_stores);
+  EXPECT_LE(t.peak_resident_blob_bytes,
+            off->telemetry().peak_resident_blob_bytes);
 }
 
 TEST(PagerReset, ClearsStateAndRefusesLiveLeases) {

@@ -53,7 +53,7 @@ using namespace memq;
       "           [--cache-budget BYTES[K|M|G]] [--layout] [--fuse]\n"
       "           [--elide-swaps]\n"
       "           [--store-backend ram|file] [--blob-budget BYTES[K|M|G]]\n"
-      "           [--codec-dict off|train] [--no-simd]\n"
+      "           [--dedup on|off] [--codec-dict off|train] [--no-simd]\n"
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
       "           [--checkpoint f] [--restore f] [--telemetry-json f.json]\n"
       "           [--trace f.json] [--stage-report] [--faults SPEC]\n"
@@ -181,6 +181,14 @@ core::EngineConfig config_from(const Args& args, qubit_t n) {
   }
   cfg.host_blob_budget_bytes =
       parse_bytes("blob-budget", args.option("blob-budget", "0"));
+  const std::string dedup = args.option("dedup", "on");
+  if (dedup == "on") {
+    cfg.dedup = true;
+  } else if (dedup == "off") {
+    cfg.dedup = false;
+  } else {
+    usage(("--dedup expects 'on' or 'off', got '" + dedup + "'").c_str());
+  }
   const std::string dict = args.option("codec-dict", "off");
   if (dict == "train") {
     cfg.codec.dict_mode = compress::DictMode::kTrain;
@@ -430,6 +438,16 @@ int cmd_run(int argc, char** argv) {
               << " blobs / " << human_bytes(t.spill_bytes_read)
               << " read back\n";
   }
+  if (cfg.dedup &&
+      (t.dedup_hits + t.cow_breaks + t.constant_chunks_stored > 0)) {
+    std::cout << "dedup: " << t.dedup_hits << " hits / "
+              << human_bytes(t.dedup_bytes_saved) << " saved, "
+              << t.cow_breaks << " CoW breaks, " << t.constant_chunks_stored
+              << " constant chunks stored ("
+              << t.constant_chunks_materialized << " fills), "
+              << t.cache_alias_hits << " cache alias hits, "
+              << t.codec_memo_hits << " codec memo hits\n";
+  }
   if (fault::armed()) {
     std::cout << "fault injection: " << fault::total_fires() << " fires";
     if (t.io_retries > 0) std::cout << ", " << t.io_retries << " I/O retries";
@@ -449,7 +467,7 @@ int cmd_run(int argc, char** argv) {
     const double dec_s = t.cpu_phases.get("decompress");
     const double enc_s = t.cpu_phases.get("recompress");
     jf << "{\n"
-       << "  \"schema_version\": 4,\n"
+       << "  \"schema_version\": 5,\n"
        << "  \"engine\": \"" << engine->name() << "\",\n"
        << "  \"simd\": \"" << simd::name(simd::active()) << "\",\n"
        << "  \"codec_dict\": \""
@@ -461,6 +479,7 @@ int cmd_run(int argc, char** argv) {
        << (cfg.store_backend == core::StoreBackend::kFile ? "file" : "ram")
        << "\",\n"
        << "  \"blob_budget_bytes\": " << cfg.host_blob_budget_bytes << ",\n"
+       << "  \"dedup\": " << (cfg.dedup ? "true" : "false") << ",\n"
        << "  \"modeled_total_seconds\": " << t.modeled_total_seconds << ",\n"
        << "  \"device_busy_seconds\": " << t.device_busy_seconds << ",\n"
        << "  \"pipeline_stall_seconds\": " << t.pipeline_stall_seconds
@@ -491,6 +510,15 @@ int cmd_run(int argc, char** argv) {
        << "  \"spill_reads\": " << t.spill_reads << ",\n"
        << "  \"spill_bytes_written\": " << t.spill_bytes_written << ",\n"
        << "  \"spill_bytes_read\": " << t.spill_bytes_read << ",\n"
+       << "  \"dedup_hits\": " << t.dedup_hits << ",\n"
+       << "  \"dedup_bytes_saved\": " << t.dedup_bytes_saved << ",\n"
+       << "  \"cow_breaks\": " << t.cow_breaks << ",\n"
+       << "  \"constant_chunks_stored\": " << t.constant_chunks_stored
+       << ",\n"
+       << "  \"constant_chunks_materialized\": "
+       << t.constant_chunks_materialized << ",\n"
+       << "  \"cache_alias_hits\": " << t.cache_alias_hits << ",\n"
+       << "  \"codec_memo_hits\": " << t.codec_memo_hits << ",\n"
        << "  \"faults_armed\": " << (fault::armed() ? "true" : "false")
        << ",\n"
        << "  \"faults_injected\": " << t.faults_injected << ",\n"
