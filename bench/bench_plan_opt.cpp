@@ -1,0 +1,222 @@
+// Plan-optimizer bench (ISSUE 8, experiment A8): QFT / Bernstein-Vazirani /
+// Haar-random workloads at 25% / 50% / 100% chunk-cache budgets, with the
+// locality-aware plan optimizer on vs off. For each arm we record the
+// forecast (planned codec passes from the Belady replay) next to the actual
+// counters, so the table doubles as a calibration check of the cost model.
+//
+// Success bars (exit status):
+//   (a) on the QFT at the 25% budget, plan-opt on yields a higher
+//       gates-per-codec-pass, fewer actual chunk loads, and lower real
+//       codec seconds than plan-opt off;
+//   (b) plan-opt on never does more codec passes than off on any arm;
+//   (c) a small-n differential check: both arms match the dense oracle.
+//
+// Writes BENCH_plan_opt.json next to the binary for the driver.
+//
+// usage: bench_plan_opt [qft_qubits]   (default 25; pass e.g. 18 for a
+//                                       smoke run — Haar stays at 16)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "sv/simulator.hpp"
+
+namespace {
+
+using namespace memq;
+
+struct Arm {
+  std::string workload;
+  int qubits = 0;
+  int budget_pct = 0;
+  bool plan_opt = false;
+  // Forecast (offline Belady replay).
+  double planned_codec_passes = 0.0;
+  bool planned_exact = true;
+  double gates_per_codec_pass = 0.0;
+  // Actuals.
+  std::uint64_t chunk_loads = 0;
+  std::uint64_t chunk_stores = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double codec_seconds = 0.0;
+  double modeled_seconds = 0.0;
+};
+
+Arm run_arm(const circuit::Circuit& c, const std::string& workload,
+            qubit_t chunk_qubits, int budget_pct, bool plan_opt) {
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = chunk_qubits;
+  cfg.codec.bound = 1e-6;
+  cfg.plan_opt = plan_opt;
+  const std::uint64_t chunk_bytes = kAmpBytes << chunk_qubits;
+  const std::uint64_t n_chunks = dim_of(c.n_qubits()) >> chunk_qubits;
+  cfg.cache_budget_bytes =
+      n_chunks * chunk_bytes * static_cast<std::uint64_t>(budget_pct) / 100;
+
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+  engine->run(c);
+
+  Arm a;
+  a.workload = workload;
+  a.qubits = static_cast<int>(c.n_qubits());
+  a.budget_pct = budget_pct;
+  a.plan_opt = plan_opt;
+  if (const core::StageReport* rep = engine->stage_report()) {
+    a.planned_codec_passes = rep->planned.codec_passes();
+    a.planned_exact = rep->planned.exact;
+    a.gates_per_codec_pass = rep->plan_gates_per_codec_pass;
+  }
+  const auto& t = engine->telemetry();
+  a.chunk_loads = t.chunk_loads;
+  a.chunk_stores = t.chunk_stores;
+  a.cache_hits = t.cache_hits;
+  a.cache_misses = t.cache_misses;
+  a.codec_seconds =
+      t.cpu_phases.get("decompress") + t.cpu_phases.get("recompress");
+  a.modeled_seconds = t.modeled_total_seconds;
+  return a;
+}
+
+/// Small-n correctness arm: both plan-opt settings against the dense oracle.
+double differential_err(const circuit::Circuit& c, bool plan_opt) {
+  sv::Simulator oracle(c.n_qubits());
+  oracle.run(c);
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = static_cast<qubit_t>(c.n_qubits() - 4);
+  cfg.codec.bound = 1e-7;
+  cfg.plan_opt = plan_opt;
+  cfg.cache_budget_bytes = 4 * (kAmpBytes << cfg.chunk_qubits);
+  auto engine =
+      core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), cfg);
+  engine->run(c);
+  return engine->to_dense().max_abs_diff(oracle.state());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int qft_qubits = argc > 1 ? std::atoi(argv[1]) : 25;
+  if (qft_qubits < 12 || qft_qubits > 30) {
+    std::cerr << "usage: bench_plan_opt [qft_qubits in 12..30]\n";
+    return 2;
+  }
+  const qubit_t nq = static_cast<qubit_t>(qft_qubits);
+  const qubit_t haar_q = 16;
+
+  struct Workload {
+    std::string name;
+    circuit::Circuit circuit;
+    qubit_t chunk_qubits;
+  };
+  const std::vector<Workload> workloads = {
+      {"qft", circuit::make_qft(nq), static_cast<qubit_t>(nq - 9)},
+      {"bv", circuit::make_bernstein_vazirani(nq, 0x5a5a5a5aull &
+                                                      (dim_of(nq) - 1)),
+       static_cast<qubit_t>(nq - 9)},
+      {"haar", circuit::make_random_circuit(haar_q, 6, 20260807, true),
+       static_cast<qubit_t>(haar_q - 6)},
+  };
+
+  std::cout << "plan-opt bench — qft/bv at " << qft_qubits
+            << " qubits (512 chunks), haar at " << int(haar_q)
+            << " qubits (64 chunks); cache budgets 25/50/100%\n\n";
+
+  std::vector<Arm> arms;
+  bool qft25_bar = true;
+  bool never_worse = true;
+
+  for (const Workload& w : workloads) {
+    TextTable table({"budget", "plan-opt", "planned passes", "gates/pass",
+                     "loads", "stores", "hits", "miss", "codec cpu",
+                     "modeled"});
+    for (const int pct : {25, 50, 100}) {
+      const Arm off = run_arm(w.circuit, w.name, w.chunk_qubits, pct, false);
+      const Arm on = run_arm(w.circuit, w.name, w.chunk_qubits, pct, true);
+      for (const Arm* a : {&off, &on})
+        table.add_row({std::to_string(a->budget_pct) + "%",
+                       a->plan_opt ? "on" : "off",
+                       format_fixed(a->planned_codec_passes, 0) +
+                           (a->planned_exact ? "" : "~"),
+                       format_fixed(a->gates_per_codec_pass, 2),
+                       std::to_string(a->chunk_loads),
+                       std::to_string(a->chunk_stores),
+                       std::to_string(a->cache_hits),
+                       std::to_string(a->cache_misses),
+                       human_seconds(a->codec_seconds),
+                       human_seconds(a->modeled_seconds)});
+      never_worse =
+          never_worse && on.planned_codec_passes <= off.planned_codec_passes;
+      if (w.name == "qft" && pct == 25) {
+        qft25_bar = on.gates_per_codec_pass > off.gates_per_codec_pass &&
+                    on.chunk_loads < off.chunk_loads &&
+                    on.codec_seconds < off.codec_seconds;
+      }
+      arms.push_back(off);
+      arms.push_back(on);
+    }
+    std::cout << w.name << "(" << int(w.circuit.n_qubits()) << "), "
+              << w.circuit.size() << " gates:\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Small-n differential: the reorder must be invisible in the amplitudes.
+  constexpr double kTolerance = 1e-3;
+  bool diff_ok = true;
+  for (const auto& [name, circ] :
+       {std::pair<std::string, circuit::Circuit>{"qft",
+                                                 circuit::make_qft(10)},
+        {"bv", circuit::make_bernstein_vazirani(10, 0x2cd)},
+        {"haar", circuit::make_random_circuit(10, 5, 777, true)}}) {
+    for (const bool plan_opt : {false, true}) {
+      const double err = differential_err(circ, plan_opt);
+      diff_ok = diff_ok && err < kTolerance;
+      if (err >= kTolerance)
+        std::cout << "DIFFERENTIAL MISMATCH: " << name << "-10 plan-opt "
+                  << (plan_opt ? "on" : "off") << " max |err| "
+                  << format_sci(err, 2) << "\n";
+    }
+  }
+
+  std::cout << "qft@25%: plan-opt raises gates/pass, cuts loads and real "
+               "codec seconds: "
+            << (qft25_bar ? "yes" : "NO") << "\n"
+            << "plan-opt never predicts more codec passes than legacy: "
+            << (never_worse ? "yes" : "NO") << "\n"
+            << "small-n amplitudes match the dense oracle (both arms): "
+            << (diff_ok ? "yes" : "NO") << "\n";
+
+  std::ofstream json("BENCH_plan_opt.json");
+  json << "{\n  \"qft_qubits\": " << qft_qubits
+       << ",\n  \"haar_qubits\": " << int(haar_q) << ",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const Arm& a = arms[i];
+    json << "    {\"workload\": \"" << a.workload
+         << "\", \"qubits\": " << a.qubits
+         << ", \"budget_pct\": " << a.budget_pct
+         << ", \"plan_opt\": " << (a.plan_opt ? "true" : "false")
+         << ", \"planned_codec_passes\": " << a.planned_codec_passes
+         << ", \"planned_exact\": " << (a.planned_exact ? "true" : "false")
+         << ", \"gates_per_codec_pass\": " << a.gates_per_codec_pass
+         << ", \"chunk_loads\": " << a.chunk_loads
+         << ", \"chunk_stores\": " << a.chunk_stores
+         << ", \"cache_hits\": " << a.cache_hits
+         << ", \"cache_misses\": " << a.cache_misses
+         << ", \"codec_seconds\": " << a.codec_seconds
+         << ", \"modeled_seconds\": " << a.modeled_seconds << "}"
+         << (i + 1 < arms.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"qft25_bar\": " << (qft25_bar ? "true" : "false")
+       << ",\n  \"never_worse\": " << (never_worse ? "true" : "false")
+       << ",\n  \"differential_ok\": " << (diff_ok ? "true" : "false")
+       << "\n}\n";
+  return (qft25_bar && never_worse && diff_ok) ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+#include "circuit/gate_dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace memq::circuit {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+bool near(amp_t a, amp_t b) { return std::abs(a - b) <= kEps; }
+bool near_zero(amp_t a) { return std::abs(a) <= kEps; }
+
+WireRole target_role(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kSwap:
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+    case GateKind::kBarrier:
+      return WireRole::kOther;
+    default:
+      break;
+  }
+  const Mat2 m = g.matrix1q();
+  const bool diagonal = near_zero(m[1]) && near_zero(m[2]);
+  if (diagonal && near(m[0], m[3])) return WireRole::kScalar;
+  if (diagonal) return WireRole::kZ;
+  if (near(m[0], m[3]) && near(m[1], m[2])) return WireRole::kX;
+  if (near(m[0], m[3]) && near(m[1], -m[2])) return WireRole::kY;
+  return WireRole::kOther;
+}
+
+}  // namespace
+
+WireRole wire_role(const Gate& gate, qubit_t wire) {
+  for (const qubit_t c : gate.controls)
+    if (c == wire) return WireRole::kZ;
+  for (const qubit_t t : gate.targets)
+    if (t == wire) return target_role(gate);
+  return WireRole::kScalar;
+}
+
+bool roles_commute(WireRole a, WireRole b) noexcept {
+  if (a == WireRole::kScalar || b == WireRole::kScalar) return true;
+  if (a == WireRole::kOther || b == WireRole::kOther) return false;
+  return a == b;
+}
+
+bool gates_commute(const Gate& a, const Gate& b) {
+  if (a.is_barrier() || b.is_barrier()) return false;
+  if (a.is_nonunitary() || b.is_nonunitary()) return false;
+  for (const qubit_t w : a.qubits())
+    if (!roles_commute(wire_role(a, w), wire_role(b, w))) return false;
+  return true;
+}
+
+GateDag build_gate_dag(const Circuit& circuit) {
+  GateDag dag;
+  dag.nodes.reserve(circuit.size());
+
+  // Per-wire same-role group chain (see header: adjacent groups are fully
+  // cross-linked, giving transitive paths between any role-incompatible
+  // pair on the wire).
+  struct WireChain {
+    WireRole role = WireRole::kScalar;
+    std::vector<std::size_t> cur;
+    std::vector<std::size_t> prev;
+  };
+  std::unordered_map<qubit_t, WireChain> chains;
+  std::vector<std::size_t> since_fence;
+  bool have_fence = false;
+  std::size_t last_fence = 0;
+
+  const auto add_edge = [&dag](std::size_t from, std::size_t to) {
+    dag.nodes[to].preds.push_back(from);
+  };
+
+  for (std::size_t gi = 0; gi < circuit.size(); ++gi) {
+    const Gate& g = circuit[gi];
+    if (g.is_barrier()) continue;  // partitioner parity: dropped, no flush
+    const std::size_t n = dag.nodes.size();
+    dag.nodes.push_back({g, gi, {}, {}});
+
+    if (g.is_nonunitary()) {
+      // Full fence: ordered after everything since the previous fence.
+      for (const std::size_t m : since_fence) add_edge(m, n);
+      if (have_fence) add_edge(last_fence, n);
+      since_fence.clear();
+      chains.clear();
+      have_fence = true;
+      last_fence = n;
+      continue;
+    }
+
+    if (have_fence) add_edge(last_fence, n);
+    since_fence.push_back(n);
+
+    for (const qubit_t w : g.qubits()) {
+      const WireRole r = wire_role(g, w);
+      if (r == WireRole::kScalar) continue;  // no constraint through w
+      WireChain& ch = chains[w];
+      if (!ch.cur.empty() && ch.role == r && r != WireRole::kOther) {
+        // Joins the current group: commutes with its members on this wire,
+        // but must follow the whole previous group.
+        for (const std::size_t m : ch.prev) add_edge(m, n);
+        ch.cur.push_back(n);
+      } else {
+        ch.prev = std::move(ch.cur);
+        ch.cur.clear();
+        ch.cur.push_back(n);
+        ch.role = r;
+        for (const std::size_t m : ch.prev) add_edge(m, n);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    auto& preds = dag.nodes[i].preds;
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    for (const std::size_t p : preds) dag.nodes[p].succs.push_back(i);
+  }
+  return dag;
+}
+
+bool GateDag::is_legal_order(const std::vector<std::size_t>& order) const {
+  if (order.size() != nodes.size()) return false;
+  constexpr std::size_t kUnplaced = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> pos(nodes.size(), kUnplaced);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= nodes.size() || pos[order[i]] != kUnplaced) return false;
+    pos[order[i]] = i;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (const std::size_t p : nodes[i].preds)
+      if (pos[p] >= pos[i]) return false;
+  return true;
+}
+
+}  // namespace memq::circuit

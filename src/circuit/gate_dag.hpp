@@ -1,0 +1,75 @@
+// Gate dependency DAG with sound commutation rules — the partial order the
+// plan optimizer (core/plan_opt.hpp) schedules over, replacing the implicit
+// total order the partitioner consumes.
+//
+// Commutation is decided per wire through role classes. A controlled gate
+// C_S(U) factors as P0 ⊗ I + P1 ⊗ U with P0/P1 diagonal projectors on the
+// control wires, so on every wire its action lives in span{I, P} for a
+// single Pauli axis P:
+//   * control wires        -> Z  (projectors are diagonal)
+//   * diagonal targets     -> Z  (diag(a, b) = αI + βZ)
+//   * targets with m00 == m11, m01 ==  m10 -> X  (αI + βX: RX, X, SX...)
+//   * targets with m00 == m11, m01 == -m10 -> Y  (αI + βY: RY, Y)
+//   * scalar targets (c·I) -> Scalar (commutes with everything)
+//   * anything else (H, U3, swap, measure...) -> Other (commutes with
+//     nothing on that wire)
+// Two gates whose wire operators commute pairwise on every shared wire
+// commute as whole operators (product terms commute factor-wise, sums of
+// commuting products commute). Hence: disjoint supports always commute;
+// diagonal gates commute on shared wires; control-only overlap commutes
+// with diagonal targets — plus the X/Y axis cases for free.
+//
+// DAG construction keeps, per wire, the current same-role gate group and
+// the previous group, fully cross-linking adjacent groups. Ordering two
+// role-incompatible gates through the chain of intermediate groups is
+// transitive, so every non-commuting pair is path-connected ("edge to the
+// last non-commuting gate only" is NOT sound: with A0 = CX(q->a),
+// A1 = CX(q->b), C = H(q), C must be ordered after BOTH A0 and A1, not
+// just A1). Measure/reset are full fences; barriers are dropped, matching
+// the partitioner, which ignores them without flushing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/types.hpp"
+
+namespace memq::circuit {
+
+/// Pauli-axis class of a gate's action on one wire (see header comment).
+enum class WireRole : std::uint8_t { kScalar, kZ, kX, kY, kOther };
+
+/// Role of `gate` on `wire`; kScalar for wires the gate does not touch.
+WireRole wire_role(const Gate& gate, qubit_t wire);
+
+/// True when the two wire actions provably commute.
+bool roles_commute(WireRole a, WireRole b) noexcept;
+
+/// Sound (conservative) commutation test: true only when the gates provably
+/// commute. Nonunitary gates and barriers never commute with anything.
+bool gates_commute(const Gate& a, const Gate& b);
+
+struct GateDag {
+  struct Node {
+    Gate gate;
+    std::size_t circuit_index = 0;  ///< position in the source gate list
+    std::vector<std::size_t> preds;
+    std::vector<std::size_t> succs;
+  };
+  std::vector<Node> nodes;
+
+  std::size_t size() const noexcept { return nodes.size(); }
+
+  /// True iff `order` is a permutation of [0, size()) that schedules every
+  /// node after all of its predecessors.
+  bool is_legal_order(const std::vector<std::size_t>& order) const;
+};
+
+/// Builds the dependency DAG of `circuit`. Barriers are dropped (partitioner
+/// parity); measure/reset become full fences ordered against everything
+/// before and after them.
+GateDag build_gate_dag(const Circuit& circuit);
+
+}  // namespace memq::circuit

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <iterator>
 
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
@@ -440,6 +441,148 @@ double CachedWriter::put(const ChunkJob& job, std::vector<amp_t> buf) {
 
 void CachedWriter::drain() {
   if (writer_) writer_->drain();
+}
+
+PlanCost forecast_plan_cost(const std::vector<StageAccess>& plan,
+                            index_t n_chunks, std::uint64_t chunk_raw_bytes,
+                            std::uint64_t budget_bytes) {
+  PlanCost cost;
+  for (const StageAccess& stage : plan) {
+    if (stage.kind == StageAccess::Kind::kNone) continue;
+    cost.chunk_loads += n_chunks;
+    cost.chunk_stores += n_chunks;
+  }
+  cost.h2d_bytes = cost.chunk_loads * chunk_raw_bytes;
+
+  const bool cache_on =
+      chunk_raw_bytes > 0 && budget_bytes >= chunk_raw_bytes;
+  // Replaying very long access streams is not worth the planning time; past
+  // the cap, report the cache-less analytic bound and say so.
+  constexpr std::uint64_t kReplayCap = 1ull << 23;
+  const bool replay = cache_on && cost.chunk_loads <= kReplayCap;
+  if (!cache_on || !replay) {
+    cost.cache_misses = cost.chunk_loads;
+    cost.codec_encodes = cost.chunk_stores;
+    cost.exact = !cache_on;
+    return cost;
+  }
+  cost.chunk_loads = 0;
+  cost.chunk_stores = 0;
+  cost.h2d_bytes = 0;
+
+  // Per-slot sorted access times (time = stage * n_chunks + sweep position,
+  // exactly the ChunkCache clock).
+  const std::uint64_t width = n_chunks;
+  std::vector<std::vector<std::uint64_t>> times(n_chunks);
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    const StageAccess& stage = plan[s];
+    if (stage.kind == StageAccess::Kind::kNone) continue;
+    for (index_t i = 0; i < n_chunks; ++i) {
+      const index_t pos = stage.kind == StageAccess::Kind::kPair
+                              ? (i & ~stage.pair_mask)
+                              : i;
+      times[i].push_back(s * width + pos);
+    }
+  }
+
+  struct Resident {
+    bool dirty = false;
+  };
+  std::unordered_map<index_t, Resident> resident;
+  std::vector<std::size_t> cursor(n_chunks, 0);
+  const std::uint64_t capacity = budget_bytes / chunk_raw_bytes;
+  std::uint64_t now = 0;
+
+  constexpr std::uint64_t kNoUse = std::numeric_limits<std::uint64_t>::max();
+  const auto next_use = [&](index_t slot) -> std::uint64_t {
+    std::size_t& c = cursor[slot];
+    while (c < times[slot].size() && times[slot][c] <= now) ++c;
+    return c < times[slot].size() ? times[slot][c] : kNoUse;
+  };
+  // Mirrors ChunkCache::worth_inserting / evict_to_fit: admit when the
+  // cache has room, or when some resident's next use is strictly farther
+  // than the incoming slot's; evict the farthest next use, ties broken
+  // toward the larger slot index.
+  const auto worth = [&](index_t slot) {
+    if (resident.size() < capacity) return true;
+    const std::uint64_t incoming = next_use(slot);
+    for (const auto& [rslot, r] : resident)
+      if (next_use(rslot) > incoming) return true;
+    return false;
+  };
+  const auto evict_to_fit = [&] {
+    while (resident.size() >= capacity && !resident.empty()) {
+      auto victim = resident.begin();
+      std::uint64_t victim_next = next_use(victim->first);
+      for (auto it = std::next(resident.begin()); it != resident.end(); ++it) {
+        const std::uint64_t nu = next_use(it->first);
+        if (nu > victim_next ||
+            (nu == victim_next && it->first > victim->first)) {
+          victim = it;
+          victim_next = nu;
+        }
+      }
+      if (victim->second.dirty) ++cost.codec_encodes;
+      resident.erase(victim);
+    }
+  };
+  const auto load = [&](index_t slot, std::uint64_t t) {
+    now = std::max(now, t);
+    ++cost.chunk_loads;
+    cost.h2d_bytes += chunk_raw_bytes;
+    if (resident.count(slot) != 0) {
+      ++cost.cache_hits;
+      return;
+    }
+    ++cost.cache_misses;
+    if (worth(slot)) {
+      evict_to_fit();
+      resident.emplace(slot, Resident{false});
+    }
+  };
+  const auto store = [&](index_t slot, std::uint64_t t) {
+    now = std::max(now, t);
+    ++cost.chunk_stores;
+    const auto it = resident.find(slot);
+    if (it != resident.end()) {
+      it->second.dirty = true;
+      return;
+    }
+    if (worth(slot)) {
+      evict_to_fit();
+      resident.emplace(slot, Resident{true});
+      return;
+    }
+    ++cost.codec_encodes;
+  };
+
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    const StageAccess& stage = plan[s];
+    switch (stage.kind) {
+      case StageAccess::Kind::kNone:
+        break;
+      case StageAccess::Kind::kEvery:
+        for (index_t i = 0; i < n_chunks; ++i) {
+          load(i, s * width + i);
+          store(i, s * width + i);
+        }
+        break;
+      case StageAccess::Kind::kPair:
+        for (index_t i = 0; i < n_chunks; ++i) {
+          if ((i & stage.pair_mask) != 0) continue;
+          const index_t j = i | stage.pair_mask;
+          const std::uint64_t t = s * width + i;
+          load(i, t);
+          load(j, t);
+          store(i, t);
+          store(j, t);
+        }
+        break;
+    }
+  }
+  for (const auto& [slot, r] : resident)
+    if (r.dirty) ++cost.codec_encodes;  // end-of-run flush
+  return cost;
 }
 
 }  // namespace memq::core

@@ -45,6 +45,7 @@
 
 #include "common/types.hpp"
 #include "core/codec_pool.hpp"
+#include "core/stage_report.hpp"
 
 namespace memq::core {
 
@@ -85,6 +86,21 @@ struct StageAccess {
   Kind kind = Kind::kEvery;
   index_t pair_mask = 0;  ///< kPair only: high bit of the partner chunk
 };
+
+/// Replays `plan`'s chunk-access stream (kEvery: load+store of every slot
+/// in ascending order; kPair: load lo, load hi, store lo, store hi per
+/// pair; kNone: nothing) through the same Belady admission and eviction
+/// rules ChunkCache applies online, and returns the predicted cost. This is
+/// what the plan optimizer scores candidate stage orders with, and what
+/// --stage-report prints as "planned" next to the run's actuals. The
+/// forecast assumes every chunk is nonzero (dense upper bound) and models
+/// the access stream unpipelined; with a budget below one chunk it
+/// degenerates to the exact cache-less count. Streams longer than an
+/// internal cap skip the replay and report the cache-less analytic bound
+/// with PlanCost::exact = false.
+PlanCost forecast_plan_cost(const std::vector<StageAccess>& plan,
+                            index_t n_chunks, std::uint64_t chunk_raw_bytes,
+                            std::uint64_t budget_bytes);
 
 class ChunkCache {
  public:

@@ -118,6 +118,14 @@ struct EngineConfig {
   /// the Wu engine stays faithful to the paper's gate-by-gate schedule.
   bool elide_swaps = false;
 
+  /// Offline optimization: locality-aware plan optimizer (core/plan_opt.hpp)
+  /// — gate-DAG re-scheduling + stage fusion co-designed with the Belady
+  /// cache plan. Gates are reordered only along provably-commuting DAG
+  /// edges, so amplitudes match the as-written circuit up to floating-point
+  /// reassociation. Off reproduces the legacy one-shot greedy partition
+  /// byte-for-byte (test-enforced).
+  bool plan_opt = true;
+
   /// PRNG seed for measurement sampling.
   std::uint64_t seed = 20231112;
 };

@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/trace.hpp"
 #include "core/chunk_exec.hpp"
+#include "core/plan_opt.hpp"
 
 namespace memq::core {
 
@@ -160,18 +161,54 @@ void MemQSimEngine::charge_cpu(double seconds) { clock_->advance(seconds); }
 void MemQSimEngine::run(const circuit::Circuit& circuit) {
   MEMQ_CHECK(circuit.n_qubits() == n_qubits(), "circuit width mismatch");
   WallTimer wall;
+  // Layout is chosen once, from the first circuit on the fresh |0..0>
+  // state (which is invariant under qubit relabeling).
+  const bool fresh_layout_choice =
+      config_.optimize_layout && state_is_fresh_ && layout_.is_identity();
   {
     ScopedPhase offline(telemetry_.cpu_phases, "offline_partition");
-    // Layout is chosen once, from the first circuit on the fresh |0..0>
-    // state (which is invariant under qubit relabeling).
-    if (config_.optimize_layout && state_is_fresh_ && layout_.is_identity())
+    if (fresh_layout_choice)
       layout_ = QubitLayout::optimize(circuit, chunk_qubits());
-    circuit::Circuit mapped = layout_.map_circuit(circuit);
-    if (config_.elide_swaps) mapped = elide_swaps(mapped, layout_);
-    if (config_.fuse_single_qubit_runs) {
-      plan_ = partition(circuit::fuse_1q_runs(mapped), chunk_qubits());
+    // Swap elision runs strictly BEFORE partitioning on every path, so a
+    // SWAP the layout can elide is never lowered to three CXs first.
+    const auto prepare = [&] {
+      circuit::Circuit mapped = layout_.map_circuit(circuit);
+      if (config_.elide_swaps) mapped = elide_swaps(mapped, layout_);
+      if (config_.fuse_single_qubit_runs)
+        mapped = circuit::fuse_1q_runs(mapped);
+      return mapped;
+    };
+    const PlanOptOptions opt{
+        chunk_qubits(), config_.cache_budget_bytes,
+        (index_t{1} << chunk_qubits()) * sizeof(amp_t), n_chunks()};
+    if (config_.plan_opt) {
+      plan_ = build_optimized_plan(prepare(), opt);
+      // Layout/schedule co-convergence: re-rank target hotness on the
+      // circuit the schedule actually executes. Heat is order-invariant,
+      // so a refinement round only differs when swap elision rewired or
+      // fusion merged targets; one round converges. Sound only while the
+      // state is the relabeling-invariant fresh |0..0> (same condition as
+      // the initial layout choice).
+      if (fresh_layout_choice &&
+          (config_.elide_swaps || config_.fuse_single_qubit_runs)) {
+        circuit::Circuit scheduled(circuit.n_qubits());
+        for (const Stage& s : plan_->stages)
+          for (const Gate& g : s.gates) scheduled.append(g);
+        const QubitLayout refine =
+            QubitLayout::optimize(scheduled, chunk_qubits());
+        if (!refine.is_identity()) {
+          std::vector<qubit_t> composed(circuit.n_qubits());
+          for (qubit_t l = 0; l < circuit.n_qubits(); ++l)
+            composed[l] = refine.physical(layout_.physical(l));
+          layout_ = QubitLayout::from_mapping(composed);
+          plan_ = build_optimized_plan(prepare(), opt);
+        }
+      }
     } else {
-      plan_ = partition(mapped, chunk_qubits());
+      // Legacy arm: the pre-plan-opt pipeline, gate for gate. Only the
+      // cost forecast (plan metadata) is new.
+      plan_ = partition(prepare(), chunk_qubits());
+      plan_->cost = estimate_plan_cost(*plan_, opt);
     }
   }
   charge_cpu(telemetry_.cpu_phases.get("offline_partition"));
@@ -181,29 +218,17 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
     // Hand the offline stage schedule to the cache so eviction can be
     // Belady-optimal: per stage, which slots are touched and at which sweep
     // position (pairs share the position of their low chunk).
-    std::vector<StageAccess> accesses;
-    accesses.reserve(plan_->stages.size());
-    for (const Stage& stage : plan_->stages) {
-      StageAccess a;
-      switch (stage.kind) {
-        case StageKind::kPermute:
-          a.kind = StageAccess::Kind::kNone;
-          break;
-        case StageKind::kPair:
-          a.kind = StageAccess::Kind::kPair;
-          a.pair_mask = index_t{1} << (stage.pair_qubit - chunk_qubits());
-          break;
-        case StageKind::kLocal:
-        case StageKind::kMeasure:
-          a.kind = StageAccess::Kind::kEvery;
-          break;
-      }
-      accesses.push_back(a);
-    }
-    pager_.set_plan(std::move(accesses));
+    pager_.set_plan(plan_accesses(*plan_, chunk_qubits()));
   }
 
   report_ = StageReport{};
+  report_.planned = plan_->cost;
+  report_.plan_optimized = config_.plan_opt;
+  report_.plan_gates_per_codec_pass = plan_->stats.gates_per_codec_pass();
+  report_.plan_local_stages = plan_->stats.local_stages;
+  report_.plan_pair_stages = plan_->stats.pair_stages;
+  report_.plan_permute_stages = plan_->stats.permute_stages;
+  report_.plan_measure_stages = plan_->stats.measure_stages;
   report_.rows.reserve(plan_->stages.size());
   const MetricsSnap first_snap = take_metrics_snap();
   MetricsSnap prev_snap = first_snap;

@@ -11,10 +11,7 @@ using circuit::Circuit;
 using circuit::Gate;
 using circuit::GateKind;
 
-namespace {
-
-/// The unique target >= c of a non-local unitary gate (post swap-lowering).
-qubit_t high_target(const Gate& g, qubit_t c) {
+qubit_t pair_high_target(const Gate& g, qubit_t c) {
   qubit_t q = 0;
   int count = 0;
   for (const qubit_t t : g.targets)
@@ -42,6 +39,8 @@ bool is_pure_permute(const Gate& g, qubit_t c) {
   }
   return false;
 }
+
+namespace {
 
 class Builder {
  public:
@@ -81,7 +80,7 @@ class Builder {
       return;
     }
     // Pair gate.
-    const qubit_t q = high_target(g, c_);
+    const qubit_t q = pair_high_target(g, c_);
     if (has_current_ && current_.kind == StageKind::kPair &&
         current_.pair_qubit == q) {
       current_.gates.push_back(g);

@@ -22,6 +22,7 @@
 
 #include "circuit/circuit.hpp"
 #include "common/types.hpp"
+#include "core/stage_report.hpp"
 
 namespace memq::core {
 
@@ -48,10 +49,22 @@ struct PartitionStats {
 struct StagePlan {
   std::vector<Stage> stages;
   PartitionStats stats;
+  /// Predicted data-movement cost under the configured cache budget; filled
+  /// by the plan optimizer (core/plan_opt.hpp), all-zero from partition().
+  PlanCost cost;
 };
 
 /// Builds the stage plan for `circuit` at chunk granularity 2^chunk_qubits.
 StagePlan partition(const circuit::Circuit& circuit, qubit_t chunk_qubits);
+
+/// True for gates a permute stage executes on compressed chunks: X with a
+/// high (>= chunk_qubits) target, or SWAP with both targets high, in either
+/// case with every control high as well.
+bool is_pure_permute(const circuit::Gate& gate, qubit_t chunk_qubits);
+
+/// The unique target >= chunk_qubits of a non-local gate (valid after
+/// mixed-swap lowering; checks there is exactly one).
+qubit_t pair_high_target(const circuit::Gate& gate, qubit_t chunk_qubits);
 
 const char* stage_kind_name(StageKind kind) noexcept;
 

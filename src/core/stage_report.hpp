@@ -16,6 +16,29 @@
 
 namespace memq::core {
 
+/// Offline prediction of a stage plan's data-movement cost under the
+/// configured cache budget — computed by replaying the plan's chunk-access
+/// stream through the exact Belady admission/eviction rules of
+/// core/chunk_cache.cpp (see forecast_plan_cost there). The forecast assumes
+/// every chunk is nonzero, so loads/misses are a dense upper bound on the
+/// run's actuals (zero-chunk skips only remove work).
+struct PlanCost {
+  std::uint64_t chunk_loads = 0;   ///< chunk load ops the plan will issue
+  std::uint64_t chunk_stores = 0;  ///< chunk store ops the plan will issue
+  std::uint64_t cache_hits = 0;    ///< loads predicted to be served in-cache
+  std::uint64_t cache_misses = 0;  ///< loads predicted to pay a decode
+  std::uint64_t codec_encodes = 0; ///< stores predicted to pay an encode
+                                   ///< (write-backs + pass-throughs + flush)
+  std::uint64_t h2d_bytes = 0;     ///< modeled upload traffic (raw bytes)
+  /// False when the access stream exceeded the forecast cap and the
+  /// cache-less analytic bound was reported instead.
+  bool exact = true;
+  /// Predicted codec invocations (decodes + encodes).
+  double codec_passes() const {
+    return static_cast<double>(cache_misses + codec_encodes);
+  }
+};
+
 struct StageRow {
   std::size_t index = 0;       ///< position in the stage plan
   const char* kind = "";       ///< "local" | "pair" | "permute" | "measure"
@@ -60,6 +83,20 @@ struct StageReport {
   /// Whole-run delta (first snapshot to after the final device drain);
   /// kind is "total".
   StageRow total;
+
+  /// Offline prediction for this run's plan (planned-vs-actual in
+  /// --stage-report / telemetry). All-zero for engines without a plan.
+  PlanCost planned;
+  /// True when the locality-aware plan optimizer produced the stage plan
+  /// (--plan-opt on); false reproduces the legacy greedy cut.
+  bool plan_optimized = false;
+  /// Stage-kind census of the executed plan (PartitionStats, surfaced).
+  std::uint64_t plan_local_stages = 0;
+  std::uint64_t plan_pair_stages = 0;
+  std::uint64_t plan_permute_stages = 0;
+  std::uint64_t plan_measure_stages = 0;
+  /// PartitionStats::gates_per_codec_pass() of the executed plan.
+  double plan_gates_per_codec_pass = 0.0;
 };
 
 }  // namespace memq::core

@@ -3,6 +3,7 @@
 #include "common/bit_ops.hpp"
 #include "common/error.hpp"
 #include "core/chunk_exec.hpp"
+#include "core/plan_opt.hpp"
 
 namespace memq::core {
 
@@ -20,6 +21,30 @@ void WuEngine::run(const circuit::Circuit& circuit) {
   MEMQ_CHECK(circuit.n_qubits() == n_qubits(), "circuit width mismatch");
   WallTimer wall;
   state_is_fresh_ = false;  // layout stays identity: [6] has no remapping
+  if (config_.plan_opt) {
+    // Consume the locality-optimized plan through the shared StagePlan
+    // interface. Wu still pays its per-gate full-state codec sweep (that is
+    // the baseline being modeled) but executes the gates in the scheduled
+    // order, the same commutation-sound reorder MemQSim runs.
+    const PlanOptOptions opt{chunk_qubits(), config_.cache_budget_bytes,
+                             (index_t{1} << chunk_qubits()) * sizeof(amp_t),
+                             n_chunks()};
+    const StagePlan plan = build_optimized_plan(circuit, opt);
+    for (const Stage& stage : plan.stages) {
+      if (stage.kind == StageKind::kMeasure) {
+        const Gate& g = stage.gates.at(0);
+        const bool outcome = measure_qubit(g.targets.at(0));
+        ++telemetry_.stages_measure;
+        if (g.kind == GateKind::kReset && outcome)
+          apply_unitary_gate(Gate::x(g.targets[0]));
+        continue;
+      }
+      for (const Gate& g : stage.gates) apply_unitary_gate(g);
+    }
+    telemetry_.wall_seconds += wall.seconds();
+    refresh_footprint_telemetry();
+    return;
+  }
   for (const Gate& g : circuit.gates()) {
     if (g.is_barrier()) continue;
     if (g.is_nonunitary()) {

@@ -238,5 +238,39 @@ TEST(DifferentialOracle, ThreadCountsAreBitIdentical) {
   }
 }
 
+TEST(DifferentialOracle, PlanOptOnAndOffBothMatchDense) {
+  // ISSUE 8: the plan optimizer reorders gates only along provably
+  // commuting DAG edges, so BOTH arms must track the dense oracle run on
+  // the as-written circuit. (The matrix test above already runs with the
+  // default plan_opt=on; this pins the off arm and the on/off agreement.)
+  for (std::size_t m = 0; m < sizeof(kMatrix) / sizeof(kMatrix[0]); ++m) {
+    const CaseConfig& cc = kMatrix[m];
+    const std::uint64_t seed = 8800 + m;
+    Prng rng(seed);
+    const qubit_t n = static_cast<qubit_t>(5 + rng.uniform_index(6));
+    const qubit_t chunk = static_cast<qubit_t>(
+        2 + rng.uniform_index(static_cast<std::uint64_t>(n - 2)));
+    const auto circ = circuit::make_random_circuit(n, 5, seed, true);
+    const std::string repro = reproducer(seed, n, 5, chunk, cc);
+
+    auto oracle = make_engine(EngineKind::kDense, n, EngineConfig{});
+    oracle->run(circ);
+    const auto expected = oracle->to_dense();
+
+    for (const bool plan_opt : {true, false}) {
+      EngineConfig cfg = make_cfg(cc, chunk);
+      cfg.plan_opt = plan_opt;
+      auto engine = make_engine(EngineKind::kMemQSim, n, cfg);
+      engine->run(circ);
+      const auto got = engine->to_dense();
+      for (index_t k = 0; k < dim_of(n); ++k)
+        ASSERT_LT(std::abs(got.amplitude(k) - expected.amplitude(k)),
+                  kTolerance)
+            << "amplitude " << k << " plan_opt="
+            << (plan_opt ? "on" : "off") << "; " << repro;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace memq::core

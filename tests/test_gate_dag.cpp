@@ -1,0 +1,224 @@
+// Commutation-rule and DAG-soundness tests for circuit/gate_dag.hpp.
+//
+// The property tests are the load-bearing part: for random circuits, ANY
+// linearization the DAG admits must produce the same state as the written
+// order on the dense simulator. A missing edge shows up as an amplitude
+// mismatch; a spurious edge only costs scheduling freedom, so the unit
+// tests below pin the freedom we rely on (diagonal hoisting, disjoint
+// supports) explicitly.
+#include "circuit/gate_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/workloads.hpp"
+#include "common/prng.hpp"
+#include "sv/simulator.hpp"
+
+namespace memq::circuit {
+namespace {
+
+TEST(WireRoleClass, ClassifiesTargetsByMatrixShape) {
+  EXPECT_EQ(wire_role(Gate::i(0), 0), WireRole::kScalar);
+  EXPECT_EQ(wire_role(Gate::z(0), 0), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::s(0), 0), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::t(0), 0), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::rz(0, 0.3), 0), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::phase(0, 0.7), 0), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::x(0), 0), WireRole::kX);
+  EXPECT_EQ(wire_role(Gate::y(0), 0), WireRole::kY);
+  EXPECT_EQ(wire_role(Gate::h(0), 0), WireRole::kOther);
+  // sqrt(X) is a function of X: same axis class, commutes with X.
+  EXPECT_EQ(wire_role(Gate::sx(0), 0), WireRole::kX);
+  EXPECT_EQ(wire_role(Gate::rx(0, 0.4), 0), WireRole::kX);
+  // rx(2*pi) = -I: a global phase, so the wire constraint is trivial.
+  EXPECT_EQ(wire_role(Gate::rx(0, 2 * 3.14159265358979323846), 0),
+            WireRole::kScalar);
+}
+
+TEST(WireRoleClass, ControlWiresAreDiagonal) {
+  // C_S(U) = P0 (x) I + P1 (x) U: diagonal on the control wire whatever U.
+  EXPECT_EQ(wire_role(Gate::cx(3, 1), 3), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::cx(3, 1), 1), WireRole::kX);
+  EXPECT_EQ(wire_role(Gate::ccx(2, 3, 1), 2), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::cp(0, 1, 0.5), 0), WireRole::kZ);
+  EXPECT_EQ(wire_role(Gate::cp(0, 1, 0.5), 1), WireRole::kZ);
+}
+
+TEST(WireRoleClass, NonUnitaryAndSwapAreOpaque) {
+  EXPECT_EQ(wire_role(Gate::measure(0), 0), WireRole::kOther);
+  EXPECT_EQ(wire_role(Gate::reset(0), 0), WireRole::kOther);
+  EXPECT_EQ(wire_role(Gate::swap(0, 1), 0), WireRole::kOther);
+}
+
+TEST(RolesCommute, PairTable) {
+  using R = WireRole;
+  // Scalar commutes with everything, Other with nothing (not even itself).
+  for (const R r : {R::kScalar, R::kZ, R::kX, R::kY, R::kOther}) {
+    EXPECT_TRUE(roles_commute(R::kScalar, r));
+    EXPECT_TRUE(roles_commute(r, R::kScalar));
+    EXPECT_EQ(roles_commute(R::kOther, r), r == R::kScalar);
+  }
+  EXPECT_TRUE(roles_commute(R::kZ, R::kZ));
+  EXPECT_TRUE(roles_commute(R::kX, R::kX));
+  EXPECT_TRUE(roles_commute(R::kY, R::kY));
+  EXPECT_FALSE(roles_commute(R::kZ, R::kX));
+  EXPECT_FALSE(roles_commute(R::kX, R::kY));
+  EXPECT_FALSE(roles_commute(R::kY, R::kZ));
+}
+
+TEST(GatesCommute, DisjointSupportsAlwaysCommute) {
+  EXPECT_TRUE(gates_commute(Gate::h(0), Gate::h(1)));
+  EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cx(2, 3)));
+  EXPECT_TRUE(gates_commute(Gate::measure(0), Gate::h(1)) == false)
+      << "non-unitary gates are fences even off-wire";
+}
+
+TEST(GatesCommute, SharedWireCases) {
+  // Shared control wire: both diagonal there.
+  EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cz(0, 2)));
+  EXPECT_TRUE(gates_commute(Gate::cx(0, 1), Gate::cx(0, 2)));
+  // Control of one meets target of the other.
+  EXPECT_FALSE(gates_commute(Gate::cx(0, 1), Gate::cx(1, 2)));
+  EXPECT_FALSE(gates_commute(Gate::x(0), Gate::cx(0, 1)));
+  // Control-only overlap with a diagonal target commutes.
+  EXPECT_TRUE(gates_commute(Gate::cp(0, 1, 0.3), Gate::cp(1, 2, 0.9)));
+  EXPECT_TRUE(gates_commute(Gate::rz(1, 0.2), Gate::cp(0, 1, 0.4)));
+  // Same-axis targets commute, cross-axis don't.
+  EXPECT_TRUE(gates_commute(Gate::x(0), Gate::rx(0, 0.7)));
+  EXPECT_TRUE(gates_commute(Gate::t(0), Gate::rz(0, 0.7)));
+  EXPECT_FALSE(gates_commute(Gate::h(0), Gate::t(0)));
+  EXPECT_FALSE(gates_commute(Gate::x(0), Gate::z(0)));
+}
+
+TEST(GateDagBuild, ChainOnOneWire) {
+  Circuit c(2);
+  c.h(0).t(0).h(0);
+  const GateDag dag = build_gate_dag(c);
+  ASSERT_EQ(dag.size(), 3u);
+  EXPECT_TRUE(dag.is_legal_order({0, 1, 2}));
+  EXPECT_FALSE(dag.is_legal_order({1, 0, 2}));
+  EXPECT_FALSE(dag.is_legal_order({0, 2, 1}));
+}
+
+TEST(GateDagBuild, DiagonalRunReorders) {
+  Circuit c(2);
+  c.t(0).rz(0, 0.5).s(0);
+  const GateDag dag = build_gate_dag(c);
+  // All three are Z-role on wire 0: any permutation is legal.
+  EXPECT_TRUE(dag.is_legal_order({2, 0, 1}));
+  EXPECT_TRUE(dag.is_legal_order({1, 2, 0}));
+}
+
+// Regression for the classic unsound construction ("edge only to the LAST
+// non-commuting gate per wire"): A0 = CX(q->a), A1 = CX(q->b) commute with
+// each other (shared control), H(q) commutes with neither. Transitivity
+// must still order H after BOTH — an order placing H between or before the
+// CXs is wrong.
+TEST(GateDagBuild, TransitiveOrderingThroughCommutingGroup) {
+  Circuit c(3);
+  c.cx(0, 1).cx(0, 2).h(0);
+  const GateDag dag = build_gate_dag(c);
+  EXPECT_TRUE(dag.is_legal_order({0, 1, 2}));
+  EXPECT_TRUE(dag.is_legal_order({1, 0, 2}));  // CXs swap freely
+  EXPECT_FALSE(dag.is_legal_order({0, 2, 1}));
+  EXPECT_FALSE(dag.is_legal_order({2, 0, 1}));
+  EXPECT_FALSE(dag.is_legal_order({2, 1, 0}));
+}
+
+TEST(GateDagBuild, MeasureIsAFullFence) {
+  Circuit c(2);
+  c.h(0).h(1).measure(0).t(1);
+  const GateDag dag = build_gate_dag(c);
+  // t(1) has disjoint support from measure(0), but measurement fences.
+  EXPECT_FALSE(dag.is_legal_order({0, 1, 3, 2}));
+  EXPECT_TRUE(dag.is_legal_order({1, 0, 2, 3}));
+}
+
+TEST(GateDagBuild, BarriersAreDropped) {
+  Circuit c(2);
+  c.h(0).append(Gate::barrier({0, 1})).h(1);
+  const GateDag dag = build_gate_dag(c);
+  EXPECT_EQ(dag.size(), 2u);
+}
+
+// --- property tests -------------------------------------------------------
+
+/// A uniformly random DAG-legal linearization: repeatedly pick a random
+/// ready node.
+std::vector<std::size_t> random_linearization(const GateDag& dag, Prng& rng) {
+  std::vector<std::size_t> indeg(dag.size(), 0);
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    indeg[i] = dag.nodes[i].preds.size();
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(dag.size());
+  while (!ready.empty()) {
+    const std::size_t pick = rng.uniform_index(ready.size());
+    const std::size_t i = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+    order.push_back(i);
+    for (const std::size_t s : dag.nodes[i].succs)
+      if (--indeg[s] == 0) ready.push_back(s);
+  }
+  return order;
+}
+
+TEST(GateDagProperty, EveryLegalLinearizationMatchesDenseOracle) {
+  constexpr int kCircuits = 12;
+  constexpr int kOrdersPerCircuit = 4;
+  constexpr double kTol = 1e-10;  // dense doubles: only fp reassociation
+  for (int ci = 0; ci < kCircuits; ++ci) {
+    const std::uint64_t seed = 4200 + static_cast<std::uint64_t>(ci);
+    Prng rng(seed);
+    const qubit_t n = static_cast<qubit_t>(4 + rng.uniform_index(9));
+    const std::size_t depth =
+        3 + static_cast<std::size_t>(rng.uniform_index(4));
+    const Circuit circ = make_random_circuit(n, depth, seed, /*haar_1q=*/true);
+    const GateDag dag = build_gate_dag(circ);
+
+    sv::Simulator reference(n);
+    reference.run(circ);
+
+    for (int oi = 0; oi < kOrdersPerCircuit; ++oi) {
+      const std::vector<std::size_t> order = random_linearization(dag, rng);
+      ASSERT_EQ(order.size(), dag.size()) << "linearization dropped nodes";
+      ASSERT_TRUE(dag.is_legal_order(order));
+      Circuit reordered(n);
+      for (const std::size_t i : order) reordered.append(dag.nodes[i].gate);
+
+      sv::Simulator got(n);
+      got.run(reordered);
+      double max_err = 0.0;
+      for (index_t k = 0; k < (index_t{1} << n); ++k)
+        max_err = std::max(max_err,
+                           std::abs(got.state().amplitude(k) -
+                                    reference.state().amplitude(k)));
+      EXPECT_LT(max_err, kTol)
+          << "seed=" << seed << " order=" << oi
+          << ": DAG admitted an order that changes the state";
+    }
+  }
+}
+
+TEST(GateDagProperty, WrittenOrderIsAlwaysLegal) {
+  for (std::uint64_t seed = 77; seed < 87; ++seed) {
+    Prng rng(seed);
+    const qubit_t n = static_cast<qubit_t>(4 + rng.uniform_index(9));
+    const Circuit circ = make_random_circuit(n, 4, seed, true);
+    const GateDag dag = build_gate_dag(circ);
+    std::vector<std::size_t> identity(dag.size());
+    for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    EXPECT_TRUE(dag.is_legal_order(identity)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace memq::circuit

@@ -51,7 +51,7 @@ using namespace memq;
       "           [--chunk-qubits C] [--bound B] [--compressor NAME]\n"
       "           [--devices D] [--codec-threads T]\n"
       "           [--cache-budget BYTES[K|M|G]] [--layout] [--fuse]\n"
-      "           [--elide-swaps]\n"
+      "           [--elide-swaps] [--plan-opt on|off]\n"
       "           [--store-backend ram|file] [--blob-budget BYTES[K|M|G]]\n"
       "           [--dedup on|off] [--codec-dict off|train] [--no-simd]\n"
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
@@ -202,6 +202,15 @@ core::EngineConfig config_from(const Args& args, qubit_t n) {
   cfg.optimize_layout = args.has_flag("layout");
   cfg.fuse_single_qubit_runs = args.has_flag("fuse");
   cfg.elide_swaps = args.has_flag("elide-swaps");
+  const std::string plan_opt = args.option("plan-opt", "on");
+  if (plan_opt == "on") {
+    cfg.plan_opt = true;
+  } else if (plan_opt == "off") {
+    cfg.plan_opt = false;
+  } else {
+    usage(("--plan-opt expects 'on' or 'off', got '" + plan_opt +
+           "'").c_str());
+  }
   return cfg;
 }
 
@@ -293,6 +302,21 @@ void print_stage_report(const core::StageReport& rep) {
     table.add_row(row_cells(r, std::to_string(r.index)));
   table.add_row(row_cells(rep.total, "total"));
   table.print(std::cout);
+  const core::PlanCost& p = rep.planned;
+  std::cout << "plan (" << (rep.plan_optimized ? "optimized" : "legacy")
+            << (p.exact ? "" : ", approx") << "): predicted "
+            << p.chunk_loads << " loads / " << p.chunk_stores
+            << " stores, " << p.cache_hits << " hits / " << p.cache_misses
+            << " misses, " << p.codec_encodes << " encodes, "
+            << human_bytes(p.h2d_bytes) << " h2d; actual "
+            << rep.total.chunk_loads << " loads / " << rep.total.chunk_stores
+            << " stores, " << rep.total.cache_hits << " hits / "
+            << rep.total.cache_misses << " misses; stages "
+            << rep.plan_local_stages << " local / " << rep.plan_pair_stages
+            << " pair / " << rep.plan_permute_stages << " permute / "
+            << rep.plan_measure_stages << " measure; "
+            << format_fixed(rep.plan_gates_per_codec_pass, 2)
+            << " gates per codec pass\n";
 }
 
 void stage_row_json(std::ostream& os, const core::StageRow& r,
@@ -467,7 +491,7 @@ int cmd_run(int argc, char** argv) {
     const double dec_s = t.cpu_phases.get("decompress");
     const double enc_s = t.cpu_phases.get("recompress");
     jf << "{\n"
-       << "  \"schema_version\": 5,\n"
+       << "  \"schema_version\": 6,\n"
        << "  \"engine\": \"" << engine->name() << "\",\n"
        << "  \"simd\": \"" << simd::name(simd::active()) << "\",\n"
        << "  \"codec_dict\": \""
@@ -524,6 +548,26 @@ int cmd_run(int argc, char** argv) {
        << "  \"faults_injected\": " << t.faults_injected << ",\n"
        << "  \"io_retries\": " << t.io_retries << ",\n"
        << "  \"degraded_to_ram\": " << t.degraded_to_ram << ",\n";
+    if (const core::StageReport* rep = engine->stage_report();
+        rep != nullptr) {
+      const core::PlanCost& pc = rep->planned;
+      jf << "  \"plan\": {\"optimized\": "
+         << (rep->plan_optimized ? "true" : "false")
+         << ", \"exact\": " << (pc.exact ? "true" : "false")
+         << ", \"chunk_loads\": " << pc.chunk_loads
+         << ", \"chunk_stores\": " << pc.chunk_stores
+         << ", \"cache_hits\": " << pc.cache_hits
+         << ", \"cache_misses\": " << pc.cache_misses
+         << ", \"codec_encodes\": " << pc.codec_encodes
+         << ", \"h2d_bytes\": " << pc.h2d_bytes
+         << ", \"codec_passes\": " << pc.codec_passes()
+         << ", \"local_stages\": " << rep->plan_local_stages
+         << ", \"pair_stages\": " << rep->plan_pair_stages
+         << ", \"permute_stages\": " << rep->plan_permute_stages
+         << ", \"measure_stages\": " << rep->plan_measure_stages
+         << ", \"gates_per_codec_pass\": "
+         << rep->plan_gates_per_codec_pass << "},\n";
+    }
     jf << "  \"cpu_phases\": {";
     bool first_phase = true;
     for (const auto& [phase, seconds] : t.cpu_phases.totals()) {
