@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 
 namespace memq::fault {
@@ -253,6 +254,11 @@ bool should_fire(const char* site) {
   if (fire) {
     ++state.fires;
     ++r.total_fires;
+    // Monotone registry twin of the resettable per-campaign counter above:
+    // the sampler needs a never-decreasing process-wide fire count.
+    static metrics::Counter& fires =
+        metrics::Registry::global().counter("fault.fires");
+    fires.add();
     MEMQ_TRACE_INSTANT("fault", site, trace::arg("hit", hit));
   }
   return fire;

@@ -1,0 +1,340 @@
+#include "common/metrics.hpp"
+
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace memq::metrics {
+
+namespace detail {
+std::atomic<bool> g_timing{false};
+}  // namespace detail
+
+void arm_timing() noexcept {
+  detail::g_timing.store(true, std::memory_order_relaxed);
+}
+void disarm_timing() noexcept {
+  detail::g_timing.store(false, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+// ---------------------------------------------------------------------------
+
+std::uint64_t HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; ceil without <cmath>.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += buckets[b];
+    if (cum >= rank) {
+      const std::uint64_t upper = Histogram::bucket_upper(b);
+      return max != 0 && max < upper ? max : upper;
+    }
+  }
+  return max;  // racing snapshot: count ran ahead of the bucket loads
+}
+
+HistogramSnapshot HistogramSnapshot::minus(
+    const HistogramSnapshot& earlier) const noexcept {
+  HistogramSnapshot d;
+  d.count = count - earlier.count;
+  d.sum = sum - earlier.sum;
+  d.max = max;  // high-water mark: keep the later lifetime max
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    d.buckets[b] = buckets[b] - earlier.buckets[b];
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Deques: cell addresses are stable across registration, never freed.
+  std::deque<std::pair<std::string, Counter>> counters;
+  std::deque<std::pair<std::string, Gauge>> gauges;
+  std::deque<std::pair<std::string, Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl()) {}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->counters.emplace_back(std::piecewise_construct,
+                              std::forward_as_tuple(name),
+                              std::forward_as_tuple());
+  return impl_->counters.back().second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->gauges.emplace_back(std::piecewise_construct,
+                              std::forward_as_tuple(name),
+                              std::forward_as_tuple());
+  return impl_->gauges.back().second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->histograms.emplace_back(std::piecewise_construct,
+                              std::forward_as_tuple(name),
+                              std::forward_as_tuple());
+  return impl_->histograms.back().second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Snapshot s;
+  for (const auto& [name, cell] : impl_->counters)
+    s.counters[name] += cell.value();
+  for (const auto& [name, cell] : impl_->gauges) {
+    GaugeSnapshot& g = s.gauges[name];
+    g.value += cell.value();
+    g.peak += cell.peak();
+  }
+  for (const auto& [name, cell] : impl_->histograms) {
+    const HistogramSnapshot h = cell.snapshot();
+    auto [it, fresh] = s.histograms.try_emplace(name, h);
+    if (!fresh) {
+      HistogramSnapshot& agg = it->second;
+      agg.count += h.count;
+      agg.sum += h.sum;
+      if (h.max > agg.max) agg.max = h.max;
+      for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b)
+        agg.buckets[b] += h.buckets[b];
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string prom_name(const std::string& dotted) {
+  std::string out = "memq_";
+  for (const char c : dotted) out += c == '.' ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const Snapshot& snap) {
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, g] : snap.gauges) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " gauge\n" << n << " " << g.value << "\n";
+    out << "# TYPE " << n << "_peak gauge\n"
+        << n << "_peak " << g.peak << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    std::size_t top = 0;  // highest nonzero bucket, for compact output
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b)
+      if (h.buckets[b] != 0) top = b;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b <= top; ++b) {
+      cum += h.buckets[b];
+      out << n << "_bucket{le=\"" << Histogram::bucket_upper(b) << "\"} "
+          << cum << "\n";
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << n << "_sum " << h.sum << "\n";
+    out << n << "_count " << h.count << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_jsonl_sample(std::ostream& out, std::uint64_t t_ms,
+                        std::uint64_t wall_ms, const Snapshot& snap) {
+  out << "{\"t_ms\": " << t_ms << ", \"wall_ms\": " << wall_ms
+      << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out << (first ? "" : ", ") << "\"" << name << "\": " << v;
+    first = false;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : snap.gauges) {
+    out << (first ? "" : ", ") << "\"" << name << "\": {\"value\": "
+        << g.value << ", \"peak\": " << g.peak << "}";
+    first = false;
+  }
+  out << "}, \"hists\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out << (first ? "" : ", ") << "\"" << name << "\": {\"count\": "
+        << h.count << ", \"sum\": " << h.sum << ", \"max\": " << h.max
+        << ", \"p50\": " << h.percentile(0.50) << ", \"p95\": "
+        << h.percentile(0.95) << ", \"p99\": " << h.percentile(0.99)
+        << ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;  // sparse: [index, count] pairs
+      out << (bfirst ? "" : ", ") << "[" << b << ", " << h.buckets[b] << "]";
+      bfirst = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}\n";
+}
+
+}  // namespace
+
+struct Sampler::Impl {
+  SamplerOptions opts;
+  std::thread thread;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stopping = false;
+
+  std::ofstream jsonl;
+  Snapshot baseline;
+  Snapshot prev;
+  std::chrono::steady_clock::time_point t_start;
+  std::chrono::steady_clock::time_point t_prev;
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stopping) {
+      cv.wait_for(lock, opts.interval);
+      if (stopping) break;
+      sample(false);
+    }
+  }
+
+  // Called with `mutex` held (from run()) or after the thread joined.
+  void sample(bool final_tick) {
+    const auto now = std::chrono::steady_clock::now();
+    const Snapshot snap = Registry::global().snapshot();
+    const std::uint64_t t_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - t_start)
+            .count());
+    if (jsonl.is_open()) {
+      const std::uint64_t wall_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      write_jsonl_sample(jsonl, t_ms, wall_ms, snap);
+      jsonl.flush();
+    }
+    if (!opts.prom_path.empty()) {
+      std::ofstream prom(opts.prom_path, std::ios::trunc);
+      if (prom) write_prometheus(prom, snap);
+    }
+    if (opts.progress) emit_progress(snap, now, final_tick);
+    prev = snap;
+    t_prev = now;
+  }
+
+  void emit_progress(const Snapshot& snap,
+                     std::chrono::steady_clock::time_point now,
+                     bool final_tick) {
+    const std::uint64_t actual =
+        snap.counter_delta(baseline, "store.chunk_loads") +
+        snap.counter_delta(baseline, "store.chunk_stores");
+    std::uint64_t predicted = 0;
+    if (const auto it = snap.gauges.find("plan.predicted_codec_passes");
+        it != snap.gauges.end())
+      predicted = it->second.value;
+    const double elapsed =
+        std::chrono::duration<double>(now - t_start).count();
+    const double tick =
+        std::chrono::duration<double>(now - t_prev).count();
+    const std::uint64_t tick_bytes =
+        snap.counter_delta(prev, "codec.decode_bytes") +
+        snap.counter_delta(prev, "codec.encode_bytes");
+    const double mbps =
+        tick > 1e-9 ? static_cast<double>(tick_bytes) / tick / 1e6 : 0.0;
+
+    char line[192];
+    if (predicted > 0) {
+      const double frac =
+          static_cast<double>(actual) / static_cast<double>(predicted);
+      const double eta =
+          actual > 0 && frac < 1.0 ? elapsed * (1.0 / frac - 1.0) : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "[progress] codec passes %" PRIu64 "/%" PRIu64
+                    " (%3.0f%%) | %7.1f MB/s | elapsed %6.1fs | eta %6.1fs",
+                    actual, predicted, 100.0 * (frac < 1.0 ? frac : 1.0),
+                    mbps, elapsed, eta);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "[progress] codec passes %" PRIu64
+                    " | %7.1f MB/s | elapsed %6.1fs",
+                    actual, mbps, elapsed);
+    }
+    std::fprintf(stderr, "\r%-100s", line);
+    if (final_tick) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  }
+};
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start(SamplerOptions opts) {
+  MEMQ_CHECK(impl_ == nullptr, "metrics sampler already running");
+  impl_ = new Impl();
+  impl_->opts = std::move(opts);
+  if (!impl_->opts.jsonl_path.empty()) {
+    impl_->jsonl.open(impl_->opts.jsonl_path, std::ios::trunc);
+    MEMQ_CHECK(impl_->jsonl.is_open(), "cannot open metrics JSONL file '"
+                                           << impl_->opts.jsonl_path << "'");
+  }
+  impl_->baseline = Registry::global().snapshot();
+  impl_->prev = impl_->baseline;
+  impl_->t_start = std::chrono::steady_clock::now();
+  impl_->t_prev = impl_->t_start;
+  impl_->thread = std::thread([impl = impl_] { impl->run(); });
+}
+
+void Sampler::stop() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  impl_->sample(true);  // final tick: last JSONL line + prom + progress \n
+  delete impl_;
+  impl_ = nullptr;
+}
+
+}  // namespace memq::metrics

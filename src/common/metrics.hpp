@@ -1,0 +1,294 @@
+// Unified metrics plane — the counter/latency counterpart of the tracer
+// (common/trace.hpp) and the fault plane (common/faultpoint.hpp): every
+// telemetry number surfaced by the CLI summary, `--stage-report` and the
+// telemetry JSON is owned by ONE process-wide registry of typed instruments
+// instead of ad-hoc atomics scattered through the storage plane.
+//
+// Instruments:
+//   Counter    monotone event count; one relaxed fetch_add per tick.
+//   Gauge      signed level (bytes resident, bytes in flight) with a
+//              CAS-maintained high-water mark; relaxed hot path.
+//   Histogram  fixed 64-bucket power-of-two latency histogram (bucket b
+//              covers [2^b, 2^(b+1)) ns); record() is three relaxed RMWs
+//              plus a CAS max — no allocation, no lock. Snapshots are
+//              bucket-wise subtractable, so per-run and per-stage deltas
+//              keep exact counts and conservative percentile bounds.
+//
+// Ownership model: registry cells are PER-INSTANCE. Each call to
+// Registry::counter(name) returns a NEW cell registered under that name;
+// components keep the returned reference for their own exact accessors
+// (tests that assert per-instance counts stay precise), while
+// Registry::snapshot() aggregates cells BY NAME (counters/gauges sum), so
+// the process view stays consistent when engines are created sequentially.
+// Cells live in deques and are never invalidated or freed — a reference
+// taken at construction is valid for the process lifetime (same leak-on-
+// purpose discipline as the trace and fault registries).
+//
+// Cost discipline: counters and gauges always tick (they replace atomics
+// that always ticked before). Latency histograms additionally need a clock
+// read, so every timed site is guarded by timing_enabled() — one relaxed
+// atomic load; disarmed runs never touch the clock. The CLI arms timing
+// when any metrics consumer is active (--stage-report, --telemetry-json,
+// --metrics-*, --progress).
+//
+// Threading contract: instrument hot paths (add/sub/set/record) are
+// thread-safe and may be called from codec-pool workers. Registry
+// registration and snapshot() take one mutex and are coordinator-rate
+// operations (construction, sampler ticks, end of run).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace memq::metrics {
+
+namespace detail {
+extern std::atomic<bool> g_timing;
+}  // namespace detail
+
+/// The per-timed-site branch: one relaxed atomic load.
+inline bool timing_enabled() noexcept {
+  return detail::g_timing.load(std::memory_order_relaxed);
+}
+
+/// Arms/disarms the latency clocks (coordinator-only, like trace::start).
+void arm_timing() noexcept;
+void disarm_timing() noexcept;
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// A level with a high-water mark. `add` takes a signed delta (stored with
+/// wrap-around unsigned arithmetic, like the atomics it replaces); `set`
+/// overwrites the level. Both raise the peak; `set(0)` does NOT reset the
+/// peak (matches FileBlobStore::resize, which zeroes residency but keeps
+/// the watermark). reset_peak() restarts the watermark from the CURRENT
+/// level (matches reset_stats semantics where entries may still be
+/// resident).
+class Gauge {
+ public:
+  void add(std::int64_t delta) noexcept {
+    const std::uint64_t now =
+        v_.fetch_add(static_cast<std::uint64_t>(delta),
+                     std::memory_order_relaxed) +
+        static_cast<std::uint64_t>(delta);
+    raise_peak(now);
+  }
+  void sub(std::int64_t delta) noexcept { add(-delta); }
+  void set(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    raise_peak(v);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset_peak() noexcept {
+    peak_.store(v_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_peak(std::uint64_t now) noexcept {
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::uint64_t> v_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// Point-in-time copy of one histogram; subtractable for run/stage deltas.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;  ///< process-lifetime max (not delta-exact)
+  std::uint64_t buckets[kBuckets] = {};
+
+  /// Upper-bound estimate of the q-quantile (q in [0,1]): the inclusive
+  /// upper edge of the bucket where the cumulative count crosses
+  /// ceil(q * count), clamped by the observed max. Zero when empty.
+  std::uint64_t percentile(double q) const noexcept;
+  /// Bucket-wise self minus `earlier` (counts are monotone, so this is
+  /// exact for count/sum/buckets; max keeps the later lifetime max).
+  HistogramSnapshot minus(const HistogramSnapshot& earlier) const noexcept;
+};
+
+class Histogram {
+ public:
+  /// Bucket index for value v: 0 covers {0, 1}; bucket b >= 1 covers
+  /// [2^b, 2^(b+1)).
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return v <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(v)) - 1;
+  }
+  /// Inclusive upper edge of bucket b (UINT64_MAX for the last bucket).
+  static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b + 1 >= HistogramSnapshot::kBuckets
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << (b + 1)) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t m = max_.load(std::memory_order_relaxed);
+    while (v > m && !max_.compare_exchange_weak(m, v,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    // Load count first: a racing record() bumps its bucket before count_,
+    // so buckets can only be >= the count we report, never behind it.
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b)
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[HistogramSnapshot::kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// RAII nanosecond timer into a histogram. Decides at CONSTRUCTION whether
+/// timing is armed; disarmed instances never read the clock (near-zero
+/// cost), and a site stays internally consistent if arm state flips
+/// mid-scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) noexcept
+      : h_(timing_enabled() ? &h : nullptr) {
+    if (h_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (h_ != nullptr)
+      h_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct GaugeSnapshot {
+  std::uint64_t value = 0;
+  std::uint64_t peak = 0;
+};
+
+/// Name-aggregated point-in-time view of every registered cell. std::map
+/// keys give deterministic iteration order for JSON/prom emission.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter value by name (0 when absent).
+  std::uint64_t counter(const std::string& name) const noexcept {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  /// Counter delta vs an earlier snapshot (0-floored by monotonicity).
+  std::uint64_t counter_delta(const Snapshot& earlier,
+                              const std::string& name) const noexcept {
+    return counter(name) - earlier.counter(name);
+  }
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (leaked singleton, usable during exit).
+  static Registry& global();
+
+  /// Each call registers and returns a NEW cell under `name` (per-instance
+  /// ownership; see file header). References stay valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Aggregates all cells by name: counters and gauge values/peaks sum,
+  /// histogram counts/sums/buckets sum (max takes the max).
+  Snapshot snapshot() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // leaked with the registry
+  Registry();
+};
+
+// ---------------------------------------------------------------------------
+// Sampler — background time-series thread (JSONL + Prometheus + progress)
+// ---------------------------------------------------------------------------
+
+/// Writes one Prometheus text-exposition dump of `snap` (counters, gauges
+/// with `_peak`, histograms with cumulative `_bucket{le=...}`/`_sum`/
+/// `_count`). Metric names are prefixed `memq_` with '.' mapped to '_'.
+void write_prometheus(std::ostream& out, const Snapshot& snap);
+
+struct SamplerOptions {
+  std::chrono::milliseconds interval{250};
+  std::string jsonl_path;  ///< per-tick JSONL snapshots ("" = off)
+  std::string prom_path;   ///< rewritten-in-place prom text ("" = off)
+  bool progress = false;   ///< live \r progress line on stderr
+};
+
+/// Periodic snapshot emitter. start() captures a baseline snapshot (all
+/// deltas in the progress line are vs this baseline, so the sampled window
+/// must not contain counter resets — the CLI brackets exactly the engine
+/// run). stop() takes a final sample, joins the thread, and finishes the
+/// progress line; safe to call twice.
+class Sampler {
+ public:
+  Sampler() = default;
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void start(SamplerOptions opts);
+  void stop();
+  bool running() const noexcept { return impl_ != nullptr; }
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace memq::metrics

@@ -95,7 +95,22 @@ SpillIo resolve_spill_io(SpillIo io) {
 }  // namespace
 
 FileBlobStore::FileBlobStore(std::uint64_t budget_bytes, SpillIo io)
-    : budget_(budget_bytes), io_(resolve_spill_io(io)) {
+    : budget_(budget_bytes),
+      io_(resolve_spill_io(io)),
+      spill_writes_(metrics::Registry::global().counter("blob.spill_writes")),
+      spill_reads_(metrics::Registry::global().counter("blob.spill_reads")),
+      spill_bytes_written_(
+          metrics::Registry::global().counter("blob.spill_bytes_written")),
+      spill_bytes_read_(
+          metrics::Registry::global().counter("blob.spill_bytes_read")),
+      io_retries_(metrics::Registry::global().counter("blob.io_retries")),
+      degraded_c_(
+          metrics::Registry::global().counter("blob.degraded_to_ram")),
+      resident_g_(metrics::Registry::global().gauge("blob.resident_bytes")),
+      file_bytes_g_(metrics::Registry::global().gauge("blob.file_bytes")),
+      spill_read_ns_(metrics::Registry::global().histogram("spill.read_ns")),
+      spill_write_ns_(
+          metrics::Registry::global().histogram("spill.write_ns")) {
   const char* tmpdir = std::getenv("TMPDIR");
   std::string path = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
   path += "/memq-spill-XXXXXX";
@@ -179,7 +194,7 @@ void FileBlobStore::mmap_write(const void* data, std::uint64_t n,
     if (MEMQ_FAULT("blob.write.eio")) {
       if (attempts < kMaxIoRetries) {
         ++attempts;
-        ++stats_.io_retries;
+        io_retries_.add();
         MEMQ_TRACE_INSTANT("fault", "blob.write.retry",
                            trace::arg("attempt", std::uint64_t(attempts)));
         retry_backoff(attempts);
@@ -203,7 +218,7 @@ void FileBlobStore::mmap_read(void* data, std::uint64_t n,
     if (MEMQ_FAULT("blob.read.eio") || MEMQ_FAULT("blob.read.short")) {
       if (attempts < kMaxIoRetries) {
         ++attempts;
-        ++stats_.io_retries;
+        io_retries_.add();
         MEMQ_TRACE_INSTANT("fault", "blob.read.retry",
                            trace::arg("attempt", std::uint64_t(attempts)));
         retry_backoff(attempts);
@@ -238,7 +253,7 @@ void FileBlobStore::resize(index_t n_blobs) {
   lru_order_.clear();
   free_regions_.clear();
   file_end_ = 0;
-  stats_.resident_bytes = 0;
+  resident_g_.set(0);
 }
 
 void FileBlobStore::pwrite_fully(const void* data, std::uint64_t n,
@@ -263,7 +278,7 @@ void FileBlobStore::pwrite_fully(const void* data, std::uint64_t n,
       if (err == EINTR) continue;
       if (transient_io_errno(err) && attempts < kMaxIoRetries) {
         ++attempts;
-        ++stats_.io_retries;
+        io_retries_.add();
         MEMQ_TRACE_INSTANT("fault", "blob.write.retry",
                            trace::arg("attempt", std::uint64_t(attempts)));
         retry_backoff(attempts);
@@ -302,7 +317,7 @@ void FileBlobStore::pread_fully(void* data, std::uint64_t n,
       if (err == EINTR) continue;
       if (transient_io_errno(err) && attempts < kMaxIoRetries) {
         ++attempts;
-        ++stats_.io_retries;
+        io_retries_.add();
         MEMQ_TRACE_INSTANT("fault", "blob.read.retry",
                            trace::arg("attempt", std::uint64_t(attempts)));
         retry_backoff(attempts);
@@ -320,7 +335,7 @@ void FileBlobStore::pread_fully(void* data, std::uint64_t n,
       // and surfaces with full context.
       if (attempts < kMaxIoRetries) {
         ++attempts;
-        ++stats_.io_retries;
+        io_retries_.add();
         MEMQ_TRACE_INSTANT("fault", "blob.read.retry",
                            trace::arg("attempt", std::uint64_t(attempts)));
         retry_backoff(attempts);
@@ -348,7 +363,7 @@ void FileBlobStore::touch_locked(index_t i) {
 void FileBlobStore::degrade_locked(const std::string& why) {
   if (degraded_) return;
   degraded_ = true;
-  stats_.degraded_to_ram = 1;
+  degraded_c_.add();
   MEMQ_LOG_WARN << "FileBlobStore: spill to '" << path_
                 << "' failing persistently (" << why
                 << "); degrading to RAM residency — the " << budget_
@@ -378,7 +393,7 @@ void FileBlobStore::ensure_region_locked(Entry& e) {
     e.file_off = file_end_;
     e.file_cap = need;
     file_end_ += need;
-    stats_.file_bytes = std::max(stats_.file_bytes, file_end_);
+    if (file_end_ > file_bytes_g_.value()) file_bytes_g_.set(file_end_);
   }
 }
 
@@ -388,6 +403,7 @@ void FileBlobStore::evict_locked(index_t i) {
     MEMQ_TRACE_SCOPE("spill", "write",
                      trace::arg("blob", std::uint64_t{i}) + "," +
                          trace::arg("bytes", e.bytes));
+    metrics::ScopedTimer timer(spill_write_ns_);
     try {
       ensure_region_locked(e);
       if (ensure_mapped_locked(e.file_off + e.file_cap))
@@ -401,17 +417,17 @@ void FileBlobStore::evict_locked(index_t i) {
       return;
     }
     e.on_disk = true;
-    ++stats_.spill_writes;
-    stats_.spill_bytes_written += e.bytes;
+    spill_writes_.add();
+    spill_bytes_written_.add(e.bytes);
   }
   lru_order_.erase(e.lru);
-  stats_.resident_bytes -= e.bytes;
+  resident_g_.sub(static_cast<std::int64_t>(e.bytes));
   e.resident = false;
   e.ram = compress::ByteBuffer{};  // actually free the capacity
 }
 
 void FileBlobStore::make_room_locked(std::uint64_t need, index_t keep) {
-  while (!degraded_ && stats_.resident_bytes + need > budget_ &&
+  while (!degraded_ && resident_g_.value() + need > budget_ &&
          !lru_order_.empty()) {
     const auto oldest = lru_order_.begin();
     if (oldest->second == keep) {
@@ -431,9 +447,7 @@ void FileBlobStore::admit_locked(index_t i, compress::ByteBuffer&& bytes) {
   e.resident = true;
   e.lru = ++lru_tick_;
   lru_order_.emplace(e.lru, i);
-  stats_.resident_bytes += e.bytes;
-  stats_.peak_resident_bytes =
-      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  resident_g_.add(static_cast<std::int64_t>(e.bytes));
 }
 
 const compress::ByteBuffer& FileBlobStore::read(index_t i,
@@ -452,6 +466,7 @@ const compress::ByteBuffer& FileBlobStore::read(index_t i,
     MEMQ_TRACE_SCOPE("spill", "read",
                      trace::arg("blob", std::uint64_t{i}) + "," +
                          trace::arg("bytes", e.bytes));
+    metrics::ScopedTimer timer(spill_read_ns_);
     scratch.resize(e.bytes);
     // A mapped window always covers every allocated region (it only grows),
     // but after a mid-run map failure later regions exist only on disk —
@@ -462,8 +477,8 @@ const compress::ByteBuffer& FileBlobStore::read(index_t i,
     else
       pread_fully(scratch.data(), e.bytes, e.file_off);
   }
-  ++stats_.spill_reads;
-  stats_.spill_bytes_read += e.bytes;
+  spill_reads_.add();
+  spill_bytes_read_.add(e.bytes);
   if (degraded_ || (e.bytes <= budget_ && budget_ > 0)) {
     // Promote resident-clean: the disk copy stays current, so a later
     // eviction of this blob costs nothing. In degraded mode everything
@@ -481,7 +496,7 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
   const bool constant = compress::ChunkCodec::is_constant_chunk(blob);
   if (e.resident) {
     lru_order_.erase(e.lru);
-    stats_.resident_bytes -= e.bytes;
+    resident_g_.sub(static_cast<std::int64_t>(e.bytes));
     e.resident = false;
     e.ram = compress::ByteBuffer{};
   }
@@ -497,6 +512,7 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
     MEMQ_TRACE_SCOPE("spill", "write",
                      trace::arg("blob", std::uint64_t{i}) + "," +
                          trace::arg("bytes", e.bytes));
+    metrics::ScopedTimer timer(spill_write_ns_);
     try {
       ensure_region_locked(e);
       if (ensure_mapped_locked(e.file_off + e.file_cap))
@@ -511,8 +527,8 @@ void FileBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
       return;
     }
     e.on_disk = true;
-    ++stats_.spill_writes;
-    stats_.spill_bytes_written += e.bytes;
+    spill_writes_.add();
+    spill_bytes_written_.add(e.bytes);
   }
 }
 
@@ -536,7 +552,7 @@ void FileBlobStore::free_blob(index_t i) {
   Entry& e = entries_[i];
   if (e.resident) {
     lru_order_.erase(e.lru);
-    stats_.resident_bytes -= e.bytes;
+    resident_g_.sub(static_cast<std::int64_t>(e.bytes));
   }
   // Return the file region to the best-fit free list EXACTLY once: the
   // reset below clears file_cap, so a repeated free (or a later write) can
@@ -555,15 +571,29 @@ void FileBlobStore::swap(index_t i, index_t j) {
 }
 
 BlobStore::Stats FileBlobStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats s;
+  s.spill_writes = spill_writes_.value();
+  s.spill_reads = spill_reads_.value();
+  s.spill_bytes_written = spill_bytes_written_.value();
+  s.spill_bytes_read = spill_bytes_read_.value();
+  s.resident_bytes = resident_g_.value();
+  s.peak_resident_bytes = resident_g_.peak();
+  s.file_bytes = file_bytes_g_.value();
+  s.io_retries = io_retries_.value();
+  s.degraded_to_ram = degraded_c_.value();
+  return s;
 }
 
 // -------------------------------------------------------------- dedup ----
 
 DedupBlobStore::DedupBlobStore(std::unique_ptr<BlobStore> inner)
     : inner_(std::move(inner)),
-      name_(std::string("dedup+") + inner_->name()) {}
+      name_(std::string("dedup+") + inner_->name()),
+      dedup_hits_(metrics::Registry::global().counter("blob.dedup_hits")),
+      dedup_bytes_saved_(
+          metrics::Registry::global().counter("blob.dedup_bytes_saved")),
+      cow_breaks_(metrics::Registry::global().counter("blob.cow_breaks")),
+      physical_g_(metrics::Registry::global().gauge("blob.physical_bytes")) {}
 
 void DedupBlobStore::resize(index_t n_blobs) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -576,7 +606,7 @@ void DedupBlobStore::resize(index_t n_blobs) {
   by_hash_.clear();
   free_phys_.clear();
   next_phys_ = 0;
-  physical_bytes_ = 0;
+  physical_g_.set(0);
 }
 
 index_t DedupBlobStore::alloc_phys_locked() {
@@ -600,7 +630,7 @@ void DedupBlobStore::release_phys_locked(index_t p) {
       break;
     }
   }
-  physical_bytes_ -= m.bytes;
+  physical_g_.sub(static_cast<std::int64_t>(m.bytes));
   inner_->free_blob(p);
   m = PhysMeta{};
   free_phys_.push_back(p);
@@ -637,8 +667,8 @@ void DedupBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
   const index_t match = find_match_locked(hash, blob);
   if (match != kUnmapped) {
     if (match != old) {
-      ++stats_.dedup_hits;
-      stats_.dedup_bytes_saved += blob.size();
+      dedup_hits_.add();
+      dedup_bytes_saved_.add(blob.size());
       MEMQ_TRACE_INSTANT("spill", "dedup.hit",
                          trace::arg("blob", std::uint64_t{i}) + "," +
                              trace::arg("bytes", std::uint64_t{blob.size()}));
@@ -658,9 +688,8 @@ void DedupBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
         break;
       }
     }
-    physical_bytes_ += blob.size();
-    physical_bytes_ -= m.bytes;
-    peak_physical_bytes_ = std::max(peak_physical_bytes_, physical_bytes_);
+    physical_g_.add(static_cast<std::int64_t>(blob.size()) -
+                    static_cast<std::int64_t>(m.bytes));
     m = PhysMeta{1, hash, blob.size(), ++next_token_, zero, constant};
     by_hash_.emplace(hash, old);
     inner_->write(old, std::move(blob));
@@ -669,14 +698,13 @@ void DedupBlobStore::write(index_t i, compress::ByteBuffer&& blob) {
   if (old != kUnmapped) {
     // Divergent write to a shared slot: copy-on-write break. The other
     // holders keep the original; this writer moves to a fresh slot.
-    ++stats_.cow_breaks;
+    cow_breaks_.add();
     MEMQ_TRACE_INSTANT("spill", "dedup.cow",
                        trace::arg("blob", std::uint64_t{i}));
     --phys_[old].refcount;
   }
   const index_t p = alloc_phys_locked();
-  physical_bytes_ += blob.size();
-  peak_physical_bytes_ = std::max(peak_physical_bytes_, physical_bytes_);
+  physical_g_.add(static_cast<std::int64_t>(blob.size()));
   phys_[p] = PhysMeta{1, hash, blob.size(), ++next_token_, zero, constant};
   by_hash_.emplace(hash, p);
   logical_[i] = p;
@@ -739,14 +767,14 @@ std::uint64_t DedupBlobStore::refcount(index_t i) const {
 BlobStore::Stats DedupBlobStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s = inner_->stats();
-  s.dedup_hits = stats_.dedup_hits;
-  s.dedup_bytes_saved = stats_.dedup_bytes_saved;
-  s.cow_breaks = stats_.cow_breaks;
+  s.dedup_hits = dedup_hits_.value();
+  s.dedup_bytes_saved = dedup_bytes_saved_.value();
+  s.cow_breaks = cow_breaks_.value();
   if (!inner_->tracks_residency()) {
     // RAM inner store keeps every physical byte resident: report the
     // deduped physical footprint as the honest residency numbers.
-    s.resident_bytes = physical_bytes_;
-    s.peak_resident_bytes = peak_physical_bytes_;
+    s.resident_bytes = physical_g_.value();
+    s.peak_resident_bytes = physical_g_.peak();
   }
   return s;
 }

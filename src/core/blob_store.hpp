@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "compress/byte_buffer.hpp"
 
@@ -235,6 +236,18 @@ class FileBlobStore final : public BlobStore {
 
   const std::uint64_t budget_;
   const SpillIo io_;
+  // Per-instance metrics cells (common/metrics.hpp); stats() assembles the
+  // Stats struct from them, so the virtual interface is unchanged.
+  metrics::Counter& spill_writes_;
+  metrics::Counter& spill_reads_;
+  metrics::Counter& spill_bytes_written_;
+  metrics::Counter& spill_bytes_read_;
+  metrics::Counter& io_retries_;
+  metrics::Counter& degraded_c_;
+  metrics::Gauge& resident_g_;
+  metrics::Gauge& file_bytes_g_;
+  metrics::Histogram& spill_read_ns_;
+  metrics::Histogram& spill_write_ns_;
   std::string path_;
   bool degraded_ = false;
   bool mmap_failed_ = false;
@@ -249,7 +262,6 @@ class FileBlobStore final : public BlobStore {
   std::multimap<std::uint64_t, std::uint64_t> free_regions_;
   std::uint64_t file_end_ = 0;
   std::uint64_t lru_tick_ = 0;
-  Stats stats_;
 };
 
 /// Content-hashed dedup wrapper over any inner backend: logical blob
@@ -327,9 +339,12 @@ class DedupBlobStore final : public BlobStore {
   /// never match recycled slots holding new content.
   std::uint64_t next_token_ = 0;
   compress::ByteBuffer cmp_scratch_;  ///< verify-on-match read buffer
-  std::uint64_t physical_bytes_ = 0;  ///< bytes across live physical slots
-  std::uint64_t peak_physical_bytes_ = 0;
-  Stats stats_;  ///< dedup_{hits,bytes_saved}, cow_breaks only
+  // Per-instance metrics cells: dedup counters plus the physical (deduped)
+  // byte footprint with its high-water mark.
+  metrics::Counter& dedup_hits_;
+  metrics::Counter& dedup_bytes_saved_;
+  metrics::Counter& cow_breaks_;
+  metrics::Gauge& physical_g_;
 };
 
 }  // namespace memq::core

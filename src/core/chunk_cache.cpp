@@ -20,7 +20,45 @@ ChunkCache::ChunkCache(ChunkStore& store, CodecPool* pool, BufferPool& buffers,
       budget_bytes_(budget_bytes),
       chunk_raw_bytes_(store.chunk_raw_bytes()),
       writer_(store, pool, buffers, ledger,
-              pool != nullptr ? pool->workers() : 0) {}
+              pool != nullptr ? pool->workers() : 0),
+      hits_(metrics::Registry::global().counter("cache.hits")),
+      misses_(metrics::Registry::global().counter("cache.misses")),
+      alias_hits_(metrics::Registry::global().counter("cache.alias_hits")),
+      evictions_(metrics::Registry::global().counter("cache.evictions")),
+      writebacks_(metrics::Registry::global().counter("cache.writebacks")),
+      clean_evictions_(
+          metrics::Registry::global().counter("cache.clean_evictions")),
+      stores_absorbed_(
+          metrics::Registry::global().counter("cache.stores_absorbed")),
+      writeback_retries_(
+          metrics::Registry::global().counter("cache.writeback_retries")),
+      resident_g_(metrics::Registry::global().gauge("cache.resident_bytes")) {}
+
+ChunkCacheStats ChunkCache::stats() const noexcept {
+  ChunkCacheStats s;
+  s.hits = hits_.value() - base_.hits;
+  s.misses = misses_.value() - base_.misses;
+  s.alias_hits = alias_hits_.value() - base_.alias_hits;
+  s.evictions = evictions_.value() - base_.evictions;
+  s.writebacks = writebacks_.value() - base_.writebacks;
+  s.clean_evictions = clean_evictions_.value() - base_.clean_evictions;
+  s.stores_absorbed = stores_absorbed_.value() - base_.stores_absorbed;
+  s.writeback_retries = writeback_retries_.value() - base_.writeback_retries;
+  s.peak_resident_bytes = resident_g_.peak();
+  return s;
+}
+
+void ChunkCache::reset_stats() noexcept {
+  base_.hits = hits_.value();
+  base_.misses = misses_.value();
+  base_.alias_hits = alias_hits_.value();
+  base_.evictions = evictions_.value();
+  base_.writebacks = writebacks_.value();
+  base_.clean_evictions = clean_evictions_.value();
+  base_.stores_absorbed = stores_absorbed_.value();
+  base_.writeback_retries = writeback_retries_.value();
+  resident_g_.reset_peak();
+}
 
 ChunkCache::~ChunkCache() {
   try {
@@ -74,7 +112,7 @@ void ChunkCache::advance_clock(index_t slot) {
 
 bool ChunkCache::worth_inserting(index_t slot) {
   if (!plan_active()) return true;  // LRU mode: always cache
-  if (resident_bytes_ + chunk_raw_bytes_ <= budget_bytes_) return true;
+  if (resident_g_.value() + chunk_raw_bytes_ <= budget_bytes_) return true;
   // Belady admits a chunk only when some resident is needed strictly later
   // than the chunk's own next scheduled access — otherwise the eviction it
   // forces discards a sooner-needed entry (or, at the end of the plan,
@@ -100,7 +138,7 @@ void ChunkCache::writeback(index_t slot, std::vector<amp_t> buf) {
   // re-submits from the clean resident copy.
   constexpr int kMaxWritebackRetries = 3;
   for (int attempt = 1; MEMQ_FAULT("cache.writeback"); ++attempt) {
-    ++stats_.writeback_retries;
+    writeback_retries_.add();
     MEMQ_TRACE_INSTANT("fault", "cache.writeback.retry",
                        trace::arg("attempt", std::uint64_t(attempt)));
     if (attempt >= kMaxWritebackRetries) {
@@ -122,7 +160,7 @@ void ChunkCache::writeback(index_t slot, std::vector<amp_t> buf) {
 
 void ChunkCache::evict_to_fit(std::uint64_t extra_bytes) {
   while (!entries_.empty() &&
-         resident_bytes_ + extra_bytes > budget_bytes_) {
+         resident_g_.value() + extra_bytes > budget_bytes_) {
     auto victim = entries_.end();
     if (plan_active()) {
       // Belady: evict the farthest next use. Entries whose memoized next
@@ -148,24 +186,24 @@ void ChunkCache::evict_to_fit(std::uint64_t extra_bytes) {
     const index_t slot = victim->first;
     Entry entry = std::move(victim->second);
     entries_.erase(victim);
-    resident_bytes_ -= chunk_raw_bytes_;
-    ++stats_.evictions;
+    resident_g_.sub(static_cast<std::int64_t>(chunk_raw_bytes_));
+    evictions_.add();
     MEMQ_TRACE_INSTANT("cache", "evict",
                        trace::arg("chunk", std::uint64_t{slot}) + "," +
                            trace::arg("next_use", entry.next_use));
     if (entry.dirty) {
       guard_slot(slot);
-      ++stats_.writebacks;
+      writebacks_.add();
       MEMQ_TRACE_INSTANT("cache", "writeback",
                          trace::arg("chunk", std::uint64_t{slot}));
       writeback(slot, std::move(entry.data));  // releases the ledger bytes
     } else {
-      ++stats_.clean_evictions;
+      clean_evictions_.add();
       ledger_.release(chunk_raw_bytes_);
       buffers_.put(std::move(entry.data));
     }
     MEMQ_TRACE_COUNTER("cache_resident_bytes",
-                       static_cast<double>(resident_bytes_));
+                       static_cast<double>(resident_g_.value()));
   }
 }
 
@@ -177,9 +215,7 @@ void ChunkCache::insert(index_t i, std::span<const amp_t> data, bool dirty,
   entry.dirty = dirty;
   entry.from_decode = from_decode;
   ledger_.acquire(chunk_raw_bytes_);
-  resident_bytes_ += chunk_raw_bytes_;
-  stats_.peak_resident_bytes =
-      std::max(stats_.peak_resident_bytes, resident_bytes_);
+  resident_g_.add(static_cast<std::int64_t>(chunk_raw_bytes_));
   auto [it, inserted] = entries_.emplace(i, std::move(entry));
   MEMQ_ASSERT(inserted);
   (void)inserted;
@@ -192,7 +228,7 @@ void ChunkCache::load(index_t i, std::span<amp_t> out) {
   if (it != entries_.end()) {
     std::copy(it->second.data.begin(), it->second.data.end(), out.begin());
     touch(i, it->second);
-    ++stats_.hits;
+    hits_.add();
     MEMQ_TRACE_INSTANT("cache", "hit",
                        trace::arg("chunk", std::uint64_t{i}) + "," +
                            trace::arg("next_use", it->second.next_use));
@@ -204,7 +240,7 @@ void ChunkCache::load(index_t i, std::span<amp_t> out) {
   WallTimer t;
   store_.load(i, out);
   decode_seconds_ += t.seconds();
-  ++stats_.misses;
+  misses_.add();
   advance_clock(i);  // pass-throughs must still move the Belady clock
   if (budget_bytes_ >= chunk_raw_bytes_ && worth_inserting(i)) {
     evict_to_fit(chunk_raw_bytes_);
@@ -231,7 +267,7 @@ bool ChunkCache::try_alias_load(index_t i, std::span<amp_t> out) {
     break;
   }
   if (!found) return false;
-  ++stats_.alias_hits;
+  alias_hits_.add();
   MEMQ_TRACE_INSTANT("cache", "alias_hit",
                      trace::arg("chunk", std::uint64_t{i}) + "," +
                          trace::arg("source", std::uint64_t{source}));
@@ -251,7 +287,7 @@ void ChunkCache::store(index_t i, std::span<const amp_t> in) {
     it->second.dirty = true;
     it->second.from_decode = false;  // pre-codec amplitudes from here on
     touch(i, it->second);
-    ++stats_.stores_absorbed;
+    stores_absorbed_.add();
     return;
   }
   guard_slot(i);
@@ -259,7 +295,7 @@ void ChunkCache::store(index_t i, std::span<const amp_t> in) {
   if (budget_bytes_ >= chunk_raw_bytes_ && worth_inserting(i)) {
     evict_to_fit(chunk_raw_bytes_);
     insert(i, in, /*dirty=*/true, /*from_decode=*/false);
-    ++stats_.stores_absorbed;
+    stores_absorbed_.add();
     return;
   }
   // Not cacheable (budget below one chunk, or Belady declined the slot):
@@ -297,7 +333,7 @@ void ChunkCache::drop(index_t i) {
   const auto it = entries_.find(i);
   if (it == entries_.end()) return;
   ledger_.release(chunk_raw_bytes_);
-  resident_bytes_ -= chunk_raw_bytes_;
+  resident_g_.sub(static_cast<std::int64_t>(chunk_raw_bytes_));
   buffers_.put(std::move(it->second.data));
   entries_.erase(it);
 }
@@ -330,7 +366,7 @@ void ChunkCache::flush() {
     std::vector<amp_t> buf = buffers_.get(store_.chunk_amps());
     std::copy(entry.data.begin(), entry.data.end(), buf.begin());
     ledger_.acquire(chunk_raw_bytes_);
-    ++stats_.writebacks;
+    writebacks_.add();
     writeback(slot, std::move(buf));
     entry.dirty = false;
   }
@@ -346,7 +382,7 @@ void ChunkCache::invalidate() {
     buffers_.put(std::move(entry.data));
   }
   entries_.clear();
-  resident_bytes_ = 0;
+  resident_g_.set(0);
 }
 
 void ChunkCache::set_plan(std::vector<StageAccess> plan) {

@@ -43,6 +43,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "core/codec_pool.hpp"
 #include "core/stage_report.hpp"
@@ -115,7 +116,9 @@ class ChunkCache {
   ChunkCache& operator=(const ChunkCache&) = delete;
 
   std::uint64_t budget_bytes() const noexcept { return budget_bytes_; }
-  std::uint64_t resident_bytes() const noexcept { return resident_bytes_; }
+  std::uint64_t resident_bytes() const noexcept {
+    return resident_g_.value();
+  }
 
   /// Installs the offline stage-access schedule (Belady mode). Stage titles
   /// index into `plan`; call begin_stage() before each stage's accesses.
@@ -163,8 +166,13 @@ class ChunkCache {
   /// overwrite). Joins the backlog first so no stale encode lands later.
   void invalidate();
 
-  const ChunkCacheStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
+  /// Counters since construction or the last reset_stats(), assembled from
+  /// this instance's registry cells (by value — the cells are live).
+  ChunkCacheStats stats() const noexcept;
+  /// Re-baselines the counters (cells stay monotone for the process-wide
+  /// registry; only this instance's view restarts from zero) and restarts
+  /// the residency high-water mark from the current resident bytes.
+  void reset_stats() noexcept;
 
   /// Codec seconds accumulated inside the cache since the last call:
   /// decode = synchronous miss decodes, encode = write-back encodes (summed
@@ -229,7 +237,6 @@ class ChunkCache {
   std::uint64_t chunk_raw_bytes_;
 
   std::unordered_map<index_t, Entry> entries_;
-  std::uint64_t resident_bytes_ = 0;
 
   // Deferred write-backs ride the same bounded-backlog writer the engines
   // use; `pending_wb_` over-approximates the slots still in flight.
@@ -243,7 +250,18 @@ class ChunkCache {
   std::uint64_t now_ = 0;    ///< stage_ * width_ + current position
   std::uint64_t lru_tick_ = 0;
 
-  ChunkCacheStats stats_;
+  // Per-instance metrics cells (common/metrics.hpp); stats() subtracts
+  // `base_` so reset_stats() re-baselines without breaking monotonicity.
+  metrics::Counter& hits_;
+  metrics::Counter& misses_;
+  metrics::Counter& alias_hits_;
+  metrics::Counter& evictions_;
+  metrics::Counter& writebacks_;
+  metrics::Counter& clean_evictions_;
+  metrics::Counter& stores_absorbed_;
+  metrics::Counter& writeback_retries_;
+  metrics::Gauge& resident_g_;
+  ChunkCacheStats base_;
   double decode_seconds_ = 0.0;
   double encode_taken_ = 0.0;  ///< writer encode seconds already reported
   double wait_taken_ = 0.0;    ///< writer wait seconds already reported

@@ -20,7 +20,19 @@ ChunkStore::ChunkStore(qubit_t n_qubits, qubit_t chunk_qubits,
       chunk_qubits_(chunk_qubits),
       codec_(codec_config),
       blob_store_(blob_store != nullptr ? std::move(blob_store)
-                                        : std::make_unique<RamBlobStore>()) {
+                                        : std::make_unique<RamBlobStore>()),
+      bytes_g_(metrics::Registry::global().gauge("store.compressed_bytes")),
+      loads_(metrics::Registry::global().counter("store.chunk_loads")),
+      stores_(metrics::Registry::global().counter("store.chunk_stores")),
+      constant_stores_(metrics::Registry::global().counter(
+          "store.constant_chunks_stored")),
+      constant_loads_(metrics::Registry::global().counter(
+          "store.constant_chunks_materialized")),
+      memo_hits_(metrics::Registry::global().counter("store.codec_memo_hits")),
+      decode_bytes_(metrics::Registry::global().counter("codec.decode_bytes")),
+      encode_bytes_(metrics::Registry::global().counter("codec.encode_bytes")),
+      decode_ns_(metrics::Registry::global().histogram("codec.decode_ns")),
+      encode_ns_(metrics::Registry::global().histogram("codec.encode_ns")) {
   MEMQ_CHECK(chunk_qubits >= 1 && chunk_qubits <= n_qubits,
              "chunk_qubits " << chunk_qubits << " must be in [1, " << n_qubits
                              << "]");
@@ -51,23 +63,16 @@ void ChunkStore::init_basis(index_t basis) {
   codec_.encode(scratch, hot_blob);
   total += hot_blob.size();
   blob_store_->write(hot_chunk, std::move(hot_blob));
-  total_bytes_.store(total, std::memory_order_relaxed);
-  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
-  while (total > peak && !peak_bytes_.compare_exchange_weak(
-                             peak, total, std::memory_order_relaxed)) {
-  }
+  bytes_g_.set(total);
 }
 
 void ChunkStore::account_store(std::int64_t delta_bytes) {
-  const std::uint64_t total =
-      total_bytes_.fetch_add(static_cast<std::uint64_t>(delta_bytes),
-                             std::memory_order_relaxed) +
-      static_cast<std::uint64_t>(delta_bytes);
-  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
-  while (total > peak && !peak_bytes_.compare_exchange_weak(
-                             peak, total, std::memory_order_relaxed)) {
-  }
-  stores_.fetch_add(1, std::memory_order_relaxed);
+  bytes_g_.add(delta_bytes);
+  stores_.add();
+  // Raw amplitude bytes through a store — ticked for EVERY store (memo
+  // reuse included) so the counter stays exactly stores() * chunk size,
+  // matching the historical telemetry derivation.
+  encode_bytes_.add(chunk_raw_bytes());
 }
 
 void ChunkStore::load(index_t i, std::span<amp_t> out) {
@@ -98,8 +103,9 @@ void ChunkStore::load_with(compress::ChunkCodec& codec, index_t i,
       // Counter only, no trace instant: memo hits depend on worker
       // interleaving, and trace span content must stay deterministic
       // across codec thread counts (PR 4 contract, test-enforced).
-      memo_hits_.fetch_add(1, std::memory_order_relaxed);
-      loads_.fetch_add(1, std::memory_order_relaxed);
+      memo_hits_.add();
+      loads_.add();
+      decode_bytes_.add(chunk_raw_bytes());
       return;
     }
   }
@@ -107,12 +113,16 @@ void ChunkStore::load_with(compress::ChunkCodec& codec, index_t i,
   const compress::ByteBuffer& blob = blob_store_->read(i, scratch);
   const bool constant = compress::ChunkCodec::is_constant_chunk(blob);
   if (constant) {
-    constant_loads_.fetch_add(1, std::memory_order_relaxed);
+    constant_loads_.add();
     MEMQ_TRACE_INSTANT("codec", "const_fill",
                        trace::arg("chunk", std::uint64_t{i}));
   }
-  codec.decode(blob, out);
-  loads_.fetch_add(1, std::memory_order_relaxed);
+  {
+    metrics::ScopedTimer timer(decode_ns_);
+    codec.decode(blob, out);
+  }
+  loads_.add();
+  decode_bytes_.add(chunk_raw_bytes());
   if (token != BlobStore::kNoContentId && !constant) {
     // Constant fills are cheaper than the memo copy — don't let them
     // churn the entries real decodes want.
@@ -132,9 +142,12 @@ void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
   if (compress::ByteBuffer* slot = blob_store_->inplace_slot(i)) {
     // RAM backend: encode straight into the stored buffer (historical path).
     const std::int64_t before = static_cast<std::int64_t>(slot->size());
-    codec.encode(in, *slot);
+    {
+      metrics::ScopedTimer timer(encode_ns_);
+      codec.encode(in, *slot);
+    }
     if (compress::ChunkCodec::is_constant_chunk(*slot))
-      constant_stores_.fetch_add(1, std::memory_order_relaxed);
+      constant_stores_.add();
     account_store(static_cast<std::int64_t>(slot->size()) - before);
     return;
   }
@@ -170,20 +183,23 @@ void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
       compress::ByteBuffer blob = e.blob;  // copy: write() consumes it
       lock.unlock();
       // Counter only, no trace instant — see the decode-side note.
-      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      memo_hits_.add();
       const std::int64_t after = static_cast<std::int64_t>(blob.size());
       if (compress::ChunkCodec::is_constant_chunk(blob))
-        constant_stores_.fetch_add(1, std::memory_order_relaxed);
+        constant_stores_.add();
       blob_store_->write(i, std::move(blob));
       account_store(after - before);
       return;
     }
   }
   compress::ByteBuffer blob;
-  codec.encode(in, blob);
+  {
+    metrics::ScopedTimer timer(encode_ns_);
+    codec.encode(in, blob);
+  }
   const std::int64_t after = static_cast<std::int64_t>(blob.size());
   const bool constant = compress::ChunkCodec::is_constant_chunk(blob);
-  if (constant) constant_stores_.fetch_add(1, std::memory_order_relaxed);
+  if (constant) constant_stores_.add();
   if (addressed && !constant) {
     std::lock_guard<std::mutex> lock(memo_.mutex);
     CodecMemo::Encoded& e = memo_.encoded[memo_.encoded_next];
@@ -342,11 +358,7 @@ void ChunkStore::restore(std::istream& in) {
 
   for (index_t i = 0; i < count; ++i)
     blob_store_->write(i, std::move(blobs[i]));
-  total_bytes_.store(total, std::memory_order_relaxed);
-  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
-  while (total > peak && !peak_bytes_.compare_exchange_weak(
-                             peak, total, std::memory_order_relaxed)) {
-  }
+  bytes_g_.set(total);
 }
 
 }  // namespace memq::core

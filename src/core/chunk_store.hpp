@@ -9,13 +9,13 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "compress/chunk_codec.hpp"
 #include "core/blob_store.hpp"
@@ -74,12 +74,10 @@ class ChunkStore {
   std::uint64_t content_id(index_t i) const;
 
   /// Current total compressed footprint.
-  std::uint64_t compressed_bytes() const noexcept {
-    return total_bytes_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t compressed_bytes() const noexcept { return bytes_g_.value(); }
   /// Largest footprint ever held.
   std::uint64_t peak_compressed_bytes() const noexcept {
-    return peak_bytes_.load(std::memory_order_relaxed);
+    return bytes_g_.peak();
   }
   /// Largest compressed footprint ever resident in host RAM: equal to
   /// peak_compressed_bytes() for the RAM backend, capped by the blob budget
@@ -96,25 +94,21 @@ class ChunkStore {
                             static_cast<double>(total);
   }
 
-  std::uint64_t loads() const noexcept {
-    return loads_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t stores() const noexcept {
-    return stores_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t loads() const noexcept { return loads_.value(); }
+  std::uint64_t stores() const noexcept { return stores_.value(); }
   /// Chunks stored through the zero/constant fill fast path.
   std::uint64_t constant_chunks_stored() const noexcept {
-    return constant_stores_.load(std::memory_order_relaxed);
+    return constant_stores_.value();
   }
   /// Chunks materialized (decoded) through the fill fast path.
   std::uint64_t constant_chunks_materialized() const noexcept {
-    return constant_loads_.load(std::memory_order_relaxed);
+    return constant_loads_.value();
   }
   /// Codec invocations skipped by the redundancy memo (content-addressed
   /// backends only): encodes reused from a byte-identical recent store
   /// plus decodes reused from a recent load of the same physical content.
   std::uint64_t codec_memo_hits() const noexcept {
-    return memo_hits_.load(std::memory_order_relaxed);
+    return memo_hits_.value();
   }
 
   const compress::ChunkCodecConfig& codec_config() const noexcept {
@@ -165,13 +159,18 @@ class ChunkStore {
   qubit_t chunk_qubits_;
   compress::ChunkCodec codec_;
   std::unique_ptr<BlobStore> blob_store_;
-  std::atomic<std::uint64_t> total_bytes_{0};
-  std::atomic<std::uint64_t> peak_bytes_{0};
-  std::atomic<std::uint64_t> loads_{0};
-  std::atomic<std::uint64_t> stores_{0};
-  std::atomic<std::uint64_t> constant_stores_{0};
-  std::atomic<std::uint64_t> constant_loads_{0};
-  std::atomic<std::uint64_t> memo_hits_{0};
+  // Per-instance metrics cells (common/metrics.hpp): this store's exact
+  // counts, aggregated by name into the process-wide registry snapshot.
+  metrics::Gauge& bytes_g_;
+  metrics::Counter& loads_;
+  metrics::Counter& stores_;
+  metrics::Counter& constant_stores_;
+  metrics::Counter& constant_loads_;
+  metrics::Counter& memo_hits_;
+  metrics::Counter& decode_bytes_;
+  metrics::Counter& encode_bytes_;
+  metrics::Histogram& decode_ns_;
+  metrics::Histogram& encode_ns_;
   CodecMemo memo_;
 };
 

@@ -22,7 +22,6 @@
 // work items (see memq_engine.cpp).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -31,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "compress/chunk_codec.hpp"
@@ -39,36 +39,30 @@ namespace memq::core {
 
 class ChunkStore;
 
-/// Atomic ledger of decompressed amplitude bytes resident in pipeline
-/// buffers. Feeds the `peak_inflight_bytes` telemetry so the paper's
-/// memory-footprint guarantee stays observable under concurrency.
+/// Ledger of decompressed amplitude bytes resident in pipeline buffers,
+/// backed by an `inflight.bytes` gauge cell in the metrics registry. Feeds
+/// the `peak_inflight_bytes` telemetry so the paper's memory-footprint
+/// guarantee stays observable under concurrency.
 class InFlightLedger {
  public:
+  InFlightLedger()
+      : g_(metrics::Registry::global().gauge("inflight.bytes")) {}
+
   void acquire(std::uint64_t bytes) noexcept {
-    const std::uint64_t now =
-        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
-    while (now > peak &&
-           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
-    }
+    g_.add(static_cast<std::int64_t>(bytes));
   }
   void release(std::uint64_t bytes) noexcept {
-    current_.fetch_sub(bytes, std::memory_order_relaxed);
+    g_.sub(static_cast<std::int64_t>(bytes));
   }
-  std::uint64_t current() const noexcept {
-    return current_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t peak() const noexcept {
-    return peak_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t current() const noexcept { return g_.value(); }
+  std::uint64_t peak() const noexcept { return g_.peak(); }
   void reset() noexcept {
-    current_.store(0, std::memory_order_relaxed);
-    peak_.store(0, std::memory_order_relaxed);
+    g_.set(0);
+    g_.reset_peak();
   }
 
  private:
-  std::atomic<std::uint64_t> current_{0};
-  std::atomic<std::uint64_t> peak_{0};
+  metrics::Gauge& g_;
 };
 
 /// Mutex-guarded free-list of amplitude buffers so the pipeline reuses a

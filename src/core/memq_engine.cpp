@@ -18,21 +18,15 @@ using circuit::GateKind;
 
 /// Absolute counter/clock values at a stage boundary; rows are differences
 /// of consecutive snaps, so per-stage counters telescope to the run total.
+/// Pipeline counters come from one registry snapshot (common/metrics.hpp) —
+/// the same cells every other surface reads — so the stage report cannot
+/// drift from the CLI summary or telemetry JSON. Modeled-device counters and
+/// the seconds-type clocks live outside the registry and ride alongside.
 struct MemQSimEngine::MetricsSnap {
-  std::uint64_t chunk_loads = 0;
-  std::uint64_t chunk_stores = 0;
-  std::uint64_t codec_decode_bytes = 0;
-  std::uint64_t codec_encode_bytes = 0;
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::uint64_t cache_evictions = 0;
-  std::uint64_t cache_writebacks = 0;
-  std::uint64_t spill_writes = 0;
-  std::uint64_t spill_reads = 0;
+  metrics::Snapshot regs;
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_bytes = 0;
   std::uint64_t kernel_launches = 0;
-  std::uint64_t zero_chunks_skipped = 0;
   double decompress = 0.0;
   double recompress = 0.0;
   double cpu_apply = 0.0;
@@ -44,20 +38,23 @@ struct MemQSimEngine::MetricsSnap {
   static StageRow delta(const MetricsSnap& from, const MetricsSnap& to,
                         std::size_t device_count) {
     StageRow r;
-    r.chunk_loads = to.chunk_loads - from.chunk_loads;
-    r.chunk_stores = to.chunk_stores - from.chunk_stores;
-    r.codec_decode_bytes = to.codec_decode_bytes - from.codec_decode_bytes;
-    r.codec_encode_bytes = to.codec_encode_bytes - from.codec_encode_bytes;
-    r.cache_hits = to.cache_hits - from.cache_hits;
-    r.cache_misses = to.cache_misses - from.cache_misses;
-    r.cache_evictions = to.cache_evictions - from.cache_evictions;
-    r.cache_writebacks = to.cache_writebacks - from.cache_writebacks;
-    r.spill_writes = to.spill_writes - from.spill_writes;
-    r.spill_reads = to.spill_reads - from.spill_reads;
+    const auto d = [&](const char* name) {
+      return to.regs.counter_delta(from.regs, name);
+    };
+    r.chunk_loads = d("store.chunk_loads");
+    r.chunk_stores = d("store.chunk_stores");
+    r.codec_decode_bytes = d("codec.decode_bytes");
+    r.codec_encode_bytes = d("codec.encode_bytes");
+    r.cache_hits = d("cache.hits");
+    r.cache_misses = d("cache.misses");
+    r.cache_evictions = d("cache.evictions");
+    r.cache_writebacks = d("cache.writebacks");
+    r.spill_writes = d("blob.spill_writes");
+    r.spill_reads = d("blob.spill_reads");
+    r.zero_chunks_skipped = d("engine.zero_chunks_skipped");
     r.h2d_bytes = to.h2d_bytes - from.h2d_bytes;
     r.d2h_bytes = to.d2h_bytes - from.d2h_bytes;
     r.kernel_launches = to.kernel_launches - from.kernel_launches;
-    r.zero_chunks_skipped = to.zero_chunks_skipped - from.zero_chunks_skipped;
     r.decompress_seconds = to.decompress - from.decompress;
     r.recompress_seconds = to.recompress - from.recompress;
     r.cpu_apply_seconds = to.cpu_apply - from.cpu_apply;
@@ -75,21 +72,12 @@ struct MemQSimEngine::MetricsSnap {
 MemQSimEngine::MetricsSnap MemQSimEngine::take_metrics_snap() {
   pager_.refresh_telemetry();
   collect_device_telemetry();
+  telemetry_.zero_chunks_skipped = zero_skips_.value() - zero_skips_base_;
   MetricsSnap s;
-  s.chunk_loads = telemetry_.chunk_loads;
-  s.chunk_stores = telemetry_.chunk_stores;
-  s.codec_decode_bytes = telemetry_.codec_decode_bytes;
-  s.codec_encode_bytes = telemetry_.codec_encode_bytes;
-  s.cache_hits = telemetry_.cache_hits;
-  s.cache_misses = telemetry_.cache_misses;
-  s.cache_evictions = telemetry_.cache_evictions;
-  s.cache_writebacks = telemetry_.cache_writebacks;
-  s.spill_writes = telemetry_.spill_writes;
-  s.spill_reads = telemetry_.spill_reads;
+  s.regs = metrics::Registry::global().snapshot();
   s.h2d_bytes = telemetry_.h2d_bytes;
   s.d2h_bytes = telemetry_.d2h_bytes;
   s.kernel_launches = telemetry_.kernel_launches;
-  s.zero_chunks_skipped = telemetry_.zero_chunks_skipped;
   s.decompress = telemetry_.cpu_phases.get("decompress");
   s.recompress = telemetry_.cpu_phases.get("recompress");
   s.cpu_apply = telemetry_.cpu_phases.get("cpu_apply");
@@ -103,7 +91,12 @@ MemQSimEngine::MetricsSnap MemQSimEngine::take_metrics_snap() {
 
 MemQSimEngine::MemQSimEngine(qubit_t n_qubits, const EngineConfig& config)
     : CompressedEngineBase(n_qubits, config),
-      clock_(std::make_shared<device::HostClock>()) {
+      clock_(std::make_shared<device::HostClock>()),
+      zero_skips_(
+          metrics::Registry::global().counter("engine.zero_chunks_skipped")),
+      stage_ns_(metrics::Registry::global().histogram("engine.stage_ns")),
+      predicted_passes_g_(
+          metrics::Registry::global().gauge("plan.predicted_codec_passes")) {
   MEMQ_CHECK(config.device_slots >= 1, "need at least one device slot");
   MEMQ_CHECK(config.device_count >= 1, "need at least one device");
   const std::uint64_t pair_bytes = chunk_amps() * 2 * kAmpBytes;
@@ -141,6 +134,7 @@ MemQSimEngine::MemQSimEngine(qubit_t n_qubits, const EngineConfig& config)
 
 void MemQSimEngine::reset() {
   CompressedEngineBase::reset();
+  zero_skips_base_ = zero_skips_.value();
   clock_->reset();
   for (DeviceContext& ctx : devices_) {
     ctx.device->reset_stats();
@@ -223,6 +217,10 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
 
   report_ = StageReport{};
   report_.planned = plan_->cost;
+  // Publish the forecast so the metrics sampler's --progress line can show
+  // actual vs predicted codec passes without reaching into the engine.
+  predicted_passes_g_.set(
+      static_cast<std::uint64_t>(plan_->cost.codec_passes()));
   report_.plan_optimized = config_.plan_opt;
   report_.plan_gates_per_codec_pass = plan_->stats.gates_per_codec_pass();
   report_.plan_local_stages = plan_->stats.local_stages;
@@ -240,6 +238,7 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
       MEMQ_TRACE_SCOPE("stage", stage_kind_name(stage.kind),
                        trace::arg("stage", std::uint64_t{si}) + "," +
                            trace::arg("gates", stage.gates.size()));
+      metrics::ScopedTimer stage_timer(stage_ns_);
       switch (stage.kind) {
         case StageKind::kLocal:
           ++telemetry_.stages_local;
@@ -288,10 +287,23 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
   telemetry_.wall_seconds += wall.seconds();
   collect_device_telemetry();
   refresh_footprint_telemetry();
-  report_.total =
-      MetricsSnap::delta(first_snap, take_metrics_snap(), devices_.size());
+  const MetricsSnap last_snap = take_metrics_snap();
+  report_.total = MetricsSnap::delta(first_snap, last_snap, devices_.size());
   report_.total.kind = "total";
   report_.total.gates = circuit.size();
+  for (const auto& [name, hist] : last_snap.regs.histograms) {
+    metrics::HistogramSnapshot h = hist;
+    const auto it = first_snap.regs.histograms.find(name);
+    if (it != first_snap.regs.histograms.end()) h = h.minus(it->second);
+    if (h.count == 0) continue;  // timing disarmed or site never hit
+    StageReport::LatencySummary& l = report_.latency[name];
+    l.count = h.count;
+    l.p50_ns = h.percentile(0.50);
+    l.p95_ns = h.percentile(0.95);
+    l.p99_ns = h.percentile(0.99);
+    l.max_ns = h.max;
+    l.mean_ns = static_cast<double>(h.sum) / static_cast<double>(h.count);
+  }
 }
 
 void MemQSimEngine::run_permute_stage(const Stage& stage) {
@@ -457,7 +469,7 @@ void MemQSimEngine::run_local_stage(const Stage& stage) {
   std::vector<ChunkJob> jobs;
   for (index_t ci = 0; ci < n_chunks(); ++ci) {
     if (chunk_is_zero(ci)) {
-      ++telemetry_.zero_chunks_skipped;
+      zero_skips_.add();
       continue;  // unitary gates keep the zero subspace zero
     }
     jobs.push_back({ci, 0, false});
@@ -472,7 +484,7 @@ void MemQSimEngine::run_pair_stage(const Stage& stage) {
     if (bits::test(ci, pair_bit)) continue;
     const index_t cj = bits::set(ci, pair_bit);
     if (chunk_is_zero(ci) && chunk_is_zero(cj)) {
-      ++telemetry_.zero_chunks_skipped;
+      zero_skips_.add();
       continue;
     }
     jobs.push_back({ci, cj, true});

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/metrics.hpp"
 #include "core/compressed_base.hpp"
 #include "core/partitioner.hpp"
 #include "device/copy_engine.hpp"
@@ -101,6 +102,14 @@ class MemQSimEngine final : public CompressedEngineBase {
   std::optional<StagePlan> plan_;
   StageReport report_;
   std::uint64_t work_items_ = 0;  // for cpu-offload round-robin
+
+  // Per-instance metrics cells (common/metrics.hpp). The zero-skip cell is
+  // monotone for the sampler; `telemetry_.zero_chunks_skipped` subtracts the
+  // baseline captured at reset() so engine telemetry keeps reset semantics.
+  metrics::Counter& zero_skips_;
+  std::uint64_t zero_skips_base_ = 0;
+  metrics::Histogram& stage_ns_;
+  metrics::Gauge& predicted_passes_g_;
 };
 
 }  // namespace memq::core

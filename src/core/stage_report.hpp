@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace memq::core {
@@ -97,6 +99,22 @@ struct StageReport {
   std::uint64_t plan_measure_stages = 0;
   /// PartitionStats::gates_per_codec_pass() of the executed plan.
   double plan_gates_per_codec_pass = 0.0;
+
+  /// Latency distribution of one hot-path histogram over the run window
+  /// (percentiles are bucket-upper-edge bounds from common/metrics.hpp).
+  struct LatencySummary {
+    std::uint64_t count = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p95_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t max_ns = 0;
+    double mean_ns = 0.0;
+  };
+  /// Run-window latency summaries keyed by histogram name (codec.decode_ns,
+  /// codec.encode_ns, pager.lease_wait_ns, spill.read_ns, spill.write_ns,
+  /// engine.stage_ns). Populated only for histograms that recorded samples —
+  /// empty when metrics timing was never armed (see metrics::arm_timing).
+  std::map<std::string, LatencySummary> latency;
 };
 
 }  // namespace memq::core

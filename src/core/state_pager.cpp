@@ -53,7 +53,9 @@ StatePager::StatePager(qubit_t n_qubits, const EngineConfig& config,
       telemetry_(telemetry),
       charge_cpu_(std::move(charge_cpu)),
       store_(n_qubits, std::min<qubit_t>(config.chunk_qubits, n_qubits),
-             config.codec, make_blob_store(config)) {
+             config.codec, make_blob_store(config)),
+      lease_wait_ns_(
+          metrics::Registry::global().histogram("pager.lease_wait_ns")) {
   const std::size_t threads = resolved_codec_threads(config);
   if (threads > 1)
     codec_pool_ = std::make_unique<CodecPool>(config.codec, threads);
@@ -201,6 +203,7 @@ void StatePager::store_timed(index_t i, std::span<const amp_t> in) {
 StatePager::Lease StatePager::acquire(ChunkJob job, bool writable) {
   MEMQ_TRACE_SCOPE("pager", writable ? "acquire_write" : "acquire_read",
                    trace::arg("chunk", job.a));
+  metrics::ScopedTimer timer(lease_wait_ns_);
   // Injected before any claim or buffer allocation: an acquisition failure
   // must leave no live lease and no in-flight accounting behind.
   if (MEMQ_FAULT("pager.acquire"))
@@ -310,6 +313,8 @@ StatePager::ReadStream::~ReadStream() {
 
 std::optional<StatePager::Lease> StatePager::ReadStream::next() {
   MEMQ_TRACE_SCOPE("pager", "read_next");
+  // Consumer-visible lease wait: time blocked on the decode-ahead window.
+  metrics::ScopedTimer timer(impl_->pager->lease_wait_ns_);
   auto item = impl_->reader.next();
   if (!item) return std::nullopt;
   Lease lease;
@@ -349,6 +354,7 @@ StatePager::StageStream::~StageStream() = default;
 
 std::optional<StatePager::Lease> StatePager::StageStream::next() {
   MEMQ_TRACE_SCOPE("pager", "stage_next");
+  metrics::ScopedTimer timer(impl_->pager->lease_wait_ns_);
   if (MEMQ_FAULT("pager.acquire"))
     MEMQ_THROW(OutOfMemory, "stage-stream lease acquisition failed "
                             "(injected): working-buffer budget exhausted");

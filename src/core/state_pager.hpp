@@ -28,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "core/chunk_cache.hpp"
 #include "core/chunk_store.hpp"
 #include "core/codec_pool.hpp"
@@ -241,6 +242,10 @@ class StatePager {
   std::unique_ptr<ChunkCache> cache_;
 
   std::unordered_set<index_t> leased_;
+
+  /// Wall-clock lease-acquire latency (claim + buffer + timed loads),
+  /// recorded only while metrics timing is armed.
+  metrics::Histogram& lease_wait_ns_;
 };
 
 }  // namespace memq::core

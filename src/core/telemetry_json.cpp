@@ -1,0 +1,137 @@
+#include "core/telemetry_json.hpp"
+
+#include <ostream>
+
+namespace memq::core {
+
+void stage_row_json(std::ostream& os, const StageRow& r, const char* indent) {
+  os << indent << "{\"index\": " << r.index << ", \"kind\": \"" << r.kind
+     << "\", \"gates\": " << r.gates
+     << ", \"chunk_loads\": " << r.chunk_loads
+     << ", \"chunk_stores\": " << r.chunk_stores
+     << ", \"codec_decode_bytes\": " << r.codec_decode_bytes
+     << ", \"codec_encode_bytes\": " << r.codec_encode_bytes
+     << ", \"cache_hits\": " << r.cache_hits
+     << ", \"cache_misses\": " << r.cache_misses
+     << ", \"cache_evictions\": " << r.cache_evictions
+     << ", \"cache_writebacks\": " << r.cache_writebacks
+     << ", \"spill_writes\": " << r.spill_writes
+     << ", \"spill_reads\": " << r.spill_reads
+     << ", \"h2d_bytes\": " << r.h2d_bytes
+     << ", \"d2h_bytes\": " << r.d2h_bytes
+     << ", \"kernel_launches\": " << r.kernel_launches
+     << ", \"zero_chunks_skipped\": " << r.zero_chunks_skipped
+     << ", \"decompress_seconds\": " << r.decompress_seconds
+     << ", \"recompress_seconds\": " << r.recompress_seconds
+     << ", \"cpu_apply_seconds\": " << r.cpu_apply_seconds
+     << ", \"stall_seconds\": " << r.stall_seconds
+     << ", \"modeled_seconds\": " << r.modeled_seconds
+     << ", \"device_busy_seconds\": " << r.device_busy_seconds
+     << ", \"kernel_busy_seconds\": " << r.kernel_busy_seconds
+     << ", \"device_idle_seconds\": " << r.device_idle_seconds << "}";
+}
+
+void write_telemetry_json(std::ostream& os, const EngineTelemetry& t,
+                          const StageReport* rep,
+                          const std::string& head_fields, bool faults_armed) {
+  const double dec_s = t.cpu_phases.get("decompress");
+  const double enc_s = t.cpu_phases.get("recompress");
+  os << "{\n"
+     << "  \"schema_version\": " << kTelemetrySchemaVersion << ",\n"
+     << head_fields
+     << "  \"modeled_total_seconds\": " << t.modeled_total_seconds << ",\n"
+     << "  \"device_busy_seconds\": " << t.device_busy_seconds << ",\n"
+     << "  \"pipeline_stall_seconds\": " << t.pipeline_stall_seconds << ",\n"
+     << "  \"peak_host_state_bytes\": " << t.peak_host_state_bytes << ",\n"
+     << "  \"peak_resident_blob_bytes\": " << t.peak_resident_blob_bytes
+     << ",\n"
+     << "  \"final_compression_ratio\": " << t.final_compression_ratio
+     << ",\n"
+     << "  \"chunk_loads\": " << t.chunk_loads << ",\n"
+     << "  \"chunk_stores\": " << t.chunk_stores << ",\n"
+     << "  \"codec_decode_bytes\": " << t.codec_decode_bytes << ",\n"
+     << "  \"codec_encode_bytes\": " << t.codec_encode_bytes << ",\n"
+     << "  \"codec_decode_bytes_per_sec\": "
+     << (dec_s > 0.0 ? static_cast<double>(t.codec_decode_bytes) / dec_s
+                     : 0.0)
+     << ",\n"
+     << "  \"codec_encode_bytes_per_sec\": "
+     << (enc_s > 0.0 ? static_cast<double>(t.codec_encode_bytes) / enc_s
+                     : 0.0)
+     << ",\n"
+     << "  \"zero_chunks_skipped\": " << t.zero_chunks_skipped << ",\n"
+     << "  \"cache_hits\": " << t.cache_hits << ",\n"
+     << "  \"cache_misses\": " << t.cache_misses << ",\n"
+     << "  \"cache_evictions\": " << t.cache_evictions << ",\n"
+     << "  \"cache_writebacks\": " << t.cache_writebacks << ",\n"
+     << "  \"spill_writes\": " << t.spill_writes << ",\n"
+     << "  \"spill_reads\": " << t.spill_reads << ",\n"
+     << "  \"spill_bytes_written\": " << t.spill_bytes_written << ",\n"
+     << "  \"spill_bytes_read\": " << t.spill_bytes_read << ",\n"
+     << "  \"dedup_hits\": " << t.dedup_hits << ",\n"
+     << "  \"dedup_bytes_saved\": " << t.dedup_bytes_saved << ",\n"
+     << "  \"cow_breaks\": " << t.cow_breaks << ",\n"
+     << "  \"constant_chunks_stored\": " << t.constant_chunks_stored << ",\n"
+     << "  \"constant_chunks_materialized\": "
+     << t.constant_chunks_materialized << ",\n"
+     << "  \"cache_alias_hits\": " << t.cache_alias_hits << ",\n"
+     << "  \"codec_memo_hits\": " << t.codec_memo_hits << ",\n"
+     << "  \"faults_armed\": " << (faults_armed ? "true" : "false") << ",\n"
+     << "  \"faults_injected\": " << t.faults_injected << ",\n"
+     << "  \"io_retries\": " << t.io_retries << ",\n"
+     << "  \"degraded_to_ram\": " << t.degraded_to_ram << ",\n";
+  if (rep != nullptr) {
+    const PlanCost& pc = rep->planned;
+    os << "  \"plan\": {\"optimized\": "
+       << (rep->plan_optimized ? "true" : "false")
+       << ", \"exact\": " << (pc.exact ? "true" : "false")
+       << ", \"chunk_loads\": " << pc.chunk_loads
+       << ", \"chunk_stores\": " << pc.chunk_stores
+       << ", \"cache_hits\": " << pc.cache_hits
+       << ", \"cache_misses\": " << pc.cache_misses
+       << ", \"codec_encodes\": " << pc.codec_encodes
+       << ", \"h2d_bytes\": " << pc.h2d_bytes
+       << ", \"codec_passes\": " << pc.codec_passes()
+       << ", \"local_stages\": " << rep->plan_local_stages
+       << ", \"pair_stages\": " << rep->plan_pair_stages
+       << ", \"permute_stages\": " << rep->plan_permute_stages
+       << ", \"measure_stages\": " << rep->plan_measure_stages
+       << ", \"gates_per_codec_pass\": " << rep->plan_gates_per_codec_pass
+       << "},\n";
+  }
+  // Schema 7: run-window latency percentiles, keyed by histogram name.
+  // Empty (and the key omitted) when metrics timing was never armed.
+  if (rep != nullptr && !rep->latency.empty()) {
+    os << "  \"metrics\": {";
+    bool first = true;
+    for (const auto& [name, l] : rep->latency) {
+      os << (first ? "\n" : ",\n") << "    \"" << name
+         << "\": {\"count\": " << l.count << ", \"p50_ns\": " << l.p50_ns
+         << ", \"p95_ns\": " << l.p95_ns << ", \"p99_ns\": " << l.p99_ns
+         << ", \"max_ns\": " << l.max_ns << ", \"mean_ns\": " << l.mean_ns
+         << "}";
+      first = false;
+    }
+    os << "\n  },\n";
+  }
+  os << "  \"cpu_phases\": {";
+  bool first_phase = true;
+  for (const auto& [phase, seconds] : t.cpu_phases.totals()) {
+    os << (first_phase ? "" : ", ") << "\"" << phase << "\": " << seconds;
+    first_phase = false;
+  }
+  os << "}";
+  if (rep != nullptr) {
+    os << ",\n  \"stage_report\": {\n    \"rows\": [\n";
+    for (std::size_t i = 0; i < rep->rows.size(); ++i) {
+      stage_row_json(os, rep->rows[i], "      ");
+      os << (i + 1 < rep->rows.size() ? ",\n" : "\n");
+    }
+    os << "    ],\n    \"total\":\n";
+    stage_row_json(os, rep->total, "      ");
+    os << "\n  }";
+  }
+  os << "\n}\n";
+}
+
+}  // namespace memq::core

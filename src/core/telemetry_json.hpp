@@ -1,0 +1,40 @@
+// Canonical telemetry-JSON serializer — the ONE place the document schema
+// lives. The CLI (`memq run --telemetry-json`) and the benches both emit
+// through this writer, so a schema bump is a single-line change here and the
+// two surfaces can never drift apart.
+//
+// Schema history:
+//   6 — flat counter document + plan forecast + stage_report rows
+//   7 — adds the "metrics" section: run-window latency percentiles
+//       (codec encode/decode, lease wait, spill I/O, stage wall time) from
+//       the common/metrics.hpp histograms, keyed by histogram name. The
+//       section is present only when metrics timing was armed during the
+//       run (see metrics::arm_timing); every schema-6 field is unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/stage_report.hpp"
+
+namespace memq::core {
+
+/// Bump when the telemetry JSON document shape changes. Asserted by CI.
+inline constexpr int kTelemetrySchemaVersion = 7;
+
+/// One stage-report row as a compact JSON object (no trailing newline).
+void stage_row_json(std::ostream& os, const StageRow& r, const char* indent);
+
+/// Write the full telemetry document.
+///
+/// `head_fields` is a pre-rendered block of caller-specific configuration
+/// lines — each formatted as `  "key": value,\n` — spliced in right after
+/// schema_version, so the CLI can record engine/codec/backend settings the
+/// serializer has no business knowing about. Pass "" for none.
+/// `rep` may be null (engines without a stage plan).
+void write_telemetry_json(std::ostream& os, const EngineTelemetry& t,
+                          const StageReport* rep,
+                          const std::string& head_fields, bool faults_armed);
+
+}  // namespace memq::core

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a memq metrics time-series (as written by --metrics-out).
+
+The file is JSONL: one sampler tick per line, each an object with
+  t_ms      milliseconds since the sampler started (monotone nondecreasing)
+  wall_ms   wall-clock epoch milliseconds (monotone nondecreasing)
+  counters  {name: value} — every counter must never decrease across ticks
+  gauges    {name: {value, peak}} — peak must never decrease and must
+            always be >= 0 (values may move both ways; that is the point)
+  hists     {name: {count, sum, max, p50, p95, p99, buckets: [[idx, n]..]}}
+            with count/sum monotone, sparse bucket counts summing to count,
+            and p50 <= p95 <= p99 <= max whenever count > 0.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+Usage: check_metrics.py METRICS.jsonl [--min-ticks N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_hist(path: str, line_no: int, name: str, h: dict) -> str | None:
+    count = h.get("count", 0)
+    buckets = h.get("buckets", [])
+    bucket_sum = sum(n for _, n in buckets)
+    if bucket_sum != count:
+        return (f"{path}:{line_no}: hist {name}: bucket sum {bucket_sum}"
+                f" != count {count}")
+    if any(n <= 0 for _, n in buckets):
+        return f"{path}:{line_no}: hist {name}: empty bucket emitted"
+    idxs = [i for i, _ in buckets]
+    if idxs != sorted(idxs) or len(set(idxs)) != len(idxs):
+        return f"{path}:{line_no}: hist {name}: bucket indices not ascending"
+    if count > 0:
+        p50, p95, p99 = h.get("p50", 0), h.get("p95", 0), h.get("p99", 0)
+        hmax = h.get("max", 0)
+        if not (p50 <= p95 <= p99 <= hmax):
+            return (f"{path}:{line_no}: hist {name}: percentiles not ordered:"
+                    f" p50={p50} p95={p95} p99={p99} max={hmax}")
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("jsonl", help="metrics JSONL written by --metrics-out")
+    ap.add_argument("--min-ticks", type=int, default=1,
+                    help="require at least N sampler ticks (default 1)")
+    args = ap.parse_args()
+
+    ticks = []
+    with open(args.jsonl, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ticks.append((line_no, json.loads(line)))
+            except json.JSONDecodeError as e:
+                return fail(f"{args.jsonl}:{line_no}: bad JSON: {e}")
+
+    if len(ticks) < args.min_ticks:
+        return fail(f"{args.jsonl}: {len(ticks)} ticks, "
+                    f"need >= {args.min_ticks}")
+
+    prev = None
+    prev_no = 0
+    names = set()
+    for line_no, t in ticks:
+        for key in ("t_ms", "wall_ms", "counters", "gauges", "hists"):
+            if key not in t:
+                return fail(f"{args.jsonl}:{line_no}: missing '{key}'")
+        names.update(t["counters"])
+        for name, h in t["hists"].items():
+            msg = check_hist(args.jsonl, line_no, name, h)
+            if msg is not None:
+                return fail(msg)
+        if prev is not None:
+            for key in ("t_ms", "wall_ms"):
+                if t[key] < prev[key]:
+                    return fail(f"{args.jsonl}:{line_no}: {key} went back in "
+                                f"time ({prev[key]} -> {t[key]})")
+            for name, value in prev["counters"].items():
+                if t["counters"].get(name, 0) < value:
+                    return fail(
+                        f"{args.jsonl}:{line_no}: counter {name} decreased "
+                        f"({value} at line {prev_no} -> "
+                        f"{t['counters'].get(name, 0)})")
+            for name, g in prev["gauges"].items():
+                now = t["gauges"].get(name)
+                if now is None:
+                    return fail(f"{args.jsonl}:{line_no}: gauge {name} "
+                                f"vanished")
+                if now["peak"] < g["peak"]:
+                    return fail(f"{args.jsonl}:{line_no}: gauge {name} peak "
+                                f"decreased ({g['peak']} -> {now['peak']})")
+            for name, h in prev["hists"].items():
+                now = t["hists"].get(name)
+                if now is None:
+                    return fail(f"{args.jsonl}:{line_no}: hist {name} "
+                                f"vanished")
+                for key in ("count", "sum", "max"):
+                    if now[key] < h[key]:
+                        return fail(
+                            f"{args.jsonl}:{line_no}: hist {name} {key} "
+                            f"decreased ({h[key]} -> {now[key]})")
+        prev = t
+        prev_no = line_no
+
+    print(f"OK: {args.jsonl}: {len(ticks)} ticks, {len(names)} counters, "
+          f"{len(prev['gauges'])} gauges, {len(prev['hists'])} histograms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

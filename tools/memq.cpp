@@ -13,6 +13,7 @@
 //   memq transfer --qubits N
 //            (Table-1-style sync/async/staged transfer comparison)
 #include <cctype>
+#include <chrono>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -29,12 +30,14 @@
 #include "common/cpu_features.hpp"
 #include "common/faultpoint.hpp"
 #include "common/format.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "compress/compressor.hpp"
 #include "core/engine.hpp"
 #include "core/memq_engine.hpp"
 #include "core/partitioner.hpp"
+#include "core/telemetry_json.hpp"
 #include "device/copy_engine.hpp"
 
 namespace {
@@ -57,8 +60,13 @@ using namespace memq;
       "           [--marginal q0,q1,..] [--expect PAULIS]\n"
       "           [--checkpoint f] [--restore f] [--telemetry-json f.json]\n"
       "           [--trace f.json] [--stage-report] [--faults SPEC]\n"
+      "           [--metrics-interval MS] [--metrics-out f.jsonl]\n"
+      "           [--metrics-prom f.txt] [--progress]\n"
       "  (--faults: deterministic fault injection, e.g.\n"
       "   'blob.read.eio@3,codec.decode.corrupt%5,seed=7' — see DESIGN.md)\n"
+      "  (--metrics-out: background sampler JSONL time-series every\n"
+      "   --metrics-interval ms; --metrics-prom: Prometheus text snapshot;\n"
+      "   --progress: live actual-vs-plan codec-pass line on stderr)\n"
       "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
       "  memq transfer --qubits N\n";
   std::exit(2);
@@ -317,41 +325,25 @@ void print_stage_report(const core::StageReport& rep) {
             << rep.plan_measure_stages << " measure; "
             << format_fixed(rep.plan_gates_per_codec_pass, 2)
             << " gates per codec pass\n";
-}
-
-void stage_row_json(std::ostream& os, const core::StageRow& r,
-                    const char* indent) {
-  os << indent << "{\"index\": " << r.index << ", \"kind\": \"" << r.kind
-     << "\", \"gates\": " << r.gates
-     << ", \"chunk_loads\": " << r.chunk_loads
-     << ", \"chunk_stores\": " << r.chunk_stores
-     << ", \"codec_decode_bytes\": " << r.codec_decode_bytes
-     << ", \"codec_encode_bytes\": " << r.codec_encode_bytes
-     << ", \"cache_hits\": " << r.cache_hits
-     << ", \"cache_misses\": " << r.cache_misses
-     << ", \"cache_evictions\": " << r.cache_evictions
-     << ", \"cache_writebacks\": " << r.cache_writebacks
-     << ", \"spill_writes\": " << r.spill_writes
-     << ", \"spill_reads\": " << r.spill_reads
-     << ", \"h2d_bytes\": " << r.h2d_bytes
-     << ", \"d2h_bytes\": " << r.d2h_bytes
-     << ", \"kernel_launches\": " << r.kernel_launches
-     << ", \"zero_chunks_skipped\": " << r.zero_chunks_skipped
-     << ", \"decompress_seconds\": " << r.decompress_seconds
-     << ", \"recompress_seconds\": " << r.recompress_seconds
-     << ", \"cpu_apply_seconds\": " << r.cpu_apply_seconds
-     << ", \"stall_seconds\": " << r.stall_seconds
-     << ", \"modeled_seconds\": " << r.modeled_seconds
-     << ", \"device_busy_seconds\": " << r.device_busy_seconds
-     << ", \"kernel_busy_seconds\": " << r.kernel_busy_seconds
-     << ", \"device_idle_seconds\": " << r.device_idle_seconds << "}";
+  if (!rep.latency.empty()) {
+    const auto ns = [](std::uint64_t v) {
+      return human_seconds(static_cast<double>(v) / 1e9);
+    };
+    TextTable lat({"latency", "count", "p50", "p95", "p99", "max", "mean"});
+    for (const auto& [name, l] : rep.latency)
+      lat.add_row({name, std::to_string(l.count), ns(l.p50_ns), ns(l.p95_ns),
+                   ns(l.p99_ns), ns(l.max_ns), ns(static_cast<std::uint64_t>(
+                                                   l.mean_ns))});
+    std::cout << "\nhot-path latency (bucketed percentile upper bounds):\n";
+    lat.print(std::cout);
+  }
 }
 
 int cmd_run(int argc, char** argv) {
   if (argc < 3) usage("run needs a .qasm file");
   const Args args = parse_args(argc, argv, 3,
                                {"layout", "fuse", "elide-swaps",
-                                "stage-report", "no-simd"});
+                                "stage-report", "no-simd", "progress"});
   std::string trace_path = args.option("trace", "");
   if (!trace_path.empty() && !trace::enabled()) {
     trace::start(trace_path);  // before engine construction: workers register
@@ -374,6 +366,21 @@ int cmd_run(int argc, char** argv) {
   else if (engine_name != "memqsim") usage("unknown engine");
 
   const core::EngineConfig cfg = config_from(args, n);
+
+  const std::string json_path = args.option("telemetry-json", "");
+  const std::string metrics_out = args.option("metrics-out", "");
+  const std::string metrics_prom = args.option("metrics-prom", "");
+  const bool progress = args.has_flag("progress");
+  // Validated even when no sampler sink consumes it, so a typo'd value
+  // fails loudly instead of being dropped on the floor.
+  const std::uint64_t metrics_interval_ms =
+      parse_u64("metrics-interval", args.option("metrics-interval", "250"));
+  // Latency timestamps cost two clock reads per site, so they stay off
+  // unless some surface will actually report them.
+  if (args.has_flag("stage-report") || !json_path.empty() ||
+      !metrics_out.empty() || !metrics_prom.empty() || progress)
+    metrics::arm_timing();
+
   auto engine = core::make_engine(kind, n, cfg);
 
   const std::string restore = args.option("restore", "");
@@ -381,6 +388,16 @@ int cmd_run(int argc, char** argv) {
     engine->load_state(restore);
     std::cout << "restored state from " << restore << "\n";
   }
+  metrics::Sampler sampler;
+  if (!metrics_out.empty() || !metrics_prom.empty() || progress) {
+    metrics::SamplerOptions sopts;
+    sopts.interval = std::chrono::milliseconds(metrics_interval_ms);
+    sopts.jsonl_path = metrics_out;
+    sopts.prom_path = metrics_prom;
+    sopts.progress = progress;
+    sampler.start(sopts);  // after restore: counters only grow from here
+  }
+
   engine->run(prog.circuit);
 
   const auto shots = parse_u64("shots", args.option("shots", "1024"));
@@ -424,6 +441,8 @@ int cmd_run(int argc, char** argv) {
     engine->save_state(checkpoint);
     std::cout << "checkpoint written to " << checkpoint << "\n";
   }
+
+  sampler.stop();  // final sample covers the post-run queries above
 
   const auto& t = engine->telemetry();
   std::cout << "\npeak state memory " << human_bytes(t.peak_host_state_bytes)
@@ -481,112 +500,29 @@ int cmd_run(int argc, char** argv) {
       std::cout << "  " << line << "\n";
   }
 
-  const std::string json_path = args.option("telemetry-json", "");
   if (!json_path.empty()) {
     std::ofstream jf(json_path);
     if (!jf) {
       std::cerr << "cannot write " << json_path << "\n";
       return 1;
     }
-    const double dec_s = t.cpu_phases.get("decompress");
-    const double enc_s = t.cpu_phases.get("recompress");
-    jf << "{\n"
-       << "  \"schema_version\": 6,\n"
-       << "  \"engine\": \"" << engine->name() << "\",\n"
-       << "  \"simd\": \"" << simd::name(simd::active()) << "\",\n"
-       << "  \"codec_dict\": \""
-       << (cfg.codec.dict_mode == compress::DictMode::kTrain ? "train"
-                                                             : "off")
-       << "\",\n"
-       << "  \"qubits\": " << n << ",\n"
-       << "  \"store_backend\": \""
-       << (cfg.store_backend == core::StoreBackend::kFile ? "file" : "ram")
-       << "\",\n"
-       << "  \"blob_budget_bytes\": " << cfg.host_blob_budget_bytes << ",\n"
-       << "  \"dedup\": " << (cfg.dedup ? "true" : "false") << ",\n"
-       << "  \"modeled_total_seconds\": " << t.modeled_total_seconds << ",\n"
-       << "  \"device_busy_seconds\": " << t.device_busy_seconds << ",\n"
-       << "  \"pipeline_stall_seconds\": " << t.pipeline_stall_seconds
-       << ",\n"
-       << "  \"peak_host_state_bytes\": " << t.peak_host_state_bytes << ",\n"
-       << "  \"peak_resident_blob_bytes\": " << t.peak_resident_blob_bytes
-       << ",\n"
-       << "  \"final_compression_ratio\": " << t.final_compression_ratio
-       << ",\n"
-       << "  \"chunk_loads\": " << t.chunk_loads << ",\n"
-       << "  \"chunk_stores\": " << t.chunk_stores << ",\n"
-       << "  \"codec_decode_bytes\": " << t.codec_decode_bytes << ",\n"
-       << "  \"codec_encode_bytes\": " << t.codec_encode_bytes << ",\n"
-       << "  \"codec_decode_bytes_per_sec\": "
-       << (dec_s > 0.0 ? static_cast<double>(t.codec_decode_bytes) / dec_s
-                       : 0.0)
-       << ",\n"
-       << "  \"codec_encode_bytes_per_sec\": "
-       << (enc_s > 0.0 ? static_cast<double>(t.codec_encode_bytes) / enc_s
-                       : 0.0)
-       << ",\n"
-       << "  \"zero_chunks_skipped\": " << t.zero_chunks_skipped << ",\n"
-       << "  \"cache_hits\": " << t.cache_hits << ",\n"
-       << "  \"cache_misses\": " << t.cache_misses << ",\n"
-       << "  \"cache_evictions\": " << t.cache_evictions << ",\n"
-       << "  \"cache_writebacks\": " << t.cache_writebacks << ",\n"
-       << "  \"spill_writes\": " << t.spill_writes << ",\n"
-       << "  \"spill_reads\": " << t.spill_reads << ",\n"
-       << "  \"spill_bytes_written\": " << t.spill_bytes_written << ",\n"
-       << "  \"spill_bytes_read\": " << t.spill_bytes_read << ",\n"
-       << "  \"dedup_hits\": " << t.dedup_hits << ",\n"
-       << "  \"dedup_bytes_saved\": " << t.dedup_bytes_saved << ",\n"
-       << "  \"cow_breaks\": " << t.cow_breaks << ",\n"
-       << "  \"constant_chunks_stored\": " << t.constant_chunks_stored
-       << ",\n"
-       << "  \"constant_chunks_materialized\": "
-       << t.constant_chunks_materialized << ",\n"
-       << "  \"cache_alias_hits\": " << t.cache_alias_hits << ",\n"
-       << "  \"codec_memo_hits\": " << t.codec_memo_hits << ",\n"
-       << "  \"faults_armed\": " << (fault::armed() ? "true" : "false")
-       << ",\n"
-       << "  \"faults_injected\": " << t.faults_injected << ",\n"
-       << "  \"io_retries\": " << t.io_retries << ",\n"
-       << "  \"degraded_to_ram\": " << t.degraded_to_ram << ",\n";
-    if (const core::StageReport* rep = engine->stage_report();
-        rep != nullptr) {
-      const core::PlanCost& pc = rep->planned;
-      jf << "  \"plan\": {\"optimized\": "
-         << (rep->plan_optimized ? "true" : "false")
-         << ", \"exact\": " << (pc.exact ? "true" : "false")
-         << ", \"chunk_loads\": " << pc.chunk_loads
-         << ", \"chunk_stores\": " << pc.chunk_stores
-         << ", \"cache_hits\": " << pc.cache_hits
-         << ", \"cache_misses\": " << pc.cache_misses
-         << ", \"codec_encodes\": " << pc.codec_encodes
-         << ", \"h2d_bytes\": " << pc.h2d_bytes
-         << ", \"codec_passes\": " << pc.codec_passes()
-         << ", \"local_stages\": " << rep->plan_local_stages
-         << ", \"pair_stages\": " << rep->plan_pair_stages
-         << ", \"permute_stages\": " << rep->plan_permute_stages
-         << ", \"measure_stages\": " << rep->plan_measure_stages
-         << ", \"gates_per_codec_pass\": "
-         << rep->plan_gates_per_codec_pass << "},\n";
-    }
-    jf << "  \"cpu_phases\": {";
-    bool first_phase = true;
-    for (const auto& [phase, seconds] : t.cpu_phases.totals()) {
-      jf << (first_phase ? "" : ", ") << "\"" << phase << "\": " << seconds;
-      first_phase = false;
-    }
-    jf << "}";
-    if (const core::StageReport* rep = engine->stage_report();
-        rep != nullptr) {
-      jf << ",\n  \"stage_report\": {\n    \"rows\": [\n";
-      for (std::size_t i = 0; i < rep->rows.size(); ++i) {
-        stage_row_json(jf, rep->rows[i], "      ");
-        jf << (i + 1 < rep->rows.size() ? ",\n" : "\n");
-      }
-      jf << "    ],\n    \"total\":\n";
-      stage_row_json(jf, rep->total, "      ");
-      jf << "\n  }";
-    }
-    jf << "\n}\n";
+    // CLI-only configuration lines; everything else is the shared schema.
+    std::ostringstream head;
+    head << "  \"engine\": \"" << engine->name() << "\",\n"
+         << "  \"simd\": \"" << simd::name(simd::active()) << "\",\n"
+         << "  \"codec_dict\": \""
+         << (cfg.codec.dict_mode == compress::DictMode::kTrain ? "train"
+                                                               : "off")
+         << "\",\n"
+         << "  \"qubits\": " << n << ",\n"
+         << "  \"store_backend\": \""
+         << (cfg.store_backend == core::StoreBackend::kFile ? "file" : "ram")
+         << "\",\n"
+         << "  \"blob_budget_bytes\": " << cfg.host_blob_budget_bytes
+         << ",\n"
+         << "  \"dedup\": " << (cfg.dedup ? "true" : "false") << ",\n";
+    core::write_telemetry_json(jf, t, engine->stage_report(), head.str(),
+                               fault::armed());
     std::cout << "telemetry written to " << json_path << "\n";
   }
 
