@@ -1,0 +1,213 @@
+// Batched throughput bench (ISSUE 10): K member circuits per codec pass vs
+// the one-engine-per-member serial loop, on a cache-constrained workload
+// (the cache holds 25% of the chunks, so the serial loop pays real codec
+// passes for every member). Shots mode — all K members run the identical
+// circuit, the regime where the fork tree shares EVERY stage and the whole
+// batch costs one member's codec traffic plus the fan-out clones.
+//
+// Verifies the tentpole claims:
+//   (a) codec passes grow sublinearly in K: the batch's measured chunk
+//       loads stay within 2x of ONE serial member's loads (shared passes
+//       ~= 1x serial, not Kx);
+//   (b) throughput: >= 2x circuits/sec over the serial loop at K = 8;
+//   (c) every member's amplitudes are BIT-identical to its own serial run
+//       (null codec, so lossy round-trip counting cannot differ).
+//
+// Writes BENCH_batch.json next to the binary for the driver.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuit/workloads.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/batch_scheduler.hpp"
+#include "core/engine.hpp"
+#include "sv/state_vector.hpp"
+
+namespace {
+
+using namespace memq;
+
+constexpr qubit_t kQubits = 14;
+constexpr qubit_t kChunkQubits = 9;  // 32 chunks of 8 KiB raw
+constexpr std::uint32_t kBatch = 8;
+
+core::EngineConfig base_config() {
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = kChunkQubits;
+  // Null codec: lossless, so batch and serial runs are bit-identical even
+  // though the cache changes how many codec round trips each chunk pays.
+  cfg.codec.compressor = "null";
+  // Cache-constrained: 25% of ONE member's chunks. The serial loop thrashes
+  // this per member; the batch pays the thrash once for the shared pass.
+  cfg.cache_budget_bytes = 8 * (kAmpBytes << kChunkQubits);
+  cfg.batch_size = kBatch;
+  cfg.batch_mode = core::BatchMode::kShots;
+  return cfg;
+}
+
+struct SerialArm {
+  double wall_seconds = 0.0;
+  std::uint64_t total_loads = 0;   ///< across all K members
+  std::uint64_t single_loads = 0;  ///< one member's loads
+  std::vector<sv::StateVector> states;
+};
+
+SerialArm run_serial(const circuit::Circuit& c,
+                     const core::EngineConfig& cfg) {
+  SerialArm a;
+  WallTimer wall;
+  for (std::uint32_t m = 0; m < kBatch; ++m) {
+    core::EngineConfig one = cfg;
+    one.batch_size = 1;
+    one.seed = cfg.seed + m;
+    auto engine =
+        core::make_engine(core::EngineKind::kMemQSim, c.n_qubits(), one);
+    engine->run(c);
+    const std::uint64_t loads = engine->telemetry().chunk_loads;
+    a.total_loads += loads;
+    if (m == 0) a.single_loads = loads;
+    a.states.push_back(engine->to_dense());
+  }
+  a.wall_seconds = wall.seconds();
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "batch bench — " << int(kQubits) << " qubits, chunk 2^"
+            << int(kChunkQubits) << " ("
+            << (dim_of(kQubits) >> kChunkQubits) << " chunks), K = "
+            << kBatch << " members, shots mode, 8-chunk cache (25%), "
+            << "null codec\n\n";
+
+  struct Workload {
+    std::string name;
+    circuit::Circuit circuit;
+  };
+  const std::vector<Workload> workloads = {
+      {"qft", circuit::make_qft(kQubits)},
+      {"haar-rand", circuit::make_random_circuit(kQubits, 8, 1010, true)},
+  };
+
+  bool sublinear_ok = true, speedup_ok = true, bit_identical = true;
+
+  struct Row {
+    std::string workload;
+    std::uint64_t serial_loads = 0, serial_single_loads = 0,
+                  batch_loads = 0, clone_chunks = 0;
+    std::size_t total_member_stages = 0, executed_stages = 0,
+                shared_stages = 0;
+    double serial_wall = 0.0, batch_wall = 0.0;
+    double serial_cps = 0.0, batch_cps = 0.0, speedup = 0.0;
+    double amortized_mb_per_s = 0.0;
+    bool members_identical = true;
+  };
+  std::vector<Row> rows;
+
+  for (const Workload& w : workloads) {
+    const core::EngineConfig cfg = base_config();
+    const SerialArm serial = run_serial(w.circuit, cfg);
+
+    core::BatchScheduler batch(kQubits, cfg);
+    const std::vector<circuit::Circuit> members(kBatch, w.circuit);
+    batch.run(members);
+    const core::BatchStats& bs = batch.stats();
+
+    Row r;
+    r.workload = w.name;
+    r.serial_loads = serial.total_loads;
+    r.serial_single_loads = serial.single_loads;
+    r.batch_loads = bs.chunk_loads;
+    r.clone_chunks = bs.clone_chunks;
+    r.total_member_stages = bs.total_member_stages;
+    r.executed_stages = bs.executed_stages;
+    r.shared_stages = bs.shared_stages;
+    r.serial_wall = serial.wall_seconds;
+    r.batch_wall = bs.wall_seconds;
+    r.serial_cps =
+        serial.wall_seconds > 0.0 ? kBatch / serial.wall_seconds : 0.0;
+    r.batch_cps = bs.circuits_per_second;
+    r.speedup = r.serial_cps > 0.0 ? r.batch_cps / r.serial_cps : 0.0;
+    r.amortized_mb_per_s = bs.amortized_mb_per_s;
+
+    for (std::uint32_t m = 0; m < kBatch; ++m) {
+      const sv::StateVector got = batch.member_dense(m);
+      if (got.max_abs_diff(serial.states[m]) != 0.0)
+        r.members_identical = false;
+    }
+
+    // (a) Sublinear codec passes: the shared pass costs one member's loads,
+    // plus slack for the fan-out epilogue. 2x one member << 8x serial.
+    sublinear_ok =
+        sublinear_ok && r.batch_loads <= 2 * r.serial_single_loads;
+    // (b) >= 2x circuits/sec at K = 8.
+    speedup_ok = speedup_ok && r.speedup >= 2.0;
+    bit_identical = bit_identical && r.members_identical;
+
+    TextTable table({"arm", "wall", "circuits/s", "chunk loads",
+                     "stages run", "shared", "clones"});
+    table.add_row({"serial x" + std::to_string(kBatch),
+                   human_seconds(r.serial_wall),
+                   format_fixed(r.serial_cps, 1),
+                   std::to_string(r.serial_loads),
+                   std::to_string(r.total_member_stages), "0", "0"});
+    table.add_row({"batch", human_seconds(r.batch_wall),
+                   format_fixed(r.batch_cps, 1),
+                   std::to_string(r.batch_loads),
+                   std::to_string(r.executed_stages),
+                   std::to_string(r.shared_stages),
+                   std::to_string(r.clone_chunks)});
+    std::cout << w.name << "(" << int(kQubits) << "), "
+              << w.circuit.size() << " gates:\n";
+    table.print(std::cout);
+    std::cout << "speedup: " << format_fixed(r.speedup, 2)
+              << "x, amortized " << format_fixed(r.amortized_mb_per_s, 1)
+              << " MB/s, members bit-identical to serial: "
+              << (r.members_identical ? "yes" : "NO") << "\n\n";
+    rows.push_back(std::move(r));
+  }
+
+  std::cout << "codec passes sublinear in K (batch <= 2x one serial "
+               "member): "
+            << (sublinear_ok ? "yes" : "NO") << "\n"
+            << ">= 2x circuits/sec at K = " << kBatch << ": "
+            << (speedup_ok ? "yes" : "NO") << "\n"
+            << "every member bit-identical to its serial run: "
+            << (bit_identical ? "yes" : "NO") << "\n";
+
+  std::ofstream json("BENCH_batch.json");
+  json << "{\n  \"qubits\": " << int(kQubits)
+       << ",\n  \"chunk_qubits\": " << int(kChunkQubits)
+       << ",\n  \"batch\": " << kBatch << ",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"workload\": \"" << r.workload
+         << "\", \"serial_chunk_loads\": " << r.serial_loads
+         << ", \"serial_single_member_loads\": " << r.serial_single_loads
+         << ", \"batch_chunk_loads\": " << r.batch_loads
+         << ", \"clone_chunks\": " << r.clone_chunks
+         << ", \"total_member_stages\": " << r.total_member_stages
+         << ", \"executed_stages\": " << r.executed_stages
+         << ", \"shared_stages\": " << r.shared_stages
+         << ", \"serial_wall_seconds\": " << r.serial_wall
+         << ", \"batch_wall_seconds\": " << r.batch_wall
+         << ", \"serial_circuits_per_second\": " << r.serial_cps
+         << ", \"batch_circuits_per_second\": " << r.batch_cps
+         << ", \"speedup\": " << r.speedup
+         << ", \"amortized_mb_per_s\": " << r.amortized_mb_per_s
+         << ", \"members_bit_identical\": "
+         << (r.members_identical ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"sublinear_ok\": " << (sublinear_ok ? "true" : "false")
+       << ",\n  \"speedup_ok\": " << (speedup_ok ? "true" : "false")
+       << ",\n  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n}\n";
+  return (sublinear_ok && speedup_ok && bit_identical) ? 0 : 1;
+}

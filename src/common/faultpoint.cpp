@@ -57,6 +57,11 @@ const std::vector<SiteInfo>& catalog() {
       {"checkpoint.load",
        "read corruption on checkpoint load (surfaced as CorruptData; the "
        "in-memory state is replaced only after the stream validates)"},
+      {"batch.member.abort",
+       "one batch member aborts at a stage boundary while executing alone "
+       "(post-divergence); the member is flagged and skipped, sibling "
+       "members' disjoint chunk windows complete bit-identically to their "
+       "serial runs"},
   };
   return *sites;
 }

@@ -1,0 +1,166 @@
+// Batched throughput mode: K independent member circuits per codec pass.
+//
+// The throughput workloads of the paper's setting — parameter sweeps,
+// repeated-shot sampling, seeded noise trajectories — run MANY cheap,
+// near-identical circuits. Executing them one engine at a time decompresses
+// the same chunks K times; executing them together amortizes every codec
+// pass across the members that still agree on the schedule.
+//
+// Mechanism: ONE MemQSim engine widened over B = ceil(log2(K)) member-index
+// qubits above the member register. Member m owns the physical chunk window
+// [m * span, (m + 1) * span), span = 2^(member_qubits - chunk_qubits) — so a
+// member window is bit-for-bit a standalone state of member_qubits qubits,
+// and every stage executes through the unmodified serial stage machinery
+// with window-local chunk arithmetic (memq_engine.hpp batch hooks).
+//
+// Shared prefixes execute ONCE: the per-member stage plans are folded into a
+// fork tree — while every member of a group agrees on the next stage, the
+// group's representative window executes it alone; where plans diverge (or
+// end), the representative's window fans out to the subgroup representatives
+// as blob-level clones with no codec pass (StatePager::fanout). Over the
+// dedup backend the clones refcount-share physical chunks until a divergent
+// write CoW-splits them, so identical member prefixes cost one physical copy.
+//
+// Determinism / the differential oracle: the fork tree, the clone order and
+// the member windows are all functions of the plans alone, so a batch run is
+// deterministic, and each member's final chunks match its own serial run
+// byte-for-byte whenever the codec round-trip count per chunk matches (always
+// for lossless codecs; for lossy codecs when the cache is off — a cache
+// would let the serial run skip lossy round trips the fan-out forces).
+// tests/test_differential.cpp pins this as the batch-vs-serial oracle.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "circuit/noise.hpp"
+#include "core/memq_engine.hpp"
+
+namespace memq::core {
+
+/// What the batch run did, for telemetry (schema 8 "batch" block) and the
+/// bench's sublinearity assertions.
+struct BatchStats {
+  std::uint32_t members = 0;         ///< K
+  std::uint32_t padded_members = 0;  ///< 2^ceil(log2 K) windows allocated
+  qubit_t member_index_qubits = 0;   ///< B, the widening
+  /// Sum of the K member plan lengths — the stage executions a no-sharing
+  /// serial schedule performs.
+  std::size_t total_member_stages = 0;
+  /// Stage executions actually performed (shared prefixes counted once).
+  std::size_t executed_stages = 0;
+  /// Executions that served more than one member.
+  std::size_t shared_stages = 0;
+  /// Chunks fanned out by blob-level clone (no codec pass).
+  std::uint64_t clone_chunks = 0;
+  /// Measured chunk codec passes over the batch run.
+  std::uint64_t chunk_loads = 0;
+  std::uint64_t chunk_stores = 0;
+  double wall_seconds = 0.0;
+  /// K / wall_seconds.
+  double circuits_per_second = 0.0;
+  /// Logical member-state megabytes a no-sharing schedule would stream
+  /// through the codec (total_member_stages * member state bytes), per wall
+  /// second of THIS run — the amortization headline.
+  double amortized_mb_per_s = 0.0;
+};
+
+/// Plans and executes one batch of K member circuits on a single widened
+/// MemQSim engine. Construction fixes K (config.batch_size) and the member
+/// register width; run() takes the expanded members. Requires the identity
+/// layout (rejects optimize_layout / elide_swaps) and unitary-only members
+/// (no measure/reset — sampling happens per member window after the run).
+class BatchScheduler {
+ public:
+  BatchScheduler(qubit_t member_qubits, const EngineConfig& config);
+
+  /// Expands the CLI's one base circuit into config.batch_size members per
+  /// config.batch_mode: kShots/kCircuits = K copies (kCircuits callers
+  /// normally pass their own distinct list to run() instead), kSweep =
+  /// rotation params of member m scaled by (m + 1) / K, kTrajectories =
+  /// circuit::sample_noisy_trajectory with seed config.seed + m.
+  static std::vector<circuit::Circuit> expand_members(
+      const circuit::Circuit& base, const EngineConfig& config,
+      const circuit::NoiseModel& noise);
+
+  /// Executes all members (size must equal config.batch_size): builds the
+  /// per-member plans, folds them into the fork-tree script, installs the
+  /// merged windowed Belady plan, and drives the engine through it.
+  void run(const std::vector<circuit::Circuit>& members);
+
+  // ---- geometry ---------------------------------------------------------
+  std::uint32_t members() const noexcept { return k_; }
+  qubit_t member_qubits() const noexcept { return member_qubits_; }
+  index_t member_span() const noexcept { return span_; }
+  index_t member_base(std::uint32_t m) const noexcept { return m * span_; }
+
+  // ---- per-member results (after run()) ---------------------------------
+  /// True when fault site batch.member.abort fired while this member was
+  /// executing alone; its window is stale but every sibling is unaffected.
+  bool member_aborted(std::uint32_t m) const { return aborted_.at(m); }
+
+  double member_norm(std::uint32_t m);
+  /// Samples with a fresh Prng(config.seed + m) — exactly the generator a
+  /// serial engine constructed with seed + m uses for its first
+  /// sample_counts(), so counts are bit-identical to that serial run.
+  std::map<index_t, std::uint64_t> member_counts(std::uint32_t m,
+                                                 std::size_t shots);
+  std::map<index_t, std::uint64_t> member_counts(std::uint32_t m,
+                                                 std::size_t shots,
+                                                 std::uint64_t seed);
+  sv::StateVector member_dense(std::uint32_t m);
+  double member_expectation(std::uint32_t m, const sv::PauliString& pauli);
+
+  const BatchStats& stats() const noexcept { return stats_; }
+  MemQSimEngine& engine() noexcept { return *engine_; }
+  const MemQSimEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  /// One step of the pre-built execution script. kStage ops carry the
+  /// representative member whose window executes and the number of members
+  /// that execution serves; kClone ops fan the source member's window out
+  /// to a diverging (or finished) member's window.
+  struct Op {
+    enum class Kind : std::uint8_t { kStage, kClone };
+    Kind kind = Kind::kStage;
+    std::uint32_t member = 0;      ///< kStage: rep; kClone: source member
+    std::size_t stage_index = 0;   ///< kStage: index into the rep's plan
+    std::uint32_t group_size = 1;  ///< kStage: members served
+    std::size_t access_index = 0;  ///< kStage: slot in the batch cache plan
+    std::uint32_t dst = 0;         ///< kClone: destination member
+  };
+
+  /// Folds `group` (members sharing their plan prefix up to `depth`) into
+  /// script_/accesses_: shared stages first, then the fan-out clones, then
+  /// the subgroups in ascending first-member order (deterministic).
+  void build_script(const std::vector<std::uint32_t>& group,
+                    std::size_t depth);
+  void check_member(std::uint32_t m) const;
+
+  qubit_t member_qubits_ = 0;
+  std::uint32_t k_ = 1;
+  qubit_t index_qubits_ = 0;  ///< B = ceil(log2 k_)
+  index_t span_ = 1;
+  EngineConfig config_;  ///< adjusted copy (chunk_qubits clamped to member)
+  std::unique_ptr<MemQSimEngine> engine_;
+
+  std::vector<StagePlan> plans_;
+  std::vector<Op> script_;
+  std::vector<StageAccess> accesses_;
+  std::vector<bool> aborted_;
+  BatchStats stats_;
+  bool ran_ = false;
+};
+
+/// The no-sharing baseline and differential oracle arm: each member runs on
+/// its own fresh engine of `kind` (Wu's batch story — the prior-work engine
+/// has no fan-out machinery, its batch IS this loop) with seed
+/// config.seed + m, returning each member's sample counts. Bit-identical
+/// reference for BatchScheduler::member_counts under the oracle's codec
+/// conditions.
+std::vector<std::map<index_t, std::uint64_t>> run_batch_serial(
+    EngineKind kind, qubit_t member_qubits, const EngineConfig& config,
+    const std::vector<circuit::Circuit>& members, std::size_t shots);
+
+}  // namespace memq::core

@@ -71,11 +71,15 @@ ChunkCache::~ChunkCache() {
 
 std::optional<index_t> ChunkCache::position_in(const StageAccess& stage,
                                                index_t slot) {
+  if (stage.count != 0 &&
+      (slot < stage.base || slot >= stage.base + stage.count))
+    return std::nullopt;  // windowed stage: slots outside are untouched
+  const index_t local = slot - stage.base;
   switch (stage.kind) {
     case StageAccess::Kind::kEvery:
-      return slot;
+      return local;
     case StageAccess::Kind::kPair:
-      return slot & ~stage.pair_mask;
+      return local & ~stage.pair_mask;
     case StageAccess::Kind::kNone:
       return std::nullopt;
   }
@@ -483,10 +487,13 @@ PlanCost forecast_plan_cost(const std::vector<StageAccess>& plan,
                             index_t n_chunks, std::uint64_t chunk_raw_bytes,
                             std::uint64_t budget_bytes) {
   PlanCost cost;
+  const auto stage_count = [n_chunks](const StageAccess& stage) -> index_t {
+    return stage.count != 0 ? stage.count : n_chunks;
+  };
   for (const StageAccess& stage : plan) {
     if (stage.kind == StageAccess::Kind::kNone) continue;
-    cost.chunk_loads += n_chunks;
-    cost.chunk_stores += n_chunks;
+    cost.chunk_loads += stage_count(stage);
+    cost.chunk_stores += stage_count(stage);
   }
   cost.h2d_bytes = cost.chunk_loads * chunk_raw_bytes;
 
@@ -513,11 +520,12 @@ PlanCost forecast_plan_cost(const std::vector<StageAccess>& plan,
   for (std::size_t s = 0; s < plan.size(); ++s) {
     const StageAccess& stage = plan[s];
     if (stage.kind == StageAccess::Kind::kNone) continue;
-    for (index_t i = 0; i < n_chunks; ++i) {
+    const index_t sc = stage_count(stage);
+    for (index_t local = 0; local < sc; ++local) {
       const index_t pos = stage.kind == StageAccess::Kind::kPair
-                              ? (i & ~stage.pair_mask)
-                              : i;
-      times[i].push_back(s * width + pos);
+                              ? (local & ~stage.pair_mask)
+                              : local;
+      times[stage.base + local].push_back(s * width + pos);
     }
   }
 
@@ -594,20 +602,22 @@ PlanCost forecast_plan_cost(const std::vector<StageAccess>& plan,
 
   for (std::size_t s = 0; s < plan.size(); ++s) {
     const StageAccess& stage = plan[s];
+    const index_t sc = stage_count(stage);
     switch (stage.kind) {
       case StageAccess::Kind::kNone:
         break;
       case StageAccess::Kind::kEvery:
-        for (index_t i = 0; i < n_chunks; ++i) {
-          load(i, s * width + i);
-          store(i, s * width + i);
+        for (index_t local = 0; local < sc; ++local) {
+          load(stage.base + local, s * width + local);
+          store(stage.base + local, s * width + local);
         }
         break;
       case StageAccess::Kind::kPair:
-        for (index_t i = 0; i < n_chunks; ++i) {
-          if ((i & stage.pair_mask) != 0) continue;
-          const index_t j = i | stage.pair_mask;
-          const std::uint64_t t = s * width + i;
+        for (index_t local = 0; local < sc; ++local) {
+          if ((local & stage.pair_mask) != 0) continue;
+          const index_t i = stage.base + local;
+          const index_t j = stage.base + (local | stage.pair_mask);
+          const std::uint64_t t = s * width + local;
           load(i, t);
           load(j, t);
           store(i, t);

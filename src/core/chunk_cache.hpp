@@ -86,6 +86,13 @@ struct StageAccess {
   };
   Kind kind = Kind::kEvery;
   index_t pair_mask = 0;  ///< kPair only: high bit of the partner chunk
+  /// Optional slot window (batch mode): the stage touches only slots in
+  /// [base, base + count), and positions are window-relative — slot s sweeps
+  /// at position (s - base) for kEvery, ((s - base) & ~pair_mask) for kPair
+  /// (pair_mask is expressed in window-local bits). count == 0 means the
+  /// whole store, which reproduces the historical schedule byte-for-byte.
+  index_t base = 0;
+  index_t count = 0;
 };
 
 /// Replays `plan`'s chunk-access stream (kEvery: load+store of every slot
@@ -302,13 +309,20 @@ class CachedReader {
 /// schedule so eviction during the sweep stays next-use-aware (slots already
 /// swept become immediately evictable; upcoming residents survive) instead
 /// of LRU, which evicts residents moments before a cyclic scan reaches them.
-/// No-op when the cache is off or a run plan is already active.
+/// No-op when the cache is off or a run plan is already active — a plan
+/// installed by an enclosing scope (an engine run, or another member's guard
+/// in a batch) is never clobbered; the inner guard simply rides it.
+/// The optional window restricts the one-stage plan to slots
+/// [base, base + count) — batch-member sweeps use it so slots belonging to
+/// sibling members carry no scheduled next use (they evict first).
 class SweepPlanGuard {
  public:
-  explicit SweepPlanGuard(ChunkCache* cache)
+  explicit SweepPlanGuard(ChunkCache* cache, index_t base = 0,
+                          index_t count = 0)
       : cache_(cache != nullptr && !cache->has_plan() ? cache : nullptr) {
     if (cache_ != nullptr) {
-      cache_->set_plan({StageAccess{StageAccess::Kind::kEvery, 0}});
+      cache_->set_plan({StageAccess{StageAccess::Kind::kEvery, 0, base,
+                                    count}});
       cache_->begin_stage(0);
     }
   }

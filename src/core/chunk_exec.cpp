@@ -159,8 +159,15 @@ bool apply_gate_to_pair(std::span<amp_t> pair, index_t chunk_lo,
 }
 
 void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate,
-                             ChunkCache* cache) {
+                             ChunkCache* cache, index_t window_base,
+                             index_t window_count) {
   const qubit_t c = store.chunk_qubits();
+  // The bit arithmetic runs on WINDOW-LOCAL chunk indices so a batch member
+  // occupying [base, base + count) permutes exactly as a standalone state of
+  // `count` chunks would; 0/0 covers the whole store (historical behavior).
+  const index_t count = window_count != 0 ? window_count : store.n_chunks();
+  MEMQ_CHECK(window_base + count <= store.n_chunks(),
+             "permutation window out of range");
   index_t cmask = 0;
   for (const qubit_t ctrl : gate.controls) {
     MEMQ_CHECK(ctrl >= c, "permutation gate has a local control");
@@ -176,10 +183,10 @@ void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate,
     const qubit_t q = gate.targets.at(0);
     MEMQ_CHECK(q >= c, "permutation X must target a high qubit");
     const qubit_t bit = q - c;
-    for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
-      if (bits::test(ci, bit)) continue;
-      if ((ci & cmask) != cmask) continue;
-      swap_pair(ci, bits::set(ci, bit));
+    for (index_t li = 0; li < count; ++li) {
+      if (bits::test(li, bit)) continue;
+      if ((li & cmask) != cmask) continue;
+      swap_pair(window_base + li, window_base + bits::set(li, bit));
     }
     return;
   }
@@ -187,10 +194,10 @@ void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate,
     const qubit_t a = gate.targets.at(0), b = gate.targets.at(1);
     MEMQ_CHECK(a >= c && b >= c, "permutation swap must be on high qubits");
     const qubit_t ba = a - c, bb = b - c;
-    for (index_t ci = 0; ci < store.n_chunks(); ++ci) {
-      if (!bits::test(ci, ba) || bits::test(ci, bb)) continue;
-      if ((ci & cmask) != cmask) continue;
-      swap_pair(ci, bits::set(bits::clear(ci, ba), bb));
+    for (index_t li = 0; li < count; ++li) {
+      if (!bits::test(li, ba) || bits::test(li, bb)) continue;
+      if ((li & cmask) != cmask) continue;
+      swap_pair(window_base + li, window_base + bits::set(bits::clear(li, ba), bb));
     }
     return;
   }

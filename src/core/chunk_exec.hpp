@@ -38,8 +38,14 @@ class ChunkCache;
 /// Executes a pure chunk-permutation gate (X or SWAP on high qubits with no
 /// local controls) directly on the compressed store — zero codec work.
 /// When a chunk cache is active, pass it so cached entries follow their
-/// blobs through the permutation.
+/// blobs through the permutation. An optional window [base, base + count)
+/// scopes the permutation to one batch member's chunk span: the gate's
+/// chunk-bit arithmetic runs on window-local indices, so the member behaves
+/// exactly like a standalone state of `count` chunks. count == 0 = whole
+/// store.
 void apply_chunk_permutation(ChunkStore& store, const circuit::Gate& gate,
-                             ChunkCache* cache = nullptr);
+                             ChunkCache* cache = nullptr,
+                             index_t window_base = 0,
+                             index_t window_count = 0);
 
 }  // namespace memq::core

@@ -29,6 +29,7 @@ ChunkStore::ChunkStore(qubit_t n_qubits, qubit_t chunk_qubits,
       constant_loads_(metrics::Registry::global().counter(
           "store.constant_chunks_materialized")),
       memo_hits_(metrics::Registry::global().counter("store.codec_memo_hits")),
+      clones_(metrics::Registry::global().counter("store.chunk_clones")),
       decode_bytes_(metrics::Registry::global().counter("codec.decode_bytes")),
       encode_bytes_(metrics::Registry::global().counter("codec.encode_bytes")),
       decode_ns_(metrics::Registry::global().histogram("codec.decode_ns")),
@@ -215,6 +216,20 @@ void ChunkStore::store_with(compress::ChunkCodec& codec, index_t i,
 void ChunkStore::swap_chunks(index_t i, index_t j) {
   MEMQ_CHECK(i < n_chunks() && j < n_chunks(), "chunk index out of range");
   blob_store_->swap(i, j);
+}
+
+void ChunkStore::clone_chunk(index_t src, index_t dst) {
+  MEMQ_CHECK(src < n_chunks() && dst < n_chunks(),
+             "chunk index out of range");
+  if (src == dst) return;
+  compress::ByteBuffer scratch;
+  const compress::ByteBuffer& blob = blob_store_->read(src, scratch);
+  compress::ByteBuffer copy(blob);
+  const std::int64_t before = static_cast<std::int64_t>(blob_store_->size(dst));
+  const std::int64_t after = static_cast<std::int64_t>(copy.size());
+  blob_store_->write(dst, std::move(copy));
+  bytes_g_.add(after - before);
+  clones_.add();
 }
 
 bool ChunkStore::is_zero_chunk(index_t i) const {

@@ -61,6 +61,16 @@ class ChunkStore {
   /// Swaps two chunks without decompressing (chunk-permutation stages).
   void swap_chunks(index_t i, index_t j);
 
+  /// Replaces chunk `dst` with a byte-for-byte copy of chunk `src`'s blob —
+  /// no codec pass on either side. Over a dedup backend the write hashes the
+  /// bytes and refcount-shares `src`'s physical slot, so a batch fan-out of
+  /// K identical prefixes costs one physical copy (PR 7 CoW splits them on
+  /// the first divergent store). Counted in clones(), not loads()/stores().
+  void clone_chunk(index_t src, index_t dst);
+
+  /// Chunks copied at blob level by clone_chunk (batch fan-out traffic).
+  std::uint64_t clones() const noexcept { return clones_.value(); }
+
   /// True if chunk `i` was stored as the all-zero fast path.
   bool is_zero_chunk(index_t i) const;
 
@@ -167,6 +177,7 @@ class ChunkStore {
   metrics::Counter& constant_stores_;
   metrics::Counter& constant_loads_;
   metrics::Counter& memo_hits_;
+  metrics::Counter& clones_;
   metrics::Counter& decode_bytes_;
   metrics::Counter& encode_bytes_;
   metrics::Histogram& decode_ns_;

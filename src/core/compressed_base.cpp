@@ -1,6 +1,7 @@
 #include "core/compressed_base.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -56,35 +57,56 @@ amp_t CompressedEngineBase::amplitude(index_t i) {
   return buf[phys & (pager_.chunk_amps() - 1)];
 }
 
+std::vector<ChunkJob> CompressedEngineBase::nonzero_jobs_window(
+    index_t base_chunk, index_t span) const {
+  std::vector<ChunkJob> jobs;
+  for (index_t ci = base_chunk; ci < base_chunk + span; ++ci)
+    if (!chunk_is_zero(ci)) jobs.push_back({ci, 0, false});
+  return jobs;
+}
+
 double CompressedEngineBase::norm() {
+  return norm_window(0, pager_.n_chunks());
+}
+
+double CompressedEngineBase::norm_window(index_t base_chunk, index_t span) {
   double s = 0.0;
-  pager_.sweep(pager_.nonzero_jobs(),
+  pager_.sweep(nonzero_jobs_window(base_chunk, span),
                [&](const ChunkJob&, std::span<amp_t> amps) {
                  double chunk_sum = 0.0;
                  for (const amp_t& a : amps) chunk_sum += std::norm(a);
                  s += chunk_sum;
-               });
+               },
+               /*timed=*/false, base_chunk, span);
   return s;
 }
 
 std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
     std::size_t shots) {
+  return sample_counts_window(shots, 0, pager_.n_chunks(), rng_);
+}
+
+std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts_window(
+    std::size_t shots, index_t base_chunk, index_t span, Prng& rng) {
   std::vector<double> u(shots);
-  for (auto& x : u) x = rng_.uniform();
+  for (auto& x : u) x = rng.uniform();
   std::sort(u.begin(), u.end());
 
   // Pass 1 — the only full sweep: per-chunk norms (compressed amplitudes do
   // not sum to exactly 1, so the CDF is rescaled by the true total).
-  const std::vector<ChunkJob> jobs = pager_.nonzero_jobs();
+  const std::vector<ChunkJob> jobs = nonzero_jobs_window(base_chunk, span);
   std::vector<double> chunk_norm;
   chunk_norm.reserve(jobs.size());
   double total = 0.0;
-  pager_.sweep(jobs, [&](const ChunkJob&, std::span<amp_t> amps) {
-    double chunk_sum = 0.0;
-    for (const amp_t& a : amps) chunk_sum += std::norm(a);
-    chunk_norm.push_back(chunk_sum);
-    total += chunk_sum;
-  });
+  pager_.sweep(
+      jobs,
+      [&](const ChunkJob&, std::span<amp_t> amps) {
+        double chunk_sum = 0.0;
+        for (const amp_t& a : amps) chunk_sum += std::norm(a);
+        chunk_norm.push_back(chunk_sum);
+        total += chunk_sum;
+      },
+      /*timed=*/false, base_chunk, span);
   MEMQ_CHECK(total > 0.0, "sampling from the zero state");
 
   // Plan which chunks actually contain sample thresholds: only those get a
@@ -112,7 +134,8 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
   std::map<index_t, std::uint64_t> counts;
   std::size_t next = 0;
   {
-    StatePager::ReadStream reader = pager_.open_read(std::move(needed_jobs));
+    StatePager::ReadStream reader =
+        pager_.open_read(std::move(needed_jobs), base_chunk, span);
     double cum = 0.0;
     std::size_t ni = 0;
     for (std::size_t k = 0; k < jobs.size() && next < shots; ++k) {
@@ -122,7 +145,8 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
         auto lease = reader.next();
         MEMQ_CHECK(lease.has_value(), "sample walk out of planned chunks");
         const std::span<const amp_t> amps = lease->amps();
-        const index_t base = jobs[k].a << pager_.chunk_qubits();
+        const index_t base = (jobs[k].a - base_chunk)
+                             << pager_.chunk_qubits();
         double local = cum;
         index_t last_nonzero = base;
         for (index_t j = 0; j < amps.size() && next < shots; ++j) {
@@ -158,7 +182,8 @@ std::map<index_t, std::uint64_t> CompressedEngineBase::sample_counts(
     MEMQ_CHECK(k_last < jobs.size(), "no probability mass to sample");
     std::vector<amp_t> buf(pager_.chunk_amps());
     pager_.peek(jobs[k_last].a, buf);
-    const index_t base = jobs[k_last].a << pager_.chunk_qubits();
+    const index_t base = (jobs[k_last].a - base_chunk)
+                         << pager_.chunk_qubits();
     index_t last_nonzero = base;
     for (index_t j = 0; j < buf.size(); ++j)
       if (std::norm(buf[j]) > 0) last_nonzero = base + j;
@@ -188,6 +213,30 @@ sv::StateVector CompressedEngineBase::to_dense() {
   return out;
 }
 
+sv::StateVector CompressedEngineBase::to_dense_window(index_t base_chunk,
+                                                      index_t span) {
+  MEMQ_CHECK(span > 0 && (span & (span - 1)) == 0 &&
+                 base_chunk + span <= pager_.n_chunks(),
+             "to_dense_window needs a power-of-two span inside the store");
+  MEMQ_CHECK(layout_.is_identity(),
+             "to_dense_window requires an identity qubit layout");
+  const qubit_t c = pager_.chunk_qubits();
+  const auto member_qubits =
+      static_cast<qubit_t>(c + std::countr_zero(span));
+  MEMQ_CHECK(member_qubits <= 28, "to_dense_window beyond 28 qubits");
+  sv::StateVector out(member_qubits);
+  auto amps = out.amplitudes();
+  std::fill(amps.begin(), amps.end(), amp_t{0, 0});
+  pager_.sweep(
+      nonzero_jobs_window(base_chunk, span),
+      [&](const ChunkJob& job, std::span<amp_t> chunk) {
+        const index_t base = (job.a - base_chunk) << c;
+        std::copy(chunk.begin(), chunk.end(), amps.begin() + base);
+      },
+      /*timed=*/false, base_chunk, span);
+  return out;
+}
+
 double CompressedEngineBase::expectation(const sv::PauliString& pauli_in) {
   MEMQ_CHECK(pauli_in.ops.size() == n_qubits(),
              "Pauli string length " << pauli_in.ops.size()
@@ -198,13 +247,29 @@ double CompressedEngineBase::expectation(const sv::PauliString& pauli_in) {
     for (qubit_t q = 0; q < n_qubits(); ++q)
       pauli.ops[layout_.physical(q)] = pauli_in.ops[q];
   }
+  return expectation_window(pauli, 0, pager_.n_chunks());
+}
+
+double CompressedEngineBase::expectation_window(const sv::PauliString& pauli,
+                                                index_t base_chunk,
+                                                index_t span) {
+  const qubit_t c = pager_.chunk_qubits();
+  const auto member_qubits =
+      static_cast<qubit_t>(c + std::countr_zero(span));
+  MEMQ_CHECK(span > 0 && (span & (span - 1)) == 0 &&
+                 base_chunk + span <= pager_.n_chunks(),
+             "expectation_window needs a power-of-two span inside the store");
+  MEMQ_CHECK(pauli.ops.size() == member_qubits,
+             "Pauli string length " << pauli.ops.size()
+                                    << " != member qubit count "
+                                    << member_qubits);
   // P|b> = i^{nY} (-1)^{popcount(b & (Y|Z))} |b ^ (X|Y)>, so
   // <P> = sum_i conj(psi_i) * phase(i ^ xmask) * psi_{i ^ xmask},
   // evaluated chunk against partner chunk (the X/Y pattern on high qubits
   // selects the partner; low bits permute within the chunk).
   index_t xmask = 0, yzmask = 0;
   int n_y = 0;
-  for (qubit_t q = 0; q < n_qubits(); ++q) {
+  for (qubit_t q = 0; q < member_qubits; ++q) {
     switch (pauli.ops[q]) {
       case 'I':
         break;
@@ -228,35 +293,41 @@ double CompressedEngineBase::expectation(const sv::PauliString& pauli_in) {
       {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
   const amp_t y_phase = kIPowers[n_y % 4];
 
-  const qubit_t c = pager_.chunk_qubits();
   const index_t x_high = xmask >> c;
   const index_t x_low = xmask & (pager_.chunk_amps() - 1);
   const index_t half = pager_.chunk_amps();
 
   // Chunk + partner co-load as one pair job; the reduction runs on the
   // coordinator in chunk order (deterministic for any codec_threads).
+  // Partner selection runs on window-local chunk indices, so a member span
+  // behaves exactly like a standalone state of member_qubits qubits.
   std::vector<ChunkJob> jobs;
-  for (index_t ci = 0; ci < pager_.n_chunks(); ++ci) {
-    const index_t cj = ci ^ x_high;
+  for (index_t li = 0; li < span; ++li) {
+    const index_t ci = base_chunk + li;
+    const index_t cj = base_chunk + (li ^ x_high);
     if (chunk_is_zero(ci) || chunk_is_zero(cj)) continue;
     jobs.push_back({ci, cj, cj != ci});
   }
   amp_t total{0, 0};
-  pager_.sweep(jobs, [&](const ChunkJob& job, std::span<amp_t> amps) {
-    const std::span<const amp_t> self =
-        std::span<const amp_t>(amps).first(half);
-    const std::span<const amp_t> other =
-        job.has_b ? std::span<const amp_t>(amps).subspan(half, half) : self;
-    const index_t base = job.a << c;
-    amp_t chunk_sum{0, 0};
-    for (index_t l = 0; l < self.size(); ++l) {
-      const index_t j = (base | l) ^ xmask;
-      const amp_t value = other[l ^ x_low];
-      const double sign = bits::popcount(j & yzmask) & 1 ? -1.0 : 1.0;
-      chunk_sum += std::conj(self[l]) * (sign * value);
-    }
-    total += chunk_sum;
-  });
+  pager_.sweep(
+      jobs,
+      [&](const ChunkJob& job, std::span<amp_t> amps) {
+        const std::span<const amp_t> self =
+            std::span<const amp_t>(amps).first(half);
+        const std::span<const amp_t> other =
+            job.has_b ? std::span<const amp_t>(amps).subspan(half, half)
+                      : self;
+        const index_t base = (job.a - base_chunk) << c;
+        amp_t chunk_sum{0, 0};
+        for (index_t l = 0; l < self.size(); ++l) {
+          const index_t j = (base | l) ^ xmask;
+          const amp_t value = other[l ^ x_low];
+          const double sign = bits::popcount(j & yzmask) & 1 ? -1.0 : 1.0;
+          chunk_sum += std::conj(self[l]) * (sign * value);
+        }
+        total += chunk_sum;
+      },
+      /*timed=*/false, base_chunk, span);
   total *= y_phase;
   // Hermitian observable: the imaginary part is numerical noise.
   return total.real();

@@ -33,6 +33,23 @@ class CompressedEngineBase : public Engine {
   void load_state(const std::string& path) override;
   const EngineTelemetry& telemetry() const override { return telemetry_; }
 
+  // ---- batch-member window queries (core/batch_scheduler.hpp) -----------
+  // Each treats chunks [base_chunk, base_chunk + span) as a standalone
+  // member state of log2(span) + chunk_qubits qubits. The whole-state
+  // queries are the base_chunk = 0, span = n_chunks() specialization of
+  // these (norm() and sample_counts() literally delegate), so a batch
+  // member whose chunks byte-match a serial engine's produces bit-identical
+  // query results. They require an identity qubit layout (the batch
+  // scheduler rejects layout optimizations).
+  double norm_window(index_t base_chunk, index_t span);
+  std::map<index_t, std::uint64_t> sample_counts_window(std::size_t shots,
+                                                        index_t base_chunk,
+                                                        index_t span,
+                                                        Prng& rng);
+  sv::StateVector to_dense_window(index_t base_chunk, index_t span);
+  double expectation_window(const sv::PauliString& pauli, index_t base_chunk,
+                            index_t span);
+
   /// Compressed footprint right now (benches poll this mid-run).
   std::uint64_t compressed_bytes() const { return pager_.compressed_bytes(); }
   const ChunkStore& store() const { return pager_.store(); }
@@ -45,6 +62,11 @@ class CompressedEngineBase : public Engine {
   qubit_t chunk_qubits() const noexcept { return pager_.chunk_qubits(); }
   index_t n_chunks() const noexcept { return pager_.n_chunks(); }
   index_t chunk_amps() const noexcept { return pager_.chunk_amps(); }
+
+  /// Jobs for every non-zero chunk in [base_chunk, base_chunk + span), in
+  /// chunk order — the window twin of StatePager::nonzero_jobs().
+  std::vector<ChunkJob> nonzero_jobs_window(index_t base_chunk,
+                                            index_t span) const;
 
   /// Measures qubit q across the chunked state: returns the outcome and
   /// collapses + renormalizes. Used for measure and reset gates.

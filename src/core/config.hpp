@@ -11,6 +11,15 @@
 
 namespace memq::core {
 
+/// How a batch's K member circuits are derived from the CLI input
+/// (core/batch_scheduler.hpp expands them; --batch-mode selects).
+enum class BatchMode : std::uint8_t {
+  kCircuits,      ///< K distinct caller-supplied circuits
+  kShots,         ///< one circuit, K repeated-shot sampling members
+  kSweep,         ///< one circuit, K rotation-parameter variants
+  kTrajectories,  ///< one circuit, K seeded noise trajectories
+};
+
 /// Where compressed chunk blobs live (core/blob_store.hpp).
 enum class StoreBackend : std::uint8_t {
   kRam,   ///< everything in host RAM (historical behavior, default)
@@ -128,6 +137,18 @@ struct EngineConfig {
 
   /// PRNG seed for measurement sampling.
   std::uint64_t seed = 20231112;
+
+  /// Batched throughput mode (--batch K): number of independent member
+  /// circuits executed together by core/batch_scheduler.hpp. 1 = batching
+  /// off (the plain run() path). The scheduler widens one MemQSim engine
+  /// over ceil(log2(K)) member-index qubits and executes shared stage
+  /// prefixes once per decompressed chunk, fanning the state out to member
+  /// windows only where their plans diverge.
+  std::uint32_t batch_size = 1;
+
+  /// How the K members are derived (--batch-mode). Ignored when
+  /// batch_size == 1.
+  BatchMode batch_mode = BatchMode::kShots;
 };
 
 }  // namespace memq::core

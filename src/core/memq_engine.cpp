@@ -279,11 +279,7 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
 
   pager_.clear_plan();  // back to LRU for post-run sweeps
 
-  // Drain every device before reporting.
-  for (DeviceContext& ctx : devices_) {
-    ctx.device->sync_host(*ctx.d2h);
-    ctx.device->sync_host(*ctx.compute);
-  }
+  sync_devices();  // drain every device before reporting
   telemetry_.wall_seconds += wall.seconds();
   collect_device_telemetry();
   refresh_footprint_telemetry();
@@ -306,10 +302,67 @@ void MemQSimEngine::run(const circuit::Circuit& circuit) {
   }
 }
 
-void MemQSimEngine::run_permute_stage(const Stage& stage) {
+StagePlan MemQSimEngine::plan_for(const circuit::Circuit& circuit) {
+  MEMQ_CHECK(circuit.n_qubits() >= chunk_qubits() &&
+                 circuit.n_qubits() <= n_qubits(),
+             "member circuit width " << circuit.n_qubits()
+                                     << " out of range for a "
+                                     << n_qubits() << "-qubit batch engine");
+  MEMQ_CHECK(!config_.optimize_layout && !config_.elide_swaps,
+             "batch planning requires the identity layout "
+             "(disable optimize_layout / elide_swaps)");
+  // Mirrors run()'s prepare(): with the identity layout and swap elision
+  // off, the only transform left is 1q-run fusion — so a serial engine with
+  // the same config schedules this exact stage sequence.
+  circuit::Circuit mapped = circuit;
+  if (config_.fuse_single_qubit_runs) mapped = circuit::fuse_1q_runs(mapped);
+  const index_t span = index_t{1} << (circuit.n_qubits() - chunk_qubits());
+  const PlanOptOptions opt{chunk_qubits(), config_.cache_budget_bytes,
+                           (index_t{1} << chunk_qubits()) * sizeof(amp_t),
+                           span};
+  if (config_.plan_opt) return build_optimized_plan(mapped, opt);
+  StagePlan plan = partition(mapped, chunk_qubits());
+  plan.cost = estimate_plan_cost(plan, opt);
+  return plan;
+}
+
+void MemQSimEngine::run_stage_window(const Stage& stage, index_t base,
+                                     index_t span, std::size_t access_index) {
+  state_is_fresh_ = false;
+  pager_.begin_stage(access_index);
+  metrics::ScopedTimer stage_timer(stage_ns_);
+  switch (stage.kind) {
+    case StageKind::kLocal:
+      ++telemetry_.stages_local;
+      run_local_stage(stage, base, span);
+      break;
+    case StageKind::kPair:
+      ++telemetry_.stages_pair;
+      run_pair_stage(stage, base, span);
+      break;
+    case StageKind::kPermute:
+      ++telemetry_.stages_permute;
+      run_permute_stage(stage, base, span);
+      break;
+    case StageKind::kMeasure:
+      MEMQ_THROW(InvalidArgument,
+                 "measure stages are not batchable (the scheduler rejects "
+                 "measure/reset circuits up front)");
+  }
+}
+
+void MemQSimEngine::sync_devices() {
+  for (DeviceContext& ctx : devices_) {
+    ctx.device->sync_host(*ctx.d2h);
+    ctx.device->sync_host(*ctx.compute);
+  }
+}
+
+void MemQSimEngine::run_permute_stage(const Stage& stage, index_t base,
+                                      index_t span) {
   // Compressed-form permutation: only blob pointers move.
   WallTimer t;
-  pager_.permute(stage.gates.at(0));
+  pager_.permute(stage.gates.at(0), base, span);
   const double dt = t.seconds();
   telemetry_.cpu_phases.add("permute", dt);
   charge_cpu(dt / config_.cpu_codec_workers);
@@ -409,7 +462,8 @@ struct OffloadPicker {
 }  // namespace
 
 void MemQSimEngine::run_stream_stage(const Stage& stage,
-                                     std::vector<ChunkJob> jobs) {
+                                     std::vector<ChunkJob> jobs,
+                                     index_t base) {
   struct InFlight {
     StatePager::Lease lease;
     device::Event done;
@@ -435,10 +489,13 @@ void MemQSimEngine::run_stream_stage(const Stage& stage,
 
   while (auto lease = io.next()) {
     ++work_items_;
+    // Kernels index chunks member-locally: a batch member's window behaves
+    // bit-identically to a standalone state (base = 0 on the serial path).
+    const index_t chunk_lo = lease->chunk() - base;
 
     if (offload.pick()) {
       // Step (5): this work item is updated by idle CPU cores.
-      const bool modified = cpu_apply(lease->amps(), stage, lease->chunk());
+      const bool modified = cpu_apply(lease->amps(), stage, chunk_lo);
       io.release(std::move(*lease), modified);
       continue;
     }
@@ -452,7 +509,7 @@ void MemQSimEngine::run_stream_stage(const Stage& stage,
         (!job.has_b || pager_.is_constant(job.b));
 
     const auto [modified, done] =
-        device_round_trip(lease->amps(), stage, lease->chunk(), constant_src);
+        device_round_trip(lease->amps(), stage, chunk_lo, constant_src);
     in_flight.push_back({std::move(*lease), done, modified});
 
     if (!config_.pipelined) {
@@ -465,31 +522,39 @@ void MemQSimEngine::run_stream_stage(const Stage& stage,
   io.finish();
 }
 
-void MemQSimEngine::run_local_stage(const Stage& stage) {
+void MemQSimEngine::run_local_stage(const Stage& stage, index_t base,
+                                    index_t span) {
+  const index_t count = span != 0 ? span : n_chunks();
   std::vector<ChunkJob> jobs;
-  for (index_t ci = 0; ci < n_chunks(); ++ci) {
+  for (index_t li = 0; li < count; ++li) {
+    const index_t ci = base + li;
     if (chunk_is_zero(ci)) {
       zero_skips_.add();
       continue;  // unitary gates keep the zero subspace zero
     }
     jobs.push_back({ci, 0, false});
   }
-  run_stream_stage(stage, std::move(jobs));
+  run_stream_stage(stage, std::move(jobs), base);
 }
 
-void MemQSimEngine::run_pair_stage(const Stage& stage) {
+void MemQSimEngine::run_pair_stage(const Stage& stage, index_t base,
+                                   index_t span) {
+  const index_t count = span != 0 ? span : n_chunks();
   const qubit_t pair_bit = stage.pair_qubit - chunk_qubits();
   std::vector<ChunkJob> jobs;
-  for (index_t ci = 0; ci < n_chunks(); ++ci) {
-    if (bits::test(ci, pair_bit)) continue;
-    const index_t cj = bits::set(ci, pair_bit);
+  // Pairing runs on member-local indices: the pair bit is a bit of the
+  // member's own chunk address, never of the member-index qubits above it.
+  for (index_t li = 0; li < count; ++li) {
+    if (bits::test(li, pair_bit)) continue;
+    const index_t ci = base + li;
+    const index_t cj = base + bits::set(li, pair_bit);
     if (chunk_is_zero(ci) && chunk_is_zero(cj)) {
       zero_skips_.add();
       continue;
     }
     jobs.push_back({ci, cj, true});
   }
-  run_stream_stage(stage, std::move(jobs));
+  run_stream_stage(stage, std::move(jobs), base);
 }
 
 void MemQSimEngine::collect_device_telemetry() {

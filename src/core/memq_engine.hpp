@@ -43,6 +43,44 @@ class MemQSimEngine final : public CompressedEngineBase {
   /// Per-stage counter deltas + stall accounting of the last run().
   const StageReport* stage_report() const override { return &report_; }
 
+  // ---- batch execution hooks (core/batch_scheduler.hpp) -----------------
+  // The batch scheduler widens one engine over member-index qubits and
+  // drives it stage-by-stage through these, so every member's execution
+  // reuses exactly the serial stage machinery (same jobs, same kernels,
+  // same codec passes) — the foundation of the batch-vs-serial bit-identity
+  // oracle.
+
+  /// Builds the stage plan run() would execute for `circuit`, which may be
+  /// narrower than the engine (member circuits of a widened batch engine).
+  /// Requires the batch-legal config subset — no layout optimization, no
+  /// swap elision — so the prepared circuit is exactly what a serial engine
+  /// with the same config schedules. Pure: no state or telemetry changes.
+  StagePlan plan_for(const circuit::Circuit& circuit);
+
+  /// Executes one non-measure stage of a member plan against the chunk
+  /// window [base, base + span): advances the cache's plan cursor to
+  /// `access_index` (the stage's slot in the installed batch StageAccess
+  /// schedule) and dispatches with member-local chunk arithmetic.
+  void run_stage_window(const Stage& stage, index_t base, index_t span,
+                        std::size_t access_index);
+
+  /// Installs / clears the merged batch StageAccess schedule (one entry per
+  /// run_stage_window access_index, windows included) on the cache.
+  void install_batch_plan(std::vector<StageAccess> accesses) {
+    pager_.set_plan(std::move(accesses));
+  }
+  void clear_batch_plan() { pager_.clear_plan(); }
+
+  /// Member fan-out: blob-level clone of [src_base, src_base + count) onto
+  /// [dst_base, ...) with no codec pass (StatePager::fanout).
+  void fanout_chunks(index_t src_base, index_t dst_base, index_t count) {
+    pager_.fanout(src_base, dst_base, count);
+  }
+
+  /// Drains every modeled device stream (run() does this before reporting;
+  /// the batch scheduler calls it once after the last member stage).
+  void sync_devices();
+
  private:
   struct Slot {
     device::DeviceBuffer state;
@@ -63,14 +101,22 @@ class MemQSimEngine final : public CompressedEngineBase {
 
   void charge_cpu(double seconds) override;
 
-  void run_local_stage(const Stage& stage);
-  void run_pair_stage(const Stage& stage);
-  void run_permute_stage(const Stage& stage);
+  /// Stage runners. The optional window [base, base + span) scopes the
+  /// stage to one batch member's chunk span; kernels see MEMBER-LOCAL chunk
+  /// indices (physical - base), so a member executes bit-identically to a
+  /// standalone engine of span chunks. base = 0 / span = 0 is the whole
+  /// store — the historical serial path, byte for byte.
+  void run_local_stage(const Stage& stage, index_t base = 0, index_t span = 0);
+  void run_pair_stage(const Stage& stage, index_t base = 0, index_t span = 0);
+  void run_permute_stage(const Stage& stage, index_t base = 0,
+                         index_t span = 0);
 
   /// Shared online-stage loop: streams `jobs` decompress -> device round
   /// trip -> recompress, with codec work fanned across the codec pool
-  /// (bounded in-flight window) or run inline in serial mode.
-  void run_stream_stage(const Stage& stage, std::vector<ChunkJob> jobs);
+  /// (bounded in-flight window) or run inline in serial mode. `base` is
+  /// subtracted from each lease's chunk index before it reaches a kernel.
+  void run_stream_stage(const Stage& stage, std::vector<ChunkJob> jobs,
+                        index_t base = 0);
 
   /// Streams one work item (a chunk or a chunk pair, already decompressed
   /// into `host_buf`) through upload -> kernels -> download on the next

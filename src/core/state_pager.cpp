@@ -272,8 +272,8 @@ std::vector<ChunkJob> StatePager::nonzero_jobs() const {
 void StatePager::sweep(
     std::vector<ChunkJob> jobs,
     const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
-    bool timed) {
-  SweepPlanGuard sweep_plan(cache());
+    bool timed, index_t window_base, index_t window_count) {
+  SweepPlanGuard sweep_plan(cache(), window_base, window_count);
   CachedReader reader(store_, codec_pool(), buffers_, inflight_, cache(),
                       std::move(jobs), reader_window());
   while (auto item = reader.next()) {
@@ -295,9 +295,10 @@ struct StatePager::ReadStream::Impl {
   SweepPlanGuard plan_guard;
   CachedReader reader;
 
-  Impl(StatePager* p, std::vector<ChunkJob> jobs)
+  Impl(StatePager* p, std::vector<ChunkJob> jobs, index_t window_base,
+       index_t window_count)
       : pager(p),
-        plan_guard(p->cache()),
+        plan_guard(p->cache(), window_base, window_count),
         reader(p->store_, p->codec_pool(), p->buffers_, p->inflight_,
                p->cache(), std::move(jobs), p->reader_window()) {}
 };
@@ -327,8 +328,11 @@ void StatePager::ReadStream::recycle(Lease lease) {
   impl_->reader.recycle(std::move(lease.buf_));
 }
 
-StatePager::ReadStream StatePager::open_read(std::vector<ChunkJob> jobs) {
-  return ReadStream(std::make_unique<ReadStream::Impl>(this, std::move(jobs)));
+StatePager::ReadStream StatePager::open_read(std::vector<ChunkJob> jobs,
+                                             index_t window_base,
+                                             index_t window_count) {
+  return ReadStream(std::make_unique<ReadStream::Impl>(
+      this, std::move(jobs), window_base, window_count));
 }
 
 struct StatePager::StageStream::Impl {
@@ -528,8 +532,31 @@ void StatePager::export_dense(std::span<amp_t> amps) {
   }
 }
 
-void StatePager::permute(const circuit::Gate& gate) {
-  apply_chunk_permutation(store_, gate, cache());
+void StatePager::permute(const circuit::Gate& gate, index_t window_base,
+                         index_t window_count) {
+  apply_chunk_permutation(store_, gate, cache(), window_base, window_count);
+}
+
+void StatePager::fanout(index_t src_base, index_t dst_base, index_t count) {
+  MEMQ_CHECK(count > 0 && src_base + count <= store_.n_chunks() &&
+                 dst_base + count <= store_.n_chunks(),
+             "fanout window out of range");
+  MEMQ_CHECK(src_base + count <= dst_base || dst_base + count <= src_base,
+             "fanout windows overlap");
+  for (index_t i = 0; i < count; ++i) {
+    MEMQ_CHECK(leased_.count(src_base + i) == 0 &&
+                   leased_.count(dst_base + i) == 0,
+               "fanout over a live lease");
+  }
+  if (cache_) {
+    // Source blobs must reflect dirty residents before their bytes are
+    // copied; destination residents would shadow the clones.
+    cache_->flush();
+    harvest_cache_timings();
+    for (index_t i = 0; i < count; ++i) cache_->drop(dst_base + i);
+  }
+  for (index_t i = 0; i < count; ++i)
+    store_.clone_chunk(src_base + i, dst_base + i);
 }
 
 // ---- cache plan forwarding ------------------------------------------------

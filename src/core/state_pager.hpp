@@ -124,9 +124,13 @@ class StatePager {
   /// codec_threads. With `timed`, decompress seconds land in telemetry and
   /// the modeled clock is charged (measured parallel wait in pool mode,
   /// dt / cpu_codec_workers in serial mode).
+  /// `window_base`/`window_count` scope the sweep's plan guard to a chunk
+  /// window (batch-member queries): slots outside it carry no scheduled
+  /// next use, so sibling members' residents evict first. 0/0 = whole store.
   void sweep(std::vector<ChunkJob> jobs,
              const std::function<void(const ChunkJob&, std::span<amp_t>)>& fn,
-             bool timed = false);
+             bool timed = false, index_t window_base = 0,
+             index_t window_count = 0);
 
   /// Incremental read-only stream over `jobs` (the sweep, inverted for
   /// callers that interleave other work — the sample-counts CDF walk).
@@ -145,7 +149,8 @@ class StatePager {
     explicit ReadStream(std::unique_ptr<Impl> impl);
     std::unique_ptr<Impl> impl_;
   };
-  ReadStream open_read(std::vector<ChunkJob> jobs);
+  ReadStream open_read(std::vector<ChunkJob> jobs, index_t window_base = 0,
+                       index_t window_count = 0);
 
   /// The online-stage read-modify-write stream: leases come out in job
   /// order with the split decode-ahead window; release() routes modified
@@ -185,7 +190,22 @@ class StatePager {
 
   /// Compressed-form chunk permutation (blob pointers move; the cache
   /// follows its blobs). Untimed — callers own the "permute" phase timer.
-  void permute(const circuit::Gate& gate);
+  /// With a window, the permutation's chunk-bit arithmetic runs on
+  /// window-local indices and only slots in [base, base + count) move —
+  /// the batch scheduler permutes one member's span without disturbing
+  /// siblings. 0/0 = whole store (historical behavior).
+  void permute(const circuit::Gate& gate, index_t window_base = 0,
+               index_t window_count = 0);
+
+  /// Batch fan-out: replaces chunks [dst_base, dst_base + count) with
+  /// blob-level copies of [src_base, src_base + count) — one read of each
+  /// source blob serves the member copy with NO codec pass (over a dedup
+  /// backend the copies refcount-share the source's physical slots until a
+  /// divergent write CoW-splits them). Flushes dirty cache residents first
+  /// so the source blobs are authoritative, and drops destination residents
+  /// so the cache never shadows the cloned state. Both windows must be
+  /// lease-free and disjoint.
+  void fanout(index_t src_base, index_t dst_base, index_t count);
 
   /// Resets to |0...0> and clears all pipeline state (not the telemetry —
   /// the engine owns that).

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "core/batch_scheduler.hpp"
+
 namespace memq::core {
 
 void stage_row_json(std::ostream& os, const StageRow& r, const char* indent) {
@@ -33,7 +35,8 @@ void stage_row_json(std::ostream& os, const StageRow& r, const char* indent) {
 
 void write_telemetry_json(std::ostream& os, const EngineTelemetry& t,
                           const StageReport* rep,
-                          const std::string& head_fields, bool faults_armed) {
+                          const std::string& head_fields, bool faults_armed,
+                          const BatchStats* batch) {
   const double dec_s = t.cpu_phases.get("decompress");
   const double enc_s = t.cpu_phases.get("recompress");
   os << "{\n"
@@ -97,6 +100,23 @@ void write_telemetry_json(std::ostream& os, const EngineTelemetry& t,
        << ", \"permute_stages\": " << rep->plan_permute_stages
        << ", \"measure_stages\": " << rep->plan_measure_stages
        << ", \"gates_per_codec_pass\": " << rep->plan_gates_per_codec_pass
+       << "},\n";
+  }
+  // Schema 8: batched-throughput-mode stats, present only for --batch runs.
+  if (batch != nullptr) {
+    os << "  \"batch\": {\"members\": " << batch->members
+       << ", \"padded_members\": " << batch->padded_members
+       << ", \"member_index_qubits\": "
+       << static_cast<unsigned>(batch->member_index_qubits)
+       << ", \"total_member_stages\": " << batch->total_member_stages
+       << ", \"executed_stages\": " << batch->executed_stages
+       << ", \"shared_stages\": " << batch->shared_stages
+       << ", \"clone_chunks\": " << batch->clone_chunks
+       << ", \"chunk_loads\": " << batch->chunk_loads
+       << ", \"chunk_stores\": " << batch->chunk_stores
+       << ", \"wall_seconds\": " << batch->wall_seconds
+       << ", \"circuits_per_second\": " << batch->circuits_per_second
+       << ", \"amortized_mb_per_s\": " << batch->amortized_mb_per_s
        << "},\n";
   }
   // Schema 7: run-window latency percentiles, keyed by histogram name.

@@ -10,6 +10,11 @@
 //       the common/metrics.hpp histograms, keyed by histogram name. The
 //       section is present only when metrics timing was armed during the
 //       run (see metrics::arm_timing); every schema-6 field is unchanged.
+//   8 — adds the "batch" section (core/batch_scheduler.hpp): member count,
+//       widening, shared vs total member stages, fan-out clone chunks,
+//       measured codec passes, circuits/sec and amortized MB/s. Present
+//       only for `memq run --batch K` runs; every schema-7 field is
+//       unchanged.
 #pragma once
 
 #include <iosfwd>
@@ -20,8 +25,10 @@
 
 namespace memq::core {
 
+struct BatchStats;
+
 /// Bump when the telemetry JSON document shape changes. Asserted by CI.
-inline constexpr int kTelemetrySchemaVersion = 7;
+inline constexpr int kTelemetrySchemaVersion = 8;
 
 /// One stage-report row as a compact JSON object (no trailing newline).
 void stage_row_json(std::ostream& os, const StageRow& r, const char* indent);
@@ -33,8 +40,11 @@ void stage_row_json(std::ostream& os, const StageRow& r, const char* indent);
 /// schema_version, so the CLI can record engine/codec/backend settings the
 /// serializer has no business knowing about. Pass "" for none.
 /// `rep` may be null (engines without a stage plan).
+/// `batch` may be null (non-batch runs); when set, the schema-8 "batch"
+/// section is emitted from it.
 void write_telemetry_json(std::ostream& os, const EngineTelemetry& t,
                           const StageReport* rep,
-                          const std::string& head_fields, bool faults_armed);
+                          const std::string& head_fields, bool faults_armed,
+                          const BatchStats* batch = nullptr);
 
 }  // namespace memq::core

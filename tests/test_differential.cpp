@@ -15,6 +15,7 @@
 
 #include "circuit/workloads.hpp"
 #include "common/prng.hpp"
+#include "core/batch_scheduler.hpp"
 #include "core/engine.hpp"
 
 namespace memq::core {
@@ -268,6 +269,63 @@ TEST(DifferentialOracle, PlanOptOnAndOffBothMatchDense) {
                   kTolerance)
             << "amplitude " << k << " plan_opt="
             << (plan_opt ? "on" : "off") << "; " << repro;
+    }
+  }
+}
+
+TEST(DifferentialOracle, BatchMembersBitIdenticalToSerialAcrossMatrix) {
+  // ISSUE 10: the batch-vs-serial oracle. Every member of a K-batch must be
+  // BIT-identical to its own serial run (fresh engine, seed + m) across
+  // {codec_threads} x {ram, file} x {dedup on, off} x {cache budgets}.
+  // Cache-off arms run the default lossy szq — the batch pays exactly the
+  // same codec round trips per chunk as the serial run, so even lossy
+  // results match bit for bit. Cache-on arms switch to the lossless null
+  // codec: a cache lets the serial run skip lossy round trips the batch
+  // fan-out forces, so szq bit-identity is only contractual with the cache
+  // off (see core/batch_scheduler.hpp).
+  constexpr std::uint32_t kK = 4;
+  for (std::size_t m = 0; m < sizeof(kMatrix) / sizeof(kMatrix[0]); ++m) {
+    for (const bool dedup : {true, false}) {
+      const CaseConfig& cc = kMatrix[m];
+      const std::uint64_t seed = 10100 + m;
+      const qubit_t n = 7;
+      const qubit_t chunk = 4;
+      EngineConfig cfg = make_cfg(cc, chunk);
+      cfg.dedup = dedup;
+      cfg.batch_size = kK;
+      if (cc.cache_chunks != 0) cfg.codec.compressor = "null";
+      const std::string repro = reproducer(seed, n, 4, chunk, cc) +
+                                " batch=4 dedup=" + (dedup ? "on" : "off") +
+                                " codec=" + cfg.codec.compressor;
+      SCOPED_TRACE(repro);
+
+      // Shared random prefix, then a member-specific rotation — the fork
+      // tree shares the prefix and executes the tails solo.
+      std::vector<circuit::Circuit> members;
+      for (std::uint32_t k = 0; k < kK; ++k) {
+        circuit::Circuit c = circuit::make_random_circuit(n, 4, seed, true);
+        c.rz(0, 0.3 + 0.4 * static_cast<double>(k));
+        members.push_back(std::move(c));
+      }
+
+      BatchScheduler batch(n, cfg);
+      batch.run(members);
+      for (std::uint32_t k = 0; k < kK; ++k) {
+        EngineConfig one = cfg;
+        one.batch_size = 1;
+        one.seed = cfg.seed + k;
+        auto serial = make_engine(EngineKind::kMemQSim, n, one);
+        serial->run(members[k]);
+        const auto expected = serial->to_dense();
+        const auto got = batch.member_dense(k);
+        for (index_t i = 0; i < dim_of(n); ++i) {
+          const amp_t x = got.amplitude(i);
+          const amp_t y = expected.amplitude(i);
+          ASSERT_TRUE(x.real() == y.real() && x.imag() == y.imag())
+              << "member " << k << " amplitude " << i
+              << " differs from its serial run; " << repro;
+        }
+      }
     }
   }
 }

@@ -19,6 +19,7 @@
 #include "circuit/workloads.hpp"
 #include "common/error.hpp"
 #include "common/faultpoint.hpp"
+#include "core/batch_scheduler.hpp"
 #include "core/blob_store.hpp"
 #include "core/engine.hpp"
 
@@ -59,9 +60,27 @@ std::vector<amp_t> dense_of(Engine& engine) {
   return out;
 }
 
-// Runs the circuit, checkpoints, restores into a fresh engine, and returns
-// the restored amplitudes — touching spill reads/writes/allocation, codec
-// decodes, cache write-backs, lease acquisition, and checkpoint save/load.
+// Two batch members whose plans share the whole scenario prefix, then
+// member 1 continues alone — the post-divergence solo stages are where
+// batch.member.abort can fire.
+std::vector<circuit::Circuit> batch_members() {
+  const circuit::Circuit base = scenario_circuit();
+  circuit::Circuit longer = base;
+  longer.rz(0, 0.7);
+  longer.h(1);
+  return {base, longer};
+}
+
+// Runs the circuit, checkpoints, restores into a fresh engine, then runs a
+// two-member batch — touching spill reads/writes/allocation, codec decodes,
+// cache write-backs, lease acquisition, checkpoint save/load, and the batch
+// scheduler's member-abort boundary. Returns the restored amplitudes
+// followed by both members' amplitudes. An aborted batch member (site
+// batch.member.abort) reports its serial result instead: the documented
+// contract is that the abort corrupts nothing BUT the aborted window, so
+// substituting the serial run keeps the output bit-identical to a
+// fault-free scenario. The batch leg uses the lossless null codec so batch
+// and serial member amplitudes agree bit for bit despite the cache.
 std::vector<amp_t> run_scenario(const EngineConfig& cfg,
                                 const std::string& ckpt) {
   auto engine = make_engine(EngineKind::kMemQSim, 6, cfg);
@@ -69,7 +88,27 @@ std::vector<amp_t> run_scenario(const EngineConfig& cfg,
   engine->save_state(ckpt);
   auto fresh = make_engine(EngineKind::kMemQSim, 6, cfg);
   fresh->load_state(ckpt);
-  return dense_of(*fresh);
+  std::vector<amp_t> out = dense_of(*fresh);
+
+  EngineConfig bcfg = cfg;
+  bcfg.codec.compressor = "null";
+  bcfg.batch_size = 2;
+  const auto members = batch_members();
+  BatchScheduler batch(6, bcfg);
+  batch.run(members);
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    sv::StateVector dense = [&] {
+      if (!batch.member_aborted(m)) return batch.member_dense(m);
+      EngineConfig one = bcfg;
+      one.batch_size = 1;
+      one.seed = bcfg.seed + m;
+      auto serial = make_engine(EngineKind::kMemQSim, 6, one);
+      serial->run(members[m]);
+      return serial->to_dense();
+    }();
+    for (index_t i = 0; i < dim_of(6); ++i) out.push_back(dense.amplitude(i));
+  }
+  return out;
 }
 
 bool bit_identical(const std::vector<amp_t>& a, const std::vector<amp_t>& b) {
@@ -375,6 +414,57 @@ TEST_F(FaultPlaneTest, WorkerDecodeFaultSurfacesAtCoordinator) {
         (void)engine->to_dense();
       },
       CorruptData);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-member abort isolation (ISSUE 10): one member's injected failure
+// must not corrupt its siblings.
+
+TEST_F(FaultPlaneTest, BatchMemberAbortLeavesSiblingsBitIdentical) {
+  // batch.member.abort fires only at a stage boundary while a member
+  // executes ALONE (post-divergence), so clone sources are never stale.
+  // Contract: the member is flagged, its remaining stages are skipped, and
+  // every sibling's disjoint chunk window completes bit-identically to its
+  // own serial run.
+  constexpr qubit_t n = 6;
+  constexpr std::uint32_t kK = 4;
+  EngineConfig cfg = fault_cfg();
+  cfg.codec.compressor = "null";  // lossless: batch == serial bit-identical
+  cfg.batch_size = kK;
+
+  // Shared GHZ prefix, diverging per-member tails: every member has solo
+  // stages where the abort can land.
+  std::vector<circuit::Circuit> members;
+  for (std::uint32_t m = 0; m < kK; ++m) {
+    circuit::Circuit c = circuit::make_ghz(n);
+    c.rz(0, 0.2 + 0.3 * static_cast<double>(m));
+    c.h(1);
+    members.push_back(std::move(c));
+  }
+
+  fault::arm("batch.member.abort@1");
+  BatchScheduler batch(n, cfg);
+  batch.run(members);
+  EXPECT_EQ(fault::fires("batch.member.abort"), 1u);
+  fault::disarm();
+
+  std::uint32_t aborted = 0;
+  for (std::uint32_t m = 0; m < kK; ++m) {
+    if (batch.member_aborted(m)) {
+      ++aborted;
+      continue;  // its window is documented-stale; siblings must be intact
+    }
+    EngineConfig one = cfg;
+    one.batch_size = 1;
+    one.seed = cfg.seed + m;
+    auto serial = make_engine(EngineKind::kMemQSim, n, one);
+    serial->run(members[m]);
+    const auto expected = serial->to_dense();
+    const auto got = batch.member_dense(m);
+    EXPECT_EQ(got.max_abs_diff(expected), 0.0)
+        << "sibling member " << m << " corrupted by another member's abort";
+  }
+  EXPECT_EQ(aborted, 1u) << "exactly one member must have aborted";
 }
 
 }  // namespace

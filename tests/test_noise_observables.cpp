@@ -6,6 +6,7 @@
 #include "circuit/noise.hpp"
 #include "circuit/workloads.hpp"
 #include "common/stats.hpp"
+#include "core/batch_scheduler.hpp"
 #include "core/observables.hpp"
 
 namespace memq {
@@ -88,6 +89,85 @@ TEST(Noise, GhzCorrelationDecaysWithNoise) {
   EXPECT_LT(mild, clean);
   EXPECT_LT(heavy, mild + 0.15);  // allow trajectory-sampling slack
   EXPECT_LT(heavy, 0.5);
+}
+
+TEST(Noise, BatchTrajectoriesMatchSerialExactly) {
+  // ISSUE 10: --batch-mode trajectories. The batch expands the SAME noisy
+  // trajectories a serial loop would (sample_noisy_trajectory with seed
+  // config.seed + m) and samples each member with the serial engine's
+  // generator, so per-member counts — and hence any trajectory mean — match
+  // the serial loop exactly, not just statistically.
+  constexpr qubit_t n = 5;
+  constexpr std::uint32_t kK = 8;
+  NoiseModel model;
+  model.depolarizing_1q = 0.1;
+
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 3;
+  cfg.codec.compressor = "null";
+  cfg.batch_size = kK;
+  cfg.batch_mode = core::BatchMode::kTrajectories;
+
+  const Circuit ghz = circuit::make_ghz(n);
+  const auto members = core::BatchScheduler::expand_members(ghz, cfg, model);
+  ASSERT_EQ(members.size(), kK);
+
+  core::BatchScheduler batch(n, cfg);
+  batch.run(members);
+  const auto serial = core::run_batch_serial(core::EngineKind::kMemQSim, n,
+                                             cfg, members, 64);
+  double batch_mean = 0.0, serial_mean = 0.0;
+  for (std::uint32_t m = 0; m < kK; ++m) {
+    EXPECT_EQ(batch.member_counts(m, 64), serial[m]) << "member " << m;
+    batch_mean += batch.member_expectation(m, {std::string(n, 'Z')});
+    core::EngineConfig one = cfg;
+    one.batch_size = 1;
+    one.seed = cfg.seed + m;
+    auto engine = core::make_engine(core::EngineKind::kMemQSim, n, one);
+    engine->run(members[m]);
+    serial_mean += engine->expectation({std::string(n, 'Z')});
+  }
+  EXPECT_NEAR(batch_mean / kK, serial_mean / kK, 1e-12)
+      << "trajectory means must agree on bit-identical member states";
+}
+
+TEST(Noise, BatchTrajectoryStatisticsMatchAnalyticPauliChannel) {
+  // Chi-squared sanity against an analytic Pauli channel: L X-gates on one
+  // qubit under bit-flip noise p leave the qubit flipped iff the number of
+  // inserted X errors is odd, so P(|1>) = (1 - (1 - 2p)^L) / 2 exactly.
+  // Each trajectory is deterministic (a basis state); across K seeded
+  // members the flip count is Binomial(K, p_odd). Seeded, so never flaky —
+  // the bound just has to hold for this seed set.
+  constexpr std::uint32_t kK = 128;
+  constexpr std::size_t kL = 4;
+  constexpr double p = 0.1;
+  NoiseModel model;
+  model.bit_flip = p;
+
+  core::EngineConfig cfg;
+  cfg.chunk_qubits = 1;
+  cfg.codec.compressor = "null";
+  cfg.batch_size = kK;
+  cfg.batch_mode = core::BatchMode::kTrajectories;
+
+  Circuit c(1);
+  for (std::size_t i = 0; i < kL; ++i) c.x(0);
+  const auto members = core::BatchScheduler::expand_members(c, cfg, model);
+
+  core::BatchScheduler batch(1, cfg);
+  batch.run(members);
+  double flipped = 0.0;
+  for (std::uint32_t m = 0; m < kK; ++m)
+    if (batch.member_expectation(m, {"Z"}) < 0.0) flipped += 1.0;
+
+  const double p_odd = 0.5 * (1.0 - std::pow(1.0 - 2.0 * p, kL));
+  const double expect1 = kK * p_odd;
+  const double expect0 = kK * (1.0 - p_odd);
+  const double chi2 =
+      (flipped - expect1) * (flipped - expect1) / expect1 +
+      ((kK - flipped) - expect0) * ((kK - flipped) - expect0) / expect0;
+  EXPECT_LT(chi2, 10.0) << "observed " << flipped << " flips of " << kK
+                        << ", analytic mean " << expect1;
 }
 
 TEST(Observables, TfimProductStateEnergies) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "circuit/noise.hpp"
 #include "circuit/qasm.hpp"
 #include "circuit/transpile.hpp"
 #include "circuit/workloads.hpp"
@@ -34,6 +35,7 @@
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "compress/compressor.hpp"
+#include "core/batch_scheduler.hpp"
 #include "core/engine.hpp"
 #include "core/memq_engine.hpp"
 #include "core/partitioner.hpp"
@@ -62,11 +64,18 @@ using namespace memq;
       "           [--trace f.json] [--stage-report] [--faults SPEC]\n"
       "           [--metrics-interval MS] [--metrics-out f.jsonl]\n"
       "           [--metrics-prom f.txt] [--progress]\n"
+      "           [--batch K] [--batch-mode circuits|shots|sweep|trajectories]\n"
+      "           [--noise-1q P] [--noise-2q P] [--bit-flip P]\n"
+      "           [--phase-flip P]\n"
       "  (--faults: deterministic fault injection, e.g.\n"
       "   'blob.read.eio@3,codec.decode.corrupt%5,seed=7' — see DESIGN.md)\n"
       "  (--metrics-out: background sampler JSONL time-series every\n"
       "   --metrics-interval ms; --metrics-prom: Prometheus text snapshot;\n"
       "   --progress: live actual-vs-plan codec-pass line on stderr)\n"
+      "  (--batch: K member circuits per run, codec passes shared across\n"
+      "   members — mode 'circuits' takes K .qasm files, 'shots' samples K\n"
+      "   members of one circuit, 'sweep' scales rotation params, \n"
+      "   'trajectories' inserts seeded Pauli noise per --noise-* flags)\n"
       "  memq compress <file.qasm> [--chunk-qubits C] [--bound B]\n"
       "  memq transfer --qubits N\n";
   std::exit(2);
@@ -219,7 +228,39 @@ core::EngineConfig config_from(const Args& args, qubit_t n) {
     usage(("--plan-opt expects 'on' or 'off', got '" + plan_opt +
            "'").c_str());
   }
+  cfg.batch_size = static_cast<std::uint32_t>(
+      parse_u64("batch", args.option("batch", "1"), 4096));
+  if (cfg.batch_size == 0) usage("--batch expects K >= 1");
+  const std::string bmode = args.option("batch-mode", "shots");
+  if (bmode == "circuits") {
+    cfg.batch_mode = core::BatchMode::kCircuits;
+  } else if (bmode == "shots") {
+    cfg.batch_mode = core::BatchMode::kShots;
+  } else if (bmode == "sweep") {
+    cfg.batch_mode = core::BatchMode::kSweep;
+  } else if (bmode == "trajectories") {
+    cfg.batch_mode = core::BatchMode::kTrajectories;
+  } else {
+    usage(("--batch-mode expects circuits|shots|sweep|trajectories, got '" +
+           bmode + "'").c_str());
+  }
   return cfg;
+}
+
+circuit::NoiseModel noise_from(const Args& args, core::BatchMode mode) {
+  circuit::NoiseModel noise;
+  noise.depolarizing_1q =
+      parse_double("noise-1q", args.option("noise-1q", "0"));
+  noise.depolarizing_2q =
+      parse_double("noise-2q", args.option("noise-2q", "0"));
+  noise.bit_flip = parse_double("bit-flip", args.option("bit-flip", "0"));
+  noise.phase_flip =
+      parse_double("phase-flip", args.option("phase-flip", "0"));
+  // Trajectory mode without explicit noise still needs a channel, or every
+  // trajectory is the base circuit and the mode is a slow 'shots'.
+  if (mode == core::BatchMode::kTrajectories && !noise.enabled())
+    noise.depolarizing_1q = 0.01;
+  return noise;
 }
 
 int cmd_info() {
@@ -339,6 +380,111 @@ void print_stage_report(const core::StageReport& rep) {
   }
 }
 
+/// Top sample counts of one (member) register, bit-string formatted.
+void print_counts(const std::map<index_t, std::uint64_t>& counts, qubit_t n,
+                  std::size_t limit, const char* indent) {
+  std::size_t shown = 0;
+  for (const auto& [basis, count] : counts) {
+    if (++shown > limit) {
+      std::cout << indent << "... (" << counts.size() - limit << " more)\n";
+      break;
+    }
+    std::string bits(n, '0');
+    for (qubit_t q = 0; q < n; ++q)
+      if ((basis >> q) & 1) bits[n - 1 - q] = '1';
+    std::cout << indent << bits << "  " << count << "\n";
+  }
+}
+
+/// The --batch K path: expands members, runs them through the batch
+/// scheduler (memqsim) or the no-sharing serial loop (dense/wu), prints
+/// per-member results and emits the schema-8 telemetry document.
+int run_batch(const Args& args, const core::EngineConfig& cfg,
+              core::EngineKind kind,
+              const std::vector<circuit::Circuit>& inputs) {
+  const qubit_t n = inputs.front().n_qubits();
+  const circuit::NoiseModel noise = noise_from(args, cfg.batch_mode);
+
+  std::vector<circuit::Circuit> members;
+  if (cfg.batch_mode == core::BatchMode::kCircuits && inputs.size() > 1) {
+    members = inputs;
+    if (members.size() != cfg.batch_size)
+      usage(("--batch-mode circuits with --batch " +
+             std::to_string(cfg.batch_size) + " needs exactly that many "
+             ".qasm files, got " + std::to_string(members.size())).c_str());
+  } else {
+    members =
+        core::BatchScheduler::expand_members(inputs.front(), cfg, noise);
+  }
+
+  const auto shots = parse_u64("shots", args.option("shots", "1024"));
+
+  if (kind != core::EngineKind::kMemQSim) {
+    // The prior-work engines have no fan-out machinery: their batch is the
+    // documented no-sharing loop (one fresh engine per member).
+    WallTimer wall;
+    const auto counts = core::run_batch_serial(kind, n, cfg, members, shots);
+    const double secs = wall.seconds();
+    std::cout << "batch of " << members.size() << " members (serial, "
+              << core::engine_kind_name(kind) << "): "
+              << format_fixed(secs > 0.0 ? static_cast<double>(members.size())
+                                               / secs
+                                         : 0.0, 2)
+              << " circuits/sec\n";
+    for (std::size_t m = 0; m < counts.size(); ++m) {
+      std::cout << "member " << m << ":\n";
+      print_counts(counts[m], n, 4, "  ");
+    }
+    return 0;
+  }
+
+  core::BatchScheduler sched(n, cfg);
+  sched.run(members);
+  const core::BatchStats& bs = sched.stats();
+  std::cout << "batch of " << bs.members << " members (+"
+            << static_cast<unsigned>(bs.member_index_qubits)
+            << " index qubits): " << bs.executed_stages << " of "
+            << bs.total_member_stages << " member stages executed ("
+            << bs.shared_stages << " shared), " << bs.clone_chunks
+            << " chunks fanned out, " << bs.chunk_loads << " loads / "
+            << bs.chunk_stores << " stores\n";
+  std::cout << "throughput: "
+            << format_fixed(bs.circuits_per_second, 2) << " circuits/sec, "
+            << format_fixed(bs.amortized_mb_per_s, 1)
+            << " amortized MB/s\n";
+  for (std::uint32_t m = 0; m < bs.members; ++m) {
+    if (sched.member_aborted(m)) {
+      std::cout << "member " << m << ": aborted (fault injection)\n";
+      continue;
+    }
+    std::cout << "member " << m << ":\n";
+    if (shots > 0) print_counts(sched.member_counts(m, shots), n, 4, "  ");
+  }
+  if (fault::armed()) {
+    std::cout << "fault injection: " << fault::total_fires() << " fires\n";
+    for (const std::string& line : fault::summary())
+      std::cout << "  " << line << "\n";
+  }
+
+  const std::string json_path = args.option("telemetry-json", "");
+  if (!json_path.empty()) {
+    std::ofstream jf(json_path);
+    if (!jf) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    const auto& t = sched.engine().telemetry();
+    std::ostringstream head;
+    head << "  \"engine\": \"" << sched.engine().name() << "\",\n"
+         << "  \"qubits\": " << n << ",\n"
+         << "  \"dedup\": " << (cfg.dedup ? "true" : "false") << ",\n";
+    core::write_telemetry_json(jf, t, nullptr, head.str(), fault::armed(),
+                               &bs);
+    std::cout << "telemetry written to " << json_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 3) usage("run needs a .qasm file");
   const Args args = parse_args(argc, argv, 3,
@@ -366,6 +512,16 @@ int cmd_run(int argc, char** argv) {
   else if (engine_name != "memqsim") usage("unknown engine");
 
   const core::EngineConfig cfg = config_from(args, n);
+
+  if (cfg.batch_size > 1) {
+    // Batched throughput mode: --batch-mode circuits reads the extra
+    // positional .qasm files as the remaining members.
+    std::vector<circuit::Circuit> inputs{prog.circuit};
+    for (const std::string& extra : args.positional)
+      inputs.push_back(circuit::parse_qasm_file(extra).circuit);
+    if (!args.option("telemetry-json", "").empty()) metrics::arm_timing();
+    return run_batch(args, cfg, kind, inputs);
+  }
 
   const std::string json_path = args.option("telemetry-json", "");
   const std::string metrics_out = args.option("metrics-out", "");
